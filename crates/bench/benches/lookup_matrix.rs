@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 5 (Case Study ①a): scalar vs. horizontal
+//! vs. vertical lookup throughput across the (N, m) layout matrix at the
+//! paper's parameters (1 MiB table, LF 90 %, hit rate 90 %).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdht_core::dispatch::{run_design, run_scalar};
+use simdht_core::engine::{prepare_table_and_traces, BenchSpec};
+use simdht_core::validate::{enumerate_designs, ValidationOptions};
+use simdht_simd::Backend;
+use simdht_table::Layout;
+use simdht_workload::AccessPattern;
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_lookup_matrix");
+    let layouts = [
+        Layout::n_way(2),
+        Layout::n_way(3),
+        Layout::bcht(2, 4),
+        Layout::bcht(2, 8),
+    ];
+    for layout in layouts {
+        let spec = BenchSpec {
+            queries_per_thread: 1 << 14,
+            ..BenchSpec::new(layout, 1 << 20, AccessPattern::Uniform)
+        };
+        let (table, traces) =
+            prepare_table_and_traces::<u32, u32>(&spec).expect("table construction");
+        let trace = &traces[0];
+        let mut out = vec![0u32; trace.len()];
+        group.throughput(Throughput::Elements(trace.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("scalar", layout), &(), |b, ()| {
+            b.iter(|| run_scalar(&table, trace, &mut out));
+        });
+        for design in enumerate_designs(layout, 32, 32, &ValidationOptions::default()) {
+            group.bench_with_input(
+                BenchmarkId::new(design.to_string(), layout),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        run_design(Backend::Native, &design, &table, trace, &mut out)
+                            .expect("native backend available")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

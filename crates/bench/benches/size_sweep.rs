@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 6 (Case Study ①b): lookup throughput as the
+//! table grows from cache-resident (256 KiB) to memory-resident (64 MiB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdht_core::dispatch::{run_design, run_scalar};
+use simdht_core::engine::{prepare_table_and_traces, BenchSpec};
+use simdht_core::validate::{enumerate_designs, ValidationOptions};
+use simdht_simd::Backend;
+use simdht_table::Layout;
+use simdht_workload::AccessPattern;
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_size_sweep");
+    group.sample_size(10);
+    for bytes in [256 << 10, 1 << 20, 16 << 20, 64 << 20] {
+        let spec = BenchSpec {
+            queries_per_thread: 1 << 14,
+            ..BenchSpec::new(Layout::n_way(3), bytes, AccessPattern::Uniform)
+        };
+        let (table, traces) =
+            prepare_table_and_traces::<u32, u32>(&spec).expect("table construction");
+        let trace = &traces[0];
+        let mut out = vec![0u32; trace.len()];
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        let label = format!("{}KiB", bytes >> 10);
+
+        group.bench_with_input(BenchmarkId::new("scalar", &label), &(), |b, ()| {
+            b.iter(|| run_scalar(&table, trace, &mut out));
+        });
+        let best = enumerate_designs(Layout::n_way(3), 32, 32, &ValidationOptions::default())
+            .pop()
+            .expect("vertical design exists");
+        group.bench_with_input(BenchmarkId::new("vertical", &label), &(), |b, ()| {
+            b.iter(|| {
+                run_design(Backend::Native, &best, &table, trace, &mut out)
+                    .expect("native backend")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes);
+criterion_main!(benches);

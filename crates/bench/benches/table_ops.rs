@@ -1,0 +1,69 @@
+//! Supporting bench: cuckoo-table insert and scalar-probe costs across
+//! layouts (the setup costs behind every figure; also quantifies the BFS
+//! relocation overhead near the max load factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdht_table::{CuckooTable, Layout};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_insert");
+    group.sample_size(20);
+    for layout in [Layout::n_way(3), Layout::bcht(2, 4)] {
+        for lf in [0.5f64, 0.9] {
+            let n = ((1usize << 14) as f64 * lf) as u32;
+            group.throughput(Throughput::Elements(u64::from(n)));
+            group.bench_with_input(
+                BenchmarkId::new(layout.to_string(), format!("lf{lf}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        let log2 = match layout.slots_per_bucket() {
+                            1 => 14,
+                            m => 14 - m.trailing_zeros(),
+                        };
+                        let mut t: CuckooTable<u32, u32> =
+                            CuckooTable::new(layout, log2).expect("table");
+                        for i in 1..=n {
+                            t.insert(i.wrapping_mul(2_654_435_761).max(1), i)
+                                .expect("below max LF");
+                        }
+                        t.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scalar_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_scalar_get");
+    for layout in [Layout::n_way(2), Layout::n_way(4), Layout::bcht(2, 4), Layout::bcht(2, 8)] {
+        let log2 = match layout.slots_per_bucket() {
+            1 => 14,
+            m => 14 - m.trailing_zeros(),
+        };
+        let mut t: CuckooTable<u32, u32> = CuckooTable::new(layout, log2).expect("table");
+        let n = (t.capacity() as f64 * 0.85) as u32;
+        for i in 1..=n {
+            t.insert(i.wrapping_mul(2_654_435_761).max(1), i).expect("insert");
+        }
+        let queries: Vec<u32> = (1..=4096u32)
+            .map(|i| i.wrapping_mul(2_654_435_761).max(1))
+            .collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("get", layout), &(), |b, ()| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &q in &queries {
+                    hits += usize::from(t.get(q).is_some());
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_scalar_get);
+criterion_main!(benches);

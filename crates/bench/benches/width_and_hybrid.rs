@@ -1,0 +1,116 @@
+//! Criterion benches behind Fig. 7(b) (Case Study ③: AVX2 vs AVX-512) and
+//! Fig. 9 (Case Study ⑤: hybrid vertical-over-BCHT), plus the
+//! Observation ② gather ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdht_core::dispatch::KernelLane;
+use simdht_core::engine::{prepare_table_and_traces, BenchSpec};
+use simdht_core::validate::GatherMode;
+use simdht_simd::{Backend, Width};
+use simdht_table::Layout;
+use simdht_workload::AccessPattern;
+
+fn setup(
+    layout: Layout,
+    bytes: usize,
+) -> (
+    simdht_table::CuckooTable<u32, u32>,
+    Vec<u32>,
+    Vec<u32>,
+) {
+    let spec = BenchSpec {
+        queries_per_thread: 1 << 14,
+        ..BenchSpec::new(layout, bytes, AccessPattern::Uniform)
+    };
+    let (table, mut traces) = prepare_table_and_traces::<u32, u32>(&spec).expect("table");
+    let trace = traces.remove(0);
+    let out = vec![0u32; trace.len()];
+    (table, trace, out)
+}
+
+/// Fig. 7(b): vertical at 256 vs 512 bits.
+fn bench_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_width_contrast");
+    for bytes in [1usize << 20, 16 << 20] {
+        let (table, trace, mut out) = setup(Layout::n_way(3), bytes);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        let label = format!("{}MiB", bytes >> 20);
+        for width in [Width::W256, Width::W512] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("vertical_{}", width.isa_name()), &label),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        u32::dispatch_vertical(
+                            Backend::Native,
+                            width,
+                            &table,
+                            &trace,
+                            &mut out,
+                            GatherMode::PairedWide,
+                        )
+                        .expect("native")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 9: hybrid vertical-over-BCHT vs. true vertical.
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_hybrid");
+    let (nway, trace, mut out) = setup(Layout::n_way(2), 1 << 20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("2way_true_vertical", |b| {
+        b.iter(|| {
+            u32::dispatch_vertical(
+                Backend::Native,
+                Width::W512,
+                &nway,
+                &trace,
+                &mut out,
+                GatherMode::PairedWide,
+            )
+            .expect("native")
+        });
+    });
+    let (bcht, trace2, mut out2) = setup(Layout::bcht(2, 2), 1 << 20);
+    group.bench_function("bcht22_hybrid_vertical", |b| {
+        b.iter(|| {
+            u32::dispatch_hybrid(Backend::Native, Width::W512, &bcht, &trace2, &mut out2)
+                .expect("native")
+        });
+    });
+    group.finish();
+}
+
+/// Observation ②: paired wide vs. narrow split gathers.
+fn bench_gather_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs2_gather_modes");
+    let (table, trace, mut out) = setup(Layout::n_way(3), 1 << 20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, mode) in [
+        ("paired_wide", GatherMode::PairedWide),
+        ("narrow_split", GatherMode::NarrowSplit),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                u32::dispatch_vertical(
+                    Backend::Native,
+                    Width::W512,
+                    &table,
+                    &trace,
+                    &mut out,
+                    mode,
+                )
+                .expect("native")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_widths, bench_hybrid, bench_gather_modes);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The SimdHT-Bench experiment CLI.
+//!
+//! ```text
+//! simdht-bench <experiment|all> [--quick]
+//! simdht-bench --list
+//! ```
+//!
+//! Run with `cargo run --release -p simdht-bench -- <id>`. Every id
+//! regenerates one table or figure of the paper; see `DESIGN.md` for the
+//! per-experiment index and `EXPERIMENTS.md` for recorded results.
+
+use std::process::ExitCode;
+
+use simdht_bench::{custom, experiments};
+
+fn usage() -> String {
+    format!(
+        "usage: simdht-bench <experiment|all> [--quick]\n\
+         \x20      simdht-bench custom [flags]   (run a user-specified workload)\n\
+         \n\
+         experiments:\n  {}\n\
+         \n\
+         --quick  run at reduced scale (seconds instead of minutes)\n\
+         --list   print experiment ids\n\n{}",
+        experiments::ALL.join("\n  "),
+        custom::usage()
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if args.iter().any(|a| a == "--list") {
+        println!("{}", experiments::ALL.join("\n"));
+        return ExitCode::SUCCESS;
+    }
+    if ids.first().copied() == Some("custom") {
+        let rest: Vec<String> = args.iter().skip_while(|a| *a != "custom").skip(1).cloned().collect();
+        return match custom::parse(&rest).and_then(|spec| custom::execute(&spec)) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("custom: {e}\n\n{}", custom::usage());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let selected: Vec<&str> = if ids == ["all"] {
+        experiments::ALL.to_vec()
+    } else {
+        ids
+    };
+
+    for id in selected {
+        match experiments::run(id, quick) {
+            Some(output) => {
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

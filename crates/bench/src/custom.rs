@@ -1,0 +1,318 @@
+//! The `custom` subcommand — the paper's *configurable input parameters*
+//! interface (Fig. 4, module 1): a user describes their workload (layout,
+//! key/value sizes, table size, access pattern, hit rate, …) and the suite
+//! validates which SIMD designs apply and measures them against scalar.
+//!
+//! ```text
+//! simdht-bench custom --layout 2,4 --bytes 1MiB --pattern skewed \
+//!     --hit-rate 0.9 --load-factor 0.9 --key-bits 32
+//! ```
+
+use simdht_core::engine::{run_bench, BenchSpec};
+use simdht_core::report::render_report;
+use simdht_core::validate::ValidationOptions;
+use simdht_simd::Backend;
+use simdht_table::{Arrangement, Layout};
+use simdht_workload::AccessPattern;
+
+/// A fully parsed custom-run specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CustomSpec {
+    /// Table layout.
+    pub layout: Layout,
+    /// Stored key width in bits (16, 32 or 64; values match keys).
+    pub key_bits: u32,
+    /// Table byte budget.
+    pub table_bytes: usize,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Target load factor.
+    pub load_factor: f64,
+    /// Query hit rate.
+    pub hit_rate: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Lookups per thread.
+    pub queries: usize,
+    /// Timed repetitions.
+    pub repetitions: u32,
+    /// Vector backend.
+    pub backend: Backend,
+    /// Also consider the Case Study ⑤ hybrid approach.
+    pub hybrid: bool,
+}
+
+impl Default for CustomSpec {
+    fn default() -> Self {
+        CustomSpec {
+            layout: Layout::bcht(2, 4),
+            key_bits: 32,
+            table_bytes: 1 << 20,
+            pattern: AccessPattern::Uniform,
+            load_factor: 0.9,
+            hit_rate: 0.9,
+            threads: 1,
+            queries: 1 << 16,
+            repetitions: 3,
+            backend: Backend::Native,
+            hybrid: false,
+        }
+    }
+}
+
+/// Parse `--flag value` pairs into a [`CustomSpec`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag or value.
+pub fn parse(args: &[String]) -> Result<CustomSpec, String> {
+    let mut spec = CustomSpec::default();
+    let mut arrangement: Option<Arrangement> = None;
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--layout" => {
+                let v = value()?;
+                let (n, m) = v
+                    .split_once(',')
+                    .ok_or_else(|| format!("--layout expects N,M (got {v})"))?;
+                let n: u32 = n.trim().parse().map_err(|_| format!("bad N in {v}"))?;
+                let m: u32 = m.trim().parse().map_err(|_| format!("bad M in {v}"))?;
+                if !(2..=Layout::MAX_WAYS).contains(&n)
+                    || !m.is_power_of_two()
+                    || m > Layout::MAX_SLOTS
+                {
+                    return Err(format!(
+                        "--layout {v}: N must be 2..={}, M a power of two <= {}",
+                        Layout::MAX_WAYS,
+                        Layout::MAX_SLOTS
+                    ));
+                }
+                spec.layout = Layout::bcht(n, m);
+            }
+            "--arrangement" => {
+                arrangement = Some(match value()?.as_str() {
+                    "interleaved" => Arrangement::Interleaved,
+                    "split" => Arrangement::Split,
+                    other => return Err(format!("unknown arrangement {other}")),
+                });
+            }
+            "--key-bits" => {
+                spec.key_bits = value()?
+                    .parse()
+                    .map_err(|_| "--key-bits expects 16, 32 or 64".to_string())?;
+                if ![16, 32, 64].contains(&spec.key_bits) {
+                    return Err("--key-bits expects 16, 32 or 64".to_string());
+                }
+            }
+            "--bytes" => spec.table_bytes = parse_bytes(value()?)?,
+            "--pattern" => {
+                spec.pattern = match value()?.as_str() {
+                    "uniform" => AccessPattern::Uniform,
+                    "skewed" | "zipf" | "zipfian" => AccessPattern::skewed(),
+                    other => return Err(format!("unknown pattern {other}")),
+                };
+            }
+            "--hit-rate" => spec.hit_rate = parse_fraction(flag, value()?)?,
+            "--load-factor" => spec.load_factor = parse_fraction(flag, value()?)?,
+            "--threads" => {
+                spec.threads = value()?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if spec.threads == 0 {
+                    return Err("--threads expects a positive integer".to_string());
+                }
+            }
+            "--queries" => {
+                spec.queries = value()?
+                    .parse()
+                    .map_err(|_| "--queries expects a positive integer".to_string())?;
+            }
+            "--reps" => {
+                spec.repetitions = value()?
+                    .parse()
+                    .map_err(|_| "--reps expects a positive integer".to_string())?;
+            }
+            "--backend" => {
+                spec.backend = match value()?.as_str() {
+                    "native" => Backend::Native,
+                    "emulated" => Backend::Emulated,
+                    other => return Err(format!("unknown backend {other}")),
+                };
+            }
+            "--hybrid" => spec.hybrid = true,
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if let Some(a) = arrangement {
+        spec.layout = spec.layout.with_arrangement(a);
+    }
+    Ok(spec)
+}
+
+/// Parse sizes like `64KiB`, `1MiB`, `4M`, `1048576`.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let lower = v.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("k")) {
+        (d, 1usize << 10)
+    } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("m")) {
+        (d, 1 << 20)
+    } else if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("g")) {
+        (d, 1 << 30)
+    } else {
+        (lower.as_str(), 1)
+    };
+    digits
+        .trim()
+        .parse::<usize>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("cannot parse byte size {v}"))
+}
+
+fn parse_fraction(flag: &str, v: &str) -> Result<f64, String> {
+    let f: f64 = v
+        .parse()
+        .map_err(|_| format!("{flag} expects a number in [0,1]"))?;
+    if (0.0..=1.0).contains(&f) {
+        Ok(f)
+    } else {
+        Err(format!("{flag} expects a number in [0,1], got {f}"))
+    }
+}
+
+/// Usage text for the `custom` subcommand.
+pub fn usage() -> &'static str {
+    "usage: simdht-bench custom [flags]\n\
+     --layout N,M          cuckoo layout (M=1 for N-way; default 2,4)\n\
+     --arrangement A       interleaved | split (default interleaved)\n\
+     --key-bits B          16 | 32 | 64 (default 32; values match keys)\n\
+     --bytes SIZE          table budget, e.g. 1MiB, 256KiB (default 1MiB)\n\
+     --pattern P           uniform | skewed (default uniform)\n\
+     --hit-rate F          query hit rate in [0,1] (default 0.9)\n\
+     --load-factor F       target fill in [0,1] (default 0.9)\n\
+     --threads N           full-subscription workers (default 1)\n\
+     --queries N           lookups per thread (default 65536)\n\
+     --reps N              timed repetitions (default 3)\n\
+     --backend B           native | emulated (default native)\n\
+     --hybrid              also evaluate vertical-over-BCHT"
+}
+
+/// Execute a parsed custom run and render its report.
+///
+/// # Errors
+///
+/// Engine errors (table construction, missing backend) as strings.
+pub fn execute(spec: &CustomSpec) -> Result<String, String> {
+    let bench = BenchSpec {
+        layout: spec.layout,
+        table_bytes: spec.table_bytes,
+        load_factor: spec.load_factor,
+        hit_rate: spec.hit_rate,
+        pattern: spec.pattern,
+        queries_per_thread: spec.queries,
+        threads: spec.threads,
+        repetitions: spec.repetitions,
+        backend: spec.backend,
+        validation: ValidationOptions {
+            include_hybrid: spec.hybrid,
+            ..ValidationOptions::default()
+        },
+        seed: 0xC057_0A,
+    };
+    let report = match spec.key_bits {
+        16 => run_bench::<u16>(&bench),
+        32 => run_bench::<u32>(&bench),
+        64 => run_bench::<u64>(&bench),
+        _ => unreachable!("validated at parse time"),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(render_report(&report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let spec = parse(&args(
+            "--layout 3,1 --bytes 256KiB --pattern skewed --hit-rate 0.8 \
+             --load-factor 0.85 --threads 2 --queries 1024 --reps 2 \
+             --backend emulated --hybrid --key-bits 64",
+        ))
+        .unwrap();
+        assert_eq!(spec.layout, Layout::n_way(3));
+        assert_eq!(spec.table_bytes, 256 << 10);
+        assert_eq!(spec.pattern, AccessPattern::skewed());
+        assert_eq!(spec.hit_rate, 0.8);
+        assert_eq!(spec.load_factor, 0.85);
+        assert_eq!(spec.threads, 2);
+        assert_eq!(spec.queries, 1024);
+        assert_eq!(spec.repetitions, 2);
+        assert_eq!(spec.backend, Backend::Emulated);
+        assert!(spec.hybrid);
+        assert_eq!(spec.key_bits, 64);
+    }
+
+    #[test]
+    fn arrangement_applies_to_layout() {
+        let spec = parse(&args("--layout 2,8 --arrangement split")).unwrap();
+        assert_eq!(spec.layout.arrangement(), Arrangement::Split);
+        // Order independence: arrangement first.
+        let spec2 = parse(&args("--arrangement split --layout 2,8")).unwrap();
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(parse_bytes("64KiB").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("4m").unwrap(), 4 << 20);
+        assert_eq!(parse_bytes("1GiB").unwrap(), 1 << 30);
+        assert_eq!(parse_bytes("12345").unwrap(), 12345);
+        assert!(parse_bytes("lots").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse(&args("--layout 1,4")).is_err());
+        assert!(parse(&args("--layout 2,3")).is_err());
+        assert!(parse(&args("--layout nonsense")).is_err());
+        assert!(parse(&args("--hit-rate 1.5")).is_err());
+        assert!(parse(&args("--key-bits 48")).is_err());
+        assert!(parse(&args("--pattern diagonal")).is_err());
+        assert!(parse(&args("--threads 0")).is_err());
+        assert!(parse(&args("--bytes")).is_err(), "missing value");
+        assert!(parse(&args("--frobnicate 9")).is_err());
+    }
+
+    #[test]
+    fn executes_small_run() {
+        let spec = CustomSpec {
+            queries: 2048,
+            repetitions: 1,
+            table_bytes: 64 << 10,
+            ..CustomSpec::default()
+        };
+        let out = execute(&spec).unwrap();
+        assert!(out.contains("Scalar"));
+        assert!(out.contains("V-Hor"));
+    }
+
+    #[test]
+    fn executes_u64_hybrid_run() {
+        let spec = parse(&args(
+            "--layout 2,2 --key-bits 64 --hybrid --queries 2048 --reps 1 --bytes 128KiB",
+        ))
+        .unwrap();
+        let out = execute(&spec).unwrap();
+        assert!(out.contains("V-Ver/BCHT"), "{out}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Ablations for the design choices DESIGN.md calls out: the gather
+//! strategy behind Observation ② and the bucket-arrangement choice behind
+//! the horizontal kernel.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use simdht_core::dispatch::KernelLane;
+use simdht_core::engine::{prepare_table_and_traces, run_bench, BenchSpec};
+use simdht_core::templates::{horizontal_lookup, horizontal_lookup_vec_hash};
+use simdht_core::validate::GatherMode;
+use simdht_simd::{Backend, CpuFeatures, Width};
+use simdht_table::{Arrangement, Layout};
+use simdht_workload::AccessPattern;
+
+use super::{blps, paper_spec};
+use crate::RunScale;
+
+const MIB: usize = 1 << 20;
+
+/// Widest width the native backend supports, or `None` (emulated fallback).
+fn widest_native() -> (Backend, Width) {
+    let caps = CpuFeatures::detect();
+    match caps.native_widths().last() {
+        Some(&w) => (Backend::Native, w),
+        None => (Backend::Emulated, Width::W256),
+    }
+}
+
+/// Observation ② ablation: paired wide gathers vs. separate narrow gathers
+/// on a 3-way vertical probe — the "fewer wider gathers" optimization.
+pub fn gather(scale: &RunScale) -> String {
+    let (backend, width) = widest_native();
+    let mut s = format!(
+        "== Ablation: gather strategy (Observation 2) ==\n\
+         (3-way cuckoo HT, (k,v) = (32,32), 1 MiB, uniform, {width}, {backend} backend)\n\n"
+    );
+    let spec = paper_spec(Layout::n_way(3), MIB, AccessPattern::Uniform, scale);
+    let (table, traces) = prepare_table_and_traces::<u32, u32>(&spec).expect("table");
+    let trace = &traces[0];
+    let mut out = vec![0u32; trace.len()];
+    for (label, mode) in [
+        ("paired wide gathers (1 x 64-bit lane per pair)", GatherMode::PairedWide),
+        ("narrow split gathers (2 x 32-bit lanes)", GatherMode::NarrowSplit),
+    ] {
+        // Warm-up + timed repetitions.
+        u32::dispatch_vertical(backend, width, &table, trace, &mut out, mode).expect("kernel");
+        let t0 = Instant::now();
+        for _ in 0..spec.repetitions {
+            let h = u32::dispatch_vertical(backend, width, &table, trace, &mut out, mode)
+                .expect("kernel");
+            std::hint::black_box(h);
+        }
+        let rate =
+            (spec.repetitions as f64 * trace.len() as f64) / t0.elapsed().as_secs_f64();
+        let _ = writeln!(s, "  {:<48} {:>8} Blookups/s", label, blps(rate));
+    }
+    s.push_str(
+        "\n(the paired mode halves cache-line accesses for 32-bit pairs; for 64-bit\n\
+         pairs hardware forces two gathers either way — Observation 2)\n",
+    );
+    s
+}
+
+/// Bucket-arrangement ablation: interleaved `[k v k v …]` (paper Fig. 3a,
+/// masked compare) vs. split `[k…k][v…v]` (denser key block) for the
+/// horizontal probe of a (2,4) BCHT.
+pub fn layout(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Ablation: bucket arrangement for horizontal probes ==\n\
+         ((2,4) BCHT, (k,v) = (32,32), 1 MiB, uniform)\n\n",
+    );
+    for (label, arrangement) in [
+        ("interleaved [k v k v ...] (paper Fig. 3a)", Arrangement::Interleaved),
+        ("split      [k k ...][v v ...]", Arrangement::Split),
+    ] {
+        let layout = Layout::bcht(2, 4).with_arrangement(arrangement);
+        let spec = BenchSpec {
+            ..paper_spec(layout, MIB, AccessPattern::Uniform, scale)
+        };
+        let report = run_bench::<u32>(&spec).expect("layout ablation");
+        let best = report.best_design();
+        let _ = writeln!(
+            s,
+            "  {:<42} scalar {:>8} | best {:<28} {:>8} | {:>5.2}x",
+            label,
+            blps(report.scalar.lookups_per_sec_per_core),
+            best.map_or("-".into(), |(d, _)| d.to_string()),
+            blps(best.map_or(0.0, |(_, m)| m.lookups_per_sec_per_core)),
+            report.best_speedup()
+        );
+    }
+    s.push_str(
+        "\n(split loads half the bytes per probe but needs a separate value fetch on\n\
+         match; interleaved finds key and value in one cache line)\n",
+    );
+    s
+}
+
+/// `ablate-hashcalc`: scalar vs. vectorized `calc_N_hash_buckets` in the
+/// horizontal probe (§IV-C's second template optimization).
+pub fn hashcalc(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Ablation: calc_N_hash_buckets — scalar vs vectorized (SIMD) ==\n\
+         ((2,4) BCHT, (k,v) = (32,32), 1 MiB, uniform, AVX2 probe width)\n\n",
+    );
+    let spec = paper_spec(Layout::bcht(2, 4), MIB, AccessPattern::Uniform, scale);
+    let (table, traces) = prepare_table_and_traces::<u32, u32>(&spec).expect("table");
+    let trace = &traces[0];
+    let mut out = vec![0u32; trace.len()];
+
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    type V = simdht_simd::x86::v256::U32x8;
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    type V = simdht_simd::emu::Emu<u32, 8>;
+
+    let mut time = |f: &mut dyn FnMut(&mut Vec<u32>) -> usize| {
+        f(&mut out);
+        let t0 = Instant::now();
+        for _ in 0..spec.repetitions {
+            std::hint::black_box(f(&mut out));
+        }
+        (spec.repetitions as f64 * trace.len() as f64) / t0.elapsed().as_secs_f64()
+    };
+    let scalar_hash = time(&mut |out| horizontal_lookup::<V, u32>(&table, trace, out, 1));
+    let vec_hash = time(&mut |out| horizontal_lookup_vec_hash::<V>(&table, trace, out));
+    let _ = writeln!(s, "  {:<44} {:>8} Blookups/s", "scalar per-key hash computation", blps(scalar_hash));
+    let _ = writeln!(s, "  {:<44} {:>8} Blookups/s", "vectorized calc_N_hash_buckets (chunked)", blps(vec_hash));
+    let _ = writeln!(s, "  gain: {:.2}x", vec_hash / scalar_hash);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashcalc_ablation_tiny() {
+        let tiny = RunScale {
+            queries_per_thread: 2048,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 1,
+            kvs_items: 1,
+        };
+        let out = hashcalc(&tiny);
+        assert!(out.contains("calc_N_hash_buckets"));
+        assert!(out.contains("gain:"));
+    }
+
+    #[test]
+    fn gather_ablation_tiny() {
+        let tiny = RunScale {
+            queries_per_thread: 2048,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 1,
+            kvs_items: 1,
+        };
+        let out = gather(&tiny);
+        assert!(out.contains("paired wide"));
+        assert!(out.contains("narrow split"));
+    }
+}

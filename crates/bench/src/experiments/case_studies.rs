@@ -1,0 +1,320 @@
+//! Case Studies ① – ⑤ (paper Figs. 5 – 9): the stand-alone hash-table
+//! performance studies.
+
+use std::fmt::Write as _;
+
+use simdht_core::engine::{run_bench, run_bench_horizontal, EngineReport};
+use simdht_core::validate::{Approach, ValidationOptions};
+use simdht_simd::Width;
+use simdht_table::{Arrangement, Layout};
+use simdht_workload::AccessPattern;
+
+use super::{blps, paper_spec};
+use crate::machine::{cascade_lake, skylake};
+use crate::RunScale;
+
+const MIB: usize = 1 << 20;
+const KIB: usize = 1 << 10;
+
+fn report_row(s: &mut String, label: &str, report: &EngineReport) {
+    let _ = writeln!(
+        s,
+        "  {:<38} scalar {:>8} B/s/core | best {:<28} {:>8} B/s/core | {:>5.2}x",
+        label,
+        blps(report.scalar.lookups_per_sec_per_core),
+        report
+            .best_design()
+            .map_or("-".to_string(), |(d, _)| d.to_string()),
+        blps(
+            report
+                .best_design()
+                .map_or(report.scalar.lookups_per_sec_per_core, |(_, m)| m
+                    .lookups_per_sec_per_core)
+        ),
+        report.best_speedup()
+    );
+}
+
+/// Fig. 5 / Case Study ①(a): horizontal vs. vertical SIMD approaches over
+/// the full (N, m) sweep — 1 MiB table, (32,32), LF 90 %, hit rate 90 %,
+/// uniform and skewed access.
+pub fn fig5(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 5 / Case Study 1(a): horizontal vs. vertical on the (N,m) sweep ==\n\
+         (1 MiB HT, (k,v) = (32,32), LF 90 %, hit rate 90 %)\n",
+    );
+    let layouts = [
+        Layout::n_way(2),
+        Layout::n_way(3),
+        Layout::n_way(4),
+        Layout::bcht(2, 2),
+        Layout::bcht(2, 4),
+        Layout::bcht(2, 8),
+        Layout::bcht(3, 2),
+        Layout::bcht(3, 4),
+        Layout::bcht(3, 8),
+    ];
+    for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
+        let _ = writeln!(s, "\n-- {} access pattern --", pattern.label());
+        let mut best: Option<(String, f64)> = None;
+        for layout in layouts {
+            let spec = paper_spec(layout, MIB, pattern, scale);
+            let report = run_bench::<u32>(&spec).expect("fig5 run");
+            report_row(&mut s, &layout.to_string(), &report);
+            if let Some((d, m)) = report.best_design() {
+                let key = format!("{layout} with {d}");
+                if best.as_ref().is_none_or(|(_, b)| m.lookups_per_sec_per_core > *b) {
+                    best = Some((key, m.lookups_per_sec_per_core));
+                }
+            }
+        }
+        if let Some((k, v)) = best {
+            let _ = writeln!(s, "  >> best overall: {k} at {} Blookups/s/core", blps(v));
+        }
+    }
+    s
+}
+
+/// Fig. 6 / Case Study ①(b): table-size sweep 256 KiB → 64 MiB, uniform
+/// access — the SIMD benefit shrinks as the table falls out of cache.
+pub fn fig6(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 6 / Case Study 1(b): varying hash-table size (uniform) ==\n\
+         ((k,v) = (32,32), LF 90 %, hit rate 90 %)\n\n",
+    );
+    let sizes = [256 * KIB, MIB, 4 * MIB, 16 * MIB, 64 * MIB];
+    let _ = writeln!(
+        s,
+        "  {:<10} {:>28} {:>28}",
+        "size", "3-way vertical speedup", "(2,4) horizontal speedup"
+    );
+    for bytes in sizes {
+        let ver = run_bench::<u32>(&paper_spec(
+            Layout::n_way(3),
+            bytes,
+            AccessPattern::Uniform,
+            scale,
+        ))
+        .expect("fig6 vertical");
+        let hor = run_bench::<u32>(&paper_spec(
+            Layout::bcht(2, 4),
+            bytes,
+            AccessPattern::Uniform,
+            scale,
+        ))
+        .expect("fig6 horizontal");
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>27.2}x {:>27.2}x",
+            human_bytes(bytes),
+            ver.best_speedup(),
+            hor.best_speedup()
+        );
+    }
+    s.push_str("\n(paper: average benefit shrinks from ~3.5x at 256 KiB to ~1.5x at 64 MiB)\n");
+    s
+}
+
+/// Fig. 7(a) / Case Study ②: 64-bit and 16-bit hash keys — gather-width
+/// limits (Observation ②) vs. denser key blocks.
+pub fn fig7a(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 7(a) / Case Study 2: (k,v) = (64,64) and (16,32) ==\n\
+         (512 KiB HT, LF 90 %, hit rate 90 %)\n",
+    );
+    for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
+        let _ = writeln!(s, "\n-- {} access pattern --", pattern.label());
+        // (a) 64-bit keys/values over 3-way vertical.
+        let r64 = run_bench::<u64>(&paper_spec(Layout::n_way(3), 512 * KIB, pattern, scale))
+            .expect("fig7a u64");
+        report_row(&mut s, "(64,64) 3-way cuckoo HT", &r64);
+        // (b) 16-bit keys, 32-bit payloads over a (2,8) split BCHT.
+        let layout = Layout::bcht(2, 8).with_arrangement(Arrangement::Split);
+        let r16 = run_bench_horizontal::<u16, u32>(&paper_spec(layout, 512 * KIB, pattern, scale))
+            .expect("fig7a u16");
+        report_row(&mut s, "(16,32) (2,8) BCHT [split]", &r16);
+        // Baseline for contrast: (32,32) 3-way at the same size.
+        let r32 = run_bench::<u32>(&paper_spec(Layout::n_way(3), 512 * KIB, pattern, scale))
+            .expect("fig7a u32");
+        report_row(&mut s, "(32,32) 3-way cuckoo HT (reference)", &r32);
+    }
+    s.push_str(
+        "\n(paper: (16,32) horizontal gains ~4.16x with AVX-256; (64,64) vertical only ~1.37x\n\
+         because no gather lane wider than 64 bits exists — Observation 2)\n",
+    );
+    s
+}
+
+/// Fig. 7(b) / Case Study ③: AVX2 vs. AVX-512 on 3-way vertical and (2,8)
+/// horizontal, across table sizes and worker counts.
+pub fn fig7b(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 7(b) / Case Study 3: AVX2 (256 b) vs AVX-512 (512 b) ==\n\
+         ((k,v) = (32,32), LF 90 %, hit rate 90 %, uniform)\n\n",
+    );
+    let threads = [scale.threads, (scale.threads * 2).max(2)];
+    for bytes in [MIB, 16 * MIB] {
+        for &t in &threads {
+            let _ = writeln!(s, "-- {} table, {} worker(s) --", human_bytes(bytes), t);
+            for width in [Width::W256, Width::W512] {
+                let mut spec = paper_spec(Layout::n_way(3), bytes, AccessPattern::Uniform, scale);
+                spec.threads = t;
+                spec.validation = ValidationOptions::only_width(width);
+                let ver = run_bench::<u32>(&spec).expect("fig7b vertical");
+                report_row(&mut s, &format!("3-way vertical @ {width}"), &ver);
+            }
+            for width in [Width::W256, Width::W512] {
+                // (2,8) horizontal only validates at 512; at 256 the probe
+                // must fall back to the (2,4)-style one-bucket-at-a-time
+                // layout, so we contrast (2,4)@256 vs (2,8)@512 like the
+                // paper's "one bucket at a time vs both buckets" framing.
+                let layout = if width == Width::W256 {
+                    Layout::bcht(2, 4)
+                } else {
+                    Layout::bcht(2, 8)
+                };
+                let mut spec = paper_spec(layout, bytes, AccessPattern::Uniform, scale);
+                spec.threads = t;
+                spec.validation = ValidationOptions::only_width(width);
+                let hor = run_bench::<u32>(&spec).expect("fig7b horizontal");
+                report_row(&mut s, &format!("{layout} horizontal @ {width}"), &hor);
+            }
+        }
+    }
+    s.push_str(
+        "\n(paper Observation 3: doubling vector width buys <= ~25 % for cache-resident\n\
+         tables and nothing for larger ones)\n",
+    );
+    s
+}
+
+/// Fig. 8 / Case Study ④: machine-profile contrast (see
+/// [`crate::machine`] for the substitution notes).
+pub fn fig8(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 8 / Case Study 4: 'Skylake' vs 'Cascade Lake' machine profiles ==\n\
+         (substitution: same host ISA, ratio-preserving worker counts — see DESIGN.md)\n",
+    );
+    for profile in [skylake(), cascade_lake()] {
+        let _ = writeln!(
+            s,
+            "\n-- profile {} ({} workers here / {} in the paper) --",
+            profile.name, profile.threads, profile.paper_processes
+        );
+        for bytes in [MIB, 16 * MIB] {
+            for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
+                let mut hor_spec = paper_spec(Layout::bcht(2, 4), bytes, pattern, scale);
+                hor_spec.threads = profile.threads;
+                let hor = run_bench::<u32>(&hor_spec).expect("fig8 horizontal");
+                let mut ver_spec = paper_spec(Layout::n_way(3), bytes, pattern, scale);
+                ver_spec.threads = profile.threads;
+                let ver = run_bench::<u32>(&ver_spec).expect("fig8 vertical");
+                let _ = writeln!(
+                    s,
+                    "  {:<8} {:<8} | (2,4) hor {:>5.2}x | 3-way ver {:>5.2}x",
+                    human_bytes(bytes),
+                    pattern.label(),
+                    hor.best_speedup(),
+                    ver.best_speedup()
+                );
+            }
+        }
+    }
+    s.push_str(
+        "\n(paper: under skew, 3-way vertical keeps visible gains while (2,4) horizontal\n\
+         performs like its scalar equivalent)\n",
+    );
+    s
+}
+
+/// Fig. 9 / Case Study ⑤: vertical SIMD applied to BCHTs (selective
+/// gathers) vs. true vertical over N-way tables.
+pub fn fig9(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 9 / Case Study 5: vertical vectorization on BCHTs ==\n\
+         ((k,v) = (32,32), LF 90 %, hit rate 90 %, uniform)\n\n",
+    );
+    let hybrid_opts = ValidationOptions {
+        include_hybrid: true,
+        ..ValidationOptions::default()
+    };
+    let cases = [
+        ("2-way vs (2,2), 1 MiB", Layout::n_way(2), Layout::bcht(2, 2), MIB),
+        ("3-way vs (3,2), 16 MiB", Layout::n_way(3), Layout::bcht(3, 2), 16 * MIB),
+    ];
+    for (label, nway, bcht, bytes) in cases {
+        let _ = writeln!(s, "-- {label} --");
+        let ver = run_bench::<u32>(&paper_spec(nway, bytes, AccessPattern::Uniform, scale))
+            .expect("fig9 vertical");
+        report_row(&mut s, &format!("{nway} (true vertical)"), &ver);
+        let mut spec = paper_spec(bcht, bytes, AccessPattern::Uniform, scale);
+        spec.validation = hybrid_opts;
+        let hyb = run_bench::<u32>(&spec).expect("fig9 hybrid");
+        // Report the hybrid design specifically, not the horizontal winner.
+        let hybrid_best = hyb
+            .designs
+            .iter()
+            .filter(|(d, _)| d.approach == Approach::VerticalOnBcht)
+            .max_by(|a, b| {
+                a.1.lookups_per_sec_per_core
+                    .total_cmp(&b.1.lookups_per_sec_per_core)
+            });
+        if let Some((d, m)) = hybrid_best {
+            let _ = writeln!(
+                s,
+                "  {:<38} scalar {:>8} B/s/core | hybrid {:<26} {:>8} B/s/core | {:>5.2}x",
+                bcht.to_string(),
+                blps(hyb.scalar.lookups_per_sec_per_core),
+                d.to_string(),
+                blps(m.lookups_per_sec_per_core),
+                m.lookups_per_sec_per_core / hyb.scalar.lookups_per_sec_per_core
+            );
+            if let Some((_, vm)) = ver.best_design() {
+                let _ = writeln!(
+                    s,
+                    "  >> hybrid is {:.2}x slower than true vertical, but still {:.2}x over scalar",
+                    vm.lookups_per_sec_per_core / m.lookups_per_sec_per_core,
+                    m.lookups_per_sec_per_core / hyb.scalar.lookups_per_sec_per_core
+                );
+            }
+        }
+    }
+    s.push_str("\n(paper: ~1.45x drop per added slot-per-bucket, yet still above non-SIMD)\n");
+    s
+}
+
+fn human_bytes(b: usize) -> String {
+    if b >= MIB {
+        format!("{} MiB", b / MIB)
+    } else {
+        format!("{} KiB", b / KIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tiny end-to-end pass through the heaviest experiment helpers.
+    #[test]
+    fn fig6_quick_runs() {
+        let tiny = RunScale {
+            queries_per_thread: 2048,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 10,
+            kvs_items: 100,
+        };
+        // Restrict to the small sizes via fig9's structure instead of
+        // running the full sweep; fig9 covers both engine paths.
+        let out = fig9(&tiny);
+        assert!(out.contains("true vertical"));
+        assert!(out.contains("hybrid"));
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(256 * KIB), "256 KiB");
+        assert_eq!(human_bytes(16 * MIB), "16 MiB");
+    }
+}

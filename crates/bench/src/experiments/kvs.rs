@@ -1,0 +1,211 @@
+//! Fig. 11 — the key-value-store validation (paper §VI-B): MemC3 vs. the
+//! two SIMD-aware indexes under memslap Multi-Get load.
+
+use std::fmt::Write as _;
+
+use simdht_kvs::index::{HashIndex, Memc3Index, SimdIndex, SimdIndexKind, TagSimdIndex};
+use simdht_kvs::memslap::{run_memslap, MemslapConfig, MemslapReport};
+use simdht_kvs::store::{KvStore, StoreConfig};
+use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
+
+use crate::RunScale;
+
+fn build_index(which: &str, capacity: usize) -> Box<dyn HashIndex> {
+    match which {
+        "memc3" => Box::new(Memc3Index::with_capacity(capacity)),
+        "hor" => Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::HorizontalBcht,
+            capacity,
+        )),
+        "ver" => Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, capacity)),
+        "dpdk" => Box::new(TagSimdIndex::with_capacity(capacity)),
+        _ => unreachable!("unknown index {which}"),
+    }
+}
+
+fn run_one_mixed(
+    which: &str,
+    mget_size: usize,
+    set_fraction: f64,
+    scale: &RunScale,
+) -> MemslapReport {
+    let workload = KvWorkload::generate(&KvWorkloadSpec {
+        n_items: scale.kvs_items,
+        n_requests: scale.kvs_requests,
+        mget_size,
+        key_bytes: 20,
+        value_bytes: 32,
+        pattern: AccessPattern::skewed(),
+        seed: 0x4B56_0011,
+    });
+    let config = MemslapConfig {
+        clients: 2,
+        server_workers: 2,
+        set_fraction,
+        store: StoreConfig {
+            memory_budget: (scale.kvs_items * 256).max(8 << 20),
+            capacity_items: scale.kvs_items * 2,
+        },
+        ..MemslapConfig::default()
+    };
+    let store = KvStore::new(build_index(which, scale.kvs_items * 2), config.store);
+    run_memslap(store, &workload, &config)
+}
+
+fn run_one(which: &str, mget_size: usize, scale: &RunScale) -> MemslapReport {
+    let workload = KvWorkload::generate(&KvWorkloadSpec {
+        n_items: scale.kvs_items,
+        n_requests: scale.kvs_requests,
+        mget_size,
+        key_bytes: 20,
+        value_bytes: 32,
+        pattern: AccessPattern::skewed(),
+        seed: 0x4B56_0011,
+    });
+    let config = MemslapConfig {
+        clients: 2,
+        server_workers: 2,
+        store: StoreConfig {
+            memory_budget: (scale.kvs_items * 256).max(8 << 20),
+            capacity_items: scale.kvs_items * 2,
+        },
+        ..MemslapConfig::default()
+    };
+    let store = KvStore::new(build_index(which, scale.kvs_items * 2), config.store);
+    run_memslap(store, &workload, &config)
+}
+
+/// Fig. 11(a): end-to-end Multi-Get latency and server-side Get throughput
+/// for MemC3 vs. horizontal-AVX2 vs. vertical-AVX-512 backends.
+pub fn fig11a(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 11(a): KVS Multi-Get — e2e latency & server-side Get throughput ==\n\
+         (memslap: 20 B keys, 32 B values, skewed; simulated IB-EDR fabric)\n",
+    );
+    for mget in [16usize, 96] {
+        let _ = writeln!(s, "\n-- Multi-Get batch = {mget} keys --");
+        let mut baseline: Option<f64> = None;
+        let mut baseline_lat: Option<f64> = None;
+        for which in ["memc3", "hor", "ver"] {
+            let r = run_one(which, mget, scale);
+            let thr = r.server_keys_per_sec / 1e6;
+            let speedup = baseline.map_or(1.0, |b| r.server_keys_per_sec / b);
+            let lat_gain = baseline_lat.map_or(0.0, |b| (r.mean_latency_us / b - 1.0) * -100.0);
+            if which == "memc3" {
+                baseline = Some(r.server_keys_per_sec);
+                baseline_lat = Some(r.mean_latency_us);
+            }
+            let _ = writeln!(
+                s,
+                "  {:<38} {:>8.2} MGet-keys/s | mean {:>7.1} us  p99 {:>7.1} us | thr {:>5.2}x | lat {:>+5.1}%",
+                r.index_name, thr, r.mean_latency_us, r.p99_latency_us, speedup, lat_gain
+            );
+            assert_eq!(r.found, r.keys, "all preloaded keys must be found");
+        }
+    }
+    s.push_str(
+        "\n(paper: SIMD backends gain 1.45x-2.04x server-side Get throughput and\n\
+         10 %-34 % end-to-end Multi-Get latency over MemC3)\n",
+    );
+    s
+}
+
+/// Fig. 11(b): server-side per-phase time breakdown per Multi-Get request.
+pub fn fig11b(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== Fig. 11(b): server-side timewise breakdown per Multi-Get ==\n\
+         (pre-processing / hash-table lookup / post-processing, per request)\n",
+    );
+    for mget in [16usize, 96] {
+        let _ = writeln!(s, "\n-- Multi-Get batch = {mget} keys --");
+        for which in ["memc3", "hor", "ver"] {
+            let r = run_one(which, mget, scale);
+            let total = r.phases.total().max(1) as f64;
+            let per_req = r.server_ns_per_request() / 1000.0;
+            let _ = writeln!(
+                s,
+                "  {:<38} {:>7.2} us/req | pre {:>4.1}%  lookup {:>4.1}%  post {:>4.1}%",
+                r.index_name,
+                per_req,
+                r.phases.pre as f64 / total * 100.0,
+                r.phases.lookup as f64 / total * 100.0,
+                r.phases.post as f64 / total * 100.0,
+            );
+        }
+    }
+    s.push_str(
+        "\n(paper: SIMD-aware lookups cut the server data-access phase by up to 50 %,\n\
+         with horizontal ~ vertical because the scalar key-verify step dominates)\n",
+    );
+    s
+}
+
+/// `ext-mixed-kvs`: the future-work mixed workload at the KVS layer —
+/// Set requests interleaved with Multi-Gets at growing fractions.
+pub fn ext_mixed_kvs(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== ext-mixed-kvs: Sets mixed into the Multi-Get stream ==\n\
+         (paper future work at the KVS layer; batch 64, skewed, IB-EDR model)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "  {:<10} {:<38} {:>12} {:>12} {:>10}",
+        "set frac", "index", "MGet keys/s", "mean lat us", "sets"
+    );
+    for frac in [0.0, 0.05, 0.25] {
+        for which in ["memc3", "hor", "ver", "dpdk"] {
+            let r = run_one_mixed(which, 64, frac, scale);
+            let _ = writeln!(
+                s,
+                "  {:<10.2} {:<38} {:>10.2}M {:>12.1} {:>10}",
+                frac,
+                r.index_name,
+                r.server_keys_per_sec / 1e6,
+                r.mean_latency_us,
+                r.sets
+            );
+            assert_eq!(r.found, r.keys, "sets must not lose keys");
+        }
+    }
+    s.push_str(
+        "\n(Sets serialize on the store write lock and dirty the index; the SIMD\n\
+         read-path advantage persists while absolute throughput sags — the same\n\
+         erosion the table-level ext-mixed experiment quantifies)\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kvs_mixed_sets_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 40,
+            kvs_items: 300,
+        };
+        let r = run_one_mixed("hor", 16, 0.25, &tiny);
+        assert!(r.sets > 0, "expected some Set requests");
+        assert_eq!(r.requests + r.sets, 40);
+        assert_eq!(r.found, r.keys, "replacement Sets must not lose keys");
+    }
+
+    #[test]
+    fn kvs_experiment_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 20,
+            kvs_items: 300,
+        };
+        let r = run_one("ver", 16, &tiny);
+        assert_eq!(r.requests, 20);
+        assert_eq!(r.found, r.keys);
+        assert!(r.phases.total() > 0);
+    }
+}

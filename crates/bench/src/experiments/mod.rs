@@ -1,0 +1,103 @@
+//! One module per paper artifact; [`run`] dispatches by experiment id.
+
+mod ablations;
+mod case_studies;
+mod extensions;
+mod kvs;
+mod static_tables;
+
+use simdht_core::engine::BenchSpec;
+use simdht_table::Layout;
+use simdht_workload::AccessPattern;
+
+use crate::RunScale;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1",
+    "fig2",
+    "listing1",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig9",
+    "fig11a",
+    "fig11b",
+    "ablate-gather",
+    "ablate-layout",
+    "ablate-prefetch",
+    "ablate-hashcalc",
+    "ext-mixed",
+    "ext-mixed-kvs",
+    "ext-swiss",
+];
+
+/// Run one experiment by id; returns its rendered output, or `None` for an
+/// unknown id.
+pub fn run(id: &str, quick: bool) -> Option<String> {
+    let scale = RunScale::from_quick_flag(quick);
+    Some(match id {
+        "table1" => static_tables::table1(),
+        "fig2" => static_tables::fig2(quick),
+        "listing1" => static_tables::listing1(),
+        "fig5" => case_studies::fig5(&scale),
+        "fig6" => case_studies::fig6(&scale),
+        "fig7a" => case_studies::fig7a(&scale),
+        "fig7b" => case_studies::fig7b(&scale),
+        "fig8" => case_studies::fig8(&scale),
+        "fig9" => case_studies::fig9(&scale),
+        "fig11a" => kvs::fig11a(&scale),
+        "fig11b" => kvs::fig11b(&scale),
+        "ablate-gather" => ablations::gather(&scale),
+        "ablate-layout" => ablations::layout(&scale),
+        "ablate-prefetch" => extensions::prefetch(&scale),
+        "ablate-hashcalc" => ablations::hashcalc(&scale),
+        "ext-mixed" => extensions::mixed(&scale),
+        "ext-mixed-kvs" => kvs::ext_mixed_kvs(&scale),
+        "ext-swiss" => extensions::swiss(&scale),
+        _ => return None,
+    })
+}
+
+/// Build a [`BenchSpec`] at the paper defaults for the given scale.
+pub(crate) fn paper_spec(
+    layout: Layout,
+    table_bytes: usize,
+    pattern: AccessPattern,
+    scale: &RunScale,
+) -> BenchSpec {
+    BenchSpec {
+        queries_per_thread: scale.queries_per_thread,
+        repetitions: scale.repetitions,
+        threads: scale.threads,
+        ..BenchSpec::new(layout, table_bytes, pattern)
+    }
+}
+
+/// Pretty-print a throughput in Blookups/s with 4 decimals.
+pub(crate) fn blps(x: f64) -> String {
+    format!("{:.4}", x / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99", true).is_none());
+    }
+
+    #[test]
+    fn all_ids_are_known() {
+        // Only the cheap static ones are executed here; the costly ones are
+        // covered by the integration tests in quick mode.
+        for id in ["table1", "listing1"] {
+            assert!(ALL.contains(&id));
+            let out = run(id, true).unwrap();
+            assert!(!out.is_empty());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # simdht-bench
+//!
+//! Experiment runners that regenerate **every table and figure** of the
+//! SimdHT-Bench paper (IISWC 2019), plus the ablations DESIGN.md calls out.
+//! Each experiment is a library function returning its rendered output, so
+//! the test suite can exercise them; the `simdht-bench` binary exposes them
+//! as subcommands:
+//!
+//! ```text
+//! cargo run --release -p simdht-bench -- <experiment> [--quick]
+//! ```
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — surveyed state-of-the-art layouts |
+//! | `fig2` | Fig. 2 — max load factor vs. (N, m) |
+//! | `listing1` | Listing 1 — validation-engine output |
+//! | `fig5` | Fig. 5 — Case Study ①(a): horizontal vs. vertical |
+//! | `fig6` | Fig. 6 — Case Study ①(b): table-size sweep |
+//! | `fig7a` | Fig. 7(a) — Case Study ②: 16/64-bit keys |
+//! | `fig7b` | Fig. 7(b) — Case Study ③: AVX2 vs. AVX-512 |
+//! | `fig8` | Fig. 8 — Case Study ④: machine profiles |
+//! | `fig9` | Fig. 9 — Case Study ⑤: vertical over BCHT |
+//! | `fig11a` | Fig. 11(a) — KVS throughput + Multi-Get latency |
+//! | `fig11b` | Fig. 11(b) — server-side phase breakdown |
+//! | `ablate-gather` | Observation ② — paired vs. narrow gathers |
+//! | `ablate-layout` | interleaved vs. split bucket arrangement |
+
+#![warn(missing_docs)]
+
+pub mod custom;
+pub mod experiments;
+pub mod machine;
+
+/// Global run-scale knobs shared by all experiments.
+#[derive(Copy, Clone, Debug)]
+pub struct RunScale {
+    /// Lookups per thread per timed repetition.
+    pub queries_per_thread: usize,
+    /// Timed repetitions.
+    pub repetitions: u32,
+    /// Worker threads for the "full subscription" studies.
+    pub threads: usize,
+    /// KVS Multi-Get requests per configuration.
+    pub kvs_requests: usize,
+    /// KVS distinct items.
+    pub kvs_items: usize,
+}
+
+impl RunScale {
+    /// Full-size runs (minutes of wall time).
+    pub fn full() -> Self {
+        RunScale {
+            queries_per_thread: 1 << 18,
+            repetitions: 5,
+            threads: 1,
+            kvs_requests: 6000,
+            kvs_items: 1_000_000,
+        }
+    }
+
+    /// Quick runs for smoke testing (seconds of wall time).
+    pub fn quick() -> Self {
+        RunScale {
+            queries_per_thread: 1 << 14,
+            repetitions: 2,
+            threads: 1,
+            kvs_requests: 300,
+            kvs_items: 4000,
+        }
+    }
+
+    /// Pick by flag.
+    pub fn from_quick_flag(quick: bool) -> Self {
+        if quick {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Runtime dispatch from a [`DesignChoice`]
+//! to a monomorphized kernel.
+//!
+//! [`DesignChoice`]: crate::validate::DesignChoice
+//!
+//! Kernels are generic over [`simdht_simd::Vector`]; this module selects the
+//! concrete vector type for a *(backend × width × lane)* triple once per
+//! run, so the hot loops contain no dynamic dispatch. The native arms exist
+//! only when the corresponding intrinsic backend was compiled in (the
+//! workspace builds with `-C target-cpu=native`); requesting a missing one
+//! returns [`DispatchError::NativeUnavailable`] rather than panicking, which
+//! is what lets the performance engine degrade gracefully on older CPUs.
+
+use simdht_simd::{emu::Emu, Backend, Lane, Width};
+use simdht_table::CuckooTable;
+
+use crate::templates::{horizontal_lookup, hybrid_lookup, scalar_lookup, vertical_lookup};
+use crate::validate::{Approach, DesignChoice, GatherMode};
+
+/// Error selecting a kernel instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchError {
+    /// This binary has no native backend for the requested width (run the
+    /// emulated backend instead, or rebuild on a capable CPU).
+    NativeUnavailable(Width),
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::NativeUnavailable(w) => {
+                write!(f, "no native backend compiled for {w} vectors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// Lane types that know how to dispatch each kernel family.
+///
+/// Implemented for `u16`, `u32` and `u64` — the paper's three hash-key
+/// widths. This trait is sealed by construction (it requires intimate
+/// knowledge of the compiled backends).
+pub trait KernelLane: Lane {
+    /// Dispatch [`vertical_lookup`] (requires a `CuckooTable<Self, Self>`).
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NativeUnavailable`] when `backend` is native and the
+    /// width's intrinsic backend is not compiled in.
+    fn dispatch_vertical(
+        backend: Backend,
+        width: Width,
+        table: &CuckooTable<Self, Self>,
+        queries: &[Self],
+        out: &mut [Self],
+        mode: GatherMode,
+    ) -> Result<usize, DispatchError>;
+
+    /// Dispatch [`hybrid_lookup`] (vertical-over-BCHT).
+    ///
+    /// # Errors
+    ///
+    /// As for [`KernelLane::dispatch_vertical`].
+    fn dispatch_hybrid(
+        backend: Backend,
+        width: Width,
+        table: &CuckooTable<Self, Self>,
+        queries: &[Self],
+        out: &mut [Self],
+    ) -> Result<usize, DispatchError>;
+
+    /// Dispatch [`horizontal_lookup`] with payload lane type `W`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KernelLane::dispatch_vertical`].
+    fn dispatch_horizontal<W: Lane>(
+        backend: Backend,
+        width: Width,
+        table: &CuckooTable<Self, W>,
+        queries: &[Self],
+        out: &mut [W],
+        buckets_per_vec: u32,
+    ) -> Result<usize, DispatchError>;
+}
+
+macro_rules! impl_kernel_lane {
+    (
+        $lane:ty,
+        emu: ($e128:expr, $e256:expr, $e512:expr),
+        native128: $n128:ty, native256: $n256:ty, native512: $n512:ty
+    ) => {
+        impl KernelLane for $lane {
+            fn dispatch_vertical(
+                backend: Backend,
+                width: Width,
+                table: &CuckooTable<Self, Self>,
+                queries: &[Self],
+                out: &mut [Self],
+                mode: GatherMode,
+            ) -> Result<usize, DispatchError> {
+                match (backend, width) {
+                    (Backend::Emulated, Width::W128) => {
+                        Ok(vertical_lookup::<Emu<$lane, $e128>>(table, queries, out, mode))
+                    }
+                    (Backend::Emulated, Width::W256) => {
+                        Ok(vertical_lookup::<Emu<$lane, $e256>>(table, queries, out, mode))
+                    }
+                    (Backend::Emulated, Width::W512) => {
+                        Ok(vertical_lookup::<Emu<$lane, $e512>>(table, queries, out, mode))
+                    }
+                    (Backend::Native, Width::W128) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(vertical_lookup::<$n128>(table, queries, out, mode))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W256) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(vertical_lookup::<$n256>(table, queries, out, mode))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W512) => {
+                        #[cfg(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        ))]
+                        {
+                            Ok(vertical_lookup::<$n512>(table, queries, out, mode))
+                        }
+                        #[cfg(not(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        )))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                }
+            }
+
+            fn dispatch_hybrid(
+                backend: Backend,
+                width: Width,
+                table: &CuckooTable<Self, Self>,
+                queries: &[Self],
+                out: &mut [Self],
+            ) -> Result<usize, DispatchError> {
+                match (backend, width) {
+                    (Backend::Emulated, Width::W128) => {
+                        Ok(hybrid_lookup::<Emu<$lane, $e128>>(table, queries, out))
+                    }
+                    (Backend::Emulated, Width::W256) => {
+                        Ok(hybrid_lookup::<Emu<$lane, $e256>>(table, queries, out))
+                    }
+                    (Backend::Emulated, Width::W512) => {
+                        Ok(hybrid_lookup::<Emu<$lane, $e512>>(table, queries, out))
+                    }
+                    (Backend::Native, Width::W128) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(hybrid_lookup::<$n128>(table, queries, out))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W256) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(hybrid_lookup::<$n256>(table, queries, out))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W512) => {
+                        #[cfg(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        ))]
+                        {
+                            Ok(hybrid_lookup::<$n512>(table, queries, out))
+                        }
+                        #[cfg(not(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        )))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                }
+            }
+
+            fn dispatch_horizontal<W: Lane>(
+                backend: Backend,
+                width: Width,
+                table: &CuckooTable<Self, W>,
+                queries: &[Self],
+                out: &mut [W],
+                buckets_per_vec: u32,
+            ) -> Result<usize, DispatchError> {
+                match (backend, width) {
+                    (Backend::Emulated, Width::W128) => Ok(horizontal_lookup::<Emu<$lane, $e128>, W>(
+                        table, queries, out, buckets_per_vec,
+                    )),
+                    (Backend::Emulated, Width::W256) => Ok(horizontal_lookup::<Emu<$lane, $e256>, W>(
+                        table, queries, out, buckets_per_vec,
+                    )),
+                    (Backend::Emulated, Width::W512) => Ok(horizontal_lookup::<Emu<$lane, $e512>, W>(
+                        table, queries, out, buckets_per_vec,
+                    )),
+                    (Backend::Native, Width::W128) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(horizontal_lookup::<$n128, W>(table, queries, out, buckets_per_vec))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W256) => {
+                        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+                        {
+                            Ok(horizontal_lookup::<$n256, W>(table, queries, out, buckets_per_vec))
+                        }
+                        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                    (Backend::Native, Width::W512) => {
+                        #[cfg(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        ))]
+                        {
+                            Ok(horizontal_lookup::<$n512, W>(table, queries, out, buckets_per_vec))
+                        }
+                        #[cfg(not(all(
+                            target_arch = "x86_64",
+                            target_feature = "avx512f",
+                            target_feature = "avx512bw",
+                            target_feature = "avx512dq",
+                            target_feature = "avx512vl"
+                        )))]
+                        {
+                            Err(DispatchError::NativeUnavailable(width))
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+use simdht_simd::x86::{v128, v256};
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512bw",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+use simdht_simd::x86::v512;
+
+impl_kernel_lane!(u16,
+    emu: (8, 16, 32),
+    native128: v128::U16x8, native256: v256::U16x16, native512: v512::U16x32
+);
+impl_kernel_lane!(u32,
+    emu: (4, 8, 16),
+    native128: v128::U32x4, native256: v256::U32x8, native512: v512::U32x16
+);
+impl_kernel_lane!(u64,
+    emu: (2, 4, 8),
+    native128: v128::U64x2, native256: v256::U64x4, native512: v512::U64x8
+);
+
+/// Run one validated design choice over a same-lane table (`K == V`),
+/// falling back to the scalar probe for tails as each kernel defines.
+///
+/// This is the entry point the performance engine uses for vertical and
+/// hybrid designs and for horizontal designs over equal-width tables.
+///
+/// # Errors
+///
+/// [`DispatchError::NativeUnavailable`] if `backend` is native and the
+/// width's backend is not compiled in.
+pub fn run_design<K: KernelLane>(
+    backend: Backend,
+    choice: &DesignChoice,
+    table: &CuckooTable<K, K>,
+    queries: &[K],
+    out: &mut [K],
+) -> Result<usize, DispatchError> {
+    match choice.approach {
+        Approach::Horizontal => K::dispatch_horizontal::<K>(
+            backend,
+            choice.width,
+            table,
+            queries,
+            out,
+            choice.parallelism,
+        ),
+        Approach::Vertical => {
+            K::dispatch_vertical(backend, choice.width, table, queries, out, choice.gather)
+        }
+        Approach::VerticalOnBcht => {
+            K::dispatch_hybrid(backend, choice.width, table, queries, out)
+        }
+    }
+}
+
+/// The scalar baseline under the same calling convention as [`run_design`].
+pub fn run_scalar<K: Lane, W: Lane>(
+    table: &CuckooTable<K, W>,
+    queries: &[K],
+    out: &mut [W],
+) -> usize {
+    scalar_lookup(table, queries, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{enumerate_designs, ValidationOptions};
+    use simdht_table::Layout;
+
+    fn table(layout: Layout, n: u32) -> CuckooTable<u32, u32> {
+        let mut t = CuckooTable::new(layout, 12).unwrap();
+        for i in 1..=n {
+            t.insert(i * 41 + 11, i + 3).unwrap();
+        }
+        t
+    }
+
+    /// Every enumerated design, on every backend, must agree with scalar.
+    #[test]
+    fn all_designs_agree_with_scalar() {
+        let opts = ValidationOptions {
+            include_hybrid: true,
+            allow_128_bit_vertical: true,
+            ..ValidationOptions::default()
+        };
+        let caps = simdht_simd::CpuFeatures::detect();
+        let layouts = [
+            Layout::n_way(2),
+            Layout::n_way(3),
+            Layout::n_way(4),
+            Layout::bcht(2, 2),
+            Layout::bcht(2, 4),
+            Layout::bcht(2, 8),
+            Layout::bcht(3, 2),
+            Layout::bcht(3, 4),
+        ];
+        for layout in layouts {
+            let t = table(layout, 1500);
+            let queries: Vec<u32> = (1..=2000u32).map(|i| i * 41 + 11).collect();
+            let mut scalar = vec![0u32; queries.len()];
+            let base_hits = run_scalar(&t, &queries, &mut scalar);
+            assert_eq!(base_hits, 1500);
+            for choice in enumerate_designs(layout, 32, 32, &opts) {
+                for backend in [Backend::Emulated, Backend::Native] {
+                    if backend == Backend::Native && !choice.supported(&caps) {
+                        continue;
+                    }
+                    let mut out = vec![0u32; queries.len()];
+                    let hits = run_design(backend, &choice, &t, &queries, &mut out)
+                        .unwrap_or_else(|e| panic!("{layout} {choice} {backend}: {e}"));
+                    assert_eq!(hits, base_hits, "{layout} {choice} {backend}");
+                    assert_eq!(out, scalar, "{layout} {choice} {backend}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u64_designs_agree_with_scalar() {
+        let mut t: CuckooTable<u64, u64> = CuckooTable::new(Layout::n_way(3), 11).unwrap();
+        for i in 1..=900u64 {
+            t.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i).unwrap();
+        }
+        let queries: Vec<u64> = (1..=1200u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut scalar = vec![0u64; queries.len()];
+        let base_hits = run_scalar(&t, &queries, &mut scalar);
+        let caps = simdht_simd::CpuFeatures::detect();
+        for choice in enumerate_designs(Layout::n_way(3), 64, 64, &ValidationOptions::default()) {
+            for backend in [Backend::Emulated, Backend::Native] {
+                if backend == Backend::Native && !choice.supported(&caps) {
+                    continue;
+                }
+                let mut out = vec![0u64; queries.len()];
+                let hits = run_design(backend, &choice, &t, &queries, &mut out).unwrap();
+                assert_eq!(hits, base_hits, "{choice} {backend}");
+                assert_eq!(out, scalar, "{choice} {backend}");
+            }
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The **performance engine** (paper §IV-A, module 4): loads and queries a
+//! cuckoo table for every validated SIMD design choice and
+//! compare-and-contrasts each with its non-SIMD (scalar) equivalent.
+//!
+//! Measurements run in *full-subscription* mode (paper §V-A): `threads`
+//! workers share one read-only table, each replaying its own query trace;
+//! the reported metric is average lookup throughput per core, exactly as the
+//! paper reports it. A correctness pre-pass checks every design's outputs
+//! against the scalar probe before any timing happens — this is the
+//! validation engine's second job.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use simdht_simd::{Backend, Lane};
+use simdht_table::{CuckooTable, InsertError, Layout};
+use simdht_workload::{AccessPattern, KeySet, TraceSpec};
+
+use crate::dispatch::{run_design, run_scalar, DispatchError, KernelLane};
+use crate::validate::{enumerate_designs, Approach, DesignChoice, ValidationOptions};
+
+/// Full specification of one performance-engine run — the benchmark's
+/// *configurable input parameters* (paper §IV-A, module 1).
+#[derive(Clone, Debug)]
+pub struct BenchSpec {
+    /// Hash-table layout.
+    pub layout: Layout,
+    /// Table size budget in bytes (the paper's "1 MB HT" etc.).
+    pub table_bytes: usize,
+    /// Target load factor (paper default 0.9).
+    pub load_factor: f64,
+    /// Query hit rate / selectivity (paper default 0.9).
+    pub hit_rate: f64,
+    /// Access pattern (uniform or mutilate-like skew).
+    pub pattern: AccessPattern,
+    /// Lookups per thread per repetition.
+    pub queries_per_thread: usize,
+    /// Worker thread count (full-subscription = one per core).
+    pub threads: usize,
+    /// Timed repetitions over each thread's trace.
+    pub repetitions: u32,
+    /// Vector backend to measure.
+    pub backend: Backend,
+    /// Which designs to enumerate.
+    pub validation: ValidationOptions,
+    /// RNG seed for keys and traces.
+    pub seed: u64,
+}
+
+impl BenchSpec {
+    /// A spec with the paper's defaults: LF 90 %, hit rate 90 %, native
+    /// backend, single repetition sized for quick runs.
+    pub fn new(layout: Layout, table_bytes: usize, pattern: AccessPattern) -> Self {
+        BenchSpec {
+            layout,
+            table_bytes,
+            load_factor: 0.9,
+            hit_rate: 0.9,
+            pattern,
+            queries_per_thread: 1 << 17,
+            threads: 1,
+            repetitions: 3,
+            backend: Backend::Native,
+            validation: ValidationOptions::default(),
+            seed: 0x0051_6d48,
+        }
+    }
+}
+
+/// One timed series (scalar baseline or one design choice).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Average lookup throughput per core, in lookups/second.
+    pub lookups_per_sec_per_core: f64,
+    /// Total lookups across threads and repetitions.
+    pub total_lookups: u64,
+    /// Hits observed in one pass of thread 0's trace.
+    pub hits: u64,
+    /// Wall-clock time of the slowest thread.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Throughput in billion lookups per second per core (the paper's
+    /// reporting unit).
+    pub fn blps(&self) -> f64 {
+        self.lookups_per_sec_per_core / 1e9
+    }
+}
+
+/// Result of one performance-engine run.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The spec that produced this report.
+    pub layout: Layout,
+    /// Load factor actually achieved when populating.
+    pub achieved_load_factor: f64,
+    /// Items stored.
+    pub items: usize,
+    /// Scalar (non-SIMD) baseline.
+    pub scalar: Measurement,
+    /// Each validated design with its measurement.
+    pub designs: Vec<(DesignChoice, Measurement)>,
+}
+
+impl EngineReport {
+    /// The best (highest-throughput) SIMD design, if any were valid.
+    pub fn best_design(&self) -> Option<&(DesignChoice, Measurement)> {
+        self.designs.iter().max_by(|a, b| {
+            a.1.lookups_per_sec_per_core
+                .total_cmp(&b.1.lookups_per_sec_per_core)
+        })
+    }
+
+    /// Speedup of the best design over scalar (1.0 when no design exists).
+    pub fn best_speedup(&self) -> f64 {
+        self.best_design()
+            .map(|(_, m)| m.lookups_per_sec_per_core / self.scalar.lookups_per_sec_per_core)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Errors from the performance engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Table construction failed.
+    Table(simdht_table::TableError),
+    /// Kernel dispatch failed (missing native backend).
+    Dispatch(DispatchError),
+    /// A design produced output that disagrees with the scalar probe.
+    Mismatch {
+        /// The offending design.
+        design: DesignChoice,
+        /// Index of the first disagreeing query.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Table(e) => write!(f, "table construction: {e}"),
+            EngineError::Dispatch(e) => write!(f, "dispatch: {e}"),
+            EngineError::Mismatch { design, index } => {
+                write!(f, "design {design} disagrees with scalar at query {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<simdht_table::TableError> for EngineError {
+    fn from(e: simdht_table::TableError) -> Self {
+        EngineError::Table(e)
+    }
+}
+
+impl From<DispatchError> for EngineError {
+    fn from(e: DispatchError) -> Self {
+        EngineError::Dispatch(e)
+    }
+}
+
+/// Populate a table to the spec's target load factor and build per-thread
+/// query traces. Shared by the engine entry points and the bench harness.
+pub fn prepare_table_and_traces<K: Lane, W: Lane>(
+    spec: &BenchSpec,
+) -> Result<(CuckooTable<K, W>, Vec<Vec<K>>), EngineError> {
+    let mut table: CuckooTable<K, W> = CuckooTable::with_bytes(spec.layout, spec.table_bytes)?;
+    let mut target = ((table.capacity() as f64) * spec.load_factor) as usize;
+    let mut n_absent = (target / 4).clamp(1024, 1 << 20);
+    // Narrow key lanes (u16) cannot populate a large table with distinct
+    // keys: clamp to the key space, trading load factor for validity (the
+    // Case Study 2 configuration runs into exactly this wall).
+    let space = if K::BITS >= 64 {
+        usize::MAX
+    } else {
+        (1usize << K::BITS) - 1
+    };
+    if target + n_absent > space {
+        target = space * 4 / 5;
+        n_absent = space - target;
+    }
+    let keys: KeySet<K> = KeySet::generate(target, n_absent, spec.seed);
+    for (i, &k) in keys.present().iter().enumerate() {
+        // Payloads are rank + 1, wrapped to stay non-zero in narrow lanes.
+        let v = W::from_u64((i as u64 % ((1u64 << (W::BITS - 1)) - 1)) + 1);
+        match table.insert(k, v) {
+            Ok(()) => {}
+            Err(InsertError::TableFull) => break,
+            Err(e) => panic!("unexpected insert failure: {e}"),
+        }
+    }
+    let usable = table.len();
+    // Rebuild the key set view: only the first `usable` keys are present.
+    let present = &keys.present()[..usable];
+    let trimmed = KeySetView {
+        present,
+        absent: keys.absent(),
+    };
+    let traces = (0..spec.threads)
+        .map(|t| {
+            let ts = TraceSpec {
+                len: spec.queries_per_thread,
+                hit_rate: spec.hit_rate,
+                pattern: spec.pattern,
+                seed: spec.seed ^ (0x9E37_79B9u64.wrapping_mul(t as u64 + 1)),
+            };
+            trimmed.generate(&ts)
+        })
+        .collect();
+    Ok((table, traces))
+}
+
+/// Internal: a borrowed view over a trimmed key set, able to generate
+/// traces without copying the key vectors.
+struct KeySetView<'a, K> {
+    present: &'a [K],
+    absent: &'a [K],
+}
+
+impl<K: Lane> KeySetView<'_, K> {
+    fn generate(&self, spec: &TraceSpec) -> Vec<K> {
+        // Delegate to QueryTrace via a temporary KeySet-like path: re-implement
+        // the mixing loop here to avoid cloning large slices.
+        use rand::{Rng, SeedableRng};
+        let sampler = simdht_workload::RankSampler::new(spec.pattern, self.present.len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        (0..spec.len)
+            .map(|_| {
+                if rng.gen::<f64>() < spec.hit_rate {
+                    self.present[sampler.sample(&mut rng)]
+                } else {
+                    self.absent[rng.gen_range(0..self.absent.len())]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Run the performance engine over a same-lane table (`K == V`): scalar
+/// baseline plus every validated design (horizontal, vertical, hybrid).
+///
+/// # Errors
+///
+/// [`EngineError::Mismatch`] if any design's outputs disagree with the
+/// scalar probe (should never happen — it would indicate a kernel bug);
+/// [`EngineError::Dispatch`] on missing native backends;
+/// [`EngineError::Table`] on construction failure.
+pub fn run_bench<K: KernelLane>(spec: &BenchSpec) -> Result<EngineReport, EngineError> {
+    let (table, traces) = prepare_table_and_traces::<K, K>(spec)?;
+    let designs = enumerate_designs(spec.layout, K::BITS, K::BITS, &spec.validation);
+
+    // Correctness pre-pass on thread 0's trace.
+    let probe = &traces[0];
+    let mut expect = vec![K::EMPTY; probe.len()];
+    let scalar_hits = run_scalar(&table, probe, &mut expect);
+    for design in &designs {
+        let mut got = vec![K::EMPTY; probe.len()];
+        run_design(spec.backend, design, &table, probe, &mut got)?;
+        if let Some(index) = first_mismatch(&expect, &got) {
+            return Err(EngineError::Mismatch {
+                design: *design,
+                index,
+            });
+        }
+    }
+
+    // Timed runs.
+    let scalar = time_parallel(spec, &traces, |trace, out| {
+        run_scalar(&table, trace, out)
+    });
+    let mut measured = Vec::with_capacity(designs.len());
+    for design in designs {
+        let m = time_parallel(spec, &traces, |trace, out| {
+            run_design(spec.backend, &design, &table, trace, out).expect("pre-validated design")
+        });
+        measured.push((design, m));
+    }
+
+    Ok(EngineReport {
+        layout: spec.layout,
+        achieved_load_factor: table.load_factor(),
+        items: table.len(),
+        scalar: Measurement {
+            hits: scalar_hits as u64,
+            ..scalar
+        },
+        designs: measured,
+    })
+}
+
+/// Run the performance engine over a mixed-width table (`K != V` lanes):
+/// scalar baseline plus horizontal designs only (vertical requires equal
+/// widths — paper Case Study ② part (b)).
+///
+/// # Errors
+///
+/// As for [`run_bench`].
+pub fn run_bench_horizontal<K: KernelLane, W: Lane>(
+    spec: &BenchSpec,
+) -> Result<EngineReport, EngineError> {
+    let (table, traces) = prepare_table_and_traces::<K, W>(spec)?;
+    let designs: Vec<DesignChoice> =
+        enumerate_designs(spec.layout, K::BITS, W::BITS, &spec.validation)
+            .into_iter()
+            .filter(|d| d.approach == Approach::Horizontal)
+            .collect();
+
+    let probe = &traces[0];
+    let mut expect = vec![W::EMPTY; probe.len()];
+    let scalar_hits = run_scalar(&table, probe, &mut expect);
+    for design in &designs {
+        let mut got = vec![W::EMPTY; probe.len()];
+        K::dispatch_horizontal(
+            spec.backend,
+            design.width,
+            &table,
+            probe,
+            &mut got,
+            design.parallelism,
+        )?;
+        if let Some(index) = first_mismatch(&expect, &got) {
+            return Err(EngineError::Mismatch {
+                design: *design,
+                index,
+            });
+        }
+    }
+
+    let scalar = time_parallel(spec, &traces, |trace, out: &mut Vec<W>| {
+        run_scalar(&table, trace, out)
+    });
+    let mut measured = Vec::with_capacity(designs.len());
+    for design in designs {
+        let m = time_parallel(spec, &traces, |trace, out: &mut Vec<W>| {
+            K::dispatch_horizontal(
+                spec.backend,
+                design.width,
+                &table,
+                trace,
+                out,
+                design.parallelism,
+            )
+            .expect("pre-validated design")
+        });
+        measured.push((design, m));
+    }
+
+    Ok(EngineReport {
+        layout: spec.layout,
+        achieved_load_factor: table.load_factor(),
+        items: table.len(),
+        scalar: Measurement {
+            hits: scalar_hits as u64,
+            ..scalar
+        },
+        designs: measured,
+    })
+}
+
+fn first_mismatch<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    a.iter().zip(b.iter()).position(|(x, y)| x != y)
+}
+
+/// Time `f` across `spec.threads` workers, each replaying its own trace
+/// `spec.repetitions` times; returns the per-core throughput measurement.
+fn time_parallel<K: Lane, W: Lane>(
+    spec: &BenchSpec,
+    traces: &[Vec<K>],
+    f: impl Fn(&[K], &mut Vec<W>) -> usize + Sync,
+) -> Measurement {
+    let barrier = Barrier::new(spec.threads);
+    let reps = spec.repetitions.max(1);
+    let per_thread: Vec<(Duration, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                let barrier = &barrier;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = vec![W::EMPTY; trace.len()];
+                    // Warm up caches and page tables once, untimed.
+                    let hits = f(trace, &mut out) as u64;
+                    barrier.wait();
+                    let start = Instant::now();
+                    let mut total = 0u64;
+                    for _ in 0..reps {
+                        let h = f(trace, &mut out);
+                        total += trace.len() as u64;
+                        std::hint::black_box(h);
+                        std::hint::black_box(&mut out);
+                    }
+                    (start.elapsed(), total, hits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    let total_lookups: u64 = per_thread.iter().map(|(_, n, _)| n).sum();
+    let hits = per_thread[0].2;
+    let slowest = per_thread.iter().map(|(d, _, _)| *d).max().unwrap();
+    // Per-core throughput: mean of each thread's own rate (paper metric).
+    let per_core = per_thread
+        .iter()
+        .map(|(d, n, _)| *n as f64 / d.as_secs_f64().max(1e-9))
+        .sum::<f64>()
+        / per_thread.len() as f64;
+    Measurement {
+        lookups_per_sec_per_core: per_core,
+        total_lookups,
+        hits,
+        elapsed: slowest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(layout: Layout) -> BenchSpec {
+        BenchSpec {
+            queries_per_thread: 4096,
+            repetitions: 1,
+            table_bytes: 64 * 1024,
+            ..BenchSpec::new(layout, 64 * 1024, AccessPattern::Uniform)
+        }
+    }
+
+    #[test]
+    fn engine_runs_nway_vertical() {
+        let report = run_bench::<u32>(&quick_spec(Layout::n_way(3))).unwrap();
+        assert!(report.achieved_load_factor > 0.85);
+        assert!(!report.designs.is_empty());
+        assert!(report.scalar.lookups_per_sec_per_core > 0.0);
+        for (d, m) in &report.designs {
+            assert!(m.lookups_per_sec_per_core > 0.0, "{d}");
+        }
+        // ~90 % of 4096 queries hit.
+        let rate = report.scalar.hits as f64 / 4096.0;
+        assert!((0.85..0.95).contains(&rate), "hit rate {rate}");
+    }
+
+    #[test]
+    fn engine_runs_bcht_horizontal() {
+        let report = run_bench::<u32>(&quick_spec(Layout::bcht(2, 4))).unwrap();
+        assert!(report
+            .designs
+            .iter()
+            .all(|(d, _)| d.approach == Approach::Horizontal));
+        assert!(report.best_speedup() > 0.0);
+    }
+
+    #[test]
+    fn engine_runs_mixed_width_horizontal() {
+        use simdht_table::Arrangement;
+        let layout = Layout::bcht(2, 8).with_arrangement(Arrangement::Split);
+        let report = run_bench_horizontal::<u16, u32>(&quick_spec(layout)).unwrap();
+        assert!(!report.designs.is_empty());
+    }
+
+    #[test]
+    fn engine_multi_threaded() {
+        let spec = BenchSpec {
+            threads: 2,
+            ..quick_spec(Layout::n_way(2))
+        };
+        let report = run_bench::<u32>(&spec).unwrap();
+        assert!(report.scalar.total_lookups >= 2 * 4096);
+    }
+
+    #[test]
+    fn emulated_backend_runs_everywhere() {
+        let spec = BenchSpec {
+            backend: Backend::Emulated,
+            ..quick_spec(Layout::n_way(2))
+        };
+        let report = run_bench::<u32>(&spec).unwrap();
+        assert!(!report.designs.is_empty());
+    }
+
+    #[test]
+    fn skewed_pattern_runs() {
+        let spec = BenchSpec {
+            pattern: AccessPattern::skewed(),
+            ..quick_spec(Layout::bcht(2, 4))
+        };
+        let report = run_bench::<u32>(&spec).unwrap();
+        assert!(report.scalar.hits > 0);
+    }
+
+    #[test]
+    fn u16_large_table_clamps_to_key_space() {
+        // A 512 KiB (2,8) split table has 64 Ki slots — more than the u16
+        // key space can fill distinctly. The engine must clamp, not panic
+        // (regression: Case Study 2 configuration).
+        use simdht_table::Arrangement;
+        let layout = Layout::bcht(2, 8).with_arrangement(Arrangement::Split);
+        let spec = BenchSpec {
+            queries_per_thread: 2048,
+            repetitions: 1,
+            ..BenchSpec::new(layout, 512 * 1024, AccessPattern::Uniform)
+        };
+        let report = run_bench_horizontal::<u16, u32>(&spec).unwrap();
+        assert!(report.items <= u16::MAX as usize);
+        assert!(report.achieved_load_factor > 0.5);
+    }
+
+    #[test]
+    fn hybrid_designs_when_requested() {
+        let spec = BenchSpec {
+            validation: ValidationOptions {
+                include_hybrid: true,
+                ..ValidationOptions::default()
+            },
+            ..quick_spec(Layout::bcht(2, 2))
+        };
+        let report = run_bench::<u32>(&spec).unwrap();
+        assert!(report
+            .designs
+            .iter()
+            .any(|(d, _)| d.approach == Approach::VerticalOnBcht));
+    }
+}

@@ -1,0 +1,62 @@
+//! # simdht-core
+//!
+//! The core of **SimdHT-Bench** — a reproduction of *"SimdHT-Bench:
+//! Characterizing SIMD-Aware Hash Table Designs on Emerging CPU
+//! Architectures"* (IISWC 2019). This crate is the paper's primary
+//! contribution (§IV): a micro-benchmark suite for studying SIMD-aware
+//! cuckoo hash-table lookup designs.
+//!
+//! The suite's four modules map to this crate as follows:
+//!
+//! | Paper module (Fig. 4) | Here |
+//! |---|---|
+//! | Configurable input parameters | [`engine::BenchSpec`] |
+//! | Workload/table generator | [`engine::prepare_table_and_traces`] (over `simdht-table` + `simdht-workload`) |
+//! | SIMD algorithm validation engine | [`validate`] (`HorV-Valid`, `VerV-Valid`, design enumeration — Listing 1) |
+//! | Performance engine | [`engine`] (+ [`report`] for the figure-style output) |
+//!
+//! The lookup kernels themselves live in [`templates`] (horizontal —
+//! Algorithm 1; vertical — Algorithm 2; the Case Study ⑤ hybrid; and their
+//! scalar counterparts), written once against `simdht-simd`'s [`Vector`]
+//! trait and monomorphized per backend by [`dispatch`].
+//!
+//! Beyond the paper's published scope, [`mixed`] implements its named
+//! future work: mixed read/write workloads over a sharded concurrent table.
+//!
+//! [`Vector`]: simdht_simd::Vector
+//!
+//! ## Example: validate, then measure
+//!
+//! ```
+//! use simdht_core::validate::{enumerate_designs, ValidationOptions};
+//! use simdht_core::engine::{run_bench, BenchSpec};
+//! use simdht_table::Layout;
+//! use simdht_workload::AccessPattern;
+//!
+//! // Which SIMD designs fit a (2,4) BCHT with 32-bit keys/values?
+//! let designs = enumerate_designs(Layout::bcht(2, 4), 32, 32, &ValidationOptions::default());
+//! assert_eq!(designs[0].listing_entry(), "256 bit - 1 bucket/vec");
+//!
+//! // Measure them against the scalar baseline (small sizes for the doctest).
+//! let spec = BenchSpec {
+//!     queries_per_thread: 2048,
+//!     repetitions: 1,
+//!     ..BenchSpec::new(Layout::bcht(2, 4), 64 * 1024, AccessPattern::Uniform)
+//! };
+//! let report = run_bench::<u32>(&spec)?;
+//! assert!(report.best_speedup() > 0.0);
+//! # Ok::<(), simdht_core::engine::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod engine;
+pub mod mixed;
+pub mod registry;
+pub mod report;
+pub mod templates;
+pub mod validate;
+
+pub use engine::{BenchSpec, EngineReport, Measurement};
+pub use validate::{Approach, DesignChoice, GatherMode, ValidationOptions};

@@ -1,0 +1,281 @@
+//! Mixed read/write workload engine — the paper's first named piece of
+//! future work: "expand our proposed benchmark to study and model mixed
+//! workloads that involve concurrent reads and updates to the SIMD-aware
+//! hash table".
+//!
+//! The engine drives a [`ShardedTable`] with worker threads issuing batched
+//! lookups (the Multi-Get-like hot path, executed with either the scalar
+//! probe or a validated SIMD design) interleaved with in-place updates at a
+//! configurable write fraction. Lookups take a shard's read lock; updates
+//! take its write lock — so the measurement captures both the SIMD benefit
+//! and its erosion from lock contention and cache dirtying as writes grow
+//! (the `ext-mixed` experiment).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use simdht_simd::Backend;
+use simdht_table::{sharded::ShardedTable, Layout};
+use simdht_workload::{AccessPattern, KeySet, RankSampler};
+
+use crate::dispatch::{run_design, run_scalar, KernelLane};
+use crate::validate::{enumerate_designs, DesignChoice, ValidationOptions};
+
+/// Parameters for a mixed-workload run.
+#[derive(Clone, Debug)]
+pub struct MixedSpec {
+    /// Per-shard layout.
+    pub layout: Layout,
+    /// Buckets per shard (`log2`).
+    pub log2_buckets_per_shard: u32,
+    /// Number of shards.
+    pub shards: usize,
+    /// Fraction of *key operations* that are updates (0.0 — read-only).
+    pub write_fraction: f64,
+    /// Keys per lookup batch (the Multi-Get size).
+    pub batch: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Key operations per thread (lookups + updates).
+    pub ops_per_thread: usize,
+    /// Access pattern for both lookups and updates.
+    pub pattern: AccessPattern,
+    /// Initial fill fraction of each shard's capacity.
+    pub fill: f64,
+    /// Vector backend for SIMD lookups.
+    pub backend: Backend,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixedSpec {
+    /// Defaults mirroring the read-dominated KVS setting: 64-key batches,
+    /// 8 shards, 85 % fill, skewed accesses.
+    pub fn new(layout: Layout, write_fraction: f64) -> Self {
+        MixedSpec {
+            layout,
+            log2_buckets_per_shard: 10,
+            shards: 8,
+            write_fraction,
+            batch: 64,
+            threads: 2,
+            ops_per_thread: 1 << 16,
+            pattern: AccessPattern::skewed(),
+            fill: 0.80,
+            backend: Backend::Native,
+            seed: 0x3D17_ED,
+        }
+    }
+}
+
+/// Result of one mixed-workload run.
+#[derive(Copy, Clone, Debug)]
+pub struct MixedReport {
+    /// Key operations (lookups + updates) per second, all threads combined.
+    pub ops_per_sec: f64,
+    /// Lookup keys processed.
+    pub lookups: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Lookup hits observed (sanity: inserts are over known keys).
+    pub hits: u64,
+}
+
+/// Run the mixed workload with the given lookup strategy: `design = None`
+/// runs the scalar probe; `Some(design)` runs that SIMD kernel per shard.
+///
+/// # Errors
+///
+/// Propagates table-construction errors; panics on kernel dispatch failure
+/// (designs should be pre-validated against [`simdht_simd::CpuFeatures`]).
+///
+/// # Panics
+///
+/// Panics if the initial fill fails (choose `fill` below the layout's max
+/// load factor).
+pub fn run_mixed<K: KernelLane>(
+    spec: &MixedSpec,
+    design: Option<DesignChoice>,
+) -> Result<MixedReport, simdht_table::TableError> {
+    let table: ShardedTable<K, K> =
+        ShardedTable::new(spec.layout, spec.log2_buckets_per_shard, spec.shards)?;
+    let n_keys = ((table.capacity() as f64) * spec.fill) as usize;
+    let keys: KeySet<K> = KeySet::generate(n_keys, 16, spec.seed);
+    for (i, &k) in keys.present().iter().enumerate() {
+        table
+            .insert(k, K::from_u64(i as u64 + 1))
+            .expect("fill below the layout's max load factor");
+    }
+
+    let lookups = AtomicU64::new(0);
+    let updates = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..spec.threads {
+            let table = &table;
+            let keys = &keys;
+            let lookups = &lookups;
+            let updates = &updates;
+            let hits = &hits;
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed ^ (t as u64 + 1) << 7);
+                let sampler = RankSampler::new(spec.pattern, keys.present().len());
+                let mut batch_keys: Vec<K> = Vec::with_capacity(spec.batch);
+                let mut out: Vec<K> = vec![K::EMPTY; spec.batch];
+                let mut parts: Vec<Vec<(u32, K)>> = Vec::new();
+                let mut shard_out: Vec<K> = Vec::new();
+                let mut shard_q: Vec<K> = Vec::new();
+                let mut done = 0usize;
+                while done < spec.ops_per_thread {
+                    // Each round covers `batch` key operations; a binomial
+                    // share of them are updates (so `write_fraction` is a
+                    // true per-operation fraction), the rest one batched
+                    // lookup.
+                    let mut n_upd = 0usize;
+                    for _ in 0..spec.batch {
+                        if rng.gen::<f64>() < spec.write_fraction {
+                            n_upd += 1;
+                        }
+                    }
+                    for _ in 0..n_upd {
+                        let k = keys.present()[sampler.sample(&mut rng)];
+                        table.insert(k, K::from_u64(rng.gen::<u64>() | 1)).expect("update");
+                    }
+                    updates.fetch_add(n_upd as u64, Ordering::Relaxed);
+                    batch_keys.clear();
+                    for _ in 0..spec.batch - n_upd {
+                        batch_keys.push(keys.present()[sampler.sample(&mut rng)]);
+                    }
+                    if batch_keys.is_empty() {
+                        done += spec.batch;
+                        continue;
+                    }
+                    let mut batch_hits = 0usize;
+                    match design {
+                        None => {
+                            table.partition_batch(&batch_keys, &mut parts);
+                            for (sidx, part) in parts.iter().enumerate() {
+                                if part.is_empty() {
+                                    continue;
+                                }
+                                shard_q.clear();
+                                shard_q.extend(part.iter().map(|&(_, k)| k));
+                                shard_out.clear();
+                                shard_out.resize(shard_q.len(), K::EMPTY);
+                                let guard = table.read_shard(sidx);
+                                batch_hits += run_scalar(&guard, &shard_q, &mut shard_out);
+                                drop(guard);
+                                for (&(orig, _), &v) in part.iter().zip(shard_out.iter()) {
+                                    out[orig as usize] = v;
+                                }
+                            }
+                        }
+                        Some(design) => {
+                            table.partition_batch(&batch_keys, &mut parts);
+                            for (sidx, part) in parts.iter().enumerate() {
+                                if part.is_empty() {
+                                    continue;
+                                }
+                                shard_q.clear();
+                                shard_q.extend(part.iter().map(|&(_, k)| k));
+                                shard_out.clear();
+                                shard_out.resize(shard_q.len(), K::EMPTY);
+                                let guard = table.read_shard(sidx);
+                                batch_hits +=
+                                    run_design(spec.backend, &design, &guard, &shard_q, &mut shard_out)
+                                        .expect("pre-validated design");
+                                drop(guard);
+                                for (&(orig, _), &v) in part.iter().zip(shard_out.iter()) {
+                                    out[orig as usize] = v;
+                                }
+                            }
+                        }
+                    }
+                    std::hint::black_box(&mut out);
+                    lookups.fetch_add(batch_keys.len() as u64, Ordering::Relaxed);
+                    hits.fetch_add(batch_hits as u64, Ordering::Relaxed);
+                    done += spec.batch;
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let l = lookups.load(Ordering::Relaxed);
+    let u = updates.load(Ordering::Relaxed);
+    Ok(MixedReport {
+        ops_per_sec: (l + u) as f64 / secs,
+        lookups: l,
+        updates: u,
+        hits: hits.load(Ordering::Relaxed),
+    })
+}
+
+/// Convenience: the best validated SIMD design for a layout at the paper's
+/// widths, or `None` when the layout admits none (caller falls back to
+/// scalar).
+pub fn best_design_for(layout: Layout, key_bits: u32, caps: &simdht_simd::CpuFeatures) -> Option<DesignChoice> {
+    enumerate_designs(layout, key_bits, key_bits, &ValidationOptions::default())
+        .into_iter()
+        .filter(|d| d.supported(caps))
+        .last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(write_fraction: f64) -> MixedSpec {
+        MixedSpec {
+            log2_buckets_per_shard: 7,
+            shards: 4,
+            threads: 2,
+            ops_per_thread: 4096,
+            batch: 32,
+            ..MixedSpec::new(Layout::n_way(3), write_fraction)
+        }
+    }
+
+    #[test]
+    fn read_only_all_hits() {
+        let r = run_mixed::<u32>(&tiny(0.0), None).unwrap();
+        assert_eq!(r.updates, 0);
+        assert_eq!(r.hits, r.lookups, "all sampled keys are present");
+        assert!(r.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn writes_happen_at_requested_fraction() {
+        let r = run_mixed::<u32>(&tiny(0.3), None).unwrap();
+        assert!(r.updates > 0);
+        // write_fraction is a true per-operation fraction.
+        let frac = r.updates as f64 / (r.updates + r.lookups) as f64;
+        assert!((0.25..0.35).contains(&frac), "update fraction {frac:.3}");
+        assert_eq!(r.hits, r.lookups, "updates keep keys present");
+    }
+
+    #[test]
+    fn simd_design_runs_under_writes() {
+        let caps = simdht_simd::CpuFeatures::detect();
+        let design = best_design_for(Layout::n_way(3), 32, &caps);
+        let r = run_mixed::<u32>(&tiny(0.1), design).unwrap();
+        assert_eq!(r.hits, r.lookups);
+        assert!(r.updates > 0);
+    }
+
+    #[test]
+    fn bcht_horizontal_mixed() {
+        let caps = simdht_simd::CpuFeatures::detect();
+        let spec = MixedSpec {
+            log2_buckets_per_shard: 6,
+            shards: 2,
+            threads: 2,
+            ops_per_thread: 2048,
+            ..MixedSpec::new(Layout::bcht(2, 4), 0.05)
+        };
+        let design = best_design_for(Layout::bcht(2, 4), 32, &caps);
+        let r = run_mixed::<u32>(&spec, design).unwrap();
+        assert_eq!(r.hits, r.lookups);
+    }
+}

@@ -1,0 +1,154 @@
+//! Registry of the state-of-the-art CPU-optimized cuckoo hash-table designs
+//! the paper surveys (Table I) — each expressed as a SimdHT-Bench
+//! configuration so the suite can evaluate any of them directly.
+
+use simdht_simd::Width;
+use simdht_table::Layout;
+
+/// One row of the paper's Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SurveyedDesign {
+    /// System name as cited in the paper.
+    pub name: &'static str,
+    /// Venue / citation tag.
+    pub citation: &'static str,
+    /// `(N, m)` layout.
+    pub layout: Layout,
+    /// Stored hash-key size in bits.
+    pub key_bits: u32,
+    /// Payload size in bits.
+    pub val_bits: u32,
+    /// SIMD widths the original system uses (`None` = non-SIMD).
+    pub simd: Option<&'static [Width]>,
+    /// Free-form note from the table.
+    pub note: &'static str,
+}
+
+/// The paper's Table I, row for row.
+pub fn table1() -> Vec<SurveyedDesign> {
+    vec![
+        SurveyedDesign {
+            name: "MemC3",
+            citation: "NSDI'13",
+            layout: Layout::bcht(2, 4),
+            key_bits: 8,
+            val_bits: 64,
+            simd: None,
+            note: "1 B tag + 8 B object pointer per slot",
+        },
+        SurveyedDesign {
+            name: "SILT",
+            citation: "SOSP'11",
+            layout: Layout::bcht(2, 4),
+            key_bits: 16,
+            val_bits: 32,
+            simd: None,
+            note: "memory-efficient flash-backed store",
+        },
+        SurveyedDesign {
+            name: "CuckooSwitch",
+            citation: "CoNEXT'13",
+            layout: Layout::bcht(2, 4),
+            key_bits: 48,
+            val_bits: 16,
+            simd: None,
+            note: "6 B MAC address keys, 2 B port payloads",
+        },
+        SurveyedDesign {
+            name: "Vectorized BCHT",
+            citation: "SIGMOD'15",
+            layout: Layout::bcht(2, 2),
+            key_bits: 32,
+            val_bits: 32,
+            simd: Some(&[Width::W128, Width::W512]),
+            note: "2x or 8x (4 B, 4 B); SSE on CPU, AVX-512 on Phi",
+        },
+        SurveyedDesign {
+            name: "Vectorized Cuckoo HT",
+            citation: "SIGMOD'15",
+            layout: Layout::n_way(2),
+            key_bits: 32,
+            val_bits: 32,
+            simd: Some(&[Width::W256, Width::W512]),
+            note: "AVX2 on CPU, AVX-512 on Phi",
+        },
+        SurveyedDesign {
+            name: "Cuckoo++",
+            citation: "ANCS'18",
+            layout: Layout::bcht(2, 8),
+            key_bits: 16,
+            val_bits: 48 * 8,
+            simd: Some(&[Width::W128]),
+            note: "payload = per-bucket metadata (48 B)",
+        },
+        SurveyedDesign {
+            name: "DPDK rte_hash",
+            citation: "dpdk.org",
+            layout: Layout::bcht(2, 8),
+            key_bits: 32,
+            val_bits: 64,
+            simd: Some(&[Width::W128]),
+            note: "8 x (4 B, 8 B) buckets, SSE sig compare",
+        },
+    ]
+}
+
+/// Render the registry as an aligned text table (the `table1` experiment).
+pub fn render_table1() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<22} {:<10} {:<18} {:>5} {:>6}  {:<10} {}",
+        "Research Work", "Cite", "Layout", "K", "V", "SIMD", "Note"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(100));
+    for d in table1() {
+        let simd = match d.simd {
+            None => "No".to_string(),
+            Some(ws) => ws
+                .iter()
+                .map(|w| w.isa_name())
+                .collect::<Vec<_>>()
+                .join("+"),
+        };
+        let _ = writeln!(
+            s,
+            "{:<22} {:<10} {:<18} {:>4}b {:>5}b  {:<10} {}",
+            d.name,
+            d.citation,
+            format!("({},{})", d.layout.n_ways(), d.layout.slots_per_bucket()),
+            d.key_bits,
+            d.val_bits,
+            simd,
+            d.note
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_like_the_paper() {
+        assert_eq!(table1().len(), 7);
+    }
+
+    #[test]
+    fn memc3_is_first_and_non_simd() {
+        let rows = table1();
+        assert_eq!(rows[0].name, "MemC3");
+        assert_eq!(rows[0].layout, Layout::bcht(2, 4));
+        assert!(rows[0].simd.is_none());
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let text = render_table1();
+        for d in table1() {
+            assert!(text.contains(d.name), "missing {}", d.name);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Text rendering of performance-engine results in the style of the paper's
+//! figures (throughput in billion lookups/sec per core, "Vector" vs
+//! "Scalar", speedup factors).
+
+use crate::engine::EngineReport;
+
+/// Render one engine report as an aligned table block.
+///
+/// # Examples
+///
+/// ```no_run
+/// use simdht_core::{engine, report};
+/// use simdht_table::Layout;
+/// use simdht_workload::AccessPattern;
+///
+/// let spec = engine::BenchSpec::new(Layout::bcht(2, 4), 1 << 20, AccessPattern::Uniform);
+/// let r = engine::run_bench::<u32>(&spec)?;
+/// println!("{}", report::render_report(&r));
+/// # Ok::<(), simdht_core::engine::EngineError>(())
+/// ```
+pub fn render_report(report: &EngineReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} | achieved LF {:.2} | {} items",
+        report.layout, report.achieved_load_factor, report.items
+    );
+    let _ = writeln!(
+        s,
+        "  {:<34} {:>14} {:>9}",
+        "series", "Blookups/s/core", "speedup"
+    );
+    let _ = writeln!(
+        s,
+        "  {:<34} {:>14.4} {:>8.2}x",
+        "Scalar",
+        report.scalar.blps(),
+        1.0
+    );
+    for (design, m) in &report.designs {
+        let _ = writeln!(
+            s,
+            "  {:<34} {:>14.4} {:>8.2}x",
+            format!("Vector {design}"),
+            m.blps(),
+            m.lookups_per_sec_per_core / report.scalar.lookups_per_sec_per_core
+        );
+    }
+    s
+}
+
+/// Render a one-line summary: best design and its speedup.
+pub fn render_summary(report: &EngineReport) -> String {
+    match report.best_design() {
+        Some((design, m)) => format!(
+            "{}: best {} at {:.4} Blookups/s/core ({:.2}x over scalar)",
+            report.layout,
+            design,
+            m.blps(),
+            m.lookups_per_sec_per_core / report.scalar.lookups_per_sec_per_core
+        ),
+        None => format!(
+            "{}: no viable SIMD design (scalar {:.4} Blookups/s/core)",
+            report.layout,
+            report.scalar.blps()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BenchSpec, run_bench};
+    use simdht_table::Layout;
+    use simdht_workload::AccessPattern;
+
+    fn tiny_report() -> EngineReport {
+        let spec = BenchSpec {
+            queries_per_thread: 2048,
+            repetitions: 1,
+            ..BenchSpec::new(Layout::bcht(2, 4), 32 * 1024, AccessPattern::Uniform)
+        };
+        run_bench::<u32>(&spec).unwrap()
+    }
+
+    #[test]
+    fn report_mentions_scalar_and_vector() {
+        let text = render_report(&tiny_report());
+        assert!(text.contains("Scalar"));
+        assert!(text.contains("Vector V-Hor"));
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn summary_names_best_design() {
+        let text = render_summary(&tiny_report());
+        assert!(text.contains("best V-Hor"));
+        assert!(text.contains("x over scalar"));
+    }
+}

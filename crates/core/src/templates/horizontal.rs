@@ -1,0 +1,365 @@
+//! Horizontal vectorization template (paper Algorithm 1).
+//!
+//! One key is broadcast to every lane and compared against all `m` slots of
+//! one or two candidate buckets in a single vector compare — a reduction
+//! over the bucket. Two bucket arrangements are handled:
+//!
+//! * **Interleaved** `[k v k v …]` (the paper's Fig. 3a): the raw bucket is
+//!   loaded and compared directly, with the match mask ANDed to the even
+//!   (key-position) lanes. This is mechanically equivalent to the paper's
+//!   `vec_shuffle_and_blend` + compare, with the shuffle replaced by a mask.
+//! * **Split** `[k…k][v…v]`: only the key block is loaded, so smaller keys
+//!   pack denser (Case Study ②'s (16,32) over (2,8) BCHT).
+//!
+//! With `buckets_per_vec = 2` both candidate buckets of a 2-way probe are
+//! assembled into one register ([`Vector::from_two_slices`]) and probed
+//! pessimistically; with `1`, buckets are probed optimistically in way
+//! order with early exit on match.
+
+use simdht_simd::{first_lane, Lane, Vector};
+use simdht_table::{Arrangement, CuckooTable};
+
+use super::even_lane_bits;
+
+/// Horizontal SIMD lookup over a BCHT. `W` is the payload lane type (it may
+/// differ from the key lane in the split arrangement).
+///
+/// Writes payloads (or the empty sentinel) to `out`; returns the hit count.
+///
+/// # Panics
+///
+/// Panics if `out.len() != queries.len()`, if the layout is not bucketized,
+/// or if `buckets_per_vec` does not exactly fill `V` for this layout (use
+/// [`crate::validate::hor_v_valid`] first).
+pub fn horizontal_lookup<V: Vector, W: Lane>(
+    table: &CuckooTable<V::Lane, W>,
+    queries: &[V::Lane],
+    out: &mut [W],
+    buckets_per_vec: u32,
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let layout = table.layout();
+    assert!(layout.is_bucketized(), "horizontal template needs m > 1");
+    let m = layout.slots_per_bucket() as usize;
+    let n_ways = layout.n_ways();
+    let bpv = buckets_per_vec as usize;
+    assert!(bpv == 1 || bpv == 2, "buckets_per_vec must be 1 or 2");
+
+    match layout.arrangement() {
+        Arrangement::Interleaved => {
+            assert_eq!(
+                V::LANES,
+                2 * m * bpv,
+                "vector width does not exactly fit {bpv} interleaved bucket(s)"
+            );
+            let data = table
+                .interleaved()
+                .expect("interleaved arrangement has interleaved storage");
+            lookup_interleaved::<V, W>(table, data, queries, out, m, n_ways, bpv)
+        }
+        Arrangement::Split => {
+            assert_eq!(
+                V::LANES,
+                m * bpv,
+                "vector width does not exactly fit {bpv} split key block(s)"
+            );
+            let (keys, vals) = table.split().expect("split arrangement has split storage");
+            lookup_split::<V, W>(table, keys, vals, queries, out, m, n_ways, bpv)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lookup_interleaved<V: Vector, W: Lane>(
+    table: &CuckooTable<V::Lane, W>,
+    data: &[V::Lane],
+    queries: &[V::Lane],
+    out: &mut [W],
+    m: usize,
+    n_ways: u32,
+    bpv: usize,
+) -> usize {
+    let key_bits = even_lane_bits(V::LANES);
+    let bucket_lanes = 2 * m;
+    let hash = table.hash_family();
+    let mut hits = 0usize;
+
+    for (q, o) in queries.iter().zip(out.iter_mut()) {
+        let kv = V::splat(*q);
+        *o = W::EMPTY;
+        let mut way = 0u32;
+        while way < n_ways {
+            // Assemble bpv buckets; an odd trailing way duplicates itself.
+            let b0 = hash.bucket(*q, way);
+            let (vec, b1) = if bpv == 2 {
+                let next = if way + 1 < n_ways { way + 1 } else { way };
+                let b1 = hash.bucket(*q, next);
+                (
+                    V::from_two_slices(
+                        &data[b0 * bucket_lanes..],
+                        &data[b1 * bucket_lanes..],
+                    ),
+                    b1,
+                )
+            } else {
+                (V::from_slice(&data[b0 * bucket_lanes..]), b0)
+            };
+            let mbits = vec.cmpeq_bits(kv) & key_bits;
+            if let Some(lane) = first_lane(mbits) {
+                // The adjacent odd lane holds the payload; map the lane back
+                // to the source bucket for the raw slot value.
+                let half = V::LANES / bpv;
+                let (bucket, within) = if lane < half {
+                    (b0, lane)
+                } else {
+                    (b1, lane - half)
+                };
+                let v = data[bucket * bucket_lanes + within + 1];
+                *o = W::from_u64(v.to_u64());
+                hits += 1;
+                break;
+            }
+            way += bpv as u32;
+        }
+    }
+    hits
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lookup_split<V: Vector, W: Lane>(
+    table: &CuckooTable<V::Lane, W>,
+    keys: &[V::Lane],
+    vals: &[W],
+    queries: &[V::Lane],
+    out: &mut [W],
+    m: usize,
+    n_ways: u32,
+    bpv: usize,
+) -> usize {
+    let hash = table.hash_family();
+    let mut hits = 0usize;
+
+    for (q, o) in queries.iter().zip(out.iter_mut()) {
+        let kv = V::splat(*q);
+        *o = W::EMPTY;
+        let mut way = 0u32;
+        while way < n_ways {
+            let b0 = hash.bucket(*q, way);
+            let (vec, b1) = if bpv == 2 {
+                let next = if way + 1 < n_ways { way + 1 } else { way };
+                let b1 = hash.bucket(*q, next);
+                (V::from_two_slices(&keys[b0 * m..], &keys[b1 * m..]), b1)
+            } else {
+                (V::from_slice(&keys[b0 * m..]), b0)
+            };
+            let mbits = vec.cmpeq_bits(kv);
+            if let Some(lane) = first_lane(mbits) {
+                let (bucket, within) = if lane < m { (b0, lane) } else { (b1, lane - m) };
+                *o = vals[bucket * m + within];
+                hits += 1;
+                break;
+            }
+            way += bpv as u32;
+        }
+    }
+    hits
+}
+
+/// Horizontal lookup with vectorized bucket computation — the paper's
+/// `calc_N_hash_buckets` optimization (§IV-C: "for horizontal, we try to
+/// leverage vector instructions to calculate the hash buckets of multiple
+/// keys in parallel").
+///
+/// Queries are processed in chunks of `V::LANES`; both candidate buckets of
+/// every key in the chunk are computed with two vector multiply-shifts and
+/// spilled to a small stack buffer, after which each key's bucket(s) are
+/// probed exactly as in [`horizontal_lookup`]. Only the equal-width,
+/// interleaved, `buckets_per_vec = 1` configuration is specialized (the one
+/// the paper's KVS integration uses); other shapes should call
+/// [`horizontal_lookup`].
+///
+/// # Panics
+///
+/// As [`horizontal_lookup`], plus panics on split storage, `n_ways != 2`,
+/// or a vector that does not exactly fit one bucket.
+pub fn horizontal_lookup_vec_hash<V: Vector>(
+    table: &CuckooTable<V::Lane, V::Lane>,
+    queries: &[V::Lane],
+    out: &mut [V::Lane],
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let layout = table.layout();
+    assert!(layout.is_bucketized(), "horizontal template needs m > 1");
+    assert_eq!(layout.n_ways(), 2, "vec-hash variant specializes 2-way probing");
+    assert_eq!(
+        layout.arrangement(),
+        Arrangement::Interleaved,
+        "vec-hash variant requires interleaved storage"
+    );
+    let m = layout.slots_per_bucket() as usize;
+    assert_eq!(V::LANES, 2 * m, "vector must exactly fit one bucket");
+    let data = table.interleaved().expect("interleaved storage");
+    let hash = table.hash_family();
+    let shift = hash.shift();
+    let key_bits = even_lane_bits(V::LANES);
+    let bucket_lanes = 2 * m;
+    let lanes = V::LANES;
+    let full = queries.len() - queries.len() % lanes;
+    let mut hits = 0usize;
+
+    let mut b0 = [V::Lane::EMPTY; simdht_simd::MAX_LANES];
+    let mut b1 = [V::Lane::EMPTY; simdht_simd::MAX_LANES];
+    for (chunk, outs) in queries[..full]
+        .chunks_exact(lanes)
+        .zip(out[..full].chunks_exact_mut(lanes))
+    {
+        // calc_N_hash_buckets: all 2·LANES bucket indices in 2 vector ops.
+        let kv = V::from_slice(chunk);
+        kv.mullo(V::splat(hash.multiplier(0)))
+            .shr(shift)
+            .write_to_slice(&mut b0[..lanes]);
+        kv.mullo(V::splat(hash.multiplier(1)))
+            .shr(shift)
+            .write_to_slice(&mut b1[..lanes]);
+        for (i, (&q, o)) in chunk.iter().zip(outs.iter_mut()).enumerate() {
+            let kq = V::splat(q);
+            *o = V::Lane::EMPTY;
+            for bucket in [b0[i].to_u64() as usize, b1[i].to_u64() as usize] {
+                let vec = V::from_slice(&data[bucket * bucket_lanes..]);
+                let mbits = vec.cmpeq_bits(kq) & key_bits;
+                if let Some(lane) = first_lane(mbits) {
+                    *o = data[bucket * bucket_lanes + lane + 1];
+                    hits += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Scalar-hash tail via the generic kernel.
+    if full < queries.len() {
+        hits += horizontal_lookup::<V, V::Lane>(table, &queries[full..], &mut out[full..], 1);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdht_simd::emu::Emu;
+    use simdht_table::Layout;
+
+    fn populated(layout: Layout, log2: u32, n: u32) -> CuckooTable<u32, u32> {
+        let mut t = CuckooTable::new(layout, log2).unwrap();
+        for i in 1..=n {
+            t.insert(i * 17 + 3, i + 10_000).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn interleaved_one_bucket_per_vec() {
+        // (2,4) interleaved: bucket = 8 lanes of u32 -> Emu<u32, 8>, bpv=1.
+        let t = populated(Layout::bcht(2, 4), 8, 800);
+        let queries: Vec<u32> = (1..=900u32).map(|i| i * 17 + 3).collect();
+        let mut out = vec![0u32; queries.len()];
+        let hits = horizontal_lookup::<Emu<u32, 8>, u32>(&t, &queries, &mut out, 1);
+        assert_eq!(hits, 800);
+        for (i, &v) in out.iter().enumerate() {
+            let expect = if i < 800 { i as u32 + 1 + 10_000 } else { 0 };
+            assert_eq!(v, expect, "query {i}");
+        }
+    }
+
+    #[test]
+    fn interleaved_two_buckets_per_vec() {
+        // (2,2) interleaved: 2 buckets = 8 lanes -> Emu<u32, 8>, bpv=2.
+        let t = populated(Layout::bcht(2, 2), 9, 600);
+        let queries: Vec<u32> = (1..=700u32).map(|i| i * 17 + 3).collect();
+        let mut out = vec![0u32; queries.len()];
+        let hits = horizontal_lookup::<Emu<u32, 8>, u32>(&t, &queries, &mut out, 2);
+        assert_eq!(hits, 600);
+        assert_eq!(out[0], 10_001);
+        assert!(out[600..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn split_mixed_widths() {
+        // (2,8) split with (k,v) = (u16, u32): key block = 8 lanes ->
+        // Emu<u16, 16> probes two buckets (bpv = 2).
+        let mut t: CuckooTable<u16, u32> = CuckooTable::new(
+            Layout::bcht(2, 8).with_arrangement(Arrangement::Split),
+            7,
+        )
+        .unwrap();
+        for i in 1..=700u16 {
+            t.insert(i, u32::from(i) + 5).unwrap();
+        }
+        let queries: Vec<u16> = (1..=800).collect();
+        let mut out = vec![0u32; queries.len()];
+        let hits = horizontal_lookup::<Emu<u16, 16>, u32>(&t, &queries, &mut out, 2);
+        assert_eq!(hits, 700);
+        assert_eq!(out[41], 47);
+        assert!(out[700..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn three_way_odd_trailing_group() {
+        // (3,2) with bpv = 2 leaves a trailing single-way group.
+        let t = populated(Layout::bcht(3, 2), 9, 700);
+        let queries: Vec<u32> = (1..=700u32).map(|i| i * 17 + 3).collect();
+        let mut out = vec![0u32; queries.len()];
+        let hits = horizontal_lookup::<Emu<u32, 8>, u32>(&t, &queries, &mut out, 2);
+        assert_eq!(hits, 700);
+    }
+
+    #[test]
+    fn agrees_with_scalar_on_random_queries() {
+        use rand::{Rng, SeedableRng};
+        let t = populated(Layout::bcht(2, 4), 8, 700);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let queries: Vec<u32> = (0..2000).map(|_| rng.gen::<u32>().max(1)).collect();
+        let mut simd = vec![0u32; queries.len()];
+        let mut scalar = vec![0u32; queries.len()];
+        let h1 = horizontal_lookup::<Emu<u32, 8>, u32>(&t, &queries, &mut simd, 1);
+        let h2 = super::super::scalar_lookup(&t, &queries, &mut scalar);
+        assert_eq!(h1, h2);
+        assert_eq!(simd, scalar);
+    }
+
+    #[test]
+    fn vec_hash_variant_matches_generic() {
+        let t = populated(Layout::bcht(2, 4), 9, 1400);
+        let queries: Vec<u32> = (1..=1501u32).map(|i| i * 17 + 3).collect(); // odd tail
+        let mut generic = vec![0u32; queries.len()];
+        let mut vechash = vec![0u32; queries.len()];
+        let h1 = horizontal_lookup::<Emu<u32, 8>, u32>(&t, &queries, &mut generic, 1);
+        let h2 = horizontal_lookup_vec_hash::<Emu<u32, 8>>(&t, &queries, &mut vechash);
+        assert_eq!(h1, h2);
+        assert_eq!(generic, vechash);
+    }
+
+    #[test]
+    #[should_panic(expected = "specializes 2-way")]
+    fn vec_hash_rejects_three_way() {
+        let t = populated(Layout::bcht(3, 4), 6, 10);
+        let mut out = [0u32; 8];
+        horizontal_lookup_vec_hash::<Emu<u32, 8>>(&t, &[5; 8], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exactly fit")]
+    fn wrong_vector_width_panics() {
+        let t = populated(Layout::bcht(2, 4), 6, 10);
+        let mut out = [0u32; 1];
+        horizontal_lookup::<Emu<u32, 4>, u32>(&t, &[5], &mut out, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs m > 1")]
+    fn nonbucketized_panics() {
+        let t: CuckooTable<u32, u32> = CuckooTable::new(Layout::n_way(2), 6).unwrap();
+        let mut out = [0u32; 1];
+        horizontal_lookup::<Emu<u32, 2>, u32>(&t, &[5], &mut out, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Hybrid vertical-over-BCHT template (paper Case Study ⑤).
+//!
+//! Vertical SIMD restricted to N-way tables leaves BCHTs to the horizontal
+//! approach; the paper asks whether vertical lookup can run over a BCHT by
+//! "looping over the 'm' buckets for selective gathers (only gather those
+//! keys that have not matched)". This kernel does exactly that: per way,
+//! per slot position `j ∈ 0..m`, it gathers slot `j` of each pending lane's
+//! candidate bucket under the pending mask.
+//!
+//! The paper observes a ~1.45× slowdown versus true vertical over the
+//! non-bucketized table (the `m`× gather multiplication) while still beating
+//! scalar — the `fig9` experiment reproduces that comparison.
+
+use simdht_simd::{Lane, Vector};
+use simdht_table::{Arrangement, CuckooTable};
+
+/// Vertical SIMD lookup over a bucketized `(N, m)` table, one key per lane,
+/// with selective (match-masked) gathers over the `m` slot positions.
+///
+/// Writes payloads (or the empty sentinel) to `out`; returns the hit count.
+/// Query tails shorter than one vector use the scalar probe.
+///
+/// # Panics
+///
+/// Panics if `out.len() != queries.len()`, if the layout is not bucketized
+/// (use [`crate::templates::vertical_lookup`]), or if the table has fewer
+/// than two buckets.
+pub fn hybrid_lookup<V: Vector>(
+    table: &CuckooTable<V::Lane, V::Lane>,
+    queries: &[V::Lane],
+    out: &mut [V::Lane],
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let layout = table.layout();
+    assert!(
+        layout.is_bucketized(),
+        "hybrid template needs m > 1 (use vertical_lookup for N-way tables)"
+    );
+    let hash = table.hash_family();
+    assert!(
+        hash.log2_buckets() >= 1,
+        "hybrid template needs at least two buckets"
+    );
+
+    let n_ways = layout.n_ways();
+    let m = layout.slots_per_bucket();
+    // Slot indices are computed *in-lane* (bucket * m + j, doubled for the
+    // interleaved arrangement); they must fit the key lane or the gathers
+    // would silently wrap to wrong slots.
+    let interleaved_bit = u32::from(layout.arrangement() == Arrangement::Interleaved);
+    assert!(
+        hash.log2_buckets() + m.trailing_zeros() + interleaved_bit <= V::Lane::BITS,
+        "table too large for in-lane slot arithmetic: 2^{} buckets x {m} slots          exceeds a {}-bit lane",
+        hash.log2_buckets(),
+        V::Lane::BITS
+    );
+    let shift = hash.shift();
+    let lanes = V::LANES;
+    let full = queries.len() - queries.len() % lanes;
+    let m_splat = V::splat(V::Lane::from_u64(u64::from(m)));
+    let mut hits = 0usize;
+
+    // Slot index of lane = bucket * m + j; interleaved storage doubles it.
+    let interleaved = layout.arrangement() == Arrangement::Interleaved;
+    let (data, valarr): (&[V::Lane], &[V::Lane]) = match layout.arrangement() {
+        Arrangement::Interleaved => {
+            let d = table.interleaved().expect("interleaved storage");
+            (d, d)
+        }
+        Arrangement::Split => {
+            let (k, v) = table.split().expect("split storage");
+            (k, v)
+        }
+    };
+
+    for (chunk, outs) in queries[..full]
+        .chunks_exact(lanes)
+        .zip(out[..full].chunks_exact_mut(lanes))
+    {
+        let kv = V::from_slice(chunk);
+        let mut pending = V::lane_mask();
+        let mut vals = V::splat(V::Lane::EMPTY);
+        'ways: for way in 0..n_ways {
+            let bucket = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+            let slot0 = bucket.mullo(m_splat);
+            for j in 0..m {
+                let slot = slot0.add(V::splat(V::Lane::from_u64(u64::from(j))));
+                let (kidx, voff) = if interleaved {
+                    (slot.shl(1), 1u64)
+                } else {
+                    (slot, 0)
+                };
+                // SAFETY: bucket < num_buckets, so slot < bucket count · m =
+                // slot capacity; interleaved doubling stays inside `data`.
+                let gk = unsafe {
+                    V::gather_idx_masked(data, kidx, pending, V::splat(V::Lane::EMPTY))
+                };
+                let mbits = gk.cmpeq_bits(kv) & pending;
+                if mbits != 0 {
+                    let vidx = if voff == 1 {
+                        kidx.add(V::splat(V::Lane::from_u64(1)))
+                    } else {
+                        kidx
+                    };
+                    vals = unsafe { V::gather_idx_masked(valarr, vidx, mbits, vals) };
+                    pending &= !mbits;
+                    if pending == 0 {
+                        break 'ways;
+                    }
+                }
+            }
+        }
+        vals.write_to_slice(outs);
+        hits += lanes - pending.count_ones() as usize;
+    }
+
+    for (q, o) in queries[full..].iter().zip(out[full..].iter_mut()) {
+        match table.get(*q) {
+            Some(v) => {
+                *o = v;
+                hits += 1;
+            }
+            None => *o = V::Lane::EMPTY,
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::scalar_lookup;
+    use simdht_simd::emu::Emu;
+    use simdht_table::Layout;
+
+    fn check(layout: Layout, log2: u32, n: u32) {
+        let mut t: CuckooTable<u32, u32> = CuckooTable::new(layout, log2).unwrap();
+        for i in 1..=n {
+            t.insert(i * 23 + 5, i + 900).unwrap();
+        }
+        let qs: Vec<u32> = (1..=(n + 200)).map(|i| i * 23 + 5).collect();
+        let mut simd = vec![0u32; qs.len()];
+        let mut scalar = vec![0u32; qs.len()];
+        let h1 = hybrid_lookup::<Emu<u32, 8>>(&t, &qs, &mut simd);
+        let h2 = scalar_lookup(&t, &qs, &mut scalar);
+        assert_eq!(h1, h2, "{layout}");
+        assert_eq!(simd, scalar, "{layout}");
+        assert_eq!(h1, n as usize);
+    }
+
+    #[test]
+    fn matches_scalar_on_2_2() {
+        check(Layout::bcht(2, 2), 9, 700);
+    }
+
+    #[test]
+    fn matches_scalar_on_3_2() {
+        check(Layout::bcht(3, 2), 9, 900);
+    }
+
+    #[test]
+    fn matches_scalar_on_2_4() {
+        check(Layout::bcht(2, 4), 8, 800);
+    }
+
+    #[test]
+    fn matches_scalar_on_split_arrangement() {
+        check(
+            Layout::bcht(2, 2).with_arrangement(Arrangement::Split),
+            9,
+            700,
+        );
+    }
+
+    #[test]
+    fn wider_vector_same_results() {
+        let mut t: CuckooTable<u32, u32> = CuckooTable::new(Layout::bcht(3, 2), 9).unwrap();
+        for i in 1..=800u32 {
+            t.insert(i * 23 + 5, i).unwrap();
+        }
+        let qs: Vec<u32> = (1..=900u32).map(|i| i * 23 + 5).collect();
+        let mut a = vec![0u32; qs.len()];
+        let mut b = vec![0u32; qs.len()];
+        let h1 = hybrid_lookup::<Emu<u32, 8>>(&t, &qs, &mut a);
+        let h2 = hybrid_lookup::<Emu<u32, 16>>(&t, &qs, &mut b);
+        assert_eq!(h1, h2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-lane slot arithmetic")]
+    fn oversized_u16_table_rejected() {
+        // 2^13 buckets x 8 slots, interleaved: slot*2 needs 17 bits > u16.
+        let t: CuckooTable<u16, u16> = CuckooTable::new(Layout::bcht(2, 8), 13).unwrap();
+        let mut out = [0u16; 8];
+        hybrid_lookup::<simdht_simd::emu::Emu<u16, 8>>(&t, &[1; 8], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs m > 1")]
+    fn nonbucketized_rejected() {
+        let t: CuckooTable<u32, u32> = CuckooTable::new(Layout::n_way(2), 8).unwrap();
+        let mut out = [0u32; 8];
+        hybrid_lookup::<Emu<u32, 8>>(&t, &[1; 8], &mut out);
+    }
+}

@@ -1,0 +1,48 @@
+//! Generic lookup-kernel templates (paper §IV-C).
+//!
+//! Each kernel is written once against [`simdht_simd::Vector`] and
+//! monomorphized per backend/width by [`crate::dispatch`]. All kernels share
+//! one contract:
+//!
+//! * input: a populated [`simdht_table::CuckooTable`] and a query slice;
+//! * output: `out[i]` receives the payload of `queries[i]`, or the empty
+//!   sentinel (`0`) on a miss — benchmark payloads are always non-zero;
+//! * return value: the number of hits.
+//!
+//! The scalar baselines ([`scalar_lookup`]) are the same algorithms with every
+//! vector op replaced by scalar loads/compares (paper §IV-B: the non-SIMD
+//! counterparts have buckets-per-vector = 1 / keys-per-iteration = 1).
+
+mod horizontal;
+mod hybrid;
+mod scalar;
+mod vertical;
+
+pub use horizontal::{horizontal_lookup, horizontal_lookup_vec_hash};
+pub use hybrid::hybrid_lookup;
+pub use scalar::scalar_lookup;
+pub use vertical::{vertical_lookup, vertical_lookup_prefetched};
+
+/// Mask with bit set for every even lane of an `lanes`-wide vector
+/// (key positions of an interleaved `[k v k v …]` load).
+#[inline(always)]
+pub(crate) fn even_lane_bits(lanes: usize) -> u64 {
+    let all = if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    };
+    0x5555_5555_5555_5555 & all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_bits_patterns() {
+        assert_eq!(even_lane_bits(4), 0b0101);
+        assert_eq!(even_lane_bits(8), 0b0101_0101);
+        assert_eq!(even_lane_bits(16), 0x5555);
+    }
+}

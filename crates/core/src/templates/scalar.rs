@@ -1,0 +1,71 @@
+//! The non-SIMD baseline: Algorithm 1/2 with every vector instruction
+//! replaced by scalar loads and compares (the paper's "Scalar" series).
+
+use simdht_simd::Lane;
+use simdht_table::CuckooTable;
+
+/// Look up every query with the table's scalar probe, writing payloads (or
+/// the empty sentinel on miss) to `out`. Returns the hit count.
+///
+/// # Panics
+///
+/// Panics if `out.len() != queries.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_core::templates::scalar_lookup;
+/// use simdht_table::{CuckooTable, Layout};
+///
+/// let mut t: CuckooTable<u32, u32> = CuckooTable::new(Layout::bcht(2, 4), 6)?;
+/// t.insert(5, 50)?;
+/// let mut out = [0u32; 2];
+/// let hits = scalar_lookup(&t, &[5, 6], &mut out);
+/// assert_eq!((hits, out), (1, [50, 0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn scalar_lookup<K: Lane, V: Lane>(
+    table: &CuckooTable<K, V>,
+    queries: &[K],
+    out: &mut [V],
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let mut hits = 0usize;
+    for (q, o) in queries.iter().zip(out.iter_mut()) {
+        match table.get(*q) {
+            Some(v) => {
+                *o = v;
+                hits += 1;
+            }
+            None => *o = V::EMPTY,
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdht_table::Layout;
+
+    #[test]
+    fn counts_hits_and_clears_misses() {
+        let mut t: CuckooTable<u32, u32> = CuckooTable::new(Layout::n_way(2), 8).unwrap();
+        for i in 1..=100u32 {
+            t.insert(i, i + 1000).unwrap();
+        }
+        let queries = [1u32, 500, 2, 600, 3];
+        let mut out = [99u32; 5];
+        let hits = scalar_lookup(&t, &queries, &mut out);
+        assert_eq!(hits, 3);
+        assert_eq!(out, [1001, 0, 1002, 0, 1003]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        let t: CuckooTable<u32, u32> = CuckooTable::new(Layout::n_way(2), 4).unwrap();
+        let mut out = [0u32; 1];
+        scalar_lookup(&t, &[1, 2], &mut out);
+    }
+}

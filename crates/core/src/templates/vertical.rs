@@ -1,0 +1,374 @@
+//! Vertical vectorization template (paper Algorithm 2).
+//!
+//! One *distinct* key per SIMD lane: `keys_per_iteration = w / k` keys are
+//! hashed in-register (`vec_calc_hash`), their candidate slots gathered
+//! (`vec_gather_key`), compared in one instruction, and matched payloads
+//! gathered back (`vec_gather_val`). Lanes that miss way *i* are re-probed
+//! at way *i + 1* under a shrinking pending mask until every lane resolved
+//! or all `N` ways are exhausted.
+//!
+//! Gather strategy ([`GatherMode`], §IV-C / Observation ②):
+//!
+//! * [`GatherMode::PairedWide`] — interleaved storage lets one
+//!   double-width gather fetch the adjacent (key, value) pair: half the
+//!   cache-line accesses for 32-bit pairs. For 64-bit pairs the backend
+//!   decomposes into two gathers (no 128-bit gather lane exists), which is
+//!   exactly the paper's Observation ②.
+//! * [`GatherMode::NarrowSplit`] — a key gather plus a match-masked value
+//!   gather; the only option for split storage, and the ablation baseline
+//!   for `ablate-gather`.
+
+use simdht_simd::{Lane, Vector};
+use simdht_table::{Arrangement, CuckooTable};
+
+use crate::validate::GatherMode;
+
+/// Vertical SIMD lookup over a non-bucketized N-way cuckoo table
+/// (key and payload lanes must be the same type).
+///
+/// Writes payloads (or the empty sentinel) to `out`; returns the hit count.
+/// Query tails shorter than one vector are handled with the scalar probe.
+///
+/// # Panics
+///
+/// Panics if `out.len() != queries.len()`, if the layout is bucketized, if
+/// the table has fewer than two buckets, or if `mode` is
+/// [`GatherMode::PairedWide`] on split storage.
+pub fn vertical_lookup<V: Vector>(
+    table: &CuckooTable<V::Lane, V::Lane>,
+    queries: &[V::Lane],
+    out: &mut [V::Lane],
+    mode: GatherMode,
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let layout = table.layout();
+    assert!(
+        !layout.is_bucketized(),
+        "vertical template needs m = 1 (use hybrid_lookup for BCHTs)"
+    );
+    let hash = table.hash_family();
+    assert!(
+        hash.log2_buckets() >= 1,
+        "vertical template needs at least two buckets"
+    );
+
+    let n_ways = layout.n_ways();
+    let shift = hash.shift();
+    let lanes = V::LANES;
+    let mut hits = 0usize;
+
+    let full = queries.len() - queries.len() % lanes;
+    let one = V::splat(V::Lane::from_u64(1));
+
+    match (layout.arrangement(), mode) {
+        (Arrangement::Interleaved, GatherMode::PairedWide) => {
+            let data = table.interleaved().expect("interleaved storage");
+            for (chunk, outs) in queries[..full]
+                .chunks_exact(lanes)
+                .zip(out[..full].chunks_exact_mut(lanes))
+            {
+                let kv = V::from_slice(chunk);
+                let mut pending = V::lane_mask();
+                let mut vals = V::splat(V::Lane::EMPTY);
+                for way in 0..n_ways {
+                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    // SAFETY: h < num_buckets by the multiply-shift
+                    // construction, and data holds 2 slots-worth per bucket.
+                    let (gk, gv) = unsafe { V::gather_pairs(data, h) };
+                    let mbits = gk.cmpeq_bits(kv) & pending;
+                    vals = V::blend_bits(mbits, gv, vals);
+                    pending &= !mbits;
+                    if pending == 0 {
+                        break;
+                    }
+                }
+                vals.write_to_slice(outs);
+                hits += lanes - pending.count_ones() as usize;
+            }
+        }
+        (Arrangement::Interleaved, GatherMode::NarrowSplit) => {
+            let data = table.interleaved().expect("interleaved storage");
+            for (chunk, outs) in queries[..full]
+                .chunks_exact(lanes)
+                .zip(out[..full].chunks_exact_mut(lanes))
+            {
+                let kv = V::from_slice(chunk);
+                let mut pending = V::lane_mask();
+                let mut vals = V::splat(V::Lane::EMPTY);
+                for way in 0..n_ways {
+                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    let kidx = h.shl(1);
+                    // SAFETY: kidx = 2h < 2·num_buckets = data length; the
+                    // +1 lane stays within the same slot pair.
+                    let gk = unsafe {
+                        V::gather_idx_masked(data, kidx, pending, V::splat(V::Lane::EMPTY))
+                    };
+                    let mbits = gk.cmpeq_bits(kv) & pending;
+                    vals = unsafe { V::gather_idx_masked(data, kidx.add(one), mbits, vals) };
+                    pending &= !mbits;
+                    if pending == 0 {
+                        break;
+                    }
+                }
+                vals.write_to_slice(outs);
+                hits += lanes - pending.count_ones() as usize;
+            }
+        }
+        (Arrangement::Split, GatherMode::NarrowSplit) => {
+            let (keys, valarr) = table.split().expect("split storage");
+            for (chunk, outs) in queries[..full]
+                .chunks_exact(lanes)
+                .zip(out[..full].chunks_exact_mut(lanes))
+            {
+                let kv = V::from_slice(chunk);
+                let mut pending = V::lane_mask();
+                let mut vals = V::splat(V::Lane::EMPTY);
+                for way in 0..n_ways {
+                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    // SAFETY: h < num_buckets = slot count of both arrays.
+                    let gk = unsafe {
+                        V::gather_idx_masked(keys, h, pending, V::splat(V::Lane::EMPTY))
+                    };
+                    let mbits = gk.cmpeq_bits(kv) & pending;
+                    vals = unsafe { V::gather_idx_masked(valarr, h, mbits, vals) };
+                    pending &= !mbits;
+                    if pending == 0 {
+                        break;
+                    }
+                }
+                vals.write_to_slice(outs);
+                hits += lanes - pending.count_ones() as usize;
+            }
+        }
+        (Arrangement::Split, GatherMode::PairedWide) => {
+            panic!("paired-wide gathers require the interleaved arrangement")
+        }
+    }
+
+    // Scalar tail.
+    for (q, o) in queries[full..].iter().zip(out[full..].iter_mut()) {
+        match table.get(*q) {
+            Some(v) => {
+                *o = v;
+                hits += 1;
+            }
+            None => *o = V::Lane::EMPTY,
+        }
+    }
+    hits
+}
+
+/// Software-pipelined vertical lookup with explicit prefetching —
+/// Observation ②(a)'s "gather intrinsics that take some prefetching
+/// hints", approximated in software: while chunk *i* is being probed, the
+/// way-0 cache lines of chunk *i + 1* are prefetched, overlapping gather
+/// misses with compute.
+///
+/// Requires the interleaved arrangement (paired-wide gathers); falls back
+/// to the scalar probe for tails like [`vertical_lookup`].
+///
+/// # Panics
+///
+/// As [`vertical_lookup`], plus panics on split storage.
+pub fn vertical_lookup_prefetched<V: Vector>(
+    table: &CuckooTable<V::Lane, V::Lane>,
+    queries: &[V::Lane],
+    out: &mut [V::Lane],
+) -> usize {
+    assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+    let layout = table.layout();
+    assert!(!layout.is_bucketized(), "vertical template needs m = 1");
+    let hash = table.hash_family();
+    assert!(hash.log2_buckets() >= 1, "needs at least two buckets");
+    let data = table
+        .interleaved()
+        .expect("prefetched kernel requires interleaved storage");
+
+    let n_ways = layout.n_ways();
+    let shift = hash.shift();
+    let lanes = V::LANES;
+    let full = queries.len() - queries.len() % lanes;
+    let n_chunks = full / lanes;
+    let mut hits = 0usize;
+
+    let prefetch_chunk = |c: usize| {
+        let kv = V::from_slice(&queries[c * lanes..]);
+        let h = kv.mullo(V::splat(hash.multiplier(0))).shr(shift);
+        let idx = h.to_lanes();
+        for &i in idx.iter().take(lanes) {
+            let slot = 2 * (i.to_u64() as usize);
+            simdht_simd::prefetch_read(&data[slot]);
+        }
+    };
+
+    if n_chunks > 0 {
+        prefetch_chunk(0);
+    }
+    for c in 0..n_chunks {
+        if c + 1 < n_chunks {
+            prefetch_chunk(c + 1);
+        }
+        let chunk = &queries[c * lanes..(c + 1) * lanes];
+        let outs = &mut out[c * lanes..(c + 1) * lanes];
+        let kv = V::from_slice(chunk);
+        let mut pending = V::lane_mask();
+        let mut vals = V::splat(V::Lane::EMPTY);
+        for way in 0..n_ways {
+            let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+            // SAFETY: h < num_buckets by multiply-shift construction.
+            let (gk, gv) = unsafe { V::gather_pairs(data, h) };
+            let mbits = gk.cmpeq_bits(kv) & pending;
+            vals = V::blend_bits(mbits, gv, vals);
+            pending &= !mbits;
+            if pending == 0 {
+                break;
+            }
+        }
+        vals.write_to_slice(outs);
+        hits += lanes - pending.count_ones() as usize;
+    }
+
+    for (q, o) in queries[full..].iter().zip(out[full..].iter_mut()) {
+        match table.get(*q) {
+            Some(v) => {
+                *o = v;
+                hits += 1;
+            }
+            None => *o = V::Lane::EMPTY,
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::scalar_lookup;
+    use simdht_simd::emu::Emu;
+    use simdht_table::Layout;
+
+    fn populated(layout: Layout, log2: u32, n: u32) -> CuckooTable<u32, u32> {
+        let mut t = CuckooTable::new(layout, log2).unwrap();
+        for i in 1..=n {
+            t.insert(i * 31 + 7, i + 77).unwrap();
+        }
+        t
+    }
+
+    fn queries(n: u32) -> Vec<u32> {
+        (1..=n).map(|i| i * 31 + 7).collect()
+    }
+
+    #[test]
+    fn paired_wide_matches_scalar_all_n() {
+        for n_ways in 2..=4 {
+            let t = populated(Layout::n_way(n_ways), 11, 900);
+            let qs = queries(1100); // includes 200 misses
+            let mut simd = vec![0u32; qs.len()];
+            let mut scalar = vec![0u32; qs.len()];
+            let h1 = vertical_lookup::<Emu<u32, 8>>(&t, &qs, &mut simd, GatherMode::PairedWide);
+            let h2 = scalar_lookup(&t, &qs, &mut scalar);
+            assert_eq!(h1, h2, "N = {n_ways}");
+            assert_eq!(simd, scalar, "N = {n_ways}");
+            assert_eq!(h1, 900);
+        }
+    }
+
+    #[test]
+    fn narrow_split_on_interleaved_matches() {
+        let t = populated(Layout::n_way(3), 11, 900);
+        let qs = queries(1000);
+        let mut a = vec![0u32; qs.len()];
+        let mut b = vec![0u32; qs.len()];
+        let h1 = vertical_lookup::<Emu<u32, 16>>(&t, &qs, &mut a, GatherMode::PairedWide);
+        let h2 = vertical_lookup::<Emu<u32, 16>>(&t, &qs, &mut b, GatherMode::NarrowSplit);
+        assert_eq!(h1, h2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_storage_narrow_gathers() {
+        let mut t: CuckooTable<u32, u32> = CuckooTable::new(
+            Layout::n_way(2).with_arrangement(Arrangement::Split),
+            11,
+        )
+        .unwrap();
+        for i in 1..=800u32 {
+            t.insert(i * 13 + 1, i).unwrap();
+        }
+        let qs: Vec<u32> = (1..=900u32).map(|i| i * 13 + 1).collect();
+        let mut simd = vec![0u32; qs.len()];
+        let mut scalar = vec![0u32; qs.len()];
+        let h1 = vertical_lookup::<Emu<u32, 8>>(&t, &qs, &mut simd, GatherMode::NarrowSplit);
+        let h2 = scalar_lookup(&t, &qs, &mut scalar);
+        assert_eq!(h1, h2);
+        assert_eq!(simd, scalar);
+    }
+
+    #[test]
+    fn u64_keys_paired() {
+        let mut t: CuckooTable<u64, u64> = CuckooTable::new(Layout::n_way(3), 10).unwrap();
+        for i in 1..=500u64 {
+            t.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i).unwrap();
+        }
+        let qs: Vec<u64> = (1..=600u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut simd = vec![0u64; qs.len()];
+        let mut scalar = vec![0u64; qs.len()];
+        let h1 = vertical_lookup::<Emu<u64, 8>>(&t, &qs, &mut simd, GatherMode::PairedWide);
+        let h2 = scalar_lookup(&t, &qs, &mut scalar);
+        assert_eq!(h1, h2);
+        assert_eq!(simd, scalar);
+        assert_eq!(h1, 500);
+    }
+
+    #[test]
+    fn prefetched_variant_matches_plain() {
+        let t = populated(Layout::n_way(3), 12, 2500);
+        let qs = queries(3000);
+        let mut plain = vec![0u32; qs.len()];
+        let mut pref = vec![0u32; qs.len()];
+        let h1 = vertical_lookup::<Emu<u32, 8>>(&t, &qs, &mut plain, GatherMode::PairedWide);
+        let h2 = vertical_lookup_prefetched::<Emu<u32, 8>>(&t, &qs, &mut pref);
+        assert_eq!(h1, h2);
+        assert_eq!(plain, pref);
+    }
+
+    #[test]
+    fn tail_shorter_than_vector() {
+        let t = populated(Layout::n_way(2), 10, 100);
+        let qs = queries(5); // shorter than 8 lanes
+        let mut out = vec![0u32; 5];
+        let hits = vertical_lookup::<Emu<u32, 8>>(&t, &qs, &mut out, GatherMode::PairedWide);
+        assert_eq!(hits, 5);
+        assert_eq!(out[4], 5 + 77);
+    }
+
+    #[test]
+    fn empty_queries_ok() {
+        let t = populated(Layout::n_way(2), 8, 10);
+        let mut out: Vec<u32> = vec![];
+        assert_eq!(
+            vertical_lookup::<Emu<u32, 8>>(&t, &[], &mut out, GatherMode::PairedWide),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs m = 1")]
+    fn bucketized_rejected() {
+        let t: CuckooTable<u32, u32> = CuckooTable::new(Layout::bcht(2, 4), 8).unwrap();
+        let mut out = [0u32; 8];
+        vertical_lookup::<Emu<u32, 8>>(&t, &[1; 8], &mut out, GatherMode::PairedWide);
+    }
+
+    #[test]
+    #[should_panic(expected = "require the interleaved arrangement")]
+    fn paired_on_split_rejected() {
+        let t: CuckooTable<u32, u32> =
+            CuckooTable::new(Layout::n_way(2).with_arrangement(Arrangement::Split), 8).unwrap();
+        let mut out = [0u32; 8];
+        vertical_lookup::<Emu<u32, 8>>(&t, &[1; 8], &mut out, GatherMode::PairedWide);
+    }
+}

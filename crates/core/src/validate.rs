@@ -1,0 +1,422 @@
+//! The SIMD algorithm **validation engine** (paper §IV-B).
+//!
+//! Given a hash-table layout, key/value widths, and the CPU's vector
+//! capabilities, this module enumerates which *(vectorization approach ×
+//! SIMD width)* combinations are algorithmically valid — the engine that
+//! produces the paper's Listing 1.
+//!
+//! Two validators mirror the paper's pseudocode:
+//!
+//! * [`hor_v_valid`] — `HorV-Valid` (Algorithm 1): does at least one whole
+//!   bucket fit into a vector of width `w`? Returns buckets-per-vector.
+//! * [`ver_v_valid`] — `VerV-Valid` (Algorithm 2): can two or more keys be
+//!   probed per iteration? Returns keys-per-iteration.
+//!
+//! A third validator, [`hybrid_valid`], covers Case Study ⑤'s vertical-
+//! over-BCHT variant (selective gathers looping over the `m` slots).
+
+use simdht_simd::{CpuFeatures, Width};
+use simdht_table::{Arrangement, Layout};
+
+/// The SIMD vectorization approach (paper §III-B.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// One key vs. all slots of its bucket(s) in one compare — a reduction
+    /// over the bucket (BCHT layouts).
+    Horizontal,
+    /// One key per SIMD lane, `w` distinct keys probed in parallel via
+    /// gathers (non-bucketized N-way layouts).
+    Vertical,
+    /// Vertical lookup over a BCHT, looping over the `m` slots with
+    /// selective gathers (Case Study ⑤).
+    VerticalOnBcht,
+}
+
+impl Approach {
+    /// The paper's shorthand for the approach ("V-Hor" / "V-Ver").
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            Approach::Horizontal => "V-Hor",
+            Approach::Vertical => "V-Ver",
+            Approach::VerticalOnBcht => "V-Ver/BCHT",
+        }
+    }
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Approach::Horizontal => write!(f, "horizontal"),
+            Approach::Vertical => write!(f, "vertical"),
+            Approach::VerticalOnBcht => write!(f, "vertical-over-BCHT"),
+        }
+    }
+}
+
+/// How a vertical kernel fetches key/value pairs (paper §IV-C,
+/// Observation ②).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GatherMode {
+    /// "Fewer wider gathers": one double-width gather fetches the adjacent
+    /// (key, value) pair. Requires the interleaved arrangement and equal
+    /// key/value widths; for 64-bit keys this degenerates into two gathers
+    /// in hardware (no 128-bit gather lane exists), which is Observation ②.
+    PairedWide,
+    /// Separate key gathers and (match-masked) value gathers.
+    NarrowSplit,
+}
+
+impl std::fmt::Display for GatherMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatherMode::PairedWide => write!(f, "paired-wide gathers"),
+            GatherMode::NarrowSplit => write!(f, "narrow split gathers"),
+        }
+    }
+}
+
+/// One validated SIMD-aware design: approach × width × parallelism.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DesignChoice {
+    /// Vectorization approach.
+    pub approach: Approach,
+    /// Vector width.
+    pub width: Width,
+    /// Buckets-per-vector (horizontal) or keys-per-iteration (vertical /
+    /// hybrid).
+    pub parallelism: u32,
+    /// Gather strategy (vertical approaches; ignored for horizontal).
+    pub gather: GatherMode,
+}
+
+impl DesignChoice {
+    /// Is this choice runnable on the native intrinsic backend given `caps`?
+    pub fn supported(&self, caps: &CpuFeatures) -> bool {
+        caps.supports(self.width)
+    }
+
+    /// Listing-1-style description, e.g. `"256 bit - 8 keys/it"`.
+    pub fn listing_entry(&self) -> String {
+        match self.approach {
+            Approach::Horizontal => format!(
+                "{} bit - {} bucket/vec",
+                self.width.bits(),
+                self.parallelism
+            ),
+            Approach::Vertical | Approach::VerticalOnBcht => {
+                format!("{} bit - {} keys/it", self.width.bits(), self.parallelism)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DesignChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {}", self.approach.shorthand(), self.listing_entry())
+    }
+}
+
+/// `HorV-Valid` (paper Algorithm 1): how many whole buckets of an `(N, m)`
+/// BCHT fit into a `width`-bit vector, or `None` if the layout is not
+/// bucketized / does not fit.
+///
+/// For the interleaved arrangement a bucket occupies `(k + v) · m` bits; for
+/// the split arrangement only the key block (`k · m` bits) must fit, since
+/// values are fetched after the match — this is what makes a (2,8) BCHT
+/// with 16-bit keys probeable with AVX2 (Case Study ②).
+///
+/// The vector must be *exactly* filled by 1 or 2 whole buckets: 1 bucket
+/// per vector probes optimistically, 2 buckets load both candidate buckets
+/// of a 2-way probe at once (pessimistically). More than 2 disjoint buckets
+/// cannot be assembled into one register in a single-instruction form, and a
+/// partially-filled vector would compare garbage lanes — this exact-fit rule
+/// is what reproduces Listing 1 precisely (e.g. it is why (2,2) with 32-bit
+/// pairs has no 512-bit horizontal option in the paper).
+pub fn hor_v_valid(width: Width, layout: Layout, key_bits: u32, val_bits: u32) -> Option<u32> {
+    if !layout.is_bucketized() {
+        return None; // horizontal over m = 1 degenerates to scalar (§V-F)
+    }
+    let m = layout.slots_per_bucket();
+    let w = width.bits();
+    let block_bits = match layout.arrangement() {
+        Arrangement::Interleaved => (key_bits + val_bits) * m,
+        Arrangement::Split => key_bits * m,
+    };
+    if w % block_bits != 0 {
+        return None;
+    }
+    let bpv = w / block_bits;
+    (bpv >= 1 && bpv <= layout.n_ways().min(2)).then_some(bpv)
+}
+
+/// `VerV-Valid` (paper Algorithm 2): how many keys a vertical probe over a
+/// non-bucketized N-way table processes per iteration, or `None` if
+/// invalid.
+///
+/// Requirements: `m == 1`; equal key/value widths (the kernel treats the
+/// payload vector with key-width lanes); `width > key + value` so that at
+/// least two keys ride per vector. As in the paper's Listing 1, 128-bit
+/// vectors are excluded by default because x86 has no SSE-encoded gathers
+/// (see [`ValidationOptions::allow_128_bit_vertical`]).
+pub fn ver_v_valid(width: Width, layout: Layout, key_bits: u32, val_bits: u32) -> Option<u32> {
+    if layout.is_bucketized() || key_bits != val_bits {
+        return None;
+    }
+    let w = width.bits();
+    if w <= key_bits + val_bits {
+        return None;
+    }
+    Some(w / key_bits)
+}
+
+/// Validator for the hybrid vertical-over-BCHT approach (Case Study ⑤):
+/// same lane math as [`ver_v_valid`] but over a bucketized layout, looping
+/// the `m` slots with selective gathers.
+pub fn hybrid_valid(width: Width, layout: Layout, key_bits: u32, val_bits: u32) -> Option<u32> {
+    if !layout.is_bucketized() || key_bits != val_bits {
+        return None;
+    }
+    let w = width.bits();
+    if w <= key_bits + val_bits {
+        return None;
+    }
+    Some(w / key_bits)
+}
+
+/// Options controlling [`enumerate_designs`].
+#[derive(Copy, Clone, Debug)]
+pub struct ValidationOptions {
+    /// Widths to consider (the benchmark's optional `w` input parameter).
+    pub widths: [Option<Width>; 3],
+    /// Include the Case Study ⑤ hybrid approach.
+    pub include_hybrid: bool,
+    /// Also emit 128-bit vertical designs (off by default, matching the
+    /// paper's Listing 1 — x86 has no SSE-encoded gathers).
+    pub allow_128_bit_vertical: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            widths: [Some(Width::W128), Some(Width::W256), Some(Width::W512)],
+            include_hybrid: false,
+            allow_128_bit_vertical: false,
+        }
+    }
+}
+
+impl ValidationOptions {
+    /// Restrict to a single width.
+    pub fn only_width(width: Width) -> Self {
+        ValidationOptions {
+            widths: [Some(width), None, None],
+            ..Self::default()
+        }
+    }
+
+    fn width_iter(&self) -> impl Iterator<Item = Width> + '_ {
+        self.widths.iter().filter_map(|w| *w)
+    }
+}
+
+/// Enumerate every algorithmically valid [`DesignChoice`] for a layout —
+/// the engine behind the paper's Listing 1.
+///
+/// The caller filters by hardware with [`DesignChoice::supported`]; the
+/// emulated backend can always run every returned choice.
+pub fn enumerate_designs(
+    layout: Layout,
+    key_bits: u32,
+    val_bits: u32,
+    options: &ValidationOptions,
+) -> Vec<DesignChoice> {
+    let mut out = Vec::new();
+    let paired_ok = layout.arrangement() == Arrangement::Interleaved && key_bits == val_bits;
+    let gather = if paired_ok {
+        GatherMode::PairedWide
+    } else {
+        GatherMode::NarrowSplit
+    };
+    for width in options.width_iter() {
+        if let Some(bpv) = hor_v_valid(width, layout, key_bits, val_bits) {
+            out.push(DesignChoice {
+                approach: Approach::Horizontal,
+                width,
+                parallelism: bpv,
+                gather: GatherMode::NarrowSplit,
+            });
+        }
+        if width != Width::W128 || options.allow_128_bit_vertical {
+            if let Some(kpi) = ver_v_valid(width, layout, key_bits, val_bits) {
+                out.push(DesignChoice {
+                    approach: Approach::Vertical,
+                    width,
+                    parallelism: kpi,
+                    gather,
+                });
+            }
+            if options.include_hybrid {
+                if let Some(kpi) = hybrid_valid(width, layout, key_bits, val_bits) {
+                    out.push(DesignChoice {
+                        approach: Approach::VerticalOnBcht,
+                        width,
+                        parallelism: kpi,
+                        gather,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render design choices for a set of layouts in the format of the paper's
+/// Listing 1.
+pub fn render_listing(
+    entries: &[(Layout, Vec<DesignChoice>)],
+    key_bits: u32,
+    val_bits: u32,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "*(k,v) = ({key_bits}, {val_bits}); 'w' = 128, 256, 512");
+    for (layout, choices) in entries {
+        let name = format!("({},{})", layout.n_ways(), layout.slots_per_bucket());
+        if choices.is_empty() {
+            let _ = writeln!(s, "*{name} -> no viable SIMD design");
+            continue;
+        }
+        let approach = choices[0].approach.shorthand();
+        let opts: Vec<String> = choices
+            .iter()
+            .map(|c| format!("Opts: {}", c.listing_entry()))
+            .collect();
+        let _ = writeln!(s, "*{name} -> {approach}, {}", opts.join(", "));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K32: u32 = 32;
+    const V32: u32 = 32;
+
+    /// The ground truth: the paper's Listing 1 for (k,v) = (32,32).
+    #[test]
+    fn listing1_vertical_choices() {
+        for n in 2..=4 {
+            let designs =
+                enumerate_designs(Layout::n_way(n), K32, V32, &ValidationOptions::default());
+            let entries: Vec<String> = designs.iter().map(DesignChoice::listing_entry).collect();
+            assert_eq!(
+                entries,
+                ["256 bit - 8 keys/it", "512 bit - 16 keys/it"],
+                "N = {n}"
+            );
+            assert!(designs.iter().all(|d| d.approach == Approach::Vertical));
+        }
+    }
+
+    #[test]
+    fn listing1_horizontal_choices() {
+        let cases = [
+            ((2, 2), vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"]),
+            ((2, 4), vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"]),
+            ((2, 8), vec!["512 bit - 1 bucket/vec"]),
+            ((3, 2), vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"]),
+            ((3, 4), vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"]),
+            ((3, 8), vec!["512 bit - 1 bucket/vec"]),
+        ];
+        for ((n, m), expected) in cases {
+            let designs =
+                enumerate_designs(Layout::bcht(n, m), K32, V32, &ValidationOptions::default());
+            let entries: Vec<String> = designs
+                .iter()
+                .filter(|d| d.approach == Approach::Horizontal)
+                .map(DesignChoice::listing_entry)
+                .collect();
+            assert_eq!(entries, expected, "({n},{m})");
+        }
+    }
+
+    #[test]
+    fn vertical_rejects_bucketized_and_mixed_widths() {
+        assert_eq!(ver_v_valid(Width::W256, Layout::bcht(2, 4), 32, 32), None);
+        assert_eq!(ver_v_valid(Width::W256, Layout::n_way(2), 16, 32), None);
+        // 64-bit keys on 128-bit vectors: w <= k+v.
+        assert_eq!(ver_v_valid(Width::W128, Layout::n_way(2), 64, 64), None);
+        assert_eq!(ver_v_valid(Width::W256, Layout::n_way(3), 64, 64), Some(4));
+    }
+
+    #[test]
+    fn horizontal_rejects_nonbucketized() {
+        assert_eq!(hor_v_valid(Width::W512, Layout::n_way(3), 32, 32), None);
+    }
+
+    #[test]
+    fn horizontal_split_uses_key_block_only() {
+        // Case Study ②: (2,8) with (k,v) = (16,32) — interleaved does not
+        // fit 256 bits, but the split key block (8 × 16 b = 128 b) does.
+        let interleaved = Layout::bcht(2, 8);
+        assert_eq!(hor_v_valid(Width::W256, interleaved, 16, 32), None);
+        let split = interleaved.with_arrangement(Arrangement::Split);
+        assert_eq!(hor_v_valid(Width::W256, split, 16, 32), Some(2));
+        assert_eq!(hor_v_valid(Width::W128, split, 16, 32), Some(1));
+    }
+
+    #[test]
+    fn buckets_per_vec_exact_fit_only() {
+        // (2,2) with 16-bit keys/values, 512-bit vector: 8 buckets would
+        // "fit" but only 1 or 2 whole buckets can be assembled — invalid.
+        assert_eq!(hor_v_valid(Width::W512, Layout::bcht(2, 2), 16, 16), None);
+        assert_eq!(hor_v_valid(Width::W128, Layout::bcht(2, 2), 16, 16), Some(2));
+        assert_eq!(hor_v_valid(Width::W128, Layout::bcht(2, 2), 32, 32), Some(1));
+        // Non-dividing widths are invalid (partial bucket in register).
+        assert_eq!(hor_v_valid(Width::W512, Layout::bcht(2, 8), 16, 32), None);
+    }
+
+    #[test]
+    fn hybrid_only_on_bcht() {
+        assert_eq!(hybrid_valid(Width::W256, Layout::n_way(2), 32, 32), None);
+        assert_eq!(hybrid_valid(Width::W256, Layout::bcht(2, 2), 32, 32), Some(8));
+        assert_eq!(hybrid_valid(Width::W512, Layout::bcht(3, 2), 32, 32), Some(16));
+    }
+
+    #[test]
+    fn options_gate_128_bit_vertical() {
+        let with = ValidationOptions {
+            allow_128_bit_vertical: true,
+            ..ValidationOptions::default()
+        };
+        let designs = enumerate_designs(Layout::n_way(2), K32, V32, &with);
+        assert_eq!(designs[0].listing_entry(), "128 bit - 4 keys/it");
+    }
+
+    #[test]
+    fn gather_mode_follows_arrangement() {
+        let interleaved =
+            enumerate_designs(Layout::n_way(2), 32, 32, &ValidationOptions::default());
+        assert!(interleaved.iter().all(|d| d.gather == GatherMode::PairedWide));
+        let split = enumerate_designs(
+            Layout::n_way(2).with_arrangement(Arrangement::Split),
+            32,
+            32,
+            &ValidationOptions::default(),
+        );
+        assert!(split.iter().all(|d| d.gather == GatherMode::NarrowSplit));
+    }
+
+    #[test]
+    fn render_matches_listing_shape() {
+        let layouts = [Layout::n_way(2), Layout::bcht(2, 4)];
+        let entries: Vec<_> = layouts
+            .iter()
+            .map(|&l| (l, enumerate_designs(l, 32, 32, &ValidationOptions::default())))
+            .collect();
+        let text = render_listing(&entries, 32, 32);
+        assert!(text.contains("*(2,1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it"));
+        assert!(text.contains("*(2,4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over the lookup kernels: random layouts, random table
+//! contents, random queries — every kernel instantiation must agree with
+//! the scalar probe bit for bit.
+
+use proptest::prelude::*;
+use simdht_core::dispatch::{run_design, run_scalar};
+use simdht_core::templates::{hybrid_lookup, vertical_lookup, vertical_lookup_prefetched};
+use simdht_core::validate::{enumerate_designs, GatherMode, ValidationOptions};
+use simdht_simd::emu::Emu;
+use simdht_simd::{Backend, CpuFeatures};
+use simdht_table::{CuckooTable, Layout};
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        (2u32..=4).prop_map(Layout::n_way),
+        ((2u32..=3), prop_oneof![Just(2u32), Just(4), Just(8)]).prop_map(|(n, m)| Layout::bcht(n, m)),
+    ]
+}
+
+/// Build a table from (key, value) pairs, skipping unplaceable tails.
+fn build(layout: Layout, pairs: &[(u32, u32)]) -> CuckooTable<u32, u32> {
+    let mut t = CuckooTable::new(layout, 9).unwrap();
+    for &(k, v) in pairs {
+        if k == 0 {
+            continue;
+        }
+        if t.insert(k, v.max(1)).is_err() {
+            break;
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn designs_agree_with_scalar_on_arbitrary_contents(
+        layout in arb_layout(),
+        pairs in prop::collection::vec((1u32..5000, any::<u32>()), 0..800),
+        queries in prop::collection::vec(any::<u32>(), 1..600),
+    ) {
+        let caps = CpuFeatures::detect();
+        let table = build(layout, &pairs);
+        let mut expect = vec![0u32; queries.len()];
+        run_scalar(&table, &queries, &mut expect);
+        let opts = ValidationOptions {
+            include_hybrid: true,
+            allow_128_bit_vertical: true,
+            ..ValidationOptions::default()
+        };
+        for design in enumerate_designs(layout, 32, 32, &opts) {
+            for backend in [Backend::Emulated, Backend::Native] {
+                if backend == Backend::Native && !design.supported(&caps) {
+                    continue;
+                }
+                let mut got = vec![0u32; queries.len()];
+                run_design(backend, &design, &table, &queries, &mut got).unwrap();
+                prop_assert_eq!(&got, &expect, "{} {} {}", layout, design, backend);
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_gather_modes_agree(
+        pairs in prop::collection::vec((1u32..5000, 1u32..u32::MAX), 0..600),
+        queries in prop::collection::vec(any::<u32>(), 1..400),
+    ) {
+        let table = build(Layout::n_way(3), &pairs);
+        let mut paired = vec![0u32; queries.len()];
+        let mut narrow = vec![0u32; queries.len()];
+        let mut prefetched = vec![0u32; queries.len()];
+        let h1 = vertical_lookup::<Emu<u32, 8>>(&table, &queries, &mut paired, GatherMode::PairedWide);
+        let h2 = vertical_lookup::<Emu<u32, 8>>(&table, &queries, &mut narrow, GatherMode::NarrowSplit);
+        let h3 = vertical_lookup_prefetched::<Emu<u32, 8>>(&table, &queries, &mut prefetched);
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(h1, h3);
+        prop_assert_eq!(&paired, &narrow);
+        prop_assert_eq!(&paired, &prefetched);
+    }
+
+    #[test]
+    fn hybrid_agrees_across_vector_widths(
+        pairs in prop::collection::vec((1u32..4000, 1u32..u32::MAX), 0..500),
+        queries in prop::collection::vec(any::<u32>(), 1..300),
+    ) {
+        let table = build(Layout::bcht(2, 2), &pairs);
+        let mut w4 = vec![0u32; queries.len()];
+        let mut w8 = vec![0u32; queries.len()];
+        let mut w16 = vec![0u32; queries.len()];
+        hybrid_lookup::<Emu<u32, 4>>(&table, &queries, &mut w4);
+        hybrid_lookup::<Emu<u32, 8>>(&table, &queries, &mut w8);
+        hybrid_lookup::<Emu<u32, 16>>(&table, &queries, &mut w16);
+        prop_assert_eq!(&w4, &w8);
+        prop_assert_eq!(&w4, &w16);
+    }
+
+    #[test]
+    fn hit_count_equals_sentinel_free_outputs(
+        pairs in prop::collection::vec((1u32..3000, 1u32..u32::MAX), 1..400),
+        queries in prop::collection::vec(1u32..6000, 1..300),
+    ) {
+        // Payloads are non-zero, so hits == non-sentinel outputs — for the
+        // scalar baseline and every design alike.
+        let table = build(Layout::bcht(2, 4), &pairs);
+        let mut out = vec![0u32; queries.len()];
+        let hits = run_scalar(&table, &queries, &mut out);
+        prop_assert_eq!(hits, out.iter().filter(|&&v| v != 0).count());
+        for design in enumerate_designs(Layout::bcht(2, 4), 32, 32, &ValidationOptions::default()) {
+            let mut vout = vec![0u32; queries.len()];
+            let vhits = run_design(Backend::Emulated, &design, &table, &queries, &mut vout).unwrap();
+            prop_assert_eq!(vhits, hits);
+        }
+    }
+}

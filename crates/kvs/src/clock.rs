@@ -1,0 +1,186 @@
+//! CLOCK cache eviction — MemC3's replacement for memcached's LRU lists.
+//!
+//! MemC3 (NSDI'13) replaces the doubly-linked LRU with a CLOCK ring: one
+//! reference bit per item, set on access (cheap, shared-friendly), swept by
+//! a rotating hand on eviction. The paper's post-processing phase (§VI-A
+//! step 3, "updates its metadata to maintain cache freshness") is this
+//! touch operation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A CLOCK ring over item ids.
+#[derive(Debug, Default)]
+pub struct Clock {
+    entries: Vec<u32>,
+    referenced: Vec<AtomicBool>,
+    /// Position of entry in `entries`, by item id (dense ids assumed).
+    position: Vec<Option<u32>>,
+    hand: usize,
+}
+
+impl Clock {
+    /// Create an empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track a new item (initially referenced, like a fresh insert).
+    pub fn admit(&mut self, item: u32) {
+        let pos = self.entries.len() as u32;
+        self.entries.push(item);
+        self.referenced.push(AtomicBool::new(true));
+        if self.position.len() <= item as usize {
+            self.position.resize_with(item as usize + 1, || None);
+        }
+        debug_assert!(self.position[item as usize].is_none(), "double admit");
+        self.position[item as usize] = Some(pos);
+    }
+
+    /// Mark an item as recently used. Takes `&self` — safe to call from
+    /// concurrent readers (the reference bits are atomic).
+    pub fn touch(&self, item: u32) {
+        if let Some(Some(pos)) = self.position.get(item as usize) {
+            self.referenced[*pos as usize].store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Pick a victim: sweep the hand, clearing reference bits, until an
+    /// unreferenced item is found. Returns `None` when the ring is empty.
+    pub fn evict(&mut self) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // At most two sweeps: the first clears every bit.
+        for _ in 0..2 * self.entries.len() {
+            let pos = self.hand % self.entries.len();
+            self.hand = (self.hand + 1) % self.entries.len();
+            if self.referenced[pos].swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            let item = self.entries[pos];
+            self.remove_at(pos);
+            return Some(item);
+        }
+        // All bits were set and re-set concurrently; evict at the hand.
+        let pos = self.hand % self.entries.len();
+        let item = self.entries[pos];
+        self.remove_at(pos);
+        Some(item)
+    }
+
+    /// Stop tracking an item (e.g. explicit delete).
+    pub fn remove(&mut self, item: u32) {
+        if let Some(Some(pos)) = self.position.get(item as usize).copied() {
+            self.remove_at(pos as usize);
+        }
+    }
+
+    fn remove_at(&mut self, pos: usize) {
+        let item = self.entries[pos];
+        self.position[item as usize] = None;
+        // entries and referenced move in lockstep under swap_remove.
+        self.entries.swap_remove(pos);
+        self.referenced.swap_remove(pos);
+        if pos < self.entries.len() {
+            let moved = self.entries[pos];
+            self.position[moved as usize] = Some(pos as u32);
+        }
+        if self.hand > self.entries.len() {
+            self.hand = 0;
+        }
+    }
+
+    /// Items currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_unreferenced_first() {
+        let mut clock = Clock::new();
+        for i in 0..4 {
+            clock.admit(i);
+        }
+        // First sweep clears all fresh bits; second finds item 0.
+        assert_eq!(clock.evict(), Some(0));
+        // Touch 1 so the hand passes it and lands on 2.
+        clock.touch(1);
+        assert_eq!(clock.evict(), Some(2));
+    }
+
+    #[test]
+    fn touch_protects_item() {
+        let mut clock = Clock::new();
+        for i in 0..3 {
+            clock.admit(i);
+        }
+        // One eviction (clears bits + evicts 0).
+        assert_eq!(clock.evict(), Some(0));
+        clock.touch(1);
+        // 2 is unreferenced now, 1 was touched.
+        assert_eq!(clock.evict(), Some(2));
+        assert_eq!(clock.len(), 1);
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let mut clock = Clock::new();
+        assert_eq!(clock.evict(), None);
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut clock = Clock::new();
+        clock.admit(7);
+        clock.admit(8);
+        clock.remove(7);
+        assert_eq!(clock.len(), 1);
+        assert_eq!(clock.evict(), Some(8));
+        assert!(clock.is_empty());
+    }
+
+    #[test]
+    fn evict_everything_eventually() {
+        let mut clock = Clock::new();
+        for i in 0..100 {
+            clock.admit(i);
+        }
+        let mut evicted = std::collections::HashSet::new();
+        while let Some(i) = clock.evict() {
+            assert!(evicted.insert(i), "item {i} evicted twice");
+        }
+        assert_eq!(evicted.len(), 100);
+    }
+
+    #[test]
+    fn touch_unknown_item_is_noop() {
+        let clock = Clock::new();
+        clock.touch(42); // must not panic
+    }
+
+    #[test]
+    fn admit_after_evict_reuses_cleanly() {
+        let mut clock = Clock::new();
+        clock.admit(0);
+        clock.admit(1);
+        assert!(clock.evict().is_some());
+        clock.admit(2);
+        assert_eq!(clock.len(), 2);
+        let mut drained = vec![];
+        while let Some(i) = clock.evict() {
+            drained.push(i);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained.len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Key-value item encoding inside slab chunks, and the shared
+//! object-pointer table the hash indexes point into.
+//!
+//! The paper (§VI-B): "since the key-value store HT lookups need to return
+//! an object pointer (64-bit), we use the 32-bit HT payload to index a
+//! shared array of object pointers". [`ItemTable`] is that array.
+
+use crate::slab::{SlabAllocator, SlabError, SlabRef};
+
+/// Item header: key length (2 B) + value length (4 B).
+const HEADER_BYTES: usize = 6;
+
+/// Sentinel item id meaning "no item".
+pub const NO_ITEM: u32 = u32::MAX;
+
+/// Encode an item into a fresh slab chunk; returns the chunk reference.
+///
+/// # Errors
+///
+/// Propagates [`SlabError`] from allocation.
+///
+/// # Panics
+///
+/// Panics if the key exceeds `u16::MAX` bytes or the value `u32::MAX`.
+pub fn write_item(
+    slab: &mut SlabAllocator,
+    key: &[u8],
+    value: &[u8],
+) -> Result<SlabRef, SlabError> {
+    assert!(key.len() <= u16::MAX as usize, "key too long");
+    assert!(value.len() <= u32::MAX as usize, "value too long");
+    let r = slab.alloc(HEADER_BYTES + key.len() + value.len())?;
+    let chunk = slab.chunk_mut(r);
+    chunk[0..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    chunk[2..6].copy_from_slice(&(value.len() as u32).to_le_bytes());
+    chunk[6..6 + key.len()].copy_from_slice(key);
+    chunk[6 + key.len()..6 + key.len() + value.len()].copy_from_slice(value);
+    Ok(r)
+}
+
+/// Decode the key bytes of an item chunk.
+pub fn item_key(chunk: &[u8]) -> &[u8] {
+    let klen = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+    &chunk[HEADER_BYTES..HEADER_BYTES + klen]
+}
+
+/// Decode the value bytes of an item chunk.
+pub fn item_value(chunk: &[u8]) -> &[u8] {
+    let klen = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+    let vlen = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]) as usize;
+    &chunk[HEADER_BYTES + klen..HEADER_BYTES + klen + vlen]
+}
+
+/// The shared object-pointer array: item id (32-bit, what the hash index
+/// stores as its payload) → slab chunk reference.
+#[derive(Debug, Default)]
+pub struct ItemTable {
+    slots: Vec<Option<SlabRef>>,
+    free: Vec<u32>,
+}
+
+impl ItemTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a slab chunk, returning its item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` items are live.
+    pub fn register(&mut self, r: SlabRef) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(r);
+            return id;
+        }
+        let id = self.slots.len();
+        assert!(id < NO_ITEM as usize, "item table full");
+        self.slots.push(Some(r));
+        id as u32
+    }
+
+    /// Resolve an item id to its chunk, if live.
+    pub fn get(&self, id: u32) -> Option<SlabRef> {
+        self.slots.get(id as usize).copied().flatten()
+    }
+
+    /// Remove an item id, returning its chunk for freeing.
+    pub fn unregister(&mut self, id: u32) -> Option<SlabRef> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let r = slot.take();
+        if r.is_some() {
+            self.free.push(id);
+        }
+        r
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when no items are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_roundtrip() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let r = write_item(&mut slab, b"some-key", b"some-value-bytes").unwrap();
+        assert_eq!(item_key(slab.chunk(r)), b"some-key");
+        assert_eq!(item_value(slab.chunk(r)), b"some-value-bytes");
+    }
+
+    #[test]
+    fn empty_key_and_value() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let r = write_item(&mut slab, b"", b"").unwrap();
+        assert_eq!(item_key(slab.chunk(r)), b"");
+        assert_eq!(item_value(slab.chunk(r)), b"");
+    }
+
+    #[test]
+    fn item_table_register_resolve() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let mut table = ItemTable::new();
+        let r = write_item(&mut slab, b"k", b"v").unwrap();
+        let id = table.register(r);
+        assert_eq!(table.get(id), Some(r));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn item_table_recycles_ids() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let mut table = ItemTable::new();
+        let a = table.register(write_item(&mut slab, b"a", b"1").unwrap());
+        let chunk = table.unregister(a).unwrap();
+        slab.free(chunk);
+        let b = table.register(write_item(&mut slab, b"b", b"2").unwrap());
+        assert_eq!(a, b, "freed id should be reused");
+        assert_eq!(table.get(b).map(|r| item_key(slab.chunk(r)).to_vec()), Some(b"b".to_vec()));
+    }
+
+    #[test]
+    fn unregister_twice_is_none() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let mut table = ItemTable::new();
+        let id = table.register(write_item(&mut slab, b"k", b"v").unwrap());
+        assert!(table.unregister(id).is_some());
+        assert!(table.unregister(id).is_none());
+        assert!(table.get(id).is_none());
+    }
+}

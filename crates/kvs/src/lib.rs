@@ -1,0 +1,54 @@
+//! # simdht-kvs
+//!
+//! The in-memory key-value store substrate validating **SimdHT-Bench**
+//! (IISWC 2019 reproduction, §VI): a Memcached-like server whose Multi-Get
+//! pipeline can be backed by the paper's non-SIMD MemC3 index or by the two
+//! SIMD-aware designs its performance studies selected.
+//!
+//! Components (paper Fig. 10):
+//!
+//! * [`slab`] — memcached-style slab allocator holding the variable-length
+//!   key-value objects.
+//! * [`item`] — item encoding + the shared object-pointer array the hash
+//!   indexes point into.
+//! * [`clock`] — MemC3's CLOCK cache-freshness metadata.
+//! * [`index`] — pluggable hash indexes: [`index::Memc3Index`] (tags +
+//!   partial-key cuckoo + optimistic versioned buckets) and
+//!   [`index::SimdIndex`] (horizontal (2,4) BCHT / vertical 3-way over the
+//!   `simdht-core` kernels).
+//! * [`store`] — the three-phase Multi-Get pipeline with per-phase timing
+//!   (pre-processing / HT lookup / post-processing — Fig. 11b).
+//! * [`transport`] — the simulated InfiniBand-EDR fabric (crossbeam
+//!   channels + an analytic wire-cost model; see DESIGN.md substitutions).
+//! * [`server`] / [`memslap`] — worker threads and the memslap-style
+//!   Multi-Get load generator with latency percentiles.
+//!
+//! ## Example
+//!
+//! ```
+//! use simdht_kvs::index::{SimdIndex, SimdIndexKind};
+//! use simdht_kvs::store::{KvStore, MGetResponse, StoreConfig};
+//!
+//! let store = KvStore::new(
+//!     Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 1000)),
+//!     StoreConfig::default(),
+//! );
+//! store.set(b"user:42", b"{\"name\":\"ada\"}")?;
+//! let mut resp = MGetResponse::new();
+//! let outcome = store.mget(&[b"user:42".as_ref(), b"user:43".as_ref()], &mut resp);
+//! assert_eq!(outcome.found, 1);
+//! assert_eq!(resp.value(0), Some(&b"{\"name\":\"ada\"}"[..]));
+//! # Ok::<(), simdht_kvs::store::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod index;
+pub mod item;
+pub mod memslap;
+pub mod protocol;
+pub mod server;
+pub mod slab;
+pub mod store;
+pub mod transport;

@@ -1,0 +1,293 @@
+//! memslap-style Multi-Get load generator and latency/throughput reporter
+//! (the measurement protocol of the paper's §VI-B: memslap with N keys per
+//! request, 20 B keys, 32 B values, client threads on a separate "node").
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use crate::protocol::{Request, Response};
+use crate::server::Server;
+use crate::store::{KvStore, PhaseNanos, StoreConfig};
+use crate::transport::{Fabric, FabricConfig};
+use simdht_workload::KvWorkload;
+
+/// Parameters for one memslap run.
+#[derive(Clone, Debug)]
+pub struct MemslapConfig {
+    /// Concurrent client threads (paper: 26).
+    pub clients: usize,
+    /// Server worker threads (paper: 26).
+    pub server_workers: usize,
+    /// Wire model.
+    pub fabric: FabricConfig,
+    /// Store sizing.
+    pub store: StoreConfig,
+    /// Fraction of requests that are Sets instead of Multi-Gets (the
+    /// paper's future-work mixed workload, applied at the KVS layer;
+    /// 0.0 = the paper's read-only Multi-Get setting).
+    pub set_fraction: f64,
+}
+
+impl Default for MemslapConfig {
+    fn default() -> Self {
+        MemslapConfig {
+            clients: 2,
+            server_workers: 2,
+            fabric: FabricConfig::ib_edr(),
+            store: StoreConfig::default(),
+            set_fraction: 0.0,
+        }
+    }
+}
+
+/// Results of one memslap run.
+#[derive(Clone, Debug)]
+pub struct MemslapReport {
+    /// Name of the hash index under test.
+    pub index_name: &'static str,
+    /// Set requests issued by clients (mixed workloads).
+    pub sets: u64,
+    /// Multi-Get requests completed.
+    pub requests: u64,
+    /// Keys requested.
+    pub keys: u64,
+    /// Keys found.
+    pub found: u64,
+    /// Mean end-to-end Multi-Get latency in µs (measured + modeled wire).
+    pub mean_latency_us: f64,
+    /// Minimum observed latency in µs (bounded below by the wire model).
+    pub min_latency_us: f64,
+    /// Median (p50) latency in µs.
+    pub p50_latency_us: f64,
+    /// p95 latency in µs.
+    pub p95_latency_us: f64,
+    /// p99 latency in µs.
+    pub p99_latency_us: f64,
+    /// Server-side Get throughput: keys per busy-second across workers.
+    pub server_keys_per_sec: f64,
+    /// Aggregate server phase breakdown.
+    pub phases: PhaseNanos,
+    /// Wall-clock seconds of the measurement window.
+    pub wall_secs: f64,
+}
+
+impl MemslapReport {
+    /// Mean server data-access nanoseconds per Multi-Get request.
+    pub fn server_ns_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.phases.total() as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Run memslap against a fresh server over `store`, replaying `workload`'s
+/// Multi-Get request stream split across client threads.
+///
+/// Items are pre-loaded (untimed), then all requests are issued and
+/// latencies recorded; per-request end-to-end latency = measured
+/// request/response time + the modeled wire time of both messages.
+pub fn run_memslap(
+    store: KvStore,
+    workload: &KvWorkload,
+    config: &MemslapConfig,
+) -> MemslapReport {
+    let store = Arc::new(store);
+    let index_name = store.index_name();
+
+    // Pre-load all items directly (setup, untimed).
+    for (key, value) in workload.items() {
+        store.set(key, value).expect("preload fits the store budget");
+    }
+
+    let fabric = Fabric::new(config.fabric);
+    let server = Server::spawn(Arc::clone(&store), fabric.clone(), config.server_workers);
+    let stats = server.stats();
+
+    // Pre-encode requests per client (encode cost is not what we measure).
+    // A `set_fraction` share of request slots become Sets over sampled
+    // items with fresh values — the mixed-workload extension.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3E7_F);
+    let n_req = workload.requests().len();
+    let mut n_sets = 0u64;
+    let per_client: Vec<Vec<(bool, Bytes)>> = (0..config.clients)
+        .map(|c| {
+            (c..n_req)
+                .step_by(config.clients)
+                .map(|r| {
+                    if rng.gen::<f64>() < config.set_fraction {
+                        n_sets += 1;
+                        let item = rng.gen_range(0..workload.items().len());
+                        let (key, value) = &workload.items()[item];
+                        let fresh: Vec<u8> =
+                            (0..value.len()).map(|_| rng.gen_range(b' '..=b'~')).collect();
+                        (
+                            true,
+                            Request::Set {
+                                id: r as u64,
+                                key: Bytes::copy_from_slice(key),
+                                value: Bytes::from(fresh),
+                            }
+                            .encode(),
+                        )
+                    } else {
+                        let keys = workload.requests()[r]
+                            .iter()
+                            .map(|&i| Bytes::copy_from_slice(&workload.items()[i].0))
+                            .collect();
+                        (false, Request::MGet { id: r as u64, keys }.encode())
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let wall_start = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = per_client
+            .iter()
+            .map(|requests| {
+                let fabric = fabric.clone();
+                s.spawn(move || {
+                    let (reply_tx, reply_rx) = Fabric::client_endpoint();
+                    let mut lats = Vec::with_capacity(requests.len());
+                    for (is_set, req) in requests {
+                        let t0 = Instant::now();
+                        let req_wire = fabric.send_request(req.clone(), Some(reply_tx.clone()));
+                        let envelope = reply_rx.recv().expect("server replies");
+                        let measured = t0.elapsed().as_nanos() as u64;
+                        // Validate the response decodes (cheap sanity).
+                        debug_assert!(Response::decode(envelope.payload.clone()).is_ok());
+                        if !is_set {
+                            // Latency percentiles track Multi-Gets only.
+                            lats.push(measured + req_wire + envelope.wire_ns);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * p) as usize;
+        sorted[idx] as f64 / 1_000.0
+    };
+    let mean =
+        sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0;
+
+    MemslapReport {
+        index_name,
+        sets: n_sets,
+        requests: stats.requests.load(std::sync::atomic::Ordering::Relaxed),
+        keys: stats.keys.load(std::sync::atomic::Ordering::Relaxed),
+        found: stats.found.load(std::sync::atomic::Ordering::Relaxed),
+        mean_latency_us: mean,
+        min_latency_us: sorted.first().map_or(0.0, |&n| n as f64 / 1_000.0),
+        p50_latency_us: pct(0.50),
+        p95_latency_us: pct(0.95),
+        p99_latency_us: pct(0.99),
+        server_keys_per_sec: stats.keys_per_busy_sec(),
+        phases: stats.phases(),
+        wall_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Memc3Index, SimdIndex, SimdIndexKind};
+    use simdht_workload::KvWorkloadSpec;
+
+    fn small_workload() -> KvWorkload {
+        KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 500,
+            n_requests: 100,
+            mget_size: 16,
+            ..KvWorkloadSpec::default()
+        })
+    }
+
+    #[test]
+    fn memslap_memc3_end_to_end() {
+        let wl = small_workload();
+        let cfg = MemslapConfig::default();
+        let store = KvStore::new(Box::new(Memc3Index::with_capacity(1000)), cfg.store);
+        let report = run_memslap(store, &wl, &cfg);
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.keys, 1600);
+        // All requested keys exist (hit rate 100 % in this workload).
+        assert_eq!(report.found, 1600, "{report:?}");
+        assert!(report.mean_latency_us > 3.0, "wire model not charged?");
+        assert!(report.p99_latency_us >= report.p50_latency_us);
+        assert!(report.server_keys_per_sec > 0.0);
+        assert!(report.phases.total() > 0);
+    }
+
+    #[test]
+    fn mixed_set_fraction_keeps_store_consistent() {
+        let wl = small_workload();
+        for kind in [SimdIndexKind::HorizontalBcht, SimdIndexKind::VerticalNway] {
+            let cfg = MemslapConfig {
+                set_fraction: 0.3,
+                ..MemslapConfig::default()
+            };
+            let store = KvStore::new(Box::new(SimdIndex::with_capacity(kind, 1000)), cfg.store);
+            let report = run_memslap(store, &wl, &cfg);
+            assert!(report.sets > 10, "{kind:?}: {} sets", report.sets);
+            assert_eq!(report.requests + report.sets, 100, "{kind:?}");
+            // Sets only replace values of existing keys: every Multi-Get
+            // key must still be found.
+            assert_eq!(report.found, report.keys, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn memslap_simd_indexes_find_everything() {
+        let wl = small_workload();
+        for kind in [SimdIndexKind::HorizontalBcht, SimdIndexKind::VerticalNway] {
+            let cfg = MemslapConfig::default();
+            let store = KvStore::new(Box::new(SimdIndex::with_capacity(kind, 1000)), cfg.store);
+            let report = run_memslap(store, &wl, &cfg);
+            assert_eq!(report.found, report.keys, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn wire_model_floors_latency() {
+        // Every EDR-fabric latency includes >= 2 x 1.5 us of modeled wire
+        // time, so the *minimum* observed latency is deterministically
+        // bounded (cross-run mean comparisons would be noise-dominated on a
+        // loaded single-core machine).
+        let wl = small_workload();
+        let edr = run_memslap(
+            KvStore::new(
+                Box::new(Memc3Index::with_capacity(1000)),
+                StoreConfig::default(),
+            ),
+            &wl,
+            &MemslapConfig::default(),
+        );
+        assert!(
+            edr.min_latency_us >= 3.0,
+            "wire model missing from latency: min {} us",
+            edr.min_latency_us
+        );
+        let _ = FabricConfig::zero(); // exercised in transport tests
+    }
+}

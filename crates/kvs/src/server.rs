@@ -1,0 +1,248 @@
+//! The key-value server: worker threads draining the fabric's receive
+//! queue, running the store's three-phase Multi-Get pipeline, and sending
+//! responses back — the "Memcached workers" of the paper's Fig. 10.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::protocol::{Request, Response};
+use crate::store::{KvStore, MGetResponse, PhaseNanos};
+use crate::transport::Fabric;
+
+/// Aggregated server-side statistics across workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Multi-Get requests processed.
+    pub requests: AtomicU64,
+    /// Individual keys looked up.
+    pub keys: AtomicU64,
+    /// Keys found.
+    pub found: AtomicU64,
+    /// Busy nanoseconds (request decode → response encode), summed over
+    /// workers.
+    pub busy_ns: AtomicU64,
+    /// Pre-processing phase nanoseconds.
+    pub pre_ns: AtomicU64,
+    /// Hash-table lookup phase nanoseconds.
+    pub lookup_ns: AtomicU64,
+    /// Post-processing phase nanoseconds.
+    pub post_ns: AtomicU64,
+}
+
+impl ServerStats {
+    /// Snapshot the phase breakdown.
+    pub fn phases(&self) -> PhaseNanos {
+        PhaseNanos {
+            pre: self.pre_ns.load(Ordering::Relaxed),
+            lookup: self.lookup_ns.load(Ordering::Relaxed),
+            post: self.post_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Server-side Get throughput: keys processed per busy second per
+    /// worker-second (the paper's server-side metric).
+    pub fn keys_per_busy_sec(&self) -> f64 {
+        let keys = self.keys.load(Ordering::Relaxed) as f64;
+        let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        if busy > 0.0 {
+            keys / busy
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A running server: worker threads + shared statistics.
+pub struct Server {
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    fabric: Fabric,
+    n_workers: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.n_workers)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Spawn `n_workers` threads draining `fabric`'s receive queue against
+    /// `store`.
+    pub fn spawn(store: Arc<KvStore>, fabric: Fabric, n_workers: usize) -> Self {
+        assert!(n_workers >= 1, "need at least one worker");
+        let stats = Arc::new(ServerStats::default());
+        let workers = (0..n_workers)
+            .map(|_| {
+                let rx = fabric.server_rx();
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                let fabric = fabric.clone();
+                std::thread::spawn(move || {
+                    let mut resp_buf = MGetResponse::new();
+                    while let Ok(envelope) = rx.recv() {
+                        let t0 = Instant::now();
+                        let request = match Request::decode(envelope.payload) {
+                            Ok(r) => r,
+                            Err(_) => continue,
+                        };
+                        match request {
+                            Request::Shutdown => break,
+                            Request::MGet { id, keys } => {
+                                let key_slices: Vec<&[u8]> =
+                                    keys.iter().map(|k| k.as_ref()).collect();
+                                let outcome = store.mget(&key_slices, &mut resp_buf);
+                                let payload =
+                                    crate::protocol::encode_mget_response(id, &resp_buf);
+                                stats.requests.fetch_add(1, Ordering::Relaxed);
+                                stats
+                                    .keys
+                                    .fetch_add(key_slices.len() as u64, Ordering::Relaxed);
+                                stats
+                                    .found
+                                    .fetch_add(outcome.found as u64, Ordering::Relaxed);
+                                stats
+                                    .pre_ns
+                                    .fetch_add(outcome.phases.pre, Ordering::Relaxed);
+                                stats
+                                    .lookup_ns
+                                    .fetch_add(outcome.phases.lookup, Ordering::Relaxed);
+                                stats
+                                    .post_ns
+                                    .fetch_add(outcome.phases.post, Ordering::Relaxed);
+                                if let Some(reply) = &envelope.reply_to {
+                                    fabric.send_response(reply, payload);
+                                }
+                            }
+                            Request::Set { id, key, value } => {
+                                let ok = store.set(&key, &value).is_ok();
+                                if let Some(reply) = &envelope.reply_to {
+                                    fabric.send_response(reply, Response::Set { id, ok }.encode());
+                                }
+                            }
+                        }
+                        stats
+                            .busy_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        Server {
+            workers,
+            stats,
+            fabric,
+            n_workers,
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Send one shutdown message per worker and join them.
+    pub fn shutdown(self) {
+        for _ in 0..self.n_workers {
+            self.fabric.send_request(Request::Shutdown.encode(), None);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crate::index::{Memc3Index, SimdIndex, SimdIndexKind};
+    use crate::store::StoreConfig;
+    use crate::transport::FabricConfig;
+
+    fn run_roundtrip(store: KvStore) {
+        let store = Arc::new(store);
+        store.set(b"present", b"the-value").unwrap();
+        let fabric = Fabric::new(FabricConfig::ib_edr());
+        let server = Server::spawn(Arc::clone(&store), fabric.clone(), 2);
+
+        let (reply_tx, reply_rx) = Fabric::client_endpoint();
+        let req = Request::MGet {
+            id: 11,
+            keys: vec![Bytes::from_static(b"present"), Bytes::from_static(b"absent")],
+        };
+        fabric.send_request(req.encode(), Some(reply_tx));
+        let env = reply_rx.recv().unwrap();
+        match Response::decode(env.payload).unwrap() {
+            Response::MGet { id, entries } => {
+                assert_eq!(id, 11);
+                assert_eq!(entries[0].as_deref(), Some(&b"the-value"[..]));
+                assert_eq!(entries[1], None);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.keys.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.found.load(Ordering::Relaxed), 1);
+        assert!(stats.phases().total() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mget_roundtrip_memc3() {
+        run_roundtrip(KvStore::new(
+            Box::new(Memc3Index::with_capacity(100)),
+            StoreConfig::default(),
+        ));
+    }
+
+    #[test]
+    fn mget_roundtrip_simd_vertical() {
+        run_roundtrip(KvStore::new(
+            Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 100)),
+            StoreConfig::default(),
+        ));
+    }
+
+    #[test]
+    fn set_over_the_wire() {
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(100)),
+            StoreConfig::default(),
+        ));
+        let fabric = Fabric::new(FabricConfig::zero());
+        let server = Server::spawn(Arc::clone(&store), fabric.clone(), 1);
+        let (reply_tx, reply_rx) = Fabric::client_endpoint();
+        fabric.send_request(
+            Request::Set {
+                id: 1,
+                key: Bytes::from_static(b"wk"),
+                value: Bytes::from_static(b"wv"),
+            }
+            .encode(),
+            Some(reply_tx),
+        );
+        match Response::decode(reply_rx.recv().unwrap().payload).unwrap() {
+            Response::Set { ok, .. } => assert!(ok),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        assert_eq!(store.get(b"wk").as_deref(), Some(&b"wv"[..]));
+    }
+
+    #[test]
+    fn shutdown_drains_workers() {
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(10)),
+            StoreConfig::default(),
+        ));
+        let fabric = Fabric::new(FabricConfig::zero());
+        let server = Server::spawn(store, fabric, 4);
+        server.shutdown(); // must not hang
+    }
+}

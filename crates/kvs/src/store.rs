@@ -1,0 +1,538 @@
+//! The in-memory key-value store: slab-backed items, a pluggable hash
+//! index, CLOCK freshness, and the three-phase Multi-Get pipeline the
+//! paper instruments (§VI-A, Fig. 10/11b):
+//!
+//! 1. **Pre-processing** — parse the batch and compute a 32-bit hash per
+//!    key.
+//! 2. **Hash-table lookup** — the batched index probe (the phase SIMD
+//!    accelerates).
+//! 3. **Post-processing** — resolve object pointers, verify the full key
+//!    against the slab, copy values into the response, and update CLOCK
+//!    freshness metadata.
+
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use crate::clock::Clock;
+use crate::index::{hash_key, HashIndex, IndexError};
+use crate::item::{item_key, item_value, write_item, ItemTable, NO_ITEM};
+use crate::slab::{SlabAllocator, SlabError};
+
+/// Store construction parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct StoreConfig {
+    /// Slab memory budget in bytes.
+    pub memory_budget: usize,
+    /// Expected maximum live items (sizes the hash index).
+    pub capacity_items: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            memory_budget: 64 << 20,
+            capacity_items: 100_000,
+        }
+    }
+}
+
+/// Error from [`KvStore::set`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object cannot fit in any slab class.
+    ObjectTooLarge,
+    /// Could not make room even after evicting everything.
+    OutOfMemory,
+    /// The hash index refused the entry even after eviction attempts.
+    IndexFull,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ObjectTooLarge => write!(f, "object exceeds largest slab class"),
+            StoreError::OutOfMemory => write!(f, "out of memory after eviction"),
+            StoreError::IndexFull => write!(f, "hash index full after eviction"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Per-phase elapsed nanoseconds of one Multi-Get (Fig. 11b breakdown).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Pre-processing: parse + hash.
+    pub pre: u64,
+    /// Hash-table lookup (batched).
+    pub lookup: u64,
+    /// Post-processing: verify + copy + CLOCK updates.
+    pub post: u64,
+}
+
+impl PhaseNanos {
+    /// Total server data-access time.
+    pub fn total(&self) -> u64 {
+        self.pre + self.lookup + self.post
+    }
+
+    /// Accumulate another breakdown.
+    pub fn add(&mut self, other: PhaseNanos) {
+        self.pre += other.pre;
+        self.lookup += other.lookup;
+        self.post += other.post;
+    }
+}
+
+/// Result of one Multi-Get.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MGetOutcome {
+    /// Keys found.
+    pub found: usize,
+    /// Phase timing.
+    pub phases: PhaseNanos,
+}
+
+/// A reusable Multi-Get response buffer: values are appended to one flat
+/// buffer (as a real server builds its wire response).
+#[derive(Debug, Default, Clone)]
+pub struct MGetResponse {
+    buf: Vec<u8>,
+    entries: Vec<Option<(u32, u32)>>,
+    // Reusable scratch for the lookup pipeline (no per-request allocation).
+    hashes: Vec<u32>,
+    candidates: Vec<u32>,
+}
+
+impl MGetResponse {
+    /// Create an empty response buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.buf.clear();
+        self.entries.clear();
+        self.entries.resize(n, None);
+    }
+
+    /// Number of slots (keys in the request).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the response holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value returned for request slot `i`, if found.
+    pub fn value(&self, i: usize) -> Option<&[u8]> {
+        self.entries[i].map(|(off, len)| &self.buf[off as usize..(off + len) as usize])
+    }
+
+    fn push_value(&mut self, i: usize, value: &[u8]) {
+        let off = self.buf.len() as u32;
+        self.buf.extend_from_slice(value);
+        self.entries[i] = Some((off, value.len() as u32));
+    }
+
+    /// The flat value buffer (for response-size accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+struct Inner {
+    slab: SlabAllocator,
+    items: ItemTable,
+    index: Box<dyn HashIndex>,
+    clock: Clock,
+}
+
+/// The key-value store. Reads (`get`/`mget`) take a shared lock and may run
+/// concurrently across server workers; writes (`set`/`delete`) serialize.
+pub struct KvStore {
+    inner: RwLock<Inner>,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("index", &self.name)
+            .field("items", &self.inner.read().items.len())
+            .finish()
+    }
+}
+
+impl KvStore {
+    /// Create a store over the given hash index.
+    pub fn new(index: Box<dyn HashIndex>, config: StoreConfig) -> Self {
+        let name = index.name();
+        KvStore {
+            inner: RwLock::new(Inner {
+                slab: SlabAllocator::new(config.memory_budget),
+                items: ItemTable::new(),
+                index,
+                clock: Clock::new(),
+            }),
+            name,
+        }
+    }
+
+    /// The backing index's name (for reports).
+    pub fn index_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.inner.read().items.len()
+    }
+
+    /// `true` when the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert or replace `key → value`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ObjectTooLarge`] for oversized objects;
+    /// [`StoreError::OutOfMemory`] / [`StoreError::IndexFull`] when eviction
+    /// cannot make room.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let hash = hash_key(key);
+        let mut g = self.inner.write();
+        // Replace semantics: drop any existing item with this exact key.
+        if let Some(existing) = g.find_verified(hash, key) {
+            g.delete_item(hash, existing);
+        }
+        // Allocate, evicting on pressure.
+        let slab_ref = loop {
+            match write_item(&mut g.slab, key, value) {
+                Ok(r) => break r,
+                Err(SlabError::ObjectTooLarge { .. }) => return Err(StoreError::ObjectTooLarge),
+                Err(SlabError::OutOfMemory) => {
+                    if !g.evict_one() {
+                        return Err(StoreError::OutOfMemory);
+                    }
+                }
+            }
+        };
+        let item = g.items.register(slab_ref);
+        // Index insertion, evicting on pressure.
+        loop {
+            match g.index.insert(hash, item) {
+                Ok(()) => break,
+                Err(IndexError::Full) => {
+                    if !g.evict_one() {
+                        // Roll back the slab registration.
+                        let r = g.items.unregister(item).expect("just registered");
+                        g.slab.free(r);
+                        return Err(StoreError::IndexFull);
+                    }
+                }
+            }
+        }
+        g.clock.admit(item);
+        Ok(())
+    }
+
+    /// Look up a single key (convenience wrapper over the batched path).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let mut resp = MGetResponse::new();
+        self.mget(&[key], &mut resp);
+        resp.value(0).map(<[u8]>::to_vec)
+    }
+
+    /// Delete a key; returns `true` if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let hash = hash_key(key);
+        let mut g = self.inner.write();
+        match g.find_verified(hash, key) {
+            Some(item) => {
+                g.delete_item(hash, item);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The batched Multi-Get pipeline with per-phase timing.
+    ///
+    /// `resp` is reset and refilled; reusing one buffer across calls avoids
+    /// per-request allocation, as a real server does.
+    pub fn mget(&self, keys: &[&[u8]], resp: &mut MGetResponse) -> MGetOutcome {
+        let g = self.inner.read();
+
+        // Phase 1: pre-processing — parse batch, hash every key.
+        let t0 = Instant::now();
+        resp.reset(keys.len());
+        let mut hashes = std::mem::take(&mut resp.hashes);
+        hashes.clear();
+        hashes.extend(keys.iter().map(|k| hash_key(k)));
+        let t1 = Instant::now();
+
+        // Phase 2: hash-table lookup (the batched, SIMD-accelerable phase).
+        let mut candidates = std::mem::take(&mut resp.candidates);
+        candidates.clear();
+        candidates.resize(keys.len(), NO_ITEM);
+        g.index.lookup_batch(&hashes, &mut candidates);
+        let t2 = Instant::now();
+
+        // Phase 3: post-processing — verify, copy values, update CLOCK.
+        let mut found = 0usize;
+        let mut fallback: Vec<u32> = Vec::new();
+        for (i, (&cand, &key)) in candidates.iter().zip(keys.iter()).enumerate() {
+            let mut resolved = None;
+            if cand != NO_ITEM {
+                if let Some(r) = g.items.get(cand) {
+                    let chunk = g.slab.chunk(r);
+                    if item_key(chunk) == key {
+                        resolved = Some((cand, r));
+                    }
+                }
+            }
+            if resolved.is_none() && cand != NO_ITEM {
+                // Tag/hash collision: scan all candidates (MemC3 slow path).
+                fallback.clear();
+                g.index.lookup_all(hashes[i], &mut fallback);
+                for &c in &fallback {
+                    if let Some(r) = g.items.get(c) {
+                        if item_key(g.slab.chunk(r)) == key {
+                            resolved = Some((c, r));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some((item, r)) = resolved {
+                resp.push_value(i, item_value(g.slab.chunk(r)));
+                g.clock.touch(item);
+                found += 1;
+            }
+        }
+        let t3 = Instant::now();
+        resp.hashes = hashes;
+        resp.candidates = candidates;
+
+        MGetOutcome {
+            found,
+            phases: PhaseNanos {
+                pre: (t1 - t0).as_nanos() as u64,
+                lookup: (t2 - t1).as_nanos() as u64,
+                post: (t3 - t2).as_nanos() as u64,
+            },
+        }
+    }
+}
+
+impl Inner {
+    /// Find the item id whose stored key equals `key`, verifying against
+    /// the slab (never trusts the index alone).
+    fn find_verified(&self, hash: u32, key: &[u8]) -> Option<u32> {
+        let mut candidates = Vec::new();
+        self.index.lookup_all(hash, &mut candidates);
+        candidates.into_iter().find(|&c| {
+            self.items
+                .get(c)
+                .is_some_and(|r| item_key(self.slab.chunk(r)) == key)
+        })
+    }
+
+    fn delete_item(&mut self, hash: u32, item: u32) {
+        self.index.remove(hash, item);
+        self.clock.remove(item);
+        if let Some(r) = self.items.unregister(item) {
+            self.slab.free(r);
+        }
+    }
+
+    /// Evict one CLOCK victim; returns `false` if nothing can be evicted.
+    fn evict_one(&mut self) -> bool {
+        let Some(item) = self.clock.evict() else {
+            return false;
+        };
+        if let Some(r) = self.items.unregister(item) {
+            let hash = hash_key(item_key(self.slab.chunk(r)));
+            self.index.remove(hash, item);
+            self.slab.free(r);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Memc3Index, SimdIndex, SimdIndexKind};
+
+    fn stores(capacity: usize) -> Vec<KvStore> {
+        let cfg = StoreConfig {
+            memory_budget: 8 << 20,
+            capacity_items: capacity,
+        };
+        vec![
+            KvStore::new(Box::new(Memc3Index::with_capacity(capacity)), cfg),
+            KvStore::new(
+                Box::new(SimdIndex::with_capacity(SimdIndexKind::HorizontalBcht, capacity)),
+                cfg,
+            ),
+            KvStore::new(
+                Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, capacity)),
+                cfg,
+            ),
+        ]
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_indexes() {
+        for store in stores(2000) {
+            for i in 0..1000u32 {
+                store
+                    .set(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes())
+                    .unwrap();
+            }
+            for i in (0..1000u32).step_by(7) {
+                let v = store.get(format!("key-{i}").as_bytes());
+                assert_eq!(
+                    v.as_deref(),
+                    Some(format!("value-{i}").as_bytes()),
+                    "{} key {i}",
+                    store.index_name()
+                );
+            }
+            assert_eq!(store.get(b"missing"), None);
+        }
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        for store in stores(100) {
+            store.set(b"k", b"old").unwrap();
+            store.set(b"k", b"new-and-longer-value").unwrap();
+            assert_eq!(store.get(b"k").as_deref(), Some(&b"new-and-longer-value"[..]));
+            assert_eq!(store.len(), 1, "{}", store.index_name());
+        }
+    }
+
+    #[test]
+    fn delete_removes() {
+        for store in stores(100) {
+            store.set(b"a", b"1").unwrap();
+            assert!(store.delete(b"a"));
+            assert!(!store.delete(b"a"));
+            assert_eq!(store.get(b"a"), None);
+            assert!(store.is_empty());
+        }
+    }
+
+    #[test]
+    fn mget_mixed_hits_and_misses() {
+        for store in stores(100) {
+            store.set(b"x", b"xval").unwrap();
+            store.set(b"y", b"yval").unwrap();
+            let mut resp = MGetResponse::new();
+            let outcome = store.mget(&[b"x".as_ref(), b"nope".as_ref(), b"y".as_ref()], &mut resp);
+            assert_eq!(outcome.found, 2, "{}", store.index_name());
+            assert_eq!(resp.value(0), Some(&b"xval"[..]));
+            assert_eq!(resp.value(1), None);
+            assert_eq!(resp.value(2), Some(&b"yval"[..]));
+            assert!(outcome.phases.total() > 0);
+        }
+    }
+
+    #[test]
+    fn eviction_under_memory_pressure() {
+        let store = KvStore::new(
+            Box::new(Memc3Index::with_capacity(100_000)),
+            StoreConfig {
+                memory_budget: 2 << 20, // 2 MiB: forces eviction
+                capacity_items: 100_000,
+            },
+        );
+        let value = vec![0xABu8; 1024];
+        for i in 0..10_000u32 {
+            store.set(format!("key-{i:06}").as_bytes(), &value).unwrap();
+        }
+        // The store survived and recent keys are readable.
+        assert!(store.len() < 10_000, "eviction never triggered");
+        assert_eq!(store.get(b"key-009999").as_deref(), Some(&value[..]));
+    }
+
+    #[test]
+    fn index_full_triggers_eviction_not_failure() {
+        // A deliberately undersized index forces the IndexFull -> evict ->
+        // retry path in set(); the store must keep absorbing writes.
+        let store = KvStore::new(
+            Box::new(Memc3Index::with_capacity(64)),
+            StoreConfig {
+                memory_budget: 8 << 20,
+                capacity_items: 64,
+            },
+        );
+        for i in 0..2000u32 {
+            store
+                .set(format!("spill-{i}").as_bytes(), b"v")
+                .unwrap_or_else(|e| panic!("set {i}: {e}"));
+        }
+        // The cache retains roughly the index capacity and stays readable.
+        assert!(store.len() <= 128, "len {}", store.len());
+        assert_eq!(store.get(b"spill-1999").as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn response_buffer_reuse() {
+        let store = &stores(100)[0];
+        store.set(b"a", b"aaaa").unwrap();
+        let mut resp = MGetResponse::new();
+        store.mget(&[b"a".as_ref()], &mut resp);
+        assert_eq!(resp.payload_bytes(), 4);
+        store.mget(&[b"missing".as_ref()], &mut resp);
+        assert_eq!(resp.payload_bytes(), 0);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp.value(0), None);
+    }
+
+    #[test]
+    fn concurrent_reads_while_writing() {
+        use std::sync::Arc;
+        let store = Arc::new(KvStore::new(
+            Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 10_000)),
+            StoreConfig::default(),
+        ));
+        for i in 0..2000u32 {
+            store.set(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut resp = MGetResponse::new();
+                    let mut found = 0;
+                    for i in 0..500u32 {
+                        let key = format!("k{}", (i * 7 + t) % 2000);
+                        found += store.mget(&[key.as_bytes()], &mut resp).found;
+                    }
+                    found
+                })
+            })
+            .collect();
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 2000..2500u32 {
+                    store.set(format!("k{i}").as_bytes(), b"w").unwrap();
+                }
+            })
+        };
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 500);
+        }
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulated RDMA fabric.
+//!
+//! The paper's testbed uses InfiniBand EDR (100 Gb/s) with two-sided RDMA
+//! SENDs. Here the transport is in-process crossbeam channels — real
+//! queueing and thread hand-off — plus an analytic **wire model** that
+//! charges each message the latency it would have cost on the modeled
+//! link: `base_latency + bytes / bandwidth`. The client adds the modeled
+//! request+response wire time to its measured processing time, so reported
+//! end-to-end latencies are "EDR-shaped" while remaining deterministic on
+//! a single machine (see DESIGN.md, substitutions).
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Wire cost model of the simulated link.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FabricConfig {
+    /// One-way per-message base latency in nanoseconds.
+    pub base_latency_ns: u64,
+    /// Link bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+}
+
+impl FabricConfig {
+    /// InfiniBand EDR-like constants: ~1.5 µs one-way small-message latency,
+    /// 100 Gb/s.
+    pub fn ib_edr() -> Self {
+        FabricConfig {
+            base_latency_ns: 1_500,
+            bandwidth_gbps: 100.0,
+        }
+    }
+
+    /// A zero-cost fabric (pure in-process measurement).
+    pub fn zero() -> Self {
+        FabricConfig {
+            base_latency_ns: 0,
+            bandwidth_gbps: f64::INFINITY,
+        }
+    }
+
+    /// Modeled one-way wire time for a message of `bytes` bytes.
+    pub fn wire_ns(&self, bytes: usize) -> u64 {
+        let serialization = (bytes as f64 * 8.0) / self.bandwidth_gbps; // ns at 1 Gb/s = 8ns/B
+        self.base_latency_ns + serialization as u64
+    }
+}
+
+/// A message in flight: payload plus the modeled one-way wire time and the
+/// reply channel (the "queue pair" back to the client).
+#[derive(Debug)]
+pub struct Envelope {
+    /// Encoded message bytes.
+    pub payload: Bytes,
+    /// Modeled one-way wire nanoseconds for this message.
+    pub wire_ns: u64,
+    /// Where responses should be sent (None for fire-and-forget).
+    pub reply_to: Option<Sender<Envelope>>,
+}
+
+/// One endpoint pair of the simulated fabric.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: FabricConfig,
+    to_server: Sender<Envelope>,
+    server_rx: Receiver<Envelope>,
+}
+
+impl Fabric {
+    /// Create a fabric with the given wire model.
+    pub fn new(config: FabricConfig) -> Self {
+        let (to_server, server_rx) = unbounded();
+        Fabric {
+            config,
+            to_server,
+            server_rx,
+        }
+    }
+
+    /// The wire model.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// The server-side receive queue (cloneable across workers).
+    pub fn server_rx(&self) -> Receiver<Envelope> {
+        self.server_rx.clone()
+    }
+
+    /// Send a request toward the server, charging the wire model.
+    /// Returns the modeled one-way wire time.
+    pub fn send_request(&self, payload: Bytes, reply_to: Option<Sender<Envelope>>) -> u64 {
+        let wire_ns = self.config.wire_ns(payload.len());
+        let _ = self.to_server.send(Envelope {
+            payload,
+            wire_ns,
+            reply_to,
+        });
+        wire_ns
+    }
+
+    /// Send a response back over `reply`, charging the wire model.
+    pub fn send_response(&self, reply: &Sender<Envelope>, payload: Bytes) {
+        let wire_ns = self.config.wire_ns(payload.len());
+        let _ = reply.send(Envelope {
+            payload,
+            wire_ns,
+            reply_to: None,
+        });
+    }
+
+    /// Create a client endpoint (reply channel pair).
+    pub fn client_endpoint() -> (Sender<Envelope>, Receiver<Envelope>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_model_edr_numbers() {
+        let edr = FabricConfig::ib_edr();
+        // Small message: dominated by base latency.
+        assert_eq!(edr.wire_ns(0), 1_500);
+        // 100 Gb/s = 12.5 GB/s: 12_500 B take ~1 µs on the wire.
+        let t = edr.wire_ns(12_500);
+        assert!((2_400..2_600).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn zero_fabric_is_free() {
+        assert_eq!(FabricConfig::zero().wire_ns(1 << 20), 0);
+    }
+
+    #[test]
+    fn request_response_flow() {
+        let fabric = Fabric::new(FabricConfig::ib_edr());
+        let (reply_tx, reply_rx) = Fabric::client_endpoint();
+        let wire = fabric.send_request(Bytes::from_static(b"ping"), Some(reply_tx));
+        assert!(wire >= 1_500);
+
+        // "Server": echo the payload back.
+        let env = fabric.server_rx().recv().unwrap();
+        assert_eq!(&env.payload[..], b"ping");
+        let reply = env.reply_to.expect("has reply channel");
+        fabric.send_response(&reply, Bytes::from_static(b"pong"));
+
+        let resp = reply_rx.recv().unwrap();
+        assert_eq!(&resp.payload[..], b"pong");
+        assert!(resp.wire_ns >= 1_500);
+    }
+
+    #[test]
+    fn multiple_workers_share_rx() {
+        let fabric = Fabric::new(FabricConfig::zero());
+        for i in 0..10u8 {
+            fabric.send_request(Bytes::copy_from_slice(&[i]), None);
+        }
+        let rx1 = fabric.server_rx();
+        let rx2 = fabric.server_rx();
+        let mut got = vec![];
+        for _ in 0..5 {
+            got.push(rx1.recv().unwrap().payload[0]);
+            got.push(rx2.recv().unwrap().payload[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests over the wire protocol: arbitrary requests/responses
+//! roundtrip exactly, and arbitrary byte soup never panics the decoders.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simdht_kvs::protocol::{Request, Response};
+
+fn arb_key() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), prop::collection::vec(arb_key(), 0..40))
+            .prop_map(|(id, keys)| Request::MGet { id, keys }),
+        (any::<u64>(), arb_key(), prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(id, key, value)| Request::Set {
+                id,
+                key,
+                value: Bytes::from(value)
+            }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            prop::collection::vec(
+                prop::option::of(prop::collection::vec(any::<u8>(), 0..100).prop_map(Bytes::from)),
+                0..40
+            )
+        )
+            .prop_map(|(id, entries)| Response::MGet { id, entries }),
+        (any::<u64>(), any::<bool>()).prop_map(|(id, ok)| Response::Set { id, ok }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        prop_assert_eq!(Request::decode(req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        prop_assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let b = Bytes::from(bytes);
+        let _ = Request::decode(b.clone());
+        let _ = Response::decode(b);
+    }
+
+    #[test]
+    fn truncation_always_errors_or_shrinks(req in arb_request(), cut in any::<prop::sample::Index>()) {
+        let full = req.encode();
+        if full.len() > 1 {
+            let cut = 1 + cut.index(full.len() - 1);
+            if cut < full.len() {
+                // A strict prefix either fails to decode, or (for MGet with
+                // trailing keys cut at a record boundary) decodes to fewer
+                // keys — it must never decode to the identical message.
+                if let Ok(decoded) = Request::decode(full.slice(..cut)) {
+                    prop_assert_ne!(decoded, req, "truncated bytes decoded identically");
+                }
+            }
+        }
+    }
+}

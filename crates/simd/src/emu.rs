@@ -1,0 +1,312 @@
+//! Portable, always-available emulated SIMD backend.
+//!
+//! [`Emu<L, LANES>`] implements every [`Vector`] operation with plain scalar
+//! loops over a `[L; LANES]` array. It serves three purposes:
+//!
+//! 1. **Ground truth** — every intrinsic backend in [`crate::x86`] is
+//!    property-tested lane-for-lane against `Emu`.
+//! 2. **Portability** — on a CPU without the required ISA extensions the
+//!    benchmark's validation engine still runs all algorithms functionally.
+//! 3. **Autovectorization baseline** — the compiler typically vectorizes
+//!    these loops, giving an interesting "what the compiler does on its own"
+//!    contrast to hand-written intrinsics.
+
+use crate::lane::Lane;
+use crate::vector::Vector;
+
+/// A portable SIMD vector of `LANES` elements of type `L`.
+///
+/// See the [module documentation](self) for the role this type plays.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_simd::{Vector, emu::Emu};
+///
+/// let v = Emu::<u32, 4>::splat(3).add(Emu::from_slice(&[0, 1, 2, 3]));
+/// assert_eq!(v.to_lanes()[..4], [3, 4, 5, 6]);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Emu<L, const LANES: usize>(pub(crate) [L; LANES]);
+
+impl<L: Lane, const LANES: usize> Emu<L, LANES> {
+    /// Construct from an array of lanes.
+    pub fn from_array(xs: [L; LANES]) -> Self {
+        Emu(xs)
+    }
+
+    /// View the lanes as an array.
+    pub fn as_array(&self) -> &[L; LANES] {
+        &self.0
+    }
+
+    #[inline(always)]
+    fn zip_map(self, other: Self, f: impl Fn(L, L) -> L) -> Self {
+        let mut out = [L::EMPTY; LANES];
+        for i in 0..LANES {
+            out[i] = f(self.0[i], other.0[i]);
+        }
+        Emu(out)
+    }
+}
+
+impl<L: Lane, const LANES: usize> Default for Emu<L, LANES> {
+    fn default() -> Self {
+        Emu([L::EMPTY; LANES])
+    }
+}
+
+impl<L: Lane, const LANES: usize> Vector for Emu<L, LANES> {
+    type Lane = L;
+    const LANES: usize = LANES;
+    const WIDTH_BITS: usize = LANES * L::BITS as usize;
+
+    #[inline(always)]
+    fn splat(x: L) -> Self {
+        Emu([x; LANES])
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[L]) -> Self {
+        let mut out = [L::EMPTY; LANES];
+        out.copy_from_slice(&xs[..LANES]);
+        Emu(out)
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[L], hi: &[L]) -> Self {
+        let half = LANES / 2;
+        let mut out = [L::EMPTY; LANES];
+        out[..half].copy_from_slice(&lo[..half]);
+        out[half..].copy_from_slice(&hi[..half]);
+        Emu(out)
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[L]) -> (Self, Self) {
+        assert!(xs.len() >= 2 * LANES);
+        let mut evens = [L::EMPTY; LANES];
+        let mut odds = [L::EMPTY; LANES];
+        for i in 0..LANES {
+            evens[i] = xs[2 * i];
+            odds[i] = xs[2 * i + 1];
+        }
+        (Emu(evens), Emu(odds))
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [L]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        self.zip_map(other, L::wrapping_add)
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        self.zip_map(other, L::bitand)
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        self.zip_map(other, L::bitor)
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        self.zip_map(other, L::bitxor)
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        self.zip_map(other, L::wrapping_mul)
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        let mut out = self.0;
+        for lane in &mut out {
+            *lane = lane.shr(n);
+        }
+        Emu(out)
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        let mut out = self.0;
+        for lane in &mut out {
+            *lane = lane.shl(n);
+        }
+        Emu(out)
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        let mut bits = 0u64;
+        for i in 0..LANES {
+            bits |= u64::from(self.0[i] == other.0[i]) << i;
+        }
+        bits
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        let mut out = [L::EMPTY; LANES];
+        for i in 0..LANES {
+            out[i] = if bits & (1 << i) != 0 {
+                if_set.0[i]
+            } else {
+                if_clear.0[i]
+            };
+        }
+        Emu(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[L], idx: Self) -> Self {
+        let mut out = [L::EMPTY; LANES];
+        for i in 0..LANES {
+            let j = idx.0[i].to_u64() as usize;
+            debug_assert!(j < base.len(), "gather_idx lane {i} out of bounds: {j}");
+            out[i] = *base.get_unchecked(j);
+        }
+        Emu(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[L], idx: Self, bits: u64, fallback: Self) -> Self {
+        let mut out = fallback.0;
+        for i in 0..LANES {
+            if bits & (1 << i) != 0 {
+                let j = idx.0[i].to_u64() as usize;
+                debug_assert!(j < base.len(), "masked gather lane {i} out of bounds: {j}");
+                out[i] = *base.get_unchecked(j);
+            }
+        }
+        Emu(out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[L], idx: Self) -> (Self, Self) {
+        let mut keys = [L::EMPTY; LANES];
+        let mut vals = [L::EMPTY; LANES];
+        for i in 0..LANES {
+            let p = idx.0[i].to_u64() as usize;
+            debug_assert!(2 * p + 1 < base.len(), "gather_pairs lane {i} out of bounds: {p}");
+            keys[i] = *base.get_unchecked(2 * p);
+            vals[i] = *base.get_unchecked(2 * p + 1);
+        }
+        (Emu(keys), Emu(vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V8 = Emu<u32, 8>;
+
+    #[test]
+    fn splat_and_extract() {
+        let v = V8::splat(42);
+        for i in 0..8 {
+            assert_eq!(v.extract(i), 42);
+        }
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let xs = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let v = V8::from_slice(&xs);
+        let mut out = [0u32; 8];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn from_two_slices_halves() {
+        let v = V8::from_two_slices(&[1, 2, 3, 4], &[5, 6, 7, 8]);
+        assert_eq!(v.to_lanes()[..8], [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn deinterleave() {
+        let xs: Vec<u32> = (0..16).collect();
+        let (evens, odds) = V8::load_deinterleave_2(&xs);
+        assert_eq!(evens.to_lanes()[..8], [0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(odds.to_lanes()[..8], [1, 3, 5, 7, 9, 11, 13, 15]);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let v = V8::splat(u32::MAX).add(V8::splat(2));
+        assert_eq!(v.extract(0), 1);
+        let m = V8::splat(0x8000_0001).mullo(V8::splat(2));
+        assert_eq!(m.extract(0), 2);
+    }
+
+    #[test]
+    fn cmpeq_bitmask() {
+        let a = V8::from_slice(&[9, 0, 9, 0, 9, 0, 0, 9]);
+        let bits = a.cmpeq_bits(V8::splat(9));
+        assert_eq!(bits, 0b1001_0101);
+    }
+
+    #[test]
+    fn blend_selects_per_lane() {
+        let a = V8::splat(1);
+        let b = V8::splat(2);
+        let v = V8::blend_bits(0b0000_1111, a, b);
+        assert_eq!(v.to_lanes()[..8], [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn gather_basic() {
+        let base: Vec<u32> = (100..132).collect();
+        let idx = V8::from_slice(&[0, 31, 1, 30, 2, 29, 3, 28]);
+        let v = unsafe { V8::gather_idx(&base, idx) };
+        assert_eq!(v.to_lanes()[..8], [100, 131, 101, 130, 102, 129, 103, 128]);
+    }
+
+    #[test]
+    fn gather_masked_leaves_fallback() {
+        let base: Vec<u32> = (0..8).map(|i| i * 10).collect();
+        let idx = V8::from_slice(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let v = unsafe { V8::gather_idx_masked(&base, idx, 0b0101_0101, V8::splat(999)) };
+        assert_eq!(v.to_lanes()[..8], [0, 999, 20, 999, 40, 999, 60, 999]);
+    }
+
+    #[test]
+    fn gather_masked_ignores_oob_in_unselected_lanes() {
+        let base: Vec<u32> = vec![5, 6];
+        // Lane 1 has an out-of-bounds index but its mask bit is clear.
+        let idx = V8::from_slice(&[1, 1_000_000, 0, 1_000_000, 1, 1_000_000, 0, 1_000_000]);
+        let v = unsafe { V8::gather_idx_masked(&base, idx, 0b0101_0101, V8::splat(0)) };
+        assert_eq!(v.to_lanes()[..8], [6, 0, 5, 0, 6, 0, 5, 0]);
+    }
+
+    #[test]
+    fn gather_pairs_splits_kv() {
+        // pairs: (10,11) (20,21) (30,31) (40,41) ...
+        let base: Vec<u32> = (1..=8).flat_map(|i| [i * 10, i * 10 + 1]).collect();
+        let idx = V8::from_slice(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        let (k, v) = unsafe { V8::gather_pairs(&base, idx) };
+        assert_eq!(k.to_lanes()[..8], [80, 70, 60, 50, 40, 30, 20, 10]);
+        assert_eq!(v.to_lanes()[..8], [81, 71, 61, 51, 41, 31, 21, 11]);
+    }
+
+    #[test]
+    fn width_bits() {
+        assert_eq!(<Emu<u32, 8> as Vector>::WIDTH_BITS, 256);
+        assert_eq!(<Emu<u64, 8> as Vector>::WIDTH_BITS, 512);
+        assert_eq!(<Emu<u16, 8> as Vector>::WIDTH_BITS, 128);
+    }
+
+    #[test]
+    fn lane_mask_counts() {
+        assert_eq!(<Emu<u32, 8> as Vector>::lane_mask(), 0xFF);
+        assert_eq!(<Emu<u16, 32> as Vector>::lane_mask(), 0xFFFF_FFFF);
+    }
+}

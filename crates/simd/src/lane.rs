@@ -1,0 +1,191 @@
+//! Scalar lane types that SIMD vectors are composed of.
+//!
+//! SimdHT-Bench stores fixed-width *hash keys* and *payloads* in its hash
+//! tables (the paper evaluates 16-, 32- and 64-bit keys/payloads). The
+//! [`Lane`] trait abstracts over those widths so every lookup kernel can be
+//! written once and monomorphized per width.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An unsigned integer type usable as a SIMD lane (and as a hash-table key or
+/// payload word).
+///
+/// Implemented for [`u16`], [`u32`] and [`u64`] — the three hash-key widths
+/// the paper characterizes (Case Study ② contrasts 16- and 64-bit keys with
+/// the 32-bit baseline).
+///
+/// # Examples
+///
+/// ```
+/// use simdht_simd::Lane;
+///
+/// fn low_bits<L: Lane>(x: L, n: u32) -> L {
+///     x.bitand(L::mask_low(n))
+/// }
+/// assert_eq!(low_bits(0xABCDu16, 8), 0xCD);
+/// ```
+pub trait Lane:
+    Copy + Clone + Debug + Default + Eq + PartialEq + Ord + PartialOrd + Hash + Send + Sync + 'static
+{
+    /// Width of the lane in bits (16, 32 or 64).
+    const BITS: u32;
+
+    /// The empty-slot sentinel (`0`). Hash tables reserve this value to mark
+    /// unoccupied slots, which is what makes single-instruction vector probes
+    /// possible (DPDK and MemC3 use the same convention).
+    const EMPTY: Self;
+
+    /// The all-ones value (`!0`).
+    const MAX: Self;
+
+    /// Truncating conversion from `u64`.
+    fn from_u64(x: u64) -> Self;
+
+    /// Widening conversion to `u64`.
+    fn to_u64(self) -> u64;
+
+    /// Lane-width wrapping multiplication (the core of multiply-shift
+    /// hashing).
+    fn wrapping_mul(self, other: Self) -> Self;
+
+    /// Lane-width wrapping addition.
+    fn wrapping_add(self, other: Self) -> Self;
+
+    /// Logical right shift. `n` must be `< Self::BITS`.
+    fn shr(self, n: u32) -> Self;
+
+    /// Logical left shift. `n` must be `< Self::BITS`.
+    fn shl(self, n: u32) -> Self;
+
+    /// Bitwise AND.
+    fn bitand(self, other: Self) -> Self;
+
+    /// Bitwise OR.
+    fn bitor(self, other: Self) -> Self;
+
+    /// Bitwise XOR.
+    fn bitxor(self, other: Self) -> Self;
+
+    /// A mask with the low `n` bits set. `n == BITS` yields [`Lane::MAX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n > Self::BITS`.
+    fn mask_low(n: u32) -> Self {
+        debug_assert!(n <= Self::BITS);
+        if n >= Self::BITS {
+            Self::MAX
+        } else {
+            Self::from_u64((1u64 << n).wrapping_sub(1))
+        }
+    }
+}
+
+macro_rules! impl_lane {
+    ($ty:ty, $bits:expr) => {
+        impl Lane for $ty {
+            const BITS: u32 = $bits;
+            const EMPTY: Self = 0;
+            const MAX: Self = <$ty>::MAX;
+
+            #[inline(always)]
+            fn from_u64(x: u64) -> Self {
+                x as $ty
+            }
+
+            #[inline(always)]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+
+            #[inline(always)]
+            fn wrapping_mul(self, other: Self) -> Self {
+                <$ty>::wrapping_mul(self, other)
+            }
+
+            #[inline(always)]
+            fn wrapping_add(self, other: Self) -> Self {
+                <$ty>::wrapping_add(self, other)
+            }
+
+            #[inline(always)]
+            fn shr(self, n: u32) -> Self {
+                debug_assert!(n < Self::BITS);
+                self >> n
+            }
+
+            #[inline(always)]
+            fn shl(self, n: u32) -> Self {
+                debug_assert!(n < Self::BITS);
+                self << n
+            }
+
+            #[inline(always)]
+            fn bitand(self, other: Self) -> Self {
+                self & other
+            }
+
+            #[inline(always)]
+            fn bitor(self, other: Self) -> Self {
+                self | other
+            }
+
+            #[inline(always)]
+            fn bitxor(self, other: Self) -> Self {
+                self ^ other
+            }
+        }
+    };
+}
+
+impl_lane!(u16, 16);
+impl_lane!(u32, 32);
+impl_lane!(u64, 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_bits() {
+        assert_eq!(<u16 as Lane>::BITS, 16);
+        assert_eq!(<u32 as Lane>::BITS, 32);
+        assert_eq!(<u64 as Lane>::BITS, 64);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        assert_eq!(<u16 as Lane>::from_u64(0x1_2345), 0x2345);
+        assert_eq!(<u32 as Lane>::from_u64(0x1_0000_0001), 1);
+        assert_eq!(<u64 as Lane>::from_u64(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn mask_low_edges() {
+        assert_eq!(<u32 as Lane>::mask_low(0), 0);
+        assert_eq!(<u32 as Lane>::mask_low(5), 0b11111);
+        assert_eq!(<u32 as Lane>::mask_low(32), u32::MAX);
+        assert_eq!(<u64 as Lane>::mask_low(64), u64::MAX);
+        assert_eq!(<u16 as Lane>::mask_low(16), u16::MAX);
+    }
+
+    #[test]
+    fn wrapping_ops() {
+        assert_eq!(<u16 as Lane>::wrapping_mul(0x8000, 2), 0);
+        assert_eq!(<u32 as Lane>::wrapping_add(u32::MAX, 1), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(<u32 as Lane>::shr(0xF0, 4), 0xF);
+        assert_eq!(<u32 as Lane>::shl(0xF, 4), 0xF0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(<u16 as Lane>::EMPTY, 0);
+        assert_eq!(<u32 as Lane>::EMPTY, 0);
+        assert_eq!(<u64 as Lane>::EMPTY, 0);
+    }
+}

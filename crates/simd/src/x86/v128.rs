@@ -1,0 +1,487 @@
+//! 128-bit ("SSE-class") vectors: [`U32x4`], [`U64x2`], [`U16x8`].
+//!
+//! These correspond to the paper's `W = 128` configurations (the "SSE"
+//! column of Table I). They are compiled with VEX encodings and, where a
+//! gather is needed, the 128-bit AVX2 gather forms — x86 has no SSE-encoded
+//! gathers, so on period hardware 128-bit vertical probes paid scalar
+//! gather cost just like [`U16x8`] does here.
+
+use core::arch::x86_64::*;
+
+use crate::lane::Lane;
+use crate::vector::Vector;
+
+/// 4 × u32 in a 128-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U32x4(__m128i);
+
+/// 2 × u64 in a 128-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U64x2(__m128i);
+
+/// 8 × u16 in a 128-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U16x8(__m128i);
+
+/// Expand a per-lane bitmask into a full-lane 32-bit vector mask.
+#[inline(always)]
+fn mask32x4(bits: u64) -> __m128i {
+    // SAFETY: sse2/sse4.1 are implied by the module's avx2 gate.
+    unsafe {
+        let tbl = _mm_setr_epi32(1, 2, 4, 8);
+        let b = _mm_set1_epi32(bits as i32);
+        _mm_cmpeq_epi32(_mm_and_si128(b, tbl), tbl)
+    }
+}
+
+#[inline(always)]
+fn mask64x2(bits: u64) -> __m128i {
+    // SAFETY: as above.
+    unsafe {
+        let tbl = _mm_set_epi64x(2, 1);
+        let b = _mm_set1_epi64x(bits as i64);
+        _mm_cmpeq_epi64(_mm_and_si128(b, tbl), tbl)
+    }
+}
+
+#[inline(always)]
+fn mask16x8(bits: u64) -> __m128i {
+    // SAFETY: as above.
+    unsafe {
+        let tbl = _mm_setr_epi16(1, 2, 4, 8, 16, 32, 64, 128);
+        let b = _mm_set1_epi16(bits as i16);
+        _mm_cmpeq_epi16(_mm_and_si128(b, tbl), tbl)
+    }
+}
+
+/// 64-bit lane-wise `mullo` for 128-bit vectors without AVX-512DQ:
+/// composed from three 32×32→64 multiplies.
+#[inline(always)]
+pub(crate) fn mullo64_128(a: __m128i, b: __m128i) -> __m128i {
+    // SAFETY: sse2/sse4.1 implied by the avx2 gate.
+    unsafe {
+        let ahi = _mm_srli_epi64::<32>(a);
+        let bhi = _mm_srli_epi64::<32>(b);
+        let ll = _mm_mul_epu32(a, b);
+        let hl = _mm_mul_epu32(ahi, b);
+        let lh = _mm_mul_epu32(a, bhi);
+        let hi = _mm_slli_epi64::<32>(_mm_add_epi64(hl, lh));
+        _mm_add_epi64(ll, hi)
+    }
+}
+
+#[inline(always)]
+fn debug_check_bounds<L: Lane, V: Vector<Lane = L>>(base: &[L], idx: V, bits: u64) {
+    if cfg!(debug_assertions) {
+        let lanes = idx.to_lanes();
+        for (i, lane) in lanes.iter().enumerate().take(V::LANES) {
+            if bits & (1 << i) != 0 {
+                assert!(
+                    (lane.to_u64() as usize) < base.len(),
+                    "gather lane {i} out of bounds: {}",
+                    lane.to_u64()
+                );
+            }
+        }
+    }
+}
+
+impl Vector for U32x4 {
+    type Lane = u32;
+    const LANES: usize = 4;
+    const WIDTH_BITS: usize = 128;
+
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        // SAFETY: sse2 implied by the avx2 gate (all subsequent intrinsic
+        // uses in this module are guarded the same way).
+        U32x4(unsafe { _mm_set1_epi32(x as i32) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u32]) -> Self {
+        assert!(xs.len() >= 4);
+        U32x4(unsafe { _mm_loadu_si128(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u32], hi: &[u32]) -> Self {
+        assert!(lo.len() >= 2 && hi.len() >= 2);
+        unsafe {
+            let l = _mm_loadl_epi64(lo.as_ptr().cast());
+            let h = _mm_loadl_epi64(hi.as_ptr().cast());
+            U32x4(_mm_unpacklo_epi64(l, h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u32]) -> (Self, Self) {
+        assert!(xs.len() >= 8);
+        unsafe {
+            let a = _mm_loadu_si128(xs.as_ptr().cast());
+            let b = _mm_loadu_si128(xs.as_ptr().add(4).cast());
+            let af = _mm_castsi128_ps(a);
+            let bf = _mm_castsi128_ps(b);
+            let evens = _mm_castps_si128(_mm_shuffle_ps::<0b10_00_10_00>(af, bf));
+            let odds = _mm_castps_si128(_mm_shuffle_ps::<0b11_01_11_01>(af, bf));
+            (U32x4(evens), U32x4(odds))
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u32]) {
+        assert!(out.len() >= 4);
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U32x4(unsafe { _mm_add_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U32x4(unsafe { _mm_and_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U32x4(unsafe { _mm_or_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U32x4(unsafe { _mm_xor_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U32x4(unsafe { _mm_mullo_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x4(unsafe { _mm_srl_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x4(unsafe { _mm_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm_cmpeq_epi32(self.0, other.0);
+            _mm_movemask_ps(_mm_castsi128_ps(eq)) as u64
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U32x4(unsafe { _mm_blendv_epi8(if_clear.0, if_set.0, mask32x4(bits)) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u32], idx: Self) -> Self {
+        debug_check_bounds(base, idx, u64::MAX);
+        U32x4(_mm_i32gather_epi32::<4>(base.as_ptr().cast(), idx.0))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u32], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_check_bounds(base, idx, bits);
+        U32x4(_mm_mask_i32gather_epi32::<4>(
+            fallback.0,
+            base.as_ptr().cast(),
+            idx.0,
+            mask32x4(bits),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u32], idx: Self) -> (Self, Self) {
+        if cfg!(debug_assertions) {
+            for i in 0..4 {
+                let p = idx.extract(i) as usize;
+                assert!(2 * p + 1 < base.len(), "gather_pairs lane {i} oob: {p}");
+            }
+        }
+        // Each 64-bit gather lane fetches one (key, value) pair.
+        let pairs_lo = _mm_i32gather_epi64::<8>(base.as_ptr().cast(), idx.0);
+        let idx_hi = _mm_shuffle_epi32::<0b00_00_11_10>(idx.0);
+        let pairs_hi = _mm_i32gather_epi64::<8>(base.as_ptr().cast(), idx_hi);
+        let af = _mm_castsi128_ps(pairs_lo);
+        let bf = _mm_castsi128_ps(pairs_hi);
+        let keys = _mm_castps_si128(_mm_shuffle_ps::<0b10_00_10_00>(af, bf));
+        let vals = _mm_castps_si128(_mm_shuffle_ps::<0b11_01_11_01>(af, bf));
+        (U32x4(keys), U32x4(vals))
+    }
+}
+
+impl Vector for U64x2 {
+    type Lane = u64;
+    const LANES: usize = 2;
+    const WIDTH_BITS: usize = 128;
+
+    #[inline(always)]
+    fn splat(x: u64) -> Self {
+        U64x2(unsafe { _mm_set1_epi64x(x as i64) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u64]) -> Self {
+        assert!(xs.len() >= 2);
+        U64x2(unsafe { _mm_loadu_si128(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u64], hi: &[u64]) -> Self {
+        assert!(!lo.is_empty() && !hi.is_empty());
+        U64x2(unsafe { _mm_set_epi64x(hi[0] as i64, lo[0] as i64) })
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u64]) -> (Self, Self) {
+        assert!(xs.len() >= 4);
+        unsafe {
+            let a = _mm_loadu_si128(xs.as_ptr().cast());
+            let b = _mm_loadu_si128(xs.as_ptr().add(2).cast());
+            (
+                U64x2(_mm_unpacklo_epi64(a, b)),
+                U64x2(_mm_unpackhi_epi64(a, b)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u64]) {
+        assert!(out.len() >= 2);
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U64x2(unsafe { _mm_add_epi64(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U64x2(unsafe { _mm_and_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U64x2(unsafe { _mm_or_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U64x2(unsafe { _mm_xor_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U64x2(mullo64_128(self.0, other.0))
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x2(unsafe { _mm_srl_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x2(unsafe { _mm_sll_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm_cmpeq_epi64(self.0, other.0);
+            _mm_movemask_pd(_mm_castsi128_pd(eq)) as u64
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U64x2(unsafe { _mm_blendv_epi8(if_clear.0, if_set.0, mask64x2(bits)) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u64], idx: Self) -> Self {
+        debug_check_bounds(base, idx, u64::MAX);
+        U64x2(_mm_i64gather_epi64::<8>(base.as_ptr().cast(), idx.0))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u64], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_check_bounds(base, idx, bits);
+        U64x2(_mm_mask_i64gather_epi64::<8>(
+            fallback.0,
+            base.as_ptr().cast(),
+            idx.0,
+            mask64x2(bits),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u64], idx: Self) -> (Self, Self) {
+        // No 128-bit gather lane exists on x86 (Observation ②): two gathers.
+        let two = Self::splat(2);
+        let kidx = idx.mullo(two);
+        let vidx = kidx.add(Self::splat(1));
+        let keys = Self::gather_idx(base, kidx);
+        let vals = Self::gather_idx(base, vidx);
+        (keys, vals)
+    }
+}
+
+impl Vector for U16x8 {
+    type Lane = u16;
+    const LANES: usize = 8;
+    const WIDTH_BITS: usize = 128;
+
+    #[inline(always)]
+    fn splat(x: u16) -> Self {
+        U16x8(unsafe { _mm_set1_epi16(x as i16) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u16]) -> Self {
+        assert!(xs.len() >= 8);
+        U16x8(unsafe { _mm_loadu_si128(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u16], hi: &[u16]) -> Self {
+        assert!(lo.len() >= 4 && hi.len() >= 4);
+        unsafe {
+            let l = _mm_loadl_epi64(lo.as_ptr().cast());
+            let h = _mm_loadl_epi64(hi.as_ptr().cast());
+            U16x8(_mm_unpacklo_epi64(l, h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u16]) -> (Self, Self) {
+        assert!(xs.len() >= 16);
+        unsafe {
+            let a = _mm_loadu_si128(xs.as_ptr().cast());
+            let b = _mm_loadu_si128(xs.as_ptr().add(8).cast());
+            // pshufb: pack even 16-bit elements into the low 8 bytes,
+            // odd elements into the high 8 bytes.
+            let sel = _mm_setr_epi8(0, 1, 4, 5, 8, 9, 12, 13, 2, 3, 6, 7, 10, 11, 14, 15);
+            let ap = _mm_shuffle_epi8(a, sel);
+            let bp = _mm_shuffle_epi8(b, sel);
+            (
+                U16x8(_mm_unpacklo_epi64(ap, bp)),
+                U16x8(_mm_unpackhi_epi64(ap, bp)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u16]) {
+        assert!(out.len() >= 8);
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U16x8(unsafe { _mm_add_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U16x8(unsafe { _mm_and_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U16x8(unsafe { _mm_or_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U16x8(unsafe { _mm_xor_si128(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U16x8(unsafe { _mm_mullo_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x8(unsafe { _mm_srl_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x8(unsafe { _mm_sll_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm_cmpeq_epi16(self.0, other.0);
+            super::even_bits_u32(_mm_movemask_epi8(eq) as u32 & 0xFFFF)
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U16x8(unsafe { _mm_blendv_epi8(if_clear.0, if_set.0, mask16x8(bits)) })
+    }
+
+    // x86 has no 16-bit-lane gathers on any ISA level; these scalar
+    // emulations mirror what period hardware forced implementations to do
+    // (and why the paper never runs vertical SIMD on 16-bit keys).
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u16], idx: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 8];
+        for i in 0..8 {
+            let j = lanes[i] as usize;
+            debug_assert!(j < base.len());
+            out[i] = *base.get_unchecked(j);
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u16], idx: Self, bits: u64, fallback: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 8];
+        fallback.write_to_slice(&mut out);
+        for i in 0..8 {
+            if bits & (1 << i) != 0 {
+                let j = lanes[i] as usize;
+                debug_assert!(j < base.len());
+                out[i] = *base.get_unchecked(j);
+            }
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u16], idx: Self) -> (Self, Self) {
+        let lanes = idx.to_lanes();
+        let mut keys = [0u16; 8];
+        let mut vals = [0u16; 8];
+        for i in 0..8 {
+            let p = lanes[i] as usize;
+            debug_assert!(2 * p + 1 < base.len());
+            keys[i] = *base.get_unchecked(2 * p);
+            vals[i] = *base.get_unchecked(2 * p + 1);
+        }
+        (Self::from_slice(&keys), Self::from_slice(&vals))
+    }
+}

@@ -1,0 +1,524 @@
+//! 256-bit AVX2 vectors: [`U32x8`], [`U64x4`], [`U16x16`].
+//!
+//! These are the paper's `W = 256` (AVX2) configurations — e.g. the
+//! horizontal probe of a (2,4) BCHT with 32-bit keys loads both candidate
+//! buckets into one `U32x8`, and the vertical probe of an N-way table looks
+//! up 8 keys per iteration.
+
+use core::arch::x86_64::*;
+
+use crate::vector::Vector;
+
+/// 8 × u32 in a 256-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U32x8(__m256i);
+
+/// 4 × u64 in a 256-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U64x4(__m256i);
+
+/// 16 × u16 in a 256-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U16x16(__m256i);
+
+#[inline(always)]
+fn mask32x8(bits: u64) -> __m256i {
+    // SAFETY: avx2 implied by the module gate.
+    unsafe {
+        let tbl = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+        let b = _mm256_set1_epi32(bits as i32);
+        _mm256_cmpeq_epi32(_mm256_and_si256(b, tbl), tbl)
+    }
+}
+
+#[inline(always)]
+fn mask64x4(bits: u64) -> __m256i {
+    // SAFETY: as above.
+    unsafe {
+        let tbl = _mm256_setr_epi64x(1, 2, 4, 8);
+        let b = _mm256_set1_epi64x(bits as i64);
+        _mm256_cmpeq_epi64(_mm256_and_si256(b, tbl), tbl)
+    }
+}
+
+#[inline(always)]
+fn mask16x16(bits: u64) -> __m256i {
+    // SAFETY: as above.
+    unsafe {
+        let tbl = _mm256_setr_epi16(
+            1,
+            2,
+            4,
+            8,
+            16,
+            32,
+            64,
+            128,
+            256,
+            512,
+            1024,
+            2048,
+            4096,
+            8192,
+            16384,
+            i16::MIN, // 1 << 15
+        );
+        let b = _mm256_set1_epi16(bits as i16);
+        _mm256_cmpeq_epi16(_mm256_and_si256(b, tbl), tbl)
+    }
+}
+
+/// 64-bit lane-wise `mullo` for 256-bit vectors without AVX-512DQ.
+#[inline(always)]
+pub(crate) fn mullo64_256(a: __m256i, b: __m256i) -> __m256i {
+    // SAFETY: avx2 implied by the module gate.
+    unsafe {
+        let ahi = _mm256_srli_epi64::<32>(a);
+        let bhi = _mm256_srli_epi64::<32>(b);
+        let ll = _mm256_mul_epu32(a, b);
+        let hl = _mm256_mul_epu32(ahi, b);
+        let lh = _mm256_mul_epu32(a, bhi);
+        let hi = _mm256_slli_epi64::<32>(_mm256_add_epi64(hl, lh));
+        _mm256_add_epi64(ll, hi)
+    }
+}
+
+/// De-interleave two 256-bit vectors holding 8 (u32,u32) pairs into
+/// (evens, odds) in element order.
+#[inline(always)]
+fn deinterleave32x8(a: __m256i, b: __m256i) -> (__m256i, __m256i) {
+    // SAFETY: avx2 implied by the module gate.
+    unsafe {
+        let af = _mm256_castsi256_ps(a);
+        let bf = _mm256_castsi256_ps(b);
+        // shuffle_ps works per 128-bit half, so a cross-half fixup follows.
+        let ev = _mm256_castps_si256(_mm256_shuffle_ps::<0b10_00_10_00>(af, bf));
+        let od = _mm256_castps_si256(_mm256_shuffle_ps::<0b11_01_11_01>(af, bf));
+        (
+            _mm256_permute4x64_epi64::<0b11_01_10_00>(ev),
+            _mm256_permute4x64_epi64::<0b11_01_10_00>(od),
+        )
+    }
+}
+
+macro_rules! debug_gather_bounds {
+    ($base:expr, $idx:expr, $bits:expr, $lanes:expr) => {
+        if cfg!(debug_assertions) {
+            let lanes = $idx.to_lanes();
+            for i in 0..$lanes {
+                if $bits & (1 << i) != 0 {
+                    let j = crate::lane::Lane::to_u64(lanes[i]) as usize;
+                    assert!(j < $base.len(), "gather lane {i} out of bounds: {j}");
+                }
+            }
+        }
+    };
+}
+
+impl Vector for U32x8 {
+    type Lane = u32;
+    const LANES: usize = 8;
+    const WIDTH_BITS: usize = 256;
+
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        // SAFETY: avx2 implied by the module gate (likewise below).
+        U32x8(unsafe { _mm256_set1_epi32(x as i32) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u32]) -> Self {
+        assert!(xs.len() >= 8);
+        U32x8(unsafe { _mm256_loadu_si256(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u32], hi: &[u32]) -> Self {
+        assert!(lo.len() >= 4 && hi.len() >= 4);
+        unsafe {
+            let l = _mm_loadu_si128(lo.as_ptr().cast());
+            let h = _mm_loadu_si128(hi.as_ptr().cast());
+            U32x8(_mm256_inserti128_si256::<1>(_mm256_castsi128_si256(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u32]) -> (Self, Self) {
+        assert!(xs.len() >= 16);
+        unsafe {
+            let a = _mm256_loadu_si256(xs.as_ptr().cast());
+            let b = _mm256_loadu_si256(xs.as_ptr().add(8).cast());
+            let (e, o) = deinterleave32x8(a, b);
+            (U32x8(e), U32x8(o))
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u32]) {
+        assert!(out.len() >= 8);
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U32x8(unsafe { _mm256_add_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U32x8(unsafe { _mm256_and_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U32x8(unsafe { _mm256_or_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U32x8(unsafe { _mm256_xor_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U32x8(unsafe { _mm256_mullo_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x8(unsafe { _mm256_srl_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x8(unsafe { _mm256_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm256_cmpeq_epi32(self.0, other.0);
+            _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32 as u64
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U32x8(unsafe { _mm256_blendv_epi8(if_clear.0, if_set.0, mask32x8(bits)) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u32], idx: Self) -> Self {
+        debug_gather_bounds!(base, idx, u64::MAX, 8);
+        U32x8(_mm256_i32gather_epi32::<4>(base.as_ptr().cast(), idx.0))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u32], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_gather_bounds!(base, idx, bits, 8);
+        U32x8(_mm256_mask_i32gather_epi32::<4>(
+            fallback.0,
+            base.as_ptr().cast(),
+            idx.0,
+            mask32x8(bits),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u32], idx: Self) -> (Self, Self) {
+        if cfg!(debug_assertions) {
+            let lanes = idx.to_lanes();
+            for (i, l) in lanes.iter().enumerate().take(8) {
+                let p = *l as usize;
+                assert!(2 * p + 1 < base.len(), "gather_pairs lane {i} oob: {p}");
+            }
+        }
+        // One 64-bit gather lane per (key, value) pair — the paper's
+        // "fewer wider gathers".
+        let idx_lo = _mm256_castsi256_si128(idx.0);
+        let idx_hi = _mm256_extracti128_si256::<1>(idx.0);
+        let pairs_lo = _mm256_i32gather_epi64::<8>(base.as_ptr().cast(), idx_lo);
+        let pairs_hi = _mm256_i32gather_epi64::<8>(base.as_ptr().cast(), idx_hi);
+        let (keys, vals) = deinterleave32x8(pairs_lo, pairs_hi);
+        (U32x8(keys), U32x8(vals))
+    }
+}
+
+impl Vector for U64x4 {
+    type Lane = u64;
+    const LANES: usize = 4;
+    const WIDTH_BITS: usize = 256;
+
+    #[inline(always)]
+    fn splat(x: u64) -> Self {
+        U64x4(unsafe { _mm256_set1_epi64x(x as i64) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u64]) -> Self {
+        assert!(xs.len() >= 4);
+        U64x4(unsafe { _mm256_loadu_si256(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u64], hi: &[u64]) -> Self {
+        assert!(lo.len() >= 2 && hi.len() >= 2);
+        unsafe {
+            let l = _mm_loadu_si128(lo.as_ptr().cast());
+            let h = _mm_loadu_si128(hi.as_ptr().cast());
+            U64x4(_mm256_inserti128_si256::<1>(_mm256_castsi128_si256(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u64]) -> (Self, Self) {
+        assert!(xs.len() >= 8);
+        unsafe {
+            let a = _mm256_loadu_si256(xs.as_ptr().cast());
+            let b = _mm256_loadu_si256(xs.as_ptr().add(4).cast());
+            // unpack{lo,hi} interleave per 128-bit half: fix with permute.
+            let ev = _mm256_unpacklo_epi64(a, b); // [a0 b0 a2 b2]
+            let od = _mm256_unpackhi_epi64(a, b); // [a1 b1 a3 b3]
+            (
+                U64x4(_mm256_permute4x64_epi64::<0b11_01_10_00>(ev)),
+                U64x4(_mm256_permute4x64_epi64::<0b11_01_10_00>(od)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u64]) {
+        assert!(out.len() >= 4);
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U64x4(unsafe { _mm256_add_epi64(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U64x4(unsafe { _mm256_and_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U64x4(unsafe { _mm256_or_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U64x4(unsafe { _mm256_xor_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U64x4(mullo64_256(self.0, other.0))
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x4(unsafe { _mm256_srl_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x4(unsafe { _mm256_sll_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm256_cmpeq_epi64(self.0, other.0);
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U64x4(unsafe { _mm256_blendv_epi8(if_clear.0, if_set.0, mask64x4(bits)) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u64], idx: Self) -> Self {
+        debug_gather_bounds!(base, idx, u64::MAX, 4);
+        U64x4(_mm256_i64gather_epi64::<8>(base.as_ptr().cast(), idx.0))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u64], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_gather_bounds!(base, idx, bits, 4);
+        U64x4(_mm256_mask_i64gather_epi64::<8>(
+            fallback.0,
+            base.as_ptr().cast(),
+            idx.0,
+            mask64x4(bits),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u64], idx: Self) -> (Self, Self) {
+        // 128-bit pairs cannot be gathered in one instruction (Observation ②).
+        let kidx = self_shl1(idx);
+        let vidx = kidx.add(Self::splat(1));
+        (Self::gather_idx(base, kidx), Self::gather_idx(base, vidx))
+    }
+}
+
+#[inline(always)]
+fn self_shl1(v: U64x4) -> U64x4 {
+    v.shl(1)
+}
+
+impl Vector for U16x16 {
+    type Lane = u16;
+    const LANES: usize = 16;
+    const WIDTH_BITS: usize = 256;
+
+    #[inline(always)]
+    fn splat(x: u16) -> Self {
+        U16x16(unsafe { _mm256_set1_epi16(x as i16) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u16]) -> Self {
+        assert!(xs.len() >= 16);
+        U16x16(unsafe { _mm256_loadu_si256(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u16], hi: &[u16]) -> Self {
+        assert!(lo.len() >= 8 && hi.len() >= 8);
+        unsafe {
+            let l = _mm_loadu_si128(lo.as_ptr().cast());
+            let h = _mm_loadu_si128(hi.as_ptr().cast());
+            U16x16(_mm256_inserti128_si256::<1>(_mm256_castsi128_si256(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u16]) -> (Self, Self) {
+        assert!(xs.len() >= 32);
+        unsafe {
+            let a = _mm256_loadu_si256(xs.as_ptr().cast());
+            let b = _mm256_loadu_si256(xs.as_ptr().add(16).cast());
+            // Per-128-lane byte shuffle packs evens low / odds high, then a
+            // 64-bit permute re-orders across halves.
+            let sel = _mm256_setr_epi8(
+                0, 1, 4, 5, 8, 9, 12, 13, 2, 3, 6, 7, 10, 11, 14, 15, 0, 1, 4, 5, 8, 9, 12, 13, 2,
+                3, 6, 7, 10, 11, 14, 15,
+            );
+            let ap = _mm256_shuffle_epi8(a, sel); // [aE0 aO0 aE1 aO1] per 64-bit group
+            let bp = _mm256_shuffle_epi8(b, sel);
+            let ev = _mm256_unpacklo_epi64(ap, bp); // [aE0 bE0 aE1 bE1]
+            let od = _mm256_unpackhi_epi64(ap, bp);
+            (
+                U16x16(_mm256_permute4x64_epi64::<0b11_01_10_00>(ev)),
+                U16x16(_mm256_permute4x64_epi64::<0b11_01_10_00>(od)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u16]) {
+        assert!(out.len() >= 16);
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U16x16(unsafe { _mm256_add_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U16x16(unsafe { _mm256_and_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U16x16(unsafe { _mm256_or_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U16x16(unsafe { _mm256_xor_si256(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U16x16(unsafe { _mm256_mullo_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x16(unsafe { _mm256_srl_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x16(unsafe { _mm256_sll_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        unsafe {
+            let eq = _mm256_cmpeq_epi16(self.0, other.0);
+            super::even_bits_u32(_mm256_movemask_epi8(eq) as u32)
+        }
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U16x16(unsafe { _mm256_blendv_epi8(if_clear.0, if_set.0, mask16x16(bits)) })
+    }
+
+    // No 16-bit gathers on x86 — scalar emulation (see `v128::U16x8`).
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u16], idx: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 16];
+        for i in 0..16 {
+            let j = lanes[i] as usize;
+            debug_assert!(j < base.len());
+            out[i] = *base.get_unchecked(j);
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u16], idx: Self, bits: u64, fallback: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 16];
+        fallback.write_to_slice(&mut out);
+        for i in 0..16 {
+            if bits & (1 << i) != 0 {
+                let j = lanes[i] as usize;
+                debug_assert!(j < base.len());
+                out[i] = *base.get_unchecked(j);
+            }
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u16], idx: Self) -> (Self, Self) {
+        let lanes = idx.to_lanes();
+        let mut keys = [0u16; 16];
+        let mut vals = [0u16; 16];
+        for i in 0..16 {
+            let p = lanes[i] as usize;
+            debug_assert!(2 * p + 1 < base.len());
+            keys[i] = *base.get_unchecked(2 * p);
+            vals[i] = *base.get_unchecked(2 * p + 1);
+        }
+        (Self::from_slice(&keys), Self::from_slice(&vals))
+    }
+}

@@ -1,0 +1,439 @@
+//! 512-bit AVX-512 vectors: [`U32x16`], [`U64x8`], [`U16x32`].
+//!
+//! These are the paper's `W = 512` configurations: a vertical probe over an
+//! N-way cuckoo table looks up 16 keys per iteration (Case Study ③), and a
+//! horizontal probe can hold an entire (2,8) bucket pair or a full
+//! 64-byte cache line in one register (§I, Challenge ③).
+//!
+//! AVX-512 makes two things structurally cheaper than AVX2: compares produce
+//! mask registers directly (no movemask), and gathers/blends accept those
+//! masks natively (no bitmask→vector-mask expansion).
+
+use core::arch::x86_64::*;
+
+use crate::vector::Vector;
+
+/// 16 × u32 in a 512-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U32x16(__m512i);
+
+/// 8 × u64 in a 512-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U64x8(__m512i);
+
+/// 32 × u16 in a 512-bit register.
+#[derive(Copy, Clone, Debug)]
+pub struct U16x32(__m512i);
+
+macro_rules! debug_gather_bounds {
+    ($base:expr, $idx:expr, $bits:expr, $lanes:expr) => {
+        if cfg!(debug_assertions) {
+            let lanes = $idx.to_lanes();
+            for i in 0..$lanes {
+                if $bits & (1 << i) != 0 {
+                    let j = crate::lane::Lane::to_u64(lanes[i]) as usize;
+                    assert!(j < $base.len(), "gather lane {i} out of bounds: {j}");
+                }
+            }
+        }
+    };
+}
+
+impl Vector for U32x16 {
+    type Lane = u32;
+    const LANES: usize = 16;
+    const WIDTH_BITS: usize = 512;
+
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        // SAFETY: avx512f (+bw/dq/vl) implied by the module gate; the same
+        // justification applies to every intrinsic call in this module.
+        U32x16(unsafe { _mm512_set1_epi32(x as i32) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u32]) -> Self {
+        assert!(xs.len() >= 16);
+        U32x16(unsafe { _mm512_loadu_si512(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u32], hi: &[u32]) -> Self {
+        assert!(lo.len() >= 8 && hi.len() >= 8);
+        unsafe {
+            let l = _mm256_loadu_si256(lo.as_ptr().cast());
+            let h = _mm256_loadu_si256(hi.as_ptr().cast());
+            U32x16(_mm512_inserti64x4::<1>(_mm512_castsi256_si512(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u32]) -> (Self, Self) {
+        assert!(xs.len() >= 32);
+        unsafe {
+            let a = _mm512_loadu_si512(xs.as_ptr().cast());
+            let b = _mm512_loadu_si512(xs.as_ptr().add(16).cast());
+            let evens = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
+            let odds = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31);
+            (
+                U32x16(_mm512_permutex2var_epi32(a, evens, b)),
+                U32x16(_mm512_permutex2var_epi32(a, odds, b)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u32]) {
+        assert!(out.len() >= 16);
+        unsafe { _mm512_storeu_si512(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U32x16(unsafe { _mm512_add_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U32x16(unsafe { _mm512_and_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U32x16(unsafe { _mm512_or_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U32x16(unsafe { _mm512_xor_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U32x16(unsafe { _mm512_mullo_epi32(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x16(unsafe { _mm512_srl_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 32);
+        U32x16(unsafe { _mm512_sll_epi32(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        u64::from(unsafe { _mm512_cmpeq_epi32_mask(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U32x16(unsafe { _mm512_mask_blend_epi32(bits as __mmask16, if_clear.0, if_set.0) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u32], idx: Self) -> Self {
+        debug_gather_bounds!(base, idx, u64::MAX, 16);
+        U32x16(_mm512_i32gather_epi32::<4>(idx.0, base.as_ptr().cast()))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u32], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_gather_bounds!(base, idx, bits, 16);
+        U32x16(_mm512_mask_i32gather_epi32::<4>(
+            fallback.0,
+            bits as __mmask16,
+            idx.0,
+            base.as_ptr().cast(),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u32], idx: Self) -> (Self, Self) {
+        if cfg!(debug_assertions) {
+            let lanes = idx.to_lanes();
+            for (i, l) in lanes.iter().enumerate().take(16) {
+                let p = *l as usize;
+                assert!(2 * p + 1 < base.len(), "gather_pairs lane {i} oob: {p}");
+            }
+        }
+        let idx_lo = _mm512_castsi512_si256(idx.0);
+        let idx_hi = _mm512_extracti64x4_epi64::<1>(idx.0);
+        let pairs_lo = _mm512_i32gather_epi64::<8>(idx_lo, base.as_ptr().cast());
+        let pairs_hi = _mm512_i32gather_epi64::<8>(idx_hi, base.as_ptr().cast());
+        let evens = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
+        let odds = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31);
+        (
+            U32x16(_mm512_permutex2var_epi32(pairs_lo, evens, pairs_hi)),
+            U32x16(_mm512_permutex2var_epi32(pairs_lo, odds, pairs_hi)),
+        )
+    }
+}
+
+impl Vector for U64x8 {
+    type Lane = u64;
+    const LANES: usize = 8;
+    const WIDTH_BITS: usize = 512;
+
+    #[inline(always)]
+    fn splat(x: u64) -> Self {
+        U64x8(unsafe { _mm512_set1_epi64(x as i64) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u64]) -> Self {
+        assert!(xs.len() >= 8);
+        U64x8(unsafe { _mm512_loadu_si512(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u64], hi: &[u64]) -> Self {
+        assert!(lo.len() >= 4 && hi.len() >= 4);
+        unsafe {
+            let l = _mm256_loadu_si256(lo.as_ptr().cast());
+            let h = _mm256_loadu_si256(hi.as_ptr().cast());
+            U64x8(_mm512_inserti64x4::<1>(_mm512_castsi256_si512(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u64]) -> (Self, Self) {
+        assert!(xs.len() >= 16);
+        unsafe {
+            let a = _mm512_loadu_si512(xs.as_ptr().cast());
+            let b = _mm512_loadu_si512(xs.as_ptr().add(8).cast());
+            let evens = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+            let odds = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+            (
+                U64x8(_mm512_permutex2var_epi64(a, evens, b)),
+                U64x8(_mm512_permutex2var_epi64(a, odds, b)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u64]) {
+        assert!(out.len() >= 8);
+        unsafe { _mm512_storeu_si512(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U64x8(unsafe { _mm512_add_epi64(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U64x8(unsafe { _mm512_and_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U64x8(unsafe { _mm512_or_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U64x8(unsafe { _mm512_xor_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        // Native 64-bit mullo requires AVX-512DQ, which this module gates on.
+        U64x8(unsafe { _mm512_mullo_epi64(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x8(unsafe { _mm512_srl_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 64);
+        U64x8(unsafe { _mm512_sll_epi64(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        u64::from(unsafe { _mm512_cmpeq_epi64_mask(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U64x8(unsafe { _mm512_mask_blend_epi64(bits as __mmask8, if_clear.0, if_set.0) })
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u64], idx: Self) -> Self {
+        debug_gather_bounds!(base, idx, u64::MAX, 8);
+        U64x8(_mm512_i64gather_epi64::<8>(idx.0, base.as_ptr().cast()))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u64], idx: Self, bits: u64, fallback: Self) -> Self {
+        debug_gather_bounds!(base, idx, bits, 8);
+        U64x8(_mm512_mask_i64gather_epi64::<8>(
+            fallback.0,
+            bits as __mmask8,
+            idx.0,
+            base.as_ptr().cast(),
+        ))
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u64], idx: Self) -> (Self, Self) {
+        // 128-bit pairs exceed the widest gather lane (Observation ②).
+        let kidx = idx.shl(1);
+        let vidx = kidx.add(Self::splat(1));
+        (Self::gather_idx(base, kidx), Self::gather_idx(base, vidx))
+    }
+}
+
+impl Vector for U16x32 {
+    type Lane = u16;
+    const LANES: usize = 32;
+    const WIDTH_BITS: usize = 512;
+
+    #[inline(always)]
+    fn splat(x: u16) -> Self {
+        U16x32(unsafe { _mm512_set1_epi16(x as i16) })
+    }
+
+    #[inline(always)]
+    fn from_slice(xs: &[u16]) -> Self {
+        assert!(xs.len() >= 32);
+        U16x32(unsafe { _mm512_loadu_si512(xs.as_ptr().cast()) })
+    }
+
+    #[inline(always)]
+    fn from_two_slices(lo: &[u16], hi: &[u16]) -> Self {
+        assert!(lo.len() >= 16 && hi.len() >= 16);
+        unsafe {
+            let l = _mm256_loadu_si256(lo.as_ptr().cast());
+            let h = _mm256_loadu_si256(hi.as_ptr().cast());
+            U16x32(_mm512_inserti64x4::<1>(_mm512_castsi256_si512(l), h))
+        }
+    }
+
+    #[inline(always)]
+    fn load_deinterleave_2(xs: &[u16]) -> (Self, Self) {
+        assert!(xs.len() >= 64);
+        unsafe {
+            let a = _mm512_loadu_si512(xs.as_ptr().cast());
+            let b = _mm512_loadu_si512(xs.as_ptr().add(32).cast());
+            let mut ev = [0i16; 32];
+            let mut od = [0i16; 32];
+            for i in 0..32 {
+                ev[i] = (2 * i) as i16;
+                od[i] = (2 * i + 1) as i16;
+            }
+            let evens = _mm512_loadu_si512(ev.as_ptr().cast());
+            let odds = _mm512_loadu_si512(od.as_ptr().cast());
+            (
+                U16x32(_mm512_permutex2var_epi16(a, evens, b)),
+                U16x32(_mm512_permutex2var_epi16(a, odds, b)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [u16]) {
+        assert!(out.len() >= 32);
+        unsafe { _mm512_storeu_si512(out.as_mut_ptr().cast(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        U16x32(unsafe { _mm512_add_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        U16x32(unsafe { _mm512_and_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        U16x32(unsafe { _mm512_or_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        U16x32(unsafe { _mm512_xor_si512(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn mullo(self, other: Self) -> Self {
+        U16x32(unsafe { _mm512_mullo_epi16(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x32(unsafe { _mm512_srl_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn shl(self, n: u32) -> Self {
+        debug_assert!(n < 16);
+        U16x32(unsafe { _mm512_sll_epi16(self.0, _mm_cvtsi32_si128(n as i32)) })
+    }
+
+    #[inline(always)]
+    fn cmpeq_bits(self, other: Self) -> u64 {
+        u64::from(unsafe { _mm512_cmpeq_epi16_mask(self.0, other.0) })
+    }
+
+    #[inline(always)]
+    fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
+        U16x32(unsafe { _mm512_mask_blend_epi16(bits as __mmask32, if_clear.0, if_set.0) })
+    }
+
+    // No 16-bit gathers on x86 — scalar emulation (see `v128::U16x8`).
+    #[inline(always)]
+    unsafe fn gather_idx(base: &[u16], idx: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 32];
+        for i in 0..32 {
+            let j = lanes[i] as usize;
+            debug_assert!(j < base.len());
+            out[i] = *base.get_unchecked(j);
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_idx_masked(base: &[u16], idx: Self, bits: u64, fallback: Self) -> Self {
+        let lanes = idx.to_lanes();
+        let mut out = [0u16; 32];
+        fallback.write_to_slice(&mut out);
+        for i in 0..32 {
+            if bits & (1 << i) != 0 {
+                let j = lanes[i] as usize;
+                debug_assert!(j < base.len());
+                out[i] = *base.get_unchecked(j);
+            }
+        }
+        Self::from_slice(&out)
+    }
+
+    #[inline(always)]
+    unsafe fn gather_pairs(base: &[u16], idx: Self) -> (Self, Self) {
+        let lanes = idx.to_lanes();
+        let mut keys = [0u16; 32];
+        let mut vals = [0u16; 32];
+        for i in 0..32 {
+            let p = lanes[i] as usize;
+            debug_assert!(2 * p + 1 < base.len());
+            keys[i] = *base.get_unchecked(2 * p);
+            vals[i] = *base.get_unchecked(2 * p + 1);
+        }
+        (Self::from_slice(&keys), Self::from_slice(&vals))
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests proving every x86 intrinsic backend computes exactly what
+//! the portable emulated backend computes, lane for lane, for every `Vector`
+//! operation.
+//!
+//! These tests only run on builds/CPUs where the corresponding backend is
+//! compiled in (the workspace builds with `-C target-cpu=native`).
+
+#![cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+
+use proptest::prelude::*;
+use simdht_simd::emu::Emu;
+use simdht_simd::{Lane, Vector};
+
+/// Exhaustively compare one op set between a backend `V` and `Emu` over the
+/// given inputs.
+fn check_pair<L, V, const LANES: usize>(a: &[L], b: &[L], shift: u32, bits: u64)
+where
+    L: Lane,
+    V: Vector<Lane = L>,
+{
+    assert_eq!(V::LANES, LANES);
+    type E<L, const N: usize> = Emu<L, N>;
+    let va = V::from_slice(a);
+    let vb = V::from_slice(b);
+    let ea = E::<L, LANES>::from_slice(a);
+    let eb = E::<L, LANES>::from_slice(b);
+    let bits = bits & V::lane_mask();
+
+    let eq = |v: V, e: E<L, LANES>, what: &str| {
+        assert_eq!(&v.to_lanes()[..LANES], &e.to_lanes()[..LANES], "{what}");
+    };
+
+    eq(va.add(vb), ea.add(eb), "add");
+    eq(va.and(vb), ea.and(eb), "and");
+    eq(va.or(vb), ea.or(eb), "or");
+    eq(va.xor(vb), ea.xor(eb), "xor");
+    eq(va.mullo(vb), ea.mullo(eb), "mullo");
+    eq(va.shr(shift), ea.shr(shift), "shr");
+    eq(va.shl(shift), ea.shl(shift), "shl");
+    assert_eq!(va.cmpeq_bits(vb), ea.cmpeq_bits(eb), "cmpeq_bits");
+    assert_eq!(
+        va.cmpeq_bits(va),
+        V::lane_mask(),
+        "self-compare must match all lanes"
+    );
+    eq(
+        V::blend_bits(bits, va, vb),
+        E::<L, LANES>::blend_bits(bits, ea, eb),
+        "blend_bits",
+    );
+    eq(V::splat(a[0]), E::<L, LANES>::splat(a[0]), "splat");
+    eq(
+        V::from_two_slices(a, b),
+        E::<L, LANES>::from_two_slices(a, b),
+        "from_two_slices",
+    );
+
+    // Deinterleave needs 2*LANES elements: concatenate a and b.
+    let mut cat = Vec::with_capacity(2 * LANES);
+    cat.extend_from_slice(&a[..LANES]);
+    cat.extend_from_slice(&b[..LANES]);
+    let (v_ev, v_od) = V::load_deinterleave_2(&cat);
+    let (e_ev, e_od) = E::<L, LANES>::load_deinterleave_2(&cat);
+    eq(v_ev, e_ev, "load_deinterleave_2 evens");
+    eq(v_od, e_od, "load_deinterleave_2 odds");
+}
+
+/// Compare gather ops between backend `V` and `Emu` using `idx` values
+/// reduced into `base`'s range.
+fn check_gathers<L, V, const LANES: usize>(base: &[L], raw_idx: &[u64], bits: u64, fallback: L)
+where
+    L: Lane,
+    V: Vector<Lane = L>,
+{
+    assert_eq!(V::LANES, LANES);
+    assert!(base.len() >= 2 * LANES);
+    type E<L, const N: usize> = Emu<L, N>;
+    let bits = bits & V::lane_mask();
+
+    let n = base.len() as u64;
+    let idx_vals: Vec<L> = raw_idx[..LANES].iter().map(|&x| L::from_u64(x % n)).collect();
+    let pair_idx_vals: Vec<L> = raw_idx[..LANES]
+        .iter()
+        .map(|&x| L::from_u64(x % (n / 2)))
+        .collect();
+
+    let vidx = V::from_slice(&idx_vals);
+    let eidx = E::<L, LANES>::from_slice(&idx_vals);
+    let vp = V::from_slice(&pair_idx_vals);
+    let ep = E::<L, LANES>::from_slice(&pair_idx_vals);
+
+    // SAFETY: all indices were reduced modulo the base length above.
+    unsafe {
+        let g = V::gather_idx(base, vidx).to_lanes();
+        let ge = E::<L, LANES>::gather_idx(base, eidx).to_lanes();
+        assert_eq!(&g[..LANES], &ge[..LANES], "gather_idx");
+
+        let m = V::gather_idx_masked(base, vidx, bits, V::splat(fallback)).to_lanes();
+        let me =
+            E::<L, LANES>::gather_idx_masked(base, eidx, bits, E::<L, LANES>::splat(fallback))
+                .to_lanes();
+        assert_eq!(&m[..LANES], &me[..LANES], "gather_idx_masked");
+
+        let (k, v) = V::gather_pairs(base, vp);
+        let (ke, ve) = E::<L, LANES>::gather_pairs(base, ep);
+        assert_eq!(&k.to_lanes()[..LANES], &ke.to_lanes()[..LANES], "gather_pairs keys");
+        assert_eq!(&v.to_lanes()[..LANES], &ve.to_lanes()[..LANES], "gather_pairs vals");
+    }
+}
+
+macro_rules! equivalence_suite {
+    ($name:ident, $lane:ty, $lanes:expr, $vty:ty, $max_shift:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(256))]
+
+                #[test]
+                fn ops_match_emulated(
+                    a in prop::collection::vec(any::<$lane>(), $lanes),
+                    b in prop::collection::vec(any::<$lane>(), $lanes),
+                    shift in 0u32..$max_shift,
+                    bits in any::<u64>(),
+                ) {
+                    check_pair::<$lane, $vty, $lanes>(&a, &b, shift, bits);
+                }
+
+                #[test]
+                fn gathers_match_emulated(
+                    base in prop::collection::vec(any::<$lane>(), (2 * $lanes)..256),
+                    idx in prop::collection::vec(any::<u64>(), $lanes),
+                    bits in any::<u64>(),
+                    fallback in any::<$lane>(),
+                ) {
+                    check_gathers::<$lane, $vty, $lanes>(&base, &idx, bits, fallback);
+                }
+
+                #[test]
+                fn equal_inputs_full_match(a in prop::collection::vec(any::<$lane>(), $lanes)) {
+                    let v = <$vty>::from_slice(&a);
+                    prop_assert_eq!(v.cmpeq_bits(v), <$vty>::lane_mask());
+                }
+            }
+        }
+    };
+}
+
+equivalence_suite!(v128_u32, u32, 4, simdht_simd::x86::v128::U32x4, 32);
+equivalence_suite!(v128_u64, u64, 2, simdht_simd::x86::v128::U64x2, 64);
+equivalence_suite!(v128_u16, u16, 8, simdht_simd::x86::v128::U16x8, 16);
+equivalence_suite!(v256_u32, u32, 8, simdht_simd::x86::v256::U32x8, 32);
+equivalence_suite!(v256_u64, u64, 4, simdht_simd::x86::v256::U64x4, 64);
+equivalence_suite!(v256_u16, u16, 16, simdht_simd::x86::v256::U16x16, 16);
+
+#[cfg(all(
+    target_feature = "avx512f",
+    target_feature = "avx512bw",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+mod avx512 {
+    use super::*;
+    equivalence_suite!(v512_u32, u32, 16, simdht_simd::x86::v512::U32x16, 32);
+    equivalence_suite!(v512_u64, u64, 8, simdht_simd::x86::v512::U64x8, 64);
+    equivalence_suite!(v512_u16, u16, 32, simdht_simd::x86::v512::U16x32, 16);
+}

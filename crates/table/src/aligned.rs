@@ -1,0 +1,165 @@
+//! Cache-line-aligned storage for hash-table slots.
+//!
+//! Bucketized cuckoo tables get their speed from fitting each bucket into as
+//! few cache lines as possible (paper §II-A); that only holds if bucket 0
+//! starts on a cache-line boundary. `Vec<T>` gives no such guarantee, so the
+//! tables allocate through [`AlignedBuf`], which is always 64-byte aligned.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Cache-line size the tables align to.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A heap buffer of `len` elements of `T`, zero-initialized and aligned to
+/// [`CACHE_LINE_BYTES`].
+///
+/// Dereferences to `[T]`.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_table::aligned::AlignedBuf;
+///
+/// let buf: AlignedBuf<u32> = AlignedBuf::new_zeroed(1024);
+/// assert_eq!(buf.len(), 1024);
+/// assert!(buf.iter().all(|&x| x == 0));
+/// assert_eq!(buf.as_ptr() as usize % 64, 0);
+/// ```
+pub struct AlignedBuf<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: `AlignedBuf` owns its allocation exclusively; it is exactly as
+// thread-safe as `Vec<T>`.
+unsafe impl<T: Send> Send for AlignedBuf<T> {}
+unsafe impl<T: Sync> Sync for AlignedBuf<T> {}
+
+impl<T: Copy + Default> AlignedBuf<T> {
+    /// Allocate a zeroed, 64-byte-aligned buffer of `len` elements.
+    ///
+    /// `T` must be a plain integer type for which the all-zeroes bit pattern
+    /// is valid (enforced by the `Copy + Default` bound plus this crate's
+    /// usage: `u16`/`u32`/`u64` lanes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len * size_of::<T>()` overflows `isize`.
+    pub fn new_zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                len: 0,
+                _marker: PhantomData,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0 and T is an integer).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout);
+        };
+        AlignedBuf {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    fn layout(len: usize) -> Layout {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AlignedBuf size overflow");
+        Layout::from_size_align(bytes, CACHE_LINE_BYTES.max(std::mem::align_of::<T>()))
+            .expect("invalid AlignedBuf layout")
+    }
+}
+
+impl<T> Deref for AlignedBuf<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: `ptr` points at `len` initialized (zeroed) elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> DerefMut for AlignedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as above, and we hold `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            let bytes = self.len * std::mem::size_of::<T>();
+            let layout =
+                Layout::from_size_align(bytes, CACHE_LINE_BYTES.max(std::mem::align_of::<T>()))
+                    .expect("invalid AlignedBuf layout");
+            // SAFETY: allocated in `new_zeroed` with the identical layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+        }
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::new_zeroed(self.len);
+        out.copy_from_slice(self);
+        out
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("align", &CACHE_LINE_BYTES)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_aligned() {
+        for len in [1usize, 7, 64, 1000, 4096] {
+            let buf: AlignedBuf<u32> = AlignedBuf::new_zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+            assert!(buf.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buf: AlignedBuf<u64> = AlignedBuf::new_zeroed(0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn writable_and_cloneable() {
+        let mut buf: AlignedBuf<u16> = AlignedBuf::new_zeroed(128);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = i as u16;
+        }
+        let copy = buf.clone();
+        assert_eq!(&buf[..], &copy[..]);
+        assert_eq!(copy[127], 127);
+        assert_eq!(copy.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn u64_alignment() {
+        let buf: AlignedBuf<u64> = AlignedBuf::new_zeroed(9);
+        assert_eq!(buf.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+    }
+}

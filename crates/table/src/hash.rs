@@ -1,0 +1,198 @@
+//! The multiply-shift hash family used for N-way cuckoo hashing.
+//!
+//! Each way *i* hashes a key `k` as `(k ⊙ aᵢ) >> (BITS − log₂ buckets)` with
+//! a fixed random odd multiplier `aᵢ` (Dietzfelbinger et al.'s
+//! multiply-shift scheme). Two properties matter here:
+//!
+//! 1. It is a single multiply + shift — cheap enough that the paper's
+//!    horizontal template computes all `N` buckets per key up front
+//!    (`calc_N_hash_buckets`, Algorithm 1 line 15).
+//! 2. Both operations exist as per-lane vector instructions, which is what
+//!    makes the vertical template's in-vector `vec_calc_hash`
+//!    (Algorithm 2 line 16) possible. The SIMD kernels read
+//!    [`HashFamily::multiplier`] and [`HashFamily::shift`] and replicate the
+//!    exact computation with `mullo` + `shr`.
+
+use rand::Rng;
+use simdht_simd::Lane;
+
+/// A family of up to [`crate::Layout::MAX_WAYS`] multiply-shift hash
+/// functions over lane type `K`.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_table::HashFamily;
+///
+/// let family: HashFamily<u32> = HashFamily::deterministic(2, 10); // 1024 buckets
+/// let b0 = family.bucket(12345, 0);
+/// let b1 = family.bucket(12345, 1);
+/// assert!(b0 < 1024 && b1 < 1024);
+/// // Same key, same way, same bucket — always.
+/// assert_eq!(b0, family.bucket(12345, 0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HashFamily<K> {
+    multipliers: Vec<K>,
+    log2_buckets: u32,
+    shift: u32,
+}
+
+impl<K: Lane> HashFamily<K> {
+    /// Create a family of `n_ways` hash functions over `2^log2_buckets`
+    /// buckets, drawing multipliers from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_buckets >= K::BITS` (the bucket index must come from
+    /// the top bits of a `K`-wide product) or if `n_ways == 0`.
+    pub fn new(n_ways: u32, log2_buckets: u32, rng: &mut impl Rng) -> Self {
+        assert!(n_ways >= 1, "need at least one hash function");
+        assert!(
+            log2_buckets < K::BITS,
+            "log2_buckets {log2_buckets} must be < key bits {}",
+            K::BITS
+        );
+        let multipliers = (0..n_ways)
+            .map(|_| K::from_u64(rng.gen::<u64>() | 1)) // odd multiplier
+            .collect();
+        HashFamily {
+            multipliers,
+            log2_buckets,
+            shift: K::BITS - log2_buckets,
+        }
+    }
+
+    /// Create a family with a fixed internal seed (reproducible runs).
+    pub fn deterministic(n_ways: u32, log2_buckets: u32) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x51_3d_47_b3_9c_2e_11);
+        Self::new(n_ways, log2_buckets, &mut rng)
+    }
+
+    /// Number of ways (hash functions).
+    pub fn n_ways(&self) -> u32 {
+        self.multipliers.len() as u32
+    }
+
+    /// `log₂` of the bucket count.
+    pub fn log2_buckets(&self) -> u32 {
+        self.log2_buckets
+    }
+
+    /// Number of buckets (`2^log2_buckets`).
+    pub fn num_buckets(&self) -> usize {
+        1usize << self.log2_buckets
+    }
+
+    /// The right-shift amount (`K::BITS − log2_buckets`), needed by vector
+    /// kernels replicating the hash in-register.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The odd multiplier for `way`, needed by vector kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= n_ways`.
+    pub fn multiplier(&self, way: u32) -> K {
+        self.multipliers[way as usize]
+    }
+
+    /// The bucket index of `key` under hash function `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= n_ways`.
+    #[inline(always)]
+    pub fn bucket(&self, key: K, way: u32) -> usize {
+        let h = key.wrapping_mul(self.multipliers[way as usize]);
+        if self.shift >= K::BITS {
+            0
+        } else {
+            h.shr(self.shift).to_u64() as usize
+        }
+    }
+
+    /// All candidate buckets of `key`, in way order, written into `out`.
+    /// Returns the filled prefix.
+    #[inline(always)]
+    pub fn buckets<'a>(&self, key: K, out: &'a mut [usize; crate::MAX_WAYS_USIZE]) -> &'a [usize] {
+        let n = self.multipliers.len();
+        for (way, slot) in out.iter_mut().enumerate().take(n) {
+            *slot = self.bucket(key, way as u32);
+        }
+        &out[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn buckets_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let fam: HashFamily<u32> = HashFamily::new(3, 8, &mut rng);
+        assert_eq!(fam.num_buckets(), 256);
+        for key in 1u32..10_000 {
+            for way in 0..3 {
+                assert!(fam.bucket(key, way) < 256);
+            }
+        }
+    }
+
+    #[test]
+    fn ways_differ() {
+        let fam: HashFamily<u32> = HashFamily::deterministic(4, 12);
+        // The ways should disagree for most keys.
+        let disagreements = (1u32..1000)
+            .filter(|&k| fam.bucket(k, 0) != fam.bucket(k, 1))
+            .count();
+        assert!(disagreements > 900, "ways too correlated: {disagreements}");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let fam: HashFamily<u32> = HashFamily::deterministic(2, 6);
+        let mut counts = [0usize; 64];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..64_000 {
+            let k: u32 = rand::Rng::gen(&mut rng);
+            counts[fam.bucket(k, 0)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // mean 1000 per bucket; allow generous slack.
+        assert!(*min > 700 && *max < 1300, "skewed: min={min} max={max}");
+    }
+
+    #[test]
+    fn u16_and_u64_families() {
+        let f16: HashFamily<u16> = HashFamily::deterministic(2, 10);
+        assert!(f16.bucket(1234u16, 1) < 1024);
+        let f64: HashFamily<u64> = HashFamily::deterministic(3, 20);
+        assert!(f64.bucket(0xDEAD_BEEF_u64, 2) < (1 << 20));
+    }
+
+    #[test]
+    fn shift_matches_scalar_reimplementation() {
+        let fam: HashFamily<u32> = HashFamily::deterministic(2, 9);
+        for key in [1u32, 99, 12345, u32::MAX] {
+            for way in 0..2 {
+                let manual = (key.wrapping_mul(fam.multiplier(way))) >> fam.shift();
+                assert_eq!(fam.bucket(key, way), manual as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_helper_fills_prefix() {
+        let fam: HashFamily<u32> = HashFamily::deterministic(3, 8);
+        let mut out = [0usize; crate::MAX_WAYS_USIZE];
+        let filled = fam.buckets(42, &mut out);
+        assert_eq!(filled.len(), 3);
+        assert_eq!(filled[1], fam.bucket(42, 1));
+    }
+}

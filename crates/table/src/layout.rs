@@ -1,0 +1,230 @@
+//! `(N, m)` cuckoo hash-table layouts — the paper's *memory layout* design
+//! dimension (§III-A.1).
+
+use std::fmt;
+
+/// How a bucket's `m` slots are arranged in memory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Arrangement {
+    /// `[k₀ v₀ k₁ v₁ …]` — key/value pairs adjacent, as drawn in the paper's
+    /// Fig. 3. A horizontal probe loads the whole bucket and splits keys
+    /// from values with `vec_shuffle_and_blend`; a vertical probe over `m=1`
+    /// can fetch a pair with one wide gather ("fewer wider gathers", §IV-C).
+    ///
+    /// Requires key and value lanes of the same width.
+    #[default]
+    Interleaved,
+    /// `[k₀ … k_{m−1}][v₀ … v_{m−1}]` — keys contiguous per bucket. A
+    /// horizontal probe loads only the key block (so a `(2,8)` bucket of
+    /// 16-bit keys fits two buckets of keys in one 256-bit vector — the
+    /// Case Study ② configuration); values are fetched after a match.
+    /// Supports mixed key/value widths.
+    Split,
+}
+
+impl fmt::Display for Arrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arrangement::Interleaved => write!(f, "interleaved"),
+            Arrangement::Split => write!(f, "split"),
+        }
+    }
+}
+
+/// An `(N, m)` cuckoo hash-table layout.
+///
+/// * `n_ways` — how many hash functions (candidate buckets) each key has.
+/// * `slots_per_bucket` — bucket set-associativity; `1` means the
+///   non-bucketized "N-way cuckoo HT", `>1` a BCHT (paper §II-A).
+///
+/// # Examples
+///
+/// ```
+/// use simdht_table::{Arrangement, Layout};
+///
+/// let memc3_like = Layout::bcht(2, 4);            // (2,4) BCHT
+/// assert!(memc3_like.is_bucketized());
+/// let nway = Layout::n_way(3);                    // 3-way cuckoo HT
+/// assert_eq!(nway.slots_per_bucket(), 1);
+/// let mixed = Layout::bcht(2, 8).with_arrangement(Arrangement::Split);
+/// assert_eq!(mixed.to_string(), "(2,8) BCHT [split]");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Layout {
+    n_ways: u32,
+    slots_per_bucket: u32,
+    arrangement: Arrangement,
+}
+
+impl Layout {
+    /// Maximum supported number of hash functions.
+    pub const MAX_WAYS: u32 = 8;
+    /// Maximum supported slots per bucket.
+    pub const MAX_SLOTS: u32 = 16;
+
+    /// A bucketized `(n, m)` cuckoo layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `2..=MAX_WAYS`, if `m` is not a power of two
+    /// in `1..=MAX_SLOTS`.
+    pub fn bcht(n: u32, m: u32) -> Self {
+        assert!((2..=Self::MAX_WAYS).contains(&n), "n_ways out of range: {n}");
+        assert!(
+            m.is_power_of_two() && (1..=Self::MAX_SLOTS).contains(&m),
+            "slots_per_bucket must be a power of two in 1..={}: {m}",
+            Self::MAX_SLOTS
+        );
+        Layout {
+            n_ways: n,
+            slots_per_bucket: m,
+            arrangement: Arrangement::Interleaved,
+        }
+    }
+
+    /// A non-bucketized `n`-way cuckoo layout (`m = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `2..=MAX_WAYS`.
+    pub fn n_way(n: u32) -> Self {
+        Self::bcht(n, 1)
+    }
+
+    /// Same layout with a different bucket arrangement.
+    pub fn with_arrangement(mut self, arrangement: Arrangement) -> Self {
+        self.arrangement = arrangement;
+        self
+    }
+
+    /// Number of hash functions `N`.
+    pub fn n_ways(&self) -> u32 {
+        self.n_ways
+    }
+
+    /// Slots per bucket `m`.
+    pub fn slots_per_bucket(&self) -> u32 {
+        self.slots_per_bucket
+    }
+
+    /// Bucket arrangement.
+    pub fn arrangement(&self) -> Arrangement {
+        self.arrangement
+    }
+
+    /// `true` when `m > 1` (a BCHT), `false` for an N-way cuckoo HT.
+    pub fn is_bucketized(&self) -> bool {
+        self.slots_per_bucket > 1
+    }
+
+    /// Size in bytes of one bucket for the given key/value widths (bits).
+    pub fn bucket_bytes(&self, key_bits: u32, val_bits: u32) -> usize {
+        self.slots_per_bucket as usize * ((key_bits + val_bits) as usize / 8)
+    }
+
+    /// The largest power-of-two bucket count whose storage fits in
+    /// `table_bytes`, or `None` if not even one bucket fits.
+    ///
+    /// The paper sizes tables in bytes (1 MB HT, 16 MB HT, …); bucket counts
+    /// must be powers of two for mask-based multiply-shift indexing.
+    pub fn buckets_for_bytes(&self, table_bytes: usize, key_bits: u32, val_bits: u32) -> Option<usize> {
+        let per_bucket = self.bucket_bytes(key_bits, val_bits);
+        let max = table_bytes / per_bucket;
+        if max == 0 {
+            None
+        } else {
+            Some(prev_power_of_two(max))
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bucketized() {
+            write!(
+                f,
+                "({},{}) BCHT [{}]",
+                self.n_ways, self.slots_per_bucket, self.arrangement
+            )
+        } else {
+            write!(f, "{}-way cuckoo HT", self.n_ways)
+        }
+    }
+}
+
+/// Largest power of two `<= x` (requires `x >= 1`).
+pub(crate) fn prev_power_of_two(x: usize) -> usize {
+    debug_assert!(x >= 1);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let l = Layout::bcht(2, 4);
+        assert_eq!(l.n_ways(), 2);
+        assert_eq!(l.slots_per_bucket(), 4);
+        assert!(l.is_bucketized());
+        assert_eq!(l.arrangement(), Arrangement::Interleaved);
+
+        let n = Layout::n_way(4);
+        assert_eq!(n.slots_per_bucket(), 1);
+        assert!(!n.is_bucketized());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_ways out of range")]
+    fn rejects_one_way() {
+        Layout::n_way(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_slots() {
+        Layout::bcht(2, 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Layout::bcht(2, 4).to_string(), "(2,4) BCHT [interleaved]");
+        assert_eq!(Layout::n_way(3).to_string(), "3-way cuckoo HT");
+        assert_eq!(
+            Layout::bcht(3, 8)
+                .with_arrangement(Arrangement::Split)
+                .to_string(),
+            "(3,8) BCHT [split]"
+        );
+    }
+
+    #[test]
+    fn bucket_bytes_math() {
+        // (2,4) with 32-bit keys and values: 4 slots * 8 B = 32 B.
+        assert_eq!(Layout::bcht(2, 4).bucket_bytes(32, 32), 32);
+        // (2,8) with (16,32): 8 * 6 B = 48 B.
+        assert_eq!(Layout::bcht(2, 8).bucket_bytes(16, 32), 48);
+    }
+
+    #[test]
+    fn buckets_for_bytes_power_of_two() {
+        let l = Layout::bcht(2, 4);
+        // 1 MiB / 32 B = 32768 buckets, already a power of two.
+        assert_eq!(l.buckets_for_bytes(1 << 20, 32, 32), Some(32768));
+        // 48-B buckets: (1 MiB / 48) = 21845 -> 16384.
+        let mixed = Layout::bcht(2, 8);
+        assert_eq!(mixed.buckets_for_bytes(1 << 20, 16, 32), Some(16384));
+        // Too small for one bucket.
+        assert_eq!(l.buckets_for_bytes(16, 32, 32), None);
+    }
+
+    #[test]
+    fn prev_pow2() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(65535), 32768);
+        assert_eq!(prev_power_of_two(65536), 65536);
+    }
+}

@@ -1,0 +1,119 @@
+//! Empirical maximum-load-factor measurement — regenerates the paper's
+//! Fig. 2 ("Load Factor vs. N-way Hashing vs. BCHT") from first principles
+//! instead of quoting Erlingsson et al.'s numbers.
+
+use rand::Rng;
+use rand::SeedableRng;
+use simdht_simd::Lane;
+
+use crate::{CuckooTable, InsertError, Layout};
+
+/// Result of one max-load-factor measurement.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LoadFactorSample {
+    /// Items successfully inserted before the first failure.
+    pub inserted: usize,
+    /// Total slot capacity.
+    pub capacity: usize,
+    /// `inserted / capacity`.
+    pub load_factor: f64,
+}
+
+/// Fill a fresh table with uniformly random distinct keys until the first
+/// insertion failure; return the achieved load factor.
+///
+/// # Panics
+///
+/// Panics if table construction fails for the given layout/size (e.g. an
+/// interleaved layout with mismatched key/value widths).
+pub fn measure_max_load_factor<K: Lane, V: Lane>(
+    layout: Layout,
+    log2_buckets: u32,
+    seed: u64,
+) -> LoadFactorSample {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut table: CuckooTable<K, V> =
+        CuckooTable::with_rng(layout, log2_buckets, &mut rng).expect("table construction");
+    let mut inserted = 0usize;
+    loop {
+        // Draw a fresh non-sentinel key; duplicates merely update in place
+        // (they don't consume a slot), so skip them for an exact count.
+        let key = loop {
+            let k = K::from_u64(rng.gen::<u64>());
+            if k != K::EMPTY && !table.contains(k) {
+                break k;
+            }
+        };
+        match table.insert(key, V::from_u64(inserted as u64)) {
+            Ok(()) => inserted += 1,
+            Err(InsertError::TableFull) => break,
+            Err(e) => panic!("unexpected insert error: {e}"),
+        }
+    }
+    LoadFactorSample {
+        inserted,
+        capacity: table.capacity(),
+        load_factor: inserted as f64 / table.capacity() as f64,
+    }
+}
+
+/// Average [`measure_max_load_factor`] over `trials` independent seeds.
+pub fn average_max_load_factor<K: Lane, V: Lane>(
+    layout: Layout,
+    log2_buckets: u32,
+    trials: u32,
+) -> f64 {
+    (0..trials)
+        .map(|t| {
+            measure_max_load_factor::<K, V>(layout, log2_buckets, 0xF16_2 + u64::from(t))
+                .load_factor
+        })
+        .sum::<f64>()
+        / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Expected max load factors from the cuckoo-hashing literature
+    // (paper Fig. 2): 2-way ~0.5, 3-way ~0.91, 4-way ~0.97,
+    // (2,2) ~0.89, (2,4) ~0.93 ("increase to 93 %"), (2,8) ~0.98.
+    #[test]
+    fn two_way_near_half() {
+        let lf = average_max_load_factor::<u32, u32>(Layout::n_way(2), 10, 3);
+        assert!((0.40..0.60).contains(&lf), "2-way LF {lf:.3}");
+    }
+
+    #[test]
+    fn three_way_above_ninety() {
+        let lf = average_max_load_factor::<u32, u32>(Layout::n_way(3), 10, 3);
+        assert!(lf > 0.88, "3-way LF {lf:.3}");
+    }
+
+    #[test]
+    fn four_way_above_ninety_five() {
+        let lf = average_max_load_factor::<u32, u32>(Layout::n_way(4), 10, 3);
+        assert!(lf > 0.95, "4-way LF {lf:.3}");
+    }
+
+    #[test]
+    fn bcht_2_4_above_ninety() {
+        let lf = average_max_load_factor::<u32, u32>(Layout::bcht(2, 4), 8, 3);
+        assert!(lf > 0.90, "(2,4) LF {lf:.3}");
+    }
+
+    #[test]
+    fn bcht_2_8_above_ninety_five() {
+        let lf = average_max_load_factor::<u32, u32>(Layout::bcht(2, 8), 8, 3);
+        assert!(lf > 0.95, "(2,8) LF {lf:.3}");
+    }
+
+    #[test]
+    fn monotone_in_associativity() {
+        let lf1 = average_max_load_factor::<u32, u32>(Layout::n_way(2), 9, 2);
+        let lf2 = average_max_load_factor::<u32, u32>(Layout::bcht(2, 2), 8, 2);
+        let lf4 = average_max_load_factor::<u32, u32>(Layout::bcht(2, 4), 7, 2);
+        assert!(lf1 < lf2 && lf2 < lf4, "{lf1:.3} {lf2:.3} {lf4:.3}");
+    }
+}

@@ -1,0 +1,242 @@
+//! A sharded, reader-writer-locked cuckoo table for **mixed read/write
+//! workloads** — the paper's first named piece of future work ("study and
+//! model mixed workloads that involve concurrent reads and updates to the
+//! SIMD-aware hash table").
+//!
+//! Keys are routed to one of `S` shards by an independent multiply-shift
+//! hash; each shard is a plain [`CuckooTable`] behind an `RwLock`, so
+//! batched SIMD lookups run under shared locks while updates serialize only
+//! within their shard (the standard memcached scaling recipe). The mixed-
+//! workload engine in `simdht-core` partitions each lookup batch by shard
+//! and runs the vector kernels per shard.
+
+use std::sync::RwLock;
+
+use rand::Rng;
+use simdht_simd::Lane;
+
+use crate::{CuckooTable, InsertError, Layout, TableError};
+
+/// A concurrently accessible cuckoo table, split into power-of-two shards.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_table::{sharded::ShardedTable, Layout};
+///
+/// let table: ShardedTable<u32, u32> = ShardedTable::new(Layout::bcht(2, 4), 8, 4)?;
+/// table.insert(11, 110)?;
+/// assert_eq!(table.get(11), Some(110));
+/// assert_eq!(table.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedTable<K, V> {
+    shards: Vec<RwLock<CuckooTable<K, V>>>,
+    shard_mul: K,
+    shard_shift: u32,
+    shard_mask: usize,
+}
+
+impl<K: Lane, V: Lane> ShardedTable<K, V> {
+    /// Create `n_shards` shards (rounded up to a power of two), each with
+    /// `2^log2_buckets_per_shard` buckets of the given layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableError`] from shard construction.
+    pub fn new(
+        layout: Layout,
+        log2_buckets_per_shard: u32,
+        n_shards: usize,
+    ) -> Result<Self, TableError> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AA6_D001);
+        let n_shards = n_shards.max(1).next_power_of_two();
+        let shards = (0..n_shards)
+            .map(|_| Ok(RwLock::new(CuckooTable::with_rng(layout, log2_buckets_per_shard, &mut rng)?)))
+            .collect::<Result<Vec<_>, TableError>>()?;
+        let log2_shards = n_shards.trailing_zeros();
+        Ok(ShardedTable {
+            shards,
+            shard_mul: K::from_u64(rng.gen::<u64>() | 1),
+            shard_shift: K::BITS.saturating_sub(log2_shards).clamp(1, K::BITS - 1),
+            shard_mask: n_shards - 1,
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a key routes to.
+    #[inline(always)]
+    pub fn shard_of(&self, key: K) -> usize {
+        key.wrapping_mul(self.shard_mul)
+            .shr(self.shard_shift)
+            .to_u64() as usize
+            & self.shard_mask
+    }
+
+    /// Shared access to one shard's table (for batched vector kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned or `shard` is out of range.
+    pub fn read_shard(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, CuckooTable<K, V>> {
+        self.shards[shard].read().expect("shard lock poisoned")
+    }
+
+    /// Insert or update `key → value` in its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError`] from the shard's cuckoo insert.
+    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        let s = self.shard_of(key);
+        self.shards[s].write().expect("shard lock poisoned").insert(key, value)
+    }
+
+    /// Look up a single key.
+    pub fn get(&self, key: K) -> Option<V> {
+        let s = self.shard_of(key);
+        self.shards[s].read().expect("shard lock poisoned").get(key)
+    }
+
+    /// Remove a key, returning its payload.
+    pub fn remove(&self, key: K) -> Option<V> {
+        let s = self.shard_of(key);
+        self.shards[s].write().expect("shard lock poisoned").remove(key)
+    }
+
+    /// Total items across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// `true` when all shards are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slot capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").capacity())
+            .sum()
+    }
+
+    /// Partition a batch of queries by shard: returns, per shard, the
+    /// (original index, key) pairs routed to it. Buffers are reused.
+    pub fn partition_batch(&self, queries: &[K], per_shard: &mut Vec<Vec<(u32, K)>>) {
+        per_shard.resize_with(self.shards.len(), Vec::new);
+        for bucket in per_shard.iter_mut() {
+            bucket.clear();
+        }
+        for (i, &q) in queries.iter().enumerate() {
+            per_shard[self.shard_of(q)].push((i as u32, q));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_and_roundtrips() {
+        let t: ShardedTable<u32, u32> = ShardedTable::new(Layout::bcht(2, 4), 8, 4).unwrap();
+        for i in 1..=2000u32 {
+            t.insert(i, i + 5).unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        for i in (1..=2000u32).step_by(13) {
+            assert_eq!(t.get(i), Some(i + 5));
+        }
+        assert_eq!(t.get(50_000), None);
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        let t: ShardedTable<u32, u32> = ShardedTable::new(Layout::bcht(2, 4), 8, 8).unwrap();
+        let mut counts = vec![0usize; 8];
+        for i in 1..=80_000u32 {
+            counts[t.shard_of(i)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            (*max as f64) / (*min as f64) < 1.2,
+            "shard imbalance: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn partition_batch_covers_all() {
+        let t: ShardedTable<u32, u32> = ShardedTable::new(Layout::n_way(3), 6, 4).unwrap();
+        let queries: Vec<u32> = (1..=500).collect();
+        let mut parts = Vec::new();
+        t.partition_batch(&queries, &mut parts);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        for (s, part) in parts.iter().enumerate() {
+            for &(i, k) in part {
+                assert_eq!(queries[i as usize], k);
+                assert_eq!(t.shard_of(k), s);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let t: ShardedTable<u32, u32> = ShardedTable::new(Layout::n_way(2), 6, 1).unwrap();
+        t.insert(9, 90).unwrap();
+        assert_eq!(t.shard_of(9), 0);
+        assert_eq!(t.get(9), Some(90));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let t: Arc<ShardedTable<u32, u32>> =
+            Arc::new(ShardedTable::new(Layout::bcht(2, 4), 10, 8).unwrap());
+        for i in 1..=10_000u32 {
+            t.insert(i, i).unwrap();
+        }
+        std::thread::scope(|s| {
+            for r in 0..3 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in (1..=10_000u32).step_by(3 + r) {
+                        assert_eq!(t.get(i), Some(i));
+                    }
+                });
+            }
+            let t2 = Arc::clone(&t);
+            s.spawn(move || {
+                for i in 10_001..=12_000u32 {
+                    t2.insert(i, i).unwrap();
+                }
+            });
+        });
+        assert_eq!(t.len(), 12_000);
+    }
+
+    #[test]
+    fn remove_works_across_shards() {
+        let t: ShardedTable<u64, u64> = ShardedTable::new(Layout::n_way(3), 9, 4).unwrap();
+        for i in 1..=1000u64 {
+            t.insert(i << 7, i).unwrap();
+        }
+        for i in (1..=1000u64).step_by(2) {
+            assert_eq!(t.remove(i << 7), Some(i));
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(2 << 7), Some(2));
+        assert_eq!(t.get(1 << 7), None);
+    }
+}

@@ -1,0 +1,473 @@
+//! A SwissTable-style SIMD-friendly open-addressing hash table — the
+//! "other SIMD-friendly hash table designs beyond cuckoo hashing" the
+//! paper's conclusion names as future work.
+//!
+//! Layout (as in Google's SwissTable / Rust's hashbrown): a parallel
+//! *control-byte* array holds one byte per slot — `0x80` for empty, `0xFE`
+//! for a tombstone, else the low 7 bits of the key's secondary hash (`h2`).
+//! A probe loads a **group** of 16 control bytes and compares all of them
+//! against the sought `h2` in one SSE2 instruction, then verifies full keys
+//! only at matching positions. This is *horizontal* SIMD in the paper's
+//! taxonomy — one key vs. many candidate slots — but over an open-addressing
+//! layout with unbounded (triangular) probing instead of N candidate
+//! buckets.
+//!
+//! The contrast with cuckoo designs is exercised by the `ext-swiss`
+//! experiment: SwissTable probes one contiguous group per step (fewer cache
+//! lines on hits at moderate load factors) but has no constant worst-case
+//! lookup bound.
+
+use rand::Rng;
+use simdht_simd::Lane;
+
+/// Control byte: slot empty.
+const EMPTY: u8 = 0x80;
+/// Control byte: slot deleted (tombstone).
+const DELETED: u8 = 0xFE;
+/// Slots per control group (one 128-bit vector of bytes).
+pub const GROUP: usize = 16;
+
+/// Match mask over one 16-byte control group.
+mod group {
+    use super::GROUP;
+
+    /// Load a control group and answer byte-match queries.
+    ///
+    /// Uses SSE2 byte compares when compiled for x86-64, with a portable
+    /// fallback elsewhere — the same dual-path structure as the main
+    /// `Vector` backends.
+    #[derive(Copy, Clone)]
+    pub struct Group {
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+        raw: core::arch::x86_64::__m128i,
+        #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+        raw: [u8; GROUP],
+    }
+
+    impl Group {
+        /// Load 16 control bytes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `ctrl.len() < GROUP`.
+        #[inline(always)]
+        pub fn load(ctrl: &[u8]) -> Self {
+            assert!(ctrl.len() >= GROUP);
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+            // SAFETY: length checked; unaligned load.
+            unsafe {
+                Group {
+                    raw: core::arch::x86_64::_mm_loadu_si128(ctrl.as_ptr().cast()),
+                }
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+            {
+                let mut raw = [0u8; GROUP];
+                raw.copy_from_slice(&ctrl[..GROUP]);
+                Group { raw }
+            }
+        }
+
+        /// Bitmask of positions whose control byte equals `byte`.
+        #[inline(always)]
+        pub fn match_byte(self, byte: u8) -> u16 {
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+            // SAFETY: sse2 guaranteed by the cfg gate.
+            unsafe {
+                use core::arch::x86_64::*;
+                let eq = _mm_cmpeq_epi8(self.raw, _mm_set1_epi8(byte as i8));
+                _mm_movemask_epi8(eq) as u16
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+            {
+                let mut m = 0u16;
+                for (i, &b) in self.raw.iter().enumerate() {
+                    m |= u16::from(b == byte) << i;
+                }
+                m
+            }
+        }
+
+        /// Bitmask of empty positions.
+        #[inline(always)]
+        pub fn match_empty(self) -> u16 {
+            self.match_byte(super::EMPTY)
+        }
+
+        /// Bitmask of positions free for insertion (empty or tombstone).
+        #[inline(always)]
+        pub fn match_free(self) -> u16 {
+            self.match_byte(super::EMPTY) | self.match_byte(super::DELETED)
+        }
+    }
+}
+
+pub use group::Group;
+
+/// A SwissTable-style open-addressing hash table over fixed-width hash keys
+/// and payloads (the same `(K, V)` contract as [`crate::CuckooTable`]).
+///
+/// # Examples
+///
+/// ```
+/// use simdht_table::swiss::SwissTable;
+///
+/// let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 10);
+/// t.insert(7, 700)?;
+/// assert_eq!(t.get(7), Some(700));
+/// assert_eq!(t.remove(7), Some(700));
+/// assert_eq!(t.get(7), None);
+/// # Ok::<(), simdht_table::swiss::SwissFull>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SwissTable<K, V> {
+    ctrl: Vec<u8>,
+    keys: Vec<K>,
+    vals: Vec<V>,
+    group_mask: usize,
+    group_shift: u32,
+    len: usize,
+    tombstones: usize,
+    h1_mul: K,
+    h2_mul: K,
+    /// Insertion refuses to exceed this load factor (slots basis).
+    max_lf: f64,
+}
+
+/// Error: the table reached its maximum load factor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SwissFull;
+
+impl std::fmt::Display for SwissFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "swiss table reached its maximum load factor")
+    }
+}
+
+impl std::error::Error for SwissFull {}
+
+impl<K: Lane, V: Lane> SwissTable<K, V> {
+    /// Create a table with `slots` capacity (rounded up to a power-of-two
+    /// multiple of the group size). Default max load factor: 7/8.
+    pub fn with_capacity_slots(slots: usize) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x51_77_15_5E_D0);
+        Self::with_rng(slots, &mut rng)
+    }
+
+    /// As [`SwissTable::with_capacity_slots`] with explicit hash randomness.
+    pub fn with_rng(slots: usize, rng: &mut impl Rng) -> Self {
+        let groups = (slots.max(GROUP) / GROUP).next_power_of_two();
+        let n = groups * GROUP;
+        // Take the *top* bits of the multiply — that is where multiply-shift
+        // hashing concentrates its quality.
+        let log2_groups = groups.trailing_zeros();
+        let group_shift = K::BITS.saturating_sub(log2_groups).clamp(1, K::BITS - 1);
+        SwissTable {
+            ctrl: vec![EMPTY; n],
+            keys: vec![K::EMPTY; n],
+            vals: vec![V::EMPTY; n],
+            group_mask: groups - 1,
+            group_shift,
+            len: 0,
+            tombstones: 0,
+            h1_mul: K::from_u64(rng.gen::<u64>() | 1),
+            h2_mul: K::from_u64(rng.gen::<u64>() | 1),
+            max_lf: 7.0 / 8.0,
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    /// Stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current load factor (including tombstones, which occupy probe space).
+    pub fn load_factor(&self) -> f64 {
+        (self.len + self.tombstones) as f64 / self.capacity() as f64
+    }
+
+    #[inline(always)]
+    fn h1_group(&self, key: K) -> usize {
+        // Multiply-shift, top bits → starting group.
+        let h = key.wrapping_mul(self.h1_mul).shr(self.group_shift);
+        h.to_u64() as usize & self.group_mask
+    }
+
+    #[inline(always)]
+    fn h2(&self, key: K) -> u8 {
+        // An independent multiply; low 7 bits, never colliding with
+        // EMPTY/DELETED (both have the high bit set).
+        (key.wrapping_mul(self.h2_mul).to_u64() & 0x7F) as u8
+    }
+
+    /// Triangular (quadratic) group probe sequence, as in hashbrown:
+    /// visits every group exactly once for power-of-two group counts.
+    #[inline(always)]
+    fn probe(&self, key: K) -> ProbeSeq {
+        ProbeSeq {
+            group: self.h1_group(key),
+            stride: 0,
+            mask: self.group_mask,
+        }
+    }
+
+    /// Look up `key` — one SSE byte-compare per probed group.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<V> {
+        if key == K::EMPTY {
+            return None;
+        }
+        let tag = self.h2(key);
+        let mut seq = self.probe(key);
+        loop {
+            let g = seq.next_group();
+            let base = g * GROUP;
+            let group = Group::load(&self.ctrl[base..]);
+            let mut m = group.match_byte(tag);
+            while m != 0 {
+                let slot = base + m.trailing_zeros() as usize;
+                if self.keys[slot] == key {
+                    return Some(self.vals[slot]);
+                }
+                m &= m - 1;
+            }
+            if group.match_empty() != 0 {
+                return None; // an empty slot terminates the probe chain
+            }
+        }
+    }
+
+    /// Batched lookup under the benchmark's common contract: `out[i]` gets
+    /// the payload or the empty sentinel; returns the hit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len()`.
+    pub fn get_batch(&self, queries: &[K], out: &mut [V]) -> usize {
+        assert_eq!(queries.len(), out.len(), "output slice length mismatch");
+        let mut hits = 0;
+        for (q, o) in queries.iter().zip(out.iter_mut()) {
+            match self.get(*q) {
+                Some(v) => {
+                    *o = v;
+                    hits += 1;
+                }
+                None => *o = V::EMPTY,
+            }
+        }
+        hits
+    }
+
+    /// Insert or update.
+    ///
+    /// # Errors
+    ///
+    /// [`SwissFull`] when the max load factor would be exceeded.
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), SwissFull> {
+        assert_ne!(key, K::EMPTY, "key 0 is the empty sentinel");
+        let tag = self.h2(key);
+        // Pass 1: update in place if present.
+        if let Some(slot) = self.find_slot(key, tag) {
+            self.vals[slot] = value;
+            return Ok(());
+        }
+        if (self.len + self.tombstones + 1) as f64 > self.capacity() as f64 * self.max_lf {
+            return Err(SwissFull);
+        }
+        // Pass 2: first free slot on the probe chain.
+        let mut seq = self.probe(key);
+        loop {
+            let g = seq.next_group();
+            let base = g * GROUP;
+            let free = Group::load(&self.ctrl[base..]).match_free();
+            if free != 0 {
+                let slot = base + free.trailing_zeros() as usize;
+                if self.ctrl[slot] == DELETED {
+                    self.tombstones -= 1;
+                }
+                self.ctrl[slot] = tag;
+                self.keys[slot] = key;
+                self.vals[slot] = value;
+                self.len += 1;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Remove `key`, returning its payload.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let tag = self.h2(key);
+        let slot = self.find_slot(key, tag)?;
+        let group_base = slot & !(GROUP - 1);
+        let v = self.vals[slot];
+        // If the group still has an empty slot, the chain never extended
+        // past it — a plain EMPTY suffices; otherwise leave a tombstone.
+        if Group::load(&self.ctrl[group_base..]).match_empty() != 0 {
+            self.ctrl[slot] = EMPTY;
+        } else {
+            self.ctrl[slot] = DELETED;
+            self.tombstones += 1;
+        }
+        self.keys[slot] = K::EMPTY;
+        self.vals[slot] = V::EMPTY;
+        self.len -= 1;
+        Some(v)
+    }
+
+    fn find_slot(&self, key: K, tag: u8) -> Option<usize> {
+        let mut seq = self.probe(key);
+        loop {
+            let g = seq.next_group();
+            let base = g * GROUP;
+            let group = Group::load(&self.ctrl[base..]);
+            let mut m = group.match_byte(tag);
+            while m != 0 {
+                let slot = base + m.trailing_zeros() as usize;
+                if self.keys[slot] == key {
+                    return Some(slot);
+                }
+                m &= m - 1;
+            }
+            if group.match_empty() != 0 {
+                return None;
+            }
+        }
+    }
+}
+
+struct ProbeSeq {
+    group: usize,
+    stride: usize,
+    mask: usize,
+}
+
+impl ProbeSeq {
+    #[inline(always)]
+    fn next_group(&mut self) -> usize {
+        let g = self.group;
+        self.stride += 1;
+        self.group = (self.group + self.stride) & self.mask;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 12);
+        for i in 1..=3000u32 {
+            t.insert(i, i + 9).unwrap();
+        }
+        for i in 1..=3000u32 {
+            assert_eq!(t.get(i), Some(i + 9));
+        }
+        assert_eq!(t.get(99_999), None);
+        assert_eq!(t.len(), 3000);
+    }
+
+    #[test]
+    fn reaches_seven_eighths_load() {
+        let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 10);
+        let mut n = 0u32;
+        loop {
+            match t.insert(n.wrapping_mul(2_654_435_761).max(1), n) {
+                Ok(()) => n += 1,
+                Err(SwissFull) => break,
+            }
+        }
+        let lf = t.len() as f64 / t.capacity() as f64;
+        assert!((0.86..0.89).contains(&lf), "LF {lf:.3}");
+    }
+
+    #[test]
+    fn tombstones_keep_chains_intact() {
+        let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(256);
+        let keys: Vec<u32> = (1..=180).collect();
+        for &k in &keys {
+            t.insert(k, k * 2).unwrap();
+        }
+        // Remove every other key, then verify the rest still resolve.
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(t.remove(k), Some(k * 2));
+        }
+        for &k in keys.iter().skip(1).step_by(2) {
+            assert_eq!(t.get(k), Some(k * 2), "key {k} lost after deletions");
+        }
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(t.get(k), None);
+        }
+    }
+
+    #[test]
+    fn model_equivalence_with_churn() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 10);
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for _ in 0..20_000 {
+            let k = rng.gen_range(1..400u32);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let v = rng.gen();
+                    if t.insert(k, v).is_ok() {
+                        model.insert(k, v);
+                    }
+                }
+                1 => assert_eq!(t.remove(k), model.remove(&k)),
+                _ => assert_eq!(t.get(k), model.get(&k).copied()),
+            }
+            assert_eq!(t.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn batch_contract_matches_get() {
+        let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 10);
+        for i in 1..=500u32 {
+            t.insert(i * 3, i).unwrap();
+        }
+        let queries: Vec<u32> = (1..=700u32).map(|i| i * 3).collect();
+        let mut out = vec![0u32; queries.len()];
+        let hits = t.get_batch(&queries, &mut out);
+        assert_eq!(hits, 500);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(out[i], t.get(q).unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn u64_keys_work() {
+        let mut t: SwissTable<u64, u64> = SwissTable::with_capacity_slots(1 << 10);
+        for i in 1..=600u64 {
+            t.insert(i << 20, i).unwrap();
+        }
+        assert_eq!(t.get(300 << 20), Some(300));
+    }
+
+    #[test]
+    fn group_matcher_semantics() {
+        let mut ctrl = [EMPTY; GROUP];
+        ctrl[3] = 0x42;
+        ctrl[7] = 0x42;
+        ctrl[9] = DELETED;
+        let g = Group::load(&ctrl);
+        assert_eq!(g.match_byte(0x42), (1 << 3) | (1 << 7));
+        assert_eq!(g.match_empty().count_ones(), 13);
+        assert_eq!(g.match_free().count_ones(), 14);
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-based property tests: a `CuckooTable` under a random sequence of
+//! insert/update/remove/get operations must behave exactly like a
+//! `HashMap`, for every layout family the paper studies.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use simdht_table::{Arrangement, CuckooTable, InsertError, Layout};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32, u32),
+    Remove(u32),
+    Get(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space so that collisions, updates and removals actually occur.
+    let key = 1u32..300;
+    prop_oneof![
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.prop_map(Op::Get),
+    ]
+}
+
+fn run_model(layout: Layout, ops: &[Op]) {
+    let mut table: CuckooTable<u32, u32> = CuckooTable::new(layout, 7).unwrap();
+    let mut model: HashMap<u32, u32> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => match table.insert(k, v) {
+                Ok(()) => {
+                    model.insert(k, v);
+                }
+                Err(InsertError::TableFull) => {
+                    // Allowed only when genuinely loaded; model unchanged.
+                    assert!(
+                        table.load_factor() > 0.25,
+                        "spurious TableFull at LF {:.3}",
+                        table.load_factor()
+                    );
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            },
+            Op::Remove(k) => {
+                assert_eq!(table.remove(k), model.remove(&k), "remove({k})");
+            }
+            Op::Get(k) => {
+                assert_eq!(table.get(k), model.get(&k).copied(), "get({k})");
+            }
+        }
+        assert_eq!(table.len(), model.len());
+    }
+    // Final state must agree exactly.
+    for (&k, &v) in &model {
+        assert_eq!(table.get(k), Some(v), "final get({k})");
+    }
+    assert_eq!(table.iter().count(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_hashmap_2way(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model(Layout::n_way(2), &ops);
+    }
+
+    #[test]
+    fn matches_hashmap_3way(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model(Layout::n_way(3), &ops);
+    }
+
+    #[test]
+    fn matches_hashmap_bcht24(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model(Layout::bcht(2, 4), &ops);
+    }
+
+    #[test]
+    fn matches_hashmap_bcht28_split(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model(Layout::bcht(2, 8).with_arrangement(Arrangement::Split), &ops);
+    }
+
+    #[test]
+    fn matches_hashmap_bcht32(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model(Layout::bcht(3, 2), &ops);
+    }
+
+    #[test]
+    fn u64_table_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        // Same ops replayed on a u64-keyed table.
+        let mut table: CuckooTable<u64, u64> = CuckooTable::new(Layout::n_way(3), 7).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let (k, v) = (u64::from(k) << 17, u64::from(v));
+                    if table.insert(k, v).is_ok() {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Remove(k) => {
+                    let k = u64::from(k) << 17;
+                    prop_assert_eq!(table.remove(k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    let k = u64::from(k) << 17;
+                    prop_assert_eq!(table.get(k), model.get(&k).copied());
+                }
+            }
+        }
+    }
+}

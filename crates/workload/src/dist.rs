@@ -1,0 +1,236 @@
+//! Access-pattern distributions — the paper's *workload data access pattern*
+//! design dimension (§III-A.2).
+//!
+//! Two patterns are supported, matching the paper's experiments:
+//!
+//! * [`AccessPattern::Uniform`] — every stored key equally likely, as in
+//!   network packet-processing workloads (CuckooSwitch, Cuckoo++).
+//! * [`AccessPattern::Zipfian`] — a heavily skewed popularity distribution,
+//!   as measured in Facebook's Memcached traces and produced by the
+//!   `mutilate` load generator the paper plugs in. The sampler is the
+//!   constant-time YCSB/Gray et al. method.
+
+use rand::Rng;
+
+/// Default Zipfian skew used by YCSB and mutilate.
+pub const DEFAULT_ZIPF_THETA: f64 = 0.99;
+
+/// A workload access pattern over `n` ranked items.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum AccessPattern {
+    /// Every item equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with skew `theta` in `(0, 1)`;
+    /// `theta = 0.99` reproduces the mutilate/Memcached skew.
+    Zipfian {
+        /// Skew parameter (0 = uniform-like, →1 = extremely skewed).
+        theta: f64,
+    },
+}
+
+impl AccessPattern {
+    /// The mutilate-like default skewed pattern.
+    pub fn skewed() -> Self {
+        AccessPattern::Zipfian {
+            theta: DEFAULT_ZIPF_THETA,
+        }
+    }
+
+    /// Short label used in experiment output ("uniform" / "skewed").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPattern::Uniform => "uniform",
+            AccessPattern::Zipfian { .. } => "skewed",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPattern::Uniform => write!(f, "uniform"),
+            AccessPattern::Zipfian { theta } => write!(f, "zipfian(θ={theta})"),
+        }
+    }
+}
+
+/// A sampler of ranks `0..n` under an [`AccessPattern`].
+///
+/// Rank 0 is the most popular item under the Zipfian pattern.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use simdht_workload::{AccessPattern, RankSampler};
+///
+/// let sampler = RankSampler::new(AccessPattern::skewed(), 10_000);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = sampler.sample(&mut rng);
+/// assert!(r < 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RankSampler {
+    n: usize,
+    kind: SamplerKind,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerKind {
+    Uniform,
+    Zipf {
+        theta: f64,
+        alpha: f64,
+        zetan: f64,
+        eta: f64,
+    },
+}
+
+impl RankSampler {
+    /// Build a sampler over `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or for a Zipfian pattern if `theta` is not in
+    /// `(0, 1)`.
+    pub fn new(pattern: AccessPattern, n: usize) -> Self {
+        assert!(n > 0, "cannot sample from an empty item set");
+        let kind = match pattern {
+            AccessPattern::Uniform => SamplerKind::Uniform,
+            AccessPattern::Zipfian { theta } => {
+                assert!(
+                    theta > 0.0 && theta < 1.0,
+                    "zipf theta must be in (0,1), got {theta}"
+                );
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2.min(n), theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                SamplerKind::Zipf {
+                    theta,
+                    alpha,
+                    zetan,
+                    eta,
+                }
+            }
+        };
+        RankSampler { n, kind }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Draw one rank in `0..n`.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        match &self.kind {
+            SamplerKind::Uniform => rng.gen_range(0..self.n),
+            SamplerKind::Zipf {
+                theta,
+                alpha,
+                zetan,
+                eta,
+            } => {
+                let u: f64 = rng.gen();
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if self.n >= 2 && uz < 1.0 + 0.5f64.powf(*theta) {
+                    return 1;
+                }
+                let rank = ((self.n as f64) * (eta * u - eta + 1.0).powf(*alpha)) as usize;
+                rank.min(self.n - 1)
+            }
+        }
+    }
+}
+
+/// Generalized harmonic number `H_{n,theta}`.
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(pattern: AccessPattern, n: usize, draws: usize) -> Vec<usize> {
+        let sampler = RankSampler::new(pattern, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let counts = histogram(AccessPattern::Uniform, 100, 100_000);
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.5, "uniform too skewed: {min} vs {max}");
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let n = 10_000;
+        let counts = histogram(AccessPattern::skewed(), n, 200_000);
+        let head: usize = counts[..n / 100].iter().sum();
+        let total: usize = counts.iter().sum();
+        // With theta = 0.99 the hottest 1 % of keys should draw well over a
+        // third of accesses.
+        let share = head as f64 / total as f64;
+        assert!(share > 0.35, "zipf head share only {share:.3}");
+        // And the ranking is honored.
+        assert!(counts[0] > counts[n / 2] * 10);
+    }
+
+    #[test]
+    fn zipf_low_theta_flatter() {
+        let hot = |theta| {
+            let counts = histogram(AccessPattern::Zipfian { theta }, 1000, 100_000);
+            counts[0]
+        };
+        assert!(hot(0.99) > hot(0.2), "higher theta must be more skewed");
+    }
+
+    #[test]
+    fn ranks_in_range() {
+        for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
+            let sampler = RankSampler::new(pattern, 17);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            for _ in 0..10_000 {
+                assert!(sampler.sample(&mut rng) < 17);
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let sampler = RankSampler::new(AccessPattern::skewed(), 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty item set")]
+    fn zero_items_panics() {
+        RankSampler::new(AccessPattern::Uniform, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AccessPattern::Uniform.label(), "uniform");
+        assert_eq!(AccessPattern::skewed().label(), "skewed");
+        assert_eq!(AccessPattern::skewed().to_string(), "zipfian(θ=0.99)");
+    }
+}

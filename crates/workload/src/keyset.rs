@@ -1,0 +1,112 @@
+//! Distinct hash-key generation for table population and miss traffic.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use rand::SeedableRng;
+use simdht_simd::Lane;
+
+/// A set of distinct, non-sentinel hash keys split into an *insert* set
+/// (loaded into the table) and a disjoint *miss* set (queried to exercise
+/// the paper's hit-rate/selectivity parameter).
+///
+/// # Examples
+///
+/// ```
+/// use simdht_workload::KeySet;
+///
+/// let ks: KeySet<u32> = KeySet::generate(1000, 100, 7);
+/// assert_eq!(ks.present().len(), 1000);
+/// assert_eq!(ks.absent().len(), 100);
+/// assert!(ks.present().iter().all(|&k| k != 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeySet<K> {
+    present: Vec<K>,
+    absent: Vec<K>,
+}
+
+impl<K: Lane> KeySet<K> {
+    /// Generate `n_present + n_absent` distinct random keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key space of `K` cannot hold that many distinct keys
+    /// (e.g. asking for > 65535 distinct `u16` keys).
+    pub fn generate(n_present: usize, n_absent: usize, seed: u64) -> Self {
+        let total = n_present + n_absent;
+        let space = if K::BITS >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << K::BITS) - 1 // excludes the sentinel 0
+        };
+        assert!(
+            (total as u64) <= space,
+            "cannot draw {total} distinct {}-bit keys",
+            K::BITS
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut seen: HashSet<K> = HashSet::with_capacity(total);
+        let mut keys = Vec::with_capacity(total);
+        while keys.len() < total {
+            let k = K::from_u64(rng.gen::<u64>());
+            if k != K::EMPTY && seen.insert(k) {
+                keys.push(k);
+            }
+        }
+        let absent = keys.split_off(n_present);
+        KeySet {
+            present: keys,
+            absent,
+        }
+    }
+
+    /// Keys loaded into the table, in popularity-rank order (index 0 is the
+    /// hottest key under a skewed pattern).
+    pub fn present(&self) -> &[K] {
+        &self.present
+    }
+
+    /// Keys guaranteed absent from the table (miss traffic).
+    pub fn absent(&self) -> &[K] {
+        &self.absent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_are_disjoint_and_distinct() {
+        let ks: KeySet<u32> = KeySet::generate(5000, 500, 3);
+        let p: HashSet<u32> = ks.present().iter().copied().collect();
+        let a: HashSet<u32> = ks.absent().iter().copied().collect();
+        assert_eq!(p.len(), 5000);
+        assert_eq!(a.len(), 500);
+        assert!(p.is_disjoint(&a));
+    }
+
+    #[test]
+    fn no_sentinel_keys() {
+        let ks: KeySet<u16> = KeySet::generate(30_000, 1000, 9);
+        assert!(ks.present().iter().all(|&k| k != 0));
+        assert!(ks.absent().iter().all(|&k| k != 0));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a: KeySet<u64> = KeySet::generate(100, 10, 77);
+        let b: KeySet<u64> = KeySet::generate(100, 10, 77);
+        assert_eq!(a.present(), b.present());
+        assert_eq!(a.absent(), b.absent());
+        let c: KeySet<u64> = KeySet::generate(100, 10, 78);
+        assert_ne!(a.present(), c.present());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct 16-bit keys")]
+    fn overfull_u16_space_panics() {
+        let _: KeySet<u16> = KeySet::generate(70_000, 0, 1);
+    }
+}

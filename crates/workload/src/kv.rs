@@ -1,0 +1,188 @@
+//! memslap-style string key/value workloads for the key-value-store
+//! validation experiments (paper §VI-B: 20 B keys, 32 B values, Multi-Get
+//! batches of 16–96 keys).
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A corpus of string key/value pairs plus a Multi-Get request stream.
+///
+/// # Examples
+///
+/// ```
+/// use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
+///
+/// let wl = KvWorkload::generate(&KvWorkloadSpec {
+///     n_items: 100,
+///     key_bytes: 20,
+///     value_bytes: 32,
+///     ..KvWorkloadSpec::default()
+/// });
+/// assert_eq!(wl.items().len(), 100);
+/// assert_eq!(wl.items()[0].0.len(), 20);
+/// assert_eq!(wl.items()[0].1.len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KvWorkload {
+    items: Vec<(Vec<u8>, Vec<u8>)>,
+    requests: Vec<Vec<usize>>,
+}
+
+/// Parameters for [`KvWorkload::generate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KvWorkloadSpec {
+    /// Number of distinct key-value items.
+    pub n_items: usize,
+    /// Key length in bytes (memslap default in the paper: 20 B).
+    pub key_bytes: usize,
+    /// Value length in bytes (paper: 32 B).
+    pub value_bytes: usize,
+    /// Number of Multi-Get requests to generate.
+    pub n_requests: usize,
+    /// Keys per Multi-Get request (paper: 16 / 64 / 96).
+    pub mget_size: usize,
+    /// Access pattern over items.
+    pub pattern: crate::AccessPattern,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvWorkloadSpec {
+    fn default() -> Self {
+        KvWorkloadSpec {
+            n_items: 10_000,
+            key_bytes: 20,
+            value_bytes: 32,
+            n_requests: 1000,
+            mget_size: 16,
+            pattern: crate::AccessPattern::skewed(),
+            seed: 0x4B_56,
+        }
+    }
+}
+
+impl KvWorkload {
+    /// Generate items and a Multi-Get request stream.
+    ///
+    /// Keys are printable, distinct (`key-<rank>-<random pad>`), and padded
+    /// to exactly `key_bytes`; values are random printable bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_items == 0`, `mget_size == 0`, or `key_bytes` is too
+    /// small to hold a distinct key (< 12 bytes).
+    pub fn generate(spec: &KvWorkloadSpec) -> Self {
+        assert!(spec.n_items > 0);
+        assert!(spec.mget_size > 0);
+        assert!(spec.key_bytes >= 12, "key_bytes must be >= 12");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        let items = (0..spec.n_items)
+            .map(|i| {
+                let mut key = format!("k{i:08x}-").into_bytes();
+                while key.len() < spec.key_bytes {
+                    key.push(rng.gen_range(b'a'..=b'z'));
+                }
+                let value: Vec<u8> = (0..spec.value_bytes)
+                    .map(|_| rng.gen_range(b' '..=b'~'))
+                    .collect();
+                (key, value)
+            })
+            .collect();
+        let sampler = crate::RankSampler::new(spec.pattern, spec.n_items);
+        let requests = (0..spec.n_requests)
+            .map(|_| {
+                (0..spec.mget_size)
+                    .map(|_| sampler.sample(&mut rng))
+                    .collect()
+            })
+            .collect();
+        KvWorkload { items, requests }
+    }
+
+    /// The key-value items, indexed by popularity rank.
+    pub fn items(&self) -> &[(Vec<u8>, Vec<u8>)] {
+        &self.items
+    }
+
+    /// Multi-Get requests as lists of item indices into [`Self::items`].
+    pub fn requests(&self) -> &[Vec<usize>] {
+        &self.requests
+    }
+
+    /// Materialize request `r` as key slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn request_keys(&self, r: usize) -> Vec<&[u8]> {
+        self.requests[r]
+            .iter()
+            .map(|&i| self.items[i].0.as_slice())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_distinct_and_sized() {
+        let wl = KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 500,
+            ..KvWorkloadSpec::default()
+        });
+        let keys: HashSet<&[u8]> = wl.items().iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys.len(), 500);
+        assert!(wl.items().iter().all(|(k, v)| k.len() == 20 && v.len() == 32));
+    }
+
+    #[test]
+    fn requests_have_mget_size() {
+        let wl = KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 100,
+            n_requests: 50,
+            mget_size: 96,
+            ..KvWorkloadSpec::default()
+        });
+        assert_eq!(wl.requests().len(), 50);
+        assert!(wl.requests().iter().all(|r| r.len() == 96));
+        assert!(wl.requests().iter().flatten().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn request_keys_resolve() {
+        let wl = KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 10,
+            n_requests: 3,
+            mget_size: 4,
+            ..KvWorkloadSpec::default()
+        });
+        let keys = wl.request_keys(0);
+        assert_eq!(keys.len(), 4);
+        assert!(keys.iter().all(|k| k.len() == 20));
+    }
+
+    #[test]
+    fn skew_hits_head_items() {
+        let wl = KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 1000,
+            n_requests: 1000,
+            mget_size: 16,
+            pattern: crate::AccessPattern::skewed(),
+            ..KvWorkloadSpec::default()
+        });
+        let head_refs = wl
+            .requests()
+            .iter()
+            .flatten()
+            .filter(|&&i| i < 10)
+            .count();
+        let total = 1000 * 16;
+        assert!(
+            head_refs as f64 / total as f64 > 0.1,
+            "head items referenced only {head_refs}/{total}"
+        );
+    }
+}

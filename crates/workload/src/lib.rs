@@ -1,0 +1,39 @@
+//! # simdht-workload
+//!
+//! Workload generation for **SimdHT-Bench** (IISWC 2019 reproduction): the
+//! *workload data access pattern* design dimension (paper §III-A.2) plus the
+//! Multi-Get string workloads of the key-value-store validation (§VI).
+//!
+//! * [`AccessPattern`] / [`RankSampler`] — uniform and Zipfian (mutilate-
+//!   like) popularity distributions.
+//! * [`KeySet`] — distinct hash keys, split into present / absent sets so
+//!   traces can honor an exact hit rate.
+//! * [`QueryTrace`] / [`TraceSpec`] — batched read-only lookup streams.
+//! * [`KvWorkload`] — memslap-style string keys/values and Multi-Get
+//!   request streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use simdht_workload::{AccessPattern, KeySet, QueryTrace, TraceSpec};
+//!
+//! let keys: KeySet<u32> = KeySet::generate(10_000, 1_000, 42);
+//! let spec = TraceSpec::new(100_000, AccessPattern::skewed()).with_hit_rate(0.9);
+//! let trace = QueryTrace::generate(&keys, &spec);
+//! assert_eq!(trace.len(), 100_000);
+//! // ~90 % of queries are keys the table will contain.
+//! let rate = trace.expected_hits() as f64 / trace.len() as f64;
+//! assert!((rate - 0.9).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dist;
+mod keyset;
+mod kv;
+mod trace;
+
+pub use dist::{AccessPattern, RankSampler, DEFAULT_ZIPF_THETA};
+pub use keyset::KeySet;
+pub use kv::{KvWorkload, KvWorkloadSpec};
+pub use trace::{QueryTrace, TraceSpec};

@@ -1,0 +1,190 @@
+//! Query-trace generation: the batched read streams the lookup kernels
+//! consume (the paper's workload `p_k[n]`, Algorithms 1 & 2).
+
+use rand::Rng;
+use rand::SeedableRng;
+use simdht_simd::Lane;
+
+use crate::dist::{AccessPattern, RankSampler};
+use crate::keyset::KeySet;
+
+/// Parameters for a query trace.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TraceSpec {
+    /// Number of lookups in the trace.
+    pub len: usize,
+    /// Fraction of lookups that hit (the paper's *hit rate* / selectivity,
+    /// 0.9 in most case studies).
+    pub hit_rate: f64,
+    /// Access pattern over the present keys.
+    pub pattern: AccessPattern,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// A trace of `len` lookups at 90 % hit rate (the paper's default).
+    pub fn new(len: usize, pattern: AccessPattern) -> Self {
+        TraceSpec {
+            len,
+            hit_rate: 0.9,
+            pattern,
+            seed: 0xACCE55,
+        }
+    }
+
+    /// Override the hit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_rate` is outside `[0, 1]`.
+    pub fn with_hit_rate(mut self, hit_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate {hit_rate}");
+        self.hit_rate = hit_rate;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated lookup trace.
+#[derive(Clone, Debug)]
+pub struct QueryTrace<K> {
+    queries: Vec<K>,
+    expected_hits: usize,
+}
+
+impl<K: Lane> QueryTrace<K> {
+    /// Generate a trace over `keys` according to `spec`.
+    ///
+    /// Hit queries draw from `keys.present()` under `spec.pattern`
+    /// (rank 0 = hottest); miss queries draw uniformly from `keys.absent()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.present()` is empty, or if `spec.hit_rate < 1` while
+    /// `keys.absent()` is empty.
+    pub fn generate(keys: &KeySet<K>, spec: &TraceSpec) -> Self {
+        assert!(!keys.present().is_empty(), "no present keys");
+        let wants_misses = spec.hit_rate < 1.0;
+        assert!(
+            !wants_misses || !keys.absent().is_empty(),
+            "hit rate {} requires absent keys",
+            spec.hit_rate
+        );
+        let sampler = RankSampler::new(spec.pattern, keys.present().len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        let mut queries = Vec::with_capacity(spec.len);
+        let mut expected_hits = 0usize;
+        for _ in 0..spec.len {
+            if rng.gen::<f64>() < spec.hit_rate {
+                queries.push(keys.present()[sampler.sample(&mut rng)]);
+                expected_hits += 1;
+            } else {
+                let i = rng.gen_range(0..keys.absent().len());
+                queries.push(keys.absent()[i]);
+            }
+        }
+        QueryTrace {
+            queries,
+            expected_hits,
+        }
+    }
+
+    /// The lookup keys, in query order.
+    pub fn queries(&self) -> &[K] {
+        &self.queries
+    }
+
+    /// How many queries are hits (exact, by construction).
+    pub fn expected_hits(&self) -> usize {
+        self.expected_hits
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Split the trace into consecutive batches of `batch` keys — the
+    /// Multi-Get framing (final partial batch included).
+    pub fn batches(&self, batch: usize) -> impl Iterator<Item = &[K]> {
+        self.queries.chunks(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> KeySet<u32> {
+        KeySet::generate(2000, 400, 12)
+    }
+
+    #[test]
+    fn hit_rate_is_respected() {
+        let ks = keys();
+        let spec = TraceSpec::new(50_000, AccessPattern::Uniform).with_hit_rate(0.9);
+        let trace = QueryTrace::generate(&ks, &spec);
+        let present: std::collections::HashSet<u32> = ks.present().iter().copied().collect();
+        let hits = trace.queries().iter().filter(|k| present.contains(k)).count();
+        assert_eq!(hits, trace.expected_hits());
+        let rate = hits as f64 / trace.len() as f64;
+        assert!((0.88..0.92).contains(&rate), "hit rate {rate:.3}");
+    }
+
+    #[test]
+    fn full_hit_rate_needs_no_absent_keys() {
+        let ks: KeySet<u32> = KeySet::generate(100, 0, 1);
+        let spec = TraceSpec::new(1000, AccessPattern::Uniform).with_hit_rate(1.0);
+        let trace = QueryTrace::generate(&ks, &spec);
+        assert_eq!(trace.expected_hits(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires absent keys")]
+    fn misses_without_absent_keys_panic() {
+        let ks: KeySet<u32> = KeySet::generate(100, 0, 1);
+        let spec = TraceSpec::new(10, AccessPattern::Uniform).with_hit_rate(0.5);
+        let _ = QueryTrace::generate(&ks, &spec);
+    }
+
+    #[test]
+    fn skewed_trace_prefers_low_ranks() {
+        let ks = keys();
+        let spec = TraceSpec::new(100_000, AccessPattern::skewed()).with_hit_rate(1.0);
+        let trace = QueryTrace::generate(&ks, &spec);
+        let hottest = ks.present()[0];
+        let hot_count = trace.queries().iter().filter(|&&k| k == hottest).count();
+        // Rank 0 under zipf(0.99) over 2000 items draws ~11 % of accesses.
+        assert!(hot_count > 5_000, "hottest key drawn only {hot_count} times");
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let ks = keys();
+        let spec = TraceSpec::new(1000, AccessPattern::Uniform);
+        let trace = QueryTrace::generate(&ks, &spec);
+        let total: usize = trace.batches(96).map(<[u32]>::len).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(trace.batches(96).count(), 11); // 10 full + 1 partial
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let ks = keys();
+        let spec = TraceSpec::new(1000, AccessPattern::skewed()).with_seed(5);
+        let a = QueryTrace::generate(&ks, &spec);
+        let b = QueryTrace::generate(&ks, &spec);
+        assert_eq!(a.queries(), b.queries());
+    }
+}

@@ -1,0 +1,54 @@
+//! Mixed read/write workload over a sharded, concurrently accessed cuckoo
+//! table — the paper's future-work scenario, runnable.
+//!
+//! Worker threads issue 512-key batched lookups (Multi-Get style) mixed
+//! with in-place updates at increasing write fractions; the batched path
+//! runs either the scalar probe or the widest SIMD design the machine
+//! supports, per shard, under shard read locks.
+//!
+//! ```text
+//! cargo run --release --example mixed_workload
+//! ```
+
+use simdht::core::mixed::{best_design_for, run_mixed, MixedSpec};
+use simdht::simd::CpuFeatures;
+use simdht::table::Layout;
+
+fn main() {
+    let caps = CpuFeatures::detect();
+    let layout = Layout::n_way(3);
+    let design = best_design_for(layout, 32, &caps);
+    match design {
+        Some(d) => println!("SIMD lookup design: {d}\n"),
+        None => println!("no native SIMD support — comparing scalar vs scalar\n"),
+    }
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>12} {:>10}",
+        "write fraction", "scalar Mops/s", "SIMD Mops/s", "SIMD gain", "updates"
+    );
+    for wf in [0.0, 0.02, 0.10, 0.25, 0.50] {
+        let spec = MixedSpec {
+            threads: 2,
+            batch: 512,
+            ops_per_thread: 1 << 17,
+            ..MixedSpec::new(layout, wf)
+        };
+        let scalar = run_mixed::<u32>(&spec, None).expect("scalar run");
+        let simd = run_mixed::<u32>(&spec, design).expect("simd run");
+        assert_eq!(scalar.hits, scalar.lookups, "sampled keys are always present");
+        println!(
+            "{:<16.2} {:>14.2} {:>14.2} {:>11.2}x {:>10}",
+            wf,
+            scalar.ops_per_sec / 1e6,
+            simd.ops_per_sec / 1e6,
+            simd.ops_per_sec / scalar.ops_per_sec,
+            simd.updates,
+        );
+    }
+    println!(
+        "\nThe SIMD advantage is largest for read-dominated mixes and erodes as\n\
+         write locking and relocation traffic grow — the trade-off the paper's\n\
+         future-work section set out to quantify."
+    );
+}

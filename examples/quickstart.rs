@@ -1,0 +1,56 @@
+//! Quickstart: validate, build, probe, and measure — the whole SimdHT-Bench
+//! flow in one file.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use simdht::core::engine::{run_bench, BenchSpec};
+use simdht::core::report::render_report;
+use simdht::core::validate::{enumerate_designs, ValidationOptions};
+use simdht::simd::CpuFeatures;
+use simdht::table::{CuckooTable, Layout};
+use simdht::workload::AccessPattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. What can this CPU do?
+    let caps = CpuFeatures::detect();
+    println!("CPU capabilities: {caps}\n");
+
+    // 2. Ask the validation engine which SIMD designs fit a (2,4) BCHT
+    //    with 32-bit hash keys and payloads (the MemC3 layout, SIMD-ified).
+    let layout = Layout::bcht(2, 4);
+    let designs = enumerate_designs(layout, 32, 32, &ValidationOptions::default());
+    println!("validated SIMD designs for {layout}:");
+    for d in &designs {
+        let tag = if d.supported(&caps) { "native" } else { "emulated only" };
+        println!("  {d}   [{tag}]");
+    }
+
+    // 3. Build a table by hand and probe it.
+    let mut table: CuckooTable<u32, u32> = CuckooTable::with_bytes(layout, 64 * 1024)?;
+    for key in 1..=2000u32 {
+        table.insert(key, key * 2)?;
+    }
+    println!(
+        "\nbuilt a {} with {} items (load factor {:.2})",
+        table.layout(),
+        table.len(),
+        table.load_factor()
+    );
+    assert_eq!(table.get(1234), Some(2468));
+
+    // 4. Run the performance engine: every validated design vs. scalar.
+    let spec = BenchSpec {
+        queries_per_thread: 1 << 16,
+        repetitions: 3,
+        ..BenchSpec::new(layout, 1 << 20, AccessPattern::Uniform)
+    };
+    let report = run_bench::<u32>(&spec)?;
+    println!("\n{}", render_report(&report));
+    println!(
+        "best SIMD design is {:.2}x faster than the scalar probe",
+        report.best_speedup()
+    );
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: every validated SIMD design, on every backend,
+//! over realistic generated workloads, must return bit-identical results to
+//! the scalar probe — the validation engine's correctness contract.
+
+use simdht::core::dispatch::{run_design, run_scalar};
+use simdht::core::validate::{enumerate_designs, ValidationOptions};
+use simdht::simd::{Backend, CpuFeatures};
+use simdht::table::{Arrangement, CuckooTable, Layout};
+use simdht::workload::{AccessPattern, KeySet, QueryTrace, TraceSpec};
+
+fn full_options() -> ValidationOptions {
+    ValidationOptions {
+        include_hybrid: true,
+        allow_128_bit_vertical: true,
+        ..ValidationOptions::default()
+    }
+}
+
+fn populated_u32(layout: Layout, log2: u32, lf: f64, seed: u64) -> (CuckooTable<u32, u32>, KeySet<u32>) {
+    let mut table = CuckooTable::new(layout, log2).unwrap();
+    let n = (table.capacity() as f64 * lf) as usize;
+    let keys: KeySet<u32> = KeySet::generate(n, n / 4 + 64, seed);
+    let mut inserted = 0;
+    for (i, &k) in keys.present().iter().enumerate() {
+        if table.insert(k, i as u32 + 1).is_err() {
+            break;
+        }
+        inserted += 1;
+    }
+    assert!(inserted as f64 / n as f64 > 0.95, "{layout}: table filled poorly");
+    (table, keys)
+}
+
+#[test]
+fn every_design_matches_scalar_on_generated_traces() {
+    let caps = CpuFeatures::detect();
+    let layouts = [
+        Layout::n_way(2),
+        Layout::n_way(3),
+        Layout::n_way(4),
+        Layout::bcht(2, 2),
+        Layout::bcht(2, 4),
+        Layout::bcht(2, 8),
+        Layout::bcht(3, 2),
+        Layout::bcht(3, 4),
+        Layout::bcht(3, 8),
+        Layout::n_way(3).with_arrangement(Arrangement::Split),
+        Layout::bcht(2, 4).with_arrangement(Arrangement::Split),
+    ];
+    for (li, layout) in layouts.into_iter().enumerate() {
+        // 2-way non-bucketized cannot sustain a high LF; use 0.45 there.
+        let lf = if layout.slots_per_bucket() == 1 && layout.n_ways() == 2 {
+            0.45
+        } else {
+            0.85
+        };
+        let (table, keys) = populated_u32(layout, 10, lf, 42 + li as u64);
+        for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
+            let trace = QueryTrace::generate(
+                &keys,
+                &TraceSpec::new(5000, pattern).with_hit_rate(0.8).with_seed(li as u64),
+            );
+            let mut expect = vec![0u32; trace.len()];
+            run_scalar(&table, trace.queries(), &mut expect);
+            for design in enumerate_designs(layout, 32, 32, &full_options()) {
+                for backend in [Backend::Emulated, Backend::Native] {
+                    if backend == Backend::Native && !design.supported(&caps) {
+                        continue;
+                    }
+                    let mut got = vec![0u32; trace.len()];
+                    run_design(backend, &design, &table, trace.queries(), &mut got)
+                        .unwrap_or_else(|e| panic!("{layout} {design} {backend}: {e}"));
+                    assert_eq!(
+                        got, expect,
+                        "{layout} {design} {backend} {} disagrees with scalar",
+                        pattern.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn u16_and_u64_designs_match_scalar() {
+    let caps = CpuFeatures::detect();
+
+    // u64 vertical over 3-way.
+    let mut t64: CuckooTable<u64, u64> = CuckooTable::new(Layout::n_way(3), 12).unwrap();
+    let k64: KeySet<u64> = KeySet::generate(3000, 500, 9);
+    for (i, &k) in k64.present().iter().enumerate() {
+        t64.insert(k, i as u64 + 1).unwrap();
+    }
+    let trace64 = QueryTrace::generate(&k64, &TraceSpec::new(4000, AccessPattern::Uniform));
+    let mut expect64 = vec![0u64; trace64.len()];
+    run_scalar(&t64, trace64.queries(), &mut expect64);
+    for design in enumerate_designs(Layout::n_way(3), 64, 64, &ValidationOptions::default()) {
+        for backend in [Backend::Emulated, Backend::Native] {
+            if backend == Backend::Native && !design.supported(&caps) {
+                continue;
+            }
+            let mut got = vec![0u64; trace64.len()];
+            run_design(backend, &design, &t64, trace64.queries(), &mut got).unwrap();
+            assert_eq!(got, expect64, "u64 {design} {backend}");
+        }
+    }
+
+    // u16 horizontal over a (2,8) split BCHT with u32 payloads (Case Study ②).
+    use simdht::core::dispatch::KernelLane;
+    let layout = Layout::bcht(2, 8).with_arrangement(Arrangement::Split);
+    let mut t16: CuckooTable<u16, u32> = CuckooTable::new(layout, 8).unwrap();
+    let k16: KeySet<u16> = KeySet::generate(1600, 300, 5);
+    for (i, &k) in k16.present().iter().enumerate() {
+        t16.insert(k, i as u32 + 1).unwrap();
+    }
+    let trace16 = QueryTrace::generate(&k16, &TraceSpec::new(3000, AccessPattern::skewed()));
+    let mut expect16 = vec![0u32; trace16.len()];
+    run_scalar(&t16, trace16.queries(), &mut expect16);
+    for design in enumerate_designs(layout, 16, 32, &ValidationOptions::default()) {
+        for backend in [Backend::Emulated, Backend::Native] {
+            if backend == Backend::Native && !design.supported(&caps) {
+                continue;
+            }
+            let mut got = vec![0u32; trace16.len()];
+            u16::dispatch_horizontal(
+                backend,
+                design.width,
+                &t16,
+                trace16.queries(),
+                &mut got,
+                design.parallelism,
+            )
+            .unwrap();
+            assert_eq!(got, expect16, "u16 {design} {backend}");
+        }
+    }
+}
+
+#[test]
+fn designs_survive_removals() {
+    // Deletion leaves holes (empty slots between occupied ones); vector
+    // probes must not be confused by them.
+    let caps = CpuFeatures::detect();
+    let (mut table, keys) = populated_u32(Layout::bcht(2, 4), 9, 0.8, 77);
+    for &k in keys.present().iter().step_by(3) {
+        table.remove(k);
+    }
+    let queries: Vec<u32> = keys.present().to_vec();
+    let mut expect = vec![0u32; queries.len()];
+    run_scalar(&table, &queries, &mut expect);
+    for design in enumerate_designs(Layout::bcht(2, 4), 32, 32, &full_options()) {
+        for backend in [Backend::Emulated, Backend::Native] {
+            if backend == Backend::Native && !design.supported(&caps) {
+                continue;
+            }
+            let mut got = vec![0u32; queries.len()];
+            run_design(backend, &design, &table, &queries, &mut got).unwrap();
+            assert_eq!(got, expect, "{design} {backend} after removals");
+        }
+    }
+}
