@@ -37,7 +37,8 @@ fn bench_swiss_vs_cuckoo(c: &mut Criterion) {
     // Swiss side at the same item count.
     let n = cuckoo.len();
     let keys: KeySet<u32> = KeySet::generate(n, n / 4, 0xBE);
-    let mut swiss: SwissTable<u32, u32> = SwissTable::with_capacity_slots((n as f64 / 0.85) as usize);
+    let mut swiss: SwissTable<u32, u32> =
+        SwissTable::with_capacity_slots((n as f64 / 0.85) as usize);
     for (i, &k) in keys.present().iter().enumerate() {
         swiss.insert(k, i as u32 + 1).expect("below max LF");
     }

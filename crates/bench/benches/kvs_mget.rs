@@ -36,11 +36,17 @@ fn bench_mget(c: &mut Criterion) {
         let stores: Vec<KvStore> = vec![
             store_with(Box::new(Memc3Index::with_capacity(ITEMS * 2)), &wl),
             store_with(
-                Box::new(SimdIndex::with_capacity(SimdIndexKind::HorizontalBcht, ITEMS * 2)),
+                Box::new(SimdIndex::with_capacity(
+                    SimdIndexKind::HorizontalBcht,
+                    ITEMS * 2,
+                )),
                 &wl,
             ),
             store_with(
-                Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, ITEMS * 2)),
+                Box::new(SimdIndex::with_capacity(
+                    SimdIndexKind::VerticalNway,
+                    ITEMS * 2,
+                )),
                 &wl,
             ),
         ];

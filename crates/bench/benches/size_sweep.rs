@@ -32,8 +32,7 @@ fn bench_sizes(c: &mut Criterion) {
             .expect("vertical design exists");
         group.bench_with_input(BenchmarkId::new("vertical", &label), &(), |b, ()| {
             b.iter(|| {
-                run_design(Backend::Native, &best, &table, trace, &mut out)
-                    .expect("native backend")
+                run_design(Backend::Native, &best, &table, trace, &mut out).expect("native backend")
             });
         });
     }

@@ -38,7 +38,12 @@ fn bench_insert(c: &mut Criterion) {
 
 fn bench_scalar_get(c: &mut Criterion) {
     let mut group = c.benchmark_group("table_scalar_get");
-    for layout in [Layout::n_way(2), Layout::n_way(4), Layout::bcht(2, 4), Layout::bcht(2, 8)] {
+    for layout in [
+        Layout::n_way(2),
+        Layout::n_way(4),
+        Layout::bcht(2, 4),
+        Layout::bcht(2, 8),
+    ] {
         let log2 = match layout.slots_per_bucket() {
             1 => 14,
             m => 14 - m.trailing_zeros(),
@@ -46,7 +51,8 @@ fn bench_scalar_get(c: &mut Criterion) {
         let mut t: CuckooTable<u32, u32> = CuckooTable::new(layout, log2).expect("table");
         let n = (t.capacity() as f64 * 0.85) as u32;
         for i in 1..=n {
-            t.insert(i.wrapping_mul(2_654_435_761).max(1), i).expect("insert");
+            t.insert(i.wrapping_mul(2_654_435_761).max(1), i)
+                .expect("insert");
         }
         let queries: Vec<u32> = (1..=4096u32)
             .map(|i| i.wrapping_mul(2_654_435_761).max(1))

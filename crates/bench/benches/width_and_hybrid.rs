@@ -13,11 +13,7 @@ use simdht_workload::AccessPattern;
 fn setup(
     layout: Layout,
     bytes: usize,
-) -> (
-    simdht_table::CuckooTable<u32, u32>,
-    Vec<u32>,
-    Vec<u32>,
-) {
+) -> (simdht_table::CuckooTable<u32, u32>, Vec<u32>, Vec<u32>) {
     let spec = BenchSpec {
         queries_per_thread: 1 << 14,
         ..BenchSpec::new(layout, bytes, AccessPattern::Uniform)
@@ -97,15 +93,8 @@ fn bench_gather_modes(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                u32::dispatch_vertical(
-                    Backend::Native,
-                    Width::W512,
-                    &table,
-                    &trace,
-                    &mut out,
-                    mode,
-                )
-                .expect("native")
+                u32::dispatch_vertical(Backend::Native, Width::W512, &table, &trace, &mut out, mode)
+                    .expect("native")
             });
         });
     }

@@ -41,7 +41,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if ids.first().copied() == Some("custom") {
-        let rest: Vec<String> = args.iter().skip_while(|a| *a != "custom").skip(1).cloned().collect();
+        let rest: Vec<String> = args
+            .iter()
+            .skip_while(|a| *a != "custom")
+            .skip(1)
+            .cloned()
+            .collect();
         return match custom::parse(&rest).and_then(|spec| custom::execute(&spec)) {
             Ok(report) => {
                 println!("{report}");

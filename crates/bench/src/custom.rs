@@ -221,7 +221,7 @@ pub fn execute(spec: &CustomSpec) -> Result<String, String> {
             include_hybrid: spec.hybrid,
             ..ValidationOptions::default()
         },
-        seed: 0xC057_0A,
+        seed: 0x00C0_570A,
     };
     let report = match spec.key_bits {
         16 => run_bench::<u16>(&bench),

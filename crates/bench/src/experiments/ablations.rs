@@ -40,8 +40,14 @@ pub fn gather(scale: &RunScale) -> String {
     let trace = &traces[0];
     let mut out = vec![0u32; trace.len()];
     for (label, mode) in [
-        ("paired wide gathers (1 x 64-bit lane per pair)", GatherMode::PairedWide),
-        ("narrow split gathers (2 x 32-bit lanes)", GatherMode::NarrowSplit),
+        (
+            "paired wide gathers (1 x 64-bit lane per pair)",
+            GatherMode::PairedWide,
+        ),
+        (
+            "narrow split gathers (2 x 32-bit lanes)",
+            GatherMode::NarrowSplit,
+        ),
     ] {
         // Warm-up + timed repetitions.
         u32::dispatch_vertical(backend, width, &table, trace, &mut out, mode).expect("kernel");
@@ -51,8 +57,7 @@ pub fn gather(scale: &RunScale) -> String {
                 .expect("kernel");
             std::hint::black_box(h);
         }
-        let rate =
-            (spec.repetitions as f64 * trace.len() as f64) / t0.elapsed().as_secs_f64();
+        let rate = (spec.repetitions as f64 * trace.len() as f64) / t0.elapsed().as_secs_f64();
         let _ = writeln!(s, "  {:<48} {:>8} Blookups/s", label, blps(rate));
     }
     s.push_str(
@@ -71,7 +76,10 @@ pub fn layout(scale: &RunScale) -> String {
          ((2,4) BCHT, (k,v) = (32,32), 1 MiB, uniform)\n\n",
     );
     for (label, arrangement) in [
-        ("interleaved [k v k v ...] (paper Fig. 3a)", Arrangement::Interleaved),
+        (
+            "interleaved [k v k v ...] (paper Fig. 3a)",
+            Arrangement::Interleaved,
+        ),
         ("split      [k k ...][v v ...]", Arrangement::Split),
     ] {
         let layout = Layout::bcht(2, 4).with_arrangement(arrangement);
@@ -124,8 +132,18 @@ pub fn hashcalc(scale: &RunScale) -> String {
     };
     let scalar_hash = time(&mut |out| horizontal_lookup::<V, u32>(&table, trace, out, 1));
     let vec_hash = time(&mut |out| horizontal_lookup_vec_hash::<V>(&table, trace, out));
-    let _ = writeln!(s, "  {:<44} {:>8} Blookups/s", "scalar per-key hash computation", blps(scalar_hash));
-    let _ = writeln!(s, "  {:<44} {:>8} Blookups/s", "vectorized calc_N_hash_buckets (chunked)", blps(vec_hash));
+    let _ = writeln!(
+        s,
+        "  {:<44} {:>8} Blookups/s",
+        "scalar per-key hash computation",
+        blps(scalar_hash)
+    );
+    let _ = writeln!(
+        s,
+        "  {:<44} {:>8} Blookups/s",
+        "vectorized calc_N_hash_buckets (chunked)",
+        blps(vec_hash)
+    );
     let _ = writeln!(s, "  gain: {:.2}x", vec_hash / scalar_hash);
     s
 }

@@ -63,7 +63,10 @@ pub fn fig5(scale: &RunScale) -> String {
             report_row(&mut s, &layout.to_string(), &report);
             if let Some((d, m)) = report.best_design() {
                 let key = format!("{layout} with {d}");
-                if best.as_ref().is_none_or(|(_, b)| m.lookups_per_sec_per_core > *b) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| m.lookups_per_sec_per_core > *b)
+                {
                     best = Some((key, m.lookups_per_sec_per_core));
                 }
             }
@@ -239,8 +242,18 @@ pub fn fig9(scale: &RunScale) -> String {
         ..ValidationOptions::default()
     };
     let cases = [
-        ("2-way vs (2,2), 1 MiB", Layout::n_way(2), Layout::bcht(2, 2), MIB),
-        ("3-way vs (3,2), 16 MiB", Layout::n_way(3), Layout::bcht(3, 2), 16 * MIB),
+        (
+            "2-way vs (2,2), 1 MiB",
+            Layout::n_way(2),
+            Layout::bcht(2, 2),
+            MIB,
+        ),
+        (
+            "3-way vs (3,2), 16 MiB",
+            Layout::n_way(3),
+            Layout::bcht(3, 2),
+            16 * MIB,
+        ),
     ];
     for (label, nway, bcht, bytes) in cases {
         let _ = writeln!(s, "-- {label} --");

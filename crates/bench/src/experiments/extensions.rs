@@ -177,9 +177,8 @@ pub fn prefetch(scale: &RunScale) -> String {
         )))]
         type V = simdht_simd::emu::Emu<u32, 16>;
 
-        let plain = time(&mut |out| {
-            vertical_lookup::<V>(&table, trace, out, GatherMode::PairedWide)
-        });
+        let plain =
+            time(&mut |out| vertical_lookup::<V>(&table, trace, out, GatherMode::PairedWide));
         let pref = time(&mut |out| vertical_lookup_prefetched::<V>(&table, trace, out));
 
         // Sanity: identical results.

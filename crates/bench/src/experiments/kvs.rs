@@ -2,25 +2,21 @@
 //! two SIMD-aware indexes under memslap Multi-Get load.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use simdht_kvs::index::{HashIndex, Memc3Index, SimdIndex, SimdIndexKind, TagSimdIndex};
-use simdht_kvs::memslap::{run_memslap, MemslapConfig, MemslapReport};
+use simdht_kvs::index::{self, HashIndex};
+use simdht_kvs::kvsd::Kvsd;
+use simdht_kvs::memslap::{
+    run_memslap, run_memslap_over, MemslapConfig, MemslapReport, NetMemslapConfig,
+};
+use simdht_kvs::net::TcpTransport;
 use simdht_kvs::store::{KvStore, StoreConfig};
 use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
 
 use crate::RunScale;
 
 fn build_index(which: &str, capacity: usize) -> Box<dyn HashIndex> {
-    match which {
-        "memc3" => Box::new(Memc3Index::with_capacity(capacity)),
-        "hor" => Box::new(SimdIndex::with_capacity(
-            SimdIndexKind::HorizontalBcht,
-            capacity,
-        )),
-        "ver" => Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, capacity)),
-        "dpdk" => Box::new(TagSimdIndex::with_capacity(capacity)),
-        _ => unreachable!("unknown index {which}"),
-    }
+    index::by_short_name(which, capacity).unwrap_or_else(|| unreachable!("unknown index {which}"))
 }
 
 fn run_one_mixed(
@@ -175,9 +171,114 @@ pub fn ext_mixed_kvs(scale: &RunScale) -> String {
     s
 }
 
+/// One TCP-loopback run: real `Kvsd` on an ephemeral port, networked
+/// memslap with pipelining, both ends in this process.
+fn run_one_tcp(
+    which: &str,
+    mget_size: usize,
+    scale: &RunScale,
+) -> (
+    &'static str,
+    simdht_kvs::memslap::ClientReport,
+    Arc<simdht_kvs::server::ServerStats>,
+) {
+    let workload = KvWorkload::generate(&KvWorkloadSpec {
+        n_items: scale.kvs_items,
+        n_requests: scale.kvs_requests,
+        mget_size,
+        key_bytes: 20,
+        value_bytes: 32,
+        pattern: AccessPattern::skewed(),
+        seed: 0x4B56_0011,
+    });
+    let store = Arc::new(KvStore::new(
+        build_index(which, scale.kvs_items * 2),
+        StoreConfig {
+            memory_budget: (scale.kvs_items * 256).max(8 << 20),
+            capacity_items: scale.kvs_items * 2,
+        },
+    ));
+    let index_name = store.index_name();
+    let kvsd = Kvsd::bind(store, "127.0.0.1:0").expect("bind loopback");
+    let transport = TcpTransport::new(kvsd.local_addr()).expect("resolve loopback");
+    let report = run_memslap_over(
+        &transport,
+        &workload,
+        &NetMemslapConfig {
+            connections: 2,
+            pipeline_depth: 16,
+            set_fraction: 0.0,
+            preload: true,
+        },
+    )
+    .expect("loopback memslap run");
+    let stats = kvsd.stats();
+    kvsd.shutdown();
+    (index_name, report, stats)
+}
+
+/// `ext-tcp-loopback`: the KVS case study over *real* sockets — a `Kvsd`
+/// daemon on 127.0.0.1 driven by the pipelined networked memslap client,
+/// MemC3 vs. the SIMD indexes. Where Fig. 11 charges an analytic EDR wire
+/// model, this measures the actual kernel TCP stack; the index ranking
+/// should survive the transport swap even though absolute latency is
+/// syscall-dominated.
+pub fn ext_tcp_loopback(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== ext-tcp-loopback: KVS Multi-Get over real TCP loopback ==\n\
+         (simdht-kvsd + networked memslap, 2 connections x 16-deep pipeline)\n",
+    );
+    for mget in [16usize, 96] {
+        let _ = writeln!(s, "\n-- Multi-Get batch = {mget} keys --");
+        let mut baseline: Option<f64> = None;
+        for which in ["memc3", "hor", "ver"] {
+            let (name, r, stats) = run_one_tcp(which, mget, scale);
+            let speedup = baseline.map_or(1.0, |b| stats.keys_per_busy_sec() / b);
+            if which == "memc3" {
+                baseline = Some(stats.keys_per_busy_sec());
+            }
+            let _ = writeln!(
+                s,
+                "  {:<38} {:>6.2} Mkeys/s wire | p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us | server {:>5.2}x",
+                name,
+                r.keys_per_sec / 1e6,
+                r.p50_latency_us,
+                r.p95_latency_us,
+                r.p99_latency_us,
+                speedup,
+            );
+            assert_eq!(r.hits, r.keys, "preloaded keys must all hit over TCP");
+        }
+    }
+    s.push_str(
+        "\n(the server-side x factors isolate index cost from the TCP stack; the\n\
+         client-side Mkeys/s are loopback-bound and far below the EDR model)\n",
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kvs_tcp_loopback_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 30,
+            kvs_items: 300,
+        };
+        let (name, r, stats) = run_one_tcp("hor", 8, &tiny);
+        assert!(name.contains("Hor"), "{name}");
+        assert_eq!(r.requests, 30);
+        assert_eq!(r.keys, 30 * 8);
+        assert_eq!(r.hits, r.keys);
+        assert!(r.p99_latency_us >= r.p50_latency_us);
+        assert!(r.p50_latency_us > 0.0);
+        assert!(stats.requests.load(std::sync::atomic::Ordering::Relaxed) == 30);
+    }
 
     #[test]
     fn kvs_mixed_sets_tiny_run() {

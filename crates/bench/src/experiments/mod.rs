@@ -31,6 +31,7 @@ pub const ALL: &[&str] = &[
     "ablate-hashcalc",
     "ext-mixed",
     "ext-mixed-kvs",
+    "ext-tcp-loopback",
     "ext-swiss",
 ];
 
@@ -56,6 +57,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "ablate-hashcalc" => ablations::hashcalc(&scale),
         "ext-mixed" => extensions::mixed(&scale),
         "ext-mixed-kvs" => kvs::ext_mixed_kvs(&scale),
+        "ext-tcp-loopback" => kvs::ext_tcp_loopback(&scale),
         "ext-swiss" => extensions::swiss(&scale),
         _ => return None,
     })

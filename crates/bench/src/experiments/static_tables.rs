@@ -61,7 +61,12 @@ pub fn listing1() -> String {
     ];
     let entries: Vec<_> = layouts
         .iter()
-        .map(|&l| (l, enumerate_designs(l, 32, 32, &ValidationOptions::default())))
+        .map(|&l| {
+            (
+                l,
+                enumerate_designs(l, 32, 32, &ValidationOptions::default()),
+            )
+        })
         .collect();
     format!(
         "== Listing 1: SIMD-aware cuckoo HT design choices ==\n\

@@ -102,15 +102,15 @@ macro_rules! impl_kernel_lane {
                 mode: GatherMode,
             ) -> Result<usize, DispatchError> {
                 match (backend, width) {
-                    (Backend::Emulated, Width::W128) => {
-                        Ok(vertical_lookup::<Emu<$lane, $e128>>(table, queries, out, mode))
-                    }
-                    (Backend::Emulated, Width::W256) => {
-                        Ok(vertical_lookup::<Emu<$lane, $e256>>(table, queries, out, mode))
-                    }
-                    (Backend::Emulated, Width::W512) => {
-                        Ok(vertical_lookup::<Emu<$lane, $e512>>(table, queries, out, mode))
-                    }
+                    (Backend::Emulated, Width::W128) => Ok(vertical_lookup::<Emu<$lane, $e128>>(
+                        table, queries, out, mode,
+                    )),
+                    (Backend::Emulated, Width::W256) => Ok(vertical_lookup::<Emu<$lane, $e256>>(
+                        table, queries, out, mode,
+                    )),
+                    (Backend::Emulated, Width::W512) => Ok(vertical_lookup::<Emu<$lane, $e512>>(
+                        table, queries, out, mode,
+                    )),
                     (Backend::Native, Width::W128) => {
                         #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
                         {
@@ -227,19 +227,39 @@ macro_rules! impl_kernel_lane {
                 buckets_per_vec: u32,
             ) -> Result<usize, DispatchError> {
                 match (backend, width) {
-                    (Backend::Emulated, Width::W128) => Ok(horizontal_lookup::<Emu<$lane, $e128>, W>(
-                        table, queries, out, buckets_per_vec,
-                    )),
-                    (Backend::Emulated, Width::W256) => Ok(horizontal_lookup::<Emu<$lane, $e256>, W>(
-                        table, queries, out, buckets_per_vec,
-                    )),
-                    (Backend::Emulated, Width::W512) => Ok(horizontal_lookup::<Emu<$lane, $e512>, W>(
-                        table, queries, out, buckets_per_vec,
-                    )),
+                    (Backend::Emulated, Width::W128) => {
+                        Ok(horizontal_lookup::<Emu<$lane, $e128>, W>(
+                            table,
+                            queries,
+                            out,
+                            buckets_per_vec,
+                        ))
+                    }
+                    (Backend::Emulated, Width::W256) => {
+                        Ok(horizontal_lookup::<Emu<$lane, $e256>, W>(
+                            table,
+                            queries,
+                            out,
+                            buckets_per_vec,
+                        ))
+                    }
+                    (Backend::Emulated, Width::W512) => {
+                        Ok(horizontal_lookup::<Emu<$lane, $e512>, W>(
+                            table,
+                            queries,
+                            out,
+                            buckets_per_vec,
+                        ))
+                    }
                     (Backend::Native, Width::W128) => {
                         #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
                         {
-                            Ok(horizontal_lookup::<$n128, W>(table, queries, out, buckets_per_vec))
+                            Ok(horizontal_lookup::<$n128, W>(
+                                table,
+                                queries,
+                                out,
+                                buckets_per_vec,
+                            ))
                         }
                         #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
                         {
@@ -249,7 +269,12 @@ macro_rules! impl_kernel_lane {
                     (Backend::Native, Width::W256) => {
                         #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
                         {
-                            Ok(horizontal_lookup::<$n256, W>(table, queries, out, buckets_per_vec))
+                            Ok(horizontal_lookup::<$n256, W>(
+                                table,
+                                queries,
+                                out,
+                                buckets_per_vec,
+                            ))
                         }
                         #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
                         {
@@ -265,7 +290,12 @@ macro_rules! impl_kernel_lane {
                             target_feature = "avx512vl"
                         ))]
                         {
-                            Ok(horizontal_lookup::<$n512, W>(table, queries, out, buckets_per_vec))
+                            Ok(horizontal_lookup::<$n512, W>(
+                                table,
+                                queries,
+                                out,
+                                buckets_per_vec,
+                            ))
                         }
                         #[cfg(not(all(
                             target_arch = "x86_64",
@@ -284,8 +314,6 @@ macro_rules! impl_kernel_lane {
     };
 }
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-use simdht_simd::x86::{v128, v256};
 #[cfg(all(
     target_arch = "x86_64",
     target_feature = "avx512f",
@@ -294,6 +322,8 @@ use simdht_simd::x86::{v128, v256};
     target_feature = "avx512vl"
 ))]
 use simdht_simd::x86::v512;
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+use simdht_simd::x86::{v128, v256};
 
 impl_kernel_lane!(u16,
     emu: (8, 16, 32),
@@ -337,9 +367,7 @@ pub fn run_design<K: KernelLane>(
         Approach::Vertical => {
             K::dispatch_vertical(backend, choice.width, table, queries, out, choice.gather)
         }
-        Approach::VerticalOnBcht => {
-            K::dispatch_hybrid(backend, choice.width, table, queries, out)
-        }
+        Approach::VerticalOnBcht => K::dispatch_hybrid(backend, choice.width, table, queries, out),
     }
 }
 

@@ -164,6 +164,7 @@ impl From<DispatchError> for EngineError {
 
 /// Populate a table to the spec's target load factor and build per-thread
 /// query traces. Shared by the engine entry points and the bench harness.
+#[allow(clippy::type_complexity)]
 pub fn prepare_table_and_traces<K: Lane, W: Lane>(
     spec: &BenchSpec,
 ) -> Result<(CuckooTable<K, W>, Vec<Vec<K>>), EngineError> {
@@ -268,9 +269,7 @@ pub fn run_bench<K: KernelLane>(spec: &BenchSpec) -> Result<EngineReport, Engine
     }
 
     // Timed runs.
-    let scalar = time_parallel(spec, &traces, |trace, out| {
-        run_scalar(&table, trace, out)
-    });
+    let scalar = time_parallel(spec, &traces, |trace, out| run_scalar(&table, trace, out));
     let mut measured = Vec::with_capacity(designs.len());
     for design in designs {
         let m = time_parallel(spec, &traces, |trace, out| {
@@ -396,7 +395,10 @@ fn time_parallel<K: Lane, W: Lane>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     let total_lookups: u64 = per_thread.iter().map(|(_, n, _)| n).sum();

@@ -64,7 +64,7 @@ impl MixedSpec {
             pattern: AccessPattern::skewed(),
             fill: 0.80,
             backend: Backend::Native,
-            seed: 0x3D17_ED,
+            seed: 0x003D_17ED,
         }
     }
 }
@@ -141,7 +141,9 @@ pub fn run_mixed<K: KernelLane>(
                     }
                     for _ in 0..n_upd {
                         let k = keys.present()[sampler.sample(&mut rng)];
-                        table.insert(k, K::from_u64(rng.gen::<u64>() | 1)).expect("update");
+                        table
+                            .insert(k, K::from_u64(rng.gen::<u64>() | 1))
+                            .expect("update");
                     }
                     updates.fetch_add(n_upd as u64, Ordering::Relaxed);
                     batch_keys.clear();
@@ -183,9 +185,14 @@ pub fn run_mixed<K: KernelLane>(
                                 shard_out.clear();
                                 shard_out.resize(shard_q.len(), K::EMPTY);
                                 let guard = table.read_shard(sidx);
-                                batch_hits +=
-                                    run_design(spec.backend, &design, &guard, &shard_q, &mut shard_out)
-                                        .expect("pre-validated design");
+                                batch_hits += run_design(
+                                    spec.backend,
+                                    &design,
+                                    &guard,
+                                    &shard_q,
+                                    &mut shard_out,
+                                )
+                                .expect("pre-validated design");
                                 drop(guard);
                                 for (&(orig, _), &v) in part.iter().zip(shard_out.iter()) {
                                     out[orig as usize] = v;
@@ -215,11 +222,14 @@ pub fn run_mixed<K: KernelLane>(
 /// Convenience: the best validated SIMD design for a layout at the paper's
 /// widths, or `None` when the layout admits none (caller falls back to
 /// scalar).
-pub fn best_design_for(layout: Layout, key_bits: u32, caps: &simdht_simd::CpuFeatures) -> Option<DesignChoice> {
+pub fn best_design_for(
+    layout: Layout,
+    key_bits: u32,
+    caps: &simdht_simd::CpuFeatures,
+) -> Option<DesignChoice> {
     enumerate_designs(layout, key_bits, key_bits, &ValidationOptions::default())
         .into_iter()
-        .filter(|d| d.supported(caps))
-        .last()
+        .rfind(|d| d.supported(caps))
 }
 
 #[cfg(test)]

@@ -99,8 +99,8 @@ pub fn render_table1() -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<22} {:<10} {:<18} {:>5} {:>6}  {:<10} {}",
-        "Research Work", "Cite", "Layout", "K", "V", "SIMD", "Note"
+        "{:<22} {:<10} {:<18} {:>5} {:>6}  {:<10} Note",
+        "Research Work", "Cite", "Layout", "K", "V", "SIMD"
     );
     let _ = writeln!(s, "{}", "-".repeat(100));
     for d in table1() {

@@ -71,7 +71,7 @@ pub fn render_summary(report: &EngineReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{BenchSpec, run_bench};
+    use crate::engine::{run_bench, BenchSpec};
     use simdht_table::Layout;
     use simdht_workload::AccessPattern;
 

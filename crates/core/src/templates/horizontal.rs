@@ -95,10 +95,7 @@ fn lookup_interleaved<V: Vector, W: Lane>(
                 let next = if way + 1 < n_ways { way + 1 } else { way };
                 let b1 = hash.bucket(*q, next);
                 (
-                    V::from_two_slices(
-                        &data[b0 * bucket_lanes..],
-                        &data[b1 * bucket_lanes..],
-                    ),
+                    V::from_two_slices(&data[b0 * bucket_lanes..], &data[b1 * bucket_lanes..]),
                     b1,
                 )
             } else {
@@ -190,7 +187,11 @@ pub fn horizontal_lookup_vec_hash<V: Vector>(
     assert_eq!(queries.len(), out.len(), "output slice length mismatch");
     let layout = table.layout();
     assert!(layout.is_bucketized(), "horizontal template needs m > 1");
-    assert_eq!(layout.n_ways(), 2, "vec-hash variant specializes 2-way probing");
+    assert_eq!(
+        layout.n_ways(),
+        2,
+        "vec-hash variant specializes 2-way probing"
+    );
     assert_eq!(
         layout.arrangement(),
         Arrangement::Interleaved,
@@ -287,11 +288,8 @@ mod tests {
     fn split_mixed_widths() {
         // (2,8) split with (k,v) = (u16, u32): key block = 8 lanes ->
         // Emu<u16, 16> probes two buckets (bpv = 2).
-        let mut t: CuckooTable<u16, u32> = CuckooTable::new(
-            Layout::bcht(2, 8).with_arrangement(Arrangement::Split),
-            7,
-        )
-        .unwrap();
+        let mut t: CuckooTable<u16, u32> =
+            CuckooTable::new(Layout::bcht(2, 8).with_arrangement(Arrangement::Split), 7).unwrap();
         for i in 1..=700u16 {
             t.insert(i, u32::from(i) + 5).unwrap();
         }

@@ -92,9 +92,8 @@ pub fn hybrid_lookup<V: Vector>(
                 };
                 // SAFETY: bucket < num_buckets, so slot < bucket count · m =
                 // slot capacity; interleaved doubling stays inside `data`.
-                let gk = unsafe {
-                    V::gather_idx_masked(data, kidx, pending, V::splat(V::Lane::EMPTY))
-                };
+                let gk =
+                    unsafe { V::gather_idx_masked(data, kidx, pending, V::splat(V::Lane::EMPTY)) };
                 let mbits = gk.cmpeq_bits(kv) & pending;
                 if mbits != 0 {
                     let vidx = if voff == 1 {

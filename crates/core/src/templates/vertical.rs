@@ -126,9 +126,8 @@ pub fn vertical_lookup<V: Vector>(
                 for way in 0..n_ways {
                     let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
                     // SAFETY: h < num_buckets = slot count of both arrays.
-                    let gk = unsafe {
-                        V::gather_idx_masked(keys, h, pending, V::splat(V::Lane::EMPTY))
-                    };
+                    let gk =
+                        unsafe { V::gather_idx_masked(keys, h, pending, V::splat(V::Lane::EMPTY)) };
                     let mbits = gk.cmpeq_bits(kv) & pending;
                     vals = unsafe { V::gather_idx_masked(valarr, h, mbits, vals) };
                     pending &= !mbits;
@@ -288,11 +287,8 @@ mod tests {
 
     #[test]
     fn split_storage_narrow_gathers() {
-        let mut t: CuckooTable<u32, u32> = CuckooTable::new(
-            Layout::n_way(2).with_arrangement(Arrangement::Split),
-            11,
-        )
-        .unwrap();
+        let mut t: CuckooTable<u32, u32> =
+            CuckooTable::new(Layout::n_way(2).with_arrangement(Arrangement::Split), 11).unwrap();
         for i in 1..=800u32 {
             t.insert(i * 13 + 1, i).unwrap();
         }

@@ -112,7 +112,12 @@ impl DesignChoice {
 
 impl std::fmt::Display for DesignChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} @ {}", self.approach.shorthand(), self.listing_entry())
+        write!(
+            f,
+            "{} @ {}",
+            self.approach.shorthand(),
+            self.listing_entry()
+        )
     }
 }
 
@@ -142,7 +147,7 @@ pub fn hor_v_valid(width: Width, layout: Layout, key_bits: u32, val_bits: u32) -
         Arrangement::Interleaved => (key_bits + val_bits) * m,
         Arrangement::Split => key_bits * m,
     };
-    if w % block_bits != 0 {
+    if !w.is_multiple_of(block_bits) {
         return None;
     }
     let bpv = w / block_bits;
@@ -322,11 +327,23 @@ mod tests {
     #[test]
     fn listing1_horizontal_choices() {
         let cases = [
-            ((2, 2), vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"]),
-            ((2, 4), vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"]),
+            (
+                (2, 2),
+                vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"],
+            ),
+            (
+                (2, 4),
+                vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"],
+            ),
             ((2, 8), vec!["512 bit - 1 bucket/vec"]),
-            ((3, 2), vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"]),
-            ((3, 4), vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"]),
+            (
+                (3, 2),
+                vec!["128 bit - 1 bucket/vec", "256 bit - 2 bucket/vec"],
+            ),
+            (
+                (3, 4),
+                vec!["256 bit - 1 bucket/vec", "512 bit - 2 bucket/vec"],
+            ),
             ((3, 8), vec!["512 bit - 1 bucket/vec"]),
         ];
         for ((n, m), expected) in cases {
@@ -371,8 +388,14 @@ mod tests {
         // (2,2) with 16-bit keys/values, 512-bit vector: 8 buckets would
         // "fit" but only 1 or 2 whole buckets can be assembled — invalid.
         assert_eq!(hor_v_valid(Width::W512, Layout::bcht(2, 2), 16, 16), None);
-        assert_eq!(hor_v_valid(Width::W128, Layout::bcht(2, 2), 16, 16), Some(2));
-        assert_eq!(hor_v_valid(Width::W128, Layout::bcht(2, 2), 32, 32), Some(1));
+        assert_eq!(
+            hor_v_valid(Width::W128, Layout::bcht(2, 2), 16, 16),
+            Some(2)
+        );
+        assert_eq!(
+            hor_v_valid(Width::W128, Layout::bcht(2, 2), 32, 32),
+            Some(1)
+        );
         // Non-dividing widths are invalid (partial bucket in register).
         assert_eq!(hor_v_valid(Width::W512, Layout::bcht(2, 8), 16, 32), None);
     }
@@ -380,8 +403,14 @@ mod tests {
     #[test]
     fn hybrid_only_on_bcht() {
         assert_eq!(hybrid_valid(Width::W256, Layout::n_way(2), 32, 32), None);
-        assert_eq!(hybrid_valid(Width::W256, Layout::bcht(2, 2), 32, 32), Some(8));
-        assert_eq!(hybrid_valid(Width::W512, Layout::bcht(3, 2), 32, 32), Some(16));
+        assert_eq!(
+            hybrid_valid(Width::W256, Layout::bcht(2, 2), 32, 32),
+            Some(8)
+        );
+        assert_eq!(
+            hybrid_valid(Width::W512, Layout::bcht(3, 2), 32, 32),
+            Some(16)
+        );
     }
 
     #[test]
@@ -398,7 +427,9 @@ mod tests {
     fn gather_mode_follows_arrangement() {
         let interleaved =
             enumerate_designs(Layout::n_way(2), 32, 32, &ValidationOptions::default());
-        assert!(interleaved.iter().all(|d| d.gather == GatherMode::PairedWide));
+        assert!(interleaved
+            .iter()
+            .all(|d| d.gather == GatherMode::PairedWide));
         let split = enumerate_designs(
             Layout::n_way(2).with_arrangement(Arrangement::Split),
             32,
@@ -413,10 +444,19 @@ mod tests {
         let layouts = [Layout::n_way(2), Layout::bcht(2, 4)];
         let entries: Vec<_> = layouts
             .iter()
-            .map(|&l| (l, enumerate_designs(l, 32, 32, &ValidationOptions::default())))
+            .map(|&l| {
+                (
+                    l,
+                    enumerate_designs(l, 32, 32, &ValidationOptions::default()),
+                )
+            })
             .collect();
         let text = render_listing(&entries, 32, 32);
-        assert!(text.contains("*(2,1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it"));
-        assert!(text.contains("*(2,4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec"));
+        assert!(
+            text.contains("*(2,1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it")
+        );
+        assert!(text.contains(
+            "*(2,4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec"
+        ));
     }
 }

@@ -13,7 +13,8 @@ use simdht_table::{CuckooTable, Layout};
 fn arb_layout() -> impl Strategy<Value = Layout> {
     prop_oneof![
         (2u32..=4).prop_map(Layout::n_way),
-        ((2u32..=3), prop_oneof![Just(2u32), Just(4), Just(8)]).prop_map(|(n, m)| Layout::bcht(n, m)),
+        ((2u32..=3), prop_oneof![Just(2u32), Just(4), Just(8)])
+            .prop_map(|(n, m)| Layout::bcht(n, m)),
     ]
 }
 

@@ -1,0 +1,147 @@
+//! `simdht-kvsd` — serve the SimdHT-Bench key-value store over TCP.
+//!
+//! ```text
+//! simdht-kvsd --addr 127.0.0.1:11411 --index ver
+//! ```
+//!
+//! Pair it with `simdht-memslap` for networked Multi-Get load; see the
+//! README quickstart.
+
+use std::sync::Arc;
+
+use simdht_kvs::index;
+use simdht_kvs::kvsd::Kvsd;
+use simdht_kvs::store::{KvStore, StoreConfig};
+
+const USAGE: &str = "\
+simdht-kvsd: TCP key-value daemon with SIMD-aware hash indexes
+
+USAGE:
+    simdht-kvsd [OPTIONS]
+
+OPTIONS:
+    --addr <ip:port>       Listen address (default 127.0.0.1:11411; port 0 = ephemeral)
+    --index <name>         Hash index: memc3 | hor | ver | dpdk (default memc3)
+    --capacity <n>         Expected max live items (default 100000)
+    --memory-mb <n>        Slab memory budget in MiB (default 64)
+    --duration <secs>      Serve this long, then drain and print stats
+                           (default: serve until killed)
+    -h, --help             Show this help
+";
+
+struct Args {
+    addr: String,
+    index: String,
+    capacity: usize,
+    memory_mb: usize,
+    duration: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:11411".to_string(),
+        index: "memc3".to_string(),
+        capacity: 100_000,
+        memory_mb: 64,
+        duration: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--index" => args.index = value("--index")?,
+            "--capacity" => {
+                args.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--memory-mb" => {
+                args.memory_mb = value("--memory-mb")?
+                    .parse()
+                    .map_err(|e| format!("--memory-mb: {e}"))?;
+            }
+            "--duration" => {
+                args.duration = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                );
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let Some(idx) = index::by_short_name(&args.index, args.capacity) else {
+        eprintln!(
+            "error: unknown index {:?} (expected memc3 | hor | ver | dpdk)",
+            args.index
+        );
+        std::process::exit(2);
+    };
+    let store = Arc::new(KvStore::new(
+        idx,
+        StoreConfig {
+            memory_budget: args.memory_mb << 20,
+            capacity_items: args.capacity,
+        },
+    ));
+    let kvsd = match Kvsd::bind(Arc::clone(&store), args.addr.as_str()) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "simdht-kvsd listening on {} (index {}, capacity {}, {} MiB slab)",
+        kvsd.local_addr(),
+        store.index_name(),
+        args.capacity,
+        args.memory_mb
+    );
+
+    match args.duration {
+        None => loop {
+            std::thread::park();
+        },
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let stats = kvsd.stats();
+            let summaries = kvsd.shutdown();
+            use std::sync::atomic::Ordering::Relaxed;
+            println!(
+                "drained after {secs}s: {} mgets, {} keys ({} found), {} closed connections",
+                stats.requests.load(Relaxed),
+                stats.keys.load(Relaxed),
+                stats.found.load(Relaxed),
+                summaries.len(),
+            );
+            let phases = stats.phases();
+            if phases.total() > 0 {
+                let total = phases.total() as f64;
+                println!(
+                    "server phases: pre {:.1}%  lookup {:.1}%  post {:.1}%  ({:.2} Mkeys per busy-sec)",
+                    phases.pre as f64 / total * 100.0,
+                    phases.lookup as f64 / total * 100.0,
+                    phases.post as f64 / total * 100.0,
+                    stats.keys_per_busy_sec() / 1e6,
+                );
+            }
+        }
+    }
+}

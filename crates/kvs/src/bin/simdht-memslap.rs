@@ -1,0 +1,162 @@
+//! `simdht-memslap` — networked Multi-Get load generator for
+//! `simdht-kvsd`, reporting throughput and latency percentiles.
+//!
+//! ```text
+//! simdht-memslap --addr 127.0.0.1:11411 --connections 4 --depth 16
+//! ```
+
+use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
+use simdht_kvs::net::TcpTransport;
+use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
+
+const USAGE: &str = "\
+simdht-memslap: memslap-style Multi-Get load generator over TCP
+
+USAGE:
+    simdht-memslap [OPTIONS]
+
+OPTIONS:
+    --addr <ip:port>       Server address (default 127.0.0.1:11411)
+    --connections <n>      Concurrent connections (default 4)
+    --depth <n>            Pipelined requests per connection (default 16)
+    --mget <n>             Keys per Multi-Get (default 16; paper uses 16-96)
+    --items <n>            Distinct key-value items (default 10000)
+    --requests <n>         Multi-Get requests to issue (default 2000)
+    --key-bytes <n>        Key size in bytes, >= 12 (default 20)
+    --value-bytes <n>      Value size in bytes (default 32)
+    --dist <name>          Access pattern: zipfian | uniform (default zipfian)
+    --set-fraction <f>     Fraction of requests issued as Sets (default 0.0)
+    --no-preload           Skip storing the items first (server already warm)
+    --seed <n>             Workload RNG seed (default 19283)
+    -h, --help             Show this help
+";
+
+struct Args {
+    addr: String,
+    net: NetMemslapConfig,
+    spec: KvWorkloadSpec,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:11411".to_string(),
+        net: NetMemslapConfig {
+            connections: 4,
+            pipeline_depth: 16,
+            set_fraction: 0.0,
+            preload: true,
+        },
+        spec: KvWorkloadSpec {
+            n_items: 10_000,
+            n_requests: 2_000,
+            mget_size: 16,
+            key_bytes: 20,
+            value_bytes: 32,
+            pattern: AccessPattern::skewed(),
+            seed: 19_283,
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--no-preload" {
+            args.net.preload = false;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        let parse_usize = || value.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value.clone(),
+            "--connections" => args.net.connections = parse_usize()?,
+            "--depth" => args.net.pipeline_depth = parse_usize()?,
+            "--mget" => args.spec.mget_size = parse_usize()?,
+            "--items" => args.spec.n_items = parse_usize()?,
+            "--requests" => args.spec.n_requests = parse_usize()?,
+            "--key-bytes" => args.spec.key_bytes = parse_usize()?,
+            "--value-bytes" => args.spec.value_bytes = parse_usize()?,
+            "--dist" => {
+                args.spec.pattern = match value.as_str() {
+                    "zipfian" | "skewed" => AccessPattern::skewed(),
+                    "uniform" => AccessPattern::Uniform,
+                    other => return Err(format!("--dist: unknown pattern {other}")),
+                };
+            }
+            "--set-fraction" => {
+                args.net.set_fraction =
+                    value.parse().map_err(|e| format!("--set-fraction: {e}"))?;
+            }
+            "--seed" => args.spec.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let transport = match TcpTransport::new(args.addr.as_str()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: bad address {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "generating workload: {} items, {} requests x {} keys, {} keys/{} B values, {}",
+        args.spec.n_items,
+        args.spec.n_requests,
+        args.spec.mget_size,
+        args.spec.key_bytes,
+        args.spec.value_bytes,
+        args.spec.pattern,
+    );
+    let workload = KvWorkload::generate(&args.spec);
+    println!(
+        "running against {} ({} connections, pipeline depth {}{})",
+        transport.addr(),
+        args.net.connections,
+        args.net.pipeline_depth,
+        if args.net.preload { ", preloading" } else { "" },
+    );
+    let report = match run_memslap_over(&transport, &workload, &args.net) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n{} MGets + {} Sets in {:.2}s  ({:.0} req/s, {:.2} Mkeys/s)",
+        report.requests,
+        report.sets,
+        report.wall_secs,
+        report.requests_per_sec,
+        report.keys_per_sec / 1e6,
+    );
+    println!(
+        "keys: {} requested, {} hits, {} misses ({:.1}% hit rate)",
+        report.keys,
+        report.hits,
+        report.misses,
+        report.hits as f64 / (report.keys.max(1)) as f64 * 100.0,
+    );
+    println!(
+        "latency us: mean {:.1}  min {:.1}  p50 {:.1}  p95 {:.1}  p99 {:.1}",
+        report.mean_latency_us,
+        report.min_latency_us,
+        report.p50_latency_us,
+        report.p95_latency_us,
+        report.p99_latency_us,
+    );
+}

@@ -312,7 +312,9 @@ mod tests {
             idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
         }
         // Unknown hashes should mostly miss (tag false positives aside).
-        let hashes: Vec<u32> = (10_000..10_100u32).map(|i| hash_key(&i.to_le_bytes())).collect();
+        let hashes: Vec<u32> = (10_000..10_100u32)
+            .map(|i| hash_key(&i.to_le_bytes()))
+            .collect();
         let mut out = vec![0u32; 100];
         idx.lookup_batch(&hashes, &mut out);
         let misses = out.iter().filter(|&&x| x == NO_ITEM).count();

@@ -83,6 +83,26 @@ pub trait HashIndex: Send + Sync {
     }
 }
 
+/// Build an index by its experiment short name — `"memc3"`, `"hor"`
+/// (horizontal AVX2 BCHT), `"ver"` (vertical AVX-512 3-way), or `"dpdk"`
+/// (SSE tag index) — or `None` for an unknown name. Shared by the
+/// `simdht-kvsd` / `simdht-memslap` binaries and the bench experiments.
+pub fn by_short_name(name: &str, capacity: usize) -> Option<Box<dyn HashIndex>> {
+    Some(match name {
+        "memc3" => Box::new(Memc3Index::with_capacity(capacity)),
+        "hor" => Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::HorizontalBcht,
+            capacity,
+        )),
+        "ver" => Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::VerticalNway,
+            capacity,
+        )),
+        "dpdk" => Box::new(TagSimdIndex::with_capacity(capacity)),
+        _ => return None,
+    })
+}
+
 /// FNV-1a over the key bytes, with `0` remapped (the SIMD tables reserve 0
 /// as the empty-slot sentinel).
 pub fn hash_key(key: &[u8]) -> u32 {

@@ -78,7 +78,11 @@ impl SimdIndex {
                 gather: GatherMode::NarrowSplit,
             },
             SimdIndexKind::VerticalNway => {
-                let w = if width == Width::W128 { Width::W256 } else { width };
+                let w = if width == Width::W128 {
+                    Width::W256
+                } else {
+                    width
+                };
                 DesignChoice {
                     approach: Approach::Vertical,
                     width: w,

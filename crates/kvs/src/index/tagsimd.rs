@@ -311,7 +311,9 @@ mod tests {
         for i in 0..100u32 {
             idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
         }
-        let hashes: Vec<u32> = (50_000..50_200u32).map(|i| hash_key(&i.to_le_bytes())).collect();
+        let hashes: Vec<u32> = (50_000..50_200u32)
+            .map(|i| hash_key(&i.to_le_bytes()))
+            .collect();
         let mut out = vec![0u32; hashes.len()];
         idx.lookup_batch(&hashes, &mut out);
         let misses = out.iter().filter(|&&x| x == NO_ITEM).count();
@@ -323,14 +325,8 @@ mod tests {
         let mut idx = TagSimdIndex::with_capacity(4000);
         let capacity = (idx.mask + 1) * SLOTS;
         let mut n = 0u32;
-        loop {
-            match idx.insert(hash_key(&n.to_le_bytes()), n) {
-                Ok(()) => n += 1,
-                Err(IndexError::Full) => break,
-            }
-            if n as usize >= capacity {
-                break;
-            }
+        while (n as usize) < capacity && idx.insert(hash_key(&n.to_le_bytes()), n).is_ok() {
+            n += 1;
         }
         let lf = n as f64 / capacity as f64;
         assert!(lf > 0.95, "(2,8) sig index LF only {lf:.3}");

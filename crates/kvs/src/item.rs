@@ -146,7 +146,10 @@ mod tests {
         slab.free(chunk);
         let b = table.register(write_item(&mut slab, b"b", b"2").unwrap());
         assert_eq!(a, b, "freed id should be reused");
-        assert_eq!(table.get(b).map(|r| item_key(slab.chunk(r)).to_vec()), Some(b"b".to_vec()));
+        assert_eq!(
+            table.get(b).map(|r| item_key(slab.chunk(r)).to_vec()),
+            Some(b"b".to_vec())
+        );
     }
 
     #[test]

@@ -18,10 +18,19 @@
 //!   `simdht-core` kernels).
 //! * [`store`] — the three-phase Multi-Get pipeline with per-phase timing
 //!   (pre-processing / HT lookup / post-processing — Fig. 11b).
-//! * [`transport`] — the simulated InfiniBand-EDR fabric (crossbeam
-//!   channels + an analytic wire-cost model; see DESIGN.md substitutions).
-//! * [`server`] / [`memslap`] — worker threads and the memslap-style
-//!   Multi-Get load generator with latency percentiles.
+//! * [`transport`] — the [`transport::Transport`]/[`transport::ClientConn`]
+//!   abstraction plus the simulated InfiniBand-EDR fabric (bounded
+//!   crossbeam channels + an analytic wire-cost model; see DESIGN.md
+//!   substitutions).
+//! * [`net`] — the real TCP transport: length-prefixed frames carrying the
+//!   same [`protocol`] messages over actual sockets.
+//! * [`server`] / [`kvsd`] — worker threads draining the fabric, and the
+//!   TCP daemon behind the `simdht-kvsd` binary (pipelined per-connection
+//!   handlers, graceful drain, per-connection + aggregate stats).
+//! * [`memslap`] — the memslap-style Multi-Get load generator with latency
+//!   percentiles, co-located ([`memslap::run_memslap`]) or networked over
+//!   either transport ([`memslap::run_memslap_over`], the `simdht-memslap`
+//!   binary).
 //!
 //! ## Example
 //!
@@ -46,7 +55,9 @@
 pub mod clock;
 pub mod index;
 pub mod item;
+pub mod kvsd;
 pub mod memslap;
+pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod slab;

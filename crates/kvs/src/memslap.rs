@@ -1,7 +1,20 @@
 //! memslap-style Multi-Get load generator and latency/throughput reporter
 //! (the measurement protocol of the paper's §VI-B: memslap with N keys per
 //! request, 20 B keys, 32 B values, client threads on a separate "node").
+//!
+//! Two entry points:
+//!
+//! * [`run_memslap`] — the original co-located harness: builds a fabric +
+//!   [`Server`] around a store it owns and reports server-side stats
+//!   alongside client latencies.
+//! * [`run_memslap_over`] — the **networked** client: drives any
+//!   [`Transport`] (the simulated fabric or real TCP to a
+//!   [`crate::kvsd::Kvsd`]) with configurable connection count and
+//!   pipeline depth, preloads items over the wire with Sets, and reports
+//!   purely client-observable numbers ([`ClientReport`]).
 
+use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -10,7 +23,7 @@ use bytes::Bytes;
 use crate::protocol::{Request, Response};
 use crate::server::Server;
 use crate::store::{KvStore, PhaseNanos, StoreConfig};
-use crate::transport::{Fabric, FabricConfig};
+use crate::transport::{ClientConn, Fabric, FabricConfig, Transport};
 use simdht_workload::KvWorkload;
 
 /// Parameters for one memslap run.
@@ -90,17 +103,15 @@ impl MemslapReport {
 /// Items are pre-loaded (untimed), then all requests are issued and
 /// latencies recorded; per-request end-to-end latency = measured
 /// request/response time + the modeled wire time of both messages.
-pub fn run_memslap(
-    store: KvStore,
-    workload: &KvWorkload,
-    config: &MemslapConfig,
-) -> MemslapReport {
+pub fn run_memslap(store: KvStore, workload: &KvWorkload, config: &MemslapConfig) -> MemslapReport {
     let store = Arc::new(store);
     let index_name = store.index_name();
 
     // Pre-load all items directly (setup, untimed).
     for (key, value) in workload.items() {
-        store.set(key, value).expect("preload fits the store budget");
+        store
+            .set(key, value)
+            .expect("preload fits the store budget");
     }
 
     let fabric = Fabric::new(config.fabric);
@@ -111,7 +122,7 @@ pub fn run_memslap(
     // A `set_fraction` share of request slots become Sets over sampled
     // items with fresh values — the mixed-workload extension.
     use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3E7_F);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3E7F);
     let n_req = workload.requests().len();
     let mut n_sets = 0u64;
     let per_client: Vec<Vec<(bool, Bytes)>> = (0..config.clients)
@@ -123,8 +134,9 @@ pub fn run_memslap(
                         n_sets += 1;
                         let item = rng.gen_range(0..workload.items().len());
                         let (key, value) = &workload.items()[item];
-                        let fresh: Vec<u8> =
-                            (0..value.len()).map(|_| rng.gen_range(b' '..=b'~')).collect();
+                        let fresh: Vec<u8> = (0..value.len())
+                            .map(|_| rng.gen_range(b' '..=b'~'))
+                            .collect();
                         (
                             true,
                             Request::Set {
@@ -188,8 +200,7 @@ pub fn run_memslap(
         let idx = ((sorted.len() as f64 - 1.0) * p) as usize;
         sorted[idx] as f64 / 1_000.0
     };
-    let mean =
-        sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0;
+    let mean = sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0;
 
     MemslapReport {
         index_name,
@@ -206,6 +217,301 @@ pub fn run_memslap(
         phases: stats.phases(),
         wall_secs,
     }
+}
+
+/// Parameters for the networked memslap client ([`run_memslap_over`]).
+#[derive(Clone, Debug)]
+pub struct NetMemslapConfig {
+    /// Concurrent connections, each driven by its own thread.
+    pub connections: usize,
+    /// Requests kept in flight per connection (1 = strict request/response
+    /// ping-pong; larger values pipeline).
+    pub pipeline_depth: usize,
+    /// Fraction of request slots issued as Sets over sampled items with
+    /// fresh values (0.0 = read-only Multi-Get).
+    pub set_fraction: f64,
+    /// Preload the workload's items over the wire with Sets before the
+    /// timed run. Disable when the server is already populated.
+    pub preload: bool,
+}
+
+impl Default for NetMemslapConfig {
+    fn default() -> Self {
+        NetMemslapConfig {
+            connections: 2,
+            pipeline_depth: 8,
+            set_fraction: 0.0,
+            preload: true,
+        }
+    }
+}
+
+/// Client-side results of one networked memslap run. Unlike
+/// [`MemslapReport`] there are no server-side phase numbers: over a real
+/// network the client only sees its own clock and the response bytes.
+#[derive(Clone, Debug)]
+pub struct ClientReport {
+    /// Connections used.
+    pub connections: usize,
+    /// Pipeline depth per connection.
+    pub pipeline_depth: usize,
+    /// Multi-Get requests completed.
+    pub requests: u64,
+    /// Set requests completed (excluding preload).
+    pub sets: u64,
+    /// Keys requested across Multi-Gets.
+    pub keys: u64,
+    /// Keys that came back with a value.
+    pub hits: u64,
+    /// Keys that came back as misses.
+    pub misses: u64,
+    /// Mean Multi-Get latency in µs (send → response decoded; includes
+    /// time queued behind the pipeline window).
+    pub mean_latency_us: f64,
+    /// Minimum observed latency in µs.
+    pub min_latency_us: f64,
+    /// Median latency in µs.
+    pub p50_latency_us: f64,
+    /// p95 latency in µs.
+    pub p95_latency_us: f64,
+    /// p99 latency in µs.
+    pub p99_latency_us: f64,
+    /// Completed requests (MGet + Set) per wall-clock second.
+    pub requests_per_sec: f64,
+    /// Multi-Get keys per wall-clock second.
+    pub keys_per_sec: f64,
+    /// Wall-clock seconds of the timed window.
+    pub wall_secs: f64,
+}
+
+/// Latency percentile over a sorted nanosecond list, in µs.
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p) as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Pre-encoded request stream for one connection.
+struct ConnPlan {
+    /// (is_set, expected id, encoded frame).
+    requests: Vec<(bool, u64, Bytes)>,
+}
+
+/// What one connection thread measured.
+struct ConnOutcome {
+    latencies_ns: Vec<u64>,
+    sets: u64,
+    keys: u64,
+    hits: u64,
+}
+
+/// Drive one connection through its request stream, keeping up to `depth`
+/// requests in flight. Responses are paired to requests by echoed id, not
+/// arrival order: the TCP daemon answers each connection in order, but the
+/// fabric server's shared worker pool may reorder concurrent requests.
+fn drive_connection(
+    conn: &mut dyn ClientConn,
+    plan: &ConnPlan,
+    depth: usize,
+) -> io::Result<ConnOutcome> {
+    let mut outcome = ConnOutcome {
+        latencies_ns: Vec::with_capacity(plan.requests.len()),
+        sets: 0,
+        keys: 0,
+        hits: 0,
+    };
+    let bad = |msg: &'static str| io::Error::new(io::ErrorKind::InvalidData, msg);
+    // In-flight window: id -> (is_set, send instant, modeled request wire ns).
+    let mut inflight: HashMap<u64, (bool, Instant, u64)> = HashMap::with_capacity(depth);
+    let mut next = 0;
+    while next < plan.requests.len() || !inflight.is_empty() {
+        while next < plan.requests.len() && inflight.len() < depth {
+            let (is_set, id, frame) = &plan.requests[next];
+            let req_wire = conn.send(frame.clone())?;
+            inflight.insert(*id, (*is_set, Instant::now(), req_wire));
+            next += 1;
+        }
+        let (payload, resp_wire) = conn.recv()?;
+        let response =
+            Response::decode(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        match response {
+            Response::MGet { id, entries } => {
+                let (is_set, t0, req_wire) = inflight
+                    .remove(&id)
+                    .ok_or_else(|| bad("unmatched response id"))?;
+                if is_set {
+                    return Err(bad("mget response to a set request"));
+                }
+                outcome.keys += entries.len() as u64;
+                outcome.hits += entries.iter().filter(|e| e.is_some()).count() as u64;
+                outcome
+                    .latencies_ns
+                    .push(t0.elapsed().as_nanos() as u64 + req_wire + resp_wire);
+            }
+            Response::Set { id, ok } => {
+                let (is_set, _, _) = inflight
+                    .remove(&id)
+                    .ok_or_else(|| bad("unmatched response id"))?;
+                if !is_set {
+                    return Err(bad("set response to an mget request"));
+                }
+                if !ok {
+                    return Err(bad("server rejected a set"));
+                }
+                outcome.sets += 1;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Store every workload item on the server via pipelined Sets.
+fn preload_over_wire(
+    transport: &dyn Transport,
+    workload: &KvWorkload,
+    depth: usize,
+) -> io::Result<()> {
+    let requests = workload
+        .items()
+        .iter()
+        .enumerate()
+        .map(|(i, (key, value))| {
+            (
+                true,
+                i as u64,
+                Request::Set {
+                    id: i as u64,
+                    key: Bytes::copy_from_slice(key),
+                    value: Bytes::copy_from_slice(value),
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let mut conn = transport.connect()?;
+    let outcome = drive_connection(&mut *conn, &ConnPlan { requests }, depth.max(1))?;
+    debug_assert_eq!(outcome.sets as usize, workload.items().len());
+    Ok(())
+}
+
+/// Run the networked memslap client against a server reachable through
+/// `transport`, replaying `workload`'s Multi-Get stream split across
+/// `config.connections` pipelined connections.
+///
+/// Works identically over the simulated [`Fabric`] (wire-model latencies
+/// added) and over [`crate::net::TcpTransport`] (real measured latencies)
+/// against a [`crate::kvsd::Kvsd`] — the loopback case study in
+/// `simdht-bench` contrasts the two.
+///
+/// # Errors
+///
+/// Connection failures, mid-run I/O errors, or protocol violations
+/// (undecodable, out-of-order, or failed responses).
+///
+/// # Panics
+///
+/// Panics if `config.connections` or `config.pipeline_depth` is zero.
+pub fn run_memslap_over(
+    transport: &dyn Transport,
+    workload: &KvWorkload,
+    config: &NetMemslapConfig,
+) -> io::Result<ClientReport> {
+    assert!(config.connections >= 1, "need at least one connection");
+    assert!(config.pipeline_depth >= 1, "pipeline depth must be >= 1");
+    if config.preload {
+        preload_over_wire(transport, workload, config.pipeline_depth)?;
+    }
+
+    // Pre-encode each connection's request stream (encode cost is not what
+    // we measure), interleaving Sets at `set_fraction` as in `run_memslap`.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3E7F);
+    let n_req = workload.requests().len();
+    let plans: Vec<ConnPlan> = (0..config.connections)
+        .map(|c| {
+            let requests = (c..n_req)
+                .step_by(config.connections)
+                .map(|r| {
+                    if rng.gen::<f64>() < config.set_fraction {
+                        let item = rng.gen_range(0..workload.items().len());
+                        let (key, value) = &workload.items()[item];
+                        let fresh: Vec<u8> = (0..value.len())
+                            .map(|_| rng.gen_range(b' '..=b'~'))
+                            .collect();
+                        (
+                            true,
+                            r as u64,
+                            Request::Set {
+                                id: r as u64,
+                                key: Bytes::copy_from_slice(key),
+                                value: Bytes::from(fresh),
+                            }
+                            .encode(),
+                        )
+                    } else {
+                        let keys = workload.requests()[r]
+                            .iter()
+                            .map(|&i| Bytes::copy_from_slice(&workload.items()[i].0))
+                            .collect();
+                        (
+                            false,
+                            r as u64,
+                            Request::MGet { id: r as u64, keys }.encode(),
+                        )
+                    }
+                })
+                .collect();
+            ConnPlan { requests }
+        })
+        .collect();
+
+    let wall_start = Instant::now();
+    let outcomes: io::Result<Vec<ConnOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                s.spawn(move || {
+                    let mut conn = transport.connect()?;
+                    drive_connection(&mut *conn, plan, config.pipeline_depth)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let outcomes = outcomes?;
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+
+    let mut sorted: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    sorted.sort_unstable();
+    let sets: u64 = outcomes.iter().map(|o| o.sets).sum();
+    let keys: u64 = outcomes.iter().map(|o| o.keys).sum();
+    let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
+    let requests = sorted.len() as u64;
+    Ok(ClientReport {
+        connections: config.connections,
+        pipeline_depth: config.pipeline_depth,
+        requests,
+        sets,
+        keys,
+        hits,
+        misses: keys - hits,
+        mean_latency_us: sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0,
+        min_latency_us: sorted.first().map_or(0.0, |&n| n as f64 / 1_000.0),
+        p50_latency_us: percentile_us(&sorted, 0.50),
+        p95_latency_us: percentile_us(&sorted, 0.95),
+        p99_latency_us: percentile_us(&sorted, 0.99),
+        requests_per_sec: (requests + sets) as f64 / wall_secs.max(1e-9),
+        keys_per_sec: keys as f64 / wall_secs.max(1e-9),
+        wall_secs,
+    })
 }
 
 #[cfg(test)]
@@ -266,6 +572,62 @@ mod tests {
             let report = run_memslap(store, &wl, &cfg);
             assert_eq!(report.found, report.keys, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn net_memslap_over_fabric_transport() {
+        let wl = small_workload();
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(1000)),
+            StoreConfig::default(),
+        ));
+        let fabric = Fabric::new(FabricConfig::ib_edr());
+        let server = Server::spawn(Arc::clone(&store), fabric.clone(), 2);
+        let report = run_memslap_over(
+            &fabric,
+            &wl,
+            &NetMemslapConfig {
+                connections: 2,
+                pipeline_depth: 4,
+                ..NetMemslapConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.keys, 1600);
+        assert_eq!(report.hits, report.keys, "preloaded keys must all hit");
+        assert_eq!(report.misses, 0);
+        // The wire model still floors pipelined latencies.
+        assert!(report.min_latency_us >= 3.0, "{report:?}");
+        assert!(report.p99_latency_us >= report.p50_latency_us);
+        assert!(report.keys_per_sec > 0.0);
+        server.shutdown();
+        assert_eq!(store.len(), 500, "preload stored every item");
+    }
+
+    #[test]
+    fn net_memslap_mixed_sets_over_fabric() {
+        let wl = small_workload();
+        let store = Arc::new(KvStore::new(
+            Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 1000)),
+            StoreConfig::default(),
+        ));
+        let fabric = Fabric::new(FabricConfig::zero());
+        let server = Server::spawn(Arc::clone(&store), fabric.clone(), 2);
+        let report = run_memslap_over(
+            &fabric,
+            &wl,
+            &NetMemslapConfig {
+                set_fraction: 0.3,
+                ..NetMemslapConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.sets > 10, "{} sets", report.sets);
+        assert_eq!(report.requests + report.sets, 100);
+        // Sets only replace existing values: every Multi-Get key hits.
+        assert_eq!(report.hits, report.keys);
+        server.shutdown();
     }
 
     #[test]

@@ -305,11 +305,7 @@ mod tests {
         let fast = encode_mget_response(9, &resp);
         let generic = Response::MGet {
             id: 9,
-            entries: vec![
-                Some(Bytes::from_static(b"alpha")),
-                None,
-                Some(Bytes::new()),
-            ],
+            entries: vec![Some(Bytes::from_static(b"alpha")), None, Some(Bytes::new())],
         }
         .encode();
         assert_eq!(fast, generic);

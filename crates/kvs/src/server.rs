@@ -96,8 +96,7 @@ impl Server {
                                 let key_slices: Vec<&[u8]> =
                                     keys.iter().map(|k| k.as_ref()).collect();
                                 let outcome = store.mget(&key_slices, &mut resp_buf);
-                                let payload =
-                                    crate::protocol::encode_mget_response(id, &resp_buf);
+                                let payload = crate::protocol::encode_mget_response(id, &resp_buf);
                                 stats.requests.fetch_add(1, Ordering::Relaxed);
                                 stats
                                     .keys
@@ -159,10 +158,10 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use crate::index::{Memc3Index, SimdIndex, SimdIndexKind};
     use crate::store::StoreConfig;
     use crate::transport::FabricConfig;
+    use bytes::Bytes;
 
     fn run_roundtrip(store: KvStore) {
         let store = Arc::new(store);
@@ -173,7 +172,10 @@ mod tests {
         let (reply_tx, reply_rx) = Fabric::client_endpoint();
         let req = Request::MGet {
             id: 11,
-            keys: vec![Bytes::from_static(b"present"), Bytes::from_static(b"absent")],
+            keys: vec![
+                Bytes::from_static(b"present"),
+                Bytes::from_static(b"absent"),
+            ],
         };
         fabric.send_request(req.encode(), Some(reply_tx));
         let env = reply_rx.recv().unwrap();

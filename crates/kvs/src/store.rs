@@ -379,11 +379,17 @@ mod tests {
         vec![
             KvStore::new(Box::new(Memc3Index::with_capacity(capacity)), cfg),
             KvStore::new(
-                Box::new(SimdIndex::with_capacity(SimdIndexKind::HorizontalBcht, capacity)),
+                Box::new(SimdIndex::with_capacity(
+                    SimdIndexKind::HorizontalBcht,
+                    capacity,
+                )),
                 cfg,
             ),
             KvStore::new(
-                Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, capacity)),
+                Box::new(SimdIndex::with_capacity(
+                    SimdIndexKind::VerticalNway,
+                    capacity,
+                )),
                 cfg,
             ),
         ]
@@ -394,7 +400,10 @@ mod tests {
         for store in stores(2000) {
             for i in 0..1000u32 {
                 store
-                    .set(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes())
+                    .set(
+                        format!("key-{i}").as_bytes(),
+                        format!("value-{i}").as_bytes(),
+                    )
                     .unwrap();
             }
             for i in (0..1000u32).step_by(7) {
@@ -415,7 +424,10 @@ mod tests {
         for store in stores(100) {
             store.set(b"k", b"old").unwrap();
             store.set(b"k", b"new-and-longer-value").unwrap();
-            assert_eq!(store.get(b"k").as_deref(), Some(&b"new-and-longer-value"[..]));
+            assert_eq!(
+                store.get(b"k").as_deref(),
+                Some(&b"new-and-longer-value"[..])
+            );
             assert_eq!(store.len(), 1, "{}", store.index_name());
         }
     }
@@ -502,7 +514,10 @@ mod tests {
     fn concurrent_reads_while_writing() {
         use std::sync::Arc;
         let store = Arc::new(KvStore::new(
-            Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 10_000)),
+            Box::new(SimdIndex::with_capacity(
+                SimdIndexKind::VerticalNway,
+                10_000,
+            )),
             StoreConfig::default(),
         ));
         for i in 0..2000u32 {

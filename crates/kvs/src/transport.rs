@@ -1,16 +1,85 @@
-//! Simulated RDMA fabric.
+//! Client/server transports: the simulated RDMA fabric and the trait both
+//! real and simulated links implement.
 //!
 //! The paper's testbed uses InfiniBand EDR (100 Gb/s) with two-sided RDMA
-//! SENDs. Here the transport is in-process crossbeam channels — real
+//! SENDs. [`Fabric`] models that link in-process: crossbeam channels — real
 //! queueing and thread hand-off — plus an analytic **wire model** that
 //! charges each message the latency it would have cost on the modeled
 //! link: `base_latency + bytes / bandwidth`. The client adds the modeled
 //! request+response wire time to its measured processing time, so reported
 //! end-to-end latencies are "EDR-shaped" while remaining deterministic on
 //! a single machine (see DESIGN.md, substitutions).
+//!
+//! The [`Transport`] / [`ClientConn`] traits abstract over *which* link a
+//! client drives: the fabric above, or the real TCP transport in
+//! [`crate::net`]. The networked memslap client
+//! ([`crate::memslap::run_memslap_over`]) is written against these traits
+//! and runs unchanged over either.
+//!
+//! ## Backpressure
+//!
+//! The fabric's server-bound queue is **bounded** at
+//! [`FabricConfig::queue_depth`] envelopes. A client that outruns the
+//! server workers blocks in [`Fabric::send_request`] until a worker drains
+//! an envelope — mirroring how a real RDMA send queue (or a TCP socket
+//! buffer) pushes back on an over-driving sender instead of buffering
+//! unboundedly. Reply queues stay unbounded: each client caps its own
+//! in-flight window, so replies are naturally bounded by the pipeline
+//! depth.
+
+use std::io;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+/// A client's connection to a KVS server: a bidirectional stream of
+/// encoded request/response frames (see [`crate::protocol`]).
+///
+/// Implementations may buffer writes; [`ClientConn::recv`] must flush any
+/// buffered requests before blocking, so a send/recv loop can never
+/// deadlock on its own unflushed window.
+pub trait ClientConn: Send {
+    /// Send one encoded request frame.
+    ///
+    /// Returns the *modeled* one-way wire nanoseconds for this frame — `0`
+    /// for real transports, whose wire time shows up in measured latency.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying link (a simulated fabric errors only
+    /// when the server is gone).
+    fn send(&mut self, frame: Bytes) -> io::Result<u64>;
+
+    /// Block for the next response frame.
+    ///
+    /// Returns the frame plus its modeled one-way wire nanoseconds (`0`
+    /// for real transports).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, including clean connection close
+    /// ([`io::ErrorKind::UnexpectedEof`]).
+    fn recv(&mut self) -> io::Result<(Bytes, u64)>;
+
+    /// Flush any buffered request frames toward the server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying link.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Something a KVS client can open connections to.
+pub trait Transport: Send + Sync {
+    /// Open a new connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors establishing the connection.
+    fn connect(&self) -> io::Result<Box<dyn ClientConn>>;
+}
 
 /// Wire cost model of the simulated link.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -19,7 +88,15 @@ pub struct FabricConfig {
     pub base_latency_ns: u64,
     /// Link bandwidth in gigabits per second.
     pub bandwidth_gbps: f64,
+    /// Capacity of the server-bound queue in messages (must be >= 1).
+    /// Senders block when it is full — see the module docs on
+    /// backpressure.
+    pub queue_depth: usize,
 }
+
+/// Default server-bound queue capacity: deep enough that ordinary client
+/// windows never stall, shallow enough that a runaway sender is paced.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 
 impl FabricConfig {
     /// InfiniBand EDR-like constants: ~1.5 µs one-way small-message latency,
@@ -28,6 +105,7 @@ impl FabricConfig {
         FabricConfig {
             base_latency_ns: 1_500,
             bandwidth_gbps: 100.0,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -36,6 +114,7 @@ impl FabricConfig {
         FabricConfig {
             base_latency_ns: 0,
             bandwidth_gbps: f64::INFINITY,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -68,8 +147,13 @@ pub struct Fabric {
 
 impl Fabric {
     /// Create a fabric with the given wire model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queue_depth == 0`.
     pub fn new(config: FabricConfig) -> Self {
-        let (to_server, server_rx) = unbounded();
+        assert!(config.queue_depth >= 1, "queue_depth must be >= 1");
+        let (to_server, server_rx) = bounded(config.queue_depth);
         Fabric {
             config,
             to_server,
@@ -87,7 +171,8 @@ impl Fabric {
         self.server_rx.clone()
     }
 
-    /// Send a request toward the server, charging the wire model.
+    /// Send a request toward the server, charging the wire model. Blocks
+    /// while the server-bound queue is full (backpressure).
     /// Returns the modeled one-way wire time.
     pub fn send_request(&self, payload: Bytes, reply_to: Option<Sender<Envelope>>) -> u64 {
         let wire_ns = self.config.wire_ns(payload.len());
@@ -112,6 +197,38 @@ impl Fabric {
     /// Create a client endpoint (reply channel pair).
     pub fn client_endpoint() -> (Sender<Envelope>, Receiver<Envelope>) {
         unbounded()
+    }
+}
+
+/// A [`ClientConn`] over the simulated fabric: one private reply queue.
+#[derive(Debug)]
+pub struct FabricConn {
+    fabric: Fabric,
+    reply_tx: Sender<Envelope>,
+    reply_rx: Receiver<Envelope>,
+}
+
+impl ClientConn for FabricConn {
+    fn send(&mut self, frame: Bytes) -> io::Result<u64> {
+        Ok(self.fabric.send_request(frame, Some(self.reply_tx.clone())))
+    }
+
+    fn recv(&mut self) -> io::Result<(Bytes, u64)> {
+        self.reply_rx
+            .recv()
+            .map(|env| (env.payload, env.wire_ns))
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "fabric server disconnected"))
+    }
+}
+
+impl Transport for Fabric {
+    fn connect(&self) -> io::Result<Box<dyn ClientConn>> {
+        let (reply_tx, reply_rx) = Fabric::client_endpoint();
+        Ok(Box::new(FabricConn {
+            fabric: self.clone(),
+            reply_tx,
+            reply_rx,
+        }))
     }
 }
 
@@ -167,5 +284,46 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let fabric = Fabric::new(FabricConfig {
+            queue_depth: 2,
+            ..FabricConfig::zero()
+        });
+        let rx = fabric.server_rx();
+        let producer = {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || {
+                for i in 0..8u8 {
+                    fabric.send_request(Bytes::copy_from_slice(&[i]), None);
+                }
+            })
+        };
+        // The producer can be at most queue_depth ahead; draining slowly
+        // still yields every message in order.
+        for i in 0..8u8 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert_eq!(rx.recv().unwrap().payload[0], i);
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn fabric_conn_roundtrip_via_trait() {
+        let fabric = Fabric::new(FabricConfig::ib_edr());
+        let transport: &dyn Transport = &fabric;
+        let mut conn = transport.connect().unwrap();
+        let wire = conn.send(Bytes::from_static(b"hello")).unwrap();
+        assert!(wire >= 1_500);
+        conn.flush().unwrap();
+
+        let env = fabric.server_rx().recv().unwrap();
+        let reply = env.reply_to.expect("reply channel");
+        fabric.send_response(&reply, Bytes::from_static(b"world"));
+        let (payload, resp_wire) = conn.recv().unwrap();
+        assert_eq!(&payload[..], b"world");
+        assert!(resp_wire >= 1_500);
     }
 }

@@ -13,7 +13,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (any::<u64>(), prop::collection::vec(arb_key(), 0..40))
             .prop_map(|(id, keys)| Request::MGet { id, keys }),
-        (any::<u64>(), arb_key(), prop::collection::vec(any::<u8>(), 0..200))
+        (
+            any::<u64>(),
+            arb_key(),
+            prop::collection::vec(any::<u8>(), 0..200)
+        )
             .prop_map(|(id, key, value)| Request::Set {
                 id,
                 key,
@@ -35,6 +39,80 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .prop_map(|(id, entries)| Response::MGet { id, entries }),
         (any::<u64>(), any::<bool>()).prop_map(|(id, ok)| Response::Set { id, ok }),
     ]
+}
+
+/// Hand-written malformed frames: every entry must be *rejected* (never
+/// panic, never mis-decode) by both decoders. Each case documents the
+/// specific framing violation it probes.
+#[test]
+fn malformed_corpus_is_rejected() {
+    let corpus: &[(&str, &[u8])] = &[
+        ("empty frame", &[]),
+        ("unknown request opcode", &[0]),
+        ("opcode from response space sent as request", &[200]),
+        ("mget opcode alone, no header", &[1]),
+        ("mget header cut inside the id", &[1, 9, 9, 9]),
+        (
+            "mget declares one key, provides no length",
+            &[1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0],
+        ),
+        (
+            "mget key length larger than remaining bytes",
+            &[1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 255, 255, b'x'],
+        ),
+        (
+            "mget declares 65535 keys with no payload",
+            &[1, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255],
+        ),
+        ("set header cut inside the id", &[2, 1, 2, 3]),
+        (
+            "set key length overruns the frame",
+            &[2, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, b'k'],
+        ),
+        (
+            "set value length u32::MAX with no value bytes",
+            &[2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, b'k', 255, 255, 255, 255],
+        ),
+        ("mget response cut inside the id", &[128, 1]),
+        (
+            "mget response entry flag is neither 0 nor 1",
+            &[128, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 7],
+        ),
+        (
+            "mget response value length overruns the frame",
+            &[128, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 255, 255, 255, 255],
+        ),
+        (
+            "set response missing the ok byte",
+            &[129, 0, 0, 0, 0, 0, 0, 0, 0],
+        ),
+    ];
+    for (what, bytes) in corpus {
+        let b = Bytes::copy_from_slice(bytes);
+        assert!(Request::decode(b.clone()).is_err(), "request: {what}");
+        assert!(Response::decode(b).is_err(), "response: {what}");
+    }
+}
+
+/// Valid messages survive having garbage appended only if decoding is
+/// strict about opcodes — trailing bytes after a complete message are
+/// tolerated by design (the frame layer delimits messages), but a frame
+/// whose *first* byte is corrupted must always fail.
+#[test]
+fn corrupted_opcode_always_errors() {
+    let req = Request::MGet {
+        id: 3,
+        keys: vec![Bytes::from_static(b"some-key")],
+    };
+    let good = req.encode();
+    for bad_op in [0u8, 4, 5, 42, 127, 130, 255] {
+        let mut bytes = good.to_vec();
+        bytes[0] = bad_op;
+        assert!(
+            Request::decode(Bytes::from(bytes.clone())).is_err(),
+            "opcode {bad_op}"
+        );
+    }
 }
 
 proptest! {

@@ -43,8 +43,8 @@ impl<L: Lane, const LANES: usize> Emu<L, LANES> {
     #[inline(always)]
     fn zip_map(self, other: Self, f: impl Fn(L, L) -> L) -> Self {
         let mut out = [L::EMPTY; LANES];
-        for i in 0..LANES {
-            out[i] = f(self.0[i], other.0[i]);
+        for (i, lane) in out.iter_mut().enumerate() {
+            *lane = f(self.0[i], other.0[i]);
         }
         Emu(out)
     }
@@ -154,8 +154,8 @@ impl<L: Lane, const LANES: usize> Vector for Emu<L, LANES> {
     #[inline(always)]
     fn blend_bits(bits: u64, if_set: Self, if_clear: Self) -> Self {
         let mut out = [L::EMPTY; LANES];
-        for i in 0..LANES {
-            out[i] = if bits & (1 << i) != 0 {
+        for (i, lane) in out.iter_mut().enumerate() {
+            *lane = if bits & (1 << i) != 0 {
                 if_set.0[i]
             } else {
                 if_clear.0[i]
@@ -167,10 +167,10 @@ impl<L: Lane, const LANES: usize> Vector for Emu<L, LANES> {
     #[inline(always)]
     unsafe fn gather_idx(base: &[L], idx: Self) -> Self {
         let mut out = [L::EMPTY; LANES];
-        for i in 0..LANES {
+        for (i, lane) in out.iter_mut().enumerate() {
             let j = idx.0[i].to_u64() as usize;
             debug_assert!(j < base.len(), "gather_idx lane {i} out of bounds: {j}");
-            out[i] = *base.get_unchecked(j);
+            *lane = *base.get_unchecked(j);
         }
         Emu(out)
     }
@@ -178,11 +178,11 @@ impl<L: Lane, const LANES: usize> Vector for Emu<L, LANES> {
     #[inline(always)]
     unsafe fn gather_idx_masked(base: &[L], idx: Self, bits: u64, fallback: Self) -> Self {
         let mut out = fallback.0;
-        for i in 0..LANES {
+        for (i, lane) in out.iter_mut().enumerate() {
             if bits & (1 << i) != 0 {
                 let j = idx.0[i].to_u64() as usize;
                 debug_assert!(j < base.len(), "masked gather lane {i} out of bounds: {j}");
-                out[i] = *base.get_unchecked(j);
+                *lane = *base.get_unchecked(j);
             }
         }
         Emu(out)
@@ -194,7 +194,10 @@ impl<L: Lane, const LANES: usize> Vector for Emu<L, LANES> {
         let mut vals = [L::EMPTY; LANES];
         for i in 0..LANES {
             let p = idx.0[i].to_u64() as usize;
-            debug_assert!(2 * p + 1 < base.len(), "gather_pairs lane {i} out of bounds: {p}");
+            debug_assert!(
+                2 * p + 1 < base.len(),
+                "gather_pairs lane {i} out of bounds: {p}"
+            );
             keys[i] = *base.get_unchecked(2 * p);
             vals[i] = *base.get_unchecked(2 * p + 1);
         }

@@ -165,7 +165,10 @@ impl CpuFeatures {
 
     /// Widths runnable on the native backend, narrowest first.
     pub fn native_widths(&self) -> Vec<Width> {
-        Width::ALL.into_iter().filter(|w| self.supports(*w)).collect()
+        Width::ALL
+            .into_iter()
+            .filter(|w| self.supports(*w))
+            .collect()
     }
 
     /// A capability set with no native support (emulated backend only) —

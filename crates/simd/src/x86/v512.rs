@@ -73,7 +73,8 @@ impl Vector for U32x16 {
         unsafe {
             let a = _mm512_loadu_si512(xs.as_ptr().cast());
             let b = _mm512_loadu_si512(xs.as_ptr().add(16).cast());
-            let evens = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
+            let evens =
+                _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
             let odds = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31);
             (
                 U32x16(_mm512_permutex2var_epi32(a, evens, b)),

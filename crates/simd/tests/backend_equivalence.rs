@@ -78,7 +78,10 @@ where
     let bits = bits & V::lane_mask();
 
     let n = base.len() as u64;
-    let idx_vals: Vec<L> = raw_idx[..LANES].iter().map(|&x| L::from_u64(x % n)).collect();
+    let idx_vals: Vec<L> = raw_idx[..LANES]
+        .iter()
+        .map(|&x| L::from_u64(x % n))
+        .collect();
     let pair_idx_vals: Vec<L> = raw_idx[..LANES]
         .iter()
         .map(|&x| L::from_u64(x % (n / 2)))
@@ -96,15 +99,22 @@ where
         assert_eq!(&g[..LANES], &ge[..LANES], "gather_idx");
 
         let m = V::gather_idx_masked(base, vidx, bits, V::splat(fallback)).to_lanes();
-        let me =
-            E::<L, LANES>::gather_idx_masked(base, eidx, bits, E::<L, LANES>::splat(fallback))
-                .to_lanes();
+        let me = E::<L, LANES>::gather_idx_masked(base, eidx, bits, E::<L, LANES>::splat(fallback))
+            .to_lanes();
         assert_eq!(&m[..LANES], &me[..LANES], "gather_idx_masked");
 
         let (k, v) = V::gather_pairs(base, vp);
         let (ke, ve) = E::<L, LANES>::gather_pairs(base, ep);
-        assert_eq!(&k.to_lanes()[..LANES], &ke.to_lanes()[..LANES], "gather_pairs keys");
-        assert_eq!(&v.to_lanes()[..LANES], &ve.to_lanes()[..LANES], "gather_pairs vals");
+        assert_eq!(
+            &k.to_lanes()[..LANES],
+            &ke.to_lanes()[..LANES],
+            "gather_pairs keys"
+        );
+        assert_eq!(
+            &v.to_lanes()[..LANES],
+            &ve.to_lanes()[..LANES],
+            "gather_pairs vals"
+        );
     }
 }
 

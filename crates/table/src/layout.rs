@@ -69,7 +69,10 @@ impl Layout {
     /// Panics if `n` is not in `2..=MAX_WAYS`, if `m` is not a power of two
     /// in `1..=MAX_SLOTS`.
     pub fn bcht(n: u32, m: u32) -> Self {
-        assert!((2..=Self::MAX_WAYS).contains(&n), "n_ways out of range: {n}");
+        assert!(
+            (2..=Self::MAX_WAYS).contains(&n),
+            "n_ways out of range: {n}"
+        );
         assert!(
             m.is_power_of_two() && (1..=Self::MAX_SLOTS).contains(&m),
             "slots_per_bucket must be a power of two in 1..={}: {m}",
@@ -127,7 +130,12 @@ impl Layout {
     ///
     /// The paper sizes tables in bytes (1 MB HT, 16 MB HT, …); bucket counts
     /// must be powers of two for mask-based multiply-shift indexing.
-    pub fn buckets_for_bytes(&self, table_bytes: usize, key_bits: u32, val_bits: u32) -> Option<usize> {
+    pub fn buckets_for_bytes(
+        &self,
+        table_bytes: usize,
+        key_bits: u32,
+        val_bits: u32,
+    ) -> Option<usize> {
         let per_bucket = self.bucket_bytes(key_bits, val_bits);
         let max = table_bytes / per_bucket;
         if max == 0 {

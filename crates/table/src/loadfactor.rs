@@ -65,8 +65,7 @@ pub fn average_max_load_factor<K: Lane, V: Lane>(
 ) -> f64 {
     (0..trials)
         .map(|t| {
-            measure_max_load_factor::<K, V>(layout, log2_buckets, 0xF16_2 + u64::from(t))
-                .load_factor
+            measure_max_load_factor::<K, V>(layout, log2_buckets, 0xF162 + u64::from(t)).load_factor
         })
         .sum::<f64>()
         / f64::from(trials)

@@ -54,7 +54,13 @@ impl<K: Lane, V: Lane> ShardedTable<K, V> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AA6_D001);
         let n_shards = n_shards.max(1).next_power_of_two();
         let shards = (0..n_shards)
-            .map(|_| Ok(RwLock::new(CuckooTable::with_rng(layout, log2_buckets_per_shard, &mut rng)?)))
+            .map(|_| {
+                Ok(RwLock::new(CuckooTable::with_rng(
+                    layout,
+                    log2_buckets_per_shard,
+                    &mut rng,
+                )?))
+            })
             .collect::<Result<Vec<_>, TableError>>()?;
         let log2_shards = n_shards.trailing_zeros();
         Ok(ShardedTable {
@@ -95,7 +101,10 @@ impl<K: Lane, V: Lane> ShardedTable<K, V> {
     /// [`InsertError`] from the shard's cuckoo insert.
     pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
         let s = self.shard_of(key);
-        self.shards[s].write().expect("shard lock poisoned").insert(key, value)
+        self.shards[s]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(key, value)
     }
 
     /// Look up a single key.
@@ -107,7 +116,10 @@ impl<K: Lane, V: Lane> ShardedTable<K, V> {
     /// Remove a key, returning its payload.
     pub fn remove(&self, key: K) -> Option<V> {
         let s = self.shard_of(key);
-        self.shards[s].write().expect("shard lock poisoned").remove(key)
+        self.shards[s]
+            .write()
+            .expect("shard lock poisoned")
+            .remove(key)
     }
 
     /// Total items across shards.

@@ -384,11 +384,8 @@ mod tests {
     fn reaches_seven_eighths_load() {
         let mut t: SwissTable<u32, u32> = SwissTable::with_capacity_slots(1 << 10);
         let mut n = 0u32;
-        loop {
-            match t.insert(n.wrapping_mul(2_654_435_761).max(1), n) {
-                Ok(()) => n += 1,
-                Err(SwissFull) => break,
-            }
+        while t.insert(n.wrapping_mul(2_654_435_761).max(1), n).is_ok() {
+            n += 1;
         }
         let lf = t.len() as f64 / t.capacity() as f64;
         assert!((0.86..0.89).contains(&lf), "LF {lf:.3}");

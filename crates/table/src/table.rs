@@ -329,6 +329,24 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
         bucket * m..(bucket + 1) * m
     }
 
+    /// Every slot index `key` is allowed to occupy (the union of its
+    /// candidate buckets' slots, deduplicated). Introspection for
+    /// model-based tests that independently verify [`InsertError::TableFull`]
+    /// claims via bipartite matching.
+    pub fn candidate_slots(&self, key: K) -> Vec<usize> {
+        let mut bucket_buf = [0usize; MAX_WAYS_USIZE];
+        let mut slots = Vec::new();
+        let mut seen = [usize::MAX; MAX_WAYS_USIZE];
+        for (w, &b) in self.hash.buckets(key, &mut bucket_buf).iter().enumerate() {
+            if seen[..w].contains(&b) {
+                continue;
+            }
+            seen[w] = b;
+            slots.extend(self.bucket_slots(b));
+        }
+        slots
+    }
+
     /// Scalar lookup — the non-SIMD baseline every vector kernel is
     /// compared against (the paper's "Scalar" series).
     #[inline]
@@ -461,7 +479,8 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
     }
 
     fn empty_slot_in(&self, bucket: usize) -> Option<usize> {
-        self.bucket_slots(bucket).find(|&s| self.slot_key(s) == K::EMPTY)
+        self.bucket_slots(bucket)
+            .find(|&s| self.slot_key(s) == K::EMPTY)
     }
 
     /// BFS over "evict the occupant of slot X" states; returns a path of
@@ -610,7 +629,10 @@ mod tests {
     #[test]
     fn interleaved_requires_equal_widths() {
         let err = CuckooTable::<u16, u32>::new(Layout::bcht(2, 8), 6).unwrap_err();
-        assert!(matches!(err, TableError::MismatchedInterleavedWidths { .. }));
+        assert!(matches!(
+            err,
+            TableError::MismatchedInterleavedWidths { .. }
+        ));
         // Split arrangement accepts mixed widths.
         let t = CuckooTable::<u16, u32>::new(
             Layout::bcht(2, 8).with_arrangement(Arrangement::Split),
@@ -621,11 +643,8 @@ mod tests {
 
     #[test]
     fn mixed_width_split_roundtrip() {
-        let mut t: CuckooTable<u16, u32> = CuckooTable::new(
-            Layout::bcht(2, 8).with_arrangement(Arrangement::Split),
-            8,
-        )
-        .unwrap();
+        let mut t: CuckooTable<u16, u32> =
+            CuckooTable::new(Layout::bcht(2, 8).with_arrangement(Arrangement::Split), 8).unwrap();
         for i in 1..=1000u16 {
             t.insert(i, u32::from(i) * 1000).unwrap();
         }
@@ -680,7 +699,10 @@ mod tests {
             }
         }
         let lf = t.load_factor();
-        assert!(lf > 0.30 && lf < 0.70, "2-way LF should be near 0.5, got {lf:.3}");
+        assert!(
+            lf > 0.30 && lf < 0.70,
+            "2-way LF should be near 0.5, got {lf:.3}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
         });
         let keys: HashSet<&[u8]> = wl.items().iter().map(|(k, _)| k.as_slice()).collect();
         assert_eq!(keys.len(), 500);
-        assert!(wl.items().iter().all(|(k, v)| k.len() == 20 && v.len() == 32));
+        assert!(wl
+            .items()
+            .iter()
+            .all(|(k, v)| k.len() == 20 && v.len() == 32));
     }
 
     #[test]
@@ -173,12 +176,7 @@ mod tests {
             pattern: crate::AccessPattern::skewed(),
             ..KvWorkloadSpec::default()
         });
-        let head_refs = wl
-            .requests()
-            .iter()
-            .flatten()
-            .filter(|&&i| i < 10)
-            .count();
+        let head_refs = wl.requests().iter().flatten().filter(|&&i| i < 10).count();
         let total = 1000 * 16;
         assert!(
             head_refs as f64 / total as f64 > 0.1,

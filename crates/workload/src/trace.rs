@@ -136,7 +136,11 @@ mod tests {
         let spec = TraceSpec::new(50_000, AccessPattern::Uniform).with_hit_rate(0.9);
         let trace = QueryTrace::generate(&ks, &spec);
         let present: std::collections::HashSet<u32> = ks.present().iter().copied().collect();
-        let hits = trace.queries().iter().filter(|k| present.contains(k)).count();
+        let hits = trace
+            .queries()
+            .iter()
+            .filter(|k| present.contains(k))
+            .count();
         assert_eq!(hits, trace.expected_hits());
         let rate = hits as f64 / trace.len() as f64;
         assert!((0.88..0.92).contains(&rate), "hit rate {rate:.3}");
@@ -166,7 +170,10 @@ mod tests {
         let hottest = ks.present()[0];
         let hot_count = trace.queries().iter().filter(|&&k| k == hottest).count();
         // Rank 0 under zipf(0.99) over 2000 items draws ~11 % of accesses.
-        assert!(hot_count > 5_000, "hottest key drawn only {hot_count} times");
+        assert!(
+            hot_count > 5_000,
+            "hottest key drawn only {hot_count} times"
+        );
     }
 
     #[test]

@@ -65,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => (Backend::Emulated, Width::W256),
     };
     let t1 = Instant::now();
-    let simd_matches =
-        u32::dispatch_vertical(backend, width, &build, probes, &mut out, GatherMode::PairedWide)?;
+    let simd_matches = u32::dispatch_vertical(
+        backend,
+        width,
+        &build,
+        probes,
+        &mut out,
+        GatherMode::PairedWide,
+    )?;
     let simd_time = t1.elapsed();
 
     assert_eq!(scalar_matches, simd_matches, "join outputs must agree");

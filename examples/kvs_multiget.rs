@@ -23,7 +23,10 @@ fn index(which: &str) -> Box<dyn HashIndex> {
             SimdIndexKind::HorizontalBcht,
             ITEMS * 2,
         )),
-        _ => Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, ITEMS * 2)),
+        _ => Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::VerticalNway,
+            ITEMS * 2,
+        )),
     }
 }
 

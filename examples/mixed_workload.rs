@@ -36,7 +36,10 @@ fn main() {
         };
         let scalar = run_mixed::<u32>(&spec, None).expect("scalar run");
         let simd = run_mixed::<u32>(&spec, design).expect("simd run");
-        assert_eq!(scalar.hits, scalar.lookups, "sampled keys are always present");
+        assert_eq!(
+            scalar.hits, scalar.lookups,
+            "sampled keys are always present"
+        );
         println!(
             "{:<16.2} {:>14.2} {:>14.2} {:>11.2}x {:>10}",
             wf,

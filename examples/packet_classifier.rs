@@ -68,13 +68,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Process in rx_burst-sized batches, as a poll-mode driver would.
-    let mut actions = vec![0u32; RX_BURST];
+    let mut actions = [0u32; RX_BURST];
     let mut forwarded = 0usize;
     let mut slow_path = 0usize;
     let t0 = Instant::now();
     for burst in trace.queries().chunks(RX_BURST) {
-        let hits =
-            u32::dispatch_horizontal(backend, Width::W256, &flows, burst, &mut actions[..burst.len()], 1)?;
+        let hits = u32::dispatch_horizontal(
+            backend,
+            Width::W256,
+            &flows,
+            burst,
+            &mut actions[..burst.len()],
+            1,
+        )?;
         forwarded += hits;
         slow_path += burst.len() - hits;
     }

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let designs = enumerate_designs(layout, 32, 32, &ValidationOptions::default());
     println!("validated SIMD designs for {layout}:");
     for d in &designs {
-        let tag = if d.supported(&caps) { "native" } else { "emulated only" };
+        let tag = if d.supported(&caps) {
+            "native"
+        } else {
+            "emulated only"
+        };
         println!("  {d}   [{tag}]");
     }
 

@@ -32,7 +32,10 @@ fn fig2_reports_load_factor_shapes() {
         .collect();
     assert!(vals[0] < 0.7, "2-way LF should be ~0.5, got {}", vals[0]);
     assert!(vals[3] > 0.9, "(2,8) LF should be >0.9, got {}", vals[3]);
-    assert!(vals.windows(2).all(|w| w[0] < w[1]), "LF must grow with m: {vals:?}");
+    assert!(
+        vals.windows(2).all(|w| w[0] < w[1]),
+        "LF must grow with m: {vals:?}"
+    );
 }
 
 #[test]

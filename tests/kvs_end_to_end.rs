@@ -13,8 +13,14 @@ use simdht::workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
 fn indexes(capacity: usize) -> Vec<Box<dyn HashIndex>> {
     vec![
         Box::new(Memc3Index::with_capacity(capacity)),
-        Box::new(SimdIndex::with_capacity(SimdIndexKind::HorizontalBcht, capacity)),
-        Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, capacity)),
+        Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::HorizontalBcht,
+            capacity,
+        )),
+        Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::VerticalNway,
+            capacity,
+        )),
         Box::new(TagSimdIndex::with_capacity(capacity)),
     ]
 }
@@ -67,7 +73,9 @@ fn all_backends_answer_identically() {
             s
         })
         .collect();
-    let requests: Vec<Vec<&[u8]>> = (0..wl.requests().len()).map(|r| wl.request_keys(r)).collect();
+    let requests: Vec<Vec<&[u8]>> = (0..wl.requests().len())
+        .map(|r| wl.request_keys(r))
+        .collect();
     check_stores_agree(&stores, &requests);
 }
 
@@ -101,7 +109,10 @@ fn memslap_full_pipeline_all_backends() {
         // The wire model floors every latency at ~2 x 1.5 us.
         assert!(report.min_latency_us >= 3.0, "{name}");
         let phases = report.phases;
-        assert!(phases.pre > 0 && phases.lookup > 0 && phases.post > 0, "{name}");
+        assert!(
+            phases.pre > 0 && phases.lookup > 0 && phases.post > 0,
+            "{name}"
+        );
     }
 }
 
@@ -109,7 +120,10 @@ fn memslap_full_pipeline_all_backends() {
 fn store_concurrent_mixed_load() {
     // Readers and writers concurrently against the SIMD-vertical store.
     let store = Arc::new(KvStore::new(
-        Box::new(SimdIndex::with_capacity(SimdIndexKind::VerticalNway, 20_000)),
+        Box::new(SimdIndex::with_capacity(
+            SimdIndexKind::VerticalNway,
+            20_000,
+        )),
         StoreConfig {
             memory_budget: 32 << 20,
             capacity_items: 20_000,

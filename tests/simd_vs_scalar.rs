@@ -16,7 +16,12 @@ fn full_options() -> ValidationOptions {
     }
 }
 
-fn populated_u32(layout: Layout, log2: u32, lf: f64, seed: u64) -> (CuckooTable<u32, u32>, KeySet<u32>) {
+fn populated_u32(
+    layout: Layout,
+    log2: u32,
+    lf: f64,
+    seed: u64,
+) -> (CuckooTable<u32, u32>, KeySet<u32>) {
     let mut table = CuckooTable::new(layout, log2).unwrap();
     let n = (table.capacity() as f64 * lf) as usize;
     let keys: KeySet<u32> = KeySet::generate(n, n / 4 + 64, seed);
@@ -27,7 +32,10 @@ fn populated_u32(layout: Layout, log2: u32, lf: f64, seed: u64) -> (CuckooTable<
         }
         inserted += 1;
     }
-    assert!(inserted as f64 / n as f64 > 0.95, "{layout}: table filled poorly");
+    assert!(
+        inserted as f64 / n as f64 > 0.95,
+        "{layout}: table filled poorly"
+    );
     (table, keys)
 }
 
@@ -58,7 +66,9 @@ fn every_design_matches_scalar_on_generated_traces() {
         for pattern in [AccessPattern::Uniform, AccessPattern::skewed()] {
             let trace = QueryTrace::generate(
                 &keys,
-                &TraceSpec::new(5000, pattern).with_hit_rate(0.8).with_seed(li as u64),
+                &TraceSpec::new(5000, pattern)
+                    .with_hit_rate(0.8)
+                    .with_seed(li as u64),
             );
             let mut expect = vec![0u32; trace.len()];
             run_scalar(&table, trace.queries(), &mut expect);
@@ -71,7 +81,8 @@ fn every_design_matches_scalar_on_generated_traces() {
                     run_design(backend, &design, &table, trace.queries(), &mut got)
                         .unwrap_or_else(|e| panic!("{layout} {design} {backend}: {e}"));
                     assert_eq!(
-                        got, expect,
+                        got,
+                        expect,
                         "{layout} {design} {backend} {} disagrees with scalar",
                         pattern.label()
                     );

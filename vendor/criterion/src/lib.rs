@@ -1,0 +1,290 @@
+//! Offline shim for the `criterion` crate: a lightweight wall-clock
+//! benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! benchmark groups with [`Throughput`] annotations, [`BenchmarkId`], and
+//! [`Bencher::iter`] — measuring each benchmark with a short warm-up and
+//! a fixed measurement window, reporting mean/min time per iteration (and
+//! derived throughput) on stdout. No statistical analysis, baselines, or
+//! HTML reports.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration annotation used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier: function name + parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted as benchmark names.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_id(self) -> String {
+        self.clone()
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// (total duration, iterations) recorded by [`Bencher::iter`].
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: warm up, then run for the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Measure in batches sized to ~1/10 of the window to amortize
+        // clock reads.
+        let batch = ((self.measure.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Group of related benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement window is
+    /// time-based, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints a trailing newline for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up,
+        measure: criterion.measure,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) => {
+            let per_iter_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            let thr = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>10.1} Melem/s", n as f64 / per_iter_ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>10.1} MiB/s", n as f64 / per_iter_ns * 1e3 * 0.953674)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<60} {:>12.1} ns/iter ({iters} iters){thr}",
+                per_iter_ns
+            );
+        }
+        None => println!("{name:<60} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short windows keep full bench suites tractable while remaining
+        // stable enough for coarse comparisons. Override with
+        // `SIMDHT_BENCH_MEASURE_MS` if more precision is wanted.
+        let ms = std::env::var("SIMDHT_BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            warm_up: Duration::from_millis(ms / 3),
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        run_one(self, &full, None, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("sum", "0..100"), |b| {
+            b.iter(|| (0u64..100).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u32), &50u32, |b, &n| {
+            b.iter(|| (0u64..n as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        std::env::set_var("SIMDHT_BENCH_MEASURE_MS", "30");
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        criterion.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
