@@ -15,6 +15,7 @@ fn store_with(index: Box<dyn HashIndex>, wl: &KvWorkload) -> KvStore {
         StoreConfig {
             memory_budget: 64 << 20,
             capacity_items: ITEMS * 2,
+            shards: 1,
         },
     );
     for (k, v) in wl.items() {

@@ -41,6 +41,7 @@ fn run_one_mixed(
         store: StoreConfig {
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
+            shards: 1,
         },
         ..MemslapConfig::default()
     };
@@ -64,6 +65,7 @@ fn run_one(which: &str, mget_size: usize, scale: &RunScale) -> MemslapReport {
         store: StoreConfig {
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
+            shards: 1,
         },
         ..MemslapConfig::default()
     };
@@ -196,6 +198,7 @@ fn run_one_tcp(
         StoreConfig {
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
+            shards: 1,
         },
     ));
     let index_name = store.index_name();
@@ -257,6 +260,95 @@ pub fn ext_tcp_loopback(scale: &RunScale) -> String {
     s
 }
 
+/// One shard-sweep point: a sharded store behind a real TCP `Kvsd`,
+/// hammered by the pipelined networked memslap client over many
+/// connections. Returns the client report plus the final shard balance.
+fn run_one_sharded_tcp(
+    shards: usize,
+    scale: &RunScale,
+) -> (simdht_kvs::memslap::ClientReport, Vec<usize>) {
+    let workload = KvWorkload::generate(&KvWorkloadSpec {
+        n_items: scale.kvs_items,
+        n_requests: scale.kvs_requests,
+        mget_size: 64,
+        key_bytes: 20,
+        value_bytes: 32,
+        pattern: AccessPattern::skewed(),
+        seed: 0x4B56_0022,
+    });
+    let store = Arc::new(KvStore::with_shards(
+        StoreConfig {
+            memory_budget: (scale.kvs_items * 256).max(8 << 20),
+            capacity_items: scale.kvs_items * 2,
+            shards,
+        },
+        |cap| build_index("hor", cap),
+    ));
+    let kvsd = Kvsd::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind loopback");
+    let transport = TcpTransport::new(kvsd.local_addr()).expect("resolve loopback");
+    let report = run_memslap_over(
+        &transport,
+        &workload,
+        &NetMemslapConfig {
+            connections: 8,
+            pipeline_depth: 16,
+            set_fraction: 0.2,
+            preload: true,
+        },
+    )
+    .expect("loopback shard sweep run");
+    kvsd.shutdown();
+    (report, store.shard_lens())
+}
+
+/// `kvs-shard-sweep`: Multi-Get scaling across store shard counts — the
+/// tentpole experiment of the sharded-store change. Eight pipelined
+/// connections (the kvsd serves each on its own thread, so eight server
+/// workers) drive a mixed 20 % Set / 80 % Multi-Get stream over TCP
+/// loopback; with one shard every Set serializes the whole store, while
+/// with 16 shards writers and the per-shard batched SIMD lookups proceed
+/// in parallel.
+pub fn kvs_shard_sweep(scale: &RunScale) -> String {
+    let mut s = String::from(
+        "== kvs-shard-sweep: sharded KvStore Multi-Get scaling over TCP loopback ==\n\
+         (simdht-kvsd --shards N, 8 connections x 16-deep pipeline, batch 64,\n\
+          20% Sets, horizontal-AVX2 index, skewed keys)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "  {:>6} {:>14} {:>10} {:>10} {:>9} {:>10}",
+        "shards", "MGet keys/s", "p50 us", "p99 us", "speedup", "max/mean"
+    );
+    let mut baseline: Option<f64> = None;
+    for shards in [1usize, 4, 16] {
+        let (r, lens) = run_one_sharded_tcp(shards, scale);
+        let speedup = baseline.map_or(1.0, |b| r.keys_per_sec / b);
+        if shards == 1 {
+            baseline = Some(r.keys_per_sec);
+        }
+        let total: usize = lens.iter().sum();
+        let mean = total as f64 / lens.len() as f64;
+        let max = lens.iter().copied().max().unwrap_or(0) as f64;
+        let _ = writeln!(
+            s,
+            "  {:>6} {:>12.2}M {:>10.1} {:>10.1} {:>8.2}x {:>10.2}",
+            shards,
+            r.keys_per_sec / 1e6,
+            r.p50_latency_us,
+            r.p99_latency_us,
+            speedup,
+            if mean > 0.0 { max / mean } else { 0.0 },
+        );
+        assert_eq!(r.hits, r.keys, "preloaded keys must all hit");
+    }
+    s.push_str(
+        "\n(writes serialize only within a shard and each Multi-Get batches one\n\
+         SIMD lookup per shard under a shared lock; the single-shard store is\n\
+         the pre-sharding baseline)\n",
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +385,22 @@ mod tests {
         assert!(r.sets > 0, "expected some Set requests");
         assert_eq!(r.requests + r.sets, 40);
         assert_eq!(r.found, r.keys, "replacement Sets must not lose keys");
+    }
+
+    #[test]
+    fn kvs_shard_sweep_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 24,
+            kvs_items: 300,
+        };
+        let (r, lens) = run_one_sharded_tcp(4, &tiny);
+        assert_eq!(lens.len(), 4, "sweep point must report per-shard balance");
+        assert_eq!(lens.iter().sum::<usize>(), 300, "preload spans shards");
+        assert_eq!(r.hits, r.keys);
+        assert!(r.requests + r.sets == 24);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub const ALL: &[&str] = &[
     "ext-mixed",
     "ext-mixed-kvs",
     "ext-tcp-loopback",
+    "kvs-shard-sweep",
     "ext-swiss",
 ];
 
@@ -58,6 +59,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "ext-mixed" => extensions::mixed(&scale),
         "ext-mixed-kvs" => kvs::ext_mixed_kvs(&scale),
         "ext-tcp-loopback" => kvs::ext_tcp_loopback(&scale),
+        "kvs-shard-sweep" => kvs::kvs_shard_sweep(&scale),
         "ext-swiss" => extensions::swiss(&scale),
         _ => return None,
     })

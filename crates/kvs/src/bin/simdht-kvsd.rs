@@ -24,6 +24,9 @@ OPTIONS:
     --index <name>         Hash index: memc3 | hor | ver | dpdk (default memc3)
     --capacity <n>         Expected max live items (default 100000)
     --memory-mb <n>        Slab memory budget in MiB (default 64)
+    --shards <n>           Store shards, rounded up to a power of two
+                           (default 1 = single-lock store; writes serialize
+                           only within a shard, MGets batch per shard)
     --duration <secs>      Serve this long, then drain and print stats
                            (default: serve until killed)
     -h, --help             Show this help
@@ -34,6 +37,7 @@ struct Args {
     index: String,
     capacity: usize,
     memory_mb: usize,
+    shards: usize,
     duration: Option<u64>,
 }
 
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         index: "memc3".to_string(),
         capacity: 100_000,
         memory_mb: 64,
+        shards: 1,
         duration: None,
     };
     let mut it = std::env::args().skip(1);
@@ -60,6 +65,14 @@ fn parse_args() -> Result<Args, String> {
                 args.memory_mb = value("--memory-mb")?
                     .parse()
                     .map_err(|e| format!("--memory-mb: {e}"))?;
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be >= 1".to_string());
+                }
             }
             "--duration" => {
                 args.duration = Some(
@@ -86,19 +99,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some(idx) = index::by_short_name(&args.index, args.capacity) else {
+    if index::by_short_name(&args.index, 8).is_none() {
         eprintln!(
             "error: unknown index {:?} (expected memc3 | hor | ver | dpdk)",
             args.index
         );
         std::process::exit(2);
-    };
-    let store = Arc::new(KvStore::new(
-        idx,
+    }
+    let store = Arc::new(KvStore::with_shards(
         StoreConfig {
             memory_budget: args.memory_mb << 20,
             capacity_items: args.capacity,
+            shards: args.shards,
         },
+        |cap| index::by_short_name(&args.index, cap).expect("index name validated above"),
     ));
     let kvsd = match Kvsd::bind(Arc::clone(&store), args.addr.as_str()) {
         Ok(k) => k,
@@ -108,9 +122,10 @@ fn main() {
         }
     };
     println!(
-        "simdht-kvsd listening on {} (index {}, capacity {}, {} MiB slab)",
+        "simdht-kvsd listening on {} (index {}, {} shard(s), capacity {}, {} MiB slab)",
         kvsd.local_addr(),
         store.index_name(),
+        store.n_shards(),
         args.capacity,
         args.memory_mb
     );
@@ -131,6 +146,19 @@ fn main() {
                 stats.found.load(Relaxed),
                 summaries.len(),
             );
+            if store.n_shards() > 1 {
+                let lens = store.shard_lens();
+                let total: usize = lens.iter().sum();
+                let max = lens.iter().copied().max().unwrap_or(0);
+                let mean = total as f64 / lens.len() as f64;
+                println!(
+                    "shard balance: {} items over {} shards, max/mean {:.2} ({:?})",
+                    total,
+                    lens.len(),
+                    if mean > 0.0 { max as f64 / mean } else { 0.0 },
+                    lens,
+                );
+            }
             let phases = stats.phases();
             if phases.total() > 0 {
                 let total = phases.total() as f64;

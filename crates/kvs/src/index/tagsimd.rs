@@ -355,6 +355,7 @@ mod tests {
             StoreConfig {
                 memory_budget: 8 << 20,
                 capacity_items: 5000,
+                shards: 1,
             },
         );
         for i in 0..3000u32 {

@@ -84,6 +84,9 @@ pub struct MemslapReport {
     pub phases: PhaseNanos,
     /// Wall-clock seconds of the measurement window.
     pub wall_secs: f64,
+    /// Live items per store shard at the end of the run (shard-balance
+    /// report; a single entry for the classic unsharded store).
+    pub shard_items: Vec<usize>,
 }
 
 impl MemslapReport {
@@ -216,6 +219,7 @@ pub fn run_memslap(store: KvStore, workload: &KvWorkload, config: &MemslapConfig
         server_keys_per_sec: stats.keys_per_busy_sec(),
         phases: stats.phases(),
         wall_secs,
+        shard_items: store.shard_lens(),
     }
 }
 
@@ -543,6 +547,30 @@ mod tests {
         assert!(report.p99_latency_us >= report.p50_latency_us);
         assert!(report.server_keys_per_sec > 0.0);
         assert!(report.phases.total() > 0);
+    }
+
+    #[test]
+    fn memslap_reports_shard_balance() {
+        let wl = small_workload();
+        let cfg = MemslapConfig {
+            store: StoreConfig {
+                shards: 4,
+                ..StoreConfig::default()
+            },
+            ..MemslapConfig::default()
+        };
+        let store = KvStore::with_shards(cfg.store, |cap| {
+            crate::index::by_short_name("hor", cap).expect("known index")
+        });
+        let report = run_memslap(store, &wl, &cfg);
+        assert_eq!(report.shard_items.len(), 4);
+        assert_eq!(
+            report.shard_items.iter().sum::<usize>(),
+            500,
+            "per-shard balance must conserve the item count: {:?}",
+            report.shard_items
+        );
+        assert_eq!(report.found, report.keys, "sharding must not lose keys");
     }
 
     #[test]

@@ -2,14 +2,37 @@
 //! index, CLOCK freshness, and the three-phase Multi-Get pipeline the
 //! paper instruments (§VI-A, Fig. 10/11b):
 //!
-//! 1. **Pre-processing** — parse the batch and compute a 32-bit hash per
-//!    key.
+//! 1. **Pre-processing** — parse the batch, compute a 32-bit hash per
+//!    key, and partition the batch by shard.
 //! 2. **Hash-table lookup** — the batched index probe (the phase SIMD
-//!    accelerates).
+//!    accelerates), run per shard under that shard's shared lock.
 //! 3. **Post-processing** — resolve object pointers, verify the full key
 //!    against the slab, copy values into the response, and update CLOCK
 //!    freshness metadata.
+//!
+//! # Sharding
+//!
+//! The store is split into `S` power-of-two **shards** (the paper's first
+//! named piece of future work is concurrent mixed read/write workloads;
+//! sharding is the standard memcached scaling recipe). Each shard owns its
+//! own slab arena, item table, hash index, CLOCK ring, and statistics, all
+//! behind one `RwLock`. Keys route to shards by an independent
+//! multiply-shift hash over the 32-bit key hash — the same scheme as
+//! [`simdht_table::sharded::ShardedTable`] — so a hot index bucket and a
+//! hot shard are uncorrelated.
+//!
+//! Writes (`set`/`delete`) lock only their key's shard. A Multi-Get is
+//! partitioned by shard and runs one batched SIMD lookup per non-empty
+//! shard; it holds **at most one shard lock at a time** (see DESIGN.md,
+//! "Shard routing and lock hierarchy"), so lookups scale with shard count
+//! and can never deadlock against multi-key writers.
+//!
+//! `KvStore` spawns no background threads: dropping it (after the last
+//! `Arc` clone goes away) only frees memory and cannot race an in-flight
+//! request, because any in-flight request holds a shard guard borrowed
+//! from the store itself.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::RwLock;
@@ -22,10 +45,14 @@ use crate::slab::{SlabAllocator, SlabError};
 /// Store construction parameters.
 #[derive(Copy, Clone, Debug)]
 pub struct StoreConfig {
-    /// Slab memory budget in bytes.
+    /// Slab memory budget in bytes (split evenly across shards).
     pub memory_budget: usize,
-    /// Expected maximum live items (sizes the hash index).
+    /// Expected maximum live items (sizes the hash index; split across
+    /// shards).
     pub capacity_items: usize,
+    /// Number of shards (rounded up to a power of two; `1` = the classic
+    /// single-lock store).
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -33,6 +60,7 @@ impl Default for StoreConfig {
         StoreConfig {
             memory_budget: 64 << 20,
             capacity_items: 100_000,
+            shards: 1,
         }
     }
 }
@@ -63,9 +91,9 @@ impl std::error::Error for StoreError {}
 /// Per-phase elapsed nanoseconds of one Multi-Get (Fig. 11b breakdown).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseNanos {
-    /// Pre-processing: parse + hash.
+    /// Pre-processing: parse + hash + shard partition.
     pub pre: u64,
-    /// Hash-table lookup (batched).
+    /// Hash-table lookup (batched, summed over probed shards).
     pub lookup: u64,
     /// Post-processing: verify + copy + CLOCK updates.
     pub post: u64,
@@ -103,6 +131,8 @@ pub struct MGetResponse {
     // Reusable scratch for the lookup pipeline (no per-request allocation).
     hashes: Vec<u32>,
     candidates: Vec<u32>,
+    per_shard: Vec<Vec<u32>>,
+    sub_hashes: Vec<u32>,
 }
 
 impl MGetResponse {
@@ -144,17 +174,81 @@ impl MGetResponse {
     }
 }
 
-struct Inner {
+/// Multiply-shift shard routing over a 32-bit key hash — the same scheme
+/// `simdht_table::sharded::ShardedTable` uses for its table keys, exposed
+/// so property tests can prove the two layers agree on placement for the
+/// same `(mul, shift, mask)` parameters.
+#[inline(always)]
+pub fn shard_route(hash: u32, mul: u32, shift: u32, mask: usize) -> usize {
+    (hash.wrapping_mul(mul) >> shift) as usize & mask
+}
+
+/// The fixed routing multiplier (odd, independent of the FNV key hash and
+/// of every index's bucket function).
+pub const SHARD_MUL: u32 = 0x9E37_79B9;
+
+/// Snapshot of one shard's counters (or their sum, via
+/// [`KvStore::totals`]). Conservation invariant: summing any field across
+/// [`KvStore::shard_stats`] equals the same field of [`KvStore::totals`],
+/// and `items` sums to [`KvStore::len`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live items.
+    pub items: usize,
+    /// Successful `set` calls routed here.
+    pub sets: u64,
+    /// Successful `delete` calls routed here.
+    pub deletes: u64,
+    /// CLOCK evictions performed here.
+    pub evictions: u64,
+    /// Multi-Get keys probed here.
+    pub mget_keys: u64,
+    /// Multi-Get keys found here.
+    pub mget_hits: u64,
+}
+
+impl ShardStats {
+    /// Accumulate another shard's counters.
+    pub fn add(&mut self, other: &ShardStats) {
+        self.items += other.items;
+        self.sets += other.sets;
+        self.deletes += other.deletes;
+        self.evictions += other.evictions;
+        self.mget_keys += other.mget_keys;
+        self.mget_hits += other.mget_hits;
+    }
+}
+
+#[derive(Default)]
+struct ShardCounters {
+    sets: AtomicU64,
+    deletes: AtomicU64,
+    evictions: AtomicU64,
+    mget_keys: AtomicU64,
+    mget_hits: AtomicU64,
+}
+
+struct Shard {
     slab: SlabAllocator,
     items: ItemTable,
     index: Box<dyn HashIndex>,
     clock: Clock,
 }
 
-/// The key-value store. Reads (`get`/`mget`) take a shared lock and may run
-/// concurrently across server workers; writes (`set`/`delete`) serialize.
+struct ShardSlot {
+    lock: RwLock<Shard>,
+    counters: ShardCounters,
+}
+
+/// The sharded key-value store. Reads (`get`/`mget`) take a shared lock on
+/// each shard they probe (one at a time) and run concurrently across
+/// server workers; writes (`set`/`delete`) serialize only within their
+/// key's shard.
 pub struct KvStore {
-    inner: RwLock<Inner>,
+    shards: Vec<ShardSlot>,
+    shard_mul: u32,
+    shard_shift: u32,
+    shard_mask: usize,
     name: &'static str,
 }
 
@@ -162,22 +256,63 @@ impl std::fmt::Debug for KvStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvStore")
             .field("index", &self.name)
-            .field("items", &self.inner.read().items.len())
+            .field("shards", &self.shards.len())
+            .field("items", &self.len())
             .finish()
     }
 }
 
 impl KvStore {
-    /// Create a store over the given hash index.
+    /// Create a classic single-shard store over the given hash index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards > 1` — a multi-shard store needs one index
+    /// per shard; use [`KvStore::with_shards`].
     pub fn new(index: Box<dyn HashIndex>, config: StoreConfig) -> Self {
-        let name = index.name();
+        assert!(
+            config.shards <= 1,
+            "KvStore::new builds a single shard; use KvStore::with_shards for {} shards",
+            config.shards
+        );
+        let mut index = Some(index);
+        Self::with_shards(
+            StoreConfig {
+                shards: 1,
+                ..config
+            },
+            move |_| index.take().expect("single shard"),
+        )
+    }
+
+    /// Create a store with `config.shards` shards (rounded up to a power
+    /// of two), calling `make_index` once per shard with the per-shard
+    /// item capacity.
+    pub fn with_shards(
+        config: StoreConfig,
+        mut make_index: impl FnMut(usize) -> Box<dyn HashIndex>,
+    ) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        let per_capacity = config.capacity_items.div_ceil(n);
+        let per_budget = (config.memory_budget / n).max(1 << 20);
+        let shards: Vec<ShardSlot> = (0..n)
+            .map(|_| ShardSlot {
+                lock: RwLock::new(Shard {
+                    slab: SlabAllocator::new(per_budget),
+                    items: ItemTable::new(),
+                    index: make_index(per_capacity),
+                    clock: Clock::new(),
+                }),
+                counters: ShardCounters::default(),
+            })
+            .collect();
+        let name = shards[0].lock.read().index.name();
+        let log2 = n.trailing_zeros();
         KvStore {
-            inner: RwLock::new(Inner {
-                slab: SlabAllocator::new(config.memory_budget),
-                items: ItemTable::new(),
-                index,
-                clock: Clock::new(),
-            }),
+            shards,
+            shard_mul: SHARD_MUL,
+            shard_shift: (32 - log2).clamp(1, 31),
+            shard_mask: n - 1,
             name,
         }
     }
@@ -187,9 +322,62 @@ impl KvStore {
         self.name
     }
 
-    /// Number of live items.
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The `(mul, shift, mask)` routing parameters (for placement tests).
+    pub fn shard_params(&self) -> (u32, u32, usize) {
+        (self.shard_mul, self.shard_shift, self.shard_mask)
+    }
+
+    /// The shard index `key` routes to.
+    #[inline(always)]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.shard_for_hash(hash_key(key))
+    }
+
+    #[inline(always)]
+    fn shard_for_hash(&self, hash: u32) -> usize {
+        shard_route(hash, self.shard_mul, self.shard_shift, self.shard_mask)
+    }
+
+    /// Number of live items across all shards.
     pub fn len(&self) -> usize {
-        self.inner.read().items.len()
+        self.shards.iter().map(|s| s.lock.read().items.len()).sum()
+    }
+
+    /// Live item count per shard (balance reporting).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock.read().items.len())
+            .collect()
+    }
+
+    /// Per-shard counter snapshots.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                items: s.lock.read().items.len(),
+                sets: s.counters.sets.load(Ordering::Relaxed),
+                deletes: s.counters.deletes.load(Ordering::Relaxed),
+                evictions: s.counters.evictions.load(Ordering::Relaxed),
+                mget_keys: s.counters.mget_keys.load(Ordering::Relaxed),
+                mget_hits: s.counters.mget_hits.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Counters summed over all shards.
+    pub fn totals(&self) -> ShardStats {
+        let mut t = ShardStats::default();
+        for s in self.shard_stats() {
+            t.add(&s);
+        }
+        t
     }
 
     /// `true` when the store holds no items.
@@ -197,16 +385,17 @@ impl KvStore {
         self.len() == 0
     }
 
-    /// Insert or replace `key → value`.
+    /// Insert or replace `key → value`, locking only the key's shard.
     ///
     /// # Errors
     ///
     /// [`StoreError::ObjectTooLarge`] for oversized objects;
-    /// [`StoreError::OutOfMemory`] / [`StoreError::IndexFull`] when eviction
-    /// cannot make room.
+    /// [`StoreError::OutOfMemory`] / [`StoreError::IndexFull`] when
+    /// eviction (within this shard) cannot make room.
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         let hash = hash_key(key);
-        let mut g = self.inner.write();
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let mut g = slot.lock.write();
         // Replace semantics: drop any existing item with this exact key.
         if let Some(existing) = g.find_verified(hash, key) {
             g.delete_item(hash, existing);
@@ -217,7 +406,9 @@ impl KvStore {
                 Ok(r) => break r,
                 Err(SlabError::ObjectTooLarge { .. }) => return Err(StoreError::ObjectTooLarge),
                 Err(SlabError::OutOfMemory) => {
-                    if !g.evict_one() {
+                    if g.evict_one() {
+                        slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    } else {
                         return Err(StoreError::OutOfMemory);
                     }
                 }
@@ -229,7 +420,9 @@ impl KvStore {
             match g.index.insert(hash, item) {
                 Ok(()) => break,
                 Err(IndexError::Full) => {
-                    if !g.evict_one() {
+                    if g.evict_one() {
+                        slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    } else {
                         // Roll back the slab registration.
                         let r = g.items.unregister(item).expect("just registered");
                         g.slab.free(r);
@@ -239,6 +432,7 @@ impl KvStore {
             }
         }
         g.clock.admit(item);
+        slot.counters.sets.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -252,10 +446,12 @@ impl KvStore {
     /// Delete a key; returns `true` if it existed.
     pub fn delete(&self, key: &[u8]) -> bool {
         let hash = hash_key(key);
-        let mut g = self.inner.write();
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let mut g = slot.lock.write();
         match g.find_verified(hash, key) {
             Some(item) => {
                 g.delete_item(hash, item);
+                slot.counters.deletes.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -264,74 +460,129 @@ impl KvStore {
 
     /// The batched Multi-Get pipeline with per-phase timing.
     ///
+    /// The batch is partitioned by shard during pre-processing; each
+    /// non-empty shard then runs one batched lookup + post-processing pass
+    /// under its shared lock. At most one shard lock is held at a time.
+    ///
     /// `resp` is reset and refilled; reusing one buffer across calls avoids
     /// per-request allocation, as a real server does.
     pub fn mget(&self, keys: &[&[u8]], resp: &mut MGetResponse) -> MGetOutcome {
-        let g = self.inner.read();
-
-        // Phase 1: pre-processing — parse batch, hash every key.
+        // Phase 1: pre-processing — parse batch, hash every key, partition
+        // the batch by shard.
         let t0 = Instant::now();
         resp.reset(keys.len());
         let mut hashes = std::mem::take(&mut resp.hashes);
         hashes.clear();
         hashes.extend(keys.iter().map(|k| hash_key(k)));
+        let single = self.shards.len() == 1;
+        let mut per_shard = std::mem::take(&mut resp.per_shard);
+        if !single {
+            per_shard.resize_with(self.shards.len(), Vec::new);
+            for bucket in per_shard.iter_mut() {
+                bucket.clear();
+            }
+            for (i, &h) in hashes.iter().enumerate() {
+                per_shard[self.shard_for_hash(h)].push(i as u32);
+            }
+        }
         let t1 = Instant::now();
 
-        // Phase 2: hash-table lookup (the batched, SIMD-accelerable phase).
+        // Phases 2+3 per shard, under that shard's lock only.
         let mut candidates = std::mem::take(&mut resp.candidates);
-        candidates.clear();
-        candidates.resize(keys.len(), NO_ITEM);
-        g.index.lookup_batch(&hashes, &mut candidates);
-        let t2 = Instant::now();
-
-        // Phase 3: post-processing — verify, copy values, update CLOCK.
-        let mut found = 0usize;
+        let mut sub_hashes = std::mem::take(&mut resp.sub_hashes);
         let mut fallback: Vec<u32> = Vec::new();
-        for (i, (&cand, &key)) in candidates.iter().zip(keys.iter()).enumerate() {
-            let mut resolved = None;
-            if cand != NO_ITEM {
-                if let Some(r) = g.items.get(cand) {
-                    let chunk = g.slab.chunk(r);
-                    if item_key(chunk) == key {
-                        resolved = Some((cand, r));
-                    }
-                }
+        let mut found = 0usize;
+        let mut lookup_ns = 0u64;
+        let mut post_ns = 0u64;
+        for (s, slot) in self.shards.iter().enumerate() {
+            let n_sub = if single {
+                keys.len()
+            } else {
+                per_shard[s].len()
+            };
+            if n_sub == 0 {
+                continue;
             }
-            if resolved.is_none() && cand != NO_ITEM {
-                // Tag/hash collision: scan all candidates (MemC3 slow path).
-                fallback.clear();
-                g.index.lookup_all(hashes[i], &mut fallback);
-                for &c in &fallback {
-                    if let Some(r) = g.items.get(c) {
-                        if item_key(g.slab.chunk(r)) == key {
-                            resolved = Some((c, r));
-                            break;
+            let g = slot.lock.read();
+
+            // Phase 2: hash-table lookup (the batched, SIMD-accelerable
+            // phase) over this shard's slice of the request.
+            let tl0 = Instant::now();
+            let shard_hashes: &[u32] = if single {
+                &hashes
+            } else {
+                sub_hashes.clear();
+                sub_hashes.extend(per_shard[s].iter().map(|&i| hashes[i as usize]));
+                &sub_hashes
+            };
+            candidates.clear();
+            candidates.resize(n_sub, NO_ITEM);
+            g.index.lookup_batch(shard_hashes, &mut candidates);
+            let tl1 = Instant::now();
+
+            // Phase 3: post-processing — verify, copy values, update CLOCK.
+            let mut shard_found = 0u64;
+            for (j, &cand) in candidates.iter().enumerate() {
+                let i = if single { j } else { per_shard[s][j] as usize };
+                let key = keys[i];
+                let mut resolved = None;
+                if cand != NO_ITEM {
+                    if let Some(r) = g.items.get(cand) {
+                        let chunk = g.slab.chunk(r);
+                        if item_key(chunk) == key {
+                            resolved = Some((cand, r));
                         }
                     }
                 }
+                if resolved.is_none() && cand != NO_ITEM {
+                    // Tag/hash collision: scan all candidates (MemC3 slow
+                    // path).
+                    fallback.clear();
+                    g.index.lookup_all(shard_hashes[j], &mut fallback);
+                    for &c in &fallback {
+                        if let Some(r) = g.items.get(c) {
+                            if item_key(g.slab.chunk(r)) == key {
+                                resolved = Some((c, r));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some((item, r)) = resolved {
+                    resp.push_value(i, item_value(g.slab.chunk(r)));
+                    g.clock.touch(item);
+                    shard_found += 1;
+                }
             }
-            if let Some((item, r)) = resolved {
-                resp.push_value(i, item_value(g.slab.chunk(r)));
-                g.clock.touch(item);
-                found += 1;
-            }
+            let tl2 = Instant::now();
+            drop(g);
+            found += shard_found as usize;
+            lookup_ns += (tl1 - tl0).as_nanos() as u64;
+            post_ns += (tl2 - tl1).as_nanos() as u64;
+            slot.counters
+                .mget_keys
+                .fetch_add(n_sub as u64, Ordering::Relaxed);
+            slot.counters
+                .mget_hits
+                .fetch_add(shard_found, Ordering::Relaxed);
         }
-        let t3 = Instant::now();
         resp.hashes = hashes;
         resp.candidates = candidates;
+        resp.per_shard = per_shard;
+        resp.sub_hashes = sub_hashes;
 
         MGetOutcome {
             found,
             phases: PhaseNanos {
                 pre: (t1 - t0).as_nanos() as u64,
-                lookup: (t2 - t1).as_nanos() as u64,
-                post: (t3 - t2).as_nanos() as u64,
+                lookup: lookup_ns,
+                post: post_ns,
             },
         }
     }
 }
 
-impl Inner {
+impl Shard {
     /// Find the item id whose stored key equals `key`, verifying against
     /// the slab (never trusts the index alone).
     fn find_verified(&self, hash: u32, key: &[u8]) -> Option<u32> {
@@ -369,12 +620,13 @@ impl Inner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::{Memc3Index, SimdIndex, SimdIndexKind};
+    use crate::index::{by_short_name, Memc3Index, SimdIndex, SimdIndexKind};
 
     fn stores(capacity: usize) -> Vec<KvStore> {
         let cfg = StoreConfig {
             memory_budget: 8 << 20,
             capacity_items: capacity,
+            shards: 1,
         };
         vec![
             KvStore::new(Box::new(Memc3Index::with_capacity(capacity)), cfg),
@@ -393,6 +645,22 @@ mod tests {
                 cfg,
             ),
         ]
+    }
+
+    fn sharded_stores(capacity: usize, shards: usize) -> Vec<KvStore> {
+        ["memc3", "hor", "ver"]
+            .iter()
+            .map(|which| {
+                KvStore::with_shards(
+                    StoreConfig {
+                        memory_budget: 32 << 20,
+                        capacity_items: capacity,
+                        shards,
+                    },
+                    |cap| by_short_name(which, cap).unwrap(),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -416,6 +684,112 @@ mod tests {
                 );
             }
             assert_eq!(store.get(b"missing"), None);
+        }
+    }
+
+    #[test]
+    fn sharded_set_get_roundtrip_all_indexes() {
+        for store in sharded_stores(4000, 4) {
+            assert_eq!(store.n_shards(), 4);
+            for i in 0..2000u32 {
+                store
+                    .set(
+                        format!("key-{i}").as_bytes(),
+                        format!("value-{i}").as_bytes(),
+                    )
+                    .unwrap();
+            }
+            assert_eq!(store.len(), 2000, "{}", store.index_name());
+            for i in (0..2000u32).step_by(7) {
+                let v = store.get(format!("key-{i}").as_bytes());
+                assert_eq!(
+                    v.as_deref(),
+                    Some(format!("value-{i}").as_bytes()),
+                    "{} key {i}",
+                    store.index_name()
+                );
+            }
+            assert_eq!(store.get(b"missing"), None);
+            // Every shard received a plausible share of 2000 uniform keys.
+            let lens = store.shard_lens();
+            assert_eq!(lens.iter().sum::<usize>(), 2000);
+            for (s, &l) in lens.iter().enumerate() {
+                assert!(l > 2000 / 4 / 4, "shard {s} starved: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mget_spans_shards() {
+        for store in sharded_stores(1000, 8) {
+            for i in 0..500u32 {
+                store
+                    .set(format!("k{i}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            let keys: Vec<String> = (0..500u32).map(|i| format!("k{i}")).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+            let mut resp = MGetResponse::new();
+            let out = store.mget(&refs, &mut resp);
+            assert_eq!(out.found, 500, "{}", store.index_name());
+            for (i, _) in keys.iter().enumerate() {
+                assert_eq!(resp.value(i), Some(&(i as u32).to_le_bytes()[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counter_conservation() {
+        let store = KvStore::with_shards(
+            StoreConfig {
+                memory_budget: 16 << 20,
+                capacity_items: 4000,
+                shards: 8,
+            },
+            |cap| by_short_name("hor", cap).unwrap(),
+        );
+        for i in 0..1000u32 {
+            store.set(format!("c{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in (0..1000u32).step_by(3) {
+            assert!(store.delete(format!("c{i}").as_bytes()));
+        }
+        let keys: Vec<String> = (0..1000u32).map(|i| format!("c{i}")).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let mut resp = MGetResponse::new();
+        let out = store.mget(&refs, &mut resp);
+
+        let totals = store.totals();
+        let per_shard = store.shard_stats();
+        let mut summed = ShardStats::default();
+        for s in &per_shard {
+            summed.add(s);
+        }
+        assert_eq!(summed, totals, "per-shard sums must equal totals");
+        assert_eq!(totals.sets, 1000);
+        assert_eq!(totals.deletes, 334);
+        assert_eq!(totals.mget_keys, 1000);
+        assert_eq!(totals.mget_hits as usize, out.found);
+        assert_eq!(totals.items, store.len());
+        assert_eq!(store.len(), 1000 - 334);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let store = KvStore::with_shards(
+            StoreConfig {
+                shards: 16,
+                ..StoreConfig::default()
+            },
+            |cap| by_short_name("memc3", cap).unwrap(),
+        );
+        let (mul, shift, mask) = store.shard_params();
+        for i in 0..10_000u32 {
+            let key = format!("route-{i}");
+            let s = store.shard_of(key.as_bytes());
+            assert!(s < 16);
+            assert_eq!(s, store.shard_of(key.as_bytes()), "routing must be stable");
+            assert_eq!(s, shard_route(hash_key(key.as_bytes()), mul, shift, mask));
         }
     }
 
@@ -465,6 +839,7 @@ mod tests {
             StoreConfig {
                 memory_budget: 2 << 20, // 2 MiB: forces eviction
                 capacity_items: 100_000,
+                shards: 1,
             },
         );
         let value = vec![0xABu8; 1024];
@@ -474,6 +849,7 @@ mod tests {
         // The store survived and recent keys are readable.
         assert!(store.len() < 10_000, "eviction never triggered");
         assert_eq!(store.get(b"key-009999").as_deref(), Some(&value[..]));
+        assert!(store.totals().evictions > 0, "evictions must be counted");
     }
 
     #[test]
@@ -485,6 +861,7 @@ mod tests {
             StoreConfig {
                 memory_budget: 8 << 20,
                 capacity_items: 64,
+                shards: 1,
             },
         );
         for i in 0..2000u32 {
@@ -511,6 +888,24 @@ mod tests {
     }
 
     #[test]
+    fn response_buffer_reusable_across_shard_counts() {
+        // One MGetResponse driven against stores of different shard counts
+        // must not carry stale partition scratch between them.
+        let s1 = &sharded_stores(500, 1)[0];
+        let s8 = &sharded_stores(500, 8)[0];
+        s1.set(b"k", b"one").unwrap();
+        s8.set(b"k", b"eight").unwrap();
+        let mut resp = MGetResponse::new();
+        s8.mget(&[b"k".as_ref()], &mut resp);
+        assert_eq!(resp.value(0), Some(&b"eight"[..]));
+        s1.mget(&[b"k".as_ref()], &mut resp);
+        assert_eq!(resp.value(0), Some(&b"one"[..]));
+        s8.mget(&[b"k".as_ref(), b"absent".as_ref()], &mut resp);
+        assert_eq!(resp.value(0), Some(&b"eight"[..]));
+        assert_eq!(resp.value(1), None);
+    }
+
+    #[test]
     fn concurrent_reads_while_writing() {
         use std::sync::Arc;
         let store = Arc::new(KvStore::new(
@@ -523,6 +918,9 @@ mod tests {
         for i in 0..2000u32 {
             store.set(format!("k{i}").as_bytes(), b"v").unwrap();
         }
+        // Reader and writer threads are all joined below; KvStore itself
+        // never spawns threads (see the module docs), so the store drops
+        // only after every thread's Arc clone is gone.
         let readers: Vec<_> = (0..4)
             .map(|t| {
                 let store = Arc::clone(&store);
@@ -549,5 +947,41 @@ mod tests {
             assert_eq!(r.join().unwrap(), 500);
         }
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_does_not_race_concurrent_use() {
+        // Regression for the drop/shutdown contract: the main handle is
+        // dropped while worker threads still hold Arc clones; the last
+        // worker to finish performs the real drop. Must not deadlock,
+        // panic, or leak a poisoned lock.
+        use std::sync::Arc;
+        for _ in 0..8 {
+            let store = Arc::new(KvStore::with_shards(
+                StoreConfig {
+                    memory_budget: 8 << 20,
+                    capacity_items: 2000,
+                    shards: 4,
+                },
+                |cap| by_short_name("ver", cap).unwrap(),
+            ));
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let store = Arc::clone(&store);
+                    std::thread::spawn(move || {
+                        let mut resp = MGetResponse::new();
+                        for i in 0..200u32 {
+                            let key = format!("d{}-{}", t, i);
+                            store.set(key.as_bytes(), b"v").unwrap();
+                            store.mget(&[key.as_bytes()], &mut resp);
+                        }
+                    })
+                })
+                .collect();
+            drop(store); // main handle gone while threads are mid-flight
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
     }
 }

@@ -94,6 +94,113 @@ fn malformed_corpus_is_rejected() {
     }
 }
 
+/// Systematic truncation of a real two-key MGet frame: because the key
+/// count is declared up front, *every* strict prefix — cut mid-count,
+/// mid-key-length, or mid-key-bytes — must be rejected; there is no
+/// prefix that silently decodes to fewer keys.
+#[test]
+fn truncated_mget_frames_are_rejected() {
+    let req = Request::MGet {
+        id: 0xABCD,
+        keys: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"seven77")],
+    };
+    let full = req.encode();
+    // Layout: op(1) + id(8) + count(2) + [klen(2) + key]*.
+    assert_eq!(full.len(), 1 + 8 + 2 + 2 + 5 + 2 + 7);
+    for cut in 1..full.len() {
+        assert!(
+            Request::decode(full.slice(..cut)).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    assert_eq!(Request::decode(full).unwrap(), req);
+}
+
+/// A batch may name the same key more than once; the frame decodes with
+/// one slot per occurrence (the server answers per-key, it does not
+/// dedupe or reject).
+#[test]
+fn duplicate_keys_in_batch_decode_per_slot() {
+    let dup = Bytes::from_static(b"hot-key");
+    let req = Request::MGet {
+        id: 9,
+        keys: vec![dup.clone(), Bytes::from_static(b"other"), dup.clone(), dup],
+    };
+    let decoded = Request::decode(req.encode()).unwrap();
+    assert_eq!(decoded, req);
+    let Request::MGet { keys, .. } = decoded else {
+        unreachable!()
+    };
+    assert_eq!(keys.len(), 4, "duplicates must keep their slots");
+    assert_eq!(keys[0], keys[2]);
+}
+
+/// End-to-end: a live `Kvsd` answers a duplicate-key Multi-Get per slot
+/// (every occurrence filled, misses left empty) and keeps the connection
+/// usable afterwards — duplicates are normal traffic, not a protocol
+/// violation.
+#[test]
+fn kvsd_answers_duplicate_keys_per_slot() {
+    use std::sync::Arc;
+
+    use simdht_kvs::index::by_short_name;
+    use simdht_kvs::kvsd::Kvsd;
+    use simdht_kvs::net::TcpConn;
+    use simdht_kvs::store::{KvStore, StoreConfig};
+    use simdht_kvs::transport::ClientConn;
+
+    let store = Arc::new(KvStore::new(
+        by_short_name("memc3", 64).expect("known index"),
+        StoreConfig {
+            memory_budget: 4 << 20,
+            capacity_items: 64,
+            shards: 1,
+        },
+    ));
+    store.set(b"hot-key", b"hot-value").expect("preload");
+    let kvsd = Kvsd::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind");
+    let mut conn = TcpConn::connect(kvsd.local_addr()).expect("connect");
+
+    let req = Request::MGet {
+        id: 41,
+        keys: vec![
+            Bytes::from_static(b"hot-key"),
+            Bytes::from_static(b"missing"),
+            Bytes::from_static(b"hot-key"),
+            Bytes::from_static(b"hot-key"),
+        ],
+    };
+    conn.send(req.encode()).expect("send");
+    let (frame, _) = conn.recv().expect("recv");
+    let Response::MGet { id, entries } = Response::decode(frame).expect("decode") else {
+        panic!("expected an MGet response");
+    };
+    assert_eq!(id, 41);
+    assert_eq!(entries.len(), 4, "one entry per slot, duplicates included");
+    let hot = Bytes::from_static(b"hot-value");
+    assert_eq!(entries[0].as_ref(), Some(&hot));
+    assert_eq!(entries[1], None, "miss slot stays empty");
+    assert_eq!(entries[2].as_ref(), Some(&hot));
+    assert_eq!(entries[3].as_ref(), Some(&hot));
+
+    // The connection survives: a second request on the same socket works.
+    let again = Request::MGet {
+        id: 42,
+        keys: vec![Bytes::from_static(b"hot-key")],
+    };
+    conn.send(again.encode()).expect("send again");
+    let (frame, _) = conn.recv().expect("recv again");
+    match Response::decode(frame).expect("decode again") {
+        Response::MGet { id, entries } => {
+            assert_eq!(id, 42);
+            assert_eq!(entries[0].as_ref(), Some(&hot));
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    drop(conn);
+    kvsd.shutdown();
+}
+
 /// Valid messages survive having garbage appended only if decoding is
 /// strict about opcodes — trailing bytes after a complete message are
 /// tolerated by design (the frame layer delimits messages), but a frame

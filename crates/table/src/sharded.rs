@@ -76,6 +76,13 @@ impl<K: Lane, V: Lane> ShardedTable<K, V> {
         self.shards.len()
     }
 
+    /// The `(mul, shift, mask)` multiply-shift routing parameters, so
+    /// other layers (e.g. the sharded KVS store) can prove they agree on
+    /// placement for the same parameters.
+    pub fn shard_params(&self) -> (K, u32, usize) {
+        (self.shard_mul, self.shard_shift, self.shard_mask)
+    }
+
     /// The shard index a key routes to.
     #[inline(always)]
     pub fn shard_of(&self, key: K) -> usize {

@@ -49,6 +49,7 @@ fn main() {
         store: StoreConfig {
             memory_budget: 64 << 20,
             capacity_items: ITEMS * 2,
+            shards: 1,
         },
         ..MemslapConfig::default()
     };

@@ -58,6 +58,7 @@ fn all_backends_answer_identically() {
     let cfg = StoreConfig {
         memory_budget: 16 << 20,
         capacity_items: 8000,
+        shards: 1,
     };
     let stores: Vec<KvStore> = indexes(8000)
         .into_iter()
@@ -94,6 +95,7 @@ fn memslap_full_pipeline_all_backends() {
         store: StoreConfig {
             memory_budget: 16 << 20,
             capacity_items: 5000,
+            shards: 1,
         },
         ..MemslapConfig::default()
     };
@@ -127,6 +129,7 @@ fn store_concurrent_mixed_load() {
         StoreConfig {
             memory_budget: 32 << 20,
             capacity_items: 20_000,
+            shards: 1,
         },
     ));
     for i in 0..5000u32 {
@@ -172,6 +175,7 @@ fn updates_and_value_growth() {
             StoreConfig {
                 memory_budget: 8 << 20,
                 capacity_items: 1000,
+                shards: 1,
             },
         );
         for round in 0..5 {

@@ -22,6 +22,7 @@ fn spawn_kvsd(index_name: &str, capacity: usize) -> Kvsd {
         StoreConfig {
             memory_budget: 16 << 20,
             capacity_items: capacity,
+            shards: 1,
         },
     ));
     Kvsd::bind(store, "127.0.0.1:0").expect("bind ephemeral loopback port")
