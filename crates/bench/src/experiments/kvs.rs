@@ -212,6 +212,7 @@ fn run_one_tcp(
             pipeline_depth: 16,
             set_fraction: 0.0,
             preload: true,
+            ..NetMemslapConfig::default()
         },
     )
     .expect("loopback memslap run");
@@ -294,6 +295,7 @@ fn run_one_sharded_tcp(
             pipeline_depth: 16,
             set_fraction: 0.2,
             preload: true,
+            ..NetMemslapConfig::default()
         },
     )
     .expect("loopback shard sweep run");

@@ -8,9 +8,10 @@
 //! README quickstart.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use simdht_kvs::index;
-use simdht_kvs::kvsd::Kvsd;
+use simdht_kvs::kvsd::{Kvsd, KvsdConfig};
 use simdht_kvs::store::{KvStore, StoreConfig};
 
 const USAGE: &str = "\
@@ -29,6 +30,14 @@ OPTIONS:
                            only within a shard, MGets batch per shard)
     --duration <secs>      Serve this long, then drain and print stats
                            (default: serve until killed)
+    --deadline-ms <n>      Per-request deadline; requests that cannot start
+                           in time are answered DEADLINE_EXCEEDED instead of
+                           queueing forever (default: none)
+    --max-inflight <n>     Admission cap across connections; requests beyond
+                           it are shed with SERVER_BUSY once the deadline
+                           (if any) expires (default: unlimited)
+    --idle-timeout-ms <n>  Reap connections silent (or stalled mid-frame)
+                           this long (default: never)
     -h, --help             Show this help
 ";
 
@@ -39,6 +48,7 @@ struct Args {
     memory_mb: usize,
     shards: usize,
     duration: Option<u64>,
+    config: KvsdConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         memory_mb: 64,
         shards: 1,
         duration: None,
+        config: KvsdConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +91,28 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--duration: {e}"))?,
                 );
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.config.deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-inflight" => {
+                args.config.max_inflight = Some(
+                    value("--max-inflight")?
+                        .parse()
+                        .map_err(|e| format!("--max-inflight: {e}"))?,
+                );
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--idle-timeout-ms must be >= 1".to_string());
+                }
+                args.config.idle_timeout = Some(Duration::from_millis(ms));
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -114,7 +147,7 @@ fn main() {
         },
         |cap| index::by_short_name(&args.index, cap).expect("index name validated above"),
     ));
-    let kvsd = match Kvsd::bind(Arc::clone(&store), args.addr.as_str()) {
+    let kvsd = match Kvsd::bind_with(Arc::clone(&store), args.addr.as_str(), args.config) {
         Ok(k) => k,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);
@@ -140,10 +173,11 @@ fn main() {
             let summaries = kvsd.shutdown();
             use std::sync::atomic::Ordering::Relaxed;
             println!(
-                "drained after {secs}s: {} mgets, {} keys ({} found), {} closed connections",
+                "drained after {secs}s: {} mgets, {} keys ({} found), {} shed, {} closed connections",
                 stats.requests.load(Relaxed),
                 stats.keys.load(Relaxed),
                 stats.found.load(Relaxed),
+                stats.shed.load(Relaxed),
                 summaries.len(),
             );
             if store.n_shards() > 1 {

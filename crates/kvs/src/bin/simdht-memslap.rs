@@ -5,6 +5,7 @@
 //! simdht-memslap --addr 127.0.0.1:11411 --connections 4 --depth 16
 //! ```
 
+use simdht_kvs::fault::FaultSpec;
 use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
 use simdht_kvs::net::TcpTransport;
 use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
@@ -28,6 +29,15 @@ OPTIONS:
     --set-fraction <f>     Fraction of requests issued as Sets (default 0.0)
     --no-preload           Skip storing the items first (server already warm)
     --seed <n>             Workload RNG seed (default 19283)
+    --deadline-ms <n>      Per-recv timeout in ms; a silent server counts as
+                           a failed attempt and is retried (default 1000)
+    --max-retries <n>      Extra attempts per Multi-Get after the first
+                           (default 3; Sets are never retried)
+    --faults <spec>        Inject deterministic faults between client and
+                           server, e.g.
+                           seed=42,drop=0.01,delay=0.05,delay-ms=3,corrupt=0.01
+                           (keys: seed, drop, delay, delay-ms, truncate,
+                           corrupt, close; probabilities are per frame)
     -h, --help             Show this help
 ";
 
@@ -43,8 +53,7 @@ fn parse_args() -> Result<Args, String> {
         net: NetMemslapConfig {
             connections: 4,
             pipeline_depth: 16,
-            set_fraction: 0.0,
-            preload: true,
+            ..NetMemslapConfig::default()
         },
         spec: KvWorkloadSpec {
             n_items: 10_000,
@@ -91,6 +100,22 @@ fn parse_args() -> Result<Args, String> {
                     value.parse().map_err(|e| format!("--set-fraction: {e}"))?;
             }
             "--seed" => args.spec.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--deadline-ms" => {
+                let ms: u64 = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.net.retry.recv_timeout = if ms == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_millis(ms))
+                };
+            }
+            "--max-retries" => {
+                args.net.retry.max_retries =
+                    value.parse().map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--faults" => {
+                let spec = FaultSpec::parse(&value).map_err(|e| format!("--faults: {e}"))?;
+                args.net.faults = if spec.is_none() { None } else { Some(spec) };
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -123,11 +148,16 @@ fn main() {
     );
     let workload = KvWorkload::generate(&args.spec);
     println!(
-        "running against {} ({} connections, pipeline depth {}{})",
+        "running against {} ({} connections, pipeline depth {}{}{})",
         transport.addr(),
         args.net.connections,
         args.net.pipeline_depth,
         if args.net.preload { ", preloading" } else { "" },
+        if args.net.faults.is_some() {
+            ", fault injection on"
+        } else {
+            ""
+        },
     );
     let report = match run_memslap_over(&transport, &workload, &args.net) {
         Ok(r) => r,
@@ -159,4 +189,33 @@ fn main() {
         report.p95_latency_us,
         report.p99_latency_us,
     );
+    let disturbed = report.retries
+        + report.timeouts
+        + report.shed
+        + report.reconnects
+        + report.failed
+        + report.sets_uncertain;
+    if disturbed > 0 || args.net.faults.is_some() {
+        println!(
+            "resilience: {} retries, {} timeouts, {} shed, {} reconnects, \
+             {} failed, {} sets uncertain",
+            report.retries,
+            report.timeouts,
+            report.shed,
+            report.reconnects,
+            report.failed,
+            report.sets_uncertain,
+        );
+    }
+    if report.failed > 0 {
+        eprintln!(
+            "warning: {} requests abandoned after exhausting retries \
+             (partial results above)",
+            report.failed,
+        );
+    }
+    if report.requests + report.sets == 0 && report.failed > 0 {
+        eprintln!("error: no request ever succeeded against {}", args.addr);
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,588 @@
+//! Client-side resilience: recv timeouts, bounded exponential backoff
+//! with jitter, and idempotent retry over any [`Transport`].
+//!
+//! [`RetryClient`] is the policy layer the fault-injection suite drives:
+//! it turns a hostile link (see [`crate::fault`]) into either a correct
+//! response or a clean typed error — never a hang, never a wrong value.
+//!
+//! ## What retries and what doesn't
+//!
+//! * **MGet is idempotent**: re-asking for the same keys cannot change
+//!   server state, so a timed-out, failed, or garbled MGet is retried up
+//!   to [`RetryPolicy::max_retries`] times on a *fresh* connection (a
+//!   fresh stream cannot deliver a stale response from the aborted
+//!   attempt, so responses never mismatch silently).
+//! * **Set is not retried.** When a Set's response is lost the client
+//!   cannot know whether the server applied it; blindly resending could
+//!   double-apply a delta in a richer protocol and, even here, would hide
+//!   the uncertainty from the caller. [`RetryClient::set`] reports
+//!   [`SetOutcome::Uncertain`] instead and leaves the decision to the
+//!   application (the fault-matrix oracle tracks exactly this
+//!   uncertainty).
+//! * A [`crate::protocol::ErrorCode::ServerBusy`] response is the server
+//!   *shedding load*: the connection is healthy, so the client keeps it,
+//!   backs off, and retries (MGet) or reports [`SetOutcome::Shed`] (Set —
+//!   the server explicitly did not apply it, so there is no uncertainty).
+//!
+//! ## Backoff
+//!
+//! Attempt `k` (0-based) sleeps `d_k - d_k * jitter * u` where
+//! `d_k = min(base * 2^k, max)` and `u` is uniform in `[0, 1)`: the delay
+//! always lands in `[d_k * (1 - jitter), d_k]`, so tests can assert the
+//! bound exactly. Jittering *downward* from the exponential envelope
+//! keeps the worst-case wait predictable while still de-synchronizing
+//! clients that failed together.
+
+use std::io;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::transport::{ClientConn, Transport};
+
+/// Sleep abstraction so backoff tests run on a mock clock instead of
+/// wall-time.
+pub trait Clock: Send + Sync {
+    /// Sleep for `d` (or record it, for mock clocks).
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Retry/timeout policy for a [`RetryClient`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling of the exponential envelope.
+    pub max_backoff: Duration,
+    /// Fraction of the envelope jittered away, in `[0, 1]`:
+    /// 0 = deterministic full delay, 1 = uniform in `(0, d]`.
+    pub jitter: f64,
+    /// Bound on each blocking recv; `None` = wait forever (only sensible
+    /// on transports that cannot silently drop frames).
+    pub recv_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+            recv_timeout: Some(Duration::from_secs(1)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The un-jittered backoff envelope for 0-based attempt `k`:
+    /// `min(base * 2^k, max)`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let scaled = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        scaled.min(self.max_backoff)
+    }
+
+    /// The jittered delay before retry `attempt`, in
+    /// `[envelope * (1 - jitter), envelope]`.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let d = self.envelope(attempt);
+        let u: f64 = rng.gen();
+        d.mul_f64(1.0 - self.jitter.clamp(0.0, 1.0) * u)
+    }
+}
+
+/// What happened to a [`RetryClient::set`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SetOutcome {
+    /// The server confirmed the store.
+    Stored,
+    /// The server confirmed it rejected the store (e.g. over budget).
+    Rejected,
+    /// The server explicitly shed the request: definitely not applied.
+    Shed,
+    /// The request or its response was lost; the server may or may not
+    /// have applied it.
+    Uncertain,
+}
+
+/// Counters a [`RetryClient`] accumulates across operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Wire attempts issued (first tries + retries).
+    pub attempts: u64,
+    /// Retries performed (attempts beyond each operation's first).
+    pub retries: u64,
+    /// Attempts that ended in a recv timeout.
+    pub timeouts: u64,
+    /// `ServerBusy` responses received.
+    pub busy: u64,
+    /// Fresh connections opened (including each operation's first).
+    pub connects: u64,
+}
+
+/// A resilient request/response client over any [`Transport`]:
+/// timeouts, bounded backoff with jitter, idempotent MGet retry.
+pub struct RetryClient<'a> {
+    transport: &'a dyn Transport,
+    policy: RetryPolicy,
+    clock: &'a dyn Clock,
+    rng: StdRng,
+    conn: Option<Box<dyn ClientConn>>,
+    stats: RetryStats,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for RetryClient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryClient")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// The shared system clock used by [`RetryClient::new`].
+static SYSTEM_CLOCK: SystemClock = SystemClock;
+
+impl<'a> RetryClient<'a> {
+    /// A client sleeping on the real clock, with backoff jitter seeded
+    /// from `seed` (pass a fixed seed in tests for reproducible delays).
+    pub fn new(transport: &'a dyn Transport, policy: RetryPolicy, seed: u64) -> Self {
+        Self::with_clock(transport, policy, seed, &SYSTEM_CLOCK)
+    }
+
+    /// A client sleeping on a caller-supplied [`Clock`] (mock clocks in
+    /// tests).
+    pub fn with_clock(
+        transport: &'a dyn Transport,
+        policy: RetryPolicy,
+        seed: u64,
+        clock: &'a dyn Clock,
+    ) -> Self {
+        RetryClient {
+            transport,
+            policy,
+            clock,
+            rng: StdRng::seed_from_u64(seed),
+            conn: None,
+            stats: RetryStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    /// Borrow or (re)establish the connection.
+    fn conn(&mut self) -> io::Result<&mut Box<dyn ClientConn>> {
+        if self.conn.is_none() {
+            let mut conn = self.transport.connect()?;
+            conn.set_recv_timeout(self.policy.recv_timeout)?;
+            self.stats.connects += 1;
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Drop the connection so the next attempt reconnects (a timed-out or
+    /// garbled stream may hold partial frames — never reuse it).
+    fn poison(&mut self) {
+        self.conn = None;
+    }
+
+    /// Sleep the jittered backoff for 0-based retry `attempt`.
+    fn backoff(&mut self, attempt: u32) {
+        let d = self.policy.delay(attempt, &mut self.rng);
+        self.clock.sleep(d);
+    }
+
+    /// One wire round-trip: send `request`, receive and decode the
+    /// response carrying `id`.
+    fn roundtrip(&mut self, id: u64, frame: &Bytes) -> io::Result<Response> {
+        let conn = self.conn()?;
+        conn.send(frame.clone())?;
+        conn.flush()?;
+        let (payload, _) = conn.recv()?;
+        let response =
+            Response::decode(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let got = match &response {
+            Response::MGet { id, .. } | Response::Set { id, .. } | Response::Error { id, .. } => {
+                *id
+            }
+        };
+        if got != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response id does not match the request",
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Multi-Get `keys`, retrying across timeouts, connection failures,
+    /// garbled responses, and `ServerBusy` shedding.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once `1 + max_retries` attempts are
+    /// exhausted; every error is a clean typed `io::Error` (no hangs —
+    /// each recv is bounded by [`RetryPolicy::recv_timeout`]).
+    pub fn mget(&mut self, keys: &[Bytes]) -> io::Result<Vec<Option<Bytes>>> {
+        let attempts = 1 + self.policy.max_retries;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            let frame = Request::MGet {
+                id,
+                keys: keys.to_vec(),
+            }
+            .encode();
+            self.stats.attempts += 1;
+            match self.roundtrip(id, &frame) {
+                Ok(Response::MGet { entries, .. }) => return Ok(entries),
+                Ok(Response::Error { code, .. }) => {
+                    // The server answered: the connection is healthy.
+                    // ServerBusy and DeadlineExceeded are both transient;
+                    // back off and retry on the same stream.
+                    self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ResourceBusy,
+                        format!("server refused mget: {code}"),
+                    ));
+                }
+                Ok(Response::Set { .. }) => {
+                    self.poison();
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "set response to an mget request",
+                    ));
+                }
+                Err(e) => {
+                    self.stats.timeouts += u64::from(matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ));
+                    self.poison();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// Store `key` = `value`, **without retry** (Set is not idempotent
+    /// from the client's viewpoint: a lost response leaves the server
+    /// state unknown).
+    ///
+    /// # Errors
+    ///
+    /// Connection-establishment failures only; everything after the
+    /// request may have reached the server is reported as
+    /// [`SetOutcome::Uncertain`] instead of an error.
+    pub fn set(&mut self, key: Bytes, value: Bytes) -> io::Result<SetOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Request::Set { id, key, value }.encode();
+        // Connect before counting the attempt: failing to connect means
+        // the request certainly never left, which is a clean error.
+        self.conn()?;
+        self.stats.attempts += 1;
+        match self.roundtrip(id, &frame) {
+            Ok(Response::Set { ok: true, .. }) => Ok(SetOutcome::Stored),
+            Ok(Response::Set { ok: false, .. }) => Ok(SetOutcome::Rejected),
+            Ok(Response::Error { code, .. }) => {
+                self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                Ok(SetOutcome::Shed)
+            }
+            Ok(Response::MGet { .. }) => {
+                self.poison();
+                Ok(SetOutcome::Uncertain)
+            }
+            Err(e) => {
+                self.stats.timeouts += u64::from(matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ));
+                self.poison();
+                Ok(SetOutcome::Uncertain)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Records requested sleeps instead of sleeping.
+    #[derive(Default)]
+    struct MockClock {
+        sleeps: Mutex<Vec<Duration>>,
+    }
+
+    impl Clock for MockClock {
+        fn sleep(&self, d: Duration) {
+            self.sleeps.lock().unwrap().push(d);
+        }
+    }
+
+    /// Scripted behavior for one recv on the stub transport.
+    #[derive(Copy, Clone, Debug)]
+    enum Step {
+        /// Answer correctly.
+        Ok,
+        /// Fail the recv with this error kind.
+        Fail(io::ErrorKind),
+        /// Answer with `ServerBusy`.
+        Busy,
+        /// Answer with a mismatched id.
+        WrongId,
+        /// Answer with undecodable bytes.
+        Garbage,
+    }
+
+    /// A transport whose connections replay a shared script.
+    struct StubTransport {
+        script: std::sync::Arc<Mutex<VecDeque<Step>>>,
+        connects: AtomicU64,
+    }
+
+    impl StubTransport {
+        fn new(steps: impl IntoIterator<Item = Step>) -> Self {
+            StubTransport {
+                script: std::sync::Arc::new(Mutex::new(steps.into_iter().collect())),
+                connects: AtomicU64::new(0),
+            }
+        }
+    }
+
+    struct StubConn {
+        script: std::sync::Arc<Mutex<VecDeque<Step>>>,
+        last_request: Option<Request>,
+    }
+
+    impl Transport for StubTransport {
+        fn connect(&self) -> io::Result<Box<dyn ClientConn>> {
+            self.connects.fetch_add(1, Ordering::Relaxed);
+            Ok(Box::new(StubConn {
+                script: std::sync::Arc::clone(&self.script),
+                last_request: None,
+            }))
+        }
+    }
+
+    impl ClientConn for StubConn {
+        fn send(&mut self, frame: Bytes) -> io::Result<u64> {
+            self.last_request = Some(Request::decode(frame).expect("client sends valid frames"));
+            Ok(0)
+        }
+
+        fn recv(&mut self) -> io::Result<(Bytes, u64)> {
+            let step = self
+                .script
+                .lock()
+                .unwrap()
+                .pop_front()
+                .expect("script exhausted");
+            let request = self.last_request.clone().expect("recv after send");
+            let (id, n_keys) = match &request {
+                Request::MGet { id, keys } => (*id, keys.len()),
+                Request::Set { id, .. } => (*id, 0),
+                Request::Shutdown => panic!("client never sends shutdown"),
+            };
+            let frame = match (step, &request) {
+                (Step::Ok, Request::MGet { .. }) => Response::MGet {
+                    id,
+                    entries: vec![Some(Bytes::from_static(b"v")); n_keys],
+                }
+                .encode(),
+                (Step::Ok, _) => Response::Set { id, ok: true }.encode(),
+                (Step::Fail(kind), _) => return Err(io::Error::new(kind, "scripted failure")),
+                (Step::Busy, _) => Response::Error {
+                    id,
+                    code: ErrorCode::ServerBusy,
+                }
+                .encode(),
+                (Step::WrongId, _) => Response::Set {
+                    id: id + 1000,
+                    ok: true,
+                }
+                .encode(),
+                (Step::Garbage, _) => Bytes::from_static(b"not a protocol frame"),
+            };
+            Ok((frame, 0))
+        }
+    }
+
+    fn keys() -> Vec<Bytes> {
+        vec![Bytes::from_static(b"k1"), Bytes::from_static(b"k2")]
+    }
+
+    #[test]
+    fn mget_first_try_no_sleep() {
+        let transport = StubTransport::new([Step::Ok]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 1, &clock);
+        let got = client.mget(&keys()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].as_deref(), Some(&b"v"[..]));
+        assert_eq!(client.stats().attempts, 1);
+        assert_eq!(client.stats().retries, 0);
+        assert!(clock.sleeps.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mget_retries_through_timeouts_then_succeeds() {
+        let transport = StubTransport::new([
+            Step::Fail(io::ErrorKind::TimedOut),
+            Step::Fail(io::ErrorKind::TimedOut),
+            Step::Ok,
+        ]);
+        let clock = MockClock::default();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryClient::with_clock(&transport, policy.clone(), 2, &clock);
+        assert!(client.mget(&keys()).is_ok());
+        let stats = client.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 2);
+        // Each failed attempt poisons the conn: 3 attempts = 3 connects.
+        assert_eq!(transport.connects.load(Ordering::Relaxed), 3);
+        // Jitter bound: sleep k lies in [envelope_k * (1-jitter), envelope_k].
+        let sleeps = clock.sleeps.lock().unwrap();
+        assert_eq!(sleeps.len(), 2);
+        for (k, d) in sleeps.iter().enumerate() {
+            let envelope = policy.envelope(k as u32);
+            assert!(
+                *d <= envelope && *d >= envelope.mul_f64(1.0 - policy.jitter),
+                "sleep {k} = {d:?} outside [{:?}, {envelope:?}]",
+                envelope.mul_f64(1.0 - policy.jitter),
+            );
+        }
+    }
+
+    #[test]
+    fn mget_attempts_are_bounded() {
+        let transport =
+            StubTransport::new(std::iter::repeat_n(Step::Fail(io::ErrorKind::TimedOut), 16));
+        let clock = MockClock::default();
+        let policy = RetryPolicy {
+            max_retries: 4,
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryClient::with_clock(&transport, policy, 3, &clock);
+        let err = client.mget(&keys()).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ));
+        assert_eq!(client.stats().attempts, 5, "1 + max_retries, no more");
+        assert_eq!(clock.sleeps.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn backoff_envelope_is_exponential_and_capped() {
+        let transport =
+            StubTransport::new(std::iter::repeat_n(Step::Fail(io::ErrorKind::TimedOut), 8));
+        let clock = MockClock::default();
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter: 0.0, // deterministic: sleeps equal the envelope exactly
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryClient::with_clock(&transport, policy, 4, &clock);
+        let _ = client.mget(&keys());
+        let sleeps = clock.sleeps.lock().unwrap();
+        let ms: Vec<u64> = sleeps.iter().map(|d| d.as_millis() as u64).collect();
+        assert_eq!(ms, vec![10, 20, 40, 40, 40], "doubles then caps at max");
+    }
+
+    #[test]
+    fn busy_responses_back_off_without_reconnecting() {
+        let transport = StubTransport::new([Step::Busy, Step::Busy, Step::Ok]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 5, &clock);
+        assert!(client.mget(&keys()).is_ok());
+        assert_eq!(client.stats().busy, 2);
+        // The connection stayed healthy: exactly one connect.
+        assert_eq!(transport.connects.load(Ordering::Relaxed), 1);
+        assert_eq!(clock.sleeps.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn garbled_and_mismatched_responses_poison_the_connection() {
+        for bad in [Step::Garbage, Step::WrongId] {
+            let transport = StubTransport::new([bad, Step::Ok]);
+            let clock = MockClock::default();
+            let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 6, &clock);
+            assert!(client.mget(&keys()).is_ok(), "{bad:?}");
+            assert_eq!(
+                transport.connects.load(Ordering::Relaxed),
+                2,
+                "{bad:?} must force a fresh connection"
+            );
+        }
+    }
+
+    #[test]
+    fn set_is_never_retried() {
+        let transport = StubTransport::new([Step::Fail(io::ErrorKind::TimedOut), Step::Ok]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 7, &clock);
+        let outcome = client
+            .set(Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+            .unwrap();
+        assert_eq!(outcome, SetOutcome::Uncertain, "lost response = uncertain");
+        assert_eq!(client.stats().attempts, 1, "exactly one wire attempt");
+        assert!(clock.sleeps.lock().unwrap().is_empty(), "no backoff");
+        // The remaining Step::Ok proves the script was not consumed twice.
+        assert_eq!(transport.script.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn set_outcomes_map_cleanly() {
+        let transport = StubTransport::new([Step::Ok, Step::Busy]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 8, &clock);
+        let k = || Bytes::from_static(b"k");
+        let v = || Bytes::from_static(b"v");
+        assert_eq!(client.set(k(), v()).unwrap(), SetOutcome::Stored);
+        assert_eq!(client.set(k(), v()).unwrap(), SetOutcome::Shed);
+        assert_eq!(client.stats().busy, 1);
+    }
+}

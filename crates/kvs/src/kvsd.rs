@@ -18,14 +18,36 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::net::{read_frame, write_frame};
-use crate::protocol::{encode_mget_response, Request, Response};
+use crate::protocol::{encode_mget_response, ErrorCode, Request, Response};
 use crate::server::ServerStats;
 use crate::store::{KvStore, MGetResponse};
+
+/// Graceful-degradation knobs of the TCP daemon.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvsdConfig {
+    /// Per-request deadline, measured from the moment the request frame
+    /// is read off the socket. A request that cannot start processing
+    /// (e.g. waiting for an inflight slot) before the deadline is
+    /// answered with [`ErrorCode::ServerBusy`]; one already past its
+    /// deadline when it would start is answered with
+    /// [`ErrorCode::DeadlineExceeded`]. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Cap on requests being processed simultaneously across all
+    /// connections. Handlers over the cap wait (bounded by `deadline`)
+    /// and shed with [`ErrorCode::ServerBusy`] when the wait expires.
+    /// `Some(0)` sheds everything — useful for drills. `None` = no cap.
+    pub max_inflight: Option<usize>,
+    /// Close a connection after this long without a complete request
+    /// frame, so a dying or wedged client cannot hold its handler thread
+    /// (and an inflight slot's worth of buffered work) forever.
+    /// `None` = wait indefinitely.
+    pub idle_timeout: Option<Duration>,
+}
 
 /// What one connection did, recorded when it closes.
 #[derive(Clone, Debug)]
@@ -40,8 +62,73 @@ pub struct ConnSummary {
     pub keys: u64,
     /// Keys found.
     pub found: u64,
+    /// Requests answered with a shed/deadline error instead of a result.
+    pub shed: u64,
     /// Busy nanoseconds (frame decode → response encode).
     pub busy_ns: u64,
+}
+
+/// Counting semaphore bounding simultaneously-processed requests.
+struct InflightGauge {
+    limit: usize,
+    count: Mutex<usize>,
+    released: Condvar,
+}
+
+impl InflightGauge {
+    fn new(limit: usize) -> Self {
+        InflightGauge {
+            limit,
+            count: Mutex::new(0),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Take a slot, waiting at most `wait` (forever if `None`). Returns
+    /// false if no slot opened in time; a `limit` of zero never admits.
+    fn acquire(&self, wait: Option<Duration>) -> bool {
+        if self.limit == 0 {
+            return false;
+        }
+        let mut count = self.count.lock().unwrap();
+        match wait {
+            None => {
+                while *count >= self.limit {
+                    count = self.released.wait(count).unwrap();
+                }
+            }
+            Some(wait) => {
+                let deadline = Instant::now() + wait;
+                while *count >= self.limit {
+                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        return false;
+                    };
+                    let (guard, timeout) = self.released.wait_timeout(count, left).unwrap();
+                    count = guard;
+                    if timeout.timed_out() && *count >= self.limit {
+                        return false;
+                    }
+                }
+            }
+        }
+        *count += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.count.lock().unwrap() -= 1;
+        self.released.notify_one();
+    }
+}
+
+/// RAII permit from an [`InflightGauge`]: releases on drop, so every exit
+/// path of a request (including write-error breaks) frees its slot.
+struct SlotGuard<'a>(&'a InflightGauge);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
 }
 
 #[derive(Default)]
@@ -74,17 +161,32 @@ impl std::fmt::Debug for Kvsd {
 }
 
 impl Kvsd {
-    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting,
+    /// with no deadlines, inflight cap, or idle timeout.
     ///
     /// # Errors
     ///
     /// Bind failures.
     pub fn bind(store: Arc<KvStore>, addr: impl ToSocketAddrs) -> std::io::Result<Kvsd> {
+        Self::bind_with(store, addr, KvsdConfig::default())
+    }
+
+    /// Bind with full [`KvsdConfig`] control over graceful degradation.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind_with(
+        store: Arc<KvStore>,
+        addr: impl ToSocketAddrs,
+        config: KvsdConfig,
+    ) -> std::io::Result<Kvsd> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let registry = Arc::new(Registry::default());
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let gauge = config.max_inflight.map(|n| Arc::new(InflightGauge::new(n)));
 
         let accept_thread = {
             let (stats, registry, shutting_down) = (
@@ -108,8 +210,9 @@ impl Kvsd {
                             Arc::clone(&stats),
                             Arc::clone(&registry),
                         );
+                        let gauge = gauge.clone();
                         std::thread::spawn(move || {
-                            let summary = handle_connection(&store, &stats, stream);
+                            let summary = handle_connection(&store, &stats, stream, config, gauge);
                             let mut streams = registry.streams.lock().unwrap();
                             streams.retain(|(i, _)| *i != id);
                             drop(streams);
@@ -180,7 +283,13 @@ impl Drop for Kvsd {
     }
 }
 
-fn handle_connection(store: &KvStore, stats: &ServerStats, stream: TcpStream) -> ConnSummary {
+fn handle_connection(
+    store: &KvStore,
+    stats: &ServerStats,
+    stream: TcpStream,
+    config: KvsdConfig,
+    gauge: Option<Arc<InflightGauge>>,
+) -> ConnSummary {
     let _ = stream.set_nodelay(true);
     let peer = stream
         .peer_addr()
@@ -191,11 +300,15 @@ fn handle_connection(store: &KvStore, stats: &ServerStats, stream: TcpStream) ->
         sets: 0,
         keys: 0,
         found: 0,
+        shed: 0,
         busy_ns: 0,
     };
     let Ok(read_half) = stream.try_clone() else {
         return conn;
     };
+    if read_half.set_read_timeout(config.idle_timeout).is_err() {
+        return conn;
+    }
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut resp_buf = MGetResponse::new();
@@ -209,6 +322,8 @@ fn handle_connection(store: &KvStore, stats: &ServerStats, stream: TcpStream) ->
         }
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
+            // EOF, unframed garbage, or an idle timeout (a dying client
+            // stalled mid-frame): close rather than hold the thread.
             Ok(None) | Err(_) => break,
         };
         let t0 = Instant::now();
@@ -217,6 +332,45 @@ fn handle_connection(store: &KvStore, stats: &ServerStats, stream: TcpStream) ->
         let Ok(request) = Request::decode(frame) else {
             break;
         };
+        // Graceful degradation gate: acquire an inflight slot (waiting at
+        // most the request deadline), then re-check the deadline before
+        // touching the store. A shed request gets a typed error response
+        // and the connection lives on.
+        let mut slot: Option<SlotGuard<'_>> = None;
+        if let Some(id) = match &request {
+            Request::MGet { id, .. } | Request::Set { id, .. } => Some(*id),
+            Request::Shutdown => None,
+        } {
+            let code = if let Some(g) = gauge.as_deref() {
+                if g.acquire(config.deadline) {
+                    slot = Some(SlotGuard(g));
+                    None
+                } else {
+                    Some(ErrorCode::ServerBusy)
+                }
+            } else {
+                None
+            };
+            let code = code.or_else(|| {
+                config
+                    .deadline
+                    .is_some_and(|d| t0.elapsed() > d)
+                    .then_some(ErrorCode::DeadlineExceeded)
+            });
+            if let Some(code) = code {
+                drop(slot.take());
+                conn.shed += 1;
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                let payload = Response::Error { id, code }.encode();
+                if write_frame(&mut writer, &payload).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
+        // `slot` releases its inflight permit when the iteration ends —
+        // including the `break` paths.
+        let _hold = slot;
         match request {
             Request::Shutdown => break,
             Request::MGet { id, keys } => {
@@ -423,5 +577,141 @@ mod tests {
     fn shutdown_without_connections_does_not_hang() {
         let kvsd = Kvsd::bind(test_store(), "127.0.0.1:0").unwrap();
         kvsd.shutdown();
+    }
+
+    #[test]
+    fn zero_inflight_cap_sheds_every_request() {
+        let kvsd = Kvsd::bind_with(
+            test_store(),
+            "127.0.0.1:0",
+            KvsdConfig {
+                max_inflight: Some(0),
+                ..KvsdConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = TcpConn::connect(kvsd.local_addr()).unwrap();
+        for id in 0..4u64 {
+            conn.send(
+                Request::MGet {
+                    id,
+                    keys: vec![Bytes::from_static(b"present")],
+                }
+                .encode(),
+            )
+            .unwrap();
+        }
+        for id in 0..4u64 {
+            match Response::decode(conn.recv().unwrap().0).unwrap() {
+                Response::Error { id: got, code } => {
+                    assert_eq!(got, id);
+                    assert_eq!(code, crate::protocol::ErrorCode::ServerBusy);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The connection survives shedding: a Set still sheds too.
+        conn.send(
+            Request::Set {
+                id: 9,
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v"),
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert!(matches!(
+            Response::decode(conn.recv().unwrap().0).unwrap(),
+            Response::Error { id: 9, .. }
+        ));
+        drop(conn);
+        let stats = kvsd.stats();
+        kvsd.shutdown();
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 0, "nothing ran");
+    }
+
+    #[test]
+    fn zero_deadline_answers_deadline_exceeded() {
+        let kvsd = Kvsd::bind_with(
+            test_store(),
+            "127.0.0.1:0",
+            KvsdConfig {
+                deadline: Some(Duration::ZERO),
+                ..KvsdConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = TcpConn::connect(kvsd.local_addr()).unwrap();
+        conn.send(
+            Request::MGet {
+                id: 5,
+                keys: vec![Bytes::from_static(b"present")],
+            }
+            .encode(),
+        )
+        .unwrap();
+        match Response::decode(conn.recv().unwrap().0).unwrap() {
+            Response::Error { id, code } => {
+                assert_eq!(id, 5);
+                assert_eq!(code, crate::protocol::ErrorCode::DeadlineExceeded);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(conn);
+        let summaries = kvsd.shutdown();
+        assert_eq!(summaries.iter().map(|s| s.shed).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn stalled_mid_frame_client_does_not_wedge_the_server() {
+        use std::io::Write as _;
+        let kvsd = Kvsd::bind_with(
+            test_store(),
+            "127.0.0.1:0",
+            KvsdConfig {
+                idle_timeout: Some(Duration::from_millis(250)),
+                ..KvsdConfig::default()
+            },
+        )
+        .unwrap();
+        // A "dying client": writes half a frame (header promising more
+        // bytes than it sends) and then stalls, holding the socket open.
+        let mut stalled = std::net::TcpStream::connect(kvsd.local_addr()).unwrap();
+        stalled.write_all(&100u32.to_le_bytes()).unwrap();
+        stalled.write_all(b"only a few bytes").unwrap();
+        stalled.flush().unwrap();
+
+        // A healthy connection keeps being served meanwhile.
+        let mut healthy = TcpConn::connect(kvsd.local_addr()).unwrap();
+        healthy
+            .send(
+                Request::MGet {
+                    id: 1,
+                    keys: vec![Bytes::from_static(b"present")],
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(matches!(
+            Response::decode(healthy.recv().unwrap().0).unwrap(),
+            Response::MGet { id: 1, .. }
+        ));
+
+        // The stalled handler must reap itself via the idle timeout and
+        // record a (request-less) summary, with its socket still open.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let summaries = kvsd.connection_summaries();
+            if summaries.iter().any(|s| s.requests == 0 && s.sets == 0) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "stalled handler never reaped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(healthy);
+        // Shutdown completes promptly even though `stalled` never closed.
+        kvsd.shutdown();
+        drop(stalled);
     }
 }

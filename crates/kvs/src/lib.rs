@@ -24,6 +24,12 @@
 //!   substitutions).
 //! * [`net`] — the real TCP transport: length-prefixed frames carrying the
 //!   same [`protocol`] messages over actual sockets.
+//! * [`fault`] — deterministic seeded fault injection beneath the
+//!   transport traits (drop / delay / truncate / corrupt / close), the
+//!   substrate of the fault-matrix test suite.
+//! * [`client`] — client-side resilience: recv timeouts, bounded
+//!   exponential backoff with jitter, idempotent MGet retry
+//!   ([`client::RetryClient`]).
 //! * [`server`] / [`kvsd`] — worker threads draining the fabric, and the
 //!   TCP daemon behind the `simdht-kvsd` binary (pipelined per-connection
 //!   handlers, graceful drain, per-connection + aggregate stats).
@@ -52,7 +58,9 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod clock;
+pub mod fault;
 pub mod index;
 pub mod item;
 pub mod kvsd;

@@ -13,14 +13,18 @@
 //!   pipeline depth, preloads items over the wire with Sets, and reports
 //!   purely client-observable numbers ([`ClientReport`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use crate::protocol::{Request, Response};
+use crate::client::RetryPolicy;
+use crate::fault::{FaultPlan, FaultSpec, FaultyTransport};
+use crate::protocol::{ErrorCode, Request, Response};
 use crate::server::Server;
 use crate::store::{KvStore, PhaseNanos, StoreConfig};
 use crate::transport::{ClientConn, Fabric, FabricConfig, Transport};
@@ -237,6 +241,13 @@ pub struct NetMemslapConfig {
     /// Preload the workload's items over the wire with Sets before the
     /// timed run. Disable when the server is already populated.
     pub preload: bool,
+    /// Timeout/retry/backoff policy governing each connection's recovery
+    /// from timeouts, disconnects, garbled responses, and `ServerBusy`
+    /// shedding.
+    pub retry: RetryPolicy,
+    /// Inject deterministic faults between the client and the transport
+    /// (see [`crate::fault`]); `None` = drive the transport directly.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for NetMemslapConfig {
@@ -246,6 +257,8 @@ impl Default for NetMemslapConfig {
             pipeline_depth: 8,
             set_fraction: 0.0,
             preload: true,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -286,6 +299,23 @@ pub struct ClientReport {
     pub keys_per_sec: f64,
     /// Wall-clock seconds of the timed window.
     pub wall_secs: f64,
+    /// Wire attempts beyond each request's first (resends after timeouts,
+    /// disconnects, garbled responses, or shedding).
+    pub retries: u64,
+    /// Recv attempts that timed out.
+    pub timeouts: u64,
+    /// `ServerBusy`/`DeadlineExceeded` responses received.
+    pub shed: u64,
+    /// Connections re-established after a failure (excluding each
+    /// thread's initial connect).
+    pub reconnects: u64,
+    /// Requests abandoned after exhausting their retry budget (Multi-Gets
+    /// that never completed, plus Sets that failed cleanly).
+    pub failed: u64,
+    /// Sets whose outcome is unknown (response lost after the request may
+    /// have reached the server). Never retried — see
+    /// [`crate::client::RetryClient::set`] for why.
+    pub sets_uncertain: u64,
 }
 
 /// Latency percentile over a sorted nanosecond list, in µs.
@@ -304,79 +334,244 @@ struct ConnPlan {
 }
 
 /// What one connection thread measured.
+#[derive(Default)]
 struct ConnOutcome {
     latencies_ns: Vec<u64>,
     sets: u64,
     keys: u64,
     hits: u64,
+    retries: u64,
+    timeouts: u64,
+    shed: u64,
+    reconnects: u64,
+    failed: u64,
+    sets_uncertain: u64,
 }
 
-/// Drive one connection through its request stream, keeping up to `depth`
-/// requests in flight. Responses are paired to requests by echoed id, not
-/// arrival order: the TCP daemon answers each connection in order, but the
-/// fabric server's shared worker pool may reorder concurrent requests.
+impl ConnOutcome {
+    fn absorb(&mut self, other: &ConnOutcome) {
+        self.latencies_ns.extend_from_slice(&other.latencies_ns);
+        self.sets += other.sets;
+        self.keys += other.keys;
+        self.hits += other.hits;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.shed += other.shed;
+        self.reconnects += other.reconnects;
+        self.failed += other.failed;
+        self.sets_uncertain += other.sets_uncertain;
+    }
+}
+
+/// Drive one connection's request stream to completion, keeping up to
+/// `depth` requests in flight and **recovering from failures** instead of
+/// aborting: timeouts, disconnects, and garbled or shed responses requeue
+/// idempotent Multi-Gets (bounded by `policy.max_retries` attempts each)
+/// and mark in-flight Sets uncertain (never resent — the server may have
+/// applied them). Always returns an outcome; permanently-failed requests
+/// are counted, not propagated as errors.
+///
+/// Responses are paired to requests by echoed id, not arrival order: the
+/// TCP daemon answers each connection in order, but the fabric server's
+/// shared worker pool may reorder concurrent requests.
 fn drive_connection(
-    conn: &mut dyn ClientConn,
+    transport: &dyn Transport,
     plan: &ConnPlan,
     depth: usize,
-) -> io::Result<ConnOutcome> {
+    policy: &RetryPolicy,
+    seed: u64,
+) -> ConnOutcome {
     let mut outcome = ConnOutcome {
         latencies_ns: Vec::with_capacity(plan.requests.len()),
-        sets: 0,
-        keys: 0,
-        hits: 0,
+        ..ConnOutcome::default()
     };
-    let bad = |msg: &'static str| io::Error::new(io::ErrorKind::InvalidData, msg);
-    // In-flight window: id -> (is_set, send instant, modeled request wire ns).
-    let mut inflight: HashMap<u64, (bool, Instant, u64)> = HashMap::with_capacity(depth);
-    let mut next = 0;
-    while next < plan.requests.len() || !inflight.is_empty() {
-        while next < plan.requests.len() && inflight.len() < depth {
-            let (is_set, id, frame) = &plan.requests[next];
-            let req_wire = conn.send(frame.clone())?;
-            inflight.insert(*id, (*is_set, Instant::now(), req_wire));
-            next += 1;
-        }
-        let (payload, resp_wire) = conn.recv()?;
-        let response =
-            Response::decode(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        match response {
-            Response::MGet { id, entries } => {
-                let (is_set, t0, req_wire) = inflight
-                    .remove(&id)
-                    .ok_or_else(|| bad("unmatched response id"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Work queue of plan indices; per-index wire attempts so far.
+    let mut pending: VecDeque<usize> = (0..plan.requests.len()).collect();
+    let mut attempts: Vec<u32> = vec![0; plan.requests.len()];
+    // In-flight window: id -> (plan index, send instant, modeled request
+    // wire ns).
+    let mut inflight: HashMap<u64, (usize, Instant, u64)> = HashMap::with_capacity(depth);
+    let mut conn: Option<Box<dyn ClientConn>> = None;
+    let mut consecutive_failures = 0u32;
+
+    // A failed stream may hold partial frames: drop it, requeue in-flight
+    // Multi-Gets (their attempt was already counted at send), and mark
+    // in-flight Sets uncertain.
+    macro_rules! poison {
+        () => {{
+            conn = None;
+            for (_, (idx, _, _)) in inflight.drain() {
+                let (is_set, _, _) = plan.requests[idx];
                 if is_set {
-                    return Err(bad("mget response to a set request"));
+                    outcome.sets_uncertain += 1;
+                } else if attempts[idx] > policy.max_retries {
+                    outcome.failed += 1;
+                } else {
+                    pending.push_back(idx);
                 }
+            }
+        }};
+    }
+
+    while !pending.is_empty() || !inflight.is_empty() {
+        // (Re)establish the connection, backing off between failures.
+        // `max_retries` consecutive unusable connections abandon the rest
+        // of the stream (the server is gone, not flaky).
+        if conn.is_none() {
+            if consecutive_failures > policy.max_retries {
+                outcome.failed += pending.len() as u64;
+                break;
+            }
+            if consecutive_failures > 0 {
+                outcome.reconnects += 1;
+                let d = policy.envelope(consecutive_failures - 1);
+                let u: f64 = rand::Rng::gen(&mut rng);
+                let jittered = d.mul_f64(1.0 - policy.jitter.clamp(0.0, 1.0) * u);
+                if !jittered.is_zero() {
+                    std::thread::sleep(jittered);
+                }
+            }
+            match transport.connect() {
+                Ok(mut c) => {
+                    if c.set_recv_timeout(policy.recv_timeout).is_ok() {
+                        conn = Some(c);
+                    } else {
+                        consecutive_failures += 1;
+                        continue;
+                    }
+                }
+                Err(_) => {
+                    consecutive_failures += 1;
+                    continue;
+                }
+            }
+        }
+        let c = conn.as_mut().expect("just ensured");
+
+        // Fill the pipeline window. A send error poisons the stream.
+        let mut send_failed = false;
+        while inflight.len() < depth {
+            let Some(idx) = pending.pop_front() else {
+                break;
+            };
+            let (_, id, frame) = &plan.requests[idx];
+            if attempts[idx] > 0 {
+                outcome.retries += 1;
+            }
+            attempts[idx] += 1;
+            match c.send(frame.clone()) {
+                Ok(req_wire) => {
+                    inflight.insert(*id, (idx, Instant::now(), req_wire));
+                }
+                Err(_) => {
+                    // The frame may be partially written; requeue this
+                    // request along with the rest of the window.
+                    if attempts[idx] > policy.max_retries {
+                        let (is_set, _, _) = plan.requests[idx];
+                        if is_set {
+                            outcome.sets_uncertain += 1;
+                        } else {
+                            outcome.failed += 1;
+                        }
+                    } else {
+                        pending.push_back(idx);
+                    }
+                    send_failed = true;
+                    break;
+                }
+            }
+        }
+        if send_failed {
+            poison!();
+            consecutive_failures += 1;
+            continue;
+        }
+        if inflight.is_empty() {
+            continue;
+        }
+
+        // One response (or failure) per loop turn.
+        let (payload, resp_wire) = match c.recv() {
+            Ok(r) => r,
+            Err(e) => {
+                outcome.timeouts += u64::from(matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ));
+                poison!();
+                consecutive_failures += 1;
+                continue;
+            }
+        };
+        let Ok(response) = Response::decode(payload) else {
+            // Garbled response: the stream cannot be trusted anymore.
+            poison!();
+            consecutive_failures += 1;
+            continue;
+        };
+        let (id, entries, set_ok, err_code) = match response {
+            Response::MGet { id, entries } => (id, Some(entries), false, None),
+            Response::Set { id, ok } => (id, None, ok, None),
+            Response::Error { id, code } => (id, None, false, Some(code)),
+        };
+        let Some((idx, t0, req_wire)) = inflight.remove(&id) else {
+            // A response we never asked for on this stream: protocol
+            // violation, resync by reconnecting.
+            poison!();
+            consecutive_failures += 1;
+            continue;
+        };
+        let (is_set, _, _) = plan.requests[idx];
+        consecutive_failures = 0;
+        match (entries, err_code) {
+            (Some(entries), _) if !is_set => {
                 outcome.keys += entries.len() as u64;
                 outcome.hits += entries.iter().filter(|e| e.is_some()).count() as u64;
                 outcome
                     .latencies_ns
                     .push(t0.elapsed().as_nanos() as u64 + req_wire + resp_wire);
             }
-            Response::Set { id, ok } => {
-                let (is_set, _, _) = inflight
-                    .remove(&id)
-                    .ok_or_else(|| bad("unmatched response id"))?;
-                if !is_set {
-                    return Err(bad("set response to an mget request"));
+            (None, Some(code)) => {
+                // The server shed this request; the connection is fine.
+                outcome.shed += u64::from(matches!(
+                    code,
+                    ErrorCode::ServerBusy | ErrorCode::DeadlineExceeded
+                ));
+                if is_set {
+                    // Explicitly not applied; Sets are not retried.
+                    outcome.failed += 1;
+                } else if attempts[idx] > policy.max_retries {
+                    outcome.failed += 1;
+                } else {
+                    pending.push_back(idx);
                 }
-                if !ok {
-                    return Err(bad("server rejected a set"));
+            }
+            (None, None) if is_set => {
+                if set_ok {
+                    outcome.sets += 1;
+                } else {
+                    outcome.failed += 1;
                 }
-                outcome.sets += 1;
+            }
+            _ => {
+                // Response type contradicts the request type.
+                poison!();
+                consecutive_failures += 1;
             }
         }
     }
-    Ok(outcome)
+    outcome
 }
 
-/// Store every workload item on the server via pipelined Sets.
+/// Store every workload item on the server via pipelined Sets, riding the
+/// same resilient driver as the timed run.
 fn preload_over_wire(
     transport: &dyn Transport,
     workload: &KvWorkload,
     depth: usize,
-) -> io::Result<()> {
+    policy: &RetryPolicy,
+) -> io::Result<ConnOutcome> {
     let requests = workload
         .items()
         .iter()
@@ -394,10 +589,19 @@ fn preload_over_wire(
             )
         })
         .collect();
-    let mut conn = transport.connect()?;
-    let outcome = drive_connection(&mut *conn, &ConnPlan { requests }, depth.max(1))?;
-    debug_assert_eq!(outcome.sets as usize, workload.items().len());
-    Ok(())
+    let outcome = drive_connection(
+        transport,
+        &ConnPlan { requests },
+        depth.max(1),
+        policy,
+        0x9E37_79B9,
+    );
+    if outcome.sets + outcome.sets_uncertain + outcome.failed < workload.items().len() as u64 {
+        return Err(io::Error::other(
+            "preload abandoned before covering every item",
+        ));
+    }
+    Ok(outcome)
 }
 
 /// Run the networked memslap client against a server reachable through
@@ -409,10 +613,16 @@ fn preload_over_wire(
 /// against a [`crate::kvsd::Kvsd`] — the loopback case study in
 /// `simdht-bench` contrasts the two.
 ///
+/// Transient failures (timeouts, disconnects, garbled frames, server
+/// shedding) are absorbed by each connection's retry loop per
+/// `config.retry`; a run against a dying server returns **partial
+/// results** — completed requests are reported, abandoned ones show up in
+/// [`ClientReport::failed`] — rather than aborting.
+///
 /// # Errors
 ///
-/// Connection failures, mid-run I/O errors, or protocol violations
-/// (undecodable, out-of-order, or failed responses).
+/// Only total failures: a preload that could not cover the item set, or
+/// a fault spec that closes every connection before any work completes.
 ///
 /// # Panics
 ///
@@ -424,8 +634,19 @@ pub fn run_memslap_over(
 ) -> io::Result<ClientReport> {
     assert!(config.connections >= 1, "need at least one connection");
     assert!(config.pipeline_depth >= 1, "pipeline depth must be >= 1");
+    // Splice the fault layer in front of the real transport when asked.
+    let fault_plan = config.faults.map(|spec| Arc::new(FaultPlan::new(spec)));
+    let faulty = fault_plan
+        .as_ref()
+        .map(|plan| FaultyTransport::new(transport, Arc::clone(plan)));
+    let transport: &dyn Transport = match &faulty {
+        Some(f) => f,
+        None => transport,
+    };
+    let mut preload_outcome = ConnOutcome::default();
     if config.preload {
-        preload_over_wire(transport, workload, config.pipeline_depth)?;
+        preload_outcome =
+            preload_over_wire(transport, workload, config.pipeline_depth, &config.retry)?;
     }
 
     // Pre-encode each connection's request stream (encode cost is not what
@@ -472,13 +693,14 @@ pub fn run_memslap_over(
         .collect();
 
     let wall_start = Instant::now();
-    let outcomes: io::Result<Vec<ConnOutcome>> = std::thread::scope(|s| {
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = plans
             .iter()
-            .map(|plan| {
+            .enumerate()
+            .map(|(c, plan)| {
+                let retry = &config.retry;
                 s.spawn(move || {
-                    let mut conn = transport.connect()?;
-                    drive_connection(&mut *conn, plan, config.pipeline_depth)
+                    drive_connection(transport, plan, config.pipeline_depth, retry, c as u64)
                 })
             })
             .collect();
@@ -487,34 +709,40 @@ pub fn run_memslap_over(
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
-    let outcomes = outcomes?;
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
-    let mut sorted: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_ns.iter().copied())
-        .collect();
+    let mut total = preload_outcome;
+    // Preload sets are setup, not workload: fold its resilience counters
+    // in but keep its Sets out of the report's `sets`.
+    total.sets = 0;
+    for o in &outcomes {
+        total.absorb(o);
+    }
+    let mut sorted = total.latencies_ns;
     sorted.sort_unstable();
-    let sets: u64 = outcomes.iter().map(|o| o.sets).sum();
-    let keys: u64 = outcomes.iter().map(|o| o.keys).sum();
-    let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
     let requests = sorted.len() as u64;
     Ok(ClientReport {
         connections: config.connections,
         pipeline_depth: config.pipeline_depth,
         requests,
-        sets,
-        keys,
-        hits,
-        misses: keys - hits,
+        sets: total.sets,
+        keys: total.keys,
+        hits: total.hits,
+        misses: total.keys - total.hits,
         mean_latency_us: sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0,
         min_latency_us: sorted.first().map_or(0.0, |&n| n as f64 / 1_000.0),
         p50_latency_us: percentile_us(&sorted, 0.50),
         p95_latency_us: percentile_us(&sorted, 0.95),
         p99_latency_us: percentile_us(&sorted, 0.99),
-        requests_per_sec: (requests + sets) as f64 / wall_secs.max(1e-9),
-        keys_per_sec: keys as f64 / wall_secs.max(1e-9),
+        requests_per_sec: (requests + total.sets) as f64 / wall_secs.max(1e-9),
+        keys_per_sec: total.keys as f64 / wall_secs.max(1e-9),
         wall_secs,
+        retries: total.retries,
+        timeouts: total.timeouts,
+        shed: total.shed,
+        reconnects: total.reconnects,
+        failed: total.failed,
+        sets_uncertain: total.sets_uncertain,
     })
 }
 

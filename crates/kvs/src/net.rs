@@ -34,17 +34,53 @@ use crate::transport::{ClientConn, Transport};
 /// what a bad length prefix can allocate.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// Typed error for a frame whose length exceeds [`MAX_FRAME_BYTES`].
+///
+/// Carried as the source of the [`io::Error`] returned by [`read_frame`]
+/// (kind [`io::ErrorKind::InvalidData`]) and [`write_frame`] (kind
+/// [`io::ErrorKind::InvalidInput`]), so callers can distinguish "oversized
+/// frame" from other framing failures via
+/// `err.get_ref().is_some_and(|e| e.is::<FrameTooLarge>())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The offending frame length in bytes.
+    pub len: usize,
+    /// The limit it exceeded ([`MAX_FRAME_BYTES`]).
+    pub limit: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame of {} bytes exceeds the {}-byte limit",
+            self.len, self.limit
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+impl FrameTooLarge {
+    fn new(len: usize) -> Self {
+        FrameTooLarge {
+            len,
+            limit: MAX_FRAME_BYTES,
+        }
+    }
+}
+
 /// Write one length-prefixed frame. The caller flushes.
 ///
 /// # Errors
 ///
-/// I/O errors from `w`, or [`io::ErrorKind::InvalidInput`] if the payload
-/// exceeds [`MAX_FRAME_BYTES`].
+/// I/O errors from `w`, or [`io::ErrorKind::InvalidInput`] carrying a
+/// [`FrameTooLarge`] source if the payload exceeds [`MAX_FRAME_BYTES`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            "frame exceeds MAX_FRAME_BYTES",
+            FrameTooLarge::new(payload.len()),
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -59,8 +95,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// # Errors
 ///
 /// I/O errors from `r`; [`io::ErrorKind::UnexpectedEof`] if the stream
-/// ends mid-frame; [`io::ErrorKind::InvalidData`] if the length prefix
-/// exceeds [`MAX_FRAME_BYTES`].
+/// ends mid-frame; [`io::ErrorKind::InvalidData`] carrying a
+/// [`FrameTooLarge`] source if the length prefix exceeds
+/// [`MAX_FRAME_BYTES`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
     let mut len_buf = [0u8; 4];
     // A clean close arrives as EOF on the first header byte; EOF anywhere
@@ -82,7 +119,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "frame length exceeds MAX_FRAME_BYTES",
+            FrameTooLarge::new(len),
         ));
     }
     let mut payload = vec![0u8; len];
@@ -169,6 +206,10 @@ impl ClientConn for TcpConn {
     fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +244,12 @@ mod tests {
         let bad = u32::MAX.to_le_bytes();
         let err = read_frame(&mut &bad[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+            .expect("typed FrameTooLarge source");
+        assert_eq!(inner.len, u32::MAX as usize);
+        assert_eq!(inner.limit, MAX_FRAME_BYTES);
     }
 
     #[test]
@@ -210,6 +257,33 @@ mod tests {
         let huge = vec![0u8; MAX_FRAME_BYTES + 1];
         let err = write_frame(&mut Vec::new(), &huge).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+            .expect("typed FrameTooLarge source");
+        assert_eq!(inner.len, MAX_FRAME_BYTES + 1);
+    }
+
+    #[test]
+    fn recv_timeout_fires_on_silent_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept but never respond.
+        let silent = std::thread::spawn(move || listener.accept().unwrap());
+        let mut conn = TcpConn::connect(addr).unwrap();
+        conn.set_recv_timeout(Some(std::time::Duration::from_millis(50)))
+            .unwrap();
+        conn.send(Bytes::from_static(b"ping")).unwrap();
+        let err = conn.recv().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected kind {:?}",
+            err.kind()
+        );
+        drop(silent.join().unwrap());
     }
 
     #[test]

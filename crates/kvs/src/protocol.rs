@@ -5,8 +5,80 @@
 //! Here each Multi-Get request and its response are encoded into contiguous
 //! byte messages; the fabric layer charges the modeled wire cost per
 //! message byte, so response sizes matter exactly as they did on EDR.
+//!
+//! ## Integrity
+//!
+//! Every message carries a CRC-32 trailer over its body, verified before
+//! any field is parsed. Transport checksums (TCP's 16-bit sum, the modeled
+//! fabric's nothing-at-all) do not protect against corruption introduced
+//! between encode and the socket — exactly where the fault-injection layer
+//! ([`crate::fault`]) sits — and without end-to-end integrity a flipped
+//! byte inside a key or value would be *acted on* rather than rejected
+//! (the server would store or serve a value nobody ever wrote). The CRC
+//! turns every single-byte corruption into a typed [`DecodeError`], which
+//! closes the connection instead of propagating garbage.
+//!
+//! ## Version tolerance
+//!
+//! [`Response::Error`] carries a status byte ([`ErrorCode`]). Codes this
+//! build does not know decode as [`ErrorCode::Unknown`] rather than
+//! failing, so a newer server can introduce shedding reasons without
+//! breaking older clients mid-connection.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-message integrity trailer. Detects
+/// every single-byte corruption and every burst shorter than 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append the CRC trailer to a finished message body.
+fn seal(mut b: BytesMut) -> Bytes {
+    let crc = crc32(&b);
+    b.put_u32_le(crc);
+    b.freeze()
+}
+
+/// Strip and verify the CRC trailer, leaving `msg` as the bare body.
+fn verify_checksum(msg: &mut Bytes) -> Result<(), DecodeError> {
+    let n = msg.len();
+    if n < 5 {
+        return Err(DecodeError("message too short for checksum"));
+    }
+    let expect = u32::from_le_bytes([msg[n - 4], msg[n - 3], msg[n - 2], msg[n - 1]]);
+    let body = msg.slice(..n - 4);
+    if crc32(&body) != expect {
+        return Err(DecodeError("checksum mismatch"));
+    }
+    *msg = body;
+    Ok(())
+}
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,13 +120,69 @@ pub enum Response {
         /// Whether the store accepted the pair.
         ok: bool,
     },
+    /// The server declined to process the request (graceful degradation:
+    /// the request was *not* applied and, for idempotent operations, may
+    /// safely be retried after backing off).
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Why the request was declined.
+        code: ErrorCode,
+    },
+}
+
+/// Status byte carried by [`Response::Error`].
+///
+/// Decoding is version-tolerant: a code this build does not recognize
+/// becomes [`ErrorCode::Unknown`] instead of a [`DecodeError`], so newer
+/// servers can add shedding reasons without breaking older clients.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The server is overloaded and shed this request instead of queueing
+    /// it further (load-shedding path). Retry after backoff.
+    ServerBusy,
+    /// The request waited past its deadline before processing began.
+    DeadlineExceeded,
+    /// A status byte from a future protocol revision.
+    Unknown(u8),
+}
+
+impl ErrorCode {
+    /// Wire encoding of this code.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::ServerBusy => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::Unknown(b) => b,
+        }
+    }
+
+    /// Decode a wire status byte. Total: unknown bytes map to
+    /// [`ErrorCode::Unknown`], never an error.
+    pub fn from_wire(b: u8) -> Self {
+        match b {
+            1 => ErrorCode::ServerBusy,
+            2 => ErrorCode::DeadlineExceeded,
+            other => ErrorCode::Unknown(other),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorCode::ServerBusy => write!(f, "server busy"),
+            ErrorCode::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ErrorCode::Unknown(b) => write!(f, "unknown server error {b}"),
+        }
+    }
 }
 
 /// Encode a Multi-Get response directly from a store response buffer,
 /// avoiding one allocation + copy per found value (the hot path of the
 /// server's post-processing phase).
 pub fn encode_mget_response(id: u64, resp: &crate::store::MGetResponse) -> Bytes {
-    let mut b = BytesMut::with_capacity(11 + resp.len() * 5 + resp.payload_bytes());
+    let mut b = BytesMut::with_capacity(15 + resp.len() * 5 + resp.payload_bytes());
     b.put_u8(OP_MGET_RESP);
     b.put_u64_le(id);
     b.put_u16_le(resp.len() as u16);
@@ -68,7 +196,7 @@ pub fn encode_mget_response(id: u64, resp: &crate::store::MGetResponse) -> Bytes
             None => b.put_u8(0),
         }
     }
-    b.freeze()
+    seal(b)
 }
 
 /// Decode error.
@@ -88,6 +216,7 @@ const OP_SET: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
 const OP_MGET_RESP: u8 = 128;
 const OP_SET_RESP: u8 = 129;
+const OP_ERR_RESP: u8 = 130;
 
 impl Request {
     /// Encode into a wire message.
@@ -113,15 +242,17 @@ impl Request {
             }
             Request::Shutdown => b.put_u8(OP_SHUTDOWN),
         }
-        b.freeze()
+        seal(b)
     }
 
     /// Decode from a wire message.
     ///
     /// # Errors
     ///
-    /// [`DecodeError`] on truncated or unknown messages.
+    /// [`DecodeError`] on truncated, corrupted (checksum mismatch), or
+    /// unknown messages.
     pub fn decode(mut msg: Bytes) -> Result<Self, DecodeError> {
+        verify_checksum(&mut msg)?;
         if msg.is_empty() {
             return Err(DecodeError("empty request"));
         }
@@ -193,16 +324,23 @@ impl Response {
                 b.put_u64_le(*id);
                 b.put_u8(u8::from(*ok));
             }
+            Response::Error { id, code } => {
+                b.put_u8(OP_ERR_RESP);
+                b.put_u64_le(*id);
+                b.put_u8(code.to_wire());
+            }
         }
-        b.freeze()
+        seal(b)
     }
 
     /// Decode from a wire message.
     ///
     /// # Errors
     ///
-    /// [`DecodeError`] on truncated or unknown messages.
+    /// [`DecodeError`] on truncated, corrupted (checksum mismatch), or
+    /// unknown messages.
     pub fn decode(mut msg: Bytes) -> Result<Self, DecodeError> {
+        verify_checksum(&mut msg)?;
         if msg.is_empty() {
             return Err(DecodeError("empty response"));
         }
@@ -242,6 +380,14 @@ impl Response {
                 let id = msg.get_u64_le();
                 let ok = msg.get_u8() != 0;
                 Ok(Response::Set { id, ok })
+            }
+            OP_ERR_RESP => {
+                if msg.remaining() < 9 {
+                    return Err(DecodeError("truncated error response"));
+                }
+                let id = msg.get_u64_le();
+                let code = ErrorCode::from_wire(msg.get_u8());
+                Ok(Response::Error { id, code })
             }
             _ => Err(DecodeError("unknown response opcode")),
         }
@@ -332,5 +478,82 @@ mod tests {
     fn unknown_opcode_errors() {
         assert!(Request::decode(Bytes::from_static(&[200])).is_err());
         assert!(Response::decode(Bytes::from_static(&[5])).is_err());
+    }
+
+    /// Re-seal arbitrary body bytes with a valid CRC trailer, so structural
+    /// decode paths can be probed past the integrity check.
+    fn sealed(body: &[u8]) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_slice(body);
+        seal(b)
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        for code in [
+            ErrorCode::ServerBusy,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Unknown(77),
+        ] {
+            let resp = Response::Error { id: 31, code };
+            assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_error_code_is_version_tolerant() {
+        // A status byte from a future server revision decodes as Unknown
+        // instead of failing the whole message.
+        let msg = sealed(&[130, 9, 0, 0, 0, 0, 0, 0, 0, 99]);
+        match Response::decode(msg).unwrap() {
+            Response::Error { id, code } => {
+                assert_eq!(id, 9);
+                assert_eq!(code, ErrorCode::Unknown(99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        // CRC-32 detects all single-byte errors: flip every byte of an
+        // encoded message (including the trailer itself) through every
+        // nonzero XOR of its low bits and assert rejection.
+        let full = Request::MGet {
+            id: 77,
+            keys: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"bb")],
+        }
+        .encode();
+        for pos in 0..full.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = full.to_vec();
+                bytes[pos] ^= mask;
+                assert!(
+                    Request::decode(Bytes::from(bytes)).is_err(),
+                    "corruption at {pos} (xor {mask:#x}) must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn structurally_bad_bodies_still_rejected_past_checksum() {
+        // With a valid trailer, the structural checks must still fire.
+        assert!(Request::decode(sealed(&[])).is_err(), "empty body");
+        assert!(
+            Request::decode(sealed(&[1, 9, 9])).is_err(),
+            "truncated mget header"
+        );
+        assert!(
+            Response::decode(sealed(&[128, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 7])).is_err(),
+            "bad entry flag"
+        );
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorCode, Request, Response};
 use crate::store::{KvStore, MGetResponse, PhaseNanos};
 use crate::transport::Fabric;
 
@@ -20,6 +20,9 @@ pub struct ServerStats {
     pub keys: AtomicU64,
     /// Keys found.
     pub found: AtomicU64,
+    /// Requests answered with `ServerBusy`/`DeadlineExceeded` instead of
+    /// being processed (load shedding / deadline misses).
+    pub shed: AtomicU64,
     /// Busy nanoseconds (request decode → response encode), summed over
     /// workers.
     pub busy_ns: AtomicU64,
@@ -70,10 +73,46 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Configuration of the fabric server's worker pool.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads draining the receive queue.
+    pub workers: usize,
+    /// Load-shedding threshold: when, after dequeuing a request, more
+    /// than this many envelopes still wait in the server-bound queue, the
+    /// request is answered with
+    /// [`crate::protocol::ErrorCode::ServerBusy`] instead of being
+    /// processed. `None` disables shedding (requests queue until the
+    /// bounded channel pushes back on senders).
+    pub shed_queue_above: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            shed_queue_above: None,
+        }
+    }
+}
+
 impl Server {
     /// Spawn `n_workers` threads draining `fabric`'s receive queue against
-    /// `store`.
+    /// `store`, without load shedding.
     pub fn spawn(store: Arc<KvStore>, fabric: Fabric, n_workers: usize) -> Self {
+        Self::spawn_with(
+            store,
+            fabric,
+            ServerConfig {
+                workers: n_workers,
+                shed_queue_above: None,
+            },
+        )
+    }
+
+    /// Spawn a worker pool with full [`ServerConfig`] control.
+    pub fn spawn_with(store: Arc<KvStore>, fabric: Fabric, config: ServerConfig) -> Self {
+        let n_workers = config.workers;
         assert!(n_workers >= 1, "need at least one worker");
         let stats = Arc::new(ServerStats::default());
         let workers = (0..n_workers)
@@ -90,6 +129,28 @@ impl Server {
                             Ok(r) => r,
                             Err(_) => continue,
                         };
+                        // Shed before touching the store: the queue depth
+                        // *behind* this request measures how far behind
+                        // the pool is running.
+                        if let Some(limit) = config.shed_queue_above {
+                            let backlog = rx.len();
+                            let id = match &request {
+                                Request::MGet { id, .. } | Request::Set { id, .. } => Some(*id),
+                                Request::Shutdown => None,
+                            };
+                            if let (true, Some(id)) = (backlog > limit, id) {
+                                stats.shed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(reply) = &envelope.reply_to {
+                                    let payload = Response::Error {
+                                        id,
+                                        code: ErrorCode::ServerBusy,
+                                    }
+                                    .encode();
+                                    fabric.send_response(reply, payload);
+                                }
+                                continue;
+                            }
+                        }
                         match request {
                             Request::Shutdown => break,
                             Request::MGet { id, keys } => {
@@ -235,6 +296,59 @@ mod tests {
         }
         server.shutdown();
         assert_eq!(store.get(b"wk").as_deref(), Some(&b"wv"[..]));
+    }
+
+    #[test]
+    fn backlog_above_threshold_sheds_with_server_busy() {
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(100)),
+            StoreConfig::default(),
+        ));
+        store.set(b"present", b"v").unwrap();
+        let fabric = Fabric::new(FabricConfig::zero());
+        // Queue all requests *before* the single worker exists, so the
+        // backlog countdown is deterministic: popping request k leaves
+        // 9-k behind, and with shed_queue_above=4 exactly requests 0..5
+        // (backlogs 9..5) shed while 5..10 (backlogs 4..0) are served.
+        let (reply_tx, reply_rx) = Fabric::client_endpoint();
+        for id in 0..10u64 {
+            fabric.send_request(
+                Request::MGet {
+                    id,
+                    keys: vec![Bytes::from_static(b"present")],
+                }
+                .encode(),
+                Some(reply_tx.clone()),
+            );
+        }
+        let server = Server::spawn_with(
+            Arc::clone(&store),
+            fabric.clone(),
+            ServerConfig {
+                workers: 1,
+                shed_queue_above: Some(4),
+            },
+        );
+        let (mut shed, mut served) = (0, 0);
+        for _ in 0..10 {
+            match Response::decode(reply_rx.recv().unwrap().payload).unwrap() {
+                Response::Error {
+                    code: ErrorCode::ServerBusy,
+                    ..
+                } => shed += 1,
+                Response::MGet { entries, .. } => {
+                    assert_eq!(entries[0].as_deref(), Some(&b"v"[..]));
+                    served += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shed, 5);
+        assert_eq!(served, 5);
+        let stats = server.stats();
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 5);
+        server.shutdown();
     }
 
     #[test]

@@ -69,6 +69,24 @@ pub trait ClientConn: Send {
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Bound how long [`ClientConn::recv`] may block; `None` restores
+    /// blocking forever. A timed-out `recv` returns
+    /// [`io::ErrorKind::TimedOut`] or [`io::ErrorKind::WouldBlock`]
+    /// (platform-dependent for real sockets); after a timeout mid-frame
+    /// the connection may hold partial state, so callers should drop it
+    /// rather than retry on the same stream.
+    ///
+    /// The default implementation ignores the timeout (suitable only for
+    /// transports that cannot stall, e.g. in-process test doubles).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors applying the timeout to the underlying link.
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        let _ = timeout;
+        Ok(())
+    }
 }
 
 /// Something a KVS client can open connections to.
@@ -206,6 +224,7 @@ pub struct FabricConn {
     fabric: Fabric,
     reply_tx: Sender<Envelope>,
     reply_rx: Receiver<Envelope>,
+    recv_timeout: Option<std::time::Duration>,
 }
 
 impl ClientConn for FabricConn {
@@ -214,10 +233,29 @@ impl ClientConn for FabricConn {
     }
 
     fn recv(&mut self) -> io::Result<(Bytes, u64)> {
-        self.reply_rx
-            .recv()
-            .map(|env| (env.payload, env.wire_ns))
-            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "fabric server disconnected"))
+        use crossbeam::channel::RecvTimeoutError;
+        let disconnected =
+            || io::Error::new(io::ErrorKind::UnexpectedEof, "fabric server disconnected");
+        match self.recv_timeout {
+            None => self
+                .reply_rx
+                .recv()
+                .map_err(|_| disconnected())
+                .map(|env| (env.payload, env.wire_ns)),
+            Some(t) => match self.reply_rx.recv_timeout(t) {
+                Ok(env) => Ok((env.payload, env.wire_ns)),
+                Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "fabric recv timed out",
+                )),
+                Err(RecvTimeoutError::Disconnected) => Err(disconnected()),
+            },
+        }
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.recv_timeout = timeout;
+        Ok(())
     }
 }
 
@@ -228,6 +266,7 @@ impl Transport for Fabric {
             fabric: self.clone(),
             reply_tx,
             reply_rx,
+            recv_timeout: None,
         }))
     }
 }
@@ -308,6 +347,24 @@ mod tests {
             assert_eq!(rx.recv().unwrap().payload[0], i);
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn fabric_recv_timeout_fires_and_clears() {
+        let fabric = Fabric::new(FabricConfig::zero());
+        let transport: &dyn Transport = &fabric;
+        let mut conn = transport.connect().unwrap();
+        conn.set_recv_timeout(Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+
+        // A reply that is already queued is returned despite the timeout.
+        conn.send(Bytes::from_static(b"req")).unwrap();
+        let env = fabric.server_rx().recv().unwrap();
+        let reply = env.reply_to.expect("reply channel");
+        fabric.send_response(&reply, Bytes::from_static(b"resp"));
+        assert_eq!(&conn.recv().unwrap().0[..], b"resp");
     }
 
     #[test]

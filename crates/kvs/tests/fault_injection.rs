@@ -1,0 +1,371 @@
+//! The fault matrix: a live `Kvsd` daemon behind a seeded
+//! [`FaultyTransport`], driven by the resilient [`RetryClient`] across
+//! every fault kind × scenario × seed. The contract under test is the
+//! tentpole of the failure model:
+//!
+//! * the client **never hangs** (a watchdog thread enforces it),
+//! * the client **never observes a wrong value** — every Multi-Get
+//!   either matches the oracle exactly or fails with a clean typed
+//!   error, and every Set lands in a state the oracle admits,
+//! * a no-fault `FaultSpec` is a byte-identical passthrough (checked
+//!   differentially against plain TCP on the same daemon),
+//! * killing the daemon mid-pipeline yields partial results from the
+//!   networked memslap driver, not an abort.
+//!
+//! Seed count scales with the `FAULT_SEEDS` env var (default 8; CI runs
+//! 100, and ≥64 satisfies the acceptance matrix).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use simdht_kvs::client::{RetryClient, RetryPolicy, SetOutcome};
+use simdht_kvs::fault::{FaultKind, FaultPlan, FaultSpec, FaultyTransport};
+use simdht_kvs::index::by_short_name;
+use simdht_kvs::kvsd::Kvsd;
+use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
+use simdht_kvs::net::TcpTransport;
+use simdht_kvs::protocol::{Request, Response};
+use simdht_kvs::store::{KvStore, StoreConfig};
+use simdht_kvs::transport::Transport;
+use simdht_workload::{KvWorkload, KvWorkloadSpec};
+
+fn fault_seeds() -> u64 {
+    std::env::var("FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+fn spawn_daemon(capacity: usize) -> (Kvsd, Arc<KvStore>) {
+    let store = Arc::new(KvStore::new(
+        by_short_name("memc3", capacity).expect("known index"),
+        StoreConfig {
+            memory_budget: 4 << 20,
+            capacity_items: capacity,
+            shards: 1,
+        },
+    ));
+    let kvsd = Kvsd::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind ephemeral port");
+    (kvsd, store)
+}
+
+/// Retry policy tuned for the matrix: timeouts short enough that a
+/// dropped frame costs ~80 ms, retries generous enough that most
+/// operations eventually land.
+fn matrix_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 6,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        jitter: 0.5,
+        recv_timeout: Some(Duration::from_millis(80)),
+    }
+}
+
+fn spec_for(kind: FaultKind, seed: u64) -> FaultSpec {
+    let p = match kind {
+        FaultKind::Drop => 0.05,
+        FaultKind::Delay => 0.25,
+        FaultKind::Truncate => 0.05,
+        FaultKind::Corrupt => 0.05,
+        FaultKind::Close => 0.03,
+    };
+    FaultSpec::only(seed, kind, p)
+}
+
+/// Run `f` on its own thread and panic if it neither finishes nor
+/// panics within the deadline — a hang is a first-class failure here,
+/// not a CI timeout.
+fn with_watchdog(label: &str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(()) => handle.join().expect("case thread"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The case panicked: join to propagate the original message.
+            handle.join().expect("case thread panicked");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: hang detected (watchdog fired after 60s)");
+        }
+    }
+}
+
+fn key(i: usize) -> Bytes {
+    Bytes::from(format!("fault-key-{i:03}").into_bytes())
+}
+
+fn value(seed: u64, i: usize) -> Bytes {
+    Bytes::from(format!("value-{seed:08x}-{i:02}").into_bytes())
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Scenario {
+    /// All writes flow through the faulty wrapper; a clean client
+    /// verifies the surviving state afterwards.
+    Preload,
+    /// Read-only Multi-Gets over a directly-seeded store; every
+    /// successful response must match the store exactly.
+    Mget,
+    /// Interleaved Sets and Multi-Gets with a possible-values oracle
+    /// tracking each key through uncertain outcomes.
+    Mixed,
+}
+
+const N_KEYS: usize = 12;
+
+fn run_case(kind: FaultKind, scenario: Scenario, seed: u64) {
+    let (kvsd, store) = spawn_daemon(256);
+    let tcp = TcpTransport::new(kvsd.local_addr()).expect("loopback transport");
+    let plan = Arc::new(FaultPlan::new(spec_for(kind, seed)));
+    let faulty = FaultyTransport::new(&tcp, Arc::clone(&plan));
+    let mut client = RetryClient::new(&faulty, matrix_policy(), seed);
+
+    match scenario {
+        Scenario::Preload => {
+            // Oracle per key: Some(v) = confirmed stored; None = the
+            // write may or may not have landed (lost response).
+            let mut oracle: Vec<Option<bool>> = Vec::new();
+            for i in 0..N_KEYS {
+                match client.set(key(i), value(seed, i)) {
+                    Ok(SetOutcome::Stored) => oracle.push(Some(true)),
+                    // No shedding is configured and the budget fits, so
+                    // Shed/Rejected would be wrong answers, not noise.
+                    Ok(SetOutcome::Shed) | Ok(SetOutcome::Rejected) => {
+                        panic!("unfaulted daemon refused a set")
+                    }
+                    Ok(SetOutcome::Uncertain) => oracle.push(None),
+                    // Connect failures cannot happen against a live
+                    // loopback daemon; surface anything else.
+                    Err(e) => panic!("set returned a connect error: {e}"),
+                }
+            }
+            // Verify over a clean connection: confirmed writes must be
+            // present and exact; uncertain writes are absent or exact.
+            let mut verify = RetryClient::new(&tcp, RetryPolicy::default(), seed ^ 1);
+            let keys: Vec<Bytes> = (0..N_KEYS).map(key).collect();
+            let entries = verify.mget(&keys).expect("clean verify mget");
+            for (i, certain) in oracle.iter().enumerate() {
+                match (certain, &entries[i]) {
+                    (Some(true), Some(v)) => assert_eq!(v, &value(seed, i), "key {i}"),
+                    (Some(true), None) => panic!("confirmed set of key {i} vanished"),
+                    (None, Some(v)) => assert_eq!(v, &value(seed, i), "uncertain key {i}"),
+                    (None, None) => {} // lost before the store: fine
+                    (Some(false), _) => unreachable!(),
+                }
+            }
+        }
+        Scenario::Mget => {
+            for i in 0..N_KEYS {
+                store.set(&key(i), &value(seed, i)).expect("direct preload");
+            }
+            let mut clean_failures = 0u32;
+            for round in 0..10usize {
+                let mut keys: Vec<Bytes> = (0..3).map(|j| key((round * 3 + j) % N_KEYS)).collect();
+                keys.push(Bytes::from(format!("absent-{round}").into_bytes()));
+                match client.mget(&keys) {
+                    Ok(entries) => {
+                        assert_eq!(entries.len(), 4, "round {round}");
+                        for (j, entry) in entries.iter().take(3).enumerate() {
+                            let i = (round * 3 + j) % N_KEYS;
+                            assert_eq!(
+                                entry.as_ref(),
+                                Some(&value(seed, i)),
+                                "round {round} slot {j}: wrong or missing value"
+                            );
+                        }
+                        assert_eq!(entries[3], None, "round {round}: phantom hit");
+                    }
+                    // Clean typed failure after exhausted retries is an
+                    // allowed outcome — a wrong value never is.
+                    Err(_) => clean_failures += 1,
+                }
+            }
+            // With max_retries=6 the whole run collapsing would point at
+            // a wedged client rather than bad luck.
+            assert!(clean_failures < 10, "every single round failed");
+        }
+        Scenario::Mixed => {
+            // Possible-values oracle: a key's observable value must be a
+            // member of its set. Never collapse on reads — an uncertain
+            // Set buffered in a dying server handler may still land
+            // *after* a later read on a fresh connection.
+            let mut oracle: HashMap<usize, HashSet<Bytes>> = HashMap::new();
+            for i in 0..N_KEYS {
+                store.set(&key(i), &value(seed, i)).expect("direct preload");
+                oracle.entry(i).or_default().insert(value(seed, i));
+            }
+            for t in 0..24usize {
+                let i = t % N_KEYS;
+                if t % 3 == 0 {
+                    let fresh = Bytes::from(format!("v{t:02}-{seed:016x}").into_bytes());
+                    match client.set(key(i), fresh.clone()) {
+                        Ok(SetOutcome::Stored) | Ok(SetOutcome::Uncertain) => {
+                            oracle.get_mut(&i).expect("preloaded").insert(fresh);
+                        }
+                        Ok(SetOutcome::Shed) | Ok(SetOutcome::Rejected) => {
+                            panic!("unfaulted daemon refused a set")
+                        }
+                        Err(e) => panic!("set returned a connect error: {e}"),
+                    }
+                } else {
+                    let keys = [key(i), key((i + 5) % N_KEYS)];
+                    if let Ok(entries) = client.mget(&keys) {
+                        for (slot, k) in [i, (i + 5) % N_KEYS].into_iter().enumerate() {
+                            let got = entries[slot]
+                                .as_ref()
+                                .unwrap_or_else(|| panic!("preloaded key {k} read as absent"));
+                            assert!(
+                                oracle[&k].contains(got),
+                                "key {k} returned a value the oracle never admitted"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    drop(client);
+    kvsd.shutdown();
+}
+
+#[test]
+fn fault_matrix_never_hangs_or_lies() {
+    let seeds = fault_seeds();
+    for kind in [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Truncate,
+        FaultKind::Corrupt,
+        FaultKind::Close,
+    ] {
+        for scenario in [Scenario::Preload, Scenario::Mget, Scenario::Mixed] {
+            for seed in 0..seeds {
+                let label = format!("{kind:?}/{scenario:?}/seed={seed}");
+                with_watchdog(&label, move || run_case(kind, scenario, seed));
+            }
+        }
+    }
+}
+
+/// Differential check of the no-fault passthrough: the same request
+/// sequence through `FaultSpec::none` and through plain TCP, against the
+/// same daemon, must produce byte-identical response frames.
+#[test]
+fn no_fault_plan_matches_plain_tcp_byte_for_byte() {
+    let (kvsd, store) = spawn_daemon(64);
+    for i in 0..8usize {
+        store.set(&key(i), &value(7, i)).expect("preload");
+    }
+    let tcp = TcpTransport::new(kvsd.local_addr()).expect("transport");
+    let plan = Arc::new(FaultPlan::new(FaultSpec::none(42)));
+    let faulty = FaultyTransport::new(&tcp, Arc::clone(&plan));
+
+    let requests: Vec<Bytes> = vec![
+        Request::MGet {
+            id: 1,
+            keys: (0..8).map(key).collect(),
+        }
+        .encode(),
+        Request::Set {
+            id: 2,
+            key: key(3),
+            value: value(7, 3), // overwrite with the identical value
+        }
+        .encode(),
+        Request::MGet {
+            id: 3,
+            keys: vec![key(3), Bytes::from_static(b"definitely-absent")],
+        }
+        .encode(),
+    ];
+
+    let drive = |transport: &dyn Transport| -> Vec<Vec<u8>> {
+        let mut conn = transport.connect().expect("connect");
+        let mut frames = Vec::new();
+        for frame in &requests {
+            conn.send(frame.clone()).expect("send");
+            conn.flush().expect("flush");
+            let (payload, _) = conn.recv().expect("recv");
+            // Decode as a sanity check, then keep the raw bytes.
+            Response::decode(payload.clone()).expect("decode");
+            frames.push(payload.to_vec());
+        }
+        frames
+    };
+
+    let plain = drive(&tcp);
+    let wrapped = drive(&faulty);
+    assert_eq!(plain, wrapped, "no-fault wrapper altered bytes");
+    assert_eq!(plan.counters().total(), 0, "no-fault plan injected faults");
+    kvsd.shutdown();
+}
+
+/// Kill the daemon while the networked memslap driver is mid-pipeline:
+/// the run must come back `Ok` with partial results — completed requests
+/// counted, abandoned ones reported as failed — rather than aborting.
+#[test]
+fn daemon_killed_mid_pipeline_yields_partial_results() {
+    with_watchdog("kill-mid-pipeline", || {
+        let (kvsd, _store) = spawn_daemon(2048);
+        let addr = kvsd.local_addr();
+        let stats = kvsd.stats();
+
+        let workload = KvWorkload::generate(&KvWorkloadSpec {
+            n_items: 1000,
+            n_requests: 20_000,
+            mget_size: 8,
+            key_bytes: 16,
+            value_bytes: 24,
+            ..KvWorkloadSpec::default()
+        });
+        let config = NetMemslapConfig {
+            connections: 2,
+            pipeline_depth: 8,
+            set_fraction: 0.0,
+            preload: true,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+                jitter: 0.5,
+                recv_timeout: Some(Duration::from_millis(100)),
+            },
+            faults: None,
+        };
+
+        std::thread::scope(|s| {
+            let run = s.spawn(|| {
+                let transport = TcpTransport::new(addr).expect("transport");
+                run_memslap_over(&transport, &workload, &config)
+            });
+            // Wait until the Multi-Get phase is demonstrably underway,
+            // then pull the daemon out from under it.
+            use std::sync::atomic::Ordering::Relaxed;
+            while stats.requests.load(Relaxed) < 50 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            kvsd.shutdown();
+
+            let report = run
+                .join()
+                .expect("driver thread")
+                .expect("mid-pipeline kill must yield partial results, not an error");
+            assert!(report.requests >= 50, "completed work went missing");
+            assert!(report.failed > 0, "abandoned requests must be reported");
+            assert_eq!(
+                report.requests + report.failed,
+                20_000,
+                "every request accounted for as completed or failed"
+            );
+            assert!(report.reconnects > 0, "driver never tried to recover");
+        });
+    });
+}

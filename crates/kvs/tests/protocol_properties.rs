@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use simdht_kvs::protocol::{Request, Response};
+use simdht_kvs::protocol::{ErrorCode, Request, Response};
 
 fn arb_key() -> impl Strategy<Value = Bytes> {
     prop::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
@@ -38,6 +38,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
         )
             .prop_map(|(id, entries)| Response::MGet { id, entries }),
         (any::<u64>(), any::<bool>()).prop_map(|(id, ok)| Response::Set { id, ok }),
+        // Canonicalize through `from_wire`: raw byte 1 means `ServerBusy`,
+        // never `Unknown(1)`, so every generated code roundtrips exactly.
+        (any::<u64>(), any::<u8>()).prop_map(|(id, code)| Response::Error {
+            id,
+            code: ErrorCode::from_wire(code),
+        }),
     ]
 }
 
@@ -105,8 +111,8 @@ fn truncated_mget_frames_are_rejected() {
         keys: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"seven77")],
     };
     let full = req.encode();
-    // Layout: op(1) + id(8) + count(2) + [klen(2) + key]*.
-    assert_eq!(full.len(), 1 + 8 + 2 + 2 + 5 + 2 + 7);
+    // Layout: op(1) + id(8) + count(2) + [klen(2) + key]* + crc32(4).
+    assert_eq!(full.len(), 1 + 8 + 2 + 2 + 5 + 2 + 7 + 4);
     for cut in 1..full.len() {
         assert!(
             Request::decode(full.slice(..cut)).is_err(),
@@ -222,6 +228,71 @@ fn corrupted_opcode_always_errors() {
     }
 }
 
+/// Exhaustive damage sweep over a realistic encoded MGet response: a cut
+/// at *every* byte boundary and a bit-flip at *every* position must leave
+/// the decoder returning `Err` — never a panic, never a silently wrong
+/// value. The CRC-32 trailer sealed onto every message is what turns
+/// payload damage (which framing alone cannot see) into a typed error.
+#[test]
+fn every_damaged_mget_response_is_rejected() {
+    let resp = Response::MGet {
+        id: 0xFEED_BEEF,
+        entries: vec![
+            Some(Bytes::from_static(b"value-one")),
+            None,
+            Some(Bytes::from_static(b"a-somewhat-longer-second-value")),
+            Some(Bytes::new()),
+        ],
+    };
+    let full = resp.encode();
+    for cut in 0..full.len() {
+        assert!(
+            Response::decode(full.slice(..cut)).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            full.len()
+        );
+    }
+    for pos in 0..full.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bytes = full.to_vec();
+            bytes[pos] ^= mask;
+            assert!(
+                Response::decode(Bytes::from(bytes)).is_err(),
+                "flip {mask:#04x} at byte {pos} decoded"
+            );
+        }
+    }
+    assert_eq!(Response::decode(full).unwrap(), resp);
+}
+
+/// The 16 MiB frame cap surfaces as a *typed* [`FrameTooLarge`] error on
+/// both sides: writers refuse before sending, and readers refuse from the
+/// 4-byte header alone — before allocating — so a hostile length prefix
+/// cannot balloon memory.
+#[test]
+fn oversized_frames_yield_typed_errors_on_both_sides() {
+    use simdht_kvs::net::{read_frame, write_frame, FrameTooLarge, MAX_FRAME_BYTES};
+
+    let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+    let mut sink = Vec::new();
+    let err = write_frame(&mut sink, &huge).unwrap_err();
+    let typed = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+        .expect("write side carries FrameTooLarge");
+    assert_eq!(typed.len, MAX_FRAME_BYTES + 1);
+    assert_eq!(typed.limit, MAX_FRAME_BYTES);
+    assert!(sink.is_empty(), "nothing may hit the wire");
+
+    let header = (u32::try_from(MAX_FRAME_BYTES).unwrap() + 1).to_le_bytes();
+    let err = read_frame(&mut &header[..]).unwrap_err();
+    let typed = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+        .expect("read side carries FrameTooLarge");
+    assert_eq!(typed.len, MAX_FRAME_BYTES + 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -240,6 +311,28 @@ proptest! {
         let b = Bytes::from(bytes);
         let _ = Request::decode(b.clone());
         let _ = Response::decode(b);
+    }
+
+    #[test]
+    fn truncated_responses_never_decode(resp in arb_response(), cut in any::<prop::sample::Index>()) {
+        // With the CRC trailer there is no benign truncation left: every
+        // strict prefix of a sealed response frame must fail to decode.
+        let full = resp.encode();
+        let cut = cut.index(full.len());
+        prop_assert!(Response::decode(full.slice(..cut)).is_err());
+    }
+
+    #[test]
+    fn corrupted_responses_never_decode(
+        resp in arb_response(),
+        pos in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let full = resp.encode();
+        let mut bytes = full.to_vec();
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= mask;
+        prop_assert!(Response::decode(Bytes::from(bytes)).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn networked_memslap_roundtrip_memc3_and_simd() {
                 pipeline_depth: 8,
                 set_fraction: 0.1,
                 preload: true,
+                ..NetMemslapConfig::default()
             },
         )
         .unwrap_or_else(|e| panic!("{which}: {e}"));
