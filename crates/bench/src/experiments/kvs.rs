@@ -10,7 +10,7 @@ use simdht_kvs::memslap::{
     run_memslap, run_memslap_over, MemslapConfig, MemslapReport, NetMemslapConfig,
 };
 use simdht_kvs::net::TcpTransport;
-use simdht_kvs::store::{KvStore, StoreConfig};
+use simdht_kvs::store::{KvStore, MGetResponse, StoreConfig};
 use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
 
 use crate::RunScale;
@@ -42,6 +42,7 @@ fn run_one_mixed(
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
             shards: 1,
+            prefetch_depth: None,
         },
         ..MemslapConfig::default()
     };
@@ -66,6 +67,7 @@ fn run_one(which: &str, mget_size: usize, scale: &RunScale) -> MemslapReport {
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
             shards: 1,
+            prefetch_depth: None,
         },
         ..MemslapConfig::default()
     };
@@ -199,6 +201,7 @@ fn run_one_tcp(
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
             shards: 1,
+            prefetch_depth: None,
         },
     ));
     let index_name = store.index_name();
@@ -282,6 +285,7 @@ fn run_one_sharded_tcp(
             memory_budget: (scale.kvs_items * 256).max(8 << 20),
             capacity_items: scale.kvs_items * 2,
             shards,
+            prefetch_depth: None,
         },
         |cap| build_index("hor", cap),
     ));
@@ -351,6 +355,213 @@ pub fn kvs_shard_sweep(scale: &RunScale) -> String {
     s
 }
 
+/// Prefetch look-ahead distances swept by `kvs-prefetch-sweep` (G = 0 is
+/// the no-prefetch baseline the speedups are measured against).
+const SWEEP_DEPTHS: [usize; 5] = [0, 2, 4, 8, 16];
+/// Multi-Get batch size for the sweep (the paper's large batch point).
+const SWEEP_BATCH: usize = 96;
+
+/// splitmix64: deterministic, well-mixed key selection for the sweep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The i-th sweep key: 16 bytes, fixed width so Phase 1 takes the SIMD
+/// multi-lane hash path.
+fn sweep_key(i: usize) -> Vec<u8> {
+    format!("pfk-{i:012}").into_bytes()
+}
+
+/// The i-th sweep value: 32 deterministic bytes.
+fn sweep_value(i: usize) -> [u8; 32] {
+    let mut v = [0x5Au8; 32];
+    v[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    v
+}
+
+/// One measured sweep point.
+struct SweepPoint {
+    index: &'static str,
+    depth: usize,
+    mkeys_per_sec: f64,
+}
+
+/// Measure the sweep and render (human table, JSON document). Split from
+/// [`kvs_prefetch_sweep`] so tests can run it without touching the
+/// filesystem.
+fn prefetch_sweep_impl(scale: &RunScale) -> (String, String) {
+    let llc = crate::machine::llc_bytes();
+    let full = scale.kvs_items >= RunScale::full().kvs_items;
+    // Out-of-cache sizing: at full scale the slab holds >= 4 LLCs of
+    // 64 B item chunks, so index probes and value reads genuinely miss
+    // to DRAM — the regime software prefetching targets. Quick runs keep
+    // the configured (cache-resident) item count and only smoke the path.
+    let n_items = if full {
+        (4 * llc / 64).max(scale.kvs_items)
+    } else {
+        scale.kvs_items
+    };
+    let n_batches = scale.kvs_requests;
+    let reps = if full { 3 } else { 2 };
+    let total_keys = n_batches * SWEEP_BATCH;
+
+    // Pre-generate every batch (uniform over the table: a skewed hot set
+    // would sit in cache and mask the misses), and the borrowed slices the
+    // timed loop passes to `mget`, so nothing is built while the clock runs.
+    let mut rng = 0x5EED_0005u64;
+    let batch_keys: Vec<Vec<Vec<u8>>> = (0..n_batches)
+        .map(|_| {
+            (0..SWEEP_BATCH)
+                .map(|_| sweep_key((splitmix64(&mut rng) % n_items as u64) as usize))
+                .collect()
+        })
+        .collect();
+    let batches: Vec<Vec<&[u8]>> = batch_keys
+        .iter()
+        .map(|b| b.iter().map(|k| k.as_slice()).collect())
+        .collect();
+
+    let mut s = format!(
+        "== kvs-prefetch-sweep: Multi-Get software-prefetch look-ahead (G) sweep ==\n\
+         (batch {SWEEP_BATCH}, uniform keys, {n_items} items x 64 B chunks = {} MiB slab,\n\
+          LLC {} MiB, {n_batches} requests/point, best of {reps})\n\n",
+        (n_items * 64) >> 20,
+        llc >> 20,
+    );
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>7} {:>14} {:>9}",
+        "index", "G", "MGet Mkeys/s", "vs G=0"
+    );
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for which in ["memc3", "hor", "ver", "dpdk"] {
+        let store = KvStore::new(
+            build_index(which, n_items * 2),
+            StoreConfig {
+                memory_budget: n_items * 64 + (256 << 20),
+                capacity_items: n_items * 2,
+                shards: 1,
+                prefetch_depth: Some(0),
+            },
+        );
+        for i in 0..n_items {
+            store
+                .set(&sweep_key(i), &sweep_value(i))
+                .expect("sweep preload");
+        }
+        let mut resp = MGetResponse::new();
+        let mut baseline: Option<f64> = None;
+        for depth in SWEEP_DEPTHS {
+            store.set_prefetch_depth(depth);
+            let mut best = 0.0f64;
+            for _ in 0..reps {
+                let mut found = 0usize;
+                let t0 = std::time::Instant::now();
+                for keys in &batches {
+                    found += store.mget(keys, &mut resp).found;
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                assert_eq!(found, total_keys, "every sweep key is preloaded");
+                best = best.max(total_keys as f64 / secs);
+            }
+            let speedup = best / *baseline.get_or_insert(best);
+            let _ = writeln!(
+                s,
+                "  {:<8} {:>7} {:>14.2} {:>8.2}x",
+                which,
+                depth,
+                best / 1e6,
+                speedup,
+            );
+            points.push(SweepPoint {
+                index: which,
+                depth,
+                mkeys_per_sec: best / 1e6,
+            });
+        }
+    }
+
+    // Per-index best-G summary (also the acceptance gate of the change:
+    // best G should beat G=0 by a clear margin once the table spills LLC).
+    s.push('\n');
+    let mut best_lines = String::new();
+    for which in ["memc3", "hor", "ver", "dpdk"] {
+        let base = points
+            .iter()
+            .find(|p| p.index == which && p.depth == 0)
+            .map_or(1.0, |p| p.mkeys_per_sec);
+        let best = points
+            .iter()
+            .filter(|p| p.index == which)
+            .max_by(|a, b| a.mkeys_per_sec.total_cmp(&b.mkeys_per_sec))
+            .expect("swept every index");
+        let _ = writeln!(
+            s,
+            "  best for {:<8} G={:<3} {:.2} Mkeys/s ({:+.1}% over G=0)",
+            which,
+            best.depth,
+            best.mkeys_per_sec,
+            (best.mkeys_per_sec / base - 1.0) * 100.0,
+        );
+        if !best_lines.is_empty() {
+            best_lines.push_str(",\n");
+        }
+        let _ = write!(
+            best_lines,
+            "    {{\"index\": \"{}\", \"best_depth\": {}, \"best_mkeys_per_sec\": {:.3}, \"speedup_vs_no_prefetch\": {:.4}}}",
+            which, best.depth, best.mkeys_per_sec, best.mkeys_per_sec / base,
+        );
+    }
+
+    let mut result_lines = String::new();
+    for p in &points {
+        let base = points
+            .iter()
+            .find(|q| q.index == p.index && q.depth == 0)
+            .map_or(1.0, |q| q.mkeys_per_sec);
+        if !result_lines.is_empty() {
+            result_lines.push_str(",\n");
+        }
+        let _ = write!(
+            result_lines,
+            "    {{\"index\": \"{}\", \"depth\": {}, \"mkeys_per_sec\": {:.3}, \"speedup_vs_no_prefetch\": {:.4}}}",
+            p.index, p.depth, p.mkeys_per_sec, p.mkeys_per_sec / base,
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kvs-prefetch-sweep\",\n  \"mode\": \"{}\",\n  \
+         \"llc_bytes\": {llc},\n  \"table_bytes\": {},\n  \"n_items\": {n_items},\n  \
+         \"batch\": {SWEEP_BATCH},\n  \"requests_per_point\": {n_batches},\n  \
+         \"depths\": [0, 2, 4, 8, 16],\n  \"results\": [\n{result_lines}\n  ],\n  \
+         \"best\": [\n{best_lines}\n  ]\n}}\n",
+        if full { "full" } else { "quick" },
+        n_items * 64,
+    );
+    (s, json)
+}
+
+/// `kvs-prefetch-sweep`: Multi-Get throughput vs. software-prefetch
+/// look-ahead distance G, per index family, on a table sized well past the
+/// LLC. G = 0 runs the plain data path; G > 0 engages the staged
+/// prefetching of DESIGN.md §9 across the index probe, the item table and
+/// the slab. Writes the measurements to `BENCH_kvs_mget.json` in the
+/// working directory.
+pub fn kvs_prefetch_sweep(scale: &RunScale) -> String {
+    let (mut s, json) = prefetch_sweep_impl(scale);
+    match std::fs::write("BENCH_kvs_mget.json", &json) {
+        Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_mget.json)\n"),
+        Err(e) => {
+            let _ = writeln!(s, "\n(could not write BENCH_kvs_mget.json: {e})");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +614,26 @@ mod tests {
         assert_eq!(lens.iter().sum::<usize>(), 300, "preload spans shards");
         assert_eq!(r.hits, r.keys);
         assert!(r.requests + r.sets == 24);
+    }
+
+    #[test]
+    fn kvs_prefetch_sweep_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 20,
+            kvs_items: 500,
+        };
+        let (rendered, json) = prefetch_sweep_impl(&tiny);
+        assert!(rendered.contains("kvs-prefetch-sweep"));
+        // 4 index families x 5 depths, each with a speedup entry.
+        assert_eq!(json.matches("\"depth\":").count(), 20);
+        assert_eq!(json.matches("\"best_depth\":").count(), 4);
+        assert!(json.contains("\"mode\": \"quick\""));
+        for which in ["memc3", "hor", "ver", "dpdk"] {
+            assert!(json.contains(&format!("\"index\": \"{which}\"")));
+        }
     }
 
     #[test]

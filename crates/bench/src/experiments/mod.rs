@@ -33,6 +33,7 @@ pub const ALL: &[&str] = &[
     "ext-mixed-kvs",
     "ext-tcp-loopback",
     "kvs-shard-sweep",
+    "kvs-prefetch-sweep",
     "ext-swiss",
 ];
 
@@ -60,6 +61,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "ext-mixed-kvs" => kvs::ext_mixed_kvs(&scale),
         "ext-tcp-loopback" => kvs::ext_tcp_loopback(&scale),
         "kvs-shard-sweep" => kvs::kvs_shard_sweep(&scale),
+        "kvs-prefetch-sweep" => kvs::kvs_prefetch_sweep(&scale),
         "ext-swiss" => extensions::swiss(&scale),
         _ => return None,
     })

@@ -43,9 +43,54 @@ fn scaled(paper: usize) -> usize {
     (paper / 8).max(1)
 }
 
+/// Last-level-cache size in bytes, read from the sysfs cache hierarchy
+/// (`/sys/devices/system/cpu/cpu0/cache/indexN/size`, deepest level wins).
+/// Falls back to 32 MiB when the hierarchy is not exposed (non-Linux hosts,
+/// stripped-down containers) so table-sizing callers always get a sane
+/// figure. The prefetch sweep uses this to build stores several LLCs large,
+/// where Multi-Get probes genuinely miss to DRAM.
+pub fn llc_bytes() -> usize {
+    for idx in (0..=4usize).rev() {
+        let path = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}/size");
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Some(bytes) = parse_cache_size(s.trim()) {
+                return bytes;
+            }
+        }
+    }
+    32 << 20
+}
+
+/// Parse a sysfs cache-size string like `"260096K"`, `"32M"` or `"512"`.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1usize << 10),
+        b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n.saturating_mul(mult))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_size_strings_parse() {
+        assert_eq!(parse_cache_size("260096K"), Some(260_096 << 10));
+        assert_eq!(parse_cache_size("32M"), Some(32 << 20));
+        assert_eq!(parse_cache_size("1G"), Some(1 << 30));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("xK"), None);
+    }
+
+    #[test]
+    fn llc_bytes_is_plausible() {
+        let b = llc_bytes();
+        assert!(b >= 1 << 20, "LLC under 1 MiB is not plausible: {b}");
+    }
 
     #[test]
     fn ratio_preserved() {

@@ -38,6 +38,9 @@ OPTIONS:
                            (if any) expires (default: unlimited)
     --idle-timeout-ms <n>  Reap connections silent (or stalled mid-frame)
                            this long (default: never)
+    --prefetch-depth <n>   Multi-Get software-prefetch look-ahead distance
+                           (group size G). 0 disables prefetching; default
+                           auto-tunes (see DESIGN.md §9)
     -h, --help             Show this help
 ";
 
@@ -48,6 +51,7 @@ struct Args {
     memory_mb: usize,
     shards: usize,
     duration: Option<u64>,
+    prefetch_depth: Option<usize>,
     config: KvsdConfig,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         memory_mb: 64,
         shards: 1,
         duration: None,
+        prefetch_depth: None,
         config: KvsdConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +110,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-inflight: {e}"))?,
                 );
             }
+            "--prefetch-depth" => {
+                args.prefetch_depth = Some(
+                    value("--prefetch-depth")?
+                        .parse()
+                        .map_err(|e| format!("--prefetch-depth: {e}"))?,
+                );
+            }
             "--idle-timeout-ms" => {
                 let ms: u64 = value("--idle-timeout-ms")?
                     .parse()
@@ -144,6 +156,7 @@ fn main() {
             memory_budget: args.memory_mb << 20,
             capacity_items: args.capacity,
             shards: args.shards,
+            prefetch_depth: args.prefetch_depth,
         },
         |cap| index::by_short_name(&args.index, cap).expect("index name validated above"),
     ));
@@ -155,12 +168,13 @@ fn main() {
         }
     };
     println!(
-        "simdht-kvsd listening on {} (index {}, {} shard(s), capacity {}, {} MiB slab)",
+        "simdht-kvsd listening on {} (index {}, {} shard(s), capacity {}, {} MiB slab, prefetch depth {})",
         kvsd.local_addr(),
         store.index_name(),
         store.n_shards(),
         args.capacity,
-        args.memory_mb
+        args.memory_mb,
+        store.prefetch_depth(),
     );
 
     match args.duration {

@@ -116,6 +116,42 @@ impl Memc3Index {
         }
     }
 
+    /// Probe both candidate buckets for `hash`, returning the first
+    /// tag-matching item id (or [`NO_ITEM`]). One hash of the
+    /// [`HashIndex::lookup_batch`] loop, factored out so the prefetched
+    /// variant can interleave probes with look-ahead prefetches.
+    #[inline(always)]
+    fn probe_one(&self, hash: u32) -> u32 {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        for b in [b1, b2] {
+            for slot in self.read_bucket(b) {
+                if slot.tag == tag && slot.item != NO_ITEM {
+                    return slot.item;
+                }
+            }
+            if b1 == b2 {
+                break;
+            }
+        }
+        NO_ITEM
+    }
+
+    /// Request the cache lines a future [`Memc3Index::probe_one`] of `hash`
+    /// will touch: both candidate buckets' slot arrays plus their version
+    /// counters (the optimistic read loads the version first).
+    #[inline(always)]
+    fn prefetch_buckets(&self, hash: u32) {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        simdht_simd::prefetch_read(&self.slots[b1 * SLOTS]);
+        simdht_simd::prefetch_read(&self.versions[b1]);
+        simdht_simd::prefetch_read(&self.slots[b2 * SLOTS]);
+        simdht_simd::prefetch_read(&self.versions[b2]);
+    }
+
     fn find_slot(&self, hash: u32, item: u32) -> Option<usize> {
         let tag = Self::tag(hash);
         let b1 = self.bucket1(hash);
@@ -240,21 +276,24 @@ impl HashIndex for Memc3Index {
     fn lookup_batch(&self, hashes: &[u32], out: &mut [u32]) {
         assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
         for (h, o) in hashes.iter().zip(out.iter_mut()) {
-            let tag = Self::tag(*h);
-            let b1 = self.bucket1(*h);
-            let b2 = self.alt_bucket(b1, tag);
-            *o = NO_ITEM;
-            'buckets: for b in [b1, b2] {
-                for slot in self.read_bucket(b) {
-                    if slot.tag == tag && slot.item != NO_ITEM {
-                        *o = slot.item;
-                        break 'buckets;
-                    }
-                }
-                if b1 == b2 {
-                    break;
-                }
+            *o = self.probe_one(*h);
+        }
+    }
+
+    fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
+        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
+        if depth == 0 {
+            self.lookup_batch(hashes, out);
+            return;
+        }
+        for &h in hashes.iter().take(depth) {
+            self.prefetch_buckets(h);
+        }
+        for i in 0..hashes.len() {
+            if let Some(&ahead) = hashes.get(i + depth) {
+                self.prefetch_buckets(ahead);
             }
+            out[i] = self.probe_one(hashes[i]);
         }
     }
 

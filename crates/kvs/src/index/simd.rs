@@ -183,6 +183,21 @@ impl HashIndex for SimdIndex {
         }
     }
 
+    fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
+        // The SIMD kernels consume the whole batch in one pass, so there is
+        // no per-hash probe to interleave with. Instead, sweep the batch
+        // once and request every candidate bucket line up front: by the
+        // time `run_design`'s gathers reach hash `i`, its lines have had
+        // the preceding probes' worth of latency to arrive. `depth` only
+        // gates the sweep on/off (0 = off); distance is the batch itself.
+        if depth > 0 {
+            for &h in hashes {
+                self.table.prefetch_candidates(h);
+            }
+        }
+        self.lookup_batch(hashes, out);
+    }
+
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>) {
         if let Some(v) = self.table.get(hash) {
             out.push(v.wrapping_sub(1));

@@ -119,6 +119,39 @@ impl TagSimdIndex {
         m
     }
 
+    /// Probe both candidate buckets for `hash`, returning the first
+    /// signature-matching occupied item id (or [`NO_ITEM`]).
+    #[inline(always)]
+    fn probe_one(&self, hash: u32) -> u32 {
+        let sig = Self::sig(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, sig);
+        for b in [b1, b2] {
+            let m = self.probe_bucket(b, sig);
+            if m != 0 {
+                return self.items[b * SLOTS + m.trailing_zeros() as usize];
+            }
+            if b1 == b2 {
+                break;
+            }
+        }
+        NO_ITEM
+    }
+
+    /// Request the cache lines a future [`TagSimdIndex::probe_one`] of
+    /// `hash` will touch: both buckets' signature blocks and item arrays
+    /// (split storage — two distinct lines per bucket).
+    #[inline(always)]
+    fn prefetch_buckets(&self, hash: u32) {
+        let sig = Self::sig(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, sig);
+        simdht_simd::prefetch_read(&self.sigs[b1 * SLOTS]);
+        simdht_simd::prefetch_read(&self.items[b1 * SLOTS]);
+        simdht_simd::prefetch_read(&self.sigs[b2 * SLOTS]);
+        simdht_simd::prefetch_read(&self.items[b2 * SLOTS]);
+    }
+
     fn find_slot(&self, hash: u32, item: u32) -> Option<usize> {
         let sig = Self::sig(hash);
         let b1 = self.bucket1(hash);
@@ -239,20 +272,24 @@ impl HashIndex for TagSimdIndex {
     fn lookup_batch(&self, hashes: &[u32], out: &mut [u32]) {
         assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
         for (h, o) in hashes.iter().zip(out.iter_mut()) {
-            let sig = Self::sig(*h);
-            let b1 = self.bucket1(*h);
-            let b2 = self.alt_bucket(b1, sig);
-            *o = NO_ITEM;
-            for b in [b1, b2] {
-                let m = self.probe_bucket(b, sig);
-                if m != 0 {
-                    *o = self.items[b * SLOTS + m.trailing_zeros() as usize];
-                    break;
-                }
-                if b1 == b2 {
-                    break;
-                }
+            *o = self.probe_one(*h);
+        }
+    }
+
+    fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
+        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
+        if depth == 0 {
+            self.lookup_batch(hashes, out);
+            return;
+        }
+        for &h in hashes.iter().take(depth) {
+            self.prefetch_buckets(h);
+        }
+        for i in 0..hashes.len() {
+            if let Some(&ahead) = hashes.get(i + depth) {
+                self.prefetch_buckets(ahead);
             }
+            out[i] = self.probe_one(hashes[i]);
         }
     }
 
@@ -356,6 +393,7 @@ mod tests {
                 memory_budget: 8 << 20,
                 capacity_items: 5000,
                 shards: 1,
+                prefetch_depth: None,
             },
         );
         for i in 0..3000u32 {

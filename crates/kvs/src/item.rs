@@ -86,6 +86,17 @@ impl ItemTable {
         self.slots.get(id as usize).copied().flatten()
     }
 
+    /// Request `id`'s pointer-table cache line ahead of a future
+    /// [`ItemTable::get`]. Stage 1 of the store's group-prefetched
+    /// Multi-Get verification (DESIGN.md §9); out-of-range ids (including
+    /// [`NO_ITEM`]) are ignored.
+    #[inline(always)]
+    pub fn prefetch(&self, id: u32) {
+        if let Some(slot) = self.slots.get(id as usize) {
+            simdht_simd::prefetch_read(slot);
+        }
+    }
+
     /// Remove an item id, returning its chunk for freeing.
     pub fn unregister(&mut self, id: u32) -> Option<SlabRef> {
         let slot = self.slots.get_mut(id as usize)?;

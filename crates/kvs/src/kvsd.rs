@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::net::{read_frame, write_frame};
-use crate::protocol::{encode_mget_response, ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, Request, Response};
 use crate::server::ServerStats;
 use crate::store::{KvStore, MGetResponse};
 
@@ -376,7 +376,6 @@ fn handle_connection(
             Request::MGet { id, keys } => {
                 let key_slices: Vec<&[u8]> = keys.iter().map(|k| k.as_ref()).collect();
                 let outcome = store.mget(&key_slices, &mut resp_buf);
-                let payload = encode_mget_response(id, &resp_buf);
                 conn.requests += 1;
                 conn.keys += key_slices.len() as u64;
                 conn.found += outcome.found as u64;
@@ -396,7 +395,10 @@ fn handle_connection(
                 stats
                     .post_ns
                     .fetch_add(outcome.phases.post, Ordering::Relaxed);
-                if write_frame(&mut writer, &payload).is_err() {
+                // Zero-copy reply: the store built the wire body in place
+                // during Phase 3; seal it (header + CRC) and write the
+                // slice straight to the socket — no intermediate Bytes.
+                if write_frame(&mut writer, resp_buf.seal_frame(id)).is_err() {
                     break;
                 }
             }

@@ -178,25 +178,15 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
-/// Encode a Multi-Get response directly from a store response buffer,
-/// avoiding one allocation + copy per found value (the hot path of the
-/// server's post-processing phase).
-pub fn encode_mget_response(id: u64, resp: &crate::store::MGetResponse) -> Bytes {
-    let mut b = BytesMut::with_capacity(15 + resp.len() * 5 + resp.payload_bytes());
-    b.put_u8(OP_MGET_RESP);
-    b.put_u64_le(id);
-    b.put_u16_le(resp.len() as u16);
-    for i in 0..resp.len() {
-        match resp.value(i) {
-            Some(v) => {
-                b.put_u8(1);
-                b.put_u32_le(v.len() as u32);
-                b.put_slice(v);
-            }
-            None => b.put_u8(0),
-        }
-    }
-    seal(b)
+/// Encode a Multi-Get response directly from a store response buffer.
+///
+/// The store already built the wire body in place during `mget` Phase 3
+/// (zero-copy responses, DESIGN.md §9), so this only seals the frame and
+/// copies it once into an owned [`Bytes`] for callers that need one (the
+/// simulated-fabric server). The TCP daemon skips even that copy by
+/// writing [`crate::store::MGetResponse::seal_frame`]'s slice directly.
+pub fn encode_mget_response(id: u64, resp: &mut crate::store::MGetResponse) -> Bytes {
+    Bytes::copy_from_slice(resp.seal_frame(id))
 }
 
 /// Decode error.
@@ -214,7 +204,9 @@ impl std::error::Error for DecodeError {}
 const OP_MGET: u8 = 1;
 const OP_SET: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
-const OP_MGET_RESP: u8 = 128;
+/// Also written by `crate::store::MGetResponse`, which builds the MGet
+/// response frame in place during Phase 3 (zero-copy responses).
+pub(crate) const OP_MGET_RESP: u8 = 128;
 const OP_SET_RESP: u8 = 129;
 const OP_ERR_RESP: u8 = 130;
 
@@ -448,7 +440,7 @@ mod tests {
         store.set(b"c", b"").unwrap(); // empty value
         let mut resp = MGetResponse::new();
         store.mget(&[b"a".as_ref(), b"b".as_ref(), b"c".as_ref()], &mut resp);
-        let fast = encode_mget_response(9, &resp);
+        let fast = encode_mget_response(9, &mut resp);
         let generic = Response::MGet {
             id: 9,
             entries: vec![Some(Bytes::from_static(b"alpha")), None, Some(Bytes::new())],

@@ -157,7 +157,8 @@ impl Server {
                                 let key_slices: Vec<&[u8]> =
                                     keys.iter().map(|k| k.as_ref()).collect();
                                 let outcome = store.mget(&key_slices, &mut resp_buf);
-                                let payload = crate::protocol::encode_mget_response(id, &resp_buf);
+                                let payload =
+                                    crate::protocol::encode_mget_response(id, &mut resp_buf);
                                 stats.requests.fetch_add(1, Ordering::Relaxed);
                                 stats
                                     .keys

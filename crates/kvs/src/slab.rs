@@ -176,6 +176,20 @@ impl SlabAllocator {
         &c.data[start..start + c.chunk_size]
     }
 
+    /// Request the leading cache line of chunk `r` ahead of a future
+    /// [`SlabAllocator::chunk`] read. Stage 2 of the store's
+    /// group-prefetched Multi-Get verification (DESIGN.md §9): the item
+    /// header plus the head of the key live in the first line, which is
+    /// what full-key verification touches first.
+    #[inline(always)]
+    pub fn prefetch(&self, r: SlabRef) {
+        let c = &self.classes[r.class as usize];
+        let start = r.chunk as usize * c.chunk_size;
+        if let Some(byte) = c.data.get(start) {
+            simdht_simd::prefetch_read(byte);
+        }
+    }
+
     /// Write access to a chunk.
     pub fn chunk_mut(&mut self, r: SlabRef) -> &mut [u8] {
         let c = &mut self.classes[r.class as usize];

@@ -32,15 +32,22 @@
 //! request, because any in-flight request holds a shard guard borrowed
 //! from the store itself.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::RwLock;
 
 use crate::clock::Clock;
-use crate::index::{hash_key, HashIndex, IndexError};
+use crate::index::{hash_key, hash_keys_into, HashIndex, IndexError};
 use crate::item::{item_key, item_value, write_item, ItemTable, NO_ITEM};
-use crate::slab::{SlabAllocator, SlabError};
+use crate::slab::{SlabAllocator, SlabError, SlabRef};
+
+/// Default Multi-Get prefetch look-ahead (`G`) used when
+/// [`StoreConfig::prefetch_depth`] is `None`. Eight keeps ~8 independent
+/// cache-line requests in flight per stage — within every recent x86 core's
+/// ~10–16 outstanding L1 misses (its miss-status registers) without
+/// crowding out the demand loads.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 8;
 
 /// Store construction parameters.
 #[derive(Copy, Clone, Debug)]
@@ -53,6 +60,12 @@ pub struct StoreConfig {
     /// Number of shards (rounded up to a power of two; `1` = the classic
     /// single-lock store).
     pub shards: usize,
+    /// Multi-Get software-prefetch look-ahead `G` (DESIGN.md §9):
+    /// `None` = auto ([`DEFAULT_PREFETCH_DEPTH`]), `Some(0)` = disabled,
+    /// `Some(g)` = prefetch index buckets / item rows / slab chunks `g`
+    /// keys ahead of the probe or verification that will touch them.
+    /// Tunable at runtime via [`KvStore::set_prefetch_depth`].
+    pub prefetch_depth: Option<usize>,
 }
 
 impl Default for StoreConfig {
@@ -61,6 +74,7 @@ impl Default for StoreConfig {
             memory_budget: 64 << 20,
             capacity_items: 100_000,
             shards: 1,
+            prefetch_depth: None,
         }
     }
 }
@@ -122,17 +136,34 @@ pub struct MGetOutcome {
     pub phases: PhaseNanos,
 }
 
-/// A reusable Multi-Get response buffer: values are appended to one flat
-/// buffer (as a real server builds its wire response).
+/// Bytes before the first per-key record of a Multi-Get response frame:
+/// `[opcode: u8] [request id: u64 LE] [key count: u16 LE]`.
+const RESP_HEADER_BYTES: usize = 11;
+
+/// A reusable Multi-Get response buffer that **is** the wire frame: `mget`
+/// Phase 3 writes each value directly after its `[found: u8][len: u32 LE]`
+/// record in one contiguous buffer laid out exactly as
+/// `crate::protocol::Response::MGet` encodes, behind an 11-byte header
+/// placeholder. [`MGetResponse::seal_frame`] then patches in the request id
+/// and key count and appends the CRC-32 trailer — so the daemon's reply
+/// path sends the buffer as-is, with no per-value copy (DESIGN.md §9).
 #[derive(Debug, Default, Clone)]
 pub struct MGetResponse {
+    /// The in-progress wire body (header placeholder + per-key records in
+    /// request order; CRC appended by `seal_frame`).
     buf: Vec<u8>,
+    /// Per request slot: `(offset, len)` of the value bytes inside `buf`.
     entries: Vec<Option<(u32, u32)>>,
+    /// Total value bytes (response-size accounting, excludes framing).
+    value_bytes: usize,
+    sealed: bool,
     // Reusable scratch for the lookup pipeline (no per-request allocation).
     hashes: Vec<u32>,
     candidates: Vec<u32>,
     per_shard: Vec<Vec<u32>>,
     sub_hashes: Vec<u32>,
+    refs: Vec<Option<SlabRef>>,
+    reorder: Vec<u8>,
 }
 
 impl MGetResponse {
@@ -143,8 +174,12 @@ impl MGetResponse {
 
     fn reset(&mut self, n: usize) {
         self.buf.clear();
+        self.buf.resize(RESP_HEADER_BYTES, 0);
+        self.buf[0] = crate::protocol::OP_MGET_RESP;
         self.entries.clear();
         self.entries.resize(n, None);
+        self.value_bytes = 0;
+        self.sealed = false;
     }
 
     /// Number of slots (keys in the request).
@@ -162,15 +197,77 @@ impl MGetResponse {
         self.entries[i].map(|(off, len)| &self.buf[off as usize..(off + len) as usize])
     }
 
-    fn push_value(&mut self, i: usize, value: &[u8]) {
+    /// Append a hit record `[1][len][value]` for slot `i`.
+    fn push_hit(&mut self, i: usize, value: &[u8]) {
+        self.buf.push(1);
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         let off = self.buf.len() as u32;
         self.buf.extend_from_slice(value);
         self.entries[i] = Some((off, value.len() as u32));
+        self.value_bytes += value.len();
     }
 
-    /// The flat value buffer (for response-size accounting).
+    /// Append a miss record `[0]`.
+    fn push_miss(&mut self) {
+        self.buf.push(0);
+    }
+
+    /// Rewrite `buf`'s records into request order. A single-shard `mget`
+    /// emits records in request order already; the multi-shard path emits
+    /// them grouped by shard, so one compaction pass (the same one copy per
+    /// value the old dedicated encoder paid) restores wire order here.
+    fn finalize_request_order(&mut self) {
+        let mut wire = std::mem::take(&mut self.reorder);
+        wire.clear();
+        wire.extend_from_slice(&self.buf[..RESP_HEADER_BYTES]);
+        for e in self.entries.iter_mut() {
+            match e {
+                Some((off, len)) => {
+                    wire.push(1);
+                    wire.extend_from_slice(&len.to_le_bytes());
+                    let new_off = wire.len() as u32;
+                    wire.extend_from_slice(&self.buf[*off as usize..(*off + *len) as usize]);
+                    *off = new_off;
+                }
+                None => wire.push(0),
+            }
+        }
+        std::mem::swap(&mut self.buf, &mut wire);
+        self.reorder = wire;
+    }
+
+    /// Turn the response into a complete, CRC-sealed wire frame for request
+    /// `id` and return it, ready for `write_frame`. Call once per `mget`
+    /// (the next `mget` resets the buffer); [`MGetResponse::value`] remains
+    /// usable after sealing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening `mget`, before any
+    /// `mget`, or with more than `u16::MAX` slots (the protocol's key-count
+    /// field width; requests are decoded with the same bound).
+    pub fn seal_frame(&mut self, id: u64) -> &[u8] {
+        assert!(!self.sealed, "seal_frame called twice on one response");
+        assert!(
+            self.buf.len() >= RESP_HEADER_BYTES,
+            "seal_frame requires a completed mget"
+        );
+        assert!(
+            self.entries.len() <= usize::from(u16::MAX),
+            "too many keys for one frame"
+        );
+        self.buf[1..9].copy_from_slice(&id.to_le_bytes());
+        self.buf[9..11].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let crc = crate::protocol::crc32(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.sealed = true;
+        &self.buf
+    }
+
+    /// Total value bytes returned (for response-size accounting).
     pub fn payload_bytes(&self) -> usize {
-        self.buf.len()
+        self.value_bytes
     }
 }
 
@@ -249,6 +346,9 @@ pub struct KvStore {
     shard_mul: u32,
     shard_shift: u32,
     shard_mask: usize,
+    /// Multi-Get prefetch look-ahead `G` (0 = disabled). Atomic so bench
+    /// sweeps can vary it on a live, populated store.
+    prefetch_depth: AtomicUsize,
     name: &'static str,
 }
 
@@ -313,8 +413,24 @@ impl KvStore {
             shard_mul: SHARD_MUL,
             shard_shift: (32 - log2).clamp(1, 31),
             shard_mask: n - 1,
+            prefetch_depth: AtomicUsize::new(
+                config.prefetch_depth.unwrap_or(DEFAULT_PREFETCH_DEPTH),
+            ),
             name,
         }
+    }
+
+    /// The current Multi-Get prefetch look-ahead `G` (0 = disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        self.prefetch_depth.load(Ordering::Relaxed)
+    }
+
+    /// Change the Multi-Get prefetch look-ahead at runtime. Purely a
+    /// performance knob — results are bit-identical for every `depth`
+    /// (proved by `tests/mget_differential.rs`); the `kvs-prefetch-sweep`
+    /// experiment uses this to sweep `G` over one populated store.
+    pub fn set_prefetch_depth(&self, depth: usize) {
+        self.prefetch_depth.store(depth, Ordering::Relaxed);
     }
 
     /// The backing index's name (for reports).
@@ -436,11 +552,47 @@ impl KvStore {
         Ok(())
     }
 
-    /// Look up a single key (convenience wrapper over the batched path).
+    /// Look up a single key.
+    ///
+    /// A direct path over the key's shard — same probe, verification,
+    /// fallback, CLOCK, and counter semantics as a one-key [`KvStore::mget`]
+    /// but without the response-buffer machinery (an `MGetResponse` carries
+    /// hash/partition/candidate scratch vectors that a single-key call
+    /// would allocate and throw away).
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let mut resp = MGetResponse::new();
-        self.mget(&[key], &mut resp);
-        resp.value(0).map(<[u8]>::to_vec)
+        let hash = hash_key(key);
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let g = slot.lock.read();
+        let mut cand = [NO_ITEM];
+        g.index.lookup_batch(std::slice::from_ref(&hash), &mut cand);
+        let cand = cand[0];
+        let mut resolved = None;
+        if cand != NO_ITEM {
+            if let Some(r) = g.items.get(cand) {
+                if item_key(g.slab.chunk(r)) == key {
+                    resolved = Some((cand, r));
+                }
+            }
+            if resolved.is_none() {
+                // Tag/hash collision: scan all candidates (MemC3 slow path).
+                let mut fallback = Vec::new();
+                g.index.lookup_all(hash, &mut fallback);
+                for &c in &fallback {
+                    if let Some(r) = g.items.get(c) {
+                        if item_key(g.slab.chunk(r)) == key {
+                            resolved = Some((c, r));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+        resolved.map(|(item, r)| {
+            g.clock.touch(item);
+            slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
+            item_value(g.slab.chunk(r)).to_vec()
+        })
     }
 
     /// Delete a key; returns `true` if it existed.
@@ -467,13 +619,14 @@ impl KvStore {
     /// `resp` is reset and refilled; reusing one buffer across calls avoids
     /// per-request allocation, as a real server does.
     pub fn mget(&self, keys: &[&[u8]], resp: &mut MGetResponse) -> MGetOutcome {
-        // Phase 1: pre-processing — parse batch, hash every key, partition
-        // the batch by shard.
+        // Phase 1: pre-processing — parse batch, hash every key (eight
+        // interleaved FNV chains per group, SIMD for fixed-width groups),
+        // partition the batch by shard.
         let t0 = Instant::now();
         resp.reset(keys.len());
         let mut hashes = std::mem::take(&mut resp.hashes);
         hashes.clear();
-        hashes.extend(keys.iter().map(|k| hash_key(k)));
+        hash_keys_into(keys, &mut hashes);
         let single = self.shards.len() == 1;
         let mut per_shard = std::mem::take(&mut resp.per_shard);
         if !single {
@@ -488,8 +641,10 @@ impl KvStore {
         let t1 = Instant::now();
 
         // Phases 2+3 per shard, under that shard's lock only.
+        let depth = self.prefetch_depth.load(Ordering::Relaxed);
         let mut candidates = std::mem::take(&mut resp.candidates);
         let mut sub_hashes = std::mem::take(&mut resp.sub_hashes);
+        let mut refs = std::mem::take(&mut resp.refs);
         let mut fallback: Vec<u32> = Vec::new();
         let mut found = 0usize;
         let mut lookup_ns = 0u64;
@@ -506,7 +661,8 @@ impl KvStore {
             let g = slot.lock.read();
 
             // Phase 2: hash-table lookup (the batched, SIMD-accelerable
-            // phase) over this shard's slice of the request.
+            // phase) over this shard's slice of the request, with bucket
+            // lines prefetched `depth` hashes ahead of each probe.
             let tl0 = Instant::now();
             let shard_hashes: &[u32] = if single {
                 &hashes
@@ -517,21 +673,52 @@ impl KvStore {
             };
             candidates.clear();
             candidates.resize(n_sub, NO_ITEM);
-            g.index.lookup_batch(shard_hashes, &mut candidates);
+            g.index
+                .lookup_batch_prefetched(shard_hashes, &mut candidates, depth);
             let tl1 = Instant::now();
 
-            // Phase 3: post-processing — verify, copy values, update CLOCK.
+            // Phase 3: post-processing — verify full keys, write values
+            // into the wire buffer, update CLOCK. With a prefetch depth G
+            // the loop runs AMAC-style stages over the candidate list:
+            // candidate j's item-table row is requested 2G keys before its
+            // turn, its slab chunk G keys before (resolving the row the
+            // prefetch made warm), so both dependent misses overlap the
+            // verification of earlier keys. The shard lock is held
+            // throughout, so staged reads cannot go stale.
             let mut shard_found = 0u64;
-            for (j, &cand) in candidates.iter().enumerate() {
+            if depth > 0 {
+                refs.clear();
+                refs.resize(n_sub, None);
+                for &cand in candidates.iter().take(2 * depth) {
+                    g.items.prefetch(cand);
+                }
+                for j in 0..n_sub.min(depth) {
+                    refs[j] = g.resolve_and_prefetch(candidates[j]);
+                }
+            }
+            for j in 0..n_sub {
+                if depth > 0 {
+                    if let Some(&ahead) = candidates.get(j + 2 * depth) {
+                        g.items.prefetch(ahead);
+                    }
+                    if j + depth < n_sub {
+                        refs[j + depth] = g.resolve_and_prefetch(candidates[j + depth]);
+                    }
+                }
+                let cand = candidates[j];
                 let i = if single { j } else { per_shard[s][j] as usize };
                 let key = keys[i];
+                let slab_ref = if depth > 0 {
+                    refs[j]
+                } else if cand != NO_ITEM {
+                    g.items.get(cand)
+                } else {
+                    None
+                };
                 let mut resolved = None;
-                if cand != NO_ITEM {
-                    if let Some(r) = g.items.get(cand) {
-                        let chunk = g.slab.chunk(r);
-                        if item_key(chunk) == key {
-                            resolved = Some((cand, r));
-                        }
+                if let Some(r) = slab_ref {
+                    if item_key(g.slab.chunk(r)) == key {
+                        resolved = Some((cand, r));
                     }
                 }
                 if resolved.is_none() && cand != NO_ITEM {
@@ -549,9 +736,11 @@ impl KvStore {
                     }
                 }
                 if let Some((item, r)) = resolved {
-                    resp.push_value(i, item_value(g.slab.chunk(r)));
+                    resp.push_hit(i, item_value(g.slab.chunk(r)));
                     g.clock.touch(item);
                     shard_found += 1;
+                } else {
+                    resp.push_miss();
                 }
             }
             let tl2 = Instant::now();
@@ -566,10 +755,17 @@ impl KvStore {
                 .mget_hits
                 .fetch_add(shard_found, Ordering::Relaxed);
         }
+        if !single {
+            // Shard-grouped records -> request order (still Phase 3 work).
+            let tf = Instant::now();
+            resp.finalize_request_order();
+            post_ns += tf.elapsed().as_nanos() as u64;
+        }
         resp.hashes = hashes;
         resp.candidates = candidates;
         resp.per_shard = per_shard;
         resp.sub_hashes = sub_hashes;
+        resp.refs = refs;
 
         MGetOutcome {
             found,
@@ -583,6 +779,20 @@ impl KvStore {
 }
 
 impl Shard {
+    /// AMAC stage 2 of the Multi-Get verify loop: resolve a candidate's
+    /// item-table row (made warm by an earlier [`ItemTable::prefetch`]) to
+    /// its slab reference and request the chunk's leading cache line, so
+    /// the full-key compare `G` iterations later reads a warm line.
+    #[inline(always)]
+    fn resolve_and_prefetch(&self, cand: u32) -> Option<SlabRef> {
+        if cand == NO_ITEM {
+            return None;
+        }
+        let r = self.items.get(cand)?;
+        self.slab.prefetch(r);
+        Some(r)
+    }
+
     /// Find the item id whose stored key equals `key`, verifying against
     /// the slab (never trusts the index alone).
     fn find_verified(&self, hash: u32, key: &[u8]) -> Option<u32> {
@@ -627,6 +837,7 @@ mod tests {
             memory_budget: 8 << 20,
             capacity_items: capacity,
             shards: 1,
+            prefetch_depth: None,
         };
         vec![
             KvStore::new(Box::new(Memc3Index::with_capacity(capacity)), cfg),
@@ -656,6 +867,7 @@ mod tests {
                         memory_budget: 32 << 20,
                         capacity_items: capacity,
                         shards,
+                        prefetch_depth: None,
                     },
                     |cap| by_short_name(which, cap).unwrap(),
                 )
@@ -745,6 +957,7 @@ mod tests {
                 memory_budget: 16 << 20,
                 capacity_items: 4000,
                 shards: 8,
+                prefetch_depth: None,
             },
             |cap| by_short_name("hor", cap).unwrap(),
         );
@@ -840,6 +1053,7 @@ mod tests {
                 memory_budget: 2 << 20, // 2 MiB: forces eviction
                 capacity_items: 100_000,
                 shards: 1,
+                prefetch_depth: None,
             },
         );
         let value = vec![0xABu8; 1024];
@@ -862,6 +1076,7 @@ mod tests {
                 memory_budget: 8 << 20,
                 capacity_items: 64,
                 shards: 1,
+                prefetch_depth: None,
             },
         );
         for i in 0..2000u32 {
@@ -962,6 +1177,7 @@ mod tests {
                     memory_budget: 8 << 20,
                     capacity_items: 2000,
                     shards: 4,
+                    prefetch_depth: None,
                 },
                 |cap| by_short_name("ver", cap).unwrap(),
             ));

@@ -1,0 +1,273 @@
+//! Differential acceptance of the prefetched, zero-copy Multi-Get data
+//! path (DESIGN.md §9): for every index family, shard count, and prefetch
+//! look-ahead G, `mget` must return byte-identical results — decoded
+//! entries against a model map, and CRC-sealed wire frames against both
+//! the G = 0 baseline and the generic `Response::MGet` encoder — on
+//! batches spanning hits, misses, and full-hash-collision fallbacks.
+//! A final case replays the same traffic over real TCP loopback.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use simdht_kvs::index::{self, hash_key};
+use simdht_kvs::kvsd::Kvsd;
+use simdht_kvs::net::TcpConn;
+use simdht_kvs::protocol::{Request, Response};
+use simdht_kvs::store::{KvStore, MGetResponse, StoreConfig};
+use simdht_kvs::transport::ClientConn;
+
+const INDEXES: [&str; 4] = ["memc3", "hor", "ver", "dpdk"];
+const DEPTHS: [usize; 4] = [0, 1, 8, 64];
+
+/// Find two distinct keys with the same 32-bit FNV hash (birthday search;
+/// deterministic, a few hundred thousand cheap hashes).
+fn collision_pair() -> (Vec<u8>, Vec<u8>) {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for i in 0usize.. {
+        let key = format!("col-{i:08x}").into_bytes();
+        if let Some(&j) = seen.get(&hash_key(&key)) {
+            let earlier = format!("col-{j:08x}").into_bytes();
+            return (earlier, key);
+        }
+        seen.insert(hash_key(&key), i);
+    }
+    unreachable!("u32 hashes must collide")
+}
+
+/// The corpus: varied key/value widths (mixed and uniform so Phase 1 hits
+/// both the SIMD fixed-width kernel and the interleaved mixed kernel),
+/// plus both keys of one hash-colliding pair and the first key of another.
+struct Corpus {
+    items: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Inserted colliding pair: looking up either must hit via fallback.
+    pair_both: (Vec<u8>, Vec<u8>),
+    /// Only `.0` is inserted; probing `.1` finds a candidate whose full
+    /// key differs — the fallback scan must still report a miss.
+    pair_half: (Vec<u8>, Vec<u8>),
+}
+
+fn build_corpus() -> Corpus {
+    let pair_both = collision_pair();
+    // Perturb the search prefix to get an independent second pair.
+    let pair_half = {
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        let mut found = None;
+        for i in 0usize.. {
+            let key = format!("dup-{i:08x}").into_bytes();
+            if let Some(&j) = seen.get(&hash_key(&key)) {
+                found = Some((format!("dup-{j:08x}").into_bytes(), key));
+                break;
+            }
+            seen.insert(hash_key(&key), i);
+        }
+        found.expect("u32 hashes must collide")
+    };
+    let mut items = Vec::new();
+    for i in 0..600usize {
+        // Key widths cycle 6..=25 bytes; value widths 0..=120.
+        let key = format!("k{i:0w$}", w = 5 + i % 20).into_bytes();
+        let value = vec![(i % 251) as u8; (i * 7) % 121];
+        items.push((key, value));
+    }
+    items.push((pair_both.0.clone(), b"first-of-colliding-pair".to_vec()));
+    items.push((pair_both.1.clone(), b"second-of-colliding-pair".to_vec()));
+    items.push((pair_half.0.clone(), b"only-inserted-collider".to_vec()));
+    Corpus {
+        items,
+        pair_both,
+        pair_half,
+    }
+}
+
+/// Query batches spanning the interesting shapes: single key, pure hits,
+/// pure misses, interleaved hit/miss, collision fallbacks, an empty batch,
+/// and one batch long enough to span many hash groups and prefetch windows.
+fn query_batches(c: &Corpus) -> Vec<Vec<Vec<u8>>> {
+    let key = |i: usize| c.items[i].0.clone();
+    let miss = |i: usize| format!("absent-{i:06}").into_bytes();
+    let mut batches = vec![
+        vec![],
+        vec![key(0)],
+        vec![miss(0)],
+        (0..40).map(key).collect::<Vec<_>>(),
+        (0..40).map(miss).collect::<Vec<_>>(),
+        (0..60)
+            .map(|i| if i % 3 == 0 { miss(i) } else { key(i) })
+            .collect::<Vec<_>>(),
+        vec![
+            c.pair_both.0.clone(),
+            c.pair_both.1.clone(),
+            c.pair_half.0.clone(),
+            c.pair_half.1.clone(), // collides with an inserted key: must miss
+            key(5),
+            miss(5),
+        ],
+    ];
+    // 300 keys: several 8-lane hash groups plus a remainder, and longer
+    // than any prefetch window, with hits/misses/colliders interleaved.
+    batches.push(
+        (0..300)
+            .map(|i| match i % 7 {
+                0 => miss(i),
+                1 => c.pair_both.1.clone(),
+                2 => c.pair_half.1.clone(),
+                _ => key(i % c.items.len()),
+            })
+            .collect(),
+    );
+    batches
+}
+
+fn store_with(which: &str, shards: usize, depth: usize, corpus: &Corpus) -> KvStore {
+    let store = KvStore::with_shards(
+        StoreConfig {
+            // Varied value widths touch many slab size classes, each of
+            // which reserves a 1 MiB page per shard.
+            memory_budget: 128 << 20,
+            capacity_items: 4096,
+            shards,
+            prefetch_depth: Some(depth),
+        },
+        |cap| index::by_short_name(which, cap).expect("known index"),
+    );
+    for (k, v) in &corpus.items {
+        store.set(k, v).expect("preload");
+    }
+    store
+}
+
+/// Sealed wire frame for one batch, plus the decoded entries.
+fn run_batch(store: &KvStore, id: u64, batch: &[Vec<u8>]) -> (Vec<u8>, Vec<Option<Bytes>>) {
+    let keys: Vec<&[u8]> = batch.iter().map(|k| k.as_slice()).collect();
+    let mut resp = MGetResponse::new();
+    store.mget(&keys, &mut resp);
+    let frame = resp.seal_frame(id).to_vec();
+    let decoded = match Response::decode(Bytes::copy_from_slice(&frame)) {
+        Ok(Response::MGet { id: got, entries }) => {
+            assert_eq!(got, id);
+            entries
+        }
+        other => panic!("sealed frame failed to decode: {other:?}"),
+    };
+    (frame, decoded)
+}
+
+#[test]
+fn prefetched_mget_is_bit_identical_across_depths_shards_and_indexes() {
+    let corpus = build_corpus();
+    let model: HashMap<&[u8], &[u8]> = corpus
+        .items
+        .iter()
+        .map(|(k, v)| (k.as_slice(), v.as_slice()))
+        .collect();
+    let batches = query_batches(&corpus);
+
+    for which in INDEXES {
+        for shards in [1usize, 4] {
+            let store = store_with(which, shards, 0, &corpus);
+            for (b, batch) in batches.iter().enumerate() {
+                let id = (b as u64) << 8;
+                let (baseline_frame, baseline_entries) = run_batch(&store, id, batch);
+
+                // The baseline agrees with the model map and with the
+                // generic encoder.
+                for (key, entry) in batch.iter().zip(&baseline_entries) {
+                    assert_eq!(
+                        entry.as_deref(),
+                        model.get(key.as_slice()).copied(),
+                        "{which}/{shards} shards: wrong entry for {:?}",
+                        String::from_utf8_lossy(key),
+                    );
+                }
+                let generic = Response::MGet {
+                    id,
+                    entries: baseline_entries.clone(),
+                }
+                .encode();
+                assert_eq!(
+                    baseline_frame,
+                    generic.to_vec(),
+                    "{which}/{shards} shards: zero-copy frame diverges from generic encoder",
+                );
+
+                // Every prefetch depth reproduces the baseline bytes.
+                for depth in DEPTHS {
+                    store.set_prefetch_depth(depth);
+                    let (frame, _) = run_batch(&store, id, batch);
+                    assert_eq!(
+                        frame, baseline_frame,
+                        "{which}/{shards} shards, G={depth}, batch {b}: frame bytes diverged",
+                    );
+                }
+                store.set_prefetch_depth(0);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_key_get_matches_mget_under_collisions() {
+    let corpus = build_corpus();
+    for which in INDEXES {
+        let store = store_with(which, 1, 8, &corpus);
+        for (k, v) in &corpus.items {
+            assert_eq!(
+                store.get(k).as_deref(),
+                Some(v.as_slice()),
+                "{which}: get({:?})",
+                String::from_utf8_lossy(k),
+            );
+        }
+        assert_eq!(
+            store.get(&corpus.pair_half.1),
+            None,
+            "{which}: colliding absent key must miss through the fallback",
+        );
+        assert_eq!(store.get(b"absent-000000"), None, "{which}");
+    }
+}
+
+/// The raw bytes a TCP client reads back must be identical whatever
+/// prefetch depth the server runs — the frame comparison covers the CRC
+/// trailer because `recv` hands back the payload still carrying it.
+#[test]
+fn tcp_loopback_frames_identical_across_prefetch_depths() {
+    let corpus = build_corpus();
+    let batches = query_batches(&corpus);
+    let mut baseline: Option<Vec<Bytes>> = None;
+    for depth in [0usize, 8] {
+        let store = Arc::new(store_with("hor", 4, depth, &corpus));
+        let kvsd = Kvsd::bind(store, "127.0.0.1:0").expect("bind loopback");
+        let mut conn = TcpConn::connect(kvsd.local_addr()).expect("connect");
+        let mut frames = Vec::new();
+        for (b, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            conn.send(
+                Request::MGet {
+                    id: b as u64,
+                    keys: batch.iter().map(|k| Bytes::copy_from_slice(k)).collect(),
+                }
+                .encode(),
+            )
+            .expect("send");
+            let (payload, _) = conn.recv().expect("recv");
+            assert!(matches!(
+                Response::decode(payload.clone()),
+                Ok(Response::MGet { .. })
+            ));
+            frames.push(payload);
+        }
+        drop(conn);
+        kvsd.shutdown();
+        match &baseline {
+            None => baseline = Some(frames),
+            Some(base) => assert_eq!(
+                base, &frames,
+                "TCP reply bytes changed between G=0 and G={depth}",
+            ),
+        }
+    }
+}

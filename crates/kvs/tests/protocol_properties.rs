@@ -161,6 +161,7 @@ fn kvsd_answers_duplicate_keys_per_slot() {
             memory_budget: 4 << 20,
             capacity_items: 64,
             shards: 1,
+            prefetch_depth: None,
         },
     ));
     store.set(b"hot-key", b"hot-value").expect("preload");

@@ -164,6 +164,7 @@ fn differential_run(which: &str, seed: u64) {
             memory_budget: budget,
             capacity_items: capacity,
             shards: 1,
+            prefetch_depth: None,
         },
     );
     let mut base = Baseline::new(which, capacity, budget);

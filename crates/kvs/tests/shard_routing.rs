@@ -16,6 +16,7 @@ fn store_with(shards: usize) -> KvStore {
             memory_budget: 8 << 20,
             capacity_items: 4096,
             shards,
+            prefetch_depth: None,
         },
         |cap| by_short_name("hor", cap).expect("known index"),
     )

@@ -198,6 +198,16 @@ pub trait Vector: Copy + Send + Sync + 'static {
 /// A no-op on non-x86 targets. This is the software stand-in for the
 /// "hardware-optimized 'gather' intrinsics that take some prefetching
 /// hints" the paper's Observation ② asks for.
+///
+/// Call sites form the KVS Multi-Get prefetch pipeline (simdht-kvs
+/// DESIGN.md §9): the scalar index probes issue it for candidate bucket
+/// rows G keys ahead (`Memc3Index`/`TagSimdIndex::lookup_batch_prefetched`
+/// via their `prefetch_buckets`), the SIMD tables sweep it over a batch's
+/// candidate buckets (`CuckooTable::prefetch_candidates`), and the verify
+/// phase stages it through `ItemTable::prefetch` (object-pointer rows) and
+/// `SlabAllocator::prefetch` (item chunk headers). It is always a hint:
+/// callers re-resolve through bounds-checked reads, so dropping every
+/// prefetch changes performance, never results.
 #[inline(always)]
 pub fn prefetch_read<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]

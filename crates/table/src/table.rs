@@ -347,6 +347,26 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
         slots
     }
 
+    /// Request the cache lines of every candidate bucket for `key` with
+    /// [`simdht_simd::prefetch_read`], without probing. Callers that know
+    /// the batch ahead of time (the KVS Multi-Get index probe) issue this a
+    /// few keys in advance so the probes land in warm lines; see the
+    /// group-prefetch discussion in the KVS crate's DESIGN.md §9.
+    #[inline]
+    pub fn prefetch_candidates(&self, key: K) {
+        let m = self.slots_per_bucket();
+        for way in 0..self.layout.n_ways() {
+            let b = self.hash.bucket(key, way);
+            match &self.storage {
+                Storage::Interleaved(data) => simdht_simd::prefetch_read(&data[2 * b * m]),
+                Storage::Split { keys, vals } => {
+                    simdht_simd::prefetch_read(&keys[b * m]);
+                    simdht_simd::prefetch_read(&vals[b * m]);
+                }
+            }
+        }
+    }
+
     /// Scalar lookup — the non-SIMD baseline every vector kernel is
     /// compared against (the paper's "Scalar" series).
     #[inline]

@@ -50,6 +50,7 @@ fn main() {
             memory_budget: 64 << 20,
             capacity_items: ITEMS * 2,
             shards: 1,
+            prefetch_depth: None,
         },
         ..MemslapConfig::default()
     };

@@ -59,6 +59,7 @@ fn all_backends_answer_identically() {
         memory_budget: 16 << 20,
         capacity_items: 8000,
         shards: 1,
+        prefetch_depth: None,
     };
     let stores: Vec<KvStore> = indexes(8000)
         .into_iter()
@@ -96,6 +97,7 @@ fn memslap_full_pipeline_all_backends() {
             memory_budget: 16 << 20,
             capacity_items: 5000,
             shards: 1,
+            prefetch_depth: None,
         },
         ..MemslapConfig::default()
     };
@@ -130,6 +132,7 @@ fn store_concurrent_mixed_load() {
             memory_budget: 32 << 20,
             capacity_items: 20_000,
             shards: 1,
+            prefetch_depth: None,
         },
     ));
     for i in 0..5000u32 {
@@ -176,6 +179,7 @@ fn updates_and_value_growth() {
                 memory_budget: 8 << 20,
                 capacity_items: 1000,
                 shards: 1,
+                prefetch_depth: None,
             },
         );
         for round in 0..5 {
