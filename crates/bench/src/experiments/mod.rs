@@ -34,6 +34,7 @@ pub const ALL: &[&str] = &[
     "ext-tcp-loopback",
     "kvs-shard-sweep",
     "kvs-prefetch-sweep",
+    "kvs-reactor-sweep",
     "ext-swiss",
 ];
 
@@ -62,6 +63,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "ext-tcp-loopback" => kvs::ext_tcp_loopback(&scale),
         "kvs-shard-sweep" => kvs::kvs_shard_sweep(&scale),
         "kvs-prefetch-sweep" => kvs::kvs_prefetch_sweep(&scale),
+        "kvs-reactor-sweep" => kvs::kvs_reactor_sweep(&scale),
         "ext-swiss" => extensions::swiss(&scale),
         _ => return None,
     })

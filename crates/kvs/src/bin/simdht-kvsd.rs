@@ -11,7 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use simdht_kvs::index;
-use simdht_kvs::kvsd::{Kvsd, KvsdConfig};
+use simdht_kvs::kvsd::{ConnSummary, Kvsd, KvsdConfig};
+use simdht_kvs::reactor::{ReactorConfig, ReactorServer};
+use simdht_kvs::server::ServerStats;
 use simdht_kvs::store::{KvStore, StoreConfig};
 
 const USAGE: &str = "\
@@ -38,6 +40,16 @@ OPTIONS:
                            (if any) expires (default: unlimited)
     --idle-timeout-ms <n>  Reap connections silent (or stalled mid-frame)
                            this long (default: never)
+    --reactor              Serve with the event-driven reactor pool instead of
+                           a thread per connection: each reactor owns many
+                           nonblocking connections and coalesces their MGets
+                           into wide lookup batches (DESIGN.md §10)
+    --reactor-threads <n>  Event-loop workers in reactor mode
+                           (default: min(cores, 4))
+    --coalesce-us <n>      Reactor micro-deadline: longest a decoded MGet
+                           waits for batch-mates before dispatch (default 100)
+    --batch-width <n>      Reactor dispatches as soon as this many keys are
+                           buffered across connections (default 64)
     --prefetch-depth <n>   Multi-Get software-prefetch look-ahead distance
                            (group size G). 0 disables prefetching; default
                            auto-tunes (see DESIGN.md §9)
@@ -53,6 +65,7 @@ struct Args {
     duration: Option<u64>,
     prefetch_depth: Option<usize>,
     config: KvsdConfig,
+    reactor: Option<ReactorConfig>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,11 +78,40 @@ fn parse_args() -> Result<Args, String> {
         duration: None,
         prefetch_depth: None,
         config: KvsdConfig::default(),
+        reactor: None,
     };
+    let mut reactor_cfg = ReactorConfig::default();
+    let mut want_reactor = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
+            "--reactor" => want_reactor = true,
+            "--reactor-threads" => {
+                want_reactor = true;
+                reactor_cfg.reactors = value("--reactor-threads")?
+                    .parse()
+                    .map_err(|e| format!("--reactor-threads: {e}"))?;
+                if reactor_cfg.reactors == 0 {
+                    return Err("--reactor-threads must be >= 1".to_string());
+                }
+            }
+            "--coalesce-us" => {
+                want_reactor = true;
+                let us: u64 = value("--coalesce-us")?
+                    .parse()
+                    .map_err(|e| format!("--coalesce-us: {e}"))?;
+                reactor_cfg.coalesce = Duration::from_micros(us);
+            }
+            "--batch-width" => {
+                want_reactor = true;
+                reactor_cfg.batch_width = value("--batch-width")?
+                    .parse()
+                    .map_err(|e| format!("--batch-width: {e}"))?;
+                if reactor_cfg.batch_width == 0 {
+                    return Err("--batch-width must be >= 1".to_string());
+                }
+            }
             "--addr" => args.addr = value("--addr")?,
             "--index" => args.index = value("--index")?,
             "--capacity" => {
@@ -133,7 +175,61 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if want_reactor {
+        reactor_cfg.limits = args.config;
+        args.reactor = Some(reactor_cfg);
+    }
     Ok(args)
+}
+
+/// Either serving architecture behind one drain-and-report interface.
+enum Daemon {
+    Thread(Kvsd),
+    Reactor(ReactorServer),
+}
+
+impl Daemon {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            Daemon::Thread(k) => k.local_addr(),
+            Daemon::Reactor(r) => r.local_addr(),
+        }
+    }
+
+    fn stats(&self) -> Arc<ServerStats> {
+        match self {
+            Daemon::Thread(k) => k.stats(),
+            Daemon::Reactor(r) => r.stats(),
+        }
+    }
+
+    fn shutdown(self) -> Vec<ConnSummary> {
+        match self {
+            Daemon::Thread(k) => k.shutdown(),
+            Daemon::Reactor(r) => {
+                let snaps = r.reactor_snapshots();
+                let summaries = r.shutdown();
+                for s in &snaps {
+                    println!(
+                        "reactor {}: {} conns ({} still open), {} frames, \
+                         {} batches (mean width {:.2}; fires: {} width / {} timeout / {} drain), \
+                         {} shed",
+                        s.reactor,
+                        s.conns_adopted,
+                        s.conns_open,
+                        s.frames,
+                        s.batches,
+                        s.mean_batch_width(),
+                        s.width_fires,
+                        s.timeout_fires,
+                        s.drain_fires,
+                        s.sheds,
+                    );
+                }
+                summaries
+            }
+        }
+    }
 }
 
 fn main() {
@@ -160,7 +256,14 @@ fn main() {
         },
         |cap| index::by_short_name(&args.index, cap).expect("index name validated above"),
     ));
-    let kvsd = match Kvsd::bind_with(Arc::clone(&store), args.addr.as_str(), args.config) {
+    let bound = match args.reactor {
+        Some(rcfg) => ReactorServer::bind_with(Arc::clone(&store), args.addr.as_str(), rcfg)
+            .map(Daemon::Reactor),
+        None => {
+            Kvsd::bind_with(Arc::clone(&store), args.addr.as_str(), args.config).map(Daemon::Thread)
+        }
+    };
+    let kvsd = match bound {
         Ok(k) => k,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);
@@ -176,6 +279,14 @@ fn main() {
         args.memory_mb,
         store.prefetch_depth(),
     );
+    if let Some(rcfg) = args.reactor {
+        println!(
+            "reactor mode: {} event loop(s), coalesce {}us, batch width {}",
+            rcfg.reactors,
+            rcfg.coalesce.as_micros(),
+            rcfg.batch_width,
+        );
+    }
 
     match args.duration {
         None => loop {

@@ -6,7 +6,7 @@
 //! ```
 
 use simdht_kvs::fault::FaultSpec;
-use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
+use simdht_kvs::memslap::{run_memslap_mux, run_memslap_over, MuxMemslapConfig, NetMemslapConfig};
 use simdht_kvs::net::TcpTransport;
 use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
 
@@ -20,6 +20,11 @@ OPTIONS:
     --addr <ip:port>       Server address (default 127.0.0.1:11411)
     --connections <n>      Concurrent connections (default 4)
     --depth <n>            Pipelined requests per connection (default 16)
+    --mux                  Many-small-connections mode: drive every connection
+                           from one event loop instead of one thread each
+                           (e.g. --mux --connections 1000 --depth 1 against
+                           simdht-kvsd --reactor). Read-only; incompatible
+                           with --set-fraction, --faults, --max-retries
     --mget <n>             Keys per Multi-Get (default 16; paper uses 16-96)
     --items <n>            Distinct key-value items (default 10000)
     --requests <n>         Multi-Get requests to issue (default 2000)
@@ -45,6 +50,7 @@ struct Args {
     addr: String,
     net: NetMemslapConfig,
     spec: KvWorkloadSpec,
+    mux: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             pattern: AccessPattern::skewed(),
             seed: 19_283,
         },
+        mux: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +80,10 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--no-preload" {
             args.net.preload = false;
+            continue;
+        }
+        if flag == "--mux" {
+            args.mux = true;
             continue;
         }
         let value = it
@@ -119,6 +130,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.mux
+        && (args.net.set_fraction != 0.0
+            || args.net.faults.is_some()
+            || args.net.retry.max_retries != simdht_kvs::client::RetryPolicy::default().max_retries)
+    {
+        return Err(
+            "--mux is read-only and unretried: drop --set-fraction / --faults / --max-retries"
+                .to_string(),
+        );
+    }
     Ok(args)
 }
 
@@ -148,10 +169,11 @@ fn main() {
     );
     let workload = KvWorkload::generate(&args.spec);
     println!(
-        "running against {} ({} connections, pipeline depth {}{}{})",
+        "running against {} ({} connections, pipeline depth {}{}{}{})",
         transport.addr(),
         args.net.connections,
         args.net.pipeline_depth,
+        if args.mux { ", multiplexed" } else { "" },
         if args.net.preload { ", preloading" } else { "" },
         if args.net.faults.is_some() {
             ", fault injection on"
@@ -159,7 +181,18 @@ fn main() {
             ""
         },
     );
-    let report = match run_memslap_over(&transport, &workload, &args.net) {
+    let outcome = if args.mux {
+        let mux = MuxMemslapConfig {
+            connections: args.net.connections,
+            pipeline_depth: args.net.pipeline_depth,
+            preload: args.net.preload,
+            ..MuxMemslapConfig::default()
+        };
+        run_memslap_mux(transport.addr(), &workload, &mux)
+    } else {
+        run_memslap_over(&transport, &workload, &args.net)
+    };
+    let report = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: run failed: {e}");

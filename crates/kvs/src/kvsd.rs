@@ -66,6 +66,9 @@ pub struct ConnSummary {
     pub shed: u64,
     /// Busy nanoseconds (frame decode → response encode).
     pub busy_ns: u64,
+    /// Which reactor event loop served the connection
+    /// (`None` under the thread-per-connection server).
+    pub reactor: Option<usize>,
 }
 
 /// Counting semaphore bounding simultaneously-processed requests.
@@ -302,6 +305,7 @@ fn handle_connection(
         found: 0,
         shed: 0,
         busy_ns: 0,
+        reactor: None,
     };
     let Ok(read_half) = stream.try_clone() else {
         return conn;

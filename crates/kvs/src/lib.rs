@@ -33,6 +33,10 @@
 //! * [`server`] / [`kvsd`] — worker threads draining the fabric, and the
 //!   TCP daemon behind the `simdht-kvsd` binary (pipelined per-connection
 //!   handlers, graceful drain, per-connection + aggregate stats).
+//! * [`reactor`] — the event-driven serving architecture: epoll/poll
+//!   event loops owning many nonblocking connections each, coalescing
+//!   Multi-Gets from *all* connections into one wide lookup batch
+//!   ([`reactor::ReactorServer`], `simdht-kvsd --reactor`).
 //! * [`memslap`] — the memslap-style Multi-Get load generator with latency
 //!   percentiles, co-located ([`memslap::run_memslap`]) or networked over
 //!   either transport ([`memslap::run_memslap_over`], the `simdht-memslap`
@@ -67,6 +71,7 @@ pub mod kvsd;
 pub mod memslap;
 pub mod net;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod slab;
 pub mod store;

@@ -127,6 +127,133 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
     Ok(Some(Bytes::from(payload)))
 }
 
+/// Incremental, resumable frame decoder for nonblocking sockets.
+///
+/// The blocking [`read_frame`] owns the socket until a whole frame
+/// arrives; a reactor cannot afford that. `FrameDecoder` instead accepts
+/// whatever bytes a readiness event delivered ([`FrameDecoder::extend`]),
+/// yielding complete frames as they materialize and carrying partial
+/// header/payload state across events.
+///
+/// ## Parity with [`read_frame`]
+///
+/// The decoder enforces the exact same contract, byte for byte:
+///
+/// * a length prefix above [`MAX_FRAME_BYTES`] is rejected **at header
+///   time** — before any payload byte is buffered — with
+///   [`io::ErrorKind::InvalidData`] carrying a typed [`FrameTooLarge`]
+///   source (the blocking path's behavior; an early design buffered the
+///   oversized payload first, which let a hostile prefix pin 16 MiB);
+/// * EOF at a frame boundary is clean ([`FrameDecoder::finish`] returns
+///   `Ok`), EOF mid-frame is [`io::ErrorKind::UnexpectedEof`];
+/// * frame payloads come out identical to what `read_frame` returns for
+///   the same byte stream, regardless of how the stream was split.
+///
+/// A corrupt prefix poisons the decoder: after an error, the stream has
+/// no recoverable framing, so every later call returns the same error
+/// class and the connection must be dropped (mirroring the blocking
+/// server, which closes on the first bad frame).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Bytes of the 4-byte length prefix received so far.
+    header: [u8; 4],
+    header_filled: usize,
+    /// Payload in progress; allocated only after the prefix passes the
+    /// size check.
+    payload: Vec<u8>,
+    /// Declared payload length once the prefix is complete.
+    want: Option<usize>,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while no byte of the next frame has arrived — the only
+    /// state where EOF is a clean close.
+    pub fn at_boundary(&self) -> bool {
+        self.header_filled == 0 && self.want.is_none() && !self.poisoned
+    }
+
+    /// Feed `bytes` received from the socket, appending decoded frames to
+    /// `out`. Returns how many frames were appended.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] with a [`FrameTooLarge`] source when
+    /// a length prefix exceeds [`MAX_FRAME_BYTES`]; the decoder is then
+    /// poisoned and the connection should be closed.
+    pub fn extend(&mut self, mut bytes: &[u8], out: &mut Vec<Bytes>) -> io::Result<usize> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame decoder poisoned by an earlier oversized prefix",
+            ));
+        }
+        let mut produced = 0;
+        while !bytes.is_empty() {
+            match self.want {
+                None => {
+                    let take = (4 - self.header_filled).min(bytes.len());
+                    self.header[self.header_filled..self.header_filled + take]
+                        .copy_from_slice(&bytes[..take]);
+                    self.header_filled += take;
+                    bytes = &bytes[take..];
+                    if self.header_filled == 4 {
+                        let len = u32::from_le_bytes(self.header) as usize;
+                        if len > MAX_FRAME_BYTES {
+                            self.poisoned = true;
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                FrameTooLarge::new(len),
+                            ));
+                        }
+                        self.want = Some(len);
+                        self.payload.clear();
+                        self.payload.reserve(len);
+                    }
+                }
+                Some(len) => {
+                    let take = (len - self.payload.len()).min(bytes.len());
+                    self.payload.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.payload.len() == len {
+                        out.push(Bytes::from(std::mem::take(&mut self.payload)));
+                        produced += 1;
+                        self.want = None;
+                        self.header_filled = 0;
+                    }
+                }
+            }
+        }
+        Ok(produced)
+    }
+
+    /// Signal EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::UnexpectedEof`] if the stream ended inside a frame
+    /// (partial header or partial payload), exactly like [`read_frame`].
+    pub fn finish(&self) -> io::Result<()> {
+        if self.at_boundary() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                if self.want.is_some() {
+                    "eof inside frame payload"
+                } else {
+                    "eof inside frame header"
+                },
+            ))
+        }
+    }
+}
+
 /// A [`Transport`] that opens TCP connections to one server address.
 #[derive(Debug, Clone)]
 pub struct TcpTransport {
@@ -262,6 +389,74 @@ mod tests {
             .and_then(|e| e.downcast_ref::<FrameTooLarge>())
             .expect("typed FrameTooLarge source");
         assert_eq!(inner.len, MAX_FRAME_BYTES + 1);
+    }
+
+    #[test]
+    fn frame_decoder_single_byte_feed_matches_blocking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xAB; 300]).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &wire {
+            dec.extend(std::slice::from_ref(b), &mut frames).unwrap();
+        }
+        dec.finish().unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(&frames[0][..], b"hello");
+        assert_eq!(&frames[1][..], b"");
+        assert_eq!(&frames[2][..], &[0xAB; 300][..]);
+    }
+
+    #[test]
+    fn frame_decoder_whole_pipeline_in_one_feed() {
+        let mut wire = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut wire, &[i; 17]).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        assert_eq!(dec.extend(&wire, &mut frames).unwrap(), 10);
+        dec.finish().unwrap();
+        assert_eq!(frames.len(), 10);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_prefix_at_header_time() {
+        let bad = u32::MAX.to_le_bytes();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        let err = dec.extend(&bad, &mut frames).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+            .expect("typed FrameTooLarge source");
+        assert_eq!(inner.len, u32::MAX as usize);
+        assert_eq!(inner.limit, MAX_FRAME_BYTES);
+        // Poisoned: later feeds keep failing instead of misparsing.
+        assert!(dec.extend(b"more", &mut frames).is_err());
+        assert!(frames.is_empty(), "no payload byte was buffered");
+    }
+
+    #[test]
+    fn frame_decoder_eof_mid_frame_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        for cut in 1..wire.len() {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            dec.extend(&wire[..cut], &mut frames).unwrap();
+            let err = dec.finish().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // And a clean boundary is a clean close.
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        dec.extend(&wire, &mut frames).unwrap();
+        assert!(dec.at_boundary());
+        dec.finish().unwrap();
     }
 
     #[test]

@@ -51,11 +51,45 @@ const CRC_TABLE: [u32; 256] = {
 /// CRC-32 (IEEE) of `bytes` — the per-message integrity trailer. Detects
 /// every single-byte corruption and every burst shorter than 32 bits.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Streaming CRC-32 (IEEE) hasher: feed message bytes in pieces and
+/// [`Crc32::finalize`] when done. `crc32(b)` equals
+/// `Crc32::new().update(b).finalize()` for any split of `b` — the reactor
+/// reply path uses this to seal a per-request sub-frame (header bytes
+/// plus a record slice of the shared batch buffer) without first
+/// concatenating the two spans.
+#[derive(Copy, Clone, Debug)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(!0)
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The CRC-32 of everything absorbed so far.
+    pub fn finalize(self) -> u32 {
+        !self.0
+    }
 }
 
 /// Append the CRC trailer to a finished message body.
@@ -533,6 +567,18 @@ mod tests {
         // The canonical IEEE CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot_for_every_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32(data);
+        for cut in 0..=data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..cut]);
+            h.update(&data[cut..]);
+            assert_eq!(h.finalize(), whole, "split at {cut}");
+        }
     }
 
     #[test]

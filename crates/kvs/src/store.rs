@@ -269,6 +269,77 @@ impl MGetResponse {
     pub fn payload_bytes(&self) -> usize {
         self.value_bytes
     }
+
+    /// Append one request's slice of a coalesced batch as a complete,
+    /// length-prefixed, CRC-sealed MGet response frame for request `id`.
+    ///
+    /// The reactor server concatenates the keys of many pipelined
+    /// requests into one wide `mget` so the lookup pipeline runs at full
+    /// batch width, then scatters the shared response buffer back out
+    /// per request. Slot range `slots` must be the contiguous run of
+    /// batch slots belonging to one request; the bytes appended to `out`
+    /// are identical to what the thread-per-connection path produces for
+    /// that request alone (`write_frame` of [`MGetResponse::seal_frame`]),
+    /// so the two server modes are byte-compatible on the wire.
+    ///
+    /// Returns the number of bytes appended (frame prefix included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`MGetResponse::seal_frame`] (the batch
+    /// buffer must stay unsealed — a coalesced batch is never shipped as
+    /// one frame), if `slots` is out of bounds or not ascending, or if
+    /// the range holds more than `u16::MAX` slots (the per-request
+    /// key-count bound the protocol enforces on decode).
+    pub fn append_subframe(
+        &self,
+        slots: std::ops::Range<usize>,
+        id: u64,
+        out: &mut Vec<u8>,
+    ) -> usize {
+        assert!(!self.sealed, "append_subframe requires an unsealed batch");
+        assert!(
+            slots.start <= slots.end && slots.end <= self.entries.len(),
+            "slot range {slots:?} out of bounds for {} slots",
+            self.entries.len()
+        );
+        assert!(
+            slots.len() <= usize::from(u16::MAX),
+            "too many keys for one frame"
+        );
+        // Walk the records preceding the range to find its byte span: a
+        // hit occupies `[1][len u32][value]` (5 + len bytes), a miss one
+        // `[0]` byte.
+        let mut cursor = RESP_HEADER_BYTES;
+        let mut start = None;
+        for (i, e) in self.entries.iter().enumerate().take(slots.end) {
+            if i == slots.start {
+                start = Some(cursor);
+            }
+            cursor += match e {
+                Some((_, len)) => 5 + *len as usize,
+                None => 1,
+            };
+        }
+        let (start, end) = (start.unwrap_or(cursor), cursor);
+
+        let mut header = [0u8; RESP_HEADER_BYTES];
+        header[0] = crate::protocol::OP_MGET_RESP;
+        header[1..9].copy_from_slice(&id.to_le_bytes());
+        header[9..11].copy_from_slice(&(slots.len() as u16).to_le_bytes());
+        let records = &self.buf[start..end];
+        let frame_len = RESP_HEADER_BYTES + records.len() + 4;
+        let before = out.len();
+        out.reserve(4 + frame_len);
+        out.extend_from_slice(&(frame_len as u32).to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(records);
+        let mut crc = crate::protocol::Crc32::new();
+        crc.update(&header);
+        crc.update(records);
+        out.extend_from_slice(&crc.finalize().to_le_bytes());
+        out.len() - before
+    }
 }
 
 /// Multiply-shift shard routing over a 32-bit key hash — the same scheme
@@ -928,6 +999,44 @@ mod tests {
             for (s, &l) in lens.iter().enumerate() {
                 assert!(l > 2000 / 4 / 4, "shard {s} starved: {lens:?}");
             }
+        }
+    }
+
+    #[test]
+    fn subframe_scatter_matches_per_request_seal_byte_for_byte() {
+        // A coalesced batch scattered via append_subframe must put the
+        // same bytes on the wire as serving each request alone through
+        // seal_frame + write_frame (both sharded and unsharded stores,
+        // hit/miss/empty-value mixes, including an empty request).
+        for store in sharded_stores(1000, 4).into_iter().chain(stores(1000)) {
+            store.set(b"a", b"alpha").unwrap();
+            store.set(b"b", b"").unwrap();
+            store.set(b"c", b"gamma-gamma").unwrap();
+            // Three requests: [a, miss], [], [b, c, miss].
+            let reqs: [(u64, &[&[u8]]); 3] = [
+                (10, &[b"a", b"nope"]),
+                (11, &[]),
+                (12, &[b"b", b"c", b"zilch"]),
+            ];
+            let combined: Vec<&[u8]> = reqs.iter().flat_map(|(_, ks)| ks.iter().copied()).collect();
+            let mut batch = MGetResponse::new();
+            store.mget(&combined, &mut batch);
+
+            let mut scattered = Vec::new();
+            let mut lo = 0;
+            for (id, ks) in &reqs {
+                let n = batch.append_subframe(lo..lo + ks.len(), *id, &mut scattered);
+                assert!(n >= 4 + RESP_HEADER_BYTES + 4);
+                lo += ks.len();
+            }
+
+            let mut expect = Vec::new();
+            for (id, ks) in &reqs {
+                let mut solo = MGetResponse::new();
+                store.mget(ks, &mut solo);
+                crate::net::write_frame(&mut expect, solo.seal_frame(*id)).unwrap();
+            }
+            assert_eq!(scattered, expect, "{}", store.index_name());
         }
     }
 

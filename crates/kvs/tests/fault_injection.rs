@@ -14,6 +14,11 @@
 //!
 //! Seed count scales with the `FAULT_SEEDS` env var (default 8; CI runs
 //! 100, and ≥64 satisfies the acceptance matrix).
+//!
+//! The daemon under test is selected by `FAULT_SERVER`: `thread`
+//! (default) runs the blocking thread-per-connection [`Kvsd`], `reactor`
+//! runs the event-driven coalescing [`ReactorServer`] — the whole matrix
+//! holds for both serving architectures.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
@@ -28,6 +33,7 @@ use simdht_kvs::kvsd::Kvsd;
 use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
 use simdht_kvs::net::TcpTransport;
 use simdht_kvs::protocol::{Request, Response};
+use simdht_kvs::reactor::ReactorServer;
 use simdht_kvs::store::{KvStore, StoreConfig};
 use simdht_kvs::transport::Transport;
 use simdht_workload::{KvWorkload, KvWorkloadSpec};
@@ -39,7 +45,49 @@ fn fault_seeds() -> u64 {
         .unwrap_or(8)
 }
 
-fn spawn_daemon(capacity: usize) -> (Kvsd, Arc<KvStore>) {
+/// Whichever serving architecture `FAULT_SERVER` selects, behind the
+/// interface the matrix needs.
+enum Daemon {
+    Thread(Kvsd),
+    Reactor(ReactorServer),
+}
+
+impl Daemon {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            Daemon::Thread(k) => k.local_addr(),
+            Daemon::Reactor(r) => r.local_addr(),
+        }
+    }
+
+    fn stats(&self) -> Arc<simdht_kvs::server::ServerStats> {
+        match self {
+            Daemon::Thread(k) => k.stats(),
+            Daemon::Reactor(r) => r.stats(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Daemon::Thread(k) => {
+                k.shutdown();
+            }
+            Daemon::Reactor(r) => {
+                r.shutdown();
+            }
+        }
+    }
+}
+
+fn reactor_mode() -> bool {
+    match std::env::var("FAULT_SERVER").as_deref() {
+        Ok("reactor") => true,
+        Ok("thread") | Err(_) => false,
+        Ok(other) => panic!("FAULT_SERVER={other}: expected thread | reactor"),
+    }
+}
+
+fn spawn_daemon(capacity: usize) -> (Daemon, Arc<KvStore>) {
     let store = Arc::new(KvStore::new(
         by_short_name("memc3", capacity).expect("known index"),
         StoreConfig {
@@ -49,8 +97,14 @@ fn spawn_daemon(capacity: usize) -> (Kvsd, Arc<KvStore>) {
             prefetch_depth: None,
         },
     ));
-    let kvsd = Kvsd::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind ephemeral port");
-    (kvsd, store)
+    let daemon = if reactor_mode() {
+        Daemon::Reactor(
+            ReactorServer::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind ephemeral port"),
+        )
+    } else {
+        Daemon::Thread(Kvsd::bind(Arc::clone(&store), "127.0.0.1:0").expect("bind ephemeral port"))
+    };
+    (daemon, store)
 }
 
 /// Retry policy tuned for the matrix: timeouts short enough that a
@@ -307,6 +361,99 @@ fn no_fault_plan_matches_plain_tcp_byte_for_byte() {
     assert_eq!(plain, wrapped, "no-fault wrapper altered bytes");
     assert_eq!(plan.counters().total(), 0, "no-fault plan injected faults");
     kvsd.shutdown();
+}
+
+/// Differential check of the two serving architectures: with faults
+/// disabled, the same pipelined request sequence against a blocking
+/// `Kvsd` and against a coalescing `ReactorServer` — both over identical
+/// store contents — must produce byte-identical response frames in the
+/// same per-connection order. This pins the reactor's scatter path
+/// (`MGetResponse::append_subframe` over a shared batch buffer) to the
+/// blocking server's per-request `seal_frame` wire format.
+#[test]
+fn reactor_and_thread_servers_match_byte_for_byte() {
+    let mk_store = || {
+        let store = Arc::new(KvStore::new(
+            by_short_name("memc3", 64).expect("known index"),
+            StoreConfig {
+                memory_budget: 4 << 20,
+                capacity_items: 64,
+                shards: 1,
+                prefetch_depth: None,
+            },
+        ));
+        for i in 0..8usize {
+            store.set(&key(i), &value(7, i)).expect("preload");
+        }
+        store
+    };
+
+    // Pipelined mix: wide MGet, overlapping MGets, a Set, a re-read of
+    // the overwritten key, an all-miss MGet, and an empty MGet.
+    let requests: Vec<Bytes> = vec![
+        Request::MGet {
+            id: 1,
+            keys: (0..8).map(key).collect(),
+        }
+        .encode(),
+        Request::MGet {
+            id: 2,
+            keys: vec![key(1), Bytes::from_static(b"nope"), key(2)],
+        }
+        .encode(),
+        Request::Set {
+            id: 3,
+            key: key(3),
+            value: Bytes::from_static(b"fresh-value"),
+        }
+        .encode(),
+        Request::MGet {
+            id: 4,
+            keys: vec![key(3)],
+        }
+        .encode(),
+        Request::MGet {
+            id: 5,
+            keys: vec![Bytes::from_static(b"miss-a"), Bytes::from_static(b"miss-b")],
+        }
+        .encode(),
+        Request::MGet {
+            id: 6,
+            keys: vec![],
+        }
+        .encode(),
+    ];
+
+    let drive = |addr: std::net::SocketAddr| -> Vec<Vec<u8>> {
+        let tcp = TcpTransport::new(addr).expect("transport");
+        let mut conn = tcp.connect().expect("connect");
+        // Send the whole pipeline first, then collect: the reactor must
+        // preserve per-connection order across its coalescing buffer.
+        for frame in &requests {
+            conn.send(frame.clone()).expect("send");
+        }
+        conn.flush().expect("flush");
+        (0..requests.len())
+            .map(|_| {
+                let (payload, _) = conn.recv().expect("recv");
+                Response::decode(payload.clone()).expect("decode");
+                payload.to_vec()
+            })
+            .collect()
+    };
+
+    let kvsd = Kvsd::bind(mk_store(), "127.0.0.1:0").expect("bind thread server");
+    let thread_frames = drive(kvsd.local_addr());
+    kvsd.shutdown();
+
+    let reactor = ReactorServer::bind(mk_store(), "127.0.0.1:0").expect("bind reactor server");
+    let reactor_frames = drive(reactor.local_addr());
+    reactor.shutdown();
+
+    assert_eq!(
+        thread_frames, reactor_frames,
+        "serving architectures diverged on the wire"
+    );
 }
 
 /// Kill the daemon while the networked memslap driver is mid-pipeline:

@@ -294,6 +294,153 @@ fn oversized_frames_yield_typed_errors_on_both_sides() {
     assert_eq!(typed.len, MAX_FRAME_BYTES + 1);
 }
 
+/// What one decoder run produced: the frames it yielded, plus how the
+/// stream ended — cleanly, truncated mid-frame, or rejected with a typed
+/// oversize error (carrying the hostile length so both paths must agree
+/// on *what* they rejected, not just that they rejected).
+#[derive(Debug, PartialEq)]
+struct StreamVerdict {
+    frames: Vec<Bytes>,
+    end: StreamEnd,
+}
+
+#[derive(Debug, PartialEq)]
+enum StreamEnd {
+    Clean,
+    TruncatedEof,
+    TooLarge { len: usize },
+}
+
+fn classify(err: &std::io::Error) -> StreamEnd {
+    use simdht_kvs::net::FrameTooLarge;
+    if let Some(t) = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<FrameTooLarge>())
+    {
+        StreamEnd::TooLarge { len: t.len }
+    } else {
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof,
+            "only EOF and FrameTooLarge errors exist in this corpus: {err}"
+        );
+        StreamEnd::TruncatedEof
+    }
+}
+
+/// Reference semantics: the blocking [`read_frame`] loop over the whole
+/// stream, as the thread-per-connection server consumes it.
+fn blocking_verdict(stream: &[u8]) -> StreamVerdict {
+    use simdht_kvs::net::read_frame;
+    let mut cur = std::io::Cursor::new(stream);
+    let mut frames = Vec::new();
+    let end = loop {
+        match read_frame(&mut cur) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => break StreamEnd::Clean,
+            Err(e) => break classify(&e),
+        }
+    };
+    StreamVerdict { frames, end }
+}
+
+/// The resumable path: feed the stream to a [`FrameDecoder`] in the given
+/// chunks (as readiness events would deliver them), then signal EOF.
+fn incremental_verdict(chunks: &[&[u8]]) -> StreamVerdict {
+    use simdht_kvs::net::FrameDecoder;
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for chunk in chunks {
+        if let Err(e) = dec.extend(chunk, &mut frames) {
+            // First error poisons the decoder; the reactor drops the
+            // connection here, so nothing after it counts.
+            return StreamVerdict {
+                frames,
+                end: classify(&e),
+            };
+        }
+    }
+    let end = match dec.finish() {
+        Ok(()) => StreamEnd::Clean,
+        Err(e) => classify(&e),
+    };
+    StreamVerdict { frames, end }
+}
+
+/// The incremental [`FrameDecoder`] must be byte-for-byte equivalent to
+/// the blocking [`read_frame`] loop **no matter how the stream is split**:
+/// for every corpus stream — healthy multi-frame pipelines, zero-length
+/// frames, oversized length prefixes, truncations inside the header and
+/// inside the payload — the whole stream is replayed split at *every*
+/// byte boundary (and once byte-at-a-time), and the decoded frames plus
+/// the end-of-stream classification must match the blocking reference
+/// exactly. This is the contract that lets the reactor and the
+/// thread-per-connection server share one wire protocol.
+#[test]
+fn frame_decoder_matches_blocking_reader_at_every_split() {
+    use simdht_kvs::net::{write_frame, MAX_FRAME_BYTES};
+
+    let seal = |msgs: &[&[u8]]| -> Vec<u8> {
+        let mut out = Vec::new();
+        for m in msgs {
+            write_frame(&mut out, m).expect("corpus frames fit");
+        }
+        out
+    };
+    let mget = Request::MGet {
+        id: 7,
+        keys: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"beta")],
+    }
+    .encode();
+    let set = Request::Set {
+        id: 8,
+        key: Bytes::from_static(b"k"),
+        value: Bytes::from_static(b"a-value-of-some-length"),
+    }
+    .encode();
+    let resp = Response::MGet {
+        id: 7,
+        entries: vec![Some(Bytes::from_static(b"hit")), None],
+    }
+    .encode();
+    let oversize_header = ((MAX_FRAME_BYTES as u32) + 1).to_le_bytes();
+
+    let healthy = seal(&[&mget, &set, &resp]);
+    let with_empty = seal(&[&mget, b"", &resp]);
+    let mut oversize_mid = seal(&[&set]);
+    oversize_mid.extend_from_slice(&oversize_header);
+    oversize_mid.extend_from_slice(b"garbage that must never be buffered");
+    let mut cut_header = seal(&[&mget]);
+    cut_header.extend_from_slice(&seal(&[&set])[..2]);
+    let mut cut_payload = seal(&[&mget]);
+    let sealed_set = seal(&[&set]);
+    cut_payload.extend_from_slice(&sealed_set[..sealed_set.len() - 3]);
+
+    let corpus: &[(&str, &[u8])] = &[
+        ("empty stream", &[]),
+        ("three healthy frames", &healthy),
+        ("zero-length frame in the middle", &with_empty),
+        ("oversized prefix after a good frame", &oversize_mid),
+        ("oversized prefix first", &oversize_header),
+        ("eof inside the second header", &cut_header),
+        ("eof inside the second payload", &cut_payload),
+    ];
+
+    for (what, stream) in corpus {
+        let want = blocking_verdict(stream);
+        for split in 0..=stream.len() {
+            let got = incremental_verdict(&[&stream[..split], &stream[split..]]);
+            assert_eq!(got, want, "{what}: split at byte {split}/{}", stream.len());
+        }
+        let bytes: Vec<&[u8]> = stream.chunks(1).collect();
+        assert_eq!(
+            incremental_verdict(&bytes),
+            want,
+            "{what}: byte-at-a-time delivery"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -334,6 +481,26 @@ proptest! {
         let pos = pos.index(bytes.len());
         bytes[pos] ^= mask;
         prop_assert!(Response::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn frame_decoder_split_equivalence(
+        reqs in prop::collection::vec(arb_request(), 0..5),
+        split in any::<prop::sample::Index>(),
+        cut_tail in 0usize..4,
+    ) {
+        // Random pipelines, possibly truncated, split at a random byte:
+        // incremental and blocking decoding must always agree.
+        use simdht_kvs::net::write_frame;
+        let mut stream = Vec::new();
+        for r in &reqs {
+            write_frame(&mut stream, &r.encode()).unwrap();
+        }
+        stream.truncate(stream.len().saturating_sub(cut_tail));
+        let want = blocking_verdict(&stream);
+        let cut = split.index(stream.len() + 1);
+        let got = incremental_verdict(&[&stream[..cut], &stream[cut..]]);
+        prop_assert_eq!(got, want);
     }
 
     #[test]
