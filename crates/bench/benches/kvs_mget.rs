@@ -17,6 +17,7 @@ fn store_with(index: Box<dyn HashIndex>, wl: &KvWorkload) -> KvStore {
             capacity_items: ITEMS * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     );
     for (k, v) in wl.items() {

@@ -10,7 +10,7 @@ use simdht_kvs::memslap::{
     run_memslap, run_memslap_over, MemslapConfig, MemslapReport, NetMemslapConfig,
 };
 use simdht_kvs::net::TcpTransport;
-use simdht_kvs::store::{KvStore, MGetResponse, StoreConfig};
+use simdht_kvs::store::{KvStore, MGetResponse, ReadMode, StoreConfig};
 use simdht_workload::{AccessPattern, KvWorkload, KvWorkloadSpec};
 
 use crate::RunScale;
@@ -43,6 +43,7 @@ fn run_one_mixed(
             capacity_items: scale.kvs_items * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         ..MemslapConfig::default()
     };
@@ -68,6 +69,7 @@ fn run_one(which: &str, mget_size: usize, scale: &RunScale) -> MemslapReport {
             capacity_items: scale.kvs_items * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         ..MemslapConfig::default()
     };
@@ -202,6 +204,7 @@ fn run_one_tcp(
             capacity_items: scale.kvs_items * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     ));
     let index_name = store.index_name();
@@ -286,6 +289,7 @@ fn run_one_sharded_tcp(
             capacity_items: scale.kvs_items * 2,
             shards,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         |cap| build_index("hor", cap),
     ));
@@ -447,6 +451,7 @@ fn prefetch_sweep_impl(scale: &RunScale) -> (String, String) {
                 capacity_items: n_items * 2,
                 shards: 1,
                 prefetch_depth: Some(0),
+                ..StoreConfig::default()
             },
         );
         for i in 0..n_items {
@@ -610,6 +615,7 @@ fn reactor_store(n_items: usize) -> Arc<KvStore> {
             capacity_items: n_items * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     ))
 }
@@ -886,6 +892,232 @@ pub fn kvs_reactor_sweep(scale: &RunScale) -> String {
     s
 }
 
+/// Reader thread counts swept by `kvs-readscale-sweep`.
+const READSCALE_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Keys per Multi-Get in the read-scaling sweep: single-key batches (the
+/// memcached GET shape), so per-operation lock acquisition is not
+/// amortized and the shard `RwLock`'s atomic RMWs are the per-read cost
+/// the seqlock path removes.
+const READSCALE_BATCH: usize = 1;
+
+/// One measured read-scaling point.
+struct ReadScalePoint {
+    mode: ReadMode,
+    threads: usize,
+    mkeys_per_sec: f64,
+}
+
+/// Measure one (mode, threads) point: `threads` reader threads hammer a
+/// quiescent single-shard store with `READSCALE_BATCH`-wide Multi-Gets
+/// over pre-generated key batches; returns aggregate keys/s.
+fn readscale_point(
+    store: &Arc<KvStore>,
+    mode: ReadMode,
+    threads: usize,
+    batches: &[Vec<Vec<u8>>],
+    loops: usize,
+) -> f64 {
+    store.set_read_mode(mode);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let total_keys = threads * loops * batches.len() * READSCALE_BATCH;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(store);
+            let barrier = &barrier;
+            s.spawn(move || {
+                let refs: Vec<Vec<&[u8]>> = batches
+                    .iter()
+                    .map(|b| b.iter().map(|k| k.as_slice()).collect())
+                    .collect();
+                let mut resp = MGetResponse::new();
+                barrier.wait(); // start line
+                let mut found = 0usize;
+                // Stagger start offsets so threads don't probe in lockstep.
+                let skip = (t * refs.len()) / threads.max(1);
+                for keys in refs.iter().cycle().skip(skip).take(loops * refs.len()) {
+                    found += store.mget(keys, &mut resp).found;
+                }
+                assert_eq!(
+                    found,
+                    loops * refs.len() * READSCALE_BATCH,
+                    "all keys preloaded"
+                );
+                barrier.wait(); // finish line
+            });
+        }
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        barrier.wait();
+        total_keys as f64 / t0.elapsed().as_secs_f64()
+    })
+}
+
+/// Measure the read-scaling sweep and render (human table, JSON
+/// document). Split from [`kvs_readscale_sweep`] so tests can run it
+/// without touching the filesystem.
+fn readscale_sweep_impl(scale: &RunScale) -> (String, String) {
+    let full = scale.kvs_items >= RunScale::full().kvs_items;
+    // In-cache sizing on purpose: with DRAM misses out of the picture,
+    // per-operation synchronization (the shard RwLock's atomic RMW vs.
+    // the seqlock's plain loads) dominates, which is exactly the cost
+    // the optimistic read path removes.
+    let n_items = scale.kvs_items.clamp(300, 50_000);
+    let n_batches = scale.kvs_requests.max(16);
+    let reps = if full { 5 } else { 2 };
+    // Loop the batch set so each timed window is O(100 ms), not O(ms):
+    // sub-5ms windows measure scheduler wake latency, not the store.
+    let loops = if full { 50 } else { 2 };
+
+    let store = Arc::new(KvStore::new(
+        build_index("hor", n_items * 2),
+        StoreConfig {
+            memory_budget: (n_items * 64).max(8 << 20),
+            capacity_items: n_items * 2,
+            shards: 1, // single shard = maximum read-lock contention
+            prefetch_depth: Some(0),
+            ..StoreConfig::default()
+        },
+    ));
+    for i in 0..n_items {
+        store
+            .set(&sweep_key(i), &sweep_value(i))
+            .expect("readscale preload");
+    }
+    let mut rng = 0x5EED_0007u64;
+    let batches: Vec<Vec<Vec<u8>>> = (0..n_batches)
+        .map(|_| {
+            (0..READSCALE_BATCH)
+                .map(|_| sweep_key((splitmix64(&mut rng) % n_items as u64) as usize))
+                .collect()
+        })
+        .collect();
+
+    let mut s = format!(
+        "== kvs-readscale-sweep: GET/MGET reader scaling, locked vs optimistic ==\n\
+         (single-shard hor index, {n_items} in-cache items, batch {READSCALE_BATCH},\n\
+          {n_batches} requests/thread/point, best of {reps}; DESIGN.md §11)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "  {:<12} {:>8} {:>14} {:>12}",
+        "read mode", "threads", "MGet Mkeys/s", "vs locked"
+    );
+
+    // Interleave the two modes within each repetition so slow frequency
+    // drift on the host biases neither side of the comparison.
+    let mut points: Vec<ReadScalePoint> = Vec::new();
+    for threads in READSCALE_THREADS {
+        let mut best = [0.0f64; 2];
+        for _ in 0..reps {
+            for (slot, mode) in [ReadMode::Locked, ReadMode::Optimistic]
+                .into_iter()
+                .enumerate()
+            {
+                best[slot] =
+                    best[slot].max(readscale_point(&store, mode, threads, &batches, loops));
+            }
+        }
+        for (slot, mode) in [ReadMode::Locked, ReadMode::Optimistic]
+            .into_iter()
+            .enumerate()
+        {
+            points.push(ReadScalePoint {
+                mode,
+                threads,
+                mkeys_per_sec: best[slot] / 1e6,
+            });
+        }
+    }
+    points.sort_by_key(|p| (p.mode != ReadMode::Locked, p.threads));
+    let locked_at = |threads: usize| {
+        points
+            .iter()
+            .find(|p| p.mode == ReadMode::Locked && p.threads == threads)
+            .map_or(1.0, |p| p.mkeys_per_sec)
+    };
+    for p in &points {
+        let _ = writeln!(
+            s,
+            "  {:<12} {:>8} {:>14.2} {:>11.2}x",
+            p.mode.name(),
+            p.threads,
+            p.mkeys_per_sec,
+            p.mkeys_per_sec / locked_at(p.threads),
+        );
+    }
+
+    // Acceptance: optimistic >= locked at every thread count (within a
+    // small measurement tolerance), with the gap widest at the top count.
+    let top = READSCALE_THREADS[READSCALE_THREADS.len() - 1];
+    let mut all_ge = true;
+    for p in points.iter().filter(|p| p.mode == ReadMode::Optimistic) {
+        if p.mkeys_per_sec < 0.97 * locked_at(p.threads) {
+            all_ge = false;
+        }
+    }
+    let top_gain = points
+        .iter()
+        .find(|p| p.mode == ReadMode::Optimistic && p.threads == top)
+        .map_or(1.0, |p| p.mkeys_per_sec / locked_at(top));
+    let stats = store.optimistic_stats();
+    let _ = writeln!(
+        s,
+        "\n  acceptance: optimistic >= locked at every thread count: {}\n  \
+         gain at {top} threads: {:+.1}%   (optimistic commits {}, retries {}, fallbacks {})",
+        if all_ge { "PASS" } else { "FAIL" },
+        (top_gain - 1.0) * 100.0,
+        stats.commits,
+        stats.retries,
+        stats.fallbacks,
+    );
+
+    let mut result_lines = String::new();
+    for p in &points {
+        if !result_lines.is_empty() {
+            result_lines.push_str(",\n");
+        }
+        let _ = write!(
+            result_lines,
+            "    {{\"read_mode\": \"{}\", \"threads\": {}, \"mkeys_per_sec\": {:.3}, \"vs_locked\": {:.4}}}",
+            p.mode.name(),
+            p.threads,
+            p.mkeys_per_sec,
+            p.mkeys_per_sec / locked_at(p.threads),
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kvs-readscale-sweep\",\n  \"mode\": \"{}\",\n  \
+         \"n_items\": {n_items},\n  \"batch\": {READSCALE_BATCH},\n  \
+         \"requests_per_thread\": {n_batches},\n  \"threads\": [1, 2, 4, 8],\n  \
+         \"optimistic_commits\": {},\n  \"optimistic_retries\": {},\n  \
+         \"optimistic_fallbacks\": {},\n  \"all_threads_ge_locked\": {},\n  \
+         \"gain_at_top_threads\": {:.4},\n  \"results\": [\n{result_lines}\n  ]\n}}\n",
+        if full { "full" } else { "quick" },
+        stats.commits,
+        stats.retries,
+        stats.fallbacks,
+        all_ge,
+        top_gain,
+    );
+    (s, json)
+}
+
+/// `kvs-readscale-sweep`: read-side scaling of the seqlock optimistic
+/// read path (DESIGN.md §11) against the locked baseline — reader thread
+/// counts 1..8 over a quiescent in-cache single-shard store, where the
+/// shard `RwLock` acquisition is the dominant per-batch cost. Writes the
+/// measurements to `BENCH_kvs_readscale.json` in the working directory.
+pub fn kvs_readscale_sweep(scale: &RunScale) -> String {
+    let (mut s, json) = readscale_sweep_impl(scale);
+    match std::fs::write("BENCH_kvs_readscale.json", &json) {
+        Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_readscale.json)\n"),
+        Err(e) => {
+            let _ = writeln!(s, "\n(could not write BENCH_kvs_readscale.json: {e})");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -980,6 +1212,27 @@ mod tests {
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"batch_width_ok\":"));
         assert!(json.contains("\"throughput_ok\":"));
+    }
+
+    #[test]
+    fn kvs_readscale_sweep_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 16,
+            kvs_items: 300,
+        };
+        let (rendered, json) = readscale_sweep_impl(&tiny);
+        assert!(rendered.contains("kvs-readscale-sweep"));
+        assert!(rendered.contains("acceptance"));
+        // 2 read modes x 4 thread counts.
+        assert_eq!(json.matches("\"read_mode\":").count(), 8);
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"all_threads_ge_locked\":"));
+        for mode in ["locked", "optimistic"] {
+            assert!(json.contains(&format!("\"read_mode\": \"{mode}\"")));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use simdht_kvs::index;
 use simdht_kvs::kvsd::{ConnSummary, Kvsd, KvsdConfig};
 use simdht_kvs::reactor::{ReactorConfig, ReactorServer};
 use simdht_kvs::server::ServerStats;
-use simdht_kvs::store::{KvStore, StoreConfig};
+use simdht_kvs::store::{KvStore, ReadMode, StoreConfig};
 
 const USAGE: &str = "\
 simdht-kvsd: TCP key-value daemon with SIMD-aware hash indexes
@@ -53,6 +53,13 @@ OPTIONS:
     --prefetch-depth <n>   Multi-Get software-prefetch look-ahead distance
                            (group size G). 0 disables prefetching; default
                            auto-tunes (see DESIGN.md §9)
+    --read-mode <mode>     locked | optimistic (default locked). Optimistic
+                           GET/MGET readers probe shards seqlock-style
+                           without taking the shard read lock, retrying or
+                           falling back to the lock when a concurrent write
+                           is detected (DESIGN.md §11). Ignored (with a
+                           warning) on indexes whose probes are not
+                           optimistic-safe
     -h, --help             Show this help
 ";
 
@@ -64,6 +71,7 @@ struct Args {
     shards: usize,
     duration: Option<u64>,
     prefetch_depth: Option<usize>,
+    read_mode: ReadMode,
     config: KvsdConfig,
     reactor: Option<ReactorConfig>,
 }
@@ -77,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         duration: None,
         prefetch_depth: None,
+        read_mode: ReadMode::Locked,
         config: KvsdConfig::default(),
         reactor: None,
     };
@@ -158,6 +167,12 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--prefetch-depth: {e}"))?,
                 );
+            }
+            "--read-mode" => {
+                let mode = value("--read-mode")?;
+                args.read_mode = ReadMode::parse(&mode).ok_or_else(|| {
+                    format!("--read-mode: expected locked | optimistic, got {mode:?}")
+                })?;
             }
             "--idle-timeout-ms" => {
                 let ms: u64 = value("--idle-timeout-ms")?
@@ -253,6 +268,7 @@ fn main() {
             capacity_items: args.capacity,
             shards: args.shards,
             prefetch_depth: args.prefetch_depth,
+            read_mode: args.read_mode,
         },
         |cap| index::by_short_name(&args.index, cap).expect("index name validated above"),
     ));
@@ -270,14 +286,21 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.read_mode == ReadMode::Optimistic && !store.optimistic_capable() {
+        eprintln!(
+            "warning: index {} does not support optimistic probes; reads stay locked",
+            store.index_name()
+        );
+    }
     println!(
-        "simdht-kvsd listening on {} (index {}, {} shard(s), capacity {}, {} MiB slab, prefetch depth {})",
+        "simdht-kvsd listening on {} (index {}, {} shard(s), capacity {}, {} MiB slab, prefetch depth {}, {} reads)",
         kvsd.local_addr(),
         store.index_name(),
         store.n_shards(),
         args.capacity,
         args.memory_mb,
         store.prefetch_depth(),
+        store.read_mode().name(),
     );
     if let Some(rcfg) = args.reactor {
         println!(

@@ -5,17 +5,37 @@
 //! a rotating hand on eviction. The paper's post-processing phase (§VI-A
 //! step 3, "updates its metadata to maintain cache freshness") is this
 //! touch operation.
+//!
+//! # Reader-safe reference bits (seqlock read path)
+//!
+//! Reference bits are keyed by **item id** in a stable segmented atomic
+//! bitmap (word `id / 64`, bit `id % 64`), not by ring position in a
+//! growable `Vec`. [`Clock::touch`] therefore only ever dereferences
+//! storage that never moves, so lock-free optimistic readers (DESIGN.md
+//! §11) may call it concurrently with `admit`/`evict`/`remove` mutations.
+//! Relaxed ordering is sufficient: a reference bit is a cache-freshness
+//! *hint* — a lost or stale set only perturbs the eviction order, never
+//! correctness — and `admit` explicitly sets the bit, so a stale bit left
+//! by a racing touch on a dying id is erased when the id is recycled.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::seqlock::AtomicSegArray;
+use std::sync::atomic::Ordering;
 
 /// A CLOCK ring over item ids.
 #[derive(Debug, Default)]
 pub struct Clock {
     entries: Vec<u32>,
-    referenced: Vec<AtomicBool>,
+    /// Reference bits keyed by item id: word `id / 64`, bit `id % 64`.
+    /// Stable addresses — safe for racy `touch` from optimistic readers.
+    referenced: AtomicSegArray,
     /// Position of entry in `entries`, by item id (dense ids assumed).
     position: Vec<Option<u32>>,
     hand: usize,
+}
+
+#[inline(always)]
+fn bit_of(item: u32) -> (usize, u64) {
+    ((item / 64) as usize, 1u64 << (item % 64))
 }
 
 impl Clock {
@@ -28,7 +48,10 @@ impl Clock {
     pub fn admit(&mut self, item: u32) {
         let pos = self.entries.len() as u32;
         self.entries.push(item);
-        self.referenced.push(AtomicBool::new(true));
+        let (word, bit) = bit_of(item);
+        self.referenced
+            .get_or_alloc(word)
+            .fetch_or(bit, Ordering::Relaxed);
         if self.position.len() <= item as usize {
             self.position.resize_with(item as usize + 1, || None);
         }
@@ -36,11 +59,25 @@ impl Clock {
         self.position[item as usize] = Some(pos);
     }
 
-    /// Mark an item as recently used. Takes `&self` — safe to call from
-    /// concurrent readers (the reference bits are atomic).
+    /// Mark an item as recently used. Takes `&self` and touches only the
+    /// stable atomic bitmap — safe to call from lock-free concurrent
+    /// readers racing `admit`/`evict` on other threads. Unknown ids are a
+    /// no-op (their bitmap word may not exist yet); ids whose entry is
+    /// concurrently dying may leave a stale bit, which `admit` overwrites
+    /// on recycle.
     pub fn touch(&self, item: u32) {
-        if let Some(Some(pos)) = self.position.get(item as usize) {
-            self.referenced[*pos as usize].store(true, Ordering::Relaxed);
+        let (word, bit) = bit_of(item);
+        if let Some(w) = self.referenced.get(word) {
+            w.fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn test_and_clear(&self, item: u32) -> bool {
+        let (word, bit) = bit_of(item);
+        match self.referenced.get(word) {
+            Some(w) => w.fetch_and(!bit, Ordering::Relaxed) & bit != 0,
+            None => false,
         }
     }
 
@@ -54,7 +91,7 @@ impl Clock {
         for _ in 0..2 * self.entries.len() {
             let pos = self.hand % self.entries.len();
             self.hand = (self.hand + 1) % self.entries.len();
-            if self.referenced[pos].swap(false, Ordering::Relaxed) {
+            if self.test_and_clear(self.entries[pos]) {
                 continue;
             }
             let item = self.entries[pos];
@@ -78,9 +115,7 @@ impl Clock {
     fn remove_at(&mut self, pos: usize) {
         let item = self.entries[pos];
         self.position[item as usize] = None;
-        // entries and referenced move in lockstep under swap_remove.
         self.entries.swap_remove(pos);
-        self.referenced.swap_remove(pos);
         if pos < self.entries.len() {
             let moved = self.entries[pos];
             self.position[moved as usize] = Some(pos as u32);
@@ -182,5 +217,20 @@ mod tests {
         }
         drained.sort_unstable();
         assert_eq!(drained.len(), 2);
+    }
+
+    #[test]
+    fn stale_touch_bit_is_erased_by_readmit() {
+        let mut clock = Clock::new();
+        clock.admit(5);
+        clock.remove(5);
+        // A racing reader may touch a just-removed id; the stale bit must
+        // not grant the recycled id extra protection beyond the usual
+        // fresh-admit reference.
+        clock.touch(5);
+        clock.admit(5);
+        clock.admit(6);
+        // Sweep clears both fresh bits, then 5 (first in ring) goes.
+        assert_eq!(clock.evict(), Some(5));
     }
 }

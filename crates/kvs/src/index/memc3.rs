@@ -313,6 +313,13 @@ impl HashIndex for Memc3Index {
         }
     }
 
+    // Probes touch only `slots`/`versions`, both fixed-capacity arrays
+    // sized at construction (cuckoo relocations move entries between
+    // slots, never the arrays) — safe for racy seqlock reads.
+    fn optimistic_probe_safe(&self) -> bool {
+        true
+    }
+
     fn len(&self) -> usize {
         self.len
     }

@@ -93,6 +93,28 @@ pub trait HashIndex: Send + Sync {
     /// collisions after a failed full-key verification).
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>);
 
+    /// Whether `lookup_batch`/`lookup_batch_prefetched` may be called
+    /// *racily* — concurrently with `insert`/`remove` on another thread,
+    /// with no lock held — as the store's seqlock optimistic read path
+    /// does (DESIGN.md §11).
+    ///
+    /// An implementation may return `true` only if those probes touch
+    /// exclusively **fixed-capacity storage that never moves or frees
+    /// while the index lives** (e.g. bucket arrays sized at
+    /// construction). Torn *values* are fine — the store validates every
+    /// probe result against version counters before trusting it — but a
+    /// probe must never follow a pointer a racing writer could free or
+    /// reallocate (growth, rehash, heap-backed overflow chains), because
+    /// validation cannot undo a use-after-free. Note the contract covers
+    /// only the batch probes: `lookup_all` may use unstable storage (the
+    /// store resolves collisions under the lock).
+    ///
+    /// Defaults to `false`; the store then silently keeps the locked read
+    /// path even when asked for [`crate::store::ReadMode::Optimistic`].
+    fn optimistic_probe_safe(&self) -> bool {
+        false
+    }
+
     /// Current number of stored entries.
     fn len(&self) -> usize;
 

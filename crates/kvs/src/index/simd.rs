@@ -207,6 +207,15 @@ impl HashIndex for SimdIndex {
         }
     }
 
+    // The batch probes run entirely inside the fixed-capacity
+    // `CuckooTable` bucket arrays (relocations swap entries in place;
+    // the table never grows). The heap-backed `overflow` map is touched
+    // only by `lookup_all`, which the contract excludes — the store
+    // resolves collisions under the lock.
+    fn optimistic_probe_safe(&self) -> bool {
+        true
+    }
+
     fn len(&self) -> usize {
         self.table.len() + self.overflow.values().map(Vec::len).sum::<usize>()
     }

@@ -309,6 +309,12 @@ impl HashIndex for TagSimdIndex {
         }
     }
 
+    // Probes touch only the split `sigs`/`items` arrays, fixed-capacity
+    // since construction — safe for racy seqlock reads.
+    fn optimistic_probe_safe(&self) -> bool {
+        true
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -394,6 +400,7 @@ mod tests {
                 capacity_items: 5000,
                 shards: 1,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
         );
         for i in 0..3000u32 {

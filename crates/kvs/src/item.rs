@@ -4,14 +4,41 @@
 //! The paper (§VI-B): "since the key-value store HT lookups need to return
 //! an object pointer (64-bit), we use the 32-bit HT payload to index a
 //! shared array of object pointers". [`ItemTable`] is that array.
+//!
+//! # Versioned rows (seqlock read path)
+//!
+//! Each row is a single `AtomicU64` word packing the slab reference plus
+//! liveness and a generation tag:
+//!
+//! ```text
+//! bit 63      bits 48..63     bits 32..48   bits 0..32
+//! [ LIVE ] [ generation:15 ] [ class:16 ] [ chunk:32 ]
+//! ```
+//!
+//! Writers publish a row with a Release store after the chunk bytes are
+//! fully written; optimistic readers load it with Acquire, copy the chunk,
+//! then [`ItemTable::revalidate`] that the word is unchanged. The 15-bit
+//! generation is bumped on every `unregister`, so a recycled id (same
+//! class+chunk reused for a different key) can't pass re-validation — an
+//! ABA would need 32 768 register/unregister pairs inside one reader's
+//! copy window. Rows live in a segmented array ([`AtomicSegArray`]) whose
+//! element addresses never move, so a reader's row pointer stays valid
+//! across concurrent table growth.
 
+use crate::seqlock::AtomicSegArray;
 use crate::slab::{SlabAllocator, SlabError, SlabRef};
+use std::sync::atomic::{fence, Ordering};
 
 /// Item header: key length (2 B) + value length (4 B).
 const HEADER_BYTES: usize = 6;
 
 /// Sentinel item id meaning "no item".
 pub const NO_ITEM: u32 = u32::MAX;
+
+const LIVE_BIT: u64 = 1 << 63;
+const GEN_SHIFT: u32 = 48;
+const GEN_MASK: u64 = 0x7FFF;
+const CLASS_SHIFT: u32 = 32;
 
 /// Encode an item into a fresh slab chunk; returns the chunk reference.
 ///
@@ -51,12 +78,45 @@ pub fn item_value(chunk: &[u8]) -> &[u8] {
     &chunk[HEADER_BYTES + klen..HEADER_BYTES + klen + vlen]
 }
 
+/// Bounds-checked decode for the optimistic path: a racy reader can
+/// observe a chunk whose header bytes are mid-rewrite, so the implied
+/// `(key, value)` ranges may exceed the chunk. Returns `None` instead of
+/// panicking; the caller's row re-validation then rejects the attempt.
+#[inline]
+pub fn item_decode_checked(chunk: &[u8]) -> Option<(&[u8], &[u8])> {
+    if chunk.len() < HEADER_BYTES {
+        return None;
+    }
+    let klen = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+    let vlen = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]) as usize;
+    let key_end = HEADER_BYTES.checked_add(klen)?;
+    let val_end = key_end.checked_add(vlen)?;
+    if val_end > chunk.len() {
+        return None;
+    }
+    Some((&chunk[HEADER_BYTES..key_end], &chunk[key_end..val_end]))
+}
+
 /// The shared object-pointer array: item id (32-bit, what the hash index
-/// stores as its payload) → slab chunk reference.
+/// stores as its payload) → versioned slab chunk reference.
 #[derive(Debug, Default)]
 pub struct ItemTable {
-    slots: Vec<Option<SlabRef>>,
+    rows: AtomicSegArray,
     free: Vec<u32>,
+    next: u32,
+    live: usize,
+}
+
+/// Decode a row word into its slab reference, if the LIVE bit is set.
+#[inline(always)]
+pub fn decode_row(word: u64) -> Option<SlabRef> {
+    if word & LIVE_BIT == 0 {
+        return None;
+    }
+    Some(SlabRef::from_parts(
+        ((word >> CLASS_SHIFT) & 0xFFFF) as u16,
+        word as u32,
+    ))
 }
 
 impl ItemTable {
@@ -67,54 +127,98 @@ impl ItemTable {
 
     /// Register a slab chunk, returning its item id.
     ///
+    /// The row is published with a Release store so any reader that
+    /// Acquire-loads it also sees the chunk bytes written before
+    /// registration.
+    ///
     /// # Panics
     ///
     /// Panics if more than `u32::MAX - 1` items are live.
     pub fn register(&mut self, r: SlabRef) -> u32 {
-        if let Some(id) = self.free.pop() {
-            self.slots[id as usize] = Some(r);
-            return id;
-        }
-        let id = self.slots.len();
-        assert!(id < NO_ITEM as usize, "item table full");
-        self.slots.push(Some(r));
-        id as u32
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.next;
+                assert!(id < NO_ITEM, "item table full");
+                self.next += 1;
+                id
+            }
+        };
+        let row = self.rows.get_or_alloc(id as usize);
+        // Keep the generation left behind by the last unregister (zero for
+        // a brand-new row).
+        let gen = (row.load(Ordering::Relaxed) >> GEN_SHIFT) & GEN_MASK;
+        let word = LIVE_BIT
+            | (gen << GEN_SHIFT)
+            | ((r.class() as u64) << CLASS_SHIFT)
+            | r.chunk_index() as u64;
+        row.store(word, Ordering::Release);
+        self.live += 1;
+        id
     }
 
     /// Resolve an item id to its chunk, if live.
     pub fn get(&self, id: u32) -> Option<SlabRef> {
-        self.slots.get(id as usize).copied().flatten()
+        decode_row(self.rows.get(id as usize)?.load(Ordering::Acquire))
     }
 
-    /// Request `id`'s pointer-table cache line ahead of a future
+    /// Raw Acquire load of a row word for the optimistic read protocol.
+    /// Returns 0 (a dead, generation-0 word) for never-allocated rows.
+    #[inline(always)]
+    pub fn load_row(&self, id: u32) -> u64 {
+        self.rows
+            .get(id as usize)
+            .map_or(0, |row| row.load(Ordering::Acquire))
+    }
+
+    /// Re-validate a previously loaded row word after copying the chunk
+    /// bytes. An `Acquire` fence orders the copy before the re-load, so an
+    /// unchanged word proves the chunk was neither freed nor recycled
+    /// during the copy (chunks only reach the free list through
+    /// [`ItemTable::unregister`], which always changes the word).
+    #[inline(always)]
+    pub fn revalidate(&self, id: u32, word: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.rows
+            .get(id as usize)
+            .is_some_and(|row| row.load(Ordering::Relaxed) == word)
+    }
+
+    /// Request `id`'s row cache line ahead of a future
     /// [`ItemTable::get`]. Stage 1 of the store's group-prefetched
     /// Multi-Get verification (DESIGN.md §9); out-of-range ids (including
     /// [`NO_ITEM`]) are ignored.
     #[inline(always)]
     pub fn prefetch(&self, id: u32) {
-        if let Some(slot) = self.slots.get(id as usize) {
-            simdht_simd::prefetch_read(slot);
+        if let Some(row) = self.rows.get(id as usize) {
+            simdht_simd::prefetch_read(row);
         }
     }
 
     /// Remove an item id, returning its chunk for freeing.
+    ///
+    /// The replacement word keeps the id dead (LIVE clear) and bumps the
+    /// generation, invalidating any optimistic reader still copying the
+    /// old chunk.
     pub fn unregister(&mut self, id: u32) -> Option<SlabRef> {
-        let slot = self.slots.get_mut(id as usize)?;
-        let r = slot.take();
-        if r.is_some() {
-            self.free.push(id);
-        }
-        r
+        let row = self.rows.get(id as usize)?;
+        let word = row.load(Ordering::Relaxed);
+        let r = decode_row(word)?;
+        let gen = ((word >> GEN_SHIFT) + 1) & GEN_MASK;
+        row.store(gen << GEN_SHIFT, Ordering::Release);
+        self.free.push(id);
+        self.live -= 1;
+        Some(r)
     }
 
     /// Number of live items.
     pub fn len(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.live
     }
 
     /// `true` when no items are live.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 }
 
@@ -136,6 +240,28 @@ mod tests {
         let r = write_item(&mut slab, b"", b"").unwrap();
         assert_eq!(item_key(slab.chunk(r)), b"");
         assert_eq!(item_value(slab.chunk(r)), b"");
+    }
+
+    #[test]
+    fn checked_decode_matches_unchecked() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let r = write_item(&mut slab, b"key", b"value-bytes").unwrap();
+        let chunk = slab.chunk(r);
+        let (k, v) = item_decode_checked(chunk).unwrap();
+        assert_eq!(k, item_key(chunk));
+        assert_eq!(v, item_value(chunk));
+    }
+
+    #[test]
+    fn checked_decode_rejects_torn_lengths() {
+        // A header claiming more bytes than the chunk holds must not panic.
+        let mut bogus = vec![0u8; 64];
+        bogus[0..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(item_decode_checked(&bogus).is_none());
+        bogus[0..2].copy_from_slice(&1u16.to_le_bytes());
+        bogus[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(item_decode_checked(&bogus).is_none());
+        assert!(item_decode_checked(&bogus[..3]).is_none());
     }
 
     #[test]
@@ -171,5 +297,40 @@ mod tests {
         assert!(table.unregister(id).is_some());
         assert!(table.unregister(id).is_none());
         assert!(table.get(id).is_none());
+    }
+
+    #[test]
+    fn recycled_row_fails_revalidation() {
+        // The generation bump is the ABA defence: a reader holding the old
+        // word must not accept the row after unregister, nor after the id
+        // is recycled for a different item in the *same* chunk.
+        let mut slab = SlabAllocator::new(1 << 20);
+        let mut table = ItemTable::new();
+        let id = table.register(write_item(&mut slab, b"k", b"v1").unwrap());
+        let word = table.load_row(id);
+        assert!(decode_row(word).is_some());
+        assert!(table.revalidate(id, word));
+
+        let chunk = table.unregister(id).unwrap();
+        assert!(!table.revalidate(id, word), "dead row must invalidate");
+        slab.free(chunk);
+
+        let id2 = table.register(write_item(&mut slab, b"k", b"v2").unwrap());
+        assert_eq!(id, id2);
+        assert!(
+            !table.revalidate(id, word),
+            "recycled row must carry a new generation"
+        );
+        let word2 = table.load_row(id2);
+        assert_ne!(word, word2);
+        assert!(table.revalidate(id2, word2));
+    }
+
+    #[test]
+    fn load_row_out_of_range_is_dead() {
+        let table = ItemTable::new();
+        assert_eq!(table.load_row(12345), 0);
+        assert!(decode_row(table.load_row(NO_ITEM - 1)).is_none());
+        assert!(!table.revalidate(0, LIVE_BIT));
     }
 }

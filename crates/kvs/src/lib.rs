@@ -16,6 +16,9 @@
 //!   partial-key cuckoo + optimistic versioned buckets) and
 //!   [`index::SimdIndex`] (horizontal (2,4) BCHT / vertical 3-way over the
 //!   `simdht-core` kernels).
+//! * [`seqlock`] — the even/odd version-counter primitive and stable
+//!   segmented atomic storage behind the store's lock-free optimistic read
+//!   path (DESIGN.md §11).
 //! * [`store`] — the three-phase Multi-Get pipeline with per-phase timing
 //!   (pre-processing / HT lookup / post-processing — Fig. 11b).
 //! * [`transport`] — the [`transport::Transport`]/[`transport::ClientConn`]
@@ -72,6 +75,7 @@ pub mod memslap;
 pub mod net;
 pub mod protocol;
 pub mod reactor;
+pub mod seqlock;
 pub mod server;
 pub mod slab;
 pub mod store;

@@ -5,8 +5,23 @@
 //! allocator reproduces that memory organization: size classes growing by a
 //! fixed factor, each class carving fixed-size chunks out of 1 MiB pages,
 //! with freed chunks recycled through a per-class free list.
+//!
+//! # Stable pages (seqlock read path)
+//!
+//! Pages are allocated individually and registered in a fixed per-class
+//! page table of `AtomicPtr`s — a page **never moves or frees until the
+//! allocator drops**. That stability is load-bearing for the store's
+//! optimistic read path (DESIGN.md §11): a lock-free reader resolves an
+//! item-table row to a chunk and copies its bytes while a writer may
+//! concurrently grow the class; with `Vec`-backed storage the growth
+//! `realloc` would leave the reader's pointer dangling, a fault no version
+//! re-check can undo. Readers reach chunk bytes through
+//! [`SlabAllocator::chunk_racy`], which loads the page pointer atomically
+//! and can observe torn *contents* (detected by the row re-check) but
+//! never a torn *address*.
 
 use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Size-class growth factor (memcached's default is 1.25).
 pub const GROWTH_FACTOR: f64 = 1.25;
@@ -26,6 +41,16 @@ impl SlabRef {
     /// The size class this chunk belongs to.
     pub fn class(&self) -> u16 {
         self.class
+    }
+
+    /// The chunk index within its class (item-table row encoding).
+    pub(crate) fn chunk_index(&self) -> u32 {
+        self.chunk
+    }
+
+    /// Rebuild a reference from its packed row-word parts.
+    pub(crate) fn from_parts(class: u16, chunk: u32) -> SlabRef {
+        SlabRef { class, chunk }
     }
 }
 
@@ -58,14 +83,47 @@ impl std::error::Error for SlabError {}
 
 struct SizeClass {
     chunk_size: usize,
-    data: Vec<u8>,
+    /// Whole chunks per 1 MiB page (floor division; the sub-chunk tail of
+    /// a page is unused slack, as in memcached).
+    chunks_per_page: u32,
+    /// Fixed page table: one slot per page the budget could ever admit.
+    /// Slots are published exactly once (null → page) and freed at drop.
+    pages: Box<[AtomicPtr<u8>]>,
+    /// Pages allocated so far (writer-only).
+    n_pages: u32,
     used_chunks: u32,
     free: Vec<u32>,
 }
 
 impl SizeClass {
     fn chunks_allocated(&self) -> usize {
-        self.data.len() / self.chunk_size
+        self.n_pages as usize * self.chunks_per_page as usize
+    }
+
+    /// `(page pointer, byte offset)` for chunk `chunk`, via an atomic page
+    /// load; `None` when the page is not (yet visibly) allocated.
+    #[inline(always)]
+    fn chunk_addr(&self, chunk: u32, order: Ordering) -> Option<(*mut u8, usize)> {
+        let page = (chunk / self.chunks_per_page) as usize;
+        let off = (chunk % self.chunks_per_page) as usize * self.chunk_size;
+        let ptr = self.pages.get(page)?.load(order);
+        if ptr.is_null() {
+            return None;
+        }
+        Some((ptr, off))
+    }
+}
+
+impl Drop for SizeClass {
+    fn drop(&mut self) {
+        for slot in self.pages.iter() {
+            let ptr = slot.load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                // SAFETY: pages are allocated as `Box<[u8; PAGE_BYTES]>`
+                // slices below and published exactly once.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, PAGE_BYTES)) });
+            }
+        }
     }
 }
 
@@ -98,11 +156,17 @@ impl SlabAllocator {
             sizes.push(size);
             size = ((size as f64 * GROWTH_FACTOR) as usize).max(size + 8) & !7;
         }
+        // Every class could in principle consume the whole budget.
+        let max_pages = budget_bytes / PAGE_BYTES + 1;
         let classes = sizes
             .into_iter()
             .map(|chunk_size| SizeClass {
                 chunk_size,
-                data: Vec::new(),
+                chunks_per_page: (PAGE_BYTES / chunk_size) as u32,
+                pages: (0..max_pages)
+                    .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                    .collect(),
+                n_pages: 0,
                 used_chunks: 0,
                 free: Vec::new(),
             })
@@ -139,19 +203,20 @@ impl SlabAllocator {
             c.used_chunks += 1;
             return Ok(SlabRef { class, chunk });
         }
-        let next = c.chunks_allocated() as u32;
         // Grow the class arena by one page if the budget allows.
-        if (c.used_chunks as usize) < c.chunks_allocated() {
-            // (Defensive; all non-free chunks are used, so this is dead.)
-            unreachable!("slab accounting drift");
-        }
-        let grow = PAGE_BYTES.max(c.chunk_size);
-        if self.allocated_bytes + grow > self.budget_bytes {
+        if self.allocated_bytes + PAGE_BYTES > self.budget_bytes
+            || (c.n_pages as usize) >= c.pages.len()
+        {
             return Err(SlabError::OutOfMemory);
         }
-        self.allocated_bytes += grow;
-        let c = &mut self.classes[class as usize];
-        c.data.resize(c.data.len() + grow, 0);
+        self.allocated_bytes += PAGE_BYTES;
+        let page: Box<[u8]> = vec![0u8; PAGE_BYTES].into_boxed_slice();
+        let ptr = Box::into_raw(page) as *mut u8;
+        // Release-publish the page so a racy reader that obtains a chunk
+        // in it (via a row registered later) sees initialized memory.
+        c.pages[c.n_pages as usize].store(ptr, Ordering::Release);
+        let next = c.chunks_allocated() as u32;
+        c.n_pages += 1;
         // Hand out the first new chunk; queue the rest as free.
         let total = c.chunks_allocated() as u32;
         for i in (next + 1..total).rev() {
@@ -169,32 +234,60 @@ impl SlabAllocator {
         c.free.push(r.chunk);
     }
 
-    /// Read access to a chunk.
+    /// Read access to a chunk (owner path: `r` must be a live allocation).
     pub fn chunk(&self, r: SlabRef) -> &[u8] {
         let c = &self.classes[r.class as usize];
-        let start = r.chunk as usize * c.chunk_size;
-        &c.data[start..start + c.chunk_size]
+        let (ptr, off) = c
+            .chunk_addr(r.chunk, Ordering::Relaxed)
+            .expect("chunk ref outside allocated pages");
+        // SAFETY: the page is live until drop and `off + chunk_size <=
+        // PAGE_BYTES` by the chunks_per_page floor geometry.
+        unsafe { std::slice::from_raw_parts(ptr.add(off), c.chunk_size) }
+    }
+
+    /// Racy read access for the optimistic path: resolves the chunk through
+    /// an atomic page-table load, returning `None` if the page is not
+    /// visibly allocated (a reader racing the very first write into a
+    /// fresh page). The returned bytes may be concurrently rewritten if
+    /// the chunk is freed and recycled mid-read — the caller detects that
+    /// by re-checking the item-table row word after copying (DESIGN.md
+    /// §11) — but the *slice itself* stays valid for the allocator's
+    /// lifetime.
+    #[inline(always)]
+    pub fn chunk_racy(&self, r: SlabRef) -> Option<&[u8]> {
+        let c = self.classes.get(r.class as usize)?;
+        let (ptr, off) = c.chunk_addr(r.chunk, Ordering::Acquire)?;
+        // SAFETY: as in `chunk`; pages never free before drop.
+        Some(unsafe { std::slice::from_raw_parts(ptr.add(off), c.chunk_size) })
     }
 
     /// Request the leading cache line of chunk `r` ahead of a future
     /// [`SlabAllocator::chunk`] read. Stage 2 of the store's
     /// group-prefetched Multi-Get verification (DESIGN.md §9): the item
     /// header plus the head of the key live in the first line, which is
-    /// what full-key verification touches first.
+    /// what full-key verification touches first. Safe for out-of-range or
+    /// stale refs (racy staging simply skips them).
     #[inline(always)]
     pub fn prefetch(&self, r: SlabRef) {
-        let c = &self.classes[r.class as usize];
-        let start = r.chunk as usize * c.chunk_size;
-        if let Some(byte) = c.data.get(start) {
-            simdht_simd::prefetch_read(byte);
+        if let Some(c) = self.classes.get(r.class as usize) {
+            if let Some((ptr, off)) = c.chunk_addr(r.chunk, Ordering::Relaxed) {
+                // SAFETY: in-bounds pointer into a live page; prefetch only
+                // needs a valid address.
+                simdht_simd::prefetch_read(unsafe { &*ptr.add(off) });
+            }
         }
     }
 
     /// Write access to a chunk.
     pub fn chunk_mut(&mut self, r: SlabRef) -> &mut [u8] {
-        let c = &mut self.classes[r.class as usize];
-        let start = r.chunk as usize * c.chunk_size;
-        &mut c.data[start..start + c.chunk_size]
+        let c = &self.classes[r.class as usize];
+        let (ptr, off) = c
+            .chunk_addr(r.chunk, Ordering::Relaxed)
+            .expect("chunk ref outside allocated pages");
+        // SAFETY: `&mut self` excludes other writers; optimistic readers
+        // may race these bytes by design (their copies are rejected by the
+        // row-word re-check).
+        unsafe { std::slice::from_raw_parts_mut(ptr.add(off), c.chunk_size) }
     }
 
     /// Bytes currently reserved from the budget.
@@ -281,5 +374,46 @@ mod tests {
         slab.chunk_mut(large).fill(0xBB);
         assert!(slab.chunk(small).iter().all(|&b| b == 0xAA));
         assert!(slab.chunk(large).iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn chunks_never_straddle_pages() {
+        // With floor chunks-per-page geometry every chunk lies wholly
+        // inside one page, so the raw-pointer slice construction can never
+        // run off a page's end.
+        let slab = SlabAllocator::new(1 << 20);
+        for c in &slab.classes {
+            let cpp = c.chunks_per_page as usize;
+            assert!(cpp >= 1);
+            assert!(cpp * c.chunk_size <= PAGE_BYTES, "class {}", c.chunk_size);
+        }
+    }
+
+    #[test]
+    fn chunk_addresses_stable_across_growth() {
+        // The seqlock contract: an existing chunk's address survives any
+        // amount of later allocation in the same class.
+        let mut slab = SlabAllocator::new(16 << 20);
+        let first = slab.alloc(100).unwrap();
+        let p0 = slab.chunk(first).as_ptr();
+        let mut refs = Vec::new();
+        while let Ok(r) = slab.alloc(100) {
+            refs.push(r);
+        }
+        assert!(refs.len() > 10_000, "expected multi-page growth");
+        assert_eq!(p0, slab.chunk(first).as_ptr());
+    }
+
+    #[test]
+    fn chunk_racy_matches_chunk() {
+        let mut slab = SlabAllocator::new(2 << 20);
+        let r = slab.alloc(200).unwrap();
+        slab.chunk_mut(r)[..3].copy_from_slice(b"abc");
+        assert_eq!(slab.chunk_racy(r).unwrap(), slab.chunk(r));
+        // Out-of-range refs resolve to None, not UB.
+        let bogus = SlabRef::from_parts(r.class(), u32::MAX / 2);
+        assert!(slab.chunk_racy(bogus).is_none());
+        let bogus_class = SlabRef::from_parts(u16::MAX, 0);
+        assert!(slab.chunk_racy(bogus_class).is_none());
     }
 }

@@ -32,14 +32,19 @@
 //! request, because any in-flight request holds a shard guard borrowed
 //! from the store itself.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::RwLock;
 
 use crate::clock::Clock;
 use crate::index::{hash_key, hash_keys_into, HashIndex, IndexError};
-use crate::item::{item_key, item_value, write_item, ItemTable, NO_ITEM};
+use crate::item::{
+    decode_row, item_decode_checked, item_key, item_value, write_item, ItemTable, NO_ITEM,
+};
+use crate::seqlock::{SeqCount, SeqWriteGuard};
 use crate::slab::{SlabAllocator, SlabError, SlabRef};
 
 /// Default Multi-Get prefetch look-ahead (`G`) used when
@@ -48,6 +53,42 @@ use crate::slab::{SlabAllocator, SlabError, SlabRef};
 /// ~10–16 outstanding L1 misses (its miss-status registers) without
 /// crowding out the demand loads.
 pub const DEFAULT_PREFETCH_DEPTH: usize = 8;
+
+/// How `get`/`mget` readers synchronize with writers (DESIGN.md §11).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Readers take the shard's shared `RwLock` (the classic path; always
+    /// available, byte-identical results to `Optimistic`).
+    #[default]
+    Locked,
+    /// Seqlock optimistic reads: readers never take the shard lock and
+    /// never write shared state — they snapshot the shard's version
+    /// counter, probe/copy racily, and re-validate (per-row words for
+    /// hits, the shard counter for misses), retrying once and then
+    /// falling back to the locked path. Requires every shard index to
+    /// report [`HashIndex::optimistic_probe_safe`]; otherwise the store
+    /// silently stays on the locked path.
+    Optimistic,
+}
+
+impl ReadMode {
+    /// Parse a `--read-mode` flag value.
+    pub fn parse(s: &str) -> Option<ReadMode> {
+        match s {
+            "locked" => Some(ReadMode::Locked),
+            "optimistic" => Some(ReadMode::Optimistic),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadMode::Locked => "locked",
+            ReadMode::Optimistic => "optimistic",
+        }
+    }
+}
 
 /// Store construction parameters.
 #[derive(Copy, Clone, Debug)]
@@ -66,6 +107,9 @@ pub struct StoreConfig {
     /// keys ahead of the probe or verification that will touch them.
     /// Tunable at runtime via [`KvStore::set_prefetch_depth`].
     pub prefetch_depth: Option<usize>,
+    /// Reader synchronization mode (DESIGN.md §11). Tunable at runtime
+    /// via [`KvStore::set_read_mode`].
+    pub read_mode: ReadMode,
 }
 
 impl Default for StoreConfig {
@@ -75,6 +119,7 @@ impl Default for StoreConfig {
             capacity_items: 100_000,
             shards: 1,
             prefetch_depth: None,
+            read_mode: ReadMode::Locked,
         }
     }
 }
@@ -163,6 +208,7 @@ pub struct MGetResponse {
     per_shard: Vec<Vec<u32>>,
     sub_hashes: Vec<u32>,
     refs: Vec<Option<SlabRef>>,
+    words: Vec<u64>,
     reorder: Vec<u8>,
 }
 
@@ -211,6 +257,18 @@ impl MGetResponse {
     /// Append a miss record `[0]`.
     fn push_miss(&mut self) {
         self.buf.push(0);
+    }
+
+    /// Undo the records appended by a failed optimistic shard pass. A
+    /// shard's records are always the contiguous tail of `buf` (each shard
+    /// appends in one run), so truncating to the pre-pass marks and
+    /// clearing the slots the pass filled restores the response exactly.
+    fn rollback(&mut self, buf_len: usize, value_bytes: usize, slots: impl Iterator<Item = usize>) {
+        self.buf.truncate(buf_len);
+        self.value_bytes = value_bytes;
+        for i in slots {
+            self.entries[i] = None;
+        }
     }
 
     /// Rewrite `buf`'s records into request order. A single-shard `mget`
@@ -403,15 +461,151 @@ struct Shard {
     clock: Clock,
 }
 
+// Compile-time proof that Shard is Send + Sync — the precondition for the
+// manual ShardSlot impls below (which only *reorganize* what RwLock<Shard>
+// provided before, they don't weaken it).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Shard>();
+};
+
+/// One shard: its state, lock, seqlock version counter, and counters.
+///
+/// The shard state sits in an `UnsafeCell` beside a `RwLock<()>` rather
+/// than inside a `RwLock<Shard>` so the optimistic read path can reach it
+/// *without* touching the lock word (the whole point of DESIGN.md §11 —
+/// no shared-state writes on reads). The lock still carries exactly the
+/// old access discipline via [`ShardSlot::read`]/[`ShardSlot::write`];
+/// [`ShardSlot::racy`] is the one doorway around it and is only sound
+/// under the seqlock protocol.
 struct ShardSlot {
-    lock: RwLock<Shard>,
+    /// Even/odd shard version: odd while a writer holds the write lock.
+    seq: SeqCount,
+    lock: RwLock<()>,
+    shard: UnsafeCell<Shard>,
     counters: ShardCounters,
 }
 
+// SAFETY: `ShardSlot` recreates what `RwLock<Shard>` was (Shard is
+// Send + Sync, proven above): all `&mut Shard` access goes through the
+// write lock, all `&Shard` access through the read lock — except
+// `racy()`, whose callers follow the seqlock validation protocol and
+// only dereference storage that is stable and atomic-or-validated.
+unsafe impl Send for ShardSlot {}
+unsafe impl Sync for ShardSlot {}
+
+struct ShardReadGuard<'a> {
+    _g: parking_lot::RwLockReadGuard<'a, ()>,
+    shard: &'a Shard,
+}
+
+impl Deref for ShardReadGuard<'_> {
+    type Target = Shard;
+    fn deref(&self) -> &Shard {
+        self.shard
+    }
+}
+
+struct ShardWriteGuard<'a> {
+    // Declared first: drops first, so the version returns to even while
+    // the write lock is still held (readers never see even + mid-mutation).
+    _seq: SeqWriteGuard<'a>,
+    _g: parking_lot::RwLockWriteGuard<'a, ()>,
+    shard: &'a mut Shard,
+}
+
+impl Deref for ShardWriteGuard<'_> {
+    type Target = Shard;
+    fn deref(&self) -> &Shard {
+        self.shard
+    }
+}
+
+impl DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Shard {
+        self.shard
+    }
+}
+
+impl ShardSlot {
+    fn read(&self) -> ShardReadGuard<'_> {
+        let g = self.lock.read();
+        // SAFETY: the shared lock excludes writers (every `&mut` access
+        // goes through `write`), so a shared borrow is sound.
+        ShardReadGuard {
+            _g: g,
+            shard: unsafe { &*self.shard.get() },
+        }
+    }
+
+    /// Exclusive access; marks the shard version odd for the duration so
+    /// optimistic readers spin or fall back instead of reading
+    /// mid-mutation state.
+    fn write(&self) -> ShardWriteGuard<'_> {
+        let g = self.lock.write();
+        let seq = self.seq.begin_write();
+        // SAFETY: the exclusive lock excludes all other lock holders;
+        // optimistic readers may still race, but only through `racy()`
+        // under the seqlock protocol.
+        ShardWriteGuard {
+            _seq: seq,
+            _g: g,
+            shard: unsafe { &mut *self.shard.get() },
+        }
+    }
+
+    /// Lock-free access for the optimistic read protocol.
+    ///
+    /// # Safety
+    ///
+    /// The caller may race a writer holding [`ShardSlot::write`]. It must
+    /// only perform reads that are torn-tolerant — fixed-capacity index
+    /// storage ([`HashIndex::optimistic_probe_safe`]), atomic item rows,
+    /// stable slab pages, the atomic CLOCK bitmap — and must validate
+    /// every conclusion against `seq` or a row word before acting on it.
+    unsafe fn racy(&self) -> &Shard {
+        &*self.shard.get()
+    }
+}
+
+/// Counters for the optimistic read path (all modes; zero under
+/// [`ReadMode::Locked`]). Snapshot via [`KvStore::optimistic_stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OptimisticStats {
+    /// Optimistic passes started (a retry starts a new pass).
+    pub attempts: u64,
+    /// Passes that validated and committed their results.
+    pub commits: u64,
+    /// Passes rolled back for a retry after failed validation.
+    pub retries: u64,
+    /// Per-key locked collision assists taken inside optimistic passes.
+    pub assists: u64,
+    /// Reads that gave up on the optimistic path (writer active or both
+    /// attempts invalidated) and ran the locked path instead.
+    pub fallbacks: u64,
+}
+
+/// Internal counters: the hot commit path pays exactly one RMW
+/// (`commits`); everything else is bumped only on the cold
+/// retry/abort/assist edges, and `attempts` is *derived* in the snapshot
+/// (`commits + retries + aborts` — every started pass ends in exactly one
+/// of those three).
+#[derive(Default)]
+struct OptimisticCounters {
+    commits: AtomicU64,
+    retries: AtomicU64,
+    /// Started passes abandoned without a retry (e.g. a full-key
+    /// mismatch that `get` hands to the locked collision slow path).
+    aborts: AtomicU64,
+    assists: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
 /// The sharded key-value store. Reads (`get`/`mget`) take a shared lock on
-/// each shard they probe (one at a time) and run concurrently across
-/// server workers; writes (`set`/`delete`) serialize only within their
-/// key's shard.
+/// each shard they probe (one at a time) — or, under
+/// [`ReadMode::Optimistic`], no lock at all (seqlock validation, DESIGN.md
+/// §11) — and run concurrently across server workers; writes
+/// (`set`/`delete`) serialize only within their key's shard.
 pub struct KvStore {
     shards: Vec<ShardSlot>,
     shard_mul: u32,
@@ -420,7 +614,19 @@ pub struct KvStore {
     /// Multi-Get prefetch look-ahead `G` (0 = disabled). Atomic so bench
     /// sweeps can vary it on a live, populated store.
     prefetch_depth: AtomicUsize,
+    /// Current [`ReadMode`] as a `u8` (0 = locked, 1 = optimistic); atomic
+    /// so sweeps can flip it on a live store.
+    read_mode: AtomicU8,
+    /// Whether every shard's index supports racy probes; if not, the
+    /// optimistic mode silently degrades to locked.
+    optimistic_safe: bool,
+    optimistic: OptimisticCounters,
     name: &'static str,
+    /// Test-only writer pause point: called by `set` after the
+    /// replace-delete, while the write lock is held and the shard version
+    /// is odd. Lets the torn-read oracle hold a writer mid-mutation.
+    #[cfg(any(test, feature = "torture"))]
+    torture_set_pause: parking_lot::Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for KvStore {
@@ -468,7 +674,9 @@ impl KvStore {
         let per_budget = (config.memory_budget / n).max(1 << 20);
         let shards: Vec<ShardSlot> = (0..n)
             .map(|_| ShardSlot {
-                lock: RwLock::new(Shard {
+                seq: SeqCount::new(),
+                lock: RwLock::new(()),
+                shard: UnsafeCell::new(Shard {
                     slab: SlabAllocator::new(per_budget),
                     items: ItemTable::new(),
                     index: make_index(per_capacity),
@@ -477,7 +685,10 @@ impl KvStore {
                 counters: ShardCounters::default(),
             })
             .collect();
-        let name = shards[0].lock.read().index.name();
+        let (name, optimistic_safe) = {
+            let g = shards[0].read();
+            (g.index.name(), g.index.optimistic_probe_safe())
+        };
         let log2 = n.trailing_zeros();
         KvStore {
             shards,
@@ -487,8 +698,70 @@ impl KvStore {
             prefetch_depth: AtomicUsize::new(
                 config.prefetch_depth.unwrap_or(DEFAULT_PREFETCH_DEPTH),
             ),
+            read_mode: AtomicU8::new(config.read_mode as u8),
+            optimistic_safe,
+            optimistic: OptimisticCounters::default(),
             name,
+            #[cfg(any(test, feature = "torture"))]
+            torture_set_pause: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// The current reader synchronization mode.
+    pub fn read_mode(&self) -> ReadMode {
+        match self.read_mode.load(Ordering::Relaxed) {
+            0 => ReadMode::Locked,
+            _ => ReadMode::Optimistic,
+        }
+    }
+
+    /// Change the reader synchronization mode at runtime. Purely a
+    /// performance knob — results are identical in both modes (proved by
+    /// `tests/read_mode_differential.rs`); the `kvs-readscale-sweep`
+    /// experiment uses this to compare the two paths on one populated
+    /// store.
+    pub fn set_read_mode(&self, mode: ReadMode) {
+        self.read_mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the optimistic read path counters.
+    pub fn optimistic_stats(&self) -> OptimisticStats {
+        let commits = self.optimistic.commits.load(Ordering::Relaxed);
+        let retries = self.optimistic.retries.load(Ordering::Relaxed);
+        let aborts = self.optimistic.aborts.load(Ordering::Relaxed);
+        OptimisticStats {
+            attempts: commits + retries + aborts,
+            commits,
+            retries,
+            assists: self.optimistic.assists.load(Ordering::Relaxed),
+            fallbacks: self.optimistic.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline(always)]
+    fn use_optimistic(&self) -> bool {
+        self.optimistic_safe && self.read_mode() == ReadMode::Optimistic
+    }
+
+    /// Whether this store's index backend declares its probes safe for
+    /// lock-free optimistic reads ([`HashIndex::optimistic_probe_safe`]).
+    /// When false, `ReadMode::Optimistic` silently behaves like `Locked`.
+    pub fn optimistic_capable(&self) -> bool {
+        self.optimistic_safe
+    }
+
+    /// Install (or clear) the torn-read torture hook: `set` calls it after
+    /// deleting a replaced key's old item, with the write lock held and
+    /// the shard version odd. A hook that blocks holds the writer
+    /// mid-mutation — the adversarial window the seqlock protocol must
+    /// make invisible to readers. Test/`torture`-feature builds only.
+    ///
+    /// Note: the hook runs under an internal mutex, so don't call
+    /// `set_torture_set_pause` again while a hooked `set` is paused.
+    #[cfg(any(test, feature = "torture"))]
+    #[doc(hidden)]
+    pub fn set_torture_set_pause(&self, hook: Option<Box<dyn Fn() + Send + Sync>>) {
+        *self.torture_set_pause.lock() = hook;
     }
 
     /// The current Multi-Get prefetch look-ahead `G` (0 = disabled).
@@ -532,15 +805,12 @@ impl KvStore {
 
     /// Number of live items across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock.read().items.len()).sum()
+        self.shards.iter().map(|s| s.read().items.len()).sum()
     }
 
     /// Live item count per shard (balance reporting).
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock.read().items.len())
-            .collect()
+        self.shards.iter().map(|s| s.read().items.len()).collect()
     }
 
     /// Per-shard counter snapshots.
@@ -548,7 +818,7 @@ impl KvStore {
         self.shards
             .iter()
             .map(|s| ShardStats {
-                items: s.lock.read().items.len(),
+                items: s.read().items.len(),
                 sets: s.counters.sets.load(Ordering::Relaxed),
                 deletes: s.counters.deletes.load(Ordering::Relaxed),
                 evictions: s.counters.evictions.load(Ordering::Relaxed),
@@ -582,10 +852,17 @@ impl KvStore {
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
-        let mut g = slot.lock.write();
+        let mut g = slot.write();
         // Replace semantics: drop any existing item with this exact key.
         if let Some(existing) = g.find_verified(hash, key) {
             g.delete_item(hash, existing);
+        }
+        // Torn-read oracle pause point: old item gone, new one not yet
+        // written — a reader that saw this intermediate state would miss
+        // the key entirely.
+        #[cfg(any(test, feature = "torture"))]
+        if let Some(hook) = self.torture_set_pause.lock().as_ref() {
+            hook();
         }
         // Allocate, evicting on pressure.
         let slab_ref = loop {
@@ -633,7 +910,90 @@ impl KvStore {
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
-        let g = slot.lock.read();
+        if self.use_optimistic() {
+            if let Some(decided) = self.get_optimistic(slot, hash, key) {
+                return decided;
+            }
+        }
+        self.get_locked(slot, hash, key)
+    }
+
+    /// Lock-free single-key lookup under the seqlock protocol (DESIGN.md
+    /// §11). Returns `Some(result)` when the read validated, `None` when
+    /// the caller must fall back to [`KvStore::get_locked`]: a writer was
+    /// active, both attempts were invalidated, or the probe found a
+    /// full-key mismatch (possible tag collision — `lookup_all` is not
+    /// racy-safe on every backend, so collisions resolve under the lock).
+    fn get_optimistic(&self, slot: &ShardSlot, hash: u32, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        // SAFETY: all accesses below are torn-tolerant per the `racy`
+        // contract — `lookup_batch` on an `optimistic_probe_safe` index,
+        // atomic row loads, `chunk_racy` + checked decode, atomic CLOCK
+        // touch — and every outcome is validated before being returned.
+        let shard = unsafe { slot.racy() };
+        for _ in 0..2 {
+            let Some(seq) = slot.seq.read_begin() else {
+                break; // writer active: the lock queue is the fast path now
+            };
+            let mut cand = [NO_ITEM];
+            shard
+                .index
+                .lookup_batch(std::slice::from_ref(&hash), &mut cand);
+            let cand = cand[0];
+            let word = if cand == NO_ITEM {
+                0
+            } else {
+                shard.items.load_row(cand)
+            };
+            match decode_row(word) {
+                None => {
+                    // Miss (no candidate, or a dying row): only believable
+                    // if no writer ran while we probed.
+                    if slot.seq.validate(seq) {
+                        self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
+                        slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+                        return Some(None);
+                    }
+                }
+                Some(r) => {
+                    let verified = shard
+                        .slab
+                        .chunk_racy(r)
+                        .and_then(item_decode_checked)
+                        .and_then(|(k, v)| (k == key).then(|| v.to_vec()));
+                    match verified {
+                        // A verified hit stands on its row word alone: the
+                        // word unchanged across the copy means the item
+                        // stayed live in this exact chunk, and live chunk
+                        // bytes are immutable (replace = delete + insert).
+                        Some(value) => {
+                            if shard.items.revalidate(cand, word) {
+                                shard.clock.touch(cand);
+                                self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
+                                slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+                                slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
+                                return Some(Some(value));
+                            }
+                        }
+                        None => {
+                            if slot.seq.validate(seq) {
+                                // Genuine full-key mismatch (tag collision)
+                                // or torn-looking bytes under a stable seq:
+                                // resolve under the lock.
+                                self.optimistic.aborts.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            self.optimistic.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.optimistic.fallbacks.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn get_locked(&self, slot: &ShardSlot, hash: u32, key: &[u8]) -> Option<Vec<u8>> {
+        let g = slot.read();
         let mut cand = [NO_ITEM];
         g.index.lookup_batch(std::slice::from_ref(&hash), &mut cand);
         let cand = cand[0];
@@ -670,7 +1030,7 @@ impl KvStore {
     pub fn delete(&self, key: &[u8]) -> bool {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
-        let mut g = slot.lock.write();
+        let mut g = slot.write();
         match g.find_verified(hash, key) {
             Some(item) => {
                 g.delete_item(hash, item);
@@ -711,11 +1071,16 @@ impl KvStore {
         }
         let t1 = Instant::now();
 
-        // Phases 2+3 per shard, under that shard's lock only.
+        // Phases 2+3 per shard — under that shard's shared lock, or with
+        // no lock at all when the optimistic read mode is on (each shard
+        // pass still falls back to the locked helper if it can't
+        // validate).
         let depth = self.prefetch_depth.load(Ordering::Relaxed);
+        let use_opt = self.use_optimistic();
         let mut candidates = std::mem::take(&mut resp.candidates);
         let mut sub_hashes = std::mem::take(&mut resp.sub_hashes);
         let mut refs = std::mem::take(&mut resp.refs);
+        let mut words = std::mem::take(&mut resp.words);
         let mut fallback: Vec<u32> = Vec::new();
         let mut found = 0usize;
         let mut lookup_ns = 0u64;
@@ -729,12 +1094,11 @@ impl KvStore {
             if n_sub == 0 {
                 continue;
             }
-            let g = slot.lock.read();
-
-            // Phase 2: hash-table lookup (the batched, SIMD-accelerable
-            // phase) over this shard's slice of the request, with bucket
-            // lines prefetched `depth` hashes ahead of each probe.
-            let tl0 = Instant::now();
+            let smap = if single {
+                SlotMap::Identity
+            } else {
+                SlotMap::Map(&per_shard[s])
+            };
             let shard_hashes: &[u32] = if single {
                 &hashes
             } else {
@@ -742,89 +1106,38 @@ impl KvStore {
                 sub_hashes.extend(per_shard[s].iter().map(|&i| hashes[i as usize]));
                 &sub_hashes
             };
-            candidates.clear();
-            candidates.resize(n_sub, NO_ITEM);
-            g.index
-                .lookup_batch_prefetched(shard_hashes, &mut candidates, depth);
-            let tl1 = Instant::now();
-
-            // Phase 3: post-processing — verify full keys, write values
-            // into the wire buffer, update CLOCK. With a prefetch depth G
-            // the loop runs AMAC-style stages over the candidate list:
-            // candidate j's item-table row is requested 2G keys before its
-            // turn, its slab chunk G keys before (resolving the row the
-            // prefetch made warm), so both dependent misses overlap the
-            // verification of earlier keys. The shard lock is held
-            // throughout, so staged reads cannot go stale.
-            let mut shard_found = 0u64;
-            if depth > 0 {
-                refs.clear();
-                refs.resize(n_sub, None);
-                for &cand in candidates.iter().take(2 * depth) {
-                    g.items.prefetch(cand);
-                }
-                for j in 0..n_sub.min(depth) {
-                    refs[j] = g.resolve_and_prefetch(candidates[j]);
-                }
-            }
-            for j in 0..n_sub {
-                if depth > 0 {
-                    if let Some(&ahead) = candidates.get(j + 2 * depth) {
-                        g.items.prefetch(ahead);
-                    }
-                    if j + depth < n_sub {
-                        refs[j + depth] = g.resolve_and_prefetch(candidates[j + depth]);
-                    }
-                }
-                let cand = candidates[j];
-                let i = if single { j } else { per_shard[s][j] as usize };
-                let key = keys[i];
-                let slab_ref = if depth > 0 {
-                    refs[j]
-                } else if cand != NO_ITEM {
-                    g.items.get(cand)
-                } else {
-                    None
-                };
-                let mut resolved = None;
-                if let Some(r) = slab_ref {
-                    if item_key(g.slab.chunk(r)) == key {
-                        resolved = Some((cand, r));
-                    }
-                }
-                if resolved.is_none() && cand != NO_ITEM {
-                    // Tag/hash collision: scan all candidates (MemC3 slow
-                    // path).
-                    fallback.clear();
-                    g.index.lookup_all(shard_hashes[j], &mut fallback);
-                    for &c in &fallback {
-                        if let Some(r) = g.items.get(c) {
-                            if item_key(g.slab.chunk(r)) == key {
-                                resolved = Some((c, r));
-                                break;
-                            }
-                        }
-                    }
-                }
-                if let Some((item, r)) = resolved {
-                    resp.push_hit(i, item_value(g.slab.chunk(r)));
-                    g.clock.touch(item);
-                    shard_found += 1;
-                } else {
-                    resp.push_miss();
-                }
-            }
-            let tl2 = Instant::now();
-            drop(g);
+            let committed = if use_opt {
+                self.mget_shard_optimistic(
+                    slot,
+                    keys,
+                    shard_hashes,
+                    smap,
+                    depth,
+                    resp,
+                    &mut candidates,
+                    &mut words,
+                    &mut fallback,
+                )
+            } else {
+                None
+            };
+            let (shard_found, l_ns, p_ns) = match committed {
+                Some(t) => t,
+                None => self.mget_shard_locked(
+                    slot,
+                    keys,
+                    shard_hashes,
+                    smap,
+                    depth,
+                    resp,
+                    &mut candidates,
+                    &mut refs,
+                    &mut fallback,
+                ),
+            };
             found += shard_found as usize;
-            lookup_ns += (tl1 - tl0).as_nanos() as u64;
-            post_ns += (tl2 - tl1).as_nanos() as u64;
-            slot.counters
-                .mget_keys
-                .fetch_add(n_sub as u64, Ordering::Relaxed);
-            slot.counters
-                .mget_hits
-                .fetch_add(shard_found, Ordering::Relaxed);
+            lookup_ns += l_ns;
+            post_ns += p_ns;
         }
         if !single {
             // Shard-grouped records -> request order (still Phase 3 work).
@@ -837,6 +1150,7 @@ impl KvStore {
         resp.per_shard = per_shard;
         resp.sub_hashes = sub_hashes;
         resp.refs = refs;
+        resp.words = words;
 
         MGetOutcome {
             found,
@@ -845,6 +1159,321 @@ impl KvStore {
                 lookup: lookup_ns,
                 post: post_ns,
             },
+        }
+    }
+
+    /// One shard's Phase 2+3 under its shared lock (the classic path).
+    /// Returns `(keys found, lookup ns, post ns)`.
+    ///
+    /// Phase 2 is the hash-table lookup (the batched, SIMD-accelerable
+    /// phase) over this shard's slice of the request, with bucket lines
+    /// prefetched `depth` hashes ahead of each probe. Phase 3 verifies
+    /// full keys, writes values into the wire buffer, and updates CLOCK;
+    /// with a prefetch depth G it runs AMAC-style stages over the
+    /// candidate list — candidate j's item-table row is requested 2G keys
+    /// before its turn, its slab chunk G keys before (resolving the row
+    /// the prefetch made warm), so both dependent misses overlap the
+    /// verification of earlier keys. The shard lock is held throughout,
+    /// so staged reads cannot go stale.
+    #[allow(clippy::too_many_arguments)]
+    fn mget_shard_locked(
+        &self,
+        slot: &ShardSlot,
+        keys: &[&[u8]],
+        shard_hashes: &[u32],
+        smap: SlotMap<'_>,
+        depth: usize,
+        resp: &mut MGetResponse,
+        candidates: &mut Vec<u32>,
+        refs: &mut Vec<Option<SlabRef>>,
+        fallback: &mut Vec<u32>,
+    ) -> (u64, u64, u64) {
+        let n_sub = shard_hashes.len();
+        let g = slot.read();
+
+        let tl0 = Instant::now();
+        candidates.clear();
+        candidates.resize(n_sub, NO_ITEM);
+        g.index
+            .lookup_batch_prefetched(shard_hashes, candidates, depth);
+        let tl1 = Instant::now();
+
+        let mut shard_found = 0u64;
+        if depth > 0 {
+            refs.clear();
+            refs.resize(n_sub, None);
+            for &cand in candidates.iter().take(2 * depth) {
+                g.items.prefetch(cand);
+            }
+            for j in 0..n_sub.min(depth) {
+                refs[j] = g.resolve_and_prefetch(candidates[j]);
+            }
+        }
+        for j in 0..n_sub {
+            if depth > 0 {
+                if let Some(&ahead) = candidates.get(j + 2 * depth) {
+                    g.items.prefetch(ahead);
+                }
+                if j + depth < n_sub {
+                    refs[j + depth] = g.resolve_and_prefetch(candidates[j + depth]);
+                }
+            }
+            let cand = candidates[j];
+            let i = smap.get(j);
+            let key = keys[i];
+            let slab_ref = if depth > 0 {
+                refs[j]
+            } else if cand != NO_ITEM {
+                g.items.get(cand)
+            } else {
+                None
+            };
+            let mut resolved = None;
+            if let Some(r) = slab_ref {
+                if item_key(g.slab.chunk(r)) == key {
+                    resolved = Some((cand, r));
+                }
+            }
+            if resolved.is_none() && cand != NO_ITEM {
+                // Tag/hash collision: scan all candidates (MemC3 slow
+                // path).
+                fallback.clear();
+                g.index.lookup_all(shard_hashes[j], fallback);
+                for &c in fallback.iter() {
+                    if let Some(r) = g.items.get(c) {
+                        if item_key(g.slab.chunk(r)) == key {
+                            resolved = Some((c, r));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some((item, r)) = resolved {
+                resp.push_hit(i, item_value(g.slab.chunk(r)));
+                g.clock.touch(item);
+                shard_found += 1;
+            } else {
+                resp.push_miss();
+            }
+        }
+        let tl2 = Instant::now();
+        drop(g);
+        slot.counters
+            .mget_keys
+            .fetch_add(n_sub as u64, Ordering::Relaxed);
+        slot.counters
+            .mget_hits
+            .fetch_add(shard_found, Ordering::Relaxed);
+        (
+            shard_found,
+            (tl1 - tl0).as_nanos() as u64,
+            (tl2 - tl1).as_nanos() as u64,
+        )
+    }
+
+    /// One shard's Phase 2+3 under the seqlock protocol (DESIGN.md §11):
+    /// no lock, no shared-state writes except atomic CLOCK bits. Returns
+    /// `Some((found, lookup ns, post ns))` when a pass validated and
+    /// committed, `None` when the caller must rerun the shard through
+    /// [`KvStore::mget_shard_locked`].
+    ///
+    /// Validation is two-tier: each *hit* is verified by re-checking its
+    /// item row word after the value bytes are copied (unchanged word ⟹
+    /// the item stayed live in that exact chunk ⟹ the copy is one
+    /// consistent value); *misses* and locked collision assists
+    /// additionally require the shard version to be unchanged across the
+    /// whole pass (`need_seq`), since "not found" can only be trusted if
+    /// no writer raced the probe. A failed validation rolls the response
+    /// back to its pre-pass marks and retries once.
+    ///
+    /// Keys resolve per-key linearizably, but a multi-key batch is not a
+    /// shard-atomic snapshot the way the locked pass is — a writer may
+    /// commit between two hits of one batch (each hit is still a value
+    /// that was current when its row was read; see DESIGN.md §11).
+    #[allow(clippy::too_many_arguments)]
+    fn mget_shard_optimistic(
+        &self,
+        slot: &ShardSlot,
+        keys: &[&[u8]],
+        shard_hashes: &[u32],
+        smap: SlotMap<'_>,
+        depth: usize,
+        resp: &mut MGetResponse,
+        candidates: &mut Vec<u32>,
+        words: &mut Vec<u64>,
+        fallback: &mut Vec<u32>,
+    ) -> Option<(u64, u64, u64)> {
+        let n_sub = shard_hashes.len();
+        // SAFETY: same torn-tolerant access discipline as `get_optimistic`
+        // (see the `racy` contract); `lookup_batch_prefetched` is covered
+        // by the index's `optimistic_probe_safe` declaration.
+        let shard = unsafe { slot.racy() };
+        for _attempt in 0..2 {
+            let Some(seq) = slot.seq.read_begin() else {
+                break; // writer active: run the shard locked
+            };
+            let mark_buf = resp.buf.len();
+            let mark_bytes = resp.value_bytes;
+
+            let tl0 = Instant::now();
+            candidates.clear();
+            candidates.resize(n_sub, NO_ITEM);
+            shard
+                .index
+                .lookup_batch_prefetched(shard_hashes, candidates, depth);
+            let tl1 = Instant::now();
+
+            // The AMAC staging of the locked pass, restated over row
+            // *words*: candidate j's row line is prefetched 2G keys ahead,
+            // its word loaded (and chunk line prefetched) G keys ahead.
+            // Loading the word early only *widens* the window the final
+            // re-validation must cover — still correct, same stages warm.
+            words.clear();
+            words.resize(n_sub, 0);
+            let mut need_seq = false;
+            let mut torn = false;
+            let mut shard_found = 0u64;
+            let mut processed = 0usize;
+            if depth > 0 {
+                for &cand in candidates.iter().take(2 * depth) {
+                    shard.items.prefetch(cand);
+                }
+                for j in 0..n_sub.min(depth) {
+                    words[j] = self.stage_word(shard, candidates[j]);
+                }
+            }
+            for j in 0..n_sub {
+                if depth > 0 {
+                    if let Some(&ahead) = candidates.get(j + 2 * depth) {
+                        shard.items.prefetch(ahead);
+                    }
+                    if j + depth < n_sub {
+                        words[j + depth] = self.stage_word(shard, candidates[j + depth]);
+                    }
+                }
+                let cand = candidates[j];
+                let i = smap.get(j);
+                let key = keys[i];
+                processed = j + 1;
+                if cand == NO_ITEM {
+                    resp.push_miss();
+                    need_seq = true;
+                    continue;
+                }
+                let word = if depth > 0 {
+                    words[j]
+                } else {
+                    shard.items.load_row(cand)
+                };
+                let value = decode_row(word).and_then(|r| {
+                    shard
+                        .slab
+                        .chunk_racy(r)
+                        .and_then(item_decode_checked)
+                        .filter(|(k, _)| *k == key)
+                        .map(|(_, v)| v)
+                });
+                match value {
+                    Some(v) => {
+                        resp.push_hit(i, v);
+                        if !shard.items.revalidate(cand, word) {
+                            torn = true;
+                            break;
+                        }
+                        shard.clock.touch(cand);
+                        shard_found += 1;
+                    }
+                    None if decode_row(word).is_none() => {
+                        // Dying/dead row behind a live-looking candidate:
+                        // a miss, believable only under a stable seq.
+                        resp.push_miss();
+                        need_seq = true;
+                    }
+                    None => {
+                        // Full-key mismatch or torn-looking bytes: the
+                        // collision slow path needs `lookup_all`, which
+                        // is not racy-safe — take the shard lock for this
+                        // one key (the rest of the pass stays lock-free).
+                        self.optimistic.assists.fetch_add(1, Ordering::Relaxed);
+                        let g = slot.read();
+                        fallback.clear();
+                        g.index.lookup_all(shard_hashes[j], fallback);
+                        let mut resolved = None;
+                        for &c in fallback.iter() {
+                            if let Some(r) = g.items.get(c) {
+                                if item_key(g.slab.chunk(r)) == key {
+                                    resolved = Some((c, r));
+                                    break;
+                                }
+                            }
+                        }
+                        match resolved {
+                            Some((item, r)) => {
+                                resp.push_hit(i, item_value(g.slab.chunk(r)));
+                                g.clock.touch(item);
+                                shard_found += 1;
+                            }
+                            None => resp.push_miss(),
+                        }
+                        need_seq = true;
+                    }
+                }
+            }
+            let tl2 = Instant::now();
+
+            if !torn && (!need_seq || slot.seq.validate(seq)) {
+                self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
+                slot.counters
+                    .mget_keys
+                    .fetch_add(n_sub as u64, Ordering::Relaxed);
+                slot.counters
+                    .mget_hits
+                    .fetch_add(shard_found, Ordering::Relaxed);
+                return Some((
+                    shard_found,
+                    (tl1 - tl0).as_nanos() as u64,
+                    (tl2 - tl1).as_nanos() as u64,
+                ));
+            }
+            self.optimistic.retries.fetch_add(1, Ordering::Relaxed);
+            resp.rollback(mark_buf, mark_bytes, (0..processed).map(|j| smap.get(j)));
+        }
+        self.optimistic.fallbacks.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Optimistic AMAC stage 2: load candidate `cand`'s row word (its line
+    /// made warm by an earlier [`ItemTable::prefetch`]) and request the
+    /// chunk's leading cache line, so the full-key compare `G` iterations
+    /// later reads a warm line. The racy counterpart of
+    /// [`Shard::resolve_and_prefetch`].
+    #[inline(always)]
+    fn stage_word(&self, shard: &Shard, cand: u32) -> u64 {
+        if cand == NO_ITEM {
+            return 0;
+        }
+        let word = shard.items.load_row(cand);
+        if let Some(r) = decode_row(word) {
+            shard.slab.prefetch(r);
+        }
+        word
+    }
+}
+
+/// Maps a shard-local batch position `j` back to its request slot: the
+/// identity for a single-shard store, or the shard's partition list.
+#[derive(Copy, Clone)]
+enum SlotMap<'a> {
+    Identity,
+    Map(&'a [u32]),
+}
+
+impl SlotMap<'_> {
+    #[inline(always)]
+    fn get(&self, j: usize) -> usize {
+        match self {
+            SlotMap::Identity => j,
+            SlotMap::Map(m) => m[j] as usize,
         }
     }
 }
@@ -909,6 +1538,7 @@ mod tests {
             capacity_items: capacity,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         };
         vec![
             KvStore::new(Box::new(Memc3Index::with_capacity(capacity)), cfg),
@@ -939,6 +1569,7 @@ mod tests {
                         capacity_items: capacity,
                         shards,
                         prefetch_depth: None,
+                        ..StoreConfig::default()
                     },
                     |cap| by_short_name(which, cap).unwrap(),
                 )
@@ -1067,6 +1698,7 @@ mod tests {
                 capacity_items: 4000,
                 shards: 8,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
             |cap| by_short_name("hor", cap).unwrap(),
         );
@@ -1163,6 +1795,7 @@ mod tests {
                 capacity_items: 100_000,
                 shards: 1,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
         );
         let value = vec![0xABu8; 1024];
@@ -1186,6 +1819,7 @@ mod tests {
                 capacity_items: 64,
                 shards: 1,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
         );
         for i in 0..2000u32 {
@@ -1227,6 +1861,156 @@ mod tests {
         s8.mget(&[b"k".as_ref(), b"absent".as_ref()], &mut resp);
         assert_eq!(resp.value(0), Some(&b"eight"[..]));
         assert_eq!(resp.value(1), None);
+    }
+
+    #[test]
+    fn read_mode_parse_and_default() {
+        assert_eq!(ReadMode::parse("locked"), Some(ReadMode::Locked));
+        assert_eq!(ReadMode::parse("optimistic"), Some(ReadMode::Optimistic));
+        assert_eq!(ReadMode::parse("bogus"), None);
+        assert_eq!(StoreConfig::default().read_mode, ReadMode::Locked);
+        let store = &stores(10)[0];
+        assert_eq!(store.read_mode(), ReadMode::Locked);
+        store.set_read_mode(ReadMode::Optimistic);
+        assert_eq!(store.read_mode(), ReadMode::Optimistic);
+        assert_eq!(ReadMode::Optimistic.name(), "optimistic");
+    }
+
+    #[test]
+    fn optimistic_reads_match_locked_and_commit() {
+        // Quiescent store: every optimistic read must commit (no writers
+        // to race) and return exactly what the locked path returns.
+        for store in stores(2000).iter().chain(sharded_stores(2000, 4).iter()) {
+            for i in 0..800u32 {
+                store
+                    .set(format!("k{i}").as_bytes(), format!("val-{i}").as_bytes())
+                    .unwrap();
+            }
+            let keys: Vec<String> = (0..900u32).map(|i| format!("k{i}")).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+            let mut locked = MGetResponse::new();
+            let out_locked = store.mget(&refs, &mut locked);
+            let locked_frame = locked.seal_frame(7).to_vec();
+            let locked_gets: Vec<Option<Vec<u8>>> = refs.iter().map(|k| store.get(k)).collect();
+
+            store.set_read_mode(ReadMode::Optimistic);
+            let before = store.optimistic_stats();
+            let mut opt = MGetResponse::new();
+            let out_opt = store.mget(&refs, &mut opt);
+            assert_eq!(out_opt.found, out_locked.found, "{}", store.index_name());
+            assert_eq!(
+                opt.seal_frame(7),
+                &locked_frame[..],
+                "{}",
+                store.index_name()
+            );
+            let opt_gets: Vec<Option<Vec<u8>>> = refs.iter().map(|k| store.get(k)).collect();
+            assert_eq!(opt_gets, locked_gets, "{}", store.index_name());
+            let after = store.optimistic_stats();
+            assert!(after.commits > before.commits, "{}", store.index_name());
+            // No concurrent writers, so no read should ever need a retry.
+            // (Fallbacks CAN still happen on a quiescent store: a tag
+            // collision yields a full-key mismatch that `get` resolves on
+            // the locked path rather than guessing.)
+            assert_eq!(after.retries, before.retries, "{}", store.index_name());
+            store.set_read_mode(ReadMode::Locked);
+        }
+    }
+
+    /// Hold a writer mid-`set` (old item deleted, new not yet written,
+    /// shard version odd) via the torture hook; returns the paused store
+    /// plus the barriers and writer handle.
+    fn paused_writer_store() -> (
+        std::sync::Arc<KvStore>,
+        std::sync::Arc<std::sync::Barrier>,
+        std::thread::JoinHandle<()>,
+    ) {
+        use std::sync::{Arc, Barrier};
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(100)),
+            StoreConfig {
+                read_mode: ReadMode::Optimistic,
+                ..StoreConfig::default()
+            },
+        ));
+        store.set(b"hot", b"v1").unwrap();
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        {
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            store.set_torture_set_pause(Some(Box::new(move || {
+                entered.wait();
+                release.wait();
+            })));
+        }
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.set(b"hot", b"v2").unwrap())
+        };
+        entered.wait(); // writer is now paused mid-mutation
+        (store, release, writer)
+    }
+
+    fn wait_for_fallback(store: &KvStore, before: u64) {
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while store.optimistic_stats().fallbacks == before {
+            assert!(
+                Instant::now() < deadline,
+                "reader never fell back off the optimistic path"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn torn_read_get_spins_and_falls_back() {
+        // The adversarial torn-read oracle: while the writer is held
+        // mid-mutation the key's old item is GONE from index and table —
+        // a reader trusting the racy probe would answer `None` (a torn
+        // read: the key never stopped existing). The seqlock discipline
+        // (odd version → spin → locked fallback) must make the reader
+        // block and return the *new* value instead. Deleting the version
+        // re-check deliberately makes this test fail.
+        let (store, release, writer) = paused_writer_store();
+        let before = store.optimistic_stats().fallbacks;
+        let reader = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || store.get(b"hot"))
+        };
+        // The reader provably gave up optimistically while the writer was
+        // still paused — not after it finished.
+        wait_for_fallback(&store, before);
+        release.wait();
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap().as_deref(), Some(&b"v2"[..]));
+        // With the writer gone, optimistic reads commit again.
+        let commits = store.optimistic_stats().commits;
+        assert_eq!(store.get(b"hot").as_deref(), Some(&b"v2"[..]));
+        assert!(store.optimistic_stats().commits > commits);
+    }
+
+    #[test]
+    fn torn_read_prefetched_mget_spins_and_falls_back() {
+        // Same oracle through the G-ahead prefetched Multi-Get pipeline.
+        let (store, release, writer) = paused_writer_store();
+        store.set_prefetch_depth(8);
+        let before = store.optimistic_stats().fallbacks;
+        let reader = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut resp = MGetResponse::new();
+                let keys: [&[u8]; 3] = [b"hot", b"missing-a", b"missing-b"];
+                let out = store.mget(&keys, &mut resp);
+                (out.found, resp.value(0).map(<[u8]>::to_vec))
+            })
+        };
+        wait_for_fallback(&store, before);
+        release.wait();
+        writer.join().unwrap();
+        let (found, hot) = reader.join().unwrap();
+        assert_eq!(found, 1);
+        assert_eq!(hot.as_deref(), Some(&b"v2"[..]));
     }
 
     #[test]
@@ -1287,6 +2071,7 @@ mod tests {
                     capacity_items: 2000,
                     shards: 4,
                     prefetch_depth: None,
+                    ..StoreConfig::default()
                 },
                 |cap| by_short_name("ver", cap).unwrap(),
             ));

@@ -18,7 +18,9 @@
 //! The daemon under test is selected by `FAULT_SERVER`: `thread`
 //! (default) runs the blocking thread-per-connection [`Kvsd`], `reactor`
 //! runs the event-driven coalescing [`ReactorServer`] — the whole matrix
-//! holds for both serving architectures.
+//! holds for both serving architectures. `READ_MODE` (`locked` |
+//! `optimistic`) likewise selects the store's read path, so the matrix
+//! also covers seqlock optimistic reads under transport faults.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
@@ -34,7 +36,7 @@ use simdht_kvs::memslap::{run_memslap_over, NetMemslapConfig};
 use simdht_kvs::net::TcpTransport;
 use simdht_kvs::protocol::{Request, Response};
 use simdht_kvs::reactor::ReactorServer;
-use simdht_kvs::store::{KvStore, StoreConfig};
+use simdht_kvs::store::{KvStore, ReadMode, StoreConfig};
 use simdht_kvs::transport::Transport;
 use simdht_workload::{KvWorkload, KvWorkloadSpec};
 
@@ -87,6 +89,16 @@ fn reactor_mode() -> bool {
     }
 }
 
+/// `READ_MODE` selects the store-side read path the whole fault matrix
+/// runs against: `locked` (default) or `optimistic`.
+fn read_mode() -> ReadMode {
+    match std::env::var("READ_MODE") {
+        Ok(s) => ReadMode::parse(&s)
+            .unwrap_or_else(|| panic!("READ_MODE={s}: expected locked | optimistic")),
+        Err(_) => ReadMode::Locked,
+    }
+}
+
 fn spawn_daemon(capacity: usize) -> (Daemon, Arc<KvStore>) {
     let store = Arc::new(KvStore::new(
         by_short_name("memc3", capacity).expect("known index"),
@@ -95,6 +107,7 @@ fn spawn_daemon(capacity: usize) -> (Daemon, Arc<KvStore>) {
             capacity_items: capacity,
             shards: 1,
             prefetch_depth: None,
+            read_mode: read_mode(),
         },
     ));
     let daemon = if reactor_mode() {
@@ -380,6 +393,7 @@ fn reactor_and_thread_servers_match_byte_for_byte() {
                 capacity_items: 64,
                 shards: 1,
                 prefetch_depth: None,
+                read_mode: read_mode(),
             },
         ));
         for i in 0..8usize {

@@ -128,6 +128,7 @@ fn store_with(which: &str, shards: usize, depth: usize, corpus: &Corpus) -> KvSt
             capacity_items: 4096,
             shards,
             prefetch_depth: Some(depth),
+            ..StoreConfig::default()
         },
         |cap| index::by_short_name(which, cap).expect("known index"),
     );

@@ -1,0 +1,366 @@
+//! Concurrent-reader torn-read oracle for the seqlock optimistic read
+//! path (DESIGN.md §11).
+//!
+//! N seeded writer threads churn a deliberately small, hot key set while
+//! M seeded reader threads hammer the same keys through `get` and the
+//! prefetched `mget` pipeline. Every stored value is **tagged and
+//! self-checksummed** (`key|seq|payload|fnv64`), so any torn read —
+//! a splice of two writes, a half-copied buffer, bytes from a recycled
+//! chunk — fails the checksum or the key tag with overwhelming
+//! probability. On top of that, a per-key `started`/`completed`
+//! sequencing log checks linearizability exactly like `shard_stress.rs`:
+//!
+//! * the observed sequence was actually started before the read returned,
+//! * it is at least as new as the last write completed before the read
+//!   began (replace deletes the older item under the shard write lock),
+//! * per reader, per key, sequences never go backwards,
+//! * a miss is only legal when nothing completed (or eviction is on).
+//!
+//! Every round runs in **both read modes**: `Locked` is the control,
+//! `Optimistic` is the subject under test — same oracle, no relaxation.
+//! Set the `READ_MODE` env var (`locked` | `optimistic`) to restrict the
+//! matrix to one mode; `SHARD_STRESS_SEEDS` scales the seeded
+//! repetitions (default 3; CI runs 100 in release mode).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use simdht_kvs::index::by_short_name;
+use simdht_kvs::store::{KvStore, MGetResponse, ReadMode, ShardStats, StoreConfig};
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+/// Small per-writer key set: high per-key write rates are what force
+/// readers into the seqlock retry/fallback windows.
+const KEYS_PER_WRITER: usize = 16;
+const OPS_PER_WRITER: usize = 600;
+const OPS_PER_READER: usize = 1200;
+/// Keys per reader Multi-Get batch (drives the G-ahead AMAC pipeline).
+const BATCH: usize = 8;
+
+fn n_seeds() -> u64 {
+    std::env::var("SHARD_STRESS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Which read modes this process exercises: both by default, or just the
+/// one `READ_MODE` names.
+fn modes() -> Vec<ReadMode> {
+    match std::env::var("READ_MODE") {
+        Ok(s) => vec![ReadMode::parse(&s)
+            .unwrap_or_else(|| panic!("READ_MODE={s}: expected locked | optimistic"))],
+        Err(_) => vec![ReadMode::Locked, ReadMode::Optimistic],
+    }
+}
+
+fn key_of(w: usize, i: usize) -> String {
+    format!("w{w:02}-k{i:02}")
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode `key|seq|payload|checksum`. The payload is a seq-derived run of
+/// one letter, `pay_len` bytes long; the checksum is FNV-64 over
+/// everything before it. A reader that ever sees bytes from two different
+/// writes (or another key's item) fails the checksum or the key tag.
+fn value_of(key: &str, seq: u64, pay_len: usize) -> Vec<u8> {
+    let letter = char::from(b'a' + (seq % 26) as u8);
+    let payload: String = std::iter::repeat_n(letter, pay_len).collect();
+    let body = format!("{key}|{seq}|{payload}");
+    let sum = fnv64(body.as_bytes());
+    format!("{body}|{sum:016x}").into_bytes()
+}
+
+/// Decode and verify a stress value read back under `key`; returns its
+/// sequence number. Panics on any internal inconsistency — that panic IS
+/// the torn-read oracle firing.
+fn parse_value(key: &str, value: &[u8]) -> u64 {
+    let s = std::str::from_utf8(value).expect("stress values are ascii");
+    let (body, sum_hex) = s.rsplit_once('|').expect("stress values end in |checksum");
+    let sum = u64::from_str_radix(sum_hex, 16).expect("checksum field parses");
+    assert_eq!(
+        sum,
+        fnv64(body.as_bytes()),
+        "{key}: TORN READ — checksum mismatch on {body:?}"
+    );
+    let mut parts = body.splitn(3, '|');
+    let k = parts.next().expect("key field");
+    assert_eq!(k, key, "SPLICED READ — value stored under the wrong key");
+    let seq: u64 = parts
+        .next()
+        .expect("seq field")
+        .parse()
+        .expect("sequence number parses");
+    let payload = parts.next().expect("payload field");
+    let letter = char::from(b'a' + (seq % 26) as u8);
+    assert!(
+        payload.chars().all(|c| c == letter),
+        "{key}: TORN READ — payload bytes disagree with seq {seq}"
+    );
+    seq
+}
+
+struct Logs {
+    started: Vec<Vec<AtomicU64>>,
+    completed: Vec<Vec<AtomicU64>>,
+}
+
+/// One reader's view of a single key observation, checked against the
+/// sequencing log and the reader's own monotonicity state.
+#[allow(clippy::too_many_arguments)]
+fn check_observation(
+    key: &str,
+    value: Option<&[u8]>,
+    floor: u64,
+    after: u64,
+    last_seen: &mut Option<u64>,
+    eviction_possible: bool,
+) {
+    match value {
+        Some(v) => {
+            let seq = parse_value(key, v);
+            assert!(
+                seq < after,
+                "{key}: read seq {seq} never started (started {after})"
+            );
+            assert!(
+                seq + 1 >= floor,
+                "{key}: read stale seq {seq}, {floor} writes had completed before the read"
+            );
+            if let Some(prev) = *last_seen {
+                assert!(
+                    seq >= prev,
+                    "{key}: per-key sequence went backwards ({prev} then {seq})"
+                );
+            }
+            *last_seen = Some(seq);
+        }
+        None => {
+            if !eviction_possible {
+                assert_eq!(floor, 0, "{key}: completed write lost without eviction");
+            }
+        }
+    }
+}
+
+/// Run one seeded round: writers churn, readers mix single-key `get`
+/// with `BATCH`-wide `mget` (prefetch depth 8), all against the store's
+/// currently configured read mode. Returns harness-counted sets.
+fn stress_round(store: &Arc<KvStore>, seed: u64, eviction_possible: bool, pay_len: usize) -> u64 {
+    let logs = Logs {
+        started: (0..WRITERS)
+            .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
+            .collect(),
+        completed: (0..WRITERS)
+            .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
+            .collect(),
+    };
+    let sets_issued = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let store = Arc::clone(store);
+            let logs = &logs;
+            let sets_issued = &sets_issued;
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64),
+                );
+                let mut next_seq = [0u64; KEYS_PER_WRITER];
+                for _ in 0..OPS_PER_WRITER {
+                    let i = rng.gen_range(0..KEYS_PER_WRITER);
+                    let key = key_of(w, i);
+                    let seq = next_seq[i];
+                    logs.started[w][i].store(seq + 1, Ordering::SeqCst);
+                    store
+                        .set(key.as_bytes(), &value_of(&key, seq, pay_len))
+                        .expect("stress writes fit the store");
+                    logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
+                    next_seq[i] = seq + 1;
+                    sets_issued.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for r in 0..READERS {
+            let store = Arc::clone(store);
+            let logs = &logs;
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed.wrapping_mul(0xD1B5_4A32_D192_ED03) ^ (0xBEEF + r as u64),
+                );
+                let mut resp = MGetResponse::new();
+                let mut last_seen = vec![vec![None::<u64>; KEYS_PER_WRITER]; WRITERS];
+                for op in 0..OPS_PER_READER {
+                    if op % 2 == 0 {
+                        // Single-key optimistic `get`.
+                        let w = rng.gen_range(0..WRITERS);
+                        let i = rng.gen_range(0..KEYS_PER_WRITER);
+                        let key = key_of(w, i);
+                        let floor = logs.completed[w][i].load(Ordering::SeqCst);
+                        let got = store.get(key.as_bytes());
+                        let after = logs.started[w][i].load(Ordering::SeqCst);
+                        check_observation(
+                            &key,
+                            got.as_deref(),
+                            floor,
+                            after,
+                            &mut last_seen[w][i],
+                            eviction_possible,
+                        );
+                    } else {
+                        // Prefetched Multi-Get across hot keys of every
+                        // writer; per-key log bounds still apply.
+                        let picks: Vec<(usize, usize)> = (0..BATCH)
+                            .map(|_| (rng.gen_range(0..WRITERS), rng.gen_range(0..KEYS_PER_WRITER)))
+                            .collect();
+                        let keys: Vec<String> = picks.iter().map(|&(w, i)| key_of(w, i)).collect();
+                        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+                        let floors: Vec<u64> = picks
+                            .iter()
+                            .map(|&(w, i)| logs.completed[w][i].load(Ordering::SeqCst))
+                            .collect();
+                        store.mget(&refs, &mut resp);
+                        for (j, &(w, i)) in picks.iter().enumerate() {
+                            let after = logs.started[w][i].load(Ordering::SeqCst);
+                            check_observation(
+                                &keys[j],
+                                resp.value(j),
+                                floors[j],
+                                after,
+                                &mut last_seen[w][i],
+                                eviction_possible,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesced: started == completed once every writer joined.
+    for (s_row, c_row) in logs.started.iter().zip(&logs.completed) {
+        for (i, s) in s_row.iter().enumerate() {
+            assert_eq!(
+                s.load(Ordering::SeqCst),
+                c_row[i].load(Ordering::SeqCst),
+                "writer did not drain"
+            );
+        }
+    }
+    sets_issued.load(Ordering::Relaxed)
+}
+
+fn check_conservation(store: &KvStore, sets_issued: u64) {
+    let totals = store.totals();
+    let mut summed = ShardStats::default();
+    for s in store.shard_stats() {
+        summed.add(&s);
+    }
+    assert_eq!(summed, totals, "sum over shards must equal global totals");
+    assert_eq!(totals.sets, sets_issued, "set counter conservation");
+    assert_eq!(totals.items, store.len(), "item counter conservation");
+}
+
+fn roomy_store(index: &str, mode: ReadMode) -> Arc<KvStore> {
+    let store = Arc::new(KvStore::with_shards(
+        StoreConfig {
+            memory_budget: 64 << 20,
+            capacity_items: 4 * WRITERS * KEYS_PER_WRITER,
+            shards: 4,
+            prefetch_depth: Some(8),
+            read_mode: mode,
+        },
+        |cap| by_short_name(index, cap).expect("known index"),
+    ));
+    assert!(
+        store.optimistic_capable(),
+        "{index}: stress matrix expects an optimistic-capable backend"
+    );
+    store
+}
+
+#[test]
+fn stress_torn_read_oracle_hot_keys() {
+    for seed in 0..n_seeds() {
+        for index in ["memc3", "ver", "dpdk"] {
+            for mode in modes() {
+                let store = roomy_store(index, mode);
+                let sets = stress_round(&store, seed, false, 40);
+                check_conservation(&store, sets);
+                assert_eq!(store.totals().evictions, 0, "budget was roomy");
+                if mode == ReadMode::Optimistic {
+                    let stats = store.optimistic_stats();
+                    assert!(
+                        stats.commits > 0,
+                        "{index}: optimistic path was never exercised"
+                    );
+                    assert!(stats.attempts >= stats.commits);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stress_torn_read_oracle_under_eviction_pressure() {
+    // Tight budget: CLOCK eviction and chunk recycling race the lock-free
+    // readers, so row-generation ABA protection and checksum validation
+    // carry the oracle. pay_len = 100_000 keeps every value in one big
+    // slab class (pages never migrate between classes) AND makes each
+    // shard's single 1 MiB floor page hold fewer chunks than the ~16 hot
+    // keys routed to it, so CLOCK must evict continuously.
+    for seed in 0..n_seeds() {
+        for mode in modes() {
+            let store = Arc::new(KvStore::with_shards(
+                StoreConfig {
+                    memory_budget: 4 << 20,
+                    capacity_items: WRITERS * KEYS_PER_WRITER,
+                    shards: 4,
+                    prefetch_depth: Some(8),
+                    read_mode: mode,
+                },
+                |cap| by_short_name("hor", cap).expect("known index"),
+            ));
+            let sets = stress_round(&store, seed, true, 100_000);
+            let totals = store.totals();
+            assert!(totals.evictions > 0, "tight budget must force evictions");
+            assert_eq!(totals.sets, sets, "set counter conservation");
+            let mut summed = ShardStats::default();
+            for s in store.shard_stats() {
+                summed.add(&s);
+            }
+            assert_eq!(summed, totals);
+            assert_eq!(totals.items, store.len());
+        }
+    }
+}
+
+#[test]
+fn stress_read_mode_flips_live() {
+    // Flipping the mode while readers and writers are in flight must be
+    // safe: the AtomicU8 is read per-operation, so both paths interleave.
+    let store = roomy_store("memc3", ReadMode::Locked);
+    std::thread::scope(|s| {
+        let flipper = Arc::clone(&store);
+        s.spawn(move || {
+            for round in 0..200 {
+                flipper.set_read_mode(if round % 2 == 0 {
+                    ReadMode::Optimistic
+                } else {
+                    ReadMode::Locked
+                });
+                std::thread::yield_now();
+            }
+        });
+        let _ = stress_round(&store, 42, false, 40);
+    });
+}

@@ -162,6 +162,7 @@ fn kvsd_answers_duplicate_keys_per_slot() {
             capacity_items: 64,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     ));
     store.set(b"hot-key", b"hot-value").expect("preload");

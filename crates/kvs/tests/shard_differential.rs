@@ -165,6 +165,7 @@ fn differential_run(which: &str, seed: u64) {
             capacity_items: capacity,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     );
     let mut base = Baseline::new(which, capacity, budget);

@@ -17,6 +17,7 @@ fn store_with(shards: usize) -> KvStore {
             capacity_items: 4096,
             shards,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         |cap| by_short_name("hor", cap).expect("known index"),
     )

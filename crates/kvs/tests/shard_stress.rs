@@ -253,6 +253,7 @@ fn roomy_store(shards: usize, index: &str) -> Arc<KvStore> {
             capacity_items: 4 * WRITERS * KEYS_PER_WRITER,
             shards,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         |cap| by_short_name(index, cap).expect("known index"),
     ))
@@ -303,6 +304,7 @@ fn stress_oracle_under_eviction_pressure() {
                 capacity_items: WRITERS * KEYS_PER_WRITER,
                 shards: 4,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
             |cap| by_short_name("hor", cap).expect("known index"),
         ));

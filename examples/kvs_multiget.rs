@@ -51,6 +51,7 @@ fn main() {
             capacity_items: ITEMS * 2,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         ..MemslapConfig::default()
     };

@@ -60,6 +60,7 @@ fn all_backends_answer_identically() {
         capacity_items: 8000,
         shards: 1,
         prefetch_depth: None,
+        ..StoreConfig::default()
     };
     let stores: Vec<KvStore> = indexes(8000)
         .into_iter()
@@ -98,6 +99,7 @@ fn memslap_full_pipeline_all_backends() {
             capacity_items: 5000,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
         ..MemslapConfig::default()
     };
@@ -133,6 +135,7 @@ fn store_concurrent_mixed_load() {
             capacity_items: 20_000,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     ));
     for i in 0..5000u32 {
@@ -180,6 +183,7 @@ fn updates_and_value_growth() {
                 capacity_items: 1000,
                 shards: 1,
                 prefetch_depth: None,
+                ..StoreConfig::default()
             },
         );
         for round in 0..5 {

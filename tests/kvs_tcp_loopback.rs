@@ -24,6 +24,7 @@ fn spawn_kvsd(index_name: &str, capacity: usize) -> Kvsd {
             capacity_items: capacity,
             shards: 1,
             prefetch_depth: None,
+            ..StoreConfig::default()
         },
     ));
     Kvsd::bind(store, "127.0.0.1:0").expect("bind ephemeral loopback port")
