@@ -15,7 +15,7 @@
 //!   counter bumped around writes; readers retry on a torn read, so the
 //!   read path pays two version loads per bucket exactly as MemC3 does.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use super::{HashIndex, IndexError};
 use crate::item::NO_ITEM;
@@ -35,9 +35,28 @@ const EMPTY_SLOT: Slot = Slot {
     item: NO_ITEM,
 };
 
+/// Pack a slot into the single `AtomicU64` word it is stored as:
+/// `[tag:8][item:32]`. One-word slots mean a racing reader can never see
+/// a tag paired with another entry's item id, and — because the store's
+/// optimistic path probes this index while a writer mutates it — they are
+/// what keeps those racy probes free of data races on non-atomic memory.
+#[inline(always)]
+fn pack(s: Slot) -> u64 {
+    ((s.tag as u64) << 32) | s.item as u64
+}
+
+#[inline(always)]
+fn unpack(w: u64) -> Slot {
+    Slot {
+        tag: (w >> 32) as u8,
+        item: w as u32,
+    }
+}
+
 /// The MemC3 (2,4) tag-based cuckoo index.
 pub struct Memc3Index {
-    slots: Vec<Slot>,
+    /// Packed slot words (see [`pack`]); all reads and writes are atomic.
+    slots: Vec<AtomicU64>,
     versions: Vec<AtomicU64>,
     mask: usize,
     len: usize,
@@ -59,7 +78,9 @@ impl Memc3Index {
         let needed_slots = ((capacity_items as f64 / 0.90).ceil() as usize).max(SLOTS);
         let buckets = (needed_slots / SLOTS + 1).next_power_of_two();
         Memc3Index {
-            slots: vec![EMPTY_SLOT; buckets * SLOTS],
+            slots: (0..buckets * SLOTS)
+                .map(|_| AtomicU64::new(pack(EMPTY_SLOT)))
+                .collect(),
             versions: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
             mask: buckets - 1,
             len: 0,
@@ -92,14 +113,20 @@ impl Memc3Index {
     }
 
     fn begin_write(&self, bucket: usize) {
-        self.versions[bucket].fetch_add(1, Ordering::Release);
+        // Seqlock write-begin: the odd bump must be visible before any
+        // slot store that follows (relaxed RMW + release fence, as in
+        // `seqlock::SeqCount::begin_write`).
+        self.versions[bucket].fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::Release);
     }
 
     fn end_write(&self, bucket: usize) {
         self.versions[bucket].fetch_add(1, Ordering::Release);
     }
 
-    /// Optimistic read of one bucket's slots.
+    /// Optimistic read of one bucket's slots. Slot words are atomic, so
+    /// each load is individually untorn; the version check additionally
+    /// yields a consistent snapshot of the whole bucket.
     fn read_bucket(&self, bucket: usize) -> [Slot; SLOTS] {
         loop {
             let v1 = self.versions[bucket].load(Ordering::Acquire);
@@ -108,8 +135,11 @@ impl Memc3Index {
                 continue;
             }
             let mut out = [EMPTY_SLOT; SLOTS];
-            out.copy_from_slice(&self.slots[bucket * SLOTS..bucket * SLOTS + SLOTS]);
-            let v2 = self.versions[bucket].load(Ordering::Acquire);
+            for (s, o) in out.iter_mut().enumerate() {
+                *o = unpack(self.slots[bucket * SLOTS + s].load(Ordering::Relaxed));
+            }
+            fence(Ordering::Acquire);
+            let v2 = self.versions[bucket].load(Ordering::Relaxed);
             if v1 == v2 {
                 return out;
             }
@@ -152,13 +182,20 @@ impl Memc3Index {
         simdht_simd::prefetch_read(&self.versions[b2]);
     }
 
+    /// Writer-side slot read (callers hold `&mut self` up the stack, so a
+    /// relaxed load is never racing another writer).
+    #[inline(always)]
+    fn slot(&self, idx: usize) -> Slot {
+        unpack(self.slots[idx].load(Ordering::Relaxed))
+    }
+
     fn find_slot(&self, hash: u32, item: u32) -> Option<usize> {
         let tag = Self::tag(hash);
         let b1 = self.bucket1(hash);
         let b2 = self.alt_bucket(b1, tag);
         for b in [b1, b2] {
             for s in 0..SLOTS {
-                let slot = self.slots[b * SLOTS + s];
+                let slot = self.slot(b * SLOTS + s);
                 if slot.tag == tag && slot.item == item && slot.item != NO_ITEM {
                     return Some(b * SLOTS + s);
                 }
@@ -173,13 +210,13 @@ impl Memc3Index {
     fn empty_in(&self, bucket: usize) -> Option<usize> {
         (0..SLOTS)
             .map(|s| bucket * SLOTS + s)
-            .find(|&i| self.slots[i].item == NO_ITEM)
+            .find(|&i| self.slot(i).item == NO_ITEM)
     }
 
     fn set_slot(&mut self, idx: usize, slot: Slot) {
         let bucket = idx / SLOTS;
         self.begin_write(bucket);
-        self.slots[idx] = slot;
+        self.slots[idx].store(pack(slot), Ordering::Relaxed);
         self.end_write(bucket);
     }
 
@@ -204,7 +241,7 @@ impl Memc3Index {
         }
         let mut head = 0;
         while head < nodes.len() && nodes.len() < MAX_BFS_NODES {
-            let occupant = self.slots[nodes[head].idx];
+            let occupant = self.slot(nodes[head].idx);
             debug_assert_ne!(occupant.item, NO_ITEM);
             let cur_bucket = nodes[head].idx / SLOTS;
             let alt = self.alt_bucket(cur_bucket, occupant.tag);
@@ -258,7 +295,7 @@ impl HashIndex for Memc3Index {
         }
         let path = self.find_path(b1, b2).ok_or(IndexError::Full)?;
         for w in (1..path.len()).rev() {
-            let moved = self.slots[path[w - 1]];
+            let moved = self.slot(path[w - 1]);
             self.set_slot(path[w], moved);
         }
         self.set_slot(path[0], Slot { tag, item });
@@ -313,9 +350,10 @@ impl HashIndex for Memc3Index {
         }
     }
 
-    // Probes touch only `slots`/`versions`, both fixed-capacity arrays
-    // sized at construction (cuckoo relocations move entries between
-    // slots, never the arrays) — safe for racy seqlock reads.
+    // Probes touch only `slots`/`versions`, both fixed-capacity arrays of
+    // atomic words sized at construction (cuckoo relocations move entries
+    // between slots, never the arrays) — racy seqlock probes dereference
+    // nothing non-atomic and nothing a writer could free.
     fn optimistic_probe_safe(&self) -> bool {
         true
     }

@@ -8,9 +8,11 @@
 //!
 //! * layout: (2,8) BCHT, partial-key cuckoo relocation (alternate bucket
 //!   derived from the signature, as in MemC3/DPDK);
-//! * storage: split arrays — `sigs[bucket * 8 ..]` contiguous bytes,
-//!   `items[bucket * 8 ..]` 32-bit ids — so the signature block is exactly
-//!   one 64-bit SSE lane;
+//! * storage: split arrays — one packed `AtomicU64` signature word per
+//!   bucket (slot `s` at bits `8·s`, i.e. little-endian byte `s`) and
+//!   `AtomicU32` item ids — so the signature block is exactly one 64-bit
+//!   SSE lane *and* every word the store's racy optimistic probes touch is
+//!   atomic;
 //! * probe: splat the signature, one `pcmpeqb` + movemask over the bucket,
 //!   verify candidates through the store's full-key check (signatures are
 //!   8-bit, so false positives are expected and harmless).
@@ -20,33 +22,35 @@
 //! is the middle point — SIMD acceleration *without* widening the stored
 //! key.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
 use super::{HashIndex, IndexError};
 use crate::item::NO_ITEM;
 
 const SLOTS: usize = 8;
 const MAX_BFS_NODES: usize = 2048;
 
-/// Match mask over one bucket's 8 contiguous signatures.
+/// Match mask over one bucket's packed signature word (slot `s` occupies
+/// bits `8·s`, the little-endian byte `s`).
 ///
-/// SSE2 path: load the 8 bytes into the low half of an XMM register,
-/// byte-compare against the splatted signature, movemask. Portable path:
-/// byte loop.
+/// SSE2 path: move the word into the low half of an XMM register,
+/// byte-compare against the splatted signature, movemask (register byte
+/// `i` is bits `8·i`, so mask bit `i` is slot `i`). Portable path: byte
+/// loop over the word.
 #[inline(always)]
-fn match_sigs8(sigs: &[u8], sig: u8) -> u32 {
-    debug_assert!(sigs.len() >= SLOTS);
+fn match_sigs8(word: u64, sig: u8) -> u32 {
     #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
-    // SAFETY: sse2 is guaranteed by the cfg gate; the 8-byte load is within
-    // `sigs` per the debug assertion (and the caller's bucket geometry).
+    // SAFETY: sse2 is guaranteed by the cfg gate; register-only ops.
     unsafe {
         use core::arch::x86_64::*;
-        let v = _mm_loadl_epi64(sigs.as_ptr().cast());
+        let v = _mm_cvtsi64_si128(word as i64);
         let eq = _mm_cmpeq_epi8(v, _mm_set1_epi8(sig as i8));
         (_mm_movemask_epi8(eq) as u32) & 0xFF
     }
     #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
     {
         let mut m = 0u32;
-        for (i, &b) in sigs.iter().take(SLOTS).enumerate() {
+        for (i, &b) in word.to_le_bytes().iter().enumerate() {
             m |= u32::from(b == sig) << i;
         }
         m
@@ -55,8 +59,10 @@ fn match_sigs8(sigs: &[u8], sig: u8) -> u32 {
 
 /// The (2,8) signature-SIMD cuckoo index (DPDK `rte_hash` / Cuckoo++ style).
 pub struct TagSimdIndex {
-    sigs: Vec<u8>,
-    items: Vec<u32>,
+    /// One packed signature word per bucket; atomic because the store's
+    /// optimistic read path probes these while a writer mutates them.
+    sigs: Vec<AtomicU64>,
+    items: Vec<AtomicU32>,
     mask: usize,
     len: usize,
 }
@@ -77,8 +83,10 @@ impl TagSimdIndex {
         let needed_slots = ((capacity_items as f64 / 0.95).ceil() as usize).max(SLOTS);
         let buckets = (needed_slots / SLOTS + 1).next_power_of_two();
         TagSimdIndex {
-            sigs: vec![0; buckets * SLOTS],
-            items: vec![NO_ITEM; buckets * SLOTS],
+            sigs: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            items: (0..buckets * SLOTS)
+                .map(|_| AtomicU32::new(NO_ITEM))
+                .collect(),
             mask: buckets - 1,
             len: 0,
         }
@@ -104,16 +112,42 @@ impl TagSimdIndex {
         (bucket ^ ((sig as usize).wrapping_mul(0x5bd1_e995))) & self.mask
     }
 
+    /// Signature of slot `idx` (read from its bucket's packed word).
+    #[inline(always)]
+    fn sig_of(&self, idx: usize) -> u8 {
+        let word = self.sigs[idx / SLOTS].load(Ordering::Relaxed);
+        (word >> (8 * (idx % SLOTS))) as u8
+    }
+
+    /// Item id stored in slot `idx`.
+    #[inline(always)]
+    fn item_of(&self, idx: usize) -> u32 {
+        self.items[idx].load(Ordering::Relaxed)
+    }
+
+    /// Overwrite slot `idx` with `(sig, item)`. Requires `&mut self`, so
+    /// the relaxed read-modify-write of the shared signature word never
+    /// races another writer; racy readers see each word change atomically.
+    fn write_entry(&mut self, idx: usize, sig: u8, item: u32) {
+        let shift = 8 * (idx % SLOTS);
+        let word = self.sigs[idx / SLOTS].load(Ordering::Relaxed);
+        self.sigs[idx / SLOTS].store(
+            (word & !(0xFFu64 << shift)) | ((sig as u64) << shift),
+            Ordering::Relaxed,
+        );
+        self.items[idx].store(item, Ordering::Relaxed);
+    }
+
     /// SIMD probe of one bucket; candidates are slots whose signature
     /// matches *and* are occupied.
     #[inline(always)]
     fn probe_bucket(&self, bucket: usize, sig: u8) -> u32 {
         let base = bucket * SLOTS;
-        let mut m = match_sigs8(&self.sigs[base..], sig);
+        let mut m = match_sigs8(self.sigs[bucket].load(Ordering::Relaxed), sig);
         // Mask out empty slots (their stale signatures may match).
         let mut occ = 0u32;
         for s in 0..SLOTS {
-            occ |= u32::from(self.items[base + s] != NO_ITEM) << s;
+            occ |= u32::from(self.items[base + s].load(Ordering::Relaxed) != NO_ITEM) << s;
         }
         m &= occ;
         m
@@ -129,7 +163,7 @@ impl TagSimdIndex {
         for b in [b1, b2] {
             let m = self.probe_bucket(b, sig);
             if m != 0 {
-                return self.items[b * SLOTS + m.trailing_zeros() as usize];
+                return self.item_of(b * SLOTS + m.trailing_zeros() as usize);
             }
             if b1 == b2 {
                 break;
@@ -146,9 +180,9 @@ impl TagSimdIndex {
         let sig = Self::sig(hash);
         let b1 = self.bucket1(hash);
         let b2 = self.alt_bucket(b1, sig);
-        simdht_simd::prefetch_read(&self.sigs[b1 * SLOTS]);
+        simdht_simd::prefetch_read(&self.sigs[b1]);
         simdht_simd::prefetch_read(&self.items[b1 * SLOTS]);
-        simdht_simd::prefetch_read(&self.sigs[b2 * SLOTS]);
+        simdht_simd::prefetch_read(&self.sigs[b2]);
         simdht_simd::prefetch_read(&self.items[b2 * SLOTS]);
     }
 
@@ -160,7 +194,7 @@ impl TagSimdIndex {
             let mut m = self.probe_bucket(b, sig);
             while m != 0 {
                 let slot = b * SLOTS + m.trailing_zeros() as usize;
-                if self.items[slot] == item {
+                if self.item_of(slot) == item {
                     return Some(slot);
                 }
                 m &= m - 1;
@@ -175,7 +209,7 @@ impl TagSimdIndex {
     fn empty_in(&self, bucket: usize) -> Option<usize> {
         (0..SLOTS)
             .map(|s| bucket * SLOTS + s)
-            .find(|&i| self.items[i] == NO_ITEM)
+            .find(|&i| self.item_of(i) == NO_ITEM)
     }
 
     fn find_path(&self, b1: usize, b2: usize) -> Option<Vec<usize>> {
@@ -198,9 +232,9 @@ impl TagSimdIndex {
         let mut head = 0;
         while head < nodes.len() && nodes.len() < MAX_BFS_NODES {
             let idx = nodes[head].idx;
-            debug_assert_ne!(self.items[idx], NO_ITEM);
+            debug_assert_ne!(self.item_of(idx), NO_ITEM);
             let cur_bucket = idx / SLOTS;
-            let alt = self.alt_bucket(cur_bucket, self.sigs[idx]);
+            let alt = self.alt_bucket(cur_bucket, self.sig_of(idx));
             if seen.insert(alt) {
                 if let Some(free) = self.empty_in(alt) {
                     let mut path = vec![free];
@@ -238,14 +272,12 @@ impl HashIndex for TagSimdIndex {
         let b1 = self.bucket1(hash);
         let b2 = self.alt_bucket(b1, sig);
         if let Some(slot) = self.find_slot(hash, item) {
-            self.sigs[slot] = sig;
-            self.items[slot] = item;
+            self.write_entry(slot, sig, item);
             return Ok(());
         }
         for b in [b1, b2] {
             if let Some(slot) = self.empty_in(b) {
-                self.sigs[slot] = sig;
-                self.items[slot] = item;
+                self.write_entry(slot, sig, item);
                 self.len += 1;
                 return Ok(());
             }
@@ -253,18 +285,17 @@ impl HashIndex for TagSimdIndex {
         let path = self.find_path(b1, b2).ok_or(IndexError::Full)?;
         for w in (1..path.len()).rev() {
             let from = path[w - 1];
-            self.sigs[path[w]] = self.sigs[from];
-            self.items[path[w]] = self.items[from];
+            let (s, it) = (self.sig_of(from), self.item_of(from));
+            self.write_entry(path[w], s, it);
         }
-        self.sigs[path[0]] = sig;
-        self.items[path[0]] = item;
+        self.write_entry(path[0], sig, item);
         self.len += 1;
         Ok(())
     }
 
     fn remove(&mut self, hash: u32, item: u32) {
         if let Some(slot) = self.find_slot(hash, item) {
-            self.items[slot] = NO_ITEM;
+            self.items[slot].store(NO_ITEM, Ordering::Relaxed);
             self.len -= 1;
         }
     }
@@ -300,7 +331,7 @@ impl HashIndex for TagSimdIndex {
         for b in [b1, b2] {
             let mut m = self.probe_bucket(b, sig);
             while m != 0 {
-                out.push(self.items[b * SLOTS + m.trailing_zeros() as usize]);
+                out.push(self.item_of(b * SLOTS + m.trailing_zeros() as usize));
                 m &= m - 1;
             }
             if b1 == b2 {
@@ -309,8 +340,10 @@ impl HashIndex for TagSimdIndex {
         }
     }
 
-    // Probes touch only the split `sigs`/`items` arrays, fixed-capacity
-    // since construction — safe for racy seqlock reads.
+    // Probes touch only the split `sigs`/`items` arrays — fixed-capacity
+    // since construction and made of atomic words — so racy seqlock
+    // probes dereference nothing non-atomic and nothing a writer could
+    // free.
     fn optimistic_probe_safe(&self) -> bool {
         true
     }
@@ -327,10 +360,11 @@ mod tests {
 
     #[test]
     fn sig_matcher_semantics() {
-        let sigs = [9u8, 3, 9, 0, 9, 9, 1, 2];
-        assert_eq!(match_sigs8(&sigs, 9), 0b0011_0101);
-        assert_eq!(match_sigs8(&sigs, 7), 0);
-        assert_eq!(match_sigs8(&sigs, 2), 0b1000_0000);
+        // Slot s is little-endian byte s of the packed word.
+        let word = u64::from_le_bytes([9u8, 3, 9, 0, 9, 9, 1, 2]);
+        assert_eq!(match_sigs8(word, 9), 0b0011_0101);
+        assert_eq!(match_sigs8(word, 7), 0);
+        assert_eq!(match_sigs8(word, 2), 0b1000_0000);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!
 //! Writers publish a row with a Release store after the chunk bytes are
 //! fully written; optimistic readers load it with Acquire, copy the chunk,
-//! then [`ItemTable::revalidate`] that the word is unchanged. The 15-bit
+//! then [`ItemTable::revalidate`] that the word is unchanged.
+//! [`ItemTable::unregister`] additionally follows its invalidating store
+//! with a `fence(Release)` so the chunk rewrites that follow recycling can
+//! never become visible ahead of the invalidation. The 15-bit
 //! generation is bumped on every `unregister`, so a recycled id (same
 //! class+chunk reused for a different key) can't pass re-validation — an
 //! ABA would need 32 768 register/unregister pairs inside one reader's
@@ -95,6 +98,32 @@ pub fn item_decode_checked(chunk: &[u8]) -> Option<(&[u8], &[u8])> {
         return None;
     }
     Some((&chunk[HEADER_BYTES..key_end], &chunk[key_end..val_end]))
+}
+
+/// Racy copy-out of an item for the optimistic read path: volatile-copies
+/// the header from chunk `r`, sizes the full item from it, then
+/// volatile-copies `header + key + value` into `buf`. Returns `false`
+/// when the chunk is not visibly allocated or a torn header claims more
+/// bytes than the chunk holds; the caller's row re-validation rejects any
+/// copy that raced a writer. On success `buf` holds a private,
+/// non-racing byte image that [`item_decode_checked`] can parse.
+#[inline]
+pub fn read_item_racy(slab: &SlabAllocator, r: SlabRef, buf: &mut Vec<u8>) -> bool {
+    if !slab.chunk_racy_read(r, HEADER_BYTES, buf) {
+        return false;
+    }
+    let klen = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let vlen = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+    let Some(total) = HEADER_BYTES
+        .checked_add(klen)
+        .and_then(|n| n.checked_add(vlen))
+    else {
+        return false;
+    };
+    // The second copy re-reads the header; if it tore in between, the
+    // copy is still a plain byte image whose decode is bounds-checked,
+    // and the row word will have changed, so revalidation rejects it.
+    slab.chunk_racy_read(r, total, buf)
 }
 
 /// The shared object-pointer array: item id (32-bit, what the hash index
@@ -206,6 +235,17 @@ impl ItemTable {
         let r = decode_row(word)?;
         let gen = ((word >> GEN_SHIFT) + 1) & GEN_MASK;
         row.store(gen << GEN_SHIFT, Ordering::Release);
+        // Order the dead-word store *before* any later store by this
+        // thread — in particular the rewrite of the freed chunk's bytes
+        // when the free list hands it straight back out (a same-shard
+        // replace does exactly that). A Release store alone only orders
+        // *earlier* accesses before itself; without this fence a
+        // weakly-ordered CPU could make the recycled chunk's new bytes
+        // visible while the old live row word still reads back unchanged,
+        // letting a reader commit a spliced old/new copy through
+        // [`ItemTable::revalidate`]. Pairs with the `Acquire` fence in
+        // `revalidate` (fence-to-fence synchronization).
+        fence(Ordering::Release);
         self.free.push(id);
         self.live -= 1;
         Some(r)
@@ -262,6 +302,20 @@ mod tests {
         bogus[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(item_decode_checked(&bogus).is_none());
         assert!(item_decode_checked(&bogus[..3]).is_none());
+    }
+
+    #[test]
+    fn read_item_racy_matches_owner_path() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let r = write_item(&mut slab, b"racy-key", b"racy-value-bytes").unwrap();
+        let mut buf = Vec::new();
+        assert!(read_item_racy(&slab, r, &mut buf));
+        let (k, v) = item_decode_checked(&buf).unwrap();
+        assert_eq!(k, b"racy-key");
+        assert_eq!(v, b"racy-value-bytes");
+        // A never-allocated chunk resolves to false, not UB.
+        let bogus = SlabRef::from_parts(0, u32::MAX / 2);
+        assert!(!read_item_racy(&slab, bogus, &mut buf));
     }
 
     #[test]

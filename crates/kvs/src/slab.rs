@@ -15,10 +15,12 @@
 //! item-table row to a chunk and copies its bytes while a writer may
 //! concurrently grow the class; with `Vec`-backed storage the growth
 //! `realloc` would leave the reader's pointer dangling, a fault no version
-//! re-check can undo. Readers reach chunk bytes through
-//! [`SlabAllocator::chunk_racy`], which loads the page pointer atomically
-//! and can observe torn *contents* (detected by the row re-check) but
-//! never a torn *address*.
+//! re-check can undo. Readers copy chunk bytes out through
+//! [`SlabAllocator::chunk_racy_read`], which loads the page pointer
+//! atomically and then copies with **volatile** reads — never forming a
+//! `&[u8]` over memory a writer may be rewriting — so a racing recycle can
+//! tear the copied *contents* (detected by the row re-check) but the copy
+//! itself stays on defined, never-moving *addresses*.
 
 use std::fmt;
 use std::sync::atomic::{AtomicPtr, Ordering};
@@ -29,6 +31,33 @@ pub const GROWTH_FACTOR: f64 = 1.25;
 pub const MIN_CHUNK: usize = 64;
 /// Slab page size in bytes.
 pub const PAGE_BYTES: usize = 1 << 20;
+
+/// Copy `dst.len()` bytes from `src` using only volatile loads, so the
+/// compiler can neither elide, widen, nor reorder the reads even though
+/// another thread may be storing to the same bytes. Reads are widened to
+/// `u64` only where the *source* address is 8-aligned (pages are plain
+/// `Box<[u8]>`, so byte-granularity head/tail handling is required).
+///
+/// # Safety
+///
+/// `src..src + dst.len()` must lie inside a single live allocation.
+unsafe fn volatile_copy(src: *const u8, dst: &mut [u8]) {
+    let len = dst.len();
+    let mut i = 0;
+    while i < len && (src as usize + i) & 7 != 0 {
+        dst[i] = std::ptr::read_volatile(src.add(i));
+        i += 1;
+    }
+    while i + 8 <= len {
+        let w = std::ptr::read_volatile(src.add(i) as *const u64);
+        dst[i..i + 8].copy_from_slice(&w.to_ne_bytes());
+        i += 8;
+    }
+    while i < len {
+        dst[i] = std::ptr::read_volatile(src.add(i));
+        i += 1;
+    }
+}
 
 /// A reference to an allocated chunk: `(class, chunk index within class)`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -245,20 +274,38 @@ impl SlabAllocator {
         unsafe { std::slice::from_raw_parts(ptr.add(off), c.chunk_size) }
     }
 
-    /// Racy read access for the optimistic path: resolves the chunk through
-    /// an atomic page-table load, returning `None` if the page is not
+    /// Racy copy-out for the optimistic path: resolves the chunk through
+    /// an atomic page-table load and copies its first `len` bytes into
+    /// `buf` with volatile reads. Returns `false` if the page is not
     /// visibly allocated (a reader racing the very first write into a
-    /// fresh page). The returned bytes may be concurrently rewritten if
-    /// the chunk is freed and recycled mid-read — the caller detects that
-    /// by re-checking the item-table row word after copying (DESIGN.md
-    /// §11) — but the *slice itself* stays valid for the allocator's
-    /// lifetime.
-    #[inline(always)]
-    pub fn chunk_racy(&self, r: SlabRef) -> Option<&[u8]> {
-        let c = self.classes.get(r.class as usize)?;
-        let (ptr, off) = c.chunk_addr(r.chunk, Ordering::Acquire)?;
-        // SAFETY: as in `chunk`; pages never free before drop.
-        Some(unsafe { std::slice::from_raw_parts(ptr.add(off), c.chunk_size) })
+    /// fresh page) or `len` exceeds the chunk size (a torn item header
+    /// claimed an impossible length).
+    ///
+    /// The source bytes may be concurrently rewritten if the chunk is
+    /// freed and recycled mid-copy — the caller detects that by
+    /// re-checking the item-table row word after the copy (DESIGN.md §11).
+    /// Crucially, no `&[u8]` is ever formed over the racing memory: each
+    /// byte travels through a volatile load (word-at-a-time where the
+    /// source is 8-aligned), the crossbeam-seqlock discipline for reading
+    /// data a validation step will later prove untorn.
+    pub fn chunk_racy_read(&self, r: SlabRef, len: usize, buf: &mut Vec<u8>) -> bool {
+        let Some(c) = self.classes.get(r.class as usize) else {
+            return false;
+        };
+        if len > c.chunk_size {
+            return false;
+        }
+        let Some((ptr, off)) = c.chunk_addr(r.chunk, Ordering::Acquire) else {
+            return false;
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        // SAFETY: in-bounds of a live page (pages never free before drop;
+        // `off + chunk_size <= PAGE_BYTES` by the floor geometry), and
+        // every read is volatile so a racing writer can tear contents but
+        // not invoke data-race UB through a reference.
+        unsafe { volatile_copy(ptr.add(off), buf) };
+        true
     }
 
     /// Request the leading cache line of chunk `r` ahead of a future
@@ -405,15 +452,24 @@ mod tests {
     }
 
     #[test]
-    fn chunk_racy_matches_chunk() {
+    fn chunk_racy_read_matches_chunk() {
         let mut slab = SlabAllocator::new(2 << 20);
         let r = slab.alloc(200).unwrap();
         slab.chunk_mut(r)[..3].copy_from_slice(b"abc");
-        assert_eq!(slab.chunk_racy(r).unwrap(), slab.chunk(r));
-        // Out-of-range refs resolve to None, not UB.
+        let full = slab.chunk(r).len();
+        let mut buf = Vec::new();
+        // Every prefix length exercises the unaligned head / word middle /
+        // byte tail cases of the volatile copy.
+        for len in [0, 1, 3, 7, 8, 9, 63, full] {
+            assert!(slab.chunk_racy_read(r, len, &mut buf), "len {len}");
+            assert_eq!(&buf[..], &slab.chunk(r)[..len], "len {len}");
+        }
+        // Lengths beyond the chunk (torn headers) and out-of-range refs
+        // resolve to false, not UB.
+        assert!(!slab.chunk_racy_read(r, full + 1, &mut buf));
         let bogus = SlabRef::from_parts(r.class(), u32::MAX / 2);
-        assert!(slab.chunk_racy(bogus).is_none());
+        assert!(!slab.chunk_racy_read(bogus, 8, &mut buf));
         let bogus_class = SlabRef::from_parts(u16::MAX, 0);
-        assert!(slab.chunk_racy(bogus_class).is_none());
+        assert!(!slab.chunk_racy_read(bogus_class, 8, &mut buf));
     }
 }

@@ -33,6 +33,7 @@
 //! from the store itself.
 
 use std::cell::UnsafeCell;
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -42,7 +43,8 @@ use parking_lot::RwLock;
 use crate::clock::Clock;
 use crate::index::{hash_key, hash_keys_into, HashIndex, IndexError};
 use crate::item::{
-    decode_row, item_decode_checked, item_key, item_value, write_item, ItemTable, NO_ITEM,
+    decode_row, item_decode_checked, item_key, item_value, read_item_racy, write_item, ItemTable,
+    NO_ITEM,
 };
 use crate::seqlock::{SeqCount, SeqWriteGuard};
 use crate::slab::{SlabAllocator, SlabError, SlabRef};
@@ -209,6 +211,7 @@ pub struct MGetResponse {
     sub_hashes: Vec<u32>,
     refs: Vec<Option<SlabRef>>,
     words: Vec<u64>,
+    chunk_buf: Vec<u8>,
     reorder: Vec<u8>,
 }
 
@@ -476,8 +479,9 @@ const _: () = {
 /// *without* touching the lock word (the whole point of DESIGN.md §11 —
 /// no shared-state writes on reads). The lock still carries exactly the
 /// old access discipline via [`ShardSlot::read`]/[`ShardSlot::write`];
-/// [`ShardSlot::racy`] is the one doorway around it and is only sound
-/// under the seqlock protocol.
+/// [`ShardSlot::racy`] is the one doorway around it, handing out a
+/// [`RacyShard`] whose accessors are only trustworthy under the seqlock
+/// validation protocol.
 struct ShardSlot {
     /// Even/odd shard version: odd while a writer holds the write lock.
     seq: SeqCount,
@@ -489,8 +493,9 @@ struct ShardSlot {
 // SAFETY: `ShardSlot` recreates what `RwLock<Shard>` was (Shard is
 // Send + Sync, proven above): all `&mut Shard` access goes through the
 // write lock, all `&Shard` access through the read lock — except
-// `racy()`, whose callers follow the seqlock validation protocol and
-// only dereference storage that is stable and atomic-or-validated.
+// `racy()`, whose `RacyShard` reads racing memory only through atomic
+// or volatile loads and whose callers follow the seqlock validation
+// protocol before trusting any of it.
 unsafe impl Send for ShardSlot {}
 unsafe impl Sync for ShardSlot {}
 
@@ -511,19 +516,30 @@ struct ShardWriteGuard<'a> {
     // the write lock is still held (readers never see even + mid-mutation).
     _seq: SeqWriteGuard<'a>,
     _g: parking_lot::RwLockWriteGuard<'a, ()>,
-    shard: &'a mut Shard,
+    // A raw pointer, not `&'a mut Shard`: optimistic readers racily load
+    // atomic/volatile words from the same shard while this guard is live,
+    // and a live `&mut` would assert exclusivity over the whole `Shard`
+    // for the guard's entire lifetime. Each deref materializes a
+    // reference only for that call, mirroring [`RacyShard`] on the
+    // reader side (crossbeam-seqlock discipline).
+    shard: *mut Shard,
+    _marker: PhantomData<&'a mut Shard>,
 }
 
 impl Deref for ShardWriteGuard<'_> {
     type Target = Shard;
     fn deref(&self) -> &Shard {
-        self.shard
+        // SAFETY: the exclusive lock (held for `'a`) keeps every other
+        // lock holder out, so no `&mut` aliases this reference.
+        unsafe { &*self.shard }
     }
 }
 
 impl DerefMut for ShardWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut Shard {
-        self.shard
+        // SAFETY: as above; `&mut self` keeps this guard from handing out
+        // an overlapping `&Shard` of its own.
+        unsafe { &mut *self.shard }
     }
 }
 
@@ -544,27 +560,116 @@ impl ShardSlot {
     fn write(&self) -> ShardWriteGuard<'_> {
         let g = self.lock.write();
         let seq = self.seq.begin_write();
-        // SAFETY: the exclusive lock excludes all other lock holders;
-        // optimistic readers may still race, but only through `racy()`
-        // under the seqlock protocol.
         ShardWriteGuard {
             _seq: seq,
             _g: g,
-            shard: unsafe { &mut *self.shard.get() },
+            shard: self.shard.get(),
+            _marker: PhantomData,
         }
     }
 
-    /// Lock-free access for the optimistic read protocol.
-    ///
-    /// # Safety
-    ///
-    /// The caller may race a writer holding [`ShardSlot::write`]. It must
-    /// only perform reads that are torn-tolerant — fixed-capacity index
-    /// storage ([`HashIndex::optimistic_probe_safe`]), atomic item rows,
-    /// stable slab pages, the atomic CLOCK bitmap — and must validate
-    /// every conclusion against `seq` or a row word before acting on it.
-    unsafe fn racy(&self) -> &Shard {
-        &*self.shard.get()
+    /// Lock-free view for the optimistic read protocol. Safe to obtain —
+    /// all the unsafety lives inside [`RacyShard`]'s narrow accessors,
+    /// each of which reads racing memory only through atomic or volatile
+    /// loads. Callers must still validate every conclusion against `seq`
+    /// or a row word before acting on it (the seqlock protocol).
+    fn racy(&self) -> RacyShard<'_> {
+        RacyShard {
+            shard: self.shard.get(),
+            _slot: PhantomData,
+        }
+    }
+}
+
+/// A lock-free, by-value handle to a shard for optimistic readers.
+///
+/// Deliberately *not* `&Shard`: a shared reference would claim the whole
+/// shard immutable while a writer holding [`ShardSlot::write`] mutates it
+/// — a data race and `&`/`&mut` aliasing violation even if the read
+/// results are later discarded. Instead this wraps the raw pointer and
+/// exposes only the handful of operations the optimistic protocol needs;
+/// each materializes the narrowest reference for the duration of one call,
+/// and every byte those calls read from memory a writer may be rewriting
+/// travels through an atomic load ([`HashIndex::lookup_batch_optimistic`]
+/// on an [`HashIndex::optimistic_probe_safe`] index, [`ItemTable`] row
+/// words, CLOCK bits) or a volatile copy (slab chunk bytes via
+/// [`read_item_racy`]) — the same de-facto-tolerated discipline as
+/// crossbeam's seqlock. None of these reads are torn-proof; the caller's
+/// seq/row-word validation is what turns them into trustworthy results.
+#[derive(Copy, Clone)]
+struct RacyShard<'a> {
+    shard: *const Shard,
+    _slot: PhantomData<&'a ShardSlot>,
+}
+
+impl RacyShard<'_> {
+    /// Racy batched index probe (atomic loads only; see
+    /// [`HashIndex::lookup_batch_optimistic`]).
+    #[inline(always)]
+    fn lookup(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
+        // SAFETY: the reference lives for this call only; the probe reads
+        // index storage exclusively through atomic loads per the
+        // `optimistic_probe_safe` contract.
+        let index = unsafe { &*(*self.shard).index };
+        index.lookup_batch_optimistic(hashes, out, depth);
+    }
+
+    /// Atomic item-row word load ([`ItemTable::load_row`]).
+    #[inline(always)]
+    fn load_row(&self, item: u32) -> u64 {
+        // SAFETY: call-scoped reference; row words live in a stable
+        // `AtomicSegArray` and are only read atomically.
+        unsafe { (*self.shard).items.load_row(item) }
+    }
+
+    /// Row-word revalidation ([`ItemTable::revalidate`]).
+    #[inline(always)]
+    fn revalidate(&self, item: u32, word: u64) -> bool {
+        // SAFETY: as `load_row`.
+        unsafe { (*self.shard).items.revalidate(item, word) }
+    }
+
+    /// Prefetch an item row's cache line ([`ItemTable::prefetch`]).
+    #[inline(always)]
+    fn prefetch_row(&self, item: u32) {
+        // SAFETY: as `load_row`; a prefetch hint reads nothing.
+        unsafe { (*self.shard).items.prefetch(item) }
+    }
+
+    /// Volatile copy-out of an item's leading bytes
+    /// ([`read_item_racy`]); `false` if `r` is bogus (torn row read).
+    #[inline(always)]
+    fn read_item(&self, r: SlabRef, buf: &mut Vec<u8>) -> bool {
+        // SAFETY: call-scoped reference; chunk bytes are copied with
+        // volatile loads from pages that are never freed or moved.
+        unsafe { read_item_racy(&(*self.shard).slab, r, buf) }
+    }
+
+    /// Atomic CLOCK touch ([`Clock::touch`]) — the one shared-state write
+    /// the optimistic path performs.
+    #[inline(always)]
+    fn touch(&self, item: u32) {
+        // SAFETY: call-scoped reference; the bitmap is atomic and stable.
+        unsafe { (*self.shard).clock.touch(item) }
+    }
+
+    /// Optimistic AMAC stage 2: load candidate `cand`'s row word (its
+    /// line made warm by an earlier [`RacyShard::prefetch_row`]) and
+    /// request the chunk's leading cache line, so the full-key compare
+    /// `G` iterations later reads a warm line. The racy counterpart of
+    /// [`Shard::resolve_and_prefetch`].
+    #[inline(always)]
+    fn stage_word(&self, cand: u32) -> u64 {
+        if cand == NO_ITEM {
+            return 0;
+        }
+        let word = self.load_row(cand);
+        if let Some(r) = decode_row(word) {
+            // SAFETY: call-scoped reference; a prefetch hint reads
+            // nothing, and chunk addresses come from stable metadata.
+            unsafe { (*self.shard).slab.prefetch(r) };
+        }
+        word
     }
 }
 
@@ -715,11 +820,17 @@ impl KvStore {
         }
     }
 
-    /// Change the reader synchronization mode at runtime. Purely a
-    /// performance knob — results are identical in both modes (proved by
-    /// `tests/read_mode_differential.rs`); the `kvs-readscale-sweep`
-    /// experiment uses this to compare the two paths on one populated
-    /// store.
+    /// Change the reader synchronization mode at runtime; the
+    /// `kvs-readscale-sweep` experiment uses this to compare the two
+    /// paths on one populated store.
+    ///
+    /// On a quiescent store the two modes return byte-identical results
+    /// (proved by `tests/read_mode_differential.rs`). Under concurrent
+    /// writers they differ in one visible way: each key a batched `mget`
+    /// returns is still individually linearizable, but an optimistic
+    /// batch is **not** a shard-atomic snapshot — a writer may commit
+    /// between two hits of one batch, whereas the locked pass holds the
+    /// shard lock across its whole slice (see DESIGN.md §11).
     pub fn set_read_mode(&self, mode: ReadMode) {
         self.read_mode.store(mode as u8, Ordering::Relaxed);
     }
@@ -925,24 +1036,22 @@ impl KvStore {
     /// full-key mismatch (possible tag collision — `lookup_all` is not
     /// racy-safe on every backend, so collisions resolve under the lock).
     fn get_optimistic(&self, slot: &ShardSlot, hash: u32, key: &[u8]) -> Option<Option<Vec<u8>>> {
-        // SAFETY: all accesses below are torn-tolerant per the `racy`
-        // contract — `lookup_batch` on an `optimistic_probe_safe` index,
-        // atomic row loads, `chunk_racy` + checked decode, atomic CLOCK
-        // touch — and every outcome is validated before being returned.
-        let shard = unsafe { slot.racy() };
+        // Every racing byte below travels through RacyShard's atomic or
+        // volatile accessors, and every outcome is validated before being
+        // returned (seq for misses, the row word for hits).
+        let racy = slot.racy();
+        let mut buf = Vec::new();
         for _ in 0..2 {
             let Some(seq) = slot.seq.read_begin() else {
                 break; // writer active: the lock queue is the fast path now
             };
             let mut cand = [NO_ITEM];
-            shard
-                .index
-                .lookup_batch(std::slice::from_ref(&hash), &mut cand);
+            racy.lookup(std::slice::from_ref(&hash), &mut cand, 0);
             let cand = cand[0];
             let word = if cand == NO_ITEM {
                 0
             } else {
-                shard.items.load_row(cand)
+                racy.load_row(cand)
             };
             match decode_row(word) {
                 None => {
@@ -955,34 +1064,28 @@ impl KvStore {
                     }
                 }
                 Some(r) => {
-                    let verified = shard
-                        .slab
-                        .chunk_racy(r)
-                        .and_then(item_decode_checked)
-                        .and_then(|(k, v)| (k == key).then(|| v.to_vec()));
-                    match verified {
+                    let verified = racy.read_item(r, &mut buf)
+                        && item_decode_checked(&buf).is_some_and(|(k, _)| k == key);
+                    if verified {
                         // A verified hit stands on its row word alone: the
                         // word unchanged across the copy means the item
                         // stayed live in this exact chunk, and live chunk
                         // bytes are immutable (replace = delete + insert).
-                        Some(value) => {
-                            if shard.items.revalidate(cand, word) {
-                                shard.clock.touch(cand);
-                                self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
-                                slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
-                                slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
-                                return Some(Some(value));
-                            }
+                        if racy.revalidate(cand, word) {
+                            let (_, v) = item_decode_checked(&buf).expect("just decoded");
+                            let value = v.to_vec();
+                            racy.touch(cand);
+                            self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
+                            slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+                            slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(Some(value));
                         }
-                        None => {
-                            if slot.seq.validate(seq) {
-                                // Genuine full-key mismatch (tag collision)
-                                // or torn-looking bytes under a stable seq:
-                                // resolve under the lock.
-                                self.optimistic.aborts.fetch_add(1, Ordering::Relaxed);
-                                break;
-                            }
-                        }
+                    } else if slot.seq.validate(seq) {
+                        // Genuine full-key mismatch (tag collision)
+                        // or torn-looking bytes under a stable seq:
+                        // resolve under the lock.
+                        self.optimistic.aborts.fetch_add(1, Ordering::Relaxed);
+                        break;
                     }
                 }
             }
@@ -1081,6 +1184,7 @@ impl KvStore {
         let mut sub_hashes = std::mem::take(&mut resp.sub_hashes);
         let mut refs = std::mem::take(&mut resp.refs);
         let mut words = std::mem::take(&mut resp.words);
+        let mut chunk_buf = std::mem::take(&mut resp.chunk_buf);
         let mut fallback: Vec<u32> = Vec::new();
         let mut found = 0usize;
         let mut lookup_ns = 0u64;
@@ -1116,6 +1220,7 @@ impl KvStore {
                     resp,
                     &mut candidates,
                     &mut words,
+                    &mut chunk_buf,
                     &mut fallback,
                 )
             } else {
@@ -1151,6 +1256,7 @@ impl KvStore {
         resp.sub_hashes = sub_hashes;
         resp.refs = refs;
         resp.words = words;
+        resp.chunk_buf = chunk_buf;
 
         MGetOutcome {
             found,
@@ -1301,13 +1407,13 @@ impl KvStore {
         resp: &mut MGetResponse,
         candidates: &mut Vec<u32>,
         words: &mut Vec<u64>,
+        chunk_buf: &mut Vec<u8>,
         fallback: &mut Vec<u32>,
     ) -> Option<(u64, u64, u64)> {
         let n_sub = shard_hashes.len();
-        // SAFETY: same torn-tolerant access discipline as `get_optimistic`
-        // (see the `racy` contract); `lookup_batch_prefetched` is covered
-        // by the index's `optimistic_probe_safe` declaration.
-        let shard = unsafe { slot.racy() };
+        // Same torn-tolerant access discipline as `get_optimistic`: every
+        // racing byte goes through RacyShard's atomic/volatile accessors.
+        let racy = slot.racy();
         for _attempt in 0..2 {
             let Some(seq) = slot.seq.read_begin() else {
                 break; // writer active: run the shard locked
@@ -1318,9 +1424,7 @@ impl KvStore {
             let tl0 = Instant::now();
             candidates.clear();
             candidates.resize(n_sub, NO_ITEM);
-            shard
-                .index
-                .lookup_batch_prefetched(shard_hashes, candidates, depth);
+            racy.lookup(shard_hashes, candidates, depth);
             let tl1 = Instant::now();
 
             // The AMAC staging of the locked pass, restated over row
@@ -1336,19 +1440,19 @@ impl KvStore {
             let mut processed = 0usize;
             if depth > 0 {
                 for &cand in candidates.iter().take(2 * depth) {
-                    shard.items.prefetch(cand);
+                    racy.prefetch_row(cand);
                 }
                 for j in 0..n_sub.min(depth) {
-                    words[j] = self.stage_word(shard, candidates[j]);
+                    words[j] = racy.stage_word(candidates[j]);
                 }
             }
             for j in 0..n_sub {
                 if depth > 0 {
                     if let Some(&ahead) = candidates.get(j + 2 * depth) {
-                        shard.items.prefetch(ahead);
+                        racy.prefetch_row(ahead);
                     }
                     if j + depth < n_sub {
-                        words[j + depth] = self.stage_word(shard, candidates[j + depth]);
+                        words[j + depth] = racy.stage_word(candidates[j + depth]);
                     }
                 }
                 let cand = candidates[j];
@@ -1363,27 +1467,28 @@ impl KvStore {
                 let word = if depth > 0 {
                     words[j]
                 } else {
-                    shard.items.load_row(cand)
+                    racy.load_row(cand)
                 };
-                let value = decode_row(word).and_then(|r| {
-                    shard
-                        .slab
-                        .chunk_racy(r)
-                        .and_then(item_decode_checked)
+                let row = decode_row(word);
+                let copied = row.is_some_and(|r| racy.read_item(r, chunk_buf));
+                let value = if copied {
+                    item_decode_checked(chunk_buf)
                         .filter(|(k, _)| *k == key)
                         .map(|(_, v)| v)
-                });
+                } else {
+                    None
+                };
                 match value {
                     Some(v) => {
                         resp.push_hit(i, v);
-                        if !shard.items.revalidate(cand, word) {
+                        if !racy.revalidate(cand, word) {
                             torn = true;
                             break;
                         }
-                        shard.clock.touch(cand);
+                        racy.touch(cand);
                         shard_found += 1;
                     }
-                    None if decode_row(word).is_none() => {
+                    None if row.is_none() => {
                         // Dying/dead row behind a live-looking candidate:
                         // a miss, believable only under a stable seq.
                         resp.push_miss();
@@ -1440,23 +1545,6 @@ impl KvStore {
         }
         self.optimistic.fallbacks.fetch_add(1, Ordering::Relaxed);
         None
-    }
-
-    /// Optimistic AMAC stage 2: load candidate `cand`'s row word (its line
-    /// made warm by an earlier [`ItemTable::prefetch`]) and request the
-    /// chunk's leading cache line, so the full-key compare `G` iterations
-    /// later reads a warm line. The racy counterpart of
-    /// [`Shard::resolve_and_prefetch`].
-    #[inline(always)]
-    fn stage_word(&self, shard: &Shard, cand: u32) -> u64 {
-        if cand == NO_ITEM {
-            return 0;
-        }
-        let word = shard.items.load_row(cand);
-        if let Some(r) = decode_row(word) {
-            shard.slab.prefetch(r);
-        }
-        word
     }
 }
 
