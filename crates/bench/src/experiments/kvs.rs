@@ -567,6 +567,217 @@ pub fn kvs_prefetch_sweep(scale: &RunScale) -> String {
     s
 }
 
+/// Write fractions swept by `kvs-setpath-sweep` (share of batches that
+/// are writes; the rest are Multi-Gets).
+const SETPATH_FRACS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// One measured set-path point: the same mixed batch stream applied with
+/// sequential `set` calls vs one `set_multi` per write batch.
+struct SetPathPoint {
+    index: &'static str,
+    write_frac: f64,
+    sequential_mkeys: f64,
+    batched_mkeys: f64,
+}
+
+/// Measure the write-path sweep and render (human table, JSON document).
+/// Split from [`kvs_setpath_sweep`] so tests can run it without touching
+/// the filesystem.
+fn setpath_sweep_impl(scale: &RunScale) -> (String, String) {
+    use simdht_kvs::store::SetMultiBatch;
+
+    let llc = crate::machine::llc_bytes();
+    let full = scale.kvs_items >= RunScale::full().kvs_items;
+    // Same out-of-cache sizing as the prefetch sweep: the batched write
+    // path's prefetch staging only matters once bucket probes and slab
+    // rows miss to DRAM.
+    let n_items = if full {
+        (4 * llc / 64).max(scale.kvs_items)
+    } else {
+        scale.kvs_items
+    };
+    let n_batches = scale.kvs_requests;
+    let reps = if full { 3 } else { 2 };
+    let total_keys = n_batches * SWEEP_BATCH;
+
+    let mut s = format!(
+        "== kvs-setpath-sweep: batched set_multi vs sequential Sets, by write fraction ==\n\
+         (batch {SWEEP_BATCH}, uniform keys over {n_items} preloaded items, {n_batches}\n\
+          batches/point, best of {reps}; writes replace in place, reads are Multi-Gets)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>10} {:>16} {:>14} {:>9}",
+        "index", "write frac", "sequential Mk/s", "batched Mk/s", "speedup"
+    );
+
+    let mut points: Vec<SetPathPoint> = Vec::new();
+    for which in ["memc3", "hor", "ver", "dpdk"] {
+        for frac in SETPATH_FRACS {
+            // Pre-generate the mixed stream: per batch, a coin decides
+            // write (SWEEP_BATCH replacement pairs with fresh values) or
+            // read (SWEEP_BATCH lookups). Both modes replay the exact
+            // same stream, so the stores evolve identically.
+            let mut rng = 0x5E7_0001u64 ^ (frac.to_bits().rotate_left(17));
+            let mut fresh = 0u64;
+            let mut read_keys: Vec<Vec<Vec<u8>>> = Vec::new();
+            let mut write_pairs: Vec<Vec<(Vec<u8>, [u8; 32])>> = Vec::new();
+            // (is_write, index into the respective per-kind vec).
+            let mut ops: Vec<(bool, usize)> = Vec::with_capacity(n_batches);
+            for _ in 0..n_batches {
+                let is_write = (splitmix64(&mut rng) as f64 / u64::MAX as f64) < frac;
+                if is_write {
+                    let pairs = (0..SWEEP_BATCH)
+                        .map(|_| {
+                            let i = (splitmix64(&mut rng) % n_items as u64) as usize;
+                            fresh += 1;
+                            let mut v = sweep_value(i);
+                            v[8..16].copy_from_slice(&fresh.to_le_bytes());
+                            (sweep_key(i), v)
+                        })
+                        .collect();
+                    ops.push((true, write_pairs.len()));
+                    write_pairs.push(pairs);
+                } else {
+                    let keys = (0..SWEEP_BATCH)
+                        .map(|_| sweep_key((splitmix64(&mut rng) % n_items as u64) as usize))
+                        .collect();
+                    ops.push((false, read_keys.len()));
+                    read_keys.push(keys);
+                }
+            }
+            let reads: Vec<Vec<&[u8]>> = read_keys
+                .iter()
+                .map(|b| b.iter().map(|k| k.as_slice()).collect())
+                .collect();
+            let writes: Vec<Vec<(&[u8], &[u8])>> = write_pairs
+                .iter()
+                .map(|b| {
+                    b.iter()
+                        .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                        .collect()
+                })
+                .collect();
+
+            // One store per mode; the streams only replace preloaded
+            // keys, so neither store grows or evicts mid-measurement.
+            let mut best = [0.0f64; 2];
+            for (slot, batched) in [(0usize, false), (1usize, true)] {
+                let store = KvStore::new(
+                    build_index(which, n_items * 2),
+                    StoreConfig {
+                        memory_budget: n_items * 64 + (256 << 20),
+                        capacity_items: n_items * 2,
+                        shards: 1,
+                        prefetch_depth: None,
+                        ..StoreConfig::default()
+                    },
+                );
+                for i in 0..n_items {
+                    store
+                        .set(&sweep_key(i), &sweep_value(i))
+                        .expect("setpath preload");
+                }
+                let mut resp = MGetResponse::new();
+                let mut scratch = SetMultiBatch::new();
+                for _ in 0..reps {
+                    let t0 = std::time::Instant::now();
+                    for &(is_write, i) in &ops {
+                        if is_write {
+                            if batched {
+                                let outcome = store.set_multi(&writes[i], &mut scratch);
+                                assert_eq!(outcome.stored, SWEEP_BATCH, "replaces never fail");
+                            } else {
+                                for (k, v) in &writes[i] {
+                                    store.set(k, v).expect("replaces never fail");
+                                }
+                            }
+                        } else {
+                            let got = store.mget(&reads[i], &mut resp).found;
+                            assert_eq!(got, SWEEP_BATCH, "every sweep key is preloaded");
+                        }
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    best[slot] = best[slot].max(total_keys as f64 / secs);
+                }
+            }
+            let _ = writeln!(
+                s,
+                "  {:<8} {:>10.2} {:>16.2} {:>14.2} {:>8.2}x",
+                which,
+                frac,
+                best[0] / 1e6,
+                best[1] / 1e6,
+                best[1] / best[0],
+            );
+            points.push(SetPathPoint {
+                index: which,
+                write_frac: frac,
+                sequential_mkeys: best[0] / 1e6,
+                batched_mkeys: best[1] / 1e6,
+            });
+        }
+    }
+
+    // Acceptance: the batched path beats sequential Sets at every swept
+    // write fraction (all >= 0.25) on the memc3 and horizontal indexes.
+    let gate = points
+        .iter()
+        .filter(|p| p.index == "memc3" || p.index == "hor")
+        .all(|p| p.batched_mkeys >= p.sequential_mkeys);
+    let _ = writeln!(
+        s,
+        "\n  acceptance: batched >= sequential at write fractions >= 0.25\n  \
+         on memc3 + horizontal: {}",
+        if gate { "PASS" } else { "FAIL" },
+    );
+
+    let mut result_lines = String::new();
+    for p in &points {
+        if !result_lines.is_empty() {
+            result_lines.push_str(",\n");
+        }
+        let _ = write!(
+            result_lines,
+            "    {{\"index\": \"{}\", \"write_frac\": {:.2}, \"sequential_mkeys_per_sec\": {:.3}, \
+             \"batched_mkeys_per_sec\": {:.3}, \"speedup\": {:.4}}}",
+            p.index,
+            p.write_frac,
+            p.sequential_mkeys,
+            p.batched_mkeys,
+            p.batched_mkeys / p.sequential_mkeys.max(1e-12),
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kvs-setpath-sweep\",\n  \"mode\": \"{}\",\n  \
+         \"llc_bytes\": {llc},\n  \"n_items\": {n_items},\n  \"batch\": {SWEEP_BATCH},\n  \
+         \"batches_per_point\": {n_batches},\n  \"write_fracs\": [0.25, 0.5, 1.0],\n  \
+         \"results\": [\n{result_lines}\n  ],\n  \
+         \"acceptance\": {{\"indexes\": [\"memc3\", \"hor\"], \"min_write_frac\": 0.25, \
+         \"batched_beats_sequential\": {gate}}}\n}}\n",
+        if full { "full" } else { "quick" },
+    );
+    (s, json)
+}
+
+/// `kvs-setpath-sweep`: the write-fraction dimension of the prefetch
+/// sweep — mixed batch streams at growing write fractions, with every
+/// write batch applied once as sequential `set` calls and once as one
+/// `KvStore::set_multi` (interleaved SIMD hashing, one lock + seqlock
+/// session per shard group, G-ahead bucket/slab prefetch staging).
+/// Writes the measurements to `BENCH_kvs_setpath.json` in the working
+/// directory.
+pub fn kvs_setpath_sweep(scale: &RunScale) -> String {
+    let (mut s, json) = setpath_sweep_impl(scale);
+    match std::fs::write("BENCH_kvs_setpath.json", &json) {
+        Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_setpath.json)\n"),
+        Err(e) => {
+            let _ = writeln!(s, "\n(could not write BENCH_kvs_setpath.json: {e})");
+        }
+    }
+    s
+}
+
 /// One measured point of the reactor conns x depth grid.
 struct ReactorPoint {
     conns: usize,
@@ -1187,6 +1398,28 @@ mod tests {
         assert_eq!(json.matches("\"depth\":").count(), 20);
         assert_eq!(json.matches("\"best_depth\":").count(), 4);
         assert!(json.contains("\"mode\": \"quick\""));
+        for which in ["memc3", "hor", "ver", "dpdk"] {
+            assert!(json.contains(&format!("\"index\": \"{which}\"")));
+        }
+    }
+
+    #[test]
+    fn kvs_setpath_sweep_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 12,
+            kvs_items: 500,
+        };
+        let (rendered, json) = setpath_sweep_impl(&tiny);
+        assert!(rendered.contains("kvs-setpath-sweep"));
+        assert!(rendered.contains("acceptance"));
+        // 4 index families x 3 write fractions.
+        assert_eq!(json.matches("\"write_frac\":").count(), 12);
+        assert_eq!(json.matches("\"speedup\":").count(), 12);
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"batched_beats_sequential\":"));
         for which in ["memc3", "hor", "ver", "dpdk"] {
             assert!(json.contains(&format!("\"index\": \"{which}\"")));
         }

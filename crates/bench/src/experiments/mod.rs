@@ -34,6 +34,7 @@ pub const ALL: &[&str] = &[
     "ext-tcp-loopback",
     "kvs-shard-sweep",
     "kvs-prefetch-sweep",
+    "kvs-setpath-sweep",
     "kvs-reactor-sweep",
     "kvs-readscale-sweep",
     "ext-swiss",
@@ -64,6 +65,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "ext-tcp-loopback" => kvs::ext_tcp_loopback(&scale),
         "kvs-shard-sweep" => kvs::kvs_shard_sweep(&scale),
         "kvs-prefetch-sweep" => kvs::kvs_prefetch_sweep(&scale),
+        "kvs-setpath-sweep" => kvs::kvs_setpath_sweep(&scale),
         "kvs-reactor-sweep" => kvs::kvs_reactor_sweep(&scale),
         "kvs-readscale-sweep" => kvs::kvs_readscale_sweep(&scale),
         "ext-swiss" => extensions::swiss(&scale),

@@ -19,7 +19,7 @@
 use simdht_simd::{first_lane, Lane, Vector};
 use simdht_table::{Arrangement, CuckooTable};
 
-use super::even_lane_bits;
+use super::{even_lane_bits, vec_bucket};
 
 /// Horizontal SIMD lookup over a BCHT. `W` is the payload lane type (it may
 /// differ from the key lane in the split arrangement).
@@ -201,7 +201,6 @@ pub fn horizontal_lookup_vec_hash<V: Vector>(
     assert_eq!(V::LANES, 2 * m, "vector must exactly fit one bucket");
     let data = table.interleaved().expect("interleaved storage");
     let hash = table.hash_family();
-    let shift = hash.shift();
     let key_bits = even_lane_bits(V::LANES);
     let bucket_lanes = 2 * m;
     let lanes = V::LANES;
@@ -216,12 +215,8 @@ pub fn horizontal_lookup_vec_hash<V: Vector>(
     {
         // calc_N_hash_buckets: all 2·LANES bucket indices in 2 vector ops.
         let kv = V::from_slice(chunk);
-        kv.mullo(V::splat(hash.multiplier(0)))
-            .shr(shift)
-            .write_to_slice(&mut b0[..lanes]);
-        kv.mullo(V::splat(hash.multiplier(1)))
-            .shr(shift)
-            .write_to_slice(&mut b1[..lanes]);
+        vec_bucket(hash, kv, 0).write_to_slice(&mut b0[..lanes]);
+        vec_bucket(hash, kv, 1).write_to_slice(&mut b1[..lanes]);
         for (i, (&q, o)) in chunk.iter().zip(outs.iter_mut()).enumerate() {
             let kq = V::splat(q);
             *o = V::Lane::EMPTY;

@@ -14,6 +14,8 @@
 use simdht_simd::{Lane, Vector};
 use simdht_table::{Arrangement, CuckooTable};
 
+use super::vec_bucket;
+
 /// Vertical SIMD lookup over a bucketized `(N, m)` table, one key per lane,
 /// with selective (match-masked) gathers over the `m` slot positions.
 ///
@@ -54,7 +56,6 @@ pub fn hybrid_lookup<V: Vector>(
         hash.log2_buckets(),
         V::Lane::BITS
     );
-    let shift = hash.shift();
     let lanes = V::LANES;
     let full = queries.len() - queries.len() % lanes;
     let m_splat = V::splat(V::Lane::from_u64(u64::from(m)));
@@ -81,7 +82,7 @@ pub fn hybrid_lookup<V: Vector>(
         let mut pending = V::lane_mask();
         let mut vals = V::splat(V::Lane::EMPTY);
         'ways: for way in 0..n_ways {
-            let bucket = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+            let bucket = vec_bucket(hash, kv, way);
             let slot0 = bucket.mullo(m_splat);
             for j in 0..m {
                 let slot = slot0.add(V::splat(V::Lane::from_u64(u64::from(j))));

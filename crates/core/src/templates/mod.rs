@@ -23,6 +23,41 @@ pub use hybrid::hybrid_lookup;
 pub use scalar::scalar_lookup;
 pub use vertical::{vertical_lookup, vertical_lookup_prefetched};
 
+use simdht_simd::{Lane, Vector};
+use simdht_table::HashFamily;
+
+/// In-register bucket computation for one way of `hash` over a vector of
+/// keys — the kernels' shared replication of [`HashFamily::bucket`].
+///
+/// Matches the scalar computation lane-for-lane under **both** placement
+/// schemes: the independent multiply-shift (`mullo` + `shr`) and the
+/// tag-dispersed scheme, where ways ≥ 1 XOR the masked tag dispersal onto
+/// the base bucket (`mullo`/`shr` for base and tag, a `cmpeq`+`blend` for
+/// the zero-tag remap, then `mullo`/`and`/`xor` for the dispersal). All
+/// scalar arithmetic is wrapping in `Lane` width, so the `mullo`-based
+/// replication is exact.
+#[inline(always)]
+pub(crate) fn vec_bucket<V: Vector>(hash: &HashFamily<V::Lane>, kv: V, way: u32) -> V {
+    let shift = hash.shift();
+    if !hash.is_tag_dispersed() {
+        return kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+    }
+    let base = kv.mullo(V::splat(hash.multiplier(0))).shr(shift);
+    if way == 0 {
+        return base;
+    }
+    let tag = kv
+        .mullo(V::splat(hash.tag_multiplier()))
+        .shr(hash.tag_shift());
+    // Zero tags remap to one, exactly like the scalar `HashFamily::tag`.
+    let zero_bits = tag.cmpeq_bits(V::splat(V::Lane::EMPTY));
+    let tag = V::blend_bits(zero_bits, V::splat(V::Lane::from_u64(1)), tag);
+    let disperse = tag
+        .mullo(V::splat(hash.disperse_multiplier(way)))
+        .and(V::splat(V::Lane::from_u64(hash.bucket_mask() as u64)));
+    base.xor(disperse)
+}
+
 /// Mask with bit set for every even lane of an `lanes`-wide vector
 /// (key positions of an interleaved `[k v k v …]` load).
 #[inline(always)]

@@ -21,6 +21,7 @@
 use simdht_simd::{Lane, Vector};
 use simdht_table::{Arrangement, CuckooTable};
 
+use super::vec_bucket;
 use crate::validate::GatherMode;
 
 /// Vertical SIMD lookup over a non-bucketized N-way cuckoo table
@@ -53,7 +54,6 @@ pub fn vertical_lookup<V: Vector>(
     );
 
     let n_ways = layout.n_ways();
-    let shift = hash.shift();
     let lanes = V::LANES;
     let mut hits = 0usize;
 
@@ -71,7 +71,7 @@ pub fn vertical_lookup<V: Vector>(
                 let mut pending = V::lane_mask();
                 let mut vals = V::splat(V::Lane::EMPTY);
                 for way in 0..n_ways {
-                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    let h = vec_bucket(hash, kv, way);
                     // SAFETY: h < num_buckets by the multiply-shift
                     // construction, and data holds 2 slots-worth per bucket.
                     let (gk, gv) = unsafe { V::gather_pairs(data, h) };
@@ -96,7 +96,7 @@ pub fn vertical_lookup<V: Vector>(
                 let mut pending = V::lane_mask();
                 let mut vals = V::splat(V::Lane::EMPTY);
                 for way in 0..n_ways {
-                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    let h = vec_bucket(hash, kv, way);
                     let kidx = h.shl(1);
                     // SAFETY: kidx = 2h < 2·num_buckets = data length; the
                     // +1 lane stays within the same slot pair.
@@ -124,7 +124,7 @@ pub fn vertical_lookup<V: Vector>(
                 let mut pending = V::lane_mask();
                 let mut vals = V::splat(V::Lane::EMPTY);
                 for way in 0..n_ways {
-                    let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+                    let h = vec_bucket(hash, kv, way);
                     // SAFETY: h < num_buckets = slot count of both arrays.
                     let gk =
                         unsafe { V::gather_idx_masked(keys, h, pending, V::splat(V::Lane::EMPTY)) };
@@ -184,7 +184,6 @@ pub fn vertical_lookup_prefetched<V: Vector>(
         .expect("prefetched kernel requires interleaved storage");
 
     let n_ways = layout.n_ways();
-    let shift = hash.shift();
     let lanes = V::LANES;
     let full = queries.len() - queries.len() % lanes;
     let n_chunks = full / lanes;
@@ -192,7 +191,7 @@ pub fn vertical_lookup_prefetched<V: Vector>(
 
     let prefetch_chunk = |c: usize| {
         let kv = V::from_slice(&queries[c * lanes..]);
-        let h = kv.mullo(V::splat(hash.multiplier(0))).shr(shift);
+        let h = vec_bucket(hash, kv, 0);
         let idx = h.to_lanes();
         for &i in idx.iter().take(lanes) {
             let slot = 2 * (i.to_u64() as usize);
@@ -213,7 +212,7 @@ pub fn vertical_lookup_prefetched<V: Vector>(
         let mut pending = V::lane_mask();
         let mut vals = V::splat(V::Lane::EMPTY);
         for way in 0..n_ways {
-            let h = kv.mullo(V::splat(hash.multiplier(way))).shr(shift);
+            let h = vec_bucket(hash, kv, way);
             // SAFETY: h < num_buckets by multiply-shift construction.
             let (gk, gv) = unsafe { V::gather_pairs(data, h) };
             let mbits = gk.cmpeq_bits(kv) & pending;

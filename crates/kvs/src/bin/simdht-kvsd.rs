@@ -228,7 +228,7 @@ impl Daemon {
                     println!(
                         "reactor {}: {} conns ({} still open), {} frames, \
                          {} batches (mean width {:.2}; fires: {} width / {} timeout / {} drain), \
-                         {} shed",
+                         {} write batches (mean pairs {:.2}), {} shed",
                         s.reactor,
                         s.conns_adopted,
                         s.conns_open,
@@ -238,6 +238,8 @@ impl Daemon {
                         s.width_fires,
                         s.timeout_fires,
                         s.drain_fires,
+                        s.write_batches,
+                        s.mean_write_batch_width(),
                         s.sheds,
                     );
                 }

@@ -32,6 +32,9 @@ OPTIONS:
     --value-bytes <n>      Value size in bytes (default 32)
     --dist <name>          Access pattern: zipfian | uniform (default zipfian)
     --set-fraction <f>     Fraction of requests issued as Sets (default 0.0)
+    --write-frac <f>       Fraction of requests issued as batched SetMulti
+                           writes of --mget pairs each, exercising the
+                           server's SIMD-hashed set_multi path (default 0.0)
     --no-preload           Skip storing the items first (server already warm)
     --seed <n>             Workload RNG seed (default 19283)
     --deadline-ms <n>      Per-recv timeout in ms; a silent server counts as
@@ -110,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
                 args.net.set_fraction =
                     value.parse().map_err(|e| format!("--set-fraction: {e}"))?;
             }
+            "--write-frac" => {
+                args.net.write_frac = value.parse().map_err(|e| format!("--write-frac: {e}"))?;
+            }
             "--seed" => args.spec.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--deadline-ms" => {
                 let ms: u64 = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
@@ -132,11 +138,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.mux
         && (args.net.set_fraction != 0.0
+            || args.net.write_frac != 0.0
             || args.net.faults.is_some()
             || args.net.retry.max_retries != simdht_kvs::client::RetryPolicy::default().max_retries)
     {
         return Err(
-            "--mux is read-only and unretried: drop --set-fraction / --faults / --max-retries"
+            "--mux is read-only and unretried: drop --set-fraction / --write-frac / \
+             --faults / --max-retries"
                 .to_string(),
         );
     }

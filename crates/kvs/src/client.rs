@@ -227,9 +227,10 @@ impl<'a> RetryClient<'a> {
         let response =
             Response::decode(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let got = match &response {
-            Response::MGet { id, .. } | Response::Set { id, .. } | Response::Error { id, .. } => {
-                *id
-            }
+            Response::MGet { id, .. }
+            | Response::Set { id, .. }
+            | Response::SetMulti { id, .. }
+            | Response::Error { id, .. } => *id,
         };
         if got != id {
             return Err(io::Error::new(
@@ -276,7 +277,7 @@ impl<'a> RetryClient<'a> {
                         format!("server refused mget: {code}"),
                     ));
                 }
-                Ok(Response::Set { .. }) => {
+                Ok(Response::Set { .. } | Response::SetMulti { .. }) => {
                     self.poison();
                     last_err = Some(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -320,7 +321,7 @@ impl<'a> RetryClient<'a> {
                 self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
                 Ok(SetOutcome::Shed)
             }
-            Ok(Response::MGet { .. }) => {
+            Ok(Response::MGet { .. } | Response::SetMulti { .. }) => {
                 self.poison();
                 Ok(SetOutcome::Uncertain)
             }
@@ -331,6 +332,60 @@ impl<'a> RetryClient<'a> {
                 ));
                 self.poison();
                 Ok(SetOutcome::Uncertain)
+            }
+        }
+    }
+
+    /// Store a batch of pairs, **without retry** — like [`RetryClient::set`]
+    /// but batched. SetMulti is even less retryable than Set: a lost
+    /// response leaves *every* key's fate unknown, and blindly resending
+    /// would re-apply the whole batch. Any ambiguous failure therefore
+    /// reports [`SetOutcome::Uncertain`] for each key in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Connection-establishment failures only; anything after the request
+    /// may have reached the server is reported per key instead.
+    pub fn set_multi(&mut self, pairs: &[(Bytes, Bytes)]) -> io::Result<Vec<SetOutcome>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Request::SetMulti {
+            id,
+            pairs: pairs.to_vec(),
+        }
+        .encode();
+        self.conn()?;
+        self.stats.attempts += 1;
+        match self.roundtrip(id, &frame) {
+            Ok(Response::SetMulti { ok, .. }) if ok.len() == pairs.len() => Ok(ok
+                .into_iter()
+                .map(|o| {
+                    if o {
+                        SetOutcome::Stored
+                    } else {
+                        SetOutcome::Rejected
+                    }
+                })
+                .collect()),
+            Ok(Response::Error { code, .. }) => {
+                // The server answered without applying anything: every key
+                // is definitively shed.
+                self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                Ok(vec![SetOutcome::Shed; pairs.len()])
+            }
+            Ok(_) => {
+                // Wrong shape (wrong type, or a status count that does not
+                // match the batch): the stream can no longer be trusted.
+                self.poison();
+                Ok(vec![SetOutcome::Uncertain; pairs.len()])
+            }
+            Err(e) => {
+                self.stats.timeouts += u64::from(matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ));
+                self.poison();
+                Ok(vec![SetOutcome::Uncertain; pairs.len()])
             }
         }
     }
@@ -417,12 +472,19 @@ mod tests {
             let (id, n_keys) = match &request {
                 Request::MGet { id, keys } => (*id, keys.len()),
                 Request::Set { id, .. } => (*id, 0),
+                Request::SetMulti { id, pairs } => (*id, pairs.len()),
                 Request::Shutdown => panic!("client never sends shutdown"),
             };
             let frame = match (step, &request) {
                 (Step::Ok, Request::MGet { .. }) => Response::MGet {
                     id,
                     entries: vec![Some(Bytes::from_static(b"v")); n_keys],
+                }
+                .encode(),
+                // Alternating statuses so per-key mapping is observable.
+                (Step::Ok, Request::SetMulti { .. }) => Response::SetMulti {
+                    id,
+                    ok: (0..n_keys).map(|i| i % 2 == 0).collect(),
                 }
                 .encode(),
                 (Step::Ok, _) => Response::Set { id, ok: true }.encode(),
@@ -572,6 +634,64 @@ mod tests {
         assert!(clock.sleeps.lock().unwrap().is_empty(), "no backoff");
         // The remaining Step::Ok proves the script was not consumed twice.
         assert_eq!(transport.script.lock().unwrap().len(), 1);
+    }
+
+    fn pairs() -> Vec<(Bytes, Bytes)> {
+        vec![
+            (Bytes::from_static(b"k1"), Bytes::from_static(b"v1")),
+            (Bytes::from_static(b"k2"), Bytes::from_static(b"v2")),
+            (Bytes::from_static(b"k3"), Bytes::from_static(b"v3")),
+        ]
+    }
+
+    #[test]
+    fn set_multi_is_never_retried() {
+        let transport = StubTransport::new([Step::Fail(io::ErrorKind::TimedOut), Step::Ok]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 9, &clock);
+        let outcomes = client.set_multi(&pairs()).unwrap();
+        assert_eq!(
+            outcomes,
+            vec![SetOutcome::Uncertain; 3],
+            "lost response = per-key uncertain"
+        );
+        assert_eq!(client.stats().attempts, 1, "exactly one wire attempt");
+        assert!(clock.sleeps.lock().unwrap().is_empty(), "no backoff");
+        // The remaining Step::Ok proves the script was not consumed twice.
+        assert_eq!(transport.script.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn set_multi_maps_per_key_statuses() {
+        let transport = StubTransport::new([Step::Ok, Step::Busy]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 10, &clock);
+        let outcomes = client.set_multi(&pairs()).unwrap();
+        assert_eq!(
+            outcomes,
+            vec![SetOutcome::Stored, SetOutcome::Rejected, SetOutcome::Stored],
+            "per-key statuses surface individually"
+        );
+        let outcomes = client.set_multi(&pairs()).unwrap();
+        assert_eq!(
+            outcomes,
+            vec![SetOutcome::Shed; 3],
+            "shed applies to every key"
+        );
+        assert_eq!(client.stats().busy, 1);
+    }
+
+    #[test]
+    fn set_multi_garbled_response_is_uncertain_and_poisons() {
+        for bad in [Step::Garbage, Step::WrongId] {
+            let transport = StubTransport::new([bad]);
+            let clock = MockClock::default();
+            let mut client =
+                RetryClient::with_clock(&transport, RetryPolicy::default(), 11, &clock);
+            let outcomes = client.set_multi(&pairs()).unwrap();
+            assert_eq!(outcomes, vec![SetOutcome::Uncertain; 3], "{bad:?}");
+            assert!(client.conn.is_none(), "{bad:?} must poison the connection");
+        }
     }
 
     #[test]

@@ -334,6 +334,10 @@ impl HashIndex for Memc3Index {
         }
     }
 
+    fn prefetch_hash(&self, hash: u32) {
+        self.prefetch_buckets(hash);
+    }
+
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>) {
         let tag = Self::tag(hash);
         let b1 = self.bucket1(hash);

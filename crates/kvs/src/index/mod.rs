@@ -113,6 +113,16 @@ pub trait HashIndex: Send + Sync {
     /// collisions after a failed full-key verification).
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>);
 
+    /// Prefetch the bucket cache lines `hash` would probe — the write
+    /// path's look-ahead hook ([`crate::store::KvStore::set_multi`]
+    /// requests key `j + G`'s buckets while inserting key `j`, mirroring
+    /// the read path's group prefetch). Must only issue prefetches; no
+    /// side effects. The default is a no-op for indexes with no per-hash
+    /// pointer chase.
+    fn prefetch_hash(&self, hash: u32) {
+        let _ = hash;
+    }
+
     /// Whether [`HashIndex::lookup_batch_optimistic`] may be called
     /// *racily* — concurrently with `insert`/`remove` on another thread,
     /// with no lock held — as the store's seqlock optimistic read path

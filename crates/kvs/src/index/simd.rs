@@ -219,6 +219,10 @@ impl HashIndex for SimdIndex {
         }
     }
 
+    fn prefetch_hash(&self, hash: u32) {
+        self.table.prefetch_candidates(hash);
+    }
+
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>) {
         if let Some(v) = self.table.get(hash) {
             out.push(v.wrapping_sub(1));

@@ -324,6 +324,10 @@ impl HashIndex for TagSimdIndex {
         }
     }
 
+    fn prefetch_hash(&self, hash: u32) {
+        self.prefetch_buckets(hash);
+    }
+
     fn lookup_all(&self, hash: u32, out: &mut Vec<u32>) {
         let sig = Self::sig(hash);
         let b1 = self.bucket1(hash);

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use crate::net::{read_frame, write_frame};
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::server::ServerStats;
-use crate::store::{KvStore, MGetResponse};
+use crate::store::{KvStore, MGetResponse, SetMultiBatch};
 
 /// Graceful-degradation knobs of the TCP daemon.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -316,6 +316,7 @@ fn handle_connection(
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut resp_buf = MGetResponse::new();
+    let mut set_batch = SetMultiBatch::new();
 
     loop {
         // About to block on the socket: push out everything answered so
@@ -342,7 +343,9 @@ fn handle_connection(
         // and the connection lives on.
         let mut slot: Option<SlotGuard<'_>> = None;
         if let Some(id) = match &request {
-            Request::MGet { id, .. } | Request::Set { id, .. } => Some(*id),
+            Request::MGet { id, .. } | Request::Set { id, .. } | Request::SetMulti { id, .. } => {
+                Some(*id)
+            }
             Request::Shutdown => None,
         } {
             let code = if let Some(g) = gauge.as_deref() {
@@ -410,6 +413,28 @@ fn handle_connection(
                 let ok = store.set(&key, &value).is_ok();
                 conn.sets += 1;
                 let payload = Response::Set { id, ok }.encode();
+                if write_frame(&mut writer, &payload).is_err() {
+                    break;
+                }
+            }
+            Request::SetMulti { id, pairs } => {
+                let pair_slices: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.as_ref(), v.as_ref()))
+                    .collect();
+                let outcome = store.set_multi(&pair_slices, &mut set_batch);
+                conn.sets += pair_slices.len() as u64;
+                stats
+                    .pre_ns
+                    .fetch_add(outcome.phases.pre, Ordering::Relaxed);
+                stats
+                    .lookup_ns
+                    .fetch_add(outcome.phases.lookup, Ordering::Relaxed);
+                stats
+                    .post_ns
+                    .fetch_add(outcome.phases.post, Ordering::Relaxed);
+                let ok: Vec<bool> = set_batch.results().iter().map(|r| r.is_ok()).collect();
+                let payload = Response::SetMulti { id, ok }.encode();
                 if write_frame(&mut writer, &payload).is_err() {
                     break;
                 }

@@ -238,6 +238,12 @@ pub struct NetMemslapConfig {
     /// Fraction of request slots issued as Sets over sampled items with
     /// fresh values (0.0 = read-only Multi-Get).
     pub set_fraction: f64,
+    /// Fraction of request slots issued as **batched** `SetMulti`
+    /// requests — each carries `mget_size` key/value pairs (the write
+    /// analog of the Multi-Get batch), landing on the server's
+    /// SIMD-hashed, prefetch-staged `set_multi` path. Drawn
+    /// independently of `set_fraction`; the two write kinds can mix.
+    pub write_frac: f64,
     /// Preload the workload's items over the wire with Sets before the
     /// timed run. Disable when the server is already populated.
     pub preload: bool,
@@ -256,6 +262,7 @@ impl Default for NetMemslapConfig {
             connections: 2,
             pipeline_depth: 8,
             set_fraction: 0.0,
+            write_frac: 0.0,
             preload: true,
             retry: RetryPolicy::default(),
             faults: None,
@@ -513,6 +520,10 @@ fn drive_connection(
         let (id, entries, set_ok, err_code) = match response {
             Response::MGet { id, entries } => (id, Some(entries), false, None),
             Response::Set { id, ok } => (id, None, ok, None),
+            // A batched write counts as applied only when every pair
+            // landed (partial success still stores state server-side,
+            // but the driver's per-request bookkeeping is all-or-nothing).
+            Response::SetMulti { id, ok } => (id, None, ok.iter().all(|&b| b), None),
             Response::Error { id, code } => (id, None, false, Some(code)),
         };
         let Some((idx, t0, req_wire)) = inflight.remove(&id) else {
@@ -659,7 +670,8 @@ pub fn run_memslap_over(
             let requests = (c..n_req)
                 .step_by(config.connections)
                 .map(|r| {
-                    if rng.gen::<f64>() < config.set_fraction {
+                    let draw = rng.gen::<f64>();
+                    if draw < config.set_fraction {
                         let item = rng.gen_range(0..workload.items().len());
                         let (key, value) = &workload.items()[item];
                         let fresh: Vec<u8> = (0..value.len())
@@ -672,6 +684,28 @@ pub fn run_memslap_over(
                                 id: r as u64,
                                 key: Bytes::copy_from_slice(key),
                                 value: Bytes::from(fresh),
+                            }
+                            .encode(),
+                        )
+                    } else if draw < config.set_fraction + config.write_frac {
+                        // A batched write: `mget_size` sampled items with
+                        // fresh values in one SetMulti frame.
+                        let pairs: Vec<(Bytes, Bytes)> = (0..workload.requests()[r].len())
+                            .map(|_| {
+                                let item = rng.gen_range(0..workload.items().len());
+                                let (key, value) = &workload.items()[item];
+                                let fresh: Vec<u8> = (0..value.len())
+                                    .map(|_| rng.gen_range(b' '..=b'~'))
+                                    .collect();
+                                (Bytes::copy_from_slice(key), Bytes::from(fresh))
+                            })
+                            .collect();
+                        (
+                            true,
+                            r as u64,
+                            Request::SetMulti {
+                                id: r as u64,
+                                pairs,
                             }
                             .encode(),
                         )

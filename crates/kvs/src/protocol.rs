@@ -133,6 +133,15 @@ pub enum Request {
         /// Value bytes.
         value: Bytes,
     },
+    /// Store a batch of pairs in one request (applied in order, so
+    /// duplicate keys resolve later-wins; non-idempotent — clients must
+    /// never blind-retry it).
+    SetMulti {
+        /// Request id.
+        id: u64,
+        /// Key/value pairs, applied in order.
+        pairs: Vec<(Bytes, Bytes)>,
+    },
     /// Shut a worker down (sent once per worker on drain).
     Shutdown,
 }
@@ -153,6 +162,14 @@ pub enum Response {
         id: u64,
         /// Whether the store accepted the pair.
         ok: bool,
+    },
+    /// Response to [`Request::SetMulti`]: one status per pair, in request
+    /// order.
+    SetMulti {
+        /// Echoed request id.
+        id: u64,
+        /// Per-pair acceptance, in request order.
+        ok: Vec<bool>,
     },
     /// The server declined to process the request (graceful degradation:
     /// the request was *not* applied and, for idempotent operations, may
@@ -238,11 +255,13 @@ impl std::error::Error for DecodeError {}
 const OP_MGET: u8 = 1;
 const OP_SET: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
+const OP_SET_MULTI: u8 = 4;
 /// Also written by `crate::store::MGetResponse`, which builds the MGet
 /// response frame in place during Phase 3 (zero-copy responses).
 pub(crate) const OP_MGET_RESP: u8 = 128;
 const OP_SET_RESP: u8 = 129;
 const OP_ERR_RESP: u8 = 130;
+const OP_SET_MULTI_RESP: u8 = 131;
 
 impl Request {
     /// Encode into a wire message.
@@ -265,6 +284,17 @@ impl Request {
                 b.put_slice(key);
                 b.put_u32_le(value.len() as u32);
                 b.put_slice(value);
+            }
+            Request::SetMulti { id, pairs } => {
+                b.put_u8(OP_SET_MULTI);
+                b.put_u64_le(*id);
+                b.put_u16_le(pairs.len() as u16);
+                for (k, v) in pairs {
+                    b.put_u16_le(k.len() as u16);
+                    b.put_slice(k);
+                    b.put_u32_le(v.len() as u32);
+                    b.put_slice(v);
+                }
             }
             Request::Shutdown => b.put_u8(OP_SHUTDOWN),
         }
@@ -319,6 +349,30 @@ impl Request {
                 let value = msg.split_to(vlen);
                 Ok(Request::Set { id, key, value })
             }
+            OP_SET_MULTI => {
+                if msg.remaining() < 10 {
+                    return Err(DecodeError("truncated set-multi header"));
+                }
+                let id = msg.get_u64_le();
+                let n = msg.get_u16_le() as usize;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if msg.remaining() < 2 {
+                        return Err(DecodeError("truncated pair key length"));
+                    }
+                    let klen = msg.get_u16_le() as usize;
+                    if msg.remaining() < klen + 4 {
+                        return Err(DecodeError("truncated pair key"));
+                    }
+                    let key = msg.split_to(klen);
+                    let vlen = msg.get_u32_le() as usize;
+                    if msg.remaining() < vlen {
+                        return Err(DecodeError("truncated pair value"));
+                    }
+                    pairs.push((key, msg.split_to(vlen)));
+                }
+                Ok(Request::SetMulti { id, pairs })
+            }
             OP_SHUTDOWN => Ok(Request::Shutdown),
             _ => Err(DecodeError("unknown request opcode")),
         }
@@ -349,6 +403,14 @@ impl Response {
                 b.put_u8(OP_SET_RESP);
                 b.put_u64_le(*id);
                 b.put_u8(u8::from(*ok));
+            }
+            Response::SetMulti { id, ok } => {
+                b.put_u8(OP_SET_MULTI_RESP);
+                b.put_u64_le(*id);
+                b.put_u16_le(ok.len() as u16);
+                for &o in ok {
+                    b.put_u8(u8::from(o));
+                }
             }
             Response::Error { id, code } => {
                 b.put_u8(OP_ERR_RESP);
@@ -406,6 +468,25 @@ impl Response {
                 let id = msg.get_u64_le();
                 let ok = msg.get_u8() != 0;
                 Ok(Response::Set { id, ok })
+            }
+            OP_SET_MULTI_RESP => {
+                if msg.remaining() < 10 {
+                    return Err(DecodeError("truncated set-multi response"));
+                }
+                let id = msg.get_u64_le();
+                let n = msg.get_u16_le() as usize;
+                if msg.remaining() < n {
+                    return Err(DecodeError("truncated set-multi statuses"));
+                }
+                let mut ok = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match msg.get_u8() {
+                        0 => ok.push(false),
+                        1 => ok.push(true),
+                        _ => return Err(DecodeError("bad set-multi status byte")),
+                    }
+                }
+                Ok(Response::SetMulti { id, ok })
             }
             OP_ERR_RESP => {
                 if msg.remaining() < 9 {

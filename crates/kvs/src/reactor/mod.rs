@@ -20,11 +20,23 @@
 //!
 //! Per connection: `reading → draining → closed`, with response
 //! ordering kept by a slot queue (every request reserves a slot in
-//! arrival order; Sets and shed errors complete immediately but still
-//! wait behind earlier slots; only the completed prefix is flushed).
-//! Per reactor: the coalescing buffer moves `empty → filling →
+//! arrival order; shed errors complete immediately but still wait
+//! behind earlier slots; only the completed prefix is flushed).
+//! Per reactor: the coalescing buffers move `empty → filling →
 //! dispatch` on one of three triggers — width reached, micro-deadline
 //! expired, or drain.
+//!
+//! ## Write coalescing (ISSUE 8)
+//!
+//! Writes coalesce exactly like reads: decoded `Set` and `SetMulti`
+//! requests park in a separate write buffer and land as one
+//! [`crate::store::KvStore::set_multi`] batch, which groups per shard
+//! internally — same-shard Sets from different connections share one
+//! lock acquisition, one seqlock write session, and the interleaved
+//! hash/prefetch staging. Per-connection program order is preserved by
+//! construction: parking a write flushes any buffered reads from the
+//! same connection first (and vice versa), so a connection never has
+//! both kinds pending at once.
 //!
 //! ## PR 3 semantics, re-expressed
 //!
@@ -60,7 +72,7 @@ use crate::kvsd::{ConnSummary, KvsdConfig};
 use crate::net::FrameDecoder;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::server::ServerStats;
-use crate::store::{KvStore, MGetResponse};
+use crate::store::{KvStore, MGetResponse, SetMultiBatch};
 
 use poller::{Event, Interest, Poller};
 
@@ -127,6 +139,12 @@ pub struct ReactorStats {
     pub timeout_fires: AtomicU64,
     /// Dispatches triggered by shutdown drain.
     pub drain_fires: AtomicU64,
+    /// Batched `set_multi` dispatches (the write-side analog of
+    /// `batches`).
+    pub write_batches: AtomicU64,
+    /// Total key/value pairs across all write dispatches
+    /// (`/ write_batches` = mean write width).
+    pub write_batch_pairs: AtomicU64,
     /// Requests answered with a typed error instead of a result.
     pub sheds: AtomicU64,
 }
@@ -163,6 +181,10 @@ pub struct ReactorSnapshot {
     pub timeout_fires: u64,
     /// See [`ReactorStats::drain_fires`].
     pub drain_fires: u64,
+    /// See [`ReactorStats::write_batches`].
+    pub write_batches: u64,
+    /// See [`ReactorStats::write_batch_pairs`].
+    pub write_batch_pairs: u64,
     /// See [`ReactorStats::sheds`].
     pub sheds: u64,
 }
@@ -174,6 +196,15 @@ impl ReactorSnapshot {
             0.0
         } else {
             self.batch_keys as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean key/value pairs per dispatched write batch.
+    pub fn mean_write_batch_width(&self) -> f64 {
+        if self.write_batches == 0 {
+            0.0
+        } else {
+            self.write_batch_pairs as f64 / self.write_batches as f64
         }
     }
 }
@@ -306,6 +337,8 @@ impl ReactorServer {
                 width_fires: rs.width_fires.load(Ordering::Relaxed),
                 timeout_fires: rs.timeout_fires.load(Ordering::Relaxed),
                 drain_fires: rs.drain_fires.load(Ordering::Relaxed),
+                write_batches: rs.write_batches.load(Ordering::Relaxed),
+                write_batch_pairs: rs.write_batch_pairs.load(Ordering::Relaxed),
                 sheds: rs.sheds.load(Ordering::Relaxed),
             })
             .collect()
@@ -368,6 +401,28 @@ struct PendingReq {
 struct Batch {
     reqs: Vec<PendingReq>,
     total_keys: usize,
+}
+
+/// One decoded write (`Set` or `SetMulti`) waiting in the
+/// write-coalescing buffer.
+struct PendingWrite {
+    token: usize,
+    seq: u64,
+    id: u64,
+    pairs: Vec<(Bytes, Bytes)>,
+    /// `true` for a single-key `Set` — it answers `Response::Set`
+    /// instead of per-key `SetMulti` statuses.
+    single: bool,
+    t0: Instant,
+}
+
+/// The write-coalescing buffer: same-shard Sets from any connection
+/// gather here and land as one [`KvStore::set_multi`] batch, exactly
+/// like MGets gather into [`Batch`].
+#[derive(Default)]
+struct WriteBatch {
+    reqs: Vec<PendingWrite>,
+    total_pairs: usize,
 }
 
 /// Per-connection reactor state.
@@ -454,6 +509,8 @@ struct ReactorLoop {
     conns: HashMap<usize, Conn>,
     batch: Batch,
     batch_resp: MGetResponse,
+    wbatch: WriteBatch,
+    set_scratch: SetMultiBatch,
     read_buf: Vec<u8>,
     next_token: usize,
     draining: bool,
@@ -486,6 +543,8 @@ impl ReactorLoop {
             conns: HashMap::new(),
             batch: Batch::default(),
             batch_resp: MGetResponse::new(),
+            wbatch: WriteBatch::default(),
+            set_scratch: SetMultiBatch::new(),
             read_buf: vec![0u8; 64 << 10],
             next_token: 0,
             draining: false,
@@ -530,15 +589,28 @@ impl ReactorLoop {
             // of the window cannot widen the batch — it only adds
             // latency (and, sub-millisecond, a poll spin that starves
             // co-located clients) — so fire early.
-            if woke_empty && !self.batch.reqs.is_empty() {
-                self.dispatch(Fire::Timeout);
+            if woke_empty {
+                // Writes first, so any read batch fired in the same
+                // breath observes them — matching per-connection
+                // program order, which parks at most one kind at a
+                // time per connection anyway.
+                if !self.wbatch.reqs.is_empty() {
+                    self.dispatch_writes(Fire::Timeout);
+                }
+                if !self.batch.reqs.is_empty() {
+                    self.dispatch(Fire::Timeout);
+                }
             }
 
             self.check_dispatch();
             self.idle_sweep();
             self.reap_finished();
 
-            if self.draining && self.conns.is_empty() && self.batch.reqs.is_empty() {
+            if self.draining
+                && self.conns.is_empty()
+                && self.batch.reqs.is_empty()
+                && self.wbatch.reqs.is_empty()
+            {
                 return;
             }
         }
@@ -548,8 +620,14 @@ impl ReactorLoop {
     /// when requests are waiting (zero once sub-millisecond, so the
     /// final slice is a bounded spin), else the idle tick.
     fn poll_timeout(&self) -> Duration {
-        if let Some(first) = self.batch.reqs.first() {
-            let elapsed = first.t0.elapsed();
+        let first_t0 = match (self.batch.reqs.first(), self.wbatch.reqs.first()) {
+            (Some(r), Some(w)) => Some(r.t0.min(w.t0)),
+            (Some(r), None) => Some(r.t0),
+            (None, Some(w)) => Some(w.t0),
+            (None, None) => None,
+        };
+        if let Some(t0) = first_t0 {
+            let elapsed = t0.elapsed();
             if elapsed >= self.cfg.coalesce {
                 return Duration::ZERO;
             }
@@ -726,45 +804,22 @@ impl ReactorLoop {
                 conn.draining = true;
             }
             Request::Set { id, key, value } => {
-                // Per-connection program order: earlier MGets from this
-                // connection may still sit in the coalescing buffer, and
-                // executing the write first would let them observe it —
-                // the blocking server executes strictly in order. Flush
-                // the batch before touching the store.
-                if self.batch.reqs.iter().any(|r| r.token == token) {
-                    self.dispatch(Fire::Width);
+                self.park_write(token, t0, id, vec![(key, value)], true);
+            }
+            Request::SetMulti { id, pairs } => {
+                self.park_write(token, t0, id, pairs, false);
+            }
+            Request::MGet { id, keys } => {
+                // Per-connection program order: earlier writes from this
+                // connection may still sit in the write buffer, and this
+                // lookup must observe them — the blocking server
+                // executes strictly in order. Flush writes first.
+                if self.wbatch.reqs.iter().any(|r| r.token == token) {
+                    self.dispatch_writes(Fire::Width);
                 }
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return; // dispatch may have closed the connection
                 };
-                let code = if limits.max_inflight == Some(0) {
-                    Some(ErrorCode::ServerBusy)
-                } else if limits.deadline.is_some_and(|d| t0.elapsed() > d) {
-                    Some(ErrorCode::DeadlineExceeded)
-                } else {
-                    None
-                };
-                let payload = match code {
-                    Some(code) => {
-                        conn.summary.shed += 1;
-                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                        self.rs.sheds.fetch_add(1, Ordering::Relaxed);
-                        Response::Error { id, code }.encode()
-                    }
-                    None => {
-                        let ok = self.store.set(&key, &value).is_ok();
-                        conn.summary.sets += 1;
-                        Response::Set { id, ok }.encode()
-                    }
-                };
-                let seq = conn.next_seq();
-                conn.slots.push_back(None);
-                let busy = t0.elapsed().as_nanos() as u64;
-                conn.summary.busy_ns += busy;
-                self.stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
-                self.enqueue_framed(token, seq, &payload);
-            }
-            Request::MGet { id, keys } => {
                 if limits.max_inflight == Some(0) {
                     conn.summary.shed += 1;
                     self.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -802,6 +857,70 @@ impl ReactorLoop {
                     self.dispatch(Fire::Width);
                 }
             }
+        }
+    }
+
+    /// Park a decoded write in the write-coalescing buffer (or shed it),
+    /// firing early when the batch width or admission cap is reached.
+    fn park_write(
+        &mut self,
+        token: usize,
+        t0: Instant,
+        id: u64,
+        pairs: Vec<(Bytes, Bytes)>,
+        single: bool,
+    ) {
+        // Per-connection program order: earlier MGets from this
+        // connection may still sit in the read buffer, and executing
+        // the write first would let them observe it — the blocking
+        // server executes strictly in order. Flush the read batch
+        // before parking the write.
+        if self.batch.reqs.iter().any(|r| r.token == token) {
+            self.dispatch(Fire::Width);
+        }
+        let limits = self.cfg.limits;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // dispatch may have closed the connection
+            };
+            if limits.max_inflight == Some(0) {
+                conn.summary.shed += 1;
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                self.rs.sheds.fetch_add(1, Ordering::Relaxed);
+                let seq = conn.next_seq();
+                conn.slots.push_back(None);
+                let payload = Response::Error {
+                    id,
+                    code: ErrorCode::ServerBusy,
+                }
+                .encode();
+                self.enqueue_framed(token, seq, &payload);
+                return;
+            }
+        }
+        // A full admission window forces the write batch out early
+        // rather than queueing deeper.
+        if let Some(cap) = limits.max_inflight {
+            if self.wbatch.reqs.len() >= cap {
+                self.dispatch_writes(Fire::Width);
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq();
+        conn.slots.push_back(None);
+        self.wbatch.total_pairs += pairs.len();
+        self.wbatch.reqs.push(PendingWrite {
+            token,
+            seq,
+            id,
+            pairs,
+            single,
+            t0,
+        });
+        if self.wbatch.total_pairs >= self.cfg.batch_width {
+            self.dispatch_writes(Fire::Width);
         }
     }
 
@@ -951,7 +1070,119 @@ impl ReactorLoop {
         self.dirty.extend_from_slice(&touched);
     }
 
+    /// Dispatch the write-coalescing buffer: answer expired writes with
+    /// `DeadlineExceeded`, run one batched [`KvStore::set_multi`] over
+    /// the rest (the store groups per shard internally, so same-shard
+    /// Sets land under one lock/seqlock session with the interleaved
+    /// hash kernel and prefetch staging), and scatter per-request acks.
+    fn dispatch_writes(&mut self, fire: Fire) {
+        let reqs = std::mem::take(&mut self.wbatch.reqs);
+        self.wbatch.total_pairs = 0;
+        if reqs.is_empty() {
+            return;
+        }
+
+        let deadline = self.cfg.limits.deadline;
+        let mut live: Vec<PendingWrite> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            if deadline.is_some_and(|d| req.t0.elapsed() > d) {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                self.rs.sheds.fetch_add(1, Ordering::Relaxed);
+                let payload = Response::Error {
+                    id: req.id,
+                    code: ErrorCode::DeadlineExceeded,
+                }
+                .encode();
+                if let Some(conn) = self.conns.get_mut(&req.token) {
+                    conn.summary.shed += 1;
+                    let busy = req.t0.elapsed().as_nanos() as u64;
+                    conn.summary.busy_ns += busy;
+                    self.stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                }
+                self.enqueue_framed(req.token, req.seq, &payload);
+                self.dirty.push(req.token);
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // One batched write over every live request's pairs. Insertion
+        // order inside the batch is arrival order, so duplicate keys
+        // across coalesced requests keep last-writer-wins semantics.
+        let mut pair_refs: Vec<(&[u8], &[u8])> =
+            Vec::with_capacity(live.iter().map(|r| r.pairs.len()).sum());
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(live.len());
+        for req in &live {
+            let lo = pair_refs.len();
+            pair_refs.extend(req.pairs.iter().map(|(k, v)| (k.as_ref(), v.as_ref())));
+            ranges.push(lo..pair_refs.len());
+        }
+        let outcome = self.store.set_multi(&pair_refs, &mut self.set_scratch);
+
+        self.rs.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.rs
+            .write_batch_pairs
+            .fetch_add(pair_refs.len() as u64, Ordering::Relaxed);
+        match fire {
+            Fire::Width => self.rs.width_fires.fetch_add(1, Ordering::Relaxed),
+            Fire::Timeout => self.rs.timeout_fires.fetch_add(1, Ordering::Relaxed),
+            Fire::Drain => self.rs.drain_fires.fetch_add(1, Ordering::Relaxed),
+        };
+        self.stats
+            .pre_ns
+            .fetch_add(outcome.phases.pre, Ordering::Relaxed);
+        self.stats
+            .lookup_ns
+            .fetch_add(outcome.phases.lookup, Ordering::Relaxed);
+        self.stats
+            .post_ns
+            .fetch_add(outcome.phases.post, Ordering::Relaxed);
+
+        let mut touched: Vec<usize> = Vec::with_capacity(live.len());
+        for (req, range) in live.iter().zip(ranges) {
+            let results = &self.set_scratch.results()[range];
+            let payload = if req.single {
+                Response::Set {
+                    id: req.id,
+                    ok: results[0].is_ok(),
+                }
+                .encode()
+            } else {
+                Response::SetMulti {
+                    id: req.id,
+                    ok: results.iter().map(|r| r.is_ok()).collect(),
+                }
+                .encode()
+            };
+            let Some(conn) = self.conns.get_mut(&req.token) else {
+                continue; // connection died while its write waited
+            };
+            conn.summary.sets += req.pairs.len() as u64;
+            let busy = req.t0.elapsed().as_nanos() as u64;
+            conn.summary.busy_ns += busy;
+            self.stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            self.enqueue_framed(req.token, req.seq, &payload);
+            touched.push(req.token);
+        }
+        for &token in &touched {
+            self.sync_interest(token);
+        }
+        self.dirty.extend_from_slice(&touched);
+    }
+
     fn check_dispatch(&mut self) {
+        if self.wbatch.total_pairs >= self.cfg.batch_width {
+            self.dispatch_writes(Fire::Width);
+        } else if !self.wbatch.reqs.is_empty() {
+            if self.wbatch.reqs[0].t0.elapsed() >= self.cfg.coalesce {
+                self.dispatch_writes(Fire::Timeout);
+            } else if self.draining {
+                self.dispatch_writes(Fire::Drain);
+            }
+        }
         if self.batch.total_keys >= self.cfg.batch_width {
             self.dispatch(Fire::Width);
         } else if !self.batch.reqs.is_empty() {
@@ -1167,6 +1398,123 @@ mod tests {
         assert!(
             batches < 16,
             "16 one-key requests must coalesce into fewer than 16 batches, got {batches}"
+        );
+    }
+
+    #[test]
+    fn pipelined_set_multi_over_reactor() {
+        let server = ReactorServer::bind_with(test_store(), "127.0.0.1:0", config()).unwrap();
+        let mut conn = TcpConn::connect(server.local_addr()).unwrap();
+        conn.set_recv_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // A batch with a duplicate key (later-wins), then a read-back of
+        // everything it touched — program order must hold across the
+        // read/write batch boundary.
+        conn.send(
+            Request::SetMulti {
+                id: 1,
+                pairs: vec![
+                    (Bytes::from_static(b"alpha"), Bytes::from_static(b"a1")),
+                    (Bytes::from_static(b"beta"), Bytes::from_static(b"b1")),
+                    (Bytes::from_static(b"alpha"), Bytes::from_static(b"a2")),
+                ],
+            }
+            .encode(),
+        )
+        .unwrap();
+        conn.send(
+            Request::MGet {
+                id: 2,
+                keys: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"beta")],
+            }
+            .encode(),
+        )
+        .unwrap();
+        conn.send(
+            Request::SetMulti {
+                id: 3,
+                pairs: vec![],
+            }
+            .encode(),
+        )
+        .unwrap();
+
+        match Response::decode(conn.recv().unwrap().0).unwrap() {
+            Response::SetMulti { id, ok } => {
+                assert_eq!(id, 1);
+                assert_eq!(ok, vec![true, true, true]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Response::decode(conn.recv().unwrap().0).unwrap() {
+            Response::MGet { id, entries } => {
+                assert_eq!(id, 2);
+                assert_eq!(entries[0].as_deref(), Some(&b"a2"[..]), "later-wins");
+                assert_eq!(entries[1].as_deref(), Some(&b"b1"[..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Response::decode(conn.recv().unwrap().0).unwrap() {
+            Response::SetMulti { id, ok } => {
+                assert_eq!(id, 3);
+                assert!(ok.is_empty(), "empty batch answers an empty status vec");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(conn);
+        let snaps = server.reactor_snapshots();
+        server.shutdown();
+        let write_batches: u64 = snaps.iter().map(|s| s.write_batches).sum();
+        let write_pairs: u64 = snaps.iter().map(|s| s.write_batch_pairs).sum();
+        assert!(write_batches >= 1, "writes must go through the write batch");
+        assert_eq!(write_pairs, 3, "pair volume accounting");
+    }
+
+    #[test]
+    fn coalesces_writes_across_connections() {
+        // Many single-Set clients: the writes must merge into fewer
+        // server-side `set_multi` dispatches than there are requests.
+        let mut cfg = config();
+        cfg.batch_width = 16;
+        cfg.coalesce = Duration::from_millis(20);
+        let server = ReactorServer::bind_with(test_store(), "127.0.0.1:0", cfg).unwrap();
+        let mut conns: Vec<TcpConn> = (0..16)
+            .map(|_| TcpConn::connect(server.local_addr()).unwrap())
+            .collect();
+        let keys: Vec<Bytes> = (0..16)
+            .map(|i| Bytes::from(format!("wkey-{i:02}").into_bytes()))
+            .collect();
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.set_recv_timeout(Some(Duration::from_secs(10))).unwrap();
+            c.send(
+                Request::Set {
+                    id: i as u64,
+                    key: keys[i].clone(),
+                    value: Bytes::from_static(b"wv"),
+                }
+                .encode(),
+            )
+            .unwrap();
+            c.flush().unwrap();
+        }
+        for (i, c) in conns.iter_mut().enumerate() {
+            match Response::decode(c.recv().unwrap().0).unwrap() {
+                Response::Set { id, ok } => {
+                    assert_eq!(id, i as u64);
+                    assert!(ok);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        drop(conns);
+        let snaps = server.reactor_snapshots();
+        server.shutdown();
+        let write_batches: u64 = snaps.iter().map(|s| s.write_batches).sum();
+        let write_pairs: u64 = snaps.iter().map(|s| s.write_batch_pairs).sum();
+        assert_eq!(write_pairs, 16);
+        assert!(
+            write_batches < 16,
+            "16 single Sets must coalesce into fewer than 16 write batches, got {write_batches}"
         );
     }
 

@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::protocol::{ErrorCode, Request, Response};
-use crate::store::{KvStore, MGetResponse, PhaseNanos};
+use crate::store::{KvStore, MGetResponse, PhaseNanos, SetMultiBatch};
 use crate::transport::Fabric;
 
 /// Aggregated server-side statistics across workers.
@@ -123,6 +123,7 @@ impl Server {
                 let fabric = fabric.clone();
                 std::thread::spawn(move || {
                     let mut resp_buf = MGetResponse::new();
+                    let mut set_batch = SetMultiBatch::new();
                     while let Ok(envelope) = rx.recv() {
                         let t0 = Instant::now();
                         let request = match Request::decode(envelope.payload) {
@@ -135,7 +136,9 @@ impl Server {
                         if let Some(limit) = config.shed_queue_above {
                             let backlog = rx.len();
                             let id = match &request {
-                                Request::MGet { id, .. } | Request::Set { id, .. } => Some(*id),
+                                Request::MGet { id, .. }
+                                | Request::Set { id, .. }
+                                | Request::SetMulti { id, .. } => Some(*id),
                                 Request::Shutdown => None,
                             };
                             if let (true, Some(id)) = (backlog > limit, id) {
@@ -183,6 +186,30 @@ impl Server {
                                 let ok = store.set(&key, &value).is_ok();
                                 if let Some(reply) = &envelope.reply_to {
                                     fabric.send_response(reply, Response::Set { id, ok }.encode());
+                                }
+                            }
+                            Request::SetMulti { id, pairs } => {
+                                let pair_slices: Vec<(&[u8], &[u8])> = pairs
+                                    .iter()
+                                    .map(|(k, v)| (k.as_ref(), v.as_ref()))
+                                    .collect();
+                                let outcome = store.set_multi(&pair_slices, &mut set_batch);
+                                stats
+                                    .pre_ns
+                                    .fetch_add(outcome.phases.pre, Ordering::Relaxed);
+                                stats
+                                    .lookup_ns
+                                    .fetch_add(outcome.phases.lookup, Ordering::Relaxed);
+                                stats
+                                    .post_ns
+                                    .fetch_add(outcome.phases.post, Ordering::Relaxed);
+                                if let Some(reply) = &envelope.reply_to {
+                                    let ok: Vec<bool> =
+                                        set_batch.results().iter().map(|r| r.is_ok()).collect();
+                                    fabric.send_response(
+                                        reply,
+                                        Response::SetMulti { id, ok }.encode(),
+                                    );
                                 }
                             }
                         }

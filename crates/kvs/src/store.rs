@@ -183,6 +183,41 @@ pub struct MGetOutcome {
     pub phases: PhaseNanos,
 }
 
+/// Result of one batched Multi-Set ([`KvStore::set_multi`]).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SetMultiOutcome {
+    /// Keys stored successfully.
+    pub stored: usize,
+    /// Phase timing (pre = hash + partition, lookup = the candidate
+    /// prefetch probe, post = the inserts themselves).
+    pub phases: PhaseNanos,
+}
+
+/// Reusable scratch + per-key results for [`KvStore::set_multi`] — the
+/// write path's counterpart to [`MGetResponse`]. Reusing one batch across
+/// calls avoids per-request allocation, as a real server does.
+#[derive(Debug, Default)]
+pub struct SetMultiBatch {
+    results: Vec<Result<(), StoreError>>,
+    hashes: Vec<u32>,
+    per_shard: Vec<Vec<u32>>,
+    sub_hashes: Vec<u32>,
+    candidates: Vec<u32>,
+}
+
+impl SetMultiBatch {
+    /// An empty batch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-key outcomes of the last [`KvStore::set_multi`], in request
+    /// order (duplicate keys each get the outcome of their own insert).
+    pub fn results(&self) -> &[Result<(), StoreError>] {
+        &self.results
+    }
+}
+
 /// Bytes before the first per-key record of a Multi-Get response frame:
 /// `[opcode: u8] [request id: u64 LE] [key count: u16 LE]`.
 const RESP_HEADER_BYTES: usize = 11;
@@ -964,6 +999,22 @@ impl KvStore {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
         let mut g = slot.write();
+        self.set_in_guard(slot, &mut g, hash, key, value)
+    }
+
+    /// The per-key insert body shared by [`KvStore::set`] and
+    /// [`KvStore::set_multi`]: replace, allocate (evicting on pressure),
+    /// register, index (evicting on pressure), admit. The caller holds the
+    /// shard's write guard, so a multi-key batch amortizes one lock
+    /// acquisition and one seqlock write session over the whole group.
+    fn set_in_guard(
+        &self,
+        slot: &ShardSlot,
+        g: &mut ShardWriteGuard<'_>,
+        hash: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StoreError> {
         // Replace semantics: drop any existing item with this exact key.
         if let Some(existing) = g.find_verified(hash, key) {
             g.delete_item(hash, existing);
@@ -1009,6 +1060,141 @@ impl KvStore {
         g.clock.admit(item);
         slot.counters.sets.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The batched Multi-Set pipeline (DESIGN.md §12) — the write-path
+    /// counterpart to [`KvStore::mget`]:
+    ///
+    /// 1. **Pre-processing** — hash every key with the interleaved FNV
+    ///    kernel and partition the batch by shard.
+    /// 2. **Candidate probe** — per shard, under **one** write lock and
+    ///    seqlock write session for the whole group, a batched
+    ///    group-prefetched lookup warms the index buckets and stages the
+    ///    replacement candidates' item rows.
+    /// 3. **Insert** — each key runs the same replace/allocate/index body
+    ///    as [`KvStore::set`], with key `j + G`'s buckets and candidate
+    ///    rows prefetched while key `j` inserts.
+    ///
+    /// Keys in one batch apply in request order, so duplicate keys resolve
+    /// later-wins exactly as the equivalent sequence of `set` calls would,
+    /// and eviction decisions (CLOCK victims) match the sequential path.
+    /// Per-key outcomes land in `batch.results()`; a failed key does not
+    /// stop the rest of the batch.
+    ///
+    /// Holds at most one shard lock at a time, in shard order — same lock
+    /// hierarchy as `mget`, so it cannot deadlock against readers or other
+    /// batch writers.
+    pub fn set_multi(
+        &self,
+        pairs: &[(&[u8], &[u8])],
+        batch: &mut SetMultiBatch,
+    ) -> SetMultiOutcome {
+        // Phase 1: pre-processing — hash (eight interleaved FNV chains per
+        // group) and shard partition.
+        let t0 = Instant::now();
+        batch.results.clear();
+        batch.results.resize(pairs.len(), Ok(()));
+        let keys: Vec<&[u8]> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut hashes = std::mem::take(&mut batch.hashes);
+        hashes.clear();
+        hash_keys_into(&keys, &mut hashes);
+        let single = self.shards.len() == 1;
+        let mut per_shard = std::mem::take(&mut batch.per_shard);
+        if !single {
+            per_shard.resize_with(self.shards.len(), Vec::new);
+            for bucket in per_shard.iter_mut() {
+                bucket.clear();
+            }
+            for (i, &h) in hashes.iter().enumerate() {
+                per_shard[self.shard_for_hash(h)].push(i as u32);
+            }
+        }
+        let t1 = Instant::now();
+
+        let depth = self.prefetch_depth.load(Ordering::Relaxed);
+        let mut sub_hashes = std::mem::take(&mut batch.sub_hashes);
+        let mut candidates = std::mem::take(&mut batch.candidates);
+        let mut results = std::mem::take(&mut batch.results);
+        let mut stored = 0usize;
+        let mut lookup_ns = 0u64;
+        let mut post_ns = 0u64;
+        for (s, slot) in self.shards.iter().enumerate() {
+            let n_sub = if single {
+                pairs.len()
+            } else {
+                per_shard[s].len()
+            };
+            if n_sub == 0 {
+                continue;
+            }
+            let smap = if single {
+                SlotMap::Identity
+            } else {
+                SlotMap::Map(&per_shard[s])
+            };
+            let shard_hashes: &[u32] = if single {
+                &hashes
+            } else {
+                sub_hashes.clear();
+                sub_hashes.extend(per_shard[s].iter().map(|&i| hashes[i as usize]));
+                &sub_hashes
+            };
+            // Phase 2: one exclusive lock + seqlock write session for the
+            // whole group; the batched probe warms this shard's buckets
+            // and stages replacement candidates. The candidates are
+            // *hints only* — an earlier insert in this batch can change
+            // the truth (duplicate keys) — so Phase 3 re-verifies each key
+            // under the same guard.
+            let tl0 = Instant::now();
+            let mut g = slot.write();
+            candidates.clear();
+            candidates.resize(n_sub, NO_ITEM);
+            g.index
+                .lookup_batch_prefetched(shard_hashes, &mut candidates, depth);
+            if depth > 0 {
+                for &cand in candidates.iter().take(2 * depth) {
+                    g.items.prefetch(cand);
+                }
+            }
+            let tl1 = Instant::now();
+            // Phase 3: inserts, with key j+G's index buckets and candidate
+            // item rows requested while key j runs.
+            for j in 0..n_sub {
+                if depth > 0 {
+                    if let Some(&ahead) = candidates.get(j + 2 * depth) {
+                        g.items.prefetch(ahead);
+                    }
+                    if let Some(&h_ahead) = shard_hashes.get(j + depth) {
+                        g.index.prefetch_hash(h_ahead);
+                    }
+                }
+                let i = smap.get(j);
+                let (key, value) = pairs[i];
+                let r = self.set_in_guard(slot, &mut g, shard_hashes[j], key, value);
+                if r.is_ok() {
+                    stored += 1;
+                }
+                results[i] = r;
+            }
+            let tl2 = Instant::now();
+            drop(g);
+            lookup_ns += (tl1 - tl0).as_nanos() as u64;
+            post_ns += (tl2 - tl1).as_nanos() as u64;
+        }
+        batch.hashes = hashes;
+        batch.per_shard = per_shard;
+        batch.sub_hashes = sub_hashes;
+        batch.candidates = candidates;
+        batch.results = results;
+
+        SetMultiOutcome {
+            stored,
+            phases: PhaseNanos {
+                pre: (t1 - t0).as_nanos() as u64,
+                lookup: lookup_ns,
+                post: post_ns,
+            },
+        }
     }
 
     /// Look up a single key.
@@ -1718,6 +1904,89 @@ mod tests {
             for (s, &l) in lens.iter().enumerate() {
                 assert!(l > 2000 / 4 / 4, "shard {s} starved: {lens:?}");
             }
+        }
+    }
+
+    #[test]
+    fn set_multi_roundtrip_all_indexes() {
+        for store in sharded_stores(4000, 4) {
+            let pairs_owned: Vec<(Vec<u8>, Vec<u8>)> = (0..200u32)
+                .map(|i| {
+                    (
+                        format!("mk-{i}").into_bytes(),
+                        format!("mv-{i}").into_bytes(),
+                    )
+                })
+                .collect();
+            let mut batch = SetMultiBatch::new();
+            for chunk in pairs_owned.chunks(48) {
+                let pairs: Vec<(&[u8], &[u8])> = chunk
+                    .iter()
+                    .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                    .collect();
+                let outcome = store.set_multi(&pairs, &mut batch);
+                assert_eq!(outcome.stored, chunk.len(), "{}", store.index_name());
+                assert!(batch.results().iter().all(|r| r.is_ok()));
+            }
+            assert_eq!(store.len(), 200, "{}", store.index_name());
+            for (k, v) in &pairs_owned {
+                assert_eq!(
+                    store.get(k).as_deref(),
+                    Some(v.as_slice()),
+                    "{}",
+                    store.index_name()
+                );
+            }
+            assert_eq!(store.totals().sets, 200, "{}", store.index_name());
+        }
+    }
+
+    #[test]
+    fn set_multi_duplicates_resolve_later_wins() {
+        for store in stores(2000) {
+            let pairs: Vec<(&[u8], &[u8])> = vec![
+                (b"dup", b"first"),
+                (b"solo", b"only"),
+                (b"dup", b"second"),
+                (b"dup", b"third"),
+            ];
+            let mut batch = SetMultiBatch::new();
+            let outcome = store.set_multi(&pairs, &mut batch);
+            // Every pair applies (each duplicate replaces its
+            // predecessor), but only two keys survive.
+            assert_eq!(outcome.stored, 4, "{}", store.index_name());
+            assert_eq!(store.len(), 2, "{}", store.index_name());
+            assert_eq!(
+                store.get(b"dup").as_deref(),
+                Some(&b"third"[..]),
+                "{}: last pair in the batch must win",
+                store.index_name()
+            );
+            assert_eq!(store.get(b"solo").as_deref(), Some(&b"only"[..]));
+        }
+    }
+
+    #[test]
+    fn set_multi_oversized_pair_fails_alone() {
+        for store in stores(2000) {
+            let huge = vec![0u8; 8 << 20]; // exceeds every slab class
+            let pairs: Vec<(&[u8], &[u8])> = vec![
+                (b"ok-1", b"v1"),
+                (b"too-big", huge.as_slice()),
+                (b"ok-2", b"v2"),
+            ];
+            let mut batch = SetMultiBatch::new();
+            let outcome = store.set_multi(&pairs, &mut batch);
+            assert_eq!(outcome.stored, 2, "{}", store.index_name());
+            assert_eq!(
+                batch.results(),
+                &[Ok(()), Err(StoreError::ObjectTooLarge), Ok(())],
+                "{}: a failed pair must not stop the rest of the batch",
+                store.index_name()
+            );
+            assert_eq!(store.get(b"ok-1").as_deref(), Some(&b"v1"[..]));
+            assert_eq!(store.get(b"too-big"), None);
+            assert_eq!(store.get(b"ok-2").as_deref(), Some(&b"v2"[..]));
         }
     }
 

