@@ -1329,6 +1329,237 @@ pub fn kvs_readscale_sweep(scale: &RunScale) -> String {
     s
 }
 
+const CHURN_READ_BATCH: usize = 64;
+const CHURN_WRITE_BATCH: usize = 16;
+
+#[derive(Copy, Clone, PartialEq)]
+enum ChurnMode {
+    /// Plain `set` writes — the pre-versioning baseline.
+    Plain,
+    /// The versioned write surface with `ttl_secs == 0`: identical
+    /// semantics, so the gap to `Plain` is the layer's overhead.
+    Ttl0,
+    /// 1-second TTLs with the store clock advancing mid-stream, plus a
+    /// trickle of Deletes and CAS swaps: the full production-cache churn.
+    Churn,
+}
+
+impl ChurnMode {
+    fn name(self) -> &'static str {
+        match self {
+            ChurnMode::Plain => "plain",
+            ChurnMode::Ttl0 => "ttl0",
+            ChurnMode::Churn => "churn",
+        }
+    }
+}
+
+/// One measured churn point.
+struct TtlChurnPoint {
+    index: &'static str,
+    mkeys: [f64; 3], // indexed by ChurnMode order
+    expired: u64,
+    deletes: u64,
+    cas_ok: u64,
+}
+
+/// Measure the TTL-churn sweep and render (human table, JSON document).
+/// Split from [`kvs_ttl_churn`] so tests can run it without touching the
+/// filesystem.
+fn ttl_churn_impl(scale: &RunScale) -> (String, String) {
+    let full = scale.kvs_items >= RunScale::full().kvs_items;
+    let n_items = scale.kvs_items;
+    let n_rounds = scale.kvs_requests;
+    let reps = if full { 3 } else { 1 };
+    let keys_per_round = CHURN_READ_BATCH + CHURN_WRITE_BATCH;
+
+    let mut s = format!(
+        "== kvs-ttl-churn: versioned-op overhead and TTL churn, by index ==\n\
+         ({CHURN_READ_BATCH}-key Multi-Gets + {CHURN_WRITE_BATCH} writes per round, \
+         {n_rounds} rounds over {n_items} items, best of {reps};\n  \
+         churn mode: 1 s TTLs with the store clock advancing, plus Delete/CAS traffic)\n\n",
+    );
+    let _ = writeln!(
+        s,
+        "  {:<8} {:>12} {:>11} {:>12} {:>9} {:>8} {:>7} {:>7}",
+        "index", "plain Mk/s", "ttl0 Mk/s", "churn Mk/s", "overhead", "expired", "deletes", "cas"
+    );
+
+    let mut points: Vec<TtlChurnPoint> = Vec::new();
+    for which in ["memc3", "hor", "ver", "dpdk"] {
+        let mut best = [0.0f64; 3];
+        let (mut expired, mut deletes, mut cas_ok) = (0u64, 0u64, 0u64);
+        for (slot, mode) in [
+            (0usize, ChurnMode::Plain),
+            (1, ChurnMode::Ttl0),
+            (2, ChurnMode::Churn),
+        ] {
+            for _ in 0..reps {
+                let store = KvStore::new(
+                    build_index(which, n_items * 2),
+                    StoreConfig {
+                        memory_budget: n_items * 64 + (64 << 20),
+                        capacity_items: n_items * 2,
+                        shards: 1,
+                        prefetch_depth: None,
+                        ..StoreConfig::default()
+                    },
+                );
+                // Identical immortal preload in every mode; churn's TTLs
+                // arrive only with the streamed rewrites.
+                for i in 0..n_items {
+                    store
+                        .set(&sweep_key(i), &sweep_value(i))
+                        .expect("churn preload");
+                }
+                let ttl = if mode == ChurnMode::Churn { 1 } else { 0 };
+                let mut rng = 0x771_C0DEu64 ^ slot as u64;
+                let mut resp = MGetResponse::new();
+                let mut total_keys = 0usize;
+                let advance_every = (n_rounds / 4).max(1);
+                let t0 = std::time::Instant::now();
+                for round in 0..n_rounds {
+                    let keys: Vec<Vec<u8>> = (0..CHURN_READ_BATCH)
+                        .map(|_| sweep_key((splitmix64(&mut rng) % n_items as u64) as usize))
+                        .collect();
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                    store.mget(&refs, &mut resp);
+                    for _ in 0..CHURN_WRITE_BATCH {
+                        let i = (splitmix64(&mut rng) % n_items as u64) as usize;
+                        match mode {
+                            ChurnMode::Plain => {
+                                store.set(&sweep_key(i), &sweep_value(i)).expect("rewrite");
+                            }
+                            ChurnMode::Ttl0 | ChurnMode::Churn => {
+                                store
+                                    .set_v(&sweep_key(i), &sweep_value(i), ttl)
+                                    .expect("rewrite");
+                            }
+                        }
+                    }
+                    total_keys += keys_per_round;
+                    if mode == ChurnMode::Churn {
+                        if round % 8 == 0 {
+                            // A delete-then-reinsert and an uncontended
+                            // CAS, keeping the population stable while
+                            // exercising every point verb.
+                            let i = (splitmix64(&mut rng) % n_items as u64) as usize;
+                            store.delete(&sweep_key(i));
+                            store
+                                .set_v(&sweep_key(i), &sweep_value(i), ttl)
+                                .expect("reinsert");
+                            let j = (splitmix64(&mut rng) % n_items as u64) as usize;
+                            if let Some((_, version)) = store.get_v(&sweep_key(j)) {
+                                let _ = store.cas(&sweep_key(j), version, &sweep_value(j), ttl);
+                            }
+                        }
+                        if round % advance_every == advance_every - 1 {
+                            // Step the store clock past the 1 s TTL so the
+                            // churn writes expire under the reads.
+                            store.advance_time(2);
+                        }
+                    }
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                best[slot] = best[slot].max(total_keys as f64 / secs);
+                if mode == ChurnMode::Churn {
+                    let totals = store.totals();
+                    expired = totals.expired;
+                    deletes = totals.deletes;
+                    cas_ok = totals.cas_ok;
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  {:<8} {:>12.2} {:>11.2} {:>12.2} {:>8.1}% {:>8} {:>7} {:>7}",
+            which,
+            best[0] / 1e6,
+            best[1] / 1e6,
+            best[2] / 1e6,
+            (best[1] / best[0] - 1.0) * 100.0,
+            expired,
+            deletes,
+            cas_ok,
+        );
+        points.push(TtlChurnPoint {
+            index: which,
+            mkeys: [best[0] / 1e6, best[1] / 1e6, best[2] / 1e6],
+            expired,
+            deletes,
+            cas_ok,
+        });
+    }
+
+    // Acceptance: churn mode must actually churn (expiry + point verbs
+    // observed on every index), and the zero-TTL versioned surface must
+    // stay within a generous envelope of the plain path.
+    let churned = points
+        .iter()
+        .all(|p| p.expired > 0 && p.deletes > 0 && p.cas_ok > 0);
+    let bounded = points.iter().all(|p| p.mkeys[1] >= 0.25 * p.mkeys[0]);
+    let _ = writeln!(
+        s,
+        "\n  acceptance: expiry + Delete/CAS observed on every index: {}\n  \
+         acceptance: ttl0 within 4x of plain on every index: {}",
+        if churned { "PASS" } else { "FAIL" },
+        if bounded { "PASS" } else { "FAIL" },
+    );
+
+    let mut result_lines = String::new();
+    for p in &points {
+        if !result_lines.is_empty() {
+            result_lines.push_str(",\n");
+        }
+        let _ = write!(result_lines, "    {{\"index\": \"{}\", ", p.index);
+        for (slot, mode) in [ChurnMode::Plain, ChurnMode::Ttl0, ChurnMode::Churn]
+            .iter()
+            .enumerate()
+        {
+            let _ = write!(
+                result_lines,
+                "\"{}_mkeys_per_sec\": {:.3}, ",
+                mode.name(),
+                p.mkeys[slot],
+            );
+        }
+        let _ = write!(
+            result_lines,
+            "\"ttl0_overhead\": {:.4}, \"expired\": {}, \"deletes\": {}, \"cas_ok\": {}}}",
+            p.mkeys[1] / p.mkeys[0].max(1e-12),
+            p.expired,
+            p.deletes,
+            p.cas_ok,
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kvs-ttl-churn\",\n  \"mode\": \"{}\",\n  \
+         \"n_items\": {n_items},\n  \"read_batch\": {CHURN_READ_BATCH},\n  \
+         \"write_batch\": {CHURN_WRITE_BATCH},\n  \"rounds\": {n_rounds},\n  \
+         \"results\": [\n{result_lines}\n  ],\n  \
+         \"acceptance\": {{\"churn_observed\": {churned}, \
+         \"versioned_overhead_bounded\": {bounded}}}\n}}\n",
+        if full { "full" } else { "quick" },
+    );
+    (s, json)
+}
+
+/// `kvs-ttl-churn`: the versioned-operation layer under load (DESIGN.md
+/// §13) — the zero-TTL overhead of `set_v` against plain `set`, and a
+/// churn mode where 1-second TTLs expire under the reads while Deletes
+/// and CAS swaps trickle through. Writes the measurements to
+/// `BENCH_kvs_ttl.json` in the working directory.
+pub fn kvs_ttl_churn(scale: &RunScale) -> String {
+    let (mut s, json) = ttl_churn_impl(scale);
+    match std::fs::write("BENCH_kvs_ttl.json", &json) {
+        Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_ttl.json)\n"),
+        Err(e) => {
+            let _ = writeln!(s, "\n(could not write BENCH_kvs_ttl.json: {e})");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1465,6 +1696,28 @@ mod tests {
         assert!(json.contains("\"all_threads_ge_locked\":"));
         for mode in ["locked", "optimistic"] {
             assert!(json.contains(&format!("\"read_mode\": \"{mode}\"")));
+        }
+    }
+
+    #[test]
+    fn kvs_ttl_churn_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 32,
+            kvs_items: 300,
+        };
+        let (rendered, json) = ttl_churn_impl(&tiny);
+        assert!(rendered.contains("kvs-ttl-churn"));
+        assert!(rendered.contains("acceptance"));
+        // 4 index families, one point each, three throughput columns.
+        assert_eq!(json.matches("\"ttl0_overhead\":").count(), 4);
+        assert_eq!(json.matches("\"expired\":").count(), 4);
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"churn_observed\": true"));
+        for which in ["memc3", "hor", "ver", "dpdk"] {
+            assert!(json.contains(&format!("\"index\": \"{which}\"")));
         }
     }
 

@@ -37,6 +37,7 @@ pub const ALL: &[&str] = &[
     "kvs-setpath-sweep",
     "kvs-reactor-sweep",
     "kvs-readscale-sweep",
+    "kvs-ttl-churn",
     "ext-swiss",
 ];
 
@@ -68,6 +69,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "kvs-setpath-sweep" => kvs::kvs_setpath_sweep(&scale),
         "kvs-reactor-sweep" => kvs::kvs_reactor_sweep(&scale),
         "kvs-readscale-sweep" => kvs::kvs_readscale_sweep(&scale),
+        "kvs-ttl-churn" => kvs::kvs_ttl_churn(&scale),
         "ext-swiss" => extensions::swiss(&scale),
         _ => return None,
     })

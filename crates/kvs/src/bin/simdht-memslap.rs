@@ -35,6 +35,16 @@ OPTIONS:
     --write-frac <f>       Fraction of requests issued as batched SetMulti
                            writes of --mget pairs each, exercising the
                            server's SIMD-hashed set_multi path (default 0.0)
+    --delete-frac <f>      Fraction of requests issued as Deletes of sampled
+                           keys; idempotent, retried like Multi-Gets
+                           (default 0.0)
+    --cas-frac <f>         Fraction of requests issued as compare-and-swap
+                           writes (expected versions drawn from {1,2,3});
+                           never retried, lost responses count as uncertain
+                           (default 0.0)
+    --ttl <secs>           Attach this TTL to every write (Set becomes SetEx,
+                           SetMulti becomes SetMultiEx, CAS carries it);
+                           0 = never expires (default 0)
     --no-preload           Skip storing the items first (server already warm)
     --seed <n>             Workload RNG seed (default 19283)
     --deadline-ms <n>      Per-recv timeout in ms; a silent server counts as
@@ -116,6 +126,15 @@ fn parse_args() -> Result<Args, String> {
             "--write-frac" => {
                 args.net.write_frac = value.parse().map_err(|e| format!("--write-frac: {e}"))?;
             }
+            "--delete-frac" => {
+                args.net.delete_frac = value.parse().map_err(|e| format!("--delete-frac: {e}"))?;
+            }
+            "--cas-frac" => {
+                args.net.cas_frac = value.parse().map_err(|e| format!("--cas-frac: {e}"))?;
+            }
+            "--ttl" => {
+                args.net.ttl_secs = value.parse().map_err(|e| format!("--ttl: {e}"))?;
+            }
             "--seed" => args.spec.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--deadline-ms" => {
                 let ms: u64 = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
@@ -139,12 +158,15 @@ fn parse_args() -> Result<Args, String> {
     if args.mux
         && (args.net.set_fraction != 0.0
             || args.net.write_frac != 0.0
+            || args.net.delete_frac != 0.0
+            || args.net.cas_frac != 0.0
+            || args.net.ttl_secs != 0
             || args.net.faults.is_some()
             || args.net.retry.max_retries != simdht_kvs::client::RetryPolicy::default().max_retries)
     {
         return Err(
             "--mux is read-only and unretried: drop --set-fraction / --write-frac / \
-             --faults / --max-retries"
+             --delete-frac / --cas-frac / --ttl / --faults / --max-retries"
                 .to_string(),
         );
     }
@@ -208,9 +230,11 @@ fn main() {
         }
     };
     println!(
-        "\n{} MGets + {} Sets in {:.2}s  ({:.0} req/s, {:.2} Mkeys/s)",
+        "\n{} MGets + {} Sets + {} Deletes + {} CAS in {:.2}s  ({:.0} req/s, {:.2} Mkeys/s)",
         report.requests,
         report.sets,
+        report.deletes,
+        report.cas_ok + report.cas_conflicts,
         report.wall_secs,
         report.requests_per_sec,
         report.keys_per_sec / 1e6,
@@ -230,22 +254,39 @@ fn main() {
         report.p95_latency_us,
         report.p99_latency_us,
     );
+    if report.deletes > 0 {
+        println!(
+            "delete latency us: mean {:.1}  p99 {:.1}  ({} completed)",
+            report.delete_mean_latency_us, report.delete_p99_latency_us, report.deletes,
+        );
+    }
+    if report.cas_ok + report.cas_conflicts > 0 {
+        println!(
+            "cas latency us: mean {:.1}  p99 {:.1}  ({} stored, {} conflicts)",
+            report.cas_mean_latency_us,
+            report.cas_p99_latency_us,
+            report.cas_ok,
+            report.cas_conflicts,
+        );
+    }
     let disturbed = report.retries
         + report.timeouts
         + report.shed
         + report.reconnects
         + report.failed
-        + report.sets_uncertain;
+        + report.sets_uncertain
+        + report.cas_uncertain;
     if disturbed > 0 || args.net.faults.is_some() {
         println!(
             "resilience: {} retries, {} timeouts, {} shed, {} reconnects, \
-             {} failed, {} sets uncertain",
+             {} failed, {} sets uncertain, {} cas uncertain",
             report.retries,
             report.timeouts,
             report.shed,
             report.reconnects,
             report.failed,
             report.sets_uncertain,
+            report.cas_uncertain,
         );
     }
     if report.failed > 0 {
@@ -255,7 +296,9 @@ fn main() {
             report.failed,
         );
     }
-    if report.requests + report.sets == 0 && report.failed > 0 {
+    if report.requests + report.sets + report.deletes + report.cas_ok + report.cas_conflicts == 0
+        && report.failed > 0
+    {
         eprintln!("error: no request ever succeeded against {}", args.addr);
         std::process::exit(1);
     }

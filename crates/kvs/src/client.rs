@@ -19,6 +19,17 @@
 //!   [`SetOutcome::Uncertain`] instead and leaves the decision to the
 //!   application (the fault-matrix oracle tracks exactly this
 //!   uncertainty).
+//! * **Delete and Touch are idempotent**: re-deleting a key or re-setting
+//!   its TTL converges to the same state, so both retry like MGet. The one
+//!   visible wrinkle: when a retried Delete's *first* attempt actually
+//!   deleted, the retry answers `NotFound` — the caller sees `false`
+//!   though the key is gone, which is the standard idempotent-delete
+//!   ambiguity.
+//! * **Cas is never retried.** A lost Cas response is strictly worse than
+//!   a lost Set: resending could succeed against the version the first
+//!   attempt installed, silently double-applying. [`RetryClient::cas`]
+//!   reports [`CasNetOutcome::Uncertain`] and leaves recovery (a fresh
+//!   versioned read) to the application.
 //! * A [`crate::protocol::ErrorCode::ServerBusy`] response is the server
 //!   *shedding load*: the connection is healthy, so the client keeps it,
 //!   backs off, and retries (MGet) or reports [`SetOutcome::Shed`] (Set —
@@ -40,7 +51,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, OpStatus, Request, Response};
 use crate::transport::{ClientConn, Transport};
 
 /// Sleep abstraction so backoff tests run on a mock clock instead of
@@ -121,6 +132,28 @@ pub enum SetOutcome {
     Shed,
     /// The request or its response was lost; the server may or may not
     /// have applied it.
+    Uncertain,
+}
+
+/// What happened to a [`RetryClient::cas`]. Unlike [`SetOutcome`], a
+/// successful compare-and-swap carries the version the server installed,
+/// and a conflict carries the version it found — the caller needs both to
+/// decide whether (and against what) to re-read and retry at its level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CasNetOutcome {
+    /// The swap applied; the value now lives at this version.
+    Stored(u64),
+    /// The expected version did not match; the item exists at this one.
+    Conflict(u64),
+    /// No live item under that key.
+    NotFound,
+    /// The server confirmed it could not make room for the value.
+    Rejected,
+    /// The server explicitly shed the request: definitely not applied.
+    Shed,
+    /// The request or its response was lost; the server may or may not
+    /// have applied the swap. Never retried automatically — recover with
+    /// a fresh versioned read.
     Uncertain,
 }
 
@@ -230,6 +263,10 @@ impl<'a> RetryClient<'a> {
             Response::MGet { id, .. }
             | Response::Set { id, .. }
             | Response::SetMulti { id, .. }
+            | Response::Delete { id, .. }
+            | Response::Cas { id, .. }
+            | Response::Touch { id, .. }
+            | Response::SetEx { id, .. }
             | Response::Error { id, .. } => *id,
         };
         if got != id {
@@ -277,11 +314,11 @@ impl<'a> RetryClient<'a> {
                         format!("server refused mget: {code}"),
                     ));
                 }
-                Ok(Response::Set { .. } | Response::SetMulti { .. }) => {
+                Ok(_) => {
                     self.poison();
                     last_err = Some(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        "set response to an mget request",
+                        "wrong response type to an mget request",
                     ));
                 }
                 Err(e) => {
@@ -321,7 +358,7 @@ impl<'a> RetryClient<'a> {
                 self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
                 Ok(SetOutcome::Shed)
             }
-            Ok(Response::MGet { .. } | Response::SetMulti { .. }) => {
+            Ok(_) => {
                 self.poison();
                 Ok(SetOutcome::Uncertain)
             }
@@ -386,6 +423,235 @@ impl<'a> RetryClient<'a> {
                 ));
                 self.poison();
                 Ok(vec![SetOutcome::Uncertain; pairs.len()])
+            }
+        }
+    }
+
+    /// Shared retry loop for the idempotent point verbs (Delete, Touch):
+    /// `true`/`false` comes from mapping the response status through
+    /// `ok_status`, any other shape poisons and retries.
+    fn retry_point_verb(
+        &mut self,
+        mut make_frame: impl FnMut(u64) -> Bytes,
+        ok_status: impl Fn(&Response) -> Option<bool>,
+    ) -> io::Result<bool> {
+        let attempts = 1 + self.policy.max_retries;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                self.backoff(attempt - 1);
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            let frame = make_frame(id);
+            self.stats.attempts += 1;
+            match self.roundtrip(id, &frame) {
+                Ok(Response::Error { code, .. }) => {
+                    self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ResourceBusy,
+                        format!("server refused request: {code}"),
+                    ));
+                }
+                Ok(resp) => match ok_status(&resp) {
+                    Some(outcome) => return Ok(outcome),
+                    None => {
+                        self.poison();
+                        last_err = Some(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "wrong response type or status",
+                        ));
+                    }
+                },
+                Err(e) => {
+                    self.stats.timeouts += u64::from(matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ));
+                    self.poison();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// Delete `key`, retrying like MGet (idempotent). Returns `true` when
+    /// this request removed a live item, `false` when none was found —
+    /// with the caveat that a retry after a lost response reports `false`
+    /// even if the lost first attempt did the deleting.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once `1 + max_retries` attempts are
+    /// exhausted.
+    pub fn delete(&mut self, key: Bytes) -> io::Result<bool> {
+        self.retry_point_verb(
+            |id| {
+                Request::Delete {
+                    id,
+                    key: key.clone(),
+                }
+                .encode()
+            },
+            |resp| match resp {
+                Response::Delete {
+                    status: OpStatus::Deleted,
+                    ..
+                } => Some(true),
+                Response::Delete {
+                    status: OpStatus::NotFound,
+                    ..
+                } => Some(false),
+                _ => None,
+            },
+        )
+    }
+
+    /// Reset `key`'s TTL to `ttl_secs` (0 = never expires), retrying like
+    /// MGet (idempotent: repeating the same touch converges). Returns
+    /// `true` when a live item was touched, `false` when none was found.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once `1 + max_retries` attempts are
+    /// exhausted.
+    pub fn touch(&mut self, key: Bytes, ttl_secs: u32) -> io::Result<bool> {
+        self.retry_point_verb(
+            |id| {
+                Request::Touch {
+                    id,
+                    key: key.clone(),
+                    ttl_secs,
+                }
+                .encode()
+            },
+            |resp| match resp {
+                Response::Touch {
+                    status: OpStatus::Stored,
+                    ..
+                } => Some(true),
+                Response::Touch {
+                    status: OpStatus::NotFound,
+                    ..
+                } => Some(false),
+                _ => None,
+            },
+        )
+    }
+
+    /// Compare-and-swap `key` to `value` if its version is still
+    /// `expected_version`, **without retry**: a lost response leaves the
+    /// swap's fate unknown, and resending could succeed against the very
+    /// version the lost attempt installed (a silent double apply).
+    /// Ambiguity is reported as [`CasNetOutcome::Uncertain`].
+    ///
+    /// # Errors
+    ///
+    /// Connection-establishment failures only.
+    pub fn cas(
+        &mut self,
+        key: Bytes,
+        expected_version: u64,
+        value: Bytes,
+        ttl_secs: u32,
+    ) -> io::Result<CasNetOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Request::Cas {
+            id,
+            key,
+            expected_version,
+            value,
+            ttl_secs,
+        }
+        .encode();
+        self.conn()?;
+        self.stats.attempts += 1;
+        match self.roundtrip(id, &frame) {
+            Ok(Response::Cas {
+                status, version, ..
+            }) => Ok(match status {
+                OpStatus::Stored => CasNetOutcome::Stored(version),
+                OpStatus::ExistsConflict => CasNetOutcome::Conflict(version),
+                OpStatus::NotFound => CasNetOutcome::NotFound,
+                OpStatus::Rejected => CasNetOutcome::Rejected,
+                _ => {
+                    self.poison();
+                    CasNetOutcome::Uncertain
+                }
+            }),
+            Ok(Response::Error { code, .. }) => {
+                self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                Ok(CasNetOutcome::Shed)
+            }
+            Ok(_) => {
+                self.poison();
+                Ok(CasNetOutcome::Uncertain)
+            }
+            Err(e) => {
+                self.stats.timeouts += u64::from(matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ));
+                self.poison();
+                Ok(CasNetOutcome::Uncertain)
+            }
+        }
+    }
+
+    /// Store `key` = `value` with a TTL, **without retry** (same
+    /// non-idempotence as [`RetryClient::set`]). On success the returned
+    /// version is the one the store assigned; it is 0 for every other
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Connection-establishment failures only.
+    pub fn set_ex(
+        &mut self,
+        key: Bytes,
+        value: Bytes,
+        ttl_secs: u32,
+    ) -> io::Result<(SetOutcome, u64)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Request::SetEx {
+            id,
+            key,
+            value,
+            ttl_secs,
+        }
+        .encode();
+        self.conn()?;
+        self.stats.attempts += 1;
+        match self.roundtrip(id, &frame) {
+            Ok(Response::SetEx {
+                status, version, ..
+            }) => Ok(match status {
+                OpStatus::Stored => (SetOutcome::Stored, version),
+                OpStatus::Rejected => (SetOutcome::Rejected, 0),
+                _ => {
+                    self.poison();
+                    (SetOutcome::Uncertain, 0)
+                }
+            }),
+            Ok(Response::Error { code, .. }) => {
+                self.stats.busy += u64::from(code == ErrorCode::ServerBusy);
+                Ok((SetOutcome::Shed, 0))
+            }
+            Ok(_) => {
+                self.poison();
+                Ok((SetOutcome::Uncertain, 0))
+            }
+            Err(e) => {
+                self.stats.timeouts += u64::from(matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ));
+                self.poison();
+                Ok((SetOutcome::Uncertain, 0))
             }
         }
     }
@@ -471,8 +737,14 @@ mod tests {
             let request = self.last_request.clone().expect("recv after send");
             let (id, n_keys) = match &request {
                 Request::MGet { id, keys } => (*id, keys.len()),
-                Request::Set { id, .. } => (*id, 0),
-                Request::SetMulti { id, pairs } => (*id, pairs.len()),
+                Request::Set { id, .. }
+                | Request::Delete { id, .. }
+                | Request::Cas { id, .. }
+                | Request::Touch { id, .. }
+                | Request::SetEx { id, .. } => (*id, 0),
+                Request::SetMulti { id, pairs } | Request::SetMultiEx { id, pairs, .. } => {
+                    (*id, pairs.len())
+                }
                 Request::Shutdown => panic!("client never sends shutdown"),
             };
             let frame = match (step, &request) {
@@ -482,9 +754,38 @@ mod tests {
                 }
                 .encode(),
                 // Alternating statuses so per-key mapping is observable.
-                (Step::Ok, Request::SetMulti { .. }) => Response::SetMulti {
+                (Step::Ok, Request::SetMulti { .. } | Request::SetMultiEx { .. }) => {
+                    Response::SetMulti {
+                        id,
+                        ok: (0..n_keys).map(|i| i % 2 == 0).collect(),
+                    }
+                    .encode()
+                }
+                (Step::Ok, Request::Delete { .. }) => Response::Delete {
                     id,
-                    ok: (0..n_keys).map(|i| i % 2 == 0).collect(),
+                    status: OpStatus::Deleted,
+                }
+                .encode(),
+                (
+                    Step::Ok,
+                    Request::Cas {
+                        expected_version, ..
+                    },
+                ) => Response::Cas {
+                    id,
+                    status: OpStatus::Stored,
+                    version: expected_version + 1,
+                }
+                .encode(),
+                (Step::Ok, Request::Touch { .. }) => Response::Touch {
+                    id,
+                    status: OpStatus::Stored,
+                }
+                .encode(),
+                (Step::Ok, Request::SetEx { .. }) => Response::SetEx {
+                    id,
+                    status: OpStatus::Stored,
+                    version: 1,
                 }
                 .encode(),
                 (Step::Ok, _) => Response::Set { id, ok: true }.encode(),
@@ -692,6 +993,63 @@ mod tests {
             assert_eq!(outcomes, vec![SetOutcome::Uncertain; 3], "{bad:?}");
             assert!(client.conn.is_none(), "{bad:?} must poison the connection");
         }
+    }
+
+    #[test]
+    fn delete_and_touch_retry_like_mget() {
+        let transport = StubTransport::new([
+            Step::Fail(io::ErrorKind::TimedOut),
+            Step::Ok,
+            Step::Busy,
+            Step::Ok,
+        ]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 12, &clock);
+        assert!(client.delete(Bytes::from_static(b"k")).unwrap());
+        assert_eq!(client.stats().attempts, 2, "timeout then success");
+        assert_eq!(client.stats().retries, 1);
+        assert!(client.touch(Bytes::from_static(b"k"), 30).unwrap());
+        assert_eq!(client.stats().attempts, 4, "busy then success");
+        assert_eq!(client.stats().busy, 1);
+    }
+
+    #[test]
+    fn cas_is_never_retried() {
+        let transport = StubTransport::new([Step::Fail(io::ErrorKind::TimedOut), Step::Ok]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 13, &clock);
+        let outcome = client
+            .cas(Bytes::from_static(b"k"), 5, Bytes::from_static(b"v"), 0)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            CasNetOutcome::Uncertain,
+            "lost response = uncertain"
+        );
+        assert_eq!(client.stats().attempts, 1, "exactly one wire attempt");
+        assert!(clock.sleeps.lock().unwrap().is_empty(), "no backoff");
+        // The remaining Step::Ok proves the script was not consumed twice.
+        assert_eq!(transport.script.lock().unwrap().len(), 1);
+        // A clean success carries the installed version.
+        let outcome = client
+            .cas(Bytes::from_static(b"k"), 5, Bytes::from_static(b"v"), 0)
+            .unwrap();
+        assert_eq!(outcome, CasNetOutcome::Stored(6));
+    }
+
+    #[test]
+    fn set_ex_maps_status_and_version() {
+        let transport = StubTransport::new([Step::Ok, Step::Busy]);
+        let clock = MockClock::default();
+        let mut client = RetryClient::with_clock(&transport, RetryPolicy::default(), 14, &clock);
+        let (outcome, version) = client
+            .set_ex(Bytes::from_static(b"k"), Bytes::from_static(b"v"), 60)
+            .unwrap();
+        assert_eq!((outcome, version), (SetOutcome::Stored, 1));
+        let (outcome, version) = client
+            .set_ex(Bytes::from_static(b"k"), Bytes::from_static(b"v"), 60)
+            .unwrap();
+        assert_eq!((outcome, version), (SetOutcome::Shed, 0));
     }
 
     #[test]

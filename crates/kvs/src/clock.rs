@@ -84,25 +84,42 @@ impl Clock {
     /// Pick a victim: sweep the hand, clearing reference bits, until an
     /// unreferenced item is found. Returns `None` when the ring is empty.
     pub fn evict(&mut self) -> Option<u32> {
+        self.evict_with(|_| false).map(|(item, _)| item)
+    }
+
+    /// [`Clock::evict`] with TTL reclamation integrated into the sweep
+    /// (DESIGN.md §13): at each hand position the victim test is
+    /// dead-first — an item the predicate marks expired is reclaimed
+    /// immediately, *before* its reference bit (or any later entry's)
+    /// can hand a live item to the caller. Returns the removed item and
+    /// whether it was expired. With an always-false predicate this is
+    /// bit-for-bit the classic CLOCK sweep. The hand does not advance
+    /// past a reclaimed slot, so the entry swapped into it is examined
+    /// by the very next sweep.
+    pub fn evict_with(&mut self, is_expired: impl Fn(u32) -> bool) -> Option<(u32, bool)> {
         if self.entries.is_empty() {
             return None;
         }
         // At most two sweeps: the first clears every bit.
         for _ in 0..2 * self.entries.len() {
             let pos = self.hand % self.entries.len();
+            let item = self.entries[pos];
+            if is_expired(item) {
+                self.remove_at(pos);
+                return Some((item, true));
+            }
             self.hand = (self.hand + 1) % self.entries.len();
-            if self.test_and_clear(self.entries[pos]) {
+            if self.test_and_clear(item) {
                 continue;
             }
-            let item = self.entries[pos];
             self.remove_at(pos);
-            return Some(item);
+            return Some((item, false));
         }
         // All bits were set and re-set concurrently; evict at the hand.
         let pos = self.hand % self.entries.len();
         let item = self.entries[pos];
         self.remove_at(pos);
-        Some(item)
+        Some((item, false))
     }
 
     /// Stop tracking an item (e.g. explicit delete).
@@ -217,6 +234,29 @@ mod tests {
         }
         drained.sort_unstable();
         assert_eq!(drained.len(), 2);
+    }
+
+    #[test]
+    fn evict_with_reclaims_expired_before_live_victims() {
+        let mut clock = Clock::new();
+        for i in 0..4 {
+            clock.admit(i);
+        }
+        // All reference bits are fresh, so a plain sweep would need a
+        // full lap before finding a live victim — an expired entry
+        // mid-ring is reclaimed first because the dead-first test runs
+        // before (and regardless of) the reference-bit test.
+        assert_eq!(clock.evict_with(|i| i == 2), Some((2, true)));
+        assert_eq!(clock.len(), 3);
+        // With nothing expired the sweep degenerates to classic CLOCK:
+        // bits 0 and 1 were cleared on the way to the corpse, so after
+        // the still-referenced tail entry gets its second chance the
+        // hand wraps to 0.
+        assert_eq!(clock.evict_with(|_| false), Some((0, false)));
+        // Draining a ring of corpses reclaims every entry as expired.
+        assert_eq!(clock.evict_with(|_| true), Some((1, true)));
+        assert_eq!(clock.evict_with(|_| true), Some((3, true)));
+        assert_eq!(clock.evict_with(|_| true), None);
     }
 
     #[test]

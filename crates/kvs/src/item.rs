@@ -128,9 +128,22 @@ pub fn read_item_racy(slab: &SlabAllocator, r: SlabRef, buf: &mut Vec<u8>) -> bo
 
 /// The shared object-pointer array: item id (32-bit, what the hash index
 /// stores as its payload) → versioned slab chunk reference.
+///
+/// Beside the row words live two parallel metadata words per id — the
+/// key's **mutation version** and its **expiry second** (0 = no expiry)
+/// — in the same stable segmented storage. They are written *before* the
+/// row word's Release publish, so an optimistic reader that re-validates
+/// the row word after reading them has also proven the metadata belonged
+/// to exactly that item (the id cannot have been recycled without the
+/// word changing).
 #[derive(Debug, Default)]
 pub struct ItemTable {
     rows: AtomicSegArray,
+    /// Per-id mutation version (DESIGN.md §13). Stable addresses; racy
+    /// reads are validated by the row word.
+    versions: AtomicSegArray,
+    /// Per-id expiry in coarse store seconds; 0 = never expires.
+    expiries: AtomicSegArray,
     free: Vec<u32>,
     next: u32,
     live: usize,
@@ -164,6 +177,20 @@ impl ItemTable {
     ///
     /// Panics if more than `u32::MAX - 1` items are live.
     pub fn register(&mut self, r: SlabRef) -> u32 {
+        self.register_versioned(r, 1, 0)
+    }
+
+    /// [`ItemTable::register`] carrying explicit mutation metadata: the
+    /// key's new `version` and its absolute `expires_at` second (0 = no
+    /// expiry). Both metadata words are stored *before* the row word's
+    /// Release publish, so any reader that observed the published word —
+    /// and re-validates it after reading the metadata — is guaranteed the
+    /// metadata it read belongs to this registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` items are live.
+    pub fn register_versioned(&mut self, r: SlabRef, version: u64, expires_at: u64) -> u32 {
         let id = match self.free.pop() {
             Some(id) => id,
             None => {
@@ -173,6 +200,12 @@ impl ItemTable {
                 id
             }
         };
+        self.versions
+            .get_or_alloc(id as usize)
+            .store(version, Ordering::Relaxed);
+        self.expiries
+            .get_or_alloc(id as usize)
+            .store(expires_at, Ordering::Relaxed);
         let row = self.rows.get_or_alloc(id as usize);
         // Keep the generation left behind by the last unregister (zero for
         // a brand-new row).
@@ -184,6 +217,37 @@ impl ItemTable {
         row.store(word, Ordering::Release);
         self.live += 1;
         id
+    }
+
+    /// The mutation version registered for `id` (0 for never-registered
+    /// rows). Meaningful only while the row is live: lock holders may read
+    /// it directly, optimistic readers must re-validate the row word they
+    /// loaded *before* this call to prove the id was not recycled.
+    #[inline(always)]
+    pub fn version(&self, id: u32) -> u64 {
+        self.versions
+            .get(id as usize)
+            .map_or(0, |w| w.load(Ordering::Relaxed))
+    }
+
+    /// The absolute expiry second registered for `id` (0 = no expiry;
+    /// same validity rules as [`ItemTable::version`]).
+    #[inline(always)]
+    pub fn expires_at(&self, id: u32) -> u64 {
+        self.expiries
+            .get(id as usize)
+            .map_or(0, |w| w.load(Ordering::Relaxed))
+    }
+
+    /// Overwrite `id`'s expiry in place (the `touch` verb). Must be
+    /// called under the shard write lock; concurrent optimistic readers
+    /// may observe either the old or the new expiry, both of which are
+    /// linearizable orderings of the racing touch and read.
+    #[inline]
+    pub fn set_expires_at(&self, id: u32, expires_at: u64) {
+        if let Some(w) = self.expiries.get(id as usize) {
+            w.store(expires_at, Ordering::Relaxed);
+        }
     }
 
     /// Resolve an item id to its chunk, if live.
@@ -378,6 +442,33 @@ mod tests {
         let word2 = table.load_row(id2);
         assert_ne!(word, word2);
         assert!(table.revalidate(id2, word2));
+    }
+
+    #[test]
+    fn metadata_follows_registration_lifecycle() {
+        let mut slab = SlabAllocator::new(1 << 20);
+        let mut table = ItemTable::new();
+        let id = table.register_versioned(write_item(&mut slab, b"k", b"v1").unwrap(), 7, 99);
+        assert_eq!(table.version(id), 7);
+        assert_eq!(table.expires_at(id), 99);
+        table.set_expires_at(id, 120);
+        assert_eq!(table.expires_at(id), 120);
+
+        // Recycling the id through unregister/register replaces the
+        // metadata outright — no stale version or expiry leaks through.
+        slab.free(table.unregister(id).unwrap());
+        let id2 = table.register(write_item(&mut slab, b"k2", b"v2").unwrap());
+        assert_eq!(id, id2);
+        assert_eq!(table.version(id2), 1);
+        assert_eq!(table.expires_at(id2), 0);
+
+        // Plain register defaults: version 1, never expires.
+        let fresh = table.register(write_item(&mut slab, b"f", b"x").unwrap());
+        assert_eq!(table.version(fresh), 1);
+        assert_eq!(table.expires_at(fresh), 0);
+        // Out-of-range metadata reads are dead, not UB.
+        assert_eq!(table.version(54321), 0);
+        assert_eq!(table.expires_at(54321), 0);
     }
 
     #[test]

@@ -343,9 +343,14 @@ fn handle_connection(
         // and the connection lives on.
         let mut slot: Option<SlotGuard<'_>> = None;
         if let Some(id) = match &request {
-            Request::MGet { id, .. } | Request::Set { id, .. } | Request::SetMulti { id, .. } => {
-                Some(*id)
-            }
+            Request::MGet { id, .. }
+            | Request::Set { id, .. }
+            | Request::SetMulti { id, .. }
+            | Request::Delete { id, .. }
+            | Request::Cas { id, .. }
+            | Request::Touch { id, .. }
+            | Request::SetEx { id, .. }
+            | Request::SetMultiEx { id, .. } => Some(*id),
             Request::Shutdown => None,
         } {
             let code = if let Some(g) = gauge.as_deref() {
@@ -378,6 +383,10 @@ fn handle_connection(
         // `slot` releases its inflight permit when the iteration ends —
         // including the `break` paths.
         let _hold = slot;
+        let multi_ttl = match &request {
+            Request::SetMultiEx { ttl_secs, .. } => *ttl_secs,
+            _ => 0,
+        };
         match request {
             Request::Shutdown => break,
             Request::MGet { id, keys } => {
@@ -417,12 +426,12 @@ fn handle_connection(
                     break;
                 }
             }
-            Request::SetMulti { id, pairs } => {
+            Request::SetMulti { id, pairs } | Request::SetMultiEx { id, pairs, .. } => {
                 let pair_slices: Vec<(&[u8], &[u8])> = pairs
                     .iter()
                     .map(|(k, v)| (k.as_ref(), v.as_ref()))
                     .collect();
-                let outcome = store.set_multi(&pair_slices, &mut set_batch);
+                let outcome = store.set_multi_ttl(&pair_slices, multi_ttl, &mut set_batch);
                 conn.sets += pair_slices.len() as u64;
                 stats
                     .pre_ns
@@ -436,6 +445,17 @@ fn handle_connection(
                 let ok: Vec<bool> = set_batch.results().iter().map(|r| r.is_ok()).collect();
                 let payload = Response::SetMulti { id, ok }.encode();
                 if write_frame(&mut writer, &payload).is_err() {
+                    break;
+                }
+            }
+            ref req @ (Request::Delete { .. }
+            | Request::Cas { .. }
+            | Request::Touch { .. }
+            | Request::SetEx { .. }) => {
+                conn.sets += 1;
+                let resp = crate::protocol::execute_versioned_op(store, req)
+                    .expect("point verb has a versioned-op response");
+                if write_frame(&mut writer, &resp.encode()).is_err() {
                     break;
                 }
             }

@@ -24,7 +24,7 @@ use rand::SeedableRng;
 
 use crate::client::RetryPolicy;
 use crate::fault::{FaultPlan, FaultSpec, FaultyTransport};
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, OpStatus, Request, Response};
 use crate::server::Server;
 use crate::store::{KvStore, PhaseNanos, StoreConfig};
 use crate::transport::{ClientConn, Fabric, FabricConfig, Transport};
@@ -244,6 +244,21 @@ pub struct NetMemslapConfig {
     /// SIMD-hashed, prefetch-staged `set_multi` path. Drawn
     /// independently of `set_fraction`; the two write kinds can mix.
     pub write_frac: f64,
+    /// Fraction of request slots issued as Deletes of sampled item keys.
+    /// Deletes are idempotent and retried like Multi-Gets; deleted keys
+    /// make later Multi-Gets miss, so hit rate drops below 100 % when
+    /// this is nonzero.
+    pub delete_frac: f64,
+    /// Fraction of request slots issued as compare-and-swap writes over
+    /// sampled items (expected version drawn from {1, 2, 3}, so a mix of
+    /// wins and conflicts). CAS is never resent: a lost response counts
+    /// in [`ClientReport::cas_uncertain`].
+    pub cas_frac: f64,
+    /// TTL in coarse store seconds attached to every write this client
+    /// issues (Set becomes SetEx, SetMulti becomes SetMultiEx, and CAS
+    /// frames carry it). 0 = no expiry, which also keeps every frame
+    /// byte-identical to the pre-TTL protocol.
+    pub ttl_secs: u32,
     /// Preload the workload's items over the wire with Sets before the
     /// timed run. Disable when the server is already populated.
     pub preload: bool,
@@ -263,6 +278,9 @@ impl Default for NetMemslapConfig {
             pipeline_depth: 8,
             set_fraction: 0.0,
             write_frac: 0.0,
+            delete_frac: 0.0,
+            cas_frac: 0.0,
+            ttl_secs: 0,
             preload: true,
             retry: RetryPolicy::default(),
             faults: None,
@@ -300,7 +318,7 @@ pub struct ClientReport {
     pub p95_latency_us: f64,
     /// p99 latency in µs.
     pub p99_latency_us: f64,
-    /// Completed requests (MGet + Set) per wall-clock second.
+    /// Completed requests (every verb) per wall-clock second.
     pub requests_per_sec: f64,
     /// Multi-Get keys per wall-clock second.
     pub keys_per_sec: f64,
@@ -323,6 +341,25 @@ pub struct ClientReport {
     /// have reached the server). Never retried — see
     /// [`crate::client::RetryClient::set`] for why.
     pub sets_uncertain: u64,
+    /// Delete requests completed (the key is gone either way: `Deleted`
+    /// and `NotFound` both count).
+    pub deletes: u64,
+    /// Compare-and-swap requests that installed their value.
+    pub cas_ok: u64,
+    /// Compare-and-swap requests decided against the caller (version
+    /// conflict or vanished key).
+    pub cas_conflicts: u64,
+    /// Compare-and-swap requests whose response was lost. Never retried —
+    /// see [`crate::client::RetryClient::cas`] for why.
+    pub cas_uncertain: u64,
+    /// Mean Delete latency in µs (0 when no deletes ran).
+    pub delete_mean_latency_us: f64,
+    /// p99 Delete latency in µs.
+    pub delete_p99_latency_us: f64,
+    /// Mean CAS latency in µs over decided outcomes (0 when none ran).
+    pub cas_mean_latency_us: f64,
+    /// p99 CAS latency in µs over decided outcomes.
+    pub cas_p99_latency_us: f64,
 }
 
 /// Latency percentile over a sorted nanosecond list, in µs.
@@ -334,17 +371,49 @@ fn percentile_us(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1_000.0
 }
 
+/// Request kind of one planned slot: decides the retry policy (only
+/// idempotent verbs are ever resent) and which latency series the
+/// response lands in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Verb {
+    /// Multi-Get: idempotent, retried, feeds the headline latency series.
+    MGet,
+    /// Set / SetEx / SetMulti / SetMultiEx: not idempotent — a lost
+    /// response marks the write uncertain instead of resending it.
+    Write,
+    /// Delete: idempotent (deleting twice deletes once), retried like a
+    /// Multi-Get. A retried delete whose first attempt landed reports
+    /// `NotFound`, indistinguishable from a genuine miss — both count as
+    /// a completed delete here.
+    Delete,
+    /// Compare-and-swap: never resent — a second attempt could win
+    /// against a different version than the caller named.
+    Cas,
+}
+
+impl Verb {
+    /// Whether a lost or shed request may safely go back on the wire.
+    fn idempotent(self) -> bool {
+        matches!(self, Verb::MGet | Verb::Delete)
+    }
+}
+
 /// Pre-encoded request stream for one connection.
 struct ConnPlan {
-    /// (is_set, expected id, encoded frame).
-    requests: Vec<(bool, u64, Bytes)>,
+    /// (verb, expected id, encoded frame).
+    requests: Vec<(Verb, u64, Bytes)>,
 }
 
 /// What one connection thread measured.
 #[derive(Default)]
 struct ConnOutcome {
     latencies_ns: Vec<u64>,
+    delete_lat_ns: Vec<u64>,
+    cas_lat_ns: Vec<u64>,
     sets: u64,
+    deletes: u64,
+    cas_ok: u64,
+    cas_conflicts: u64,
     keys: u64,
     hits: u64,
     retries: u64,
@@ -353,12 +422,18 @@ struct ConnOutcome {
     reconnects: u64,
     failed: u64,
     sets_uncertain: u64,
+    cas_uncertain: u64,
 }
 
 impl ConnOutcome {
     fn absorb(&mut self, other: &ConnOutcome) {
         self.latencies_ns.extend_from_slice(&other.latencies_ns);
+        self.delete_lat_ns.extend_from_slice(&other.delete_lat_ns);
+        self.cas_lat_ns.extend_from_slice(&other.cas_lat_ns);
         self.sets += other.sets;
+        self.deletes += other.deletes;
+        self.cas_ok += other.cas_ok;
+        self.cas_conflicts += other.cas_conflicts;
         self.keys += other.keys;
         self.hits += other.hits;
         self.retries += other.retries;
@@ -367,6 +442,32 @@ impl ConnOutcome {
         self.reconnects += other.reconnects;
         self.failed += other.failed;
         self.sets_uncertain += other.sets_uncertain;
+        self.cas_uncertain += other.cas_uncertain;
+    }
+
+    /// Per-verb uncertainty/abandonment for one in-flight or undeliverable
+    /// request: writes and CAS become uncertain (the server may have
+    /// applied them), idempotent verbs requeue until their attempt budget
+    /// runs out.
+    fn account_lost(
+        &mut self,
+        verb: Verb,
+        idx: usize,
+        attempts: &[u32],
+        max_retries: u32,
+        pending: &mut VecDeque<usize>,
+    ) {
+        match verb {
+            Verb::Write => self.sets_uncertain += 1,
+            Verb::Cas => self.cas_uncertain += 1,
+            Verb::MGet | Verb::Delete => {
+                if attempts[idx] > max_retries {
+                    self.failed += 1;
+                } else {
+                    pending.push_back(idx);
+                }
+            }
+        }
     }
 }
 
@@ -403,20 +504,14 @@ fn drive_connection(
     let mut consecutive_failures = 0u32;
 
     // A failed stream may hold partial frames: drop it, requeue in-flight
-    // Multi-Gets (their attempt was already counted at send), and mark
-    // in-flight Sets uncertain.
+    // idempotent verbs (Multi-Gets and Deletes; their attempt was already
+    // counted at send), and mark in-flight writes and CAS uncertain.
     macro_rules! poison {
         () => {{
             conn = None;
             for (_, (idx, _, _)) in inflight.drain() {
-                let (is_set, _, _) = plan.requests[idx];
-                if is_set {
-                    outcome.sets_uncertain += 1;
-                } else if attempts[idx] > policy.max_retries {
-                    outcome.failed += 1;
-                } else {
-                    pending.push_back(idx);
-                }
+                let (verb, _, _) = plan.requests[idx];
+                outcome.account_lost(verb, idx, &attempts, policy.max_retries, &mut pending);
             }
         }};
     }
@@ -473,10 +568,15 @@ fn drive_connection(
                 }
                 Err(_) => {
                     // The frame may be partially written; requeue this
-                    // request along with the rest of the window.
-                    if attempts[idx] > policy.max_retries {
-                        let (is_set, _, _) = plan.requests[idx];
-                        if is_set {
+                    // request along with the rest of the window. CAS is
+                    // the exception: its policy is never-resend, even
+                    // though a torn frame was almost certainly dropped
+                    // by the server's length/CRC framing.
+                    let (verb, _, _) = plan.requests[idx];
+                    if verb == Verb::Cas {
+                        outcome.cas_uncertain += 1;
+                    } else if attempts[idx] > policy.max_retries {
+                        if verb == Verb::Write {
                             outcome.sets_uncertain += 1;
                         } else {
                             outcome.failed += 1;
@@ -517,14 +617,15 @@ fn drive_connection(
             consecutive_failures += 1;
             continue;
         };
-        let (id, entries, set_ok, err_code) = match response {
-            Response::MGet { id, entries } => (id, Some(entries), false, None),
-            Response::Set { id, ok } => (id, None, ok, None),
-            // A batched write counts as applied only when every pair
-            // landed (partial success still stores state server-side,
-            // but the driver's per-request bookkeeping is all-or-nothing).
-            Response::SetMulti { id, ok } => (id, None, ok.iter().all(|&b| b), None),
-            Response::Error { id, code } => (id, None, false, Some(code)),
+        let id = match &response {
+            Response::MGet { id, .. }
+            | Response::Set { id, .. }
+            | Response::SetMulti { id, .. }
+            | Response::Delete { id, .. }
+            | Response::Cas { id, .. }
+            | Response::Touch { id, .. }
+            | Response::SetEx { id, .. }
+            | Response::Error { id, .. } => *id,
         };
         let Some((idx, t0, req_wire)) = inflight.remove(&id) else {
             // A response we never asked for on this stream: protocol
@@ -533,40 +634,82 @@ fn drive_connection(
             consecutive_failures += 1;
             continue;
         };
-        let (is_set, _, _) = plan.requests[idx];
+        let (verb, _, _) = plan.requests[idx];
         consecutive_failures = 0;
-        match (entries, err_code) {
-            (Some(entries), _) if !is_set => {
+        let lat = t0.elapsed().as_nanos() as u64 + req_wire + resp_wire;
+        match (verb, response) {
+            (Verb::MGet, Response::MGet { entries, .. }) => {
                 outcome.keys += entries.len() as u64;
                 outcome.hits += entries.iter().filter(|e| e.is_some()).count() as u64;
-                outcome
-                    .latencies_ns
-                    .push(t0.elapsed().as_nanos() as u64 + req_wire + resp_wire);
+                outcome.latencies_ns.push(lat);
             }
-            (None, Some(code)) => {
+            (Verb::Write, Response::Set { ok, .. }) => {
+                if ok {
+                    outcome.sets += 1;
+                } else {
+                    outcome.failed += 1;
+                }
+            }
+            // A batched write counts as applied only when every pair
+            // landed (partial success still stores state server-side,
+            // but the driver's per-request bookkeeping is all-or-nothing).
+            (Verb::Write, Response::SetMulti { ok, .. }) => {
+                if ok.iter().all(|&b| b) {
+                    outcome.sets += 1;
+                } else {
+                    outcome.failed += 1;
+                }
+            }
+            (Verb::Write, Response::SetEx { status, .. }) => {
+                if status == OpStatus::Stored {
+                    outcome.sets += 1;
+                } else {
+                    outcome.failed += 1;
+                }
+            }
+            // Deleted and NotFound both mean "the key is gone now" — a
+            // retried delete whose first attempt landed answers NotFound.
+            (
+                Verb::Delete,
+                Response::Delete {
+                    status: OpStatus::Deleted | OpStatus::NotFound,
+                    ..
+                },
+            ) => {
+                outcome.deletes += 1;
+                outcome.delete_lat_ns.push(lat);
+            }
+            (Verb::Cas, Response::Cas { status, .. }) => match status {
+                OpStatus::Stored => {
+                    outcome.cas_ok += 1;
+                    outcome.cas_lat_ns.push(lat);
+                }
+                // A losing race or a vanished key is a *decided* outcome,
+                // not a failure: the caller's version was simply stale.
+                OpStatus::ExistsConflict | OpStatus::NotFound => {
+                    outcome.cas_conflicts += 1;
+                    outcome.cas_lat_ns.push(lat);
+                }
+                _ => outcome.failed += 1,
+            },
+            (_, Response::Error { code, .. }) => {
                 // The server shed this request; the connection is fine.
+                // Shed requests were explicitly *not* applied, so even the
+                // non-idempotent verbs fail cleanly instead of going
+                // uncertain — but only idempotent ones go back on the wire.
                 outcome.shed += u64::from(matches!(
                     code,
                     ErrorCode::ServerBusy | ErrorCode::DeadlineExceeded
                 ));
-                if is_set {
-                    // Explicitly not applied; Sets are not retried.
-                    outcome.failed += 1;
-                } else if attempts[idx] > policy.max_retries {
-                    outcome.failed += 1;
-                } else {
+                if verb.idempotent() && attempts[idx] <= policy.max_retries {
                     pending.push_back(idx);
-                }
-            }
-            (None, None) if is_set => {
-                if set_ok {
-                    outcome.sets += 1;
                 } else {
                     outcome.failed += 1;
                 }
             }
             _ => {
                 // Response type contradicts the request type.
+                outcome.account_lost(verb, idx, &attempts, policy.max_retries, &mut pending);
                 poison!();
                 consecutive_failures += 1;
             }
@@ -589,7 +732,7 @@ fn preload_over_wire(
         .enumerate()
         .map(|(i, (key, value))| {
             (
-                true,
+                Verb::Write,
                 i as u64,
                 Request::Set {
                     id: i as u64,
@@ -671,23 +814,32 @@ pub fn run_memslap_over(
                 .step_by(config.connections)
                 .map(|r| {
                     let draw = rng.gen::<f64>();
-                    if draw < config.set_fraction {
+                    let set_cut = config.set_fraction;
+                    let multi_cut = set_cut + config.write_frac;
+                    let delete_cut = multi_cut + config.delete_frac;
+                    let cas_cut = delete_cut + config.cas_frac;
+                    if draw < set_cut {
                         let item = rng.gen_range(0..workload.items().len());
                         let (key, value) = &workload.items()[item];
                         let fresh: Vec<u8> = (0..value.len())
                             .map(|_| rng.gen_range(b' '..=b'~'))
                             .collect();
-                        (
-                            true,
-                            r as u64,
+                        let req = if config.ttl_secs > 0 {
+                            Request::SetEx {
+                                id: r as u64,
+                                key: Bytes::copy_from_slice(key),
+                                value: Bytes::from(fresh),
+                                ttl_secs: config.ttl_secs,
+                            }
+                        } else {
                             Request::Set {
                                 id: r as u64,
                                 key: Bytes::copy_from_slice(key),
                                 value: Bytes::from(fresh),
                             }
-                            .encode(),
-                        )
-                    } else if draw < config.set_fraction + config.write_frac {
+                        };
+                        (Verb::Write, r as u64, req.encode())
+                    } else if draw < multi_cut {
                         // A batched write: `mget_size` sampled items with
                         // fresh values in one SetMulti frame.
                         let pairs: Vec<(Bytes, Bytes)> = (0..workload.requests()[r].len())
@@ -700,12 +852,45 @@ pub fn run_memslap_over(
                                 (Bytes::copy_from_slice(key), Bytes::from(fresh))
                             })
                             .collect();
-                        (
-                            true,
-                            r as u64,
+                        let req = if config.ttl_secs > 0 {
+                            Request::SetMultiEx {
+                                id: r as u64,
+                                pairs,
+                                ttl_secs: config.ttl_secs,
+                            }
+                        } else {
                             Request::SetMulti {
                                 id: r as u64,
                                 pairs,
+                            }
+                        };
+                        (Verb::Write, r as u64, req.encode())
+                    } else if draw < delete_cut {
+                        let item = rng.gen_range(0..workload.items().len());
+                        (
+                            Verb::Delete,
+                            r as u64,
+                            Request::Delete {
+                                id: r as u64,
+                                key: Bytes::copy_from_slice(&workload.items()[item].0),
+                            }
+                            .encode(),
+                        )
+                    } else if draw < cas_cut {
+                        let item = rng.gen_range(0..workload.items().len());
+                        let (key, value) = &workload.items()[item];
+                        let fresh: Vec<u8> = (0..value.len())
+                            .map(|_| rng.gen_range(b' '..=b'~'))
+                            .collect();
+                        (
+                            Verb::Cas,
+                            r as u64,
+                            Request::Cas {
+                                id: r as u64,
+                                key: Bytes::copy_from_slice(key),
+                                expected_version: rng.gen_range(1..=3),
+                                value: Bytes::from(fresh),
+                                ttl_secs: config.ttl_secs,
                             }
                             .encode(),
                         )
@@ -715,7 +900,7 @@ pub fn run_memslap_over(
                             .map(|&i| Bytes::copy_from_slice(&workload.items()[i].0))
                             .collect();
                         (
-                            false,
+                            Verb::MGet,
                             r as u64,
                             Request::MGet { id: r as u64, keys }.encode(),
                         )
@@ -754,7 +939,13 @@ pub fn run_memslap_over(
     }
     let mut sorted = total.latencies_ns;
     sorted.sort_unstable();
+    let mut delete_sorted = total.delete_lat_ns;
+    delete_sorted.sort_unstable();
+    let mut cas_sorted = total.cas_lat_ns;
+    cas_sorted.sort_unstable();
+    let mean_us = |s: &[u64]| s.iter().sum::<u64>() as f64 / s.len().max(1) as f64 / 1_000.0;
     let requests = sorted.len() as u64;
+    let completed = requests + total.sets + total.deletes + total.cas_ok + total.cas_conflicts;
     Ok(ClientReport {
         connections: config.connections,
         pipeline_depth: config.pipeline_depth,
@@ -763,12 +954,12 @@ pub fn run_memslap_over(
         keys: total.keys,
         hits: total.hits,
         misses: total.keys - total.hits,
-        mean_latency_us: sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64 / 1_000.0,
+        mean_latency_us: mean_us(&sorted),
         min_latency_us: sorted.first().map_or(0.0, |&n| n as f64 / 1_000.0),
         p50_latency_us: percentile_us(&sorted, 0.50),
         p95_latency_us: percentile_us(&sorted, 0.95),
         p99_latency_us: percentile_us(&sorted, 0.99),
-        requests_per_sec: (requests + total.sets) as f64 / wall_secs.max(1e-9),
+        requests_per_sec: completed as f64 / wall_secs.max(1e-9),
         keys_per_sec: total.keys as f64 / wall_secs.max(1e-9),
         wall_secs,
         retries: total.retries,
@@ -777,6 +968,14 @@ pub fn run_memslap_over(
         reconnects: total.reconnects,
         failed: total.failed,
         sets_uncertain: total.sets_uncertain,
+        deletes: total.deletes,
+        cas_ok: total.cas_ok,
+        cas_conflicts: total.cas_conflicts,
+        cas_uncertain: total.cas_uncertain,
+        delete_mean_latency_us: mean_us(&delete_sorted),
+        delete_p99_latency_us: percentile_us(&delete_sorted, 0.99),
+        cas_mean_latency_us: mean_us(&cas_sorted),
+        cas_p99_latency_us: percentile_us(&cas_sorted, 0.99),
     })
 }
 
@@ -1056,6 +1255,14 @@ pub fn run_memslap_mux(
         reconnects: 0,
         failed: total.failed,
         sets_uncertain: 0,
+        deletes: 0,
+        cas_ok: 0,
+        cas_conflicts: 0,
+        cas_uncertain: 0,
+        delete_mean_latency_us: 0.0,
+        delete_p99_latency_us: 0.0,
+        cas_mean_latency_us: 0.0,
+        cas_p99_latency_us: 0.0,
     })
 }
 
@@ -1358,6 +1565,54 @@ mod tests {
         // Sets only replace existing values: every Multi-Get key hits.
         assert_eq!(report.hits, report.keys);
         server.shutdown();
+    }
+
+    #[test]
+    fn net_memslap_mixed_verbs_conserve_accounting() {
+        // Delete/CAS/TTL-write slots must each land in exactly one report
+        // bucket; over a faultless zero fabric nothing is uncertain.
+        let wl = small_workload();
+        let store = Arc::new(KvStore::new(
+            Box::new(Memc3Index::with_capacity(2000)),
+            StoreConfig::default(),
+        ));
+        let fabric = Fabric::new(FabricConfig::zero());
+        let server = Server::spawn(Arc::clone(&store), fabric.clone(), 2);
+        let report = run_memslap_over(
+            &fabric,
+            &wl,
+            &NetMemslapConfig {
+                set_fraction: 0.1,
+                delete_frac: 0.2,
+                cas_frac: 0.2,
+                ttl_secs: 3600,
+                ..NetMemslapConfig::default()
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        assert!(report.deletes > 5, "{report:?}");
+        assert!(report.cas_ok + report.cas_conflicts > 5, "{report:?}");
+        // CAS against freshly-preloaded items (version 1) with expected
+        // versions drawn from {1,2,3}: both outcomes must occur.
+        assert!(report.cas_ok > 0, "{report:?}");
+        assert!(report.cas_conflicts > 0, "{report:?}");
+        assert_eq!(
+            report.requests + report.sets + report.deletes + report.cas_ok + report.cas_conflicts,
+            100,
+            "every plan slot lands in exactly one bucket: {report:?}"
+        );
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(
+            report.sets_uncertain + report.cas_uncertain,
+            0,
+            "{report:?}"
+        );
+        // Deletes remove keys, so later Multi-Gets may miss.
+        assert!(report.hits <= report.keys);
+        if report.deletes > 0 {
+            assert!(report.delete_p99_latency_us >= report.delete_mean_latency_us / 2.0);
+        }
     }
 
     #[test]

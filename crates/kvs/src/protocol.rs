@@ -142,6 +142,61 @@ pub enum Request {
         /// Key/value pairs, applied in order.
         pairs: Vec<(Bytes, Bytes)>,
     },
+    /// Remove one key (idempotent: deleting an absent key answers
+    /// [`OpStatus::NotFound`], so clients may blind-retry).
+    Delete {
+        /// Request id.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Compare-and-swap: store `value` only if the key's current version
+    /// equals `expected_version`. Non-idempotent — a lost response leaves
+    /// the outcome unknowable, so clients must never retry it.
+    Cas {
+        /// Request id.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// Version the caller last observed (from a versioned read/set).
+        expected_version: u64,
+        /// Replacement value bytes.
+        value: Bytes,
+        /// TTL in coarse seconds for the new value; 0 = never expires.
+        ttl_secs: u32,
+    },
+    /// Reset a live key's TTL without touching its value (idempotent).
+    Touch {
+        /// Request id.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// New TTL in coarse seconds; 0 = never expires.
+        ttl_secs: u32,
+    },
+    /// [`Request::Set`] with a TTL, answered with the stored version.
+    /// Non-idempotent for the same reason as `Set` (later-wins replace).
+    SetEx {
+        /// Request id.
+        id: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// Value bytes.
+        value: Bytes,
+        /// TTL in coarse seconds; 0 = never expires.
+        ttl_secs: u32,
+    },
+    /// [`Request::SetMulti`] with one TTL applied to every pair in the
+    /// batch. Answered by [`Response::SetMulti`] (per-pair acceptance);
+    /// non-idempotent.
+    SetMultiEx {
+        /// Request id.
+        id: u64,
+        /// Key/value pairs, applied in order.
+        pairs: Vec<(Bytes, Bytes)>,
+        /// TTL in coarse seconds for every pair; 0 = never expires.
+        ttl_secs: u32,
+    },
     /// Shut a worker down (sent once per worker on drain).
     Shutdown,
 }
@@ -171,6 +226,47 @@ pub enum Response {
         /// Per-pair acceptance, in request order.
         ok: Vec<bool>,
     },
+    /// Response to [`Request::Delete`]: [`OpStatus::Deleted`] when a live
+    /// item was removed, [`OpStatus::NotFound`] otherwise.
+    Delete {
+        /// Echoed request id.
+        id: u64,
+        /// Outcome of the delete.
+        status: OpStatus,
+    },
+    /// Response to [`Request::Cas`]: [`OpStatus::Stored`] with the new
+    /// version on success, [`OpStatus::ExistsConflict`] with the current
+    /// version on a version mismatch, [`OpStatus::NotFound`] (version 0)
+    /// when the key is absent, [`OpStatus::Rejected`] when the store
+    /// could not make room.
+    Cas {
+        /// Echoed request id.
+        id: u64,
+        /// Outcome of the compare-and-swap.
+        status: OpStatus,
+        /// New version on `Stored`, current version on `ExistsConflict`,
+        /// 0 otherwise.
+        version: u64,
+    },
+    /// Response to [`Request::Touch`]: [`OpStatus::Stored`] when a live
+    /// item's TTL was reset, [`OpStatus::NotFound`] otherwise.
+    Touch {
+        /// Echoed request id.
+        id: u64,
+        /// Outcome of the touch.
+        status: OpStatus,
+    },
+    /// Response to [`Request::SetEx`]: [`OpStatus::Stored`] with the
+    /// item's new version, or [`OpStatus::Rejected`] (version 0) when the
+    /// store could not make room.
+    SetEx {
+        /// Echoed request id.
+        id: u64,
+        /// Outcome of the store.
+        status: OpStatus,
+        /// Version assigned to the stored value; 0 on rejection.
+        version: u64,
+    },
     /// The server declined to process the request (graceful degradation:
     /// the request was *not* applied and, for idempotent operations, may
     /// safely be retried after backing off).
@@ -180,6 +276,70 @@ pub enum Response {
         /// Why the request was declined.
         code: ErrorCode,
     },
+}
+
+/// Outcome byte carried by the versioned-operation responses
+/// ([`Response::Delete`], [`Response::Cas`], [`Response::Touch`],
+/// [`Response::SetEx`]).
+///
+/// Decoding is total and version-tolerant, like [`ErrorCode`]: a status
+/// byte this build does not recognize becomes [`OpStatus::Unknown`]
+/// rather than a [`DecodeError`], so newer servers can add outcomes
+/// without breaking older clients mid-connection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpStatus {
+    /// The value (or TTL, for touch) was applied.
+    Stored,
+    /// A live item was removed.
+    Deleted,
+    /// No live item under that key (absent, expired, or deleted).
+    NotFound,
+    /// CAS version mismatch: the item exists at a different version.
+    ExistsConflict,
+    /// The store declined the write (out of memory / index full).
+    Rejected,
+    /// A status byte from a future protocol revision.
+    Unknown(u8),
+}
+
+impl OpStatus {
+    /// Wire encoding of this status.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            OpStatus::Stored => 1,
+            OpStatus::Deleted => 2,
+            OpStatus::NotFound => 3,
+            OpStatus::ExistsConflict => 4,
+            OpStatus::Rejected => 5,
+            OpStatus::Unknown(b) => b,
+        }
+    }
+
+    /// Decode a wire status byte. Total: unknown bytes map to
+    /// [`OpStatus::Unknown`], never an error.
+    pub fn from_wire(b: u8) -> Self {
+        match b {
+            1 => OpStatus::Stored,
+            2 => OpStatus::Deleted,
+            3 => OpStatus::NotFound,
+            4 => OpStatus::ExistsConflict,
+            5 => OpStatus::Rejected,
+            other => OpStatus::Unknown(other),
+        }
+    }
+}
+
+impl std::fmt::Display for OpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpStatus::Stored => write!(f, "stored"),
+            OpStatus::Deleted => write!(f, "deleted"),
+            OpStatus::NotFound => write!(f, "not found"),
+            OpStatus::ExistsConflict => write!(f, "exists (version conflict)"),
+            OpStatus::Rejected => write!(f, "rejected"),
+            OpStatus::Unknown(b) => write!(f, "unknown status {b}"),
+        }
+    }
 }
 
 /// Status byte carried by [`Response::Error`].
@@ -240,6 +400,71 @@ pub fn encode_mget_response(id: u64, resp: &mut crate::store::MGetResponse) -> B
     Bytes::copy_from_slice(resp.seal_frame(id))
 }
 
+/// Execute one point versioned-operation verb (Delete / Cas / Touch /
+/// SetEx) against the store and build its response. This is the single
+/// server-side semantics of the versioned command surface — `kvsd`, the
+/// fabric server, and the reactor all dispatch through it so the verbs
+/// cannot drift apart. Returns `None` for the batch verbs
+/// (MGet/Set/SetMulti/SetMultiEx) and Shutdown, which each serving loop
+/// handles with its own buffer machinery.
+pub fn execute_versioned_op(store: &crate::store::KvStore, request: &Request) -> Option<Response> {
+    use crate::store::CasOutcome;
+    Some(match request {
+        Request::Delete { id, key } => Response::Delete {
+            id: *id,
+            status: if store.delete(key) {
+                OpStatus::Deleted
+            } else {
+                OpStatus::NotFound
+            },
+        },
+        Request::Cas {
+            id,
+            key,
+            expected_version,
+            value,
+            ttl_secs,
+        } => {
+            let (status, version) = match store.cas(key, *expected_version, value, *ttl_secs) {
+                Ok(CasOutcome::Stored(v)) => (OpStatus::Stored, v),
+                Ok(CasOutcome::Conflict(v)) => (OpStatus::ExistsConflict, v),
+                Ok(CasOutcome::NotFound) => (OpStatus::NotFound, 0),
+                Err(_) => (OpStatus::Rejected, 0),
+            };
+            Response::Cas {
+                id: *id,
+                status,
+                version,
+            }
+        }
+        Request::Touch { id, key, ttl_secs } => Response::Touch {
+            id: *id,
+            status: if store.set_ttl(key, *ttl_secs) {
+                OpStatus::Stored
+            } else {
+                OpStatus::NotFound
+            },
+        },
+        Request::SetEx {
+            id,
+            key,
+            value,
+            ttl_secs,
+        } => {
+            let (status, version) = match store.set_v(key, value, *ttl_secs) {
+                Ok(v) => (OpStatus::Stored, v),
+                Err(_) => (OpStatus::Rejected, 0),
+            };
+            Response::SetEx {
+                id: *id,
+                status,
+                version,
+            }
+        }
+        _ => return None,
+    })
+}
+
 /// Decode error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError(pub &'static str);
@@ -256,12 +481,21 @@ const OP_MGET: u8 = 1;
 const OP_SET: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
 const OP_SET_MULTI: u8 = 4;
+const OP_DELETE: u8 = 5;
+const OP_CAS: u8 = 6;
+const OP_TOUCH: u8 = 7;
+const OP_SET_EX: u8 = 8;
+const OP_SET_MULTI_EX: u8 = 9;
 /// Also written by `crate::store::MGetResponse`, which builds the MGet
 /// response frame in place during Phase 3 (zero-copy responses).
 pub(crate) const OP_MGET_RESP: u8 = 128;
 const OP_SET_RESP: u8 = 129;
 const OP_ERR_RESP: u8 = 130;
 const OP_SET_MULTI_RESP: u8 = 131;
+const OP_DELETE_RESP: u8 = 132;
+const OP_CAS_RESP: u8 = 133;
+const OP_TOUCH_RESP: u8 = 134;
+const OP_SET_EX_RESP: u8 = 135;
 
 impl Request {
     /// Encode into a wire message.
@@ -288,6 +522,65 @@ impl Request {
             Request::SetMulti { id, pairs } => {
                 b.put_u8(OP_SET_MULTI);
                 b.put_u64_le(*id);
+                b.put_u16_le(pairs.len() as u16);
+                for (k, v) in pairs {
+                    b.put_u16_le(k.len() as u16);
+                    b.put_slice(k);
+                    b.put_u32_le(v.len() as u32);
+                    b.put_slice(v);
+                }
+            }
+            Request::Delete { id, key } => {
+                b.put_u8(OP_DELETE);
+                b.put_u64_le(*id);
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+            }
+            Request::Cas {
+                id,
+                key,
+                expected_version,
+                value,
+                ttl_secs,
+            } => {
+                b.put_u8(OP_CAS);
+                b.put_u64_le(*id);
+                b.put_u64_le(*expected_version);
+                b.put_u32_le(*ttl_secs);
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+                b.put_u32_le(value.len() as u32);
+                b.put_slice(value);
+            }
+            Request::Touch { id, key, ttl_secs } => {
+                b.put_u8(OP_TOUCH);
+                b.put_u64_le(*id);
+                b.put_u32_le(*ttl_secs);
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+            }
+            Request::SetEx {
+                id,
+                key,
+                value,
+                ttl_secs,
+            } => {
+                b.put_u8(OP_SET_EX);
+                b.put_u64_le(*id);
+                b.put_u32_le(*ttl_secs);
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+                b.put_u32_le(value.len() as u32);
+                b.put_slice(value);
+            }
+            Request::SetMultiEx {
+                id,
+                pairs,
+                ttl_secs,
+            } => {
+                b.put_u8(OP_SET_MULTI_EX);
+                b.put_u64_le(*id);
+                b.put_u32_le(*ttl_secs);
                 b.put_u16_le(pairs.len() as u16);
                 for (k, v) in pairs {
                     b.put_u16_le(k.len() as u16);
@@ -373,6 +666,108 @@ impl Request {
                 }
                 Ok(Request::SetMulti { id, pairs })
             }
+            OP_DELETE => {
+                if msg.remaining() < 10 {
+                    return Err(DecodeError("truncated delete header"));
+                }
+                let id = msg.get_u64_le();
+                let klen = msg.get_u16_le() as usize;
+                if msg.remaining() < klen {
+                    return Err(DecodeError("truncated delete key"));
+                }
+                let key = msg.split_to(klen);
+                Ok(Request::Delete { id, key })
+            }
+            OP_CAS => {
+                if msg.remaining() < 22 {
+                    return Err(DecodeError("truncated cas header"));
+                }
+                let id = msg.get_u64_le();
+                let expected_version = msg.get_u64_le();
+                let ttl_secs = msg.get_u32_le();
+                let klen = msg.get_u16_le() as usize;
+                if msg.remaining() < klen + 4 {
+                    return Err(DecodeError("truncated cas key"));
+                }
+                let key = msg.split_to(klen);
+                let vlen = msg.get_u32_le() as usize;
+                if msg.remaining() < vlen {
+                    return Err(DecodeError("truncated cas value"));
+                }
+                let value = msg.split_to(vlen);
+                Ok(Request::Cas {
+                    id,
+                    key,
+                    expected_version,
+                    value,
+                    ttl_secs,
+                })
+            }
+            OP_TOUCH => {
+                if msg.remaining() < 14 {
+                    return Err(DecodeError("truncated touch header"));
+                }
+                let id = msg.get_u64_le();
+                let ttl_secs = msg.get_u32_le();
+                let klen = msg.get_u16_le() as usize;
+                if msg.remaining() < klen {
+                    return Err(DecodeError("truncated touch key"));
+                }
+                let key = msg.split_to(klen);
+                Ok(Request::Touch { id, key, ttl_secs })
+            }
+            OP_SET_EX => {
+                if msg.remaining() < 14 {
+                    return Err(DecodeError("truncated set-ex header"));
+                }
+                let id = msg.get_u64_le();
+                let ttl_secs = msg.get_u32_le();
+                let klen = msg.get_u16_le() as usize;
+                if msg.remaining() < klen + 4 {
+                    return Err(DecodeError("truncated set-ex key"));
+                }
+                let key = msg.split_to(klen);
+                let vlen = msg.get_u32_le() as usize;
+                if msg.remaining() < vlen {
+                    return Err(DecodeError("truncated set-ex value"));
+                }
+                let value = msg.split_to(vlen);
+                Ok(Request::SetEx {
+                    id,
+                    key,
+                    value,
+                    ttl_secs,
+                })
+            }
+            OP_SET_MULTI_EX => {
+                if msg.remaining() < 14 {
+                    return Err(DecodeError("truncated set-multi-ex header"));
+                }
+                let id = msg.get_u64_le();
+                let ttl_secs = msg.get_u32_le();
+                let n = msg.get_u16_le() as usize;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if msg.remaining() < 2 {
+                        return Err(DecodeError("truncated pair key length"));
+                    }
+                    let klen = msg.get_u16_le() as usize;
+                    if msg.remaining() < klen + 4 {
+                        return Err(DecodeError("truncated pair key"));
+                    }
+                    let key = msg.split_to(klen);
+                    let vlen = msg.get_u32_le() as usize;
+                    if msg.remaining() < vlen {
+                        return Err(DecodeError("truncated pair value"));
+                    }
+                    pairs.push((key, msg.split_to(vlen)));
+                }
+                Ok(Request::SetMultiEx {
+                    id,
+                    pairs,
+                    ttl_secs,
+                })
+            }
             OP_SHUTDOWN => Ok(Request::Shutdown),
             _ => Err(DecodeError("unknown request opcode")),
         }
@@ -411,6 +806,36 @@ impl Response {
                 for &o in ok {
                     b.put_u8(u8::from(o));
                 }
+            }
+            Response::Delete { id, status } => {
+                b.put_u8(OP_DELETE_RESP);
+                b.put_u64_le(*id);
+                b.put_u8(status.to_wire());
+            }
+            Response::Cas {
+                id,
+                status,
+                version,
+            } => {
+                b.put_u8(OP_CAS_RESP);
+                b.put_u64_le(*id);
+                b.put_u8(status.to_wire());
+                b.put_u64_le(*version);
+            }
+            Response::Touch { id, status } => {
+                b.put_u8(OP_TOUCH_RESP);
+                b.put_u64_le(*id);
+                b.put_u8(status.to_wire());
+            }
+            Response::SetEx {
+                id,
+                status,
+                version,
+            } => {
+                b.put_u8(OP_SET_EX_RESP);
+                b.put_u64_le(*id);
+                b.put_u8(status.to_wire());
+                b.put_u64_le(*version);
             }
             Response::Error { id, code } => {
                 b.put_u8(OP_ERR_RESP);
@@ -487,6 +912,48 @@ impl Response {
                     }
                 }
                 Ok(Response::SetMulti { id, ok })
+            }
+            OP_DELETE_RESP => {
+                if msg.remaining() < 9 {
+                    return Err(DecodeError("truncated delete response"));
+                }
+                let id = msg.get_u64_le();
+                let status = OpStatus::from_wire(msg.get_u8());
+                Ok(Response::Delete { id, status })
+            }
+            OP_CAS_RESP => {
+                if msg.remaining() < 17 {
+                    return Err(DecodeError("truncated cas response"));
+                }
+                let id = msg.get_u64_le();
+                let status = OpStatus::from_wire(msg.get_u8());
+                let version = msg.get_u64_le();
+                Ok(Response::Cas {
+                    id,
+                    status,
+                    version,
+                })
+            }
+            OP_TOUCH_RESP => {
+                if msg.remaining() < 9 {
+                    return Err(DecodeError("truncated touch response"));
+                }
+                let id = msg.get_u64_le();
+                let status = OpStatus::from_wire(msg.get_u8());
+                Ok(Response::Touch { id, status })
+            }
+            OP_SET_EX_RESP => {
+                if msg.remaining() < 17 {
+                    return Err(DecodeError("truncated set-ex response"));
+                }
+                let id = msg.get_u64_le();
+                let status = OpStatus::from_wire(msg.get_u8());
+                let version = msg.get_u64_le();
+                Ok(Response::SetEx {
+                    id,
+                    status,
+                    version,
+                })
             }
             OP_ERR_RESP => {
                 if msg.remaining() < 9 {
@@ -593,6 +1060,97 @@ mod tests {
         let mut b = BytesMut::new();
         b.put_slice(body);
         seal(b)
+    }
+
+    #[test]
+    fn versioned_verb_roundtrips() {
+        let reqs = [
+            Request::Delete {
+                id: 11,
+                key: Bytes::from_static(b"gone"),
+            },
+            Request::Cas {
+                id: 12,
+                key: Bytes::from_static(b"k"),
+                expected_version: 7,
+                value: Bytes::from_static(b"new value"),
+                ttl_secs: 30,
+            },
+            Request::Touch {
+                id: 13,
+                key: Bytes::from_static(b"k"),
+                ttl_secs: 0,
+            },
+            Request::SetEx {
+                id: 14,
+                key: Bytes::from_static(b"k"),
+                value: Bytes::new(), // empty value is legal
+                ttl_secs: 60,
+            },
+            Request::SetMultiEx {
+                id: 15,
+                pairs: vec![
+                    (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+                    (Bytes::from_static(b""), Bytes::from_static(b"")),
+                ],
+                ttl_secs: 5,
+            },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(req.encode()).unwrap(), req, "{req:?}");
+        }
+        let resps = [
+            Response::Delete {
+                id: 11,
+                status: OpStatus::Deleted,
+            },
+            Response::Cas {
+                id: 12,
+                status: OpStatus::ExistsConflict,
+                version: 9,
+            },
+            Response::Touch {
+                id: 13,
+                status: OpStatus::NotFound,
+            },
+            Response::SetEx {
+                id: 14,
+                status: OpStatus::Stored,
+                version: 3,
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(resp.encode()).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn op_status_wire_mapping_is_total() {
+        for b in 0..=u8::MAX {
+            let status = OpStatus::from_wire(b);
+            assert_eq!(status.to_wire(), b, "status byte {b} must roundtrip");
+        }
+        // Named statuses keep their assigned bytes.
+        assert_eq!(OpStatus::from_wire(1), OpStatus::Stored);
+        assert_eq!(OpStatus::from_wire(2), OpStatus::Deleted);
+        assert_eq!(OpStatus::from_wire(3), OpStatus::NotFound);
+        assert_eq!(OpStatus::from_wire(4), OpStatus::ExistsConflict);
+        assert_eq!(OpStatus::from_wire(5), OpStatus::Rejected);
+        assert_eq!(OpStatus::from_wire(200), OpStatus::Unknown(200));
+    }
+
+    #[test]
+    fn unknown_op_status_is_version_tolerant() {
+        // A delete response with a status byte from a future revision
+        // decodes as Unknown instead of failing the whole message.
+        let msg = sealed(&[132, 4, 0, 0, 0, 0, 0, 0, 0, 250]);
+        match Response::decode(msg).unwrap() {
+            Response::Delete { id, status } => {
+                assert_eq!(id, 4);
+                assert_eq!(status, OpStatus::Unknown(250));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

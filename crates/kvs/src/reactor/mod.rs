@@ -857,6 +857,87 @@ impl ReactorLoop {
                     self.dispatch(Fire::Width);
                 }
             }
+            ref req @ (Request::Delete { .. }
+            | Request::Cas { .. }
+            | Request::Touch { .. }
+            | Request::SetEx { .. }
+            | Request::SetMultiEx { .. }) => {
+                let id = match req {
+                    Request::Delete { id, .. }
+                    | Request::Cas { id, .. }
+                    | Request::Touch { id, .. }
+                    | Request::SetEx { id, .. }
+                    | Request::SetMultiEx { id, .. } => *id,
+                    _ => unreachable!("arm covers exactly the versioned verbs"),
+                };
+                // Per-connection program order: parked lookups from this
+                // connection must not observe this verb's effect, and
+                // parked writes must apply before it — force-dispatch
+                // both coalescing buffers, the way Set flushes reads.
+                if self.batch.reqs.iter().any(|r| r.token == token) {
+                    self.dispatch(Fire::Width);
+                }
+                if self.wbatch.reqs.iter().any(|r| r.token == token) {
+                    self.dispatch_writes(Fire::Width);
+                }
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return; // dispatch may have closed the connection
+                };
+                if limits.max_inflight == Some(0) {
+                    conn.summary.shed += 1;
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.rs.sheds.fetch_add(1, Ordering::Relaxed);
+                    let seq = conn.next_seq();
+                    conn.slots.push_back(None);
+                    let payload = Response::Error {
+                        id,
+                        code: ErrorCode::ServerBusy,
+                    }
+                    .encode();
+                    self.enqueue_framed(token, seq, &payload);
+                    return;
+                }
+                let seq = conn.next_seq();
+                conn.slots.push_back(None);
+                conn.summary.sets += 1;
+                // Versioned verbs execute immediately (no coalescing):
+                // Delete/Cas/Touch are point operations on one key, and
+                // their responses carry per-op versions that a batch
+                // cannot share.
+                let payload = match req {
+                    Request::SetMultiEx {
+                        id,
+                        pairs,
+                        ttl_secs,
+                    } => {
+                        let pair_refs: Vec<(&[u8], &[u8])> = pairs
+                            .iter()
+                            .map(|(k, v)| (k.as_ref(), v.as_ref()))
+                            .collect();
+                        self.store
+                            .set_multi_ttl(&pair_refs, *ttl_secs, &mut self.set_scratch);
+                        Response::SetMulti {
+                            id: *id,
+                            ok: self
+                                .set_scratch
+                                .results()
+                                .iter()
+                                .map(|r| r.is_ok())
+                                .collect(),
+                        }
+                        .encode()
+                    }
+                    _ => crate::protocol::execute_versioned_op(&self.store, req)
+                        .expect("point verb has a versioned-op response")
+                        .encode(),
+                };
+                let busy = t0.elapsed().as_nanos() as u64;
+                self.stats.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.summary.busy_ns += busy;
+                }
+                self.enqueue_framed(token, seq, &payload);
+            }
         }
     }
 

@@ -138,7 +138,12 @@ impl Server {
                             let id = match &request {
                                 Request::MGet { id, .. }
                                 | Request::Set { id, .. }
-                                | Request::SetMulti { id, .. } => Some(*id),
+                                | Request::SetMulti { id, .. }
+                                | Request::Delete { id, .. }
+                                | Request::Cas { id, .. }
+                                | Request::Touch { id, .. }
+                                | Request::SetEx { id, .. }
+                                | Request::SetMultiEx { id, .. } => Some(*id),
                                 Request::Shutdown => None,
                             };
                             if let (true, Some(id)) = (backlog > limit, id) {
@@ -154,6 +159,10 @@ impl Server {
                                 continue;
                             }
                         }
+                        let multi_ttl = match &request {
+                            Request::SetMultiEx { ttl_secs, .. } => *ttl_secs,
+                            _ => 0,
+                        };
                         match request {
                             Request::Shutdown => break,
                             Request::MGet { id, keys } => {
@@ -188,12 +197,14 @@ impl Server {
                                     fabric.send_response(reply, Response::Set { id, ok }.encode());
                                 }
                             }
-                            Request::SetMulti { id, pairs } => {
+                            Request::SetMulti { id, pairs }
+                            | Request::SetMultiEx { id, pairs, .. } => {
                                 let pair_slices: Vec<(&[u8], &[u8])> = pairs
                                     .iter()
                                     .map(|(k, v)| (k.as_ref(), v.as_ref()))
                                     .collect();
-                                let outcome = store.set_multi(&pair_slices, &mut set_batch);
+                                let outcome =
+                                    store.set_multi_ttl(&pair_slices, multi_ttl, &mut set_batch);
                                 stats
                                     .pre_ns
                                     .fetch_add(outcome.phases.pre, Ordering::Relaxed);
@@ -210,6 +221,16 @@ impl Server {
                                         reply,
                                         Response::SetMulti { id, ok }.encode(),
                                     );
+                                }
+                            }
+                            ref req @ (Request::Delete { .. }
+                            | Request::Cas { .. }
+                            | Request::Touch { .. }
+                            | Request::SetEx { .. }) => {
+                                let resp = crate::protocol::execute_versioned_op(&store, req)
+                                    .expect("point verb has a versioned-op response");
+                                if let Some(reply) = &envelope.reply_to {
+                                    fabric.send_response(reply, resp.encode());
                                 }
                             }
                         }

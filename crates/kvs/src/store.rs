@@ -149,6 +149,36 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Outcome of a [`KvStore::cas`] compare-and-swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The expected version matched; the value was replaced and the key's
+    /// version advanced to the carried value.
+    Stored(u64),
+    /// The key exists but its current version (carried) differs from the
+    /// expected one; nothing was written.
+    Conflict(u64),
+    /// The key does not exist (or had expired); nothing was written.
+    NotFound,
+}
+
+/// Process-coarse monotonic seconds — the store's TTL clock (DESIGN.md
+/// §13). Second granularity keeps the expiry metadata word cheap to
+/// compare on the read path; the epoch is process start, so absolute
+/// `expires_at` values are only meaningful within one process.
+fn coarse_now() -> u64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// `true` when expiry metadata word `at` marks an item dead at `now`
+/// (0 = never expires).
+#[inline(always)]
+fn is_expired(at: u64, now: u64) -> bool {
+    at != 0 && at <= now
+}
+
 /// Per-phase elapsed nanoseconds of one Multi-Get (Fig. 11b breakdown).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseNanos {
@@ -469,6 +499,14 @@ pub struct ShardStats {
     pub mget_keys: u64,
     /// Multi-Get keys found here.
     pub mget_hits: u64,
+    /// Successful `cas` stores routed here.
+    pub cas_ok: u64,
+    /// `cas` version conflicts routed here.
+    pub cas_conflicts: u64,
+    /// Successful `touch`/`set_ttl` calls routed here.
+    pub touches: u64,
+    /// Expired items observed (lazy-expiry misses) or reclaimed here.
+    pub expired: u64,
 }
 
 impl ShardStats {
@@ -480,6 +518,10 @@ impl ShardStats {
         self.evictions += other.evictions;
         self.mget_keys += other.mget_keys;
         self.mget_hits += other.mget_hits;
+        self.cas_ok += other.cas_ok;
+        self.cas_conflicts += other.cas_conflicts;
+        self.touches += other.touches;
+        self.expired += other.expired;
     }
 }
 
@@ -490,6 +532,10 @@ struct ShardCounters {
     evictions: AtomicU64,
     mget_keys: AtomicU64,
     mget_hits: AtomicU64,
+    cas_ok: AtomicU64,
+    cas_conflicts: AtomicU64,
+    touches: AtomicU64,
+    expired: AtomicU64,
 }
 
 struct Shard {
@@ -664,6 +710,18 @@ impl RacyShard<'_> {
         unsafe { (*self.shard).items.revalidate(item, word) }
     }
 
+    /// Racy expiry-metadata load ([`ItemTable::expires_at`]). Only
+    /// trustworthy when the row word loaded *before* this call still
+    /// revalidates afterwards — the register order (metadata before the
+    /// row publish) plus the generation bump make an unchanged word prove
+    /// the metadata belongs to that exact registration.
+    #[inline(always)]
+    fn expires_at(&self, item: u32) -> u64 {
+        // SAFETY: as `load_row`; expiry words live in a stable
+        // `AtomicSegArray` and are only read atomically.
+        unsafe { (*self.shard).items.expires_at(item) }
+    }
+
     /// Prefetch an item row's cache line ([`ItemTable::prefetch`]).
     #[inline(always)]
     fn prefetch_row(&self, item: u32) {
@@ -757,6 +815,9 @@ pub struct KvStore {
     /// Current [`ReadMode`] as a `u8` (0 = locked, 1 = optimistic); atomic
     /// so sweeps can flip it on a live store.
     read_mode: AtomicU8,
+    /// Test/bench offset added to the coarse TTL clock (seconds); lets
+    /// deterministic suites expire items without sleeping.
+    time_offset: AtomicU64,
     /// Whether every shard's index supports racy probes; if not, the
     /// optimistic mode silently degrades to locked.
     optimistic_safe: bool,
@@ -839,6 +900,7 @@ impl KvStore {
                 config.prefetch_depth.unwrap_or(DEFAULT_PREFETCH_DEPTH),
             ),
             read_mode: AtomicU8::new(config.read_mode as u8),
+            time_offset: AtomicU64::new(0),
             optimistic_safe,
             optimistic: OptimisticCounters::default(),
             name,
@@ -970,6 +1032,10 @@ impl KvStore {
                 evictions: s.counters.evictions.load(Ordering::Relaxed),
                 mget_keys: s.counters.mget_keys.load(Ordering::Relaxed),
                 mget_hits: s.counters.mget_hits.load(Ordering::Relaxed),
+                cas_ok: s.counters.cas_ok.load(Ordering::Relaxed),
+                cas_conflicts: s.counters.cas_conflicts.load(Ordering::Relaxed),
+                touches: s.counters.touches.load(Ordering::Relaxed),
+                expired: s.counters.expired.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -988,6 +1054,20 @@ impl KvStore {
         self.len() == 0
     }
 
+    /// The store's current TTL-clock second (coarse monotonic seconds
+    /// since process start, plus any [`KvStore::advance_time`] offset).
+    #[inline]
+    pub fn now_secs(&self) -> u64 {
+        coarse_now() + self.time_offset.load(Ordering::Relaxed)
+    }
+
+    /// Advance the store's TTL clock by `secs` — a test/bench hook so
+    /// deterministic suites can expire items without wall-clock sleeps.
+    /// Monotonic only (the clock never rewinds).
+    pub fn advance_time(&self, secs: u64) {
+        self.time_offset.fetch_add(secs, Ordering::Relaxed);
+    }
+
     /// Insert or replace `key → value`, locking only the key's shard.
     ///
     /// # Errors
@@ -996,10 +1076,25 @@ impl KvStore {
     /// [`StoreError::OutOfMemory`] / [`StoreError::IndexFull`] when
     /// eviction (within this shard) cannot make room.
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.set_v(key, value, 0).map(|_| ())
+    }
+
+    /// [`KvStore::set`] with a TTL, returning the key's new version.
+    ///
+    /// `ttl_secs == 0` means the item never expires; otherwise it expires
+    /// `ttl_secs` store-clock seconds from now and is lazily treated as
+    /// absent by every read path afterwards (DESIGN.md §13). The returned
+    /// version is 1 for a fresh (or expired-and-replaced) key and
+    /// `previous + 1` when a live item was replaced.
+    ///
+    /// # Errors
+    ///
+    /// As [`KvStore::set`].
+    pub fn set_v(&self, key: &[u8], value: &[u8], ttl_secs: u32) -> Result<u64, StoreError> {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
         let mut g = slot.write();
-        self.set_in_guard(slot, &mut g, hash, key, value)
+        self.set_in_guard(slot, &mut g, hash, key, value, ttl_secs)
     }
 
     /// The per-key insert body shared by [`KvStore::set`] and
@@ -1007,6 +1102,7 @@ impl KvStore {
     /// register, index (evicting on pressure), admit. The caller holds the
     /// shard's write guard, so a multi-key batch amortizes one lock
     /// acquisition and one seqlock write session over the whole group.
+    #[allow(clippy::too_many_arguments)]
     fn set_in_guard(
         &self,
         slot: &ShardSlot,
@@ -1014,9 +1110,19 @@ impl KvStore {
         hash: u32,
         key: &[u8],
         value: &[u8],
-    ) -> Result<(), StoreError> {
+        ttl_secs: u32,
+    ) -> Result<u64, StoreError> {
+        let now = self.now_secs();
         // Replace semantics: drop any existing item with this exact key.
+        // The version chain continues across a live replace; an expired
+        // item is indistinguishable from an absent one, so its chain
+        // restarts at 1 (exactly what a reader that already saw the miss
+        // would expect).
+        let mut version = 1u64;
         if let Some(existing) = g.find_verified(hash, key) {
+            if !is_expired(g.items.expires_at(existing), now) {
+                version = g.items.version(existing).wrapping_add(1);
+            }
             g.delete_item(hash, existing);
         }
         // Torn-read oracle pause point: old item gone, new one not yet
@@ -1031,35 +1137,47 @@ impl KvStore {
             match write_item(&mut g.slab, key, value) {
                 Ok(r) => break r,
                 Err(SlabError::ObjectTooLarge { .. }) => return Err(StoreError::ObjectTooLarge),
-                Err(SlabError::OutOfMemory) => {
-                    if g.evict_one() {
-                        slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        return Err(StoreError::OutOfMemory);
-                    }
-                }
+                Err(SlabError::OutOfMemory) => match g.evict_one(now) {
+                    Some(expired) => Self::count_evict(slot, expired),
+                    None => return Err(StoreError::OutOfMemory),
+                },
             }
         };
-        let item = g.items.register(slab_ref);
+        let expires_at = if ttl_secs == 0 {
+            0
+        } else {
+            now + u64::from(ttl_secs)
+        };
+        let item = g.items.register_versioned(slab_ref, version, expires_at);
         // Index insertion, evicting on pressure.
         loop {
             match g.index.insert(hash, item) {
                 Ok(()) => break,
-                Err(IndexError::Full) => {
-                    if g.evict_one() {
-                        slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                    } else {
+                Err(IndexError::Full) => match g.evict_one(now) {
+                    Some(expired) => Self::count_evict(slot, expired),
+                    None => {
                         // Roll back the slab registration.
                         let r = g.items.unregister(item).expect("just registered");
                         g.slab.free(r);
                         return Err(StoreError::IndexFull);
                     }
-                }
+                },
             }
         }
         g.clock.admit(item);
         slot.counters.sets.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(version)
+    }
+
+    /// Attribute one [`Shard::evict_one`] removal to the right counter:
+    /// reclaiming an expired item is not a capacity eviction.
+    #[inline]
+    fn count_evict(slot: &ShardSlot, expired: bool) {
+        if expired {
+            slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            slot.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The batched Multi-Set pipeline (DESIGN.md §12) — the write-path
@@ -1087,6 +1205,18 @@ impl KvStore {
     pub fn set_multi(
         &self,
         pairs: &[(&[u8], &[u8])],
+        batch: &mut SetMultiBatch,
+    ) -> SetMultiOutcome {
+        self.set_multi_ttl(pairs, 0, batch)
+    }
+
+    /// [`KvStore::set_multi`] with one TTL applied to every pair in the
+    /// batch (`0` = never expires) — the store half of the `SetMultiEx`
+    /// wire verb.
+    pub fn set_multi_ttl(
+        &self,
+        pairs: &[(&[u8], &[u8])],
+        ttl_secs: u32,
         batch: &mut SetMultiBatch,
     ) -> SetMultiOutcome {
         // Phase 1: pre-processing — hash (eight interleaved FNV chains per
@@ -1170,7 +1300,9 @@ impl KvStore {
                 }
                 let i = smap.get(j);
                 let (key, value) = pairs[i];
-                let r = self.set_in_guard(slot, &mut g, shard_hashes[j], key, value);
+                let r = self
+                    .set_in_guard(slot, &mut g, shard_hashes[j], key, value, ttl_secs)
+                    .map(|_| ());
                 if r.is_ok() {
                     stored += 1;
                 }
@@ -1253,11 +1385,23 @@ impl KvStore {
                     let verified = racy.read_item(r, &mut buf)
                         && item_decode_checked(&buf).is_some_and(|(k, _)| k == key);
                     if verified {
+                        // Racy metadata load *before* the row recheck: an
+                        // unchanged word then proves the expiry belonged
+                        // to exactly this registration (DESIGN.md §13).
+                        let expires_at = racy.expires_at(cand);
                         // A verified hit stands on its row word alone: the
                         // word unchanged across the copy means the item
                         // stayed live in this exact chunk, and live chunk
                         // bytes are immutable (replace = delete + insert).
                         if racy.revalidate(cand, word) {
+                            if is_expired(expires_at, self.now_secs()) {
+                                // Lazy expiry: a validated-but-expired hit
+                                // is a definitive miss — no seq needed.
+                                self.optimistic.commits.fetch_add(1, Ordering::Relaxed);
+                                slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+                                slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+                                return Some(None);
+                            }
                             let (_, v) = item_decode_checked(&buf).expect("just decoded");
                             let value = v.to_vec();
                             racy.touch(cand);
@@ -1308,6 +1452,14 @@ impl KvStore {
             }
         }
         slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+        // Lazy expiry: a resolved but expired item reads as a miss. The
+        // shared lock cannot reclaim it; writers and the eviction path do.
+        if let Some((item, _)) = resolved {
+            if is_expired(g.items.expires_at(item), self.now_secs()) {
+                slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         resolved.map(|(item, r)| {
             g.clock.touch(item);
             slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
@@ -1315,19 +1467,145 @@ impl KvStore {
         })
     }
 
-    /// Delete a key; returns `true` if it existed.
+    /// Delete a key; returns `true` if it existed (and had not expired).
+    ///
+    /// Deleting a lazily-expired item reclaims its storage but reports
+    /// `false` — on the command surface an expired item *is* absent.
     pub fn delete(&self, key: &[u8]) -> bool {
         let hash = hash_key(key);
         let slot = &self.shards[self.shard_for_hash(hash)];
         let mut g = slot.write();
         match g.find_verified(hash, key) {
             Some(item) => {
+                let expired = is_expired(g.items.expires_at(item), self.now_secs());
                 g.delete_item(hash, item);
-                slot.counters.deletes.fetch_add(1, Ordering::Relaxed);
+                if expired {
+                    slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    slot.counters.deletes.fetch_add(1, Ordering::Relaxed);
+                }
+                !expired
+            }
+            None => false,
+        }
+    }
+
+    /// Compare-and-swap: replace `key`'s value (with `ttl_secs`, 0 = no
+    /// expiry) only if its current version equals `expected_version`.
+    ///
+    /// Linearizes at the shard write lock: the version read, compare, and
+    /// replace happen in one critical section, so for every key version
+    /// exactly one racing `cas` can observe it and win (DESIGN.md §13).
+    /// Expired items count as absent (their storage is reclaimed en
+    /// passant).
+    ///
+    /// # Errors
+    ///
+    /// As [`KvStore::set`] — allocation/index failures abort the swap
+    /// without consuming the version.
+    pub fn cas(
+        &self,
+        key: &[u8],
+        expected_version: u64,
+        value: &[u8],
+        ttl_secs: u32,
+    ) -> Result<CasOutcome, StoreError> {
+        let hash = hash_key(key);
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let mut g = slot.write();
+        let now = self.now_secs();
+        match g.find_verified(hash, key) {
+            Some(item) => {
+                if is_expired(g.items.expires_at(item), now) {
+                    // Reclaim and report absent, like `delete`.
+                    g.delete_item(hash, item);
+                    slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+                    return Ok(CasOutcome::NotFound);
+                }
+                let current = g.items.version(item);
+                if current != expected_version {
+                    slot.counters.cas_conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Ok(CasOutcome::Conflict(current));
+                }
+                let new = self.set_in_guard(slot, &mut g, hash, key, value, ttl_secs)?;
+                slot.counters.cas_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(CasOutcome::Stored(new))
+            }
+            None => Ok(CasOutcome::NotFound),
+        }
+    }
+
+    /// Reset `key`'s TTL (`0` = never expires) without touching its value
+    /// or version — the `touch` verb. Returns `true` if the key existed
+    /// (and had not already expired).
+    pub fn set_ttl(&self, key: &[u8], ttl_secs: u32) -> bool {
+        let hash = hash_key(key);
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let g = slot.write();
+        let now = self.now_secs();
+        match g.find_verified(hash, key) {
+            Some(item) => {
+                if is_expired(g.items.expires_at(item), now) {
+                    return false;
+                }
+                let expires_at = if ttl_secs == 0 {
+                    0
+                } else {
+                    now + u64::from(ttl_secs)
+                };
+                g.items.set_expires_at(item, expires_at);
+                slot.counters.touches.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
         }
+    }
+
+    /// Alias for [`KvStore::set_ttl`] under its memcached verb name.
+    pub fn touch(&self, key: &[u8], ttl_secs: u32) -> bool {
+        self.set_ttl(key, ttl_secs)
+    }
+
+    /// Look up a single key together with its current version (for a
+    /// subsequent [`KvStore::cas`]). Runs under the shard's shared lock
+    /// in every read mode — the version must be read in the same critical
+    /// section that resolved the item.
+    pub fn get_v(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let hash = hash_key(key);
+        let slot = &self.shards[self.shard_for_hash(hash)];
+        let g = slot.read();
+        let mut cand = [NO_ITEM];
+        g.index.lookup_batch(std::slice::from_ref(&hash), &mut cand);
+        let cand = cand[0];
+        let mut resolved = None;
+        if cand != NO_ITEM {
+            if let Some(r) = g.items.get(cand) {
+                if item_key(g.slab.chunk(r)) == key {
+                    resolved = Some((cand, r));
+                }
+            }
+            if resolved.is_none() {
+                let mut fallback = Vec::new();
+                g.index.lookup_all(hash, &mut fallback);
+                for &c in &fallback {
+                    if let Some(r) = g.items.get(c) {
+                        if item_key(g.slab.chunk(r)) == key {
+                            resolved = Some((c, r));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        slot.counters.mget_keys.fetch_add(1, Ordering::Relaxed);
+        let (item, r) = resolved?;
+        if is_expired(g.items.expires_at(item), self.now_secs()) {
+            slot.counters.expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        g.clock.touch(item);
+        slot.counters.mget_hits.fetch_add(1, Ordering::Relaxed);
+        Some((item_value(g.slab.chunk(r)).to_vec(), g.items.version(item)))
     }
 
     /// The batched Multi-Get pipeline with per-phase timing.
@@ -1481,6 +1759,7 @@ impl KvStore {
         fallback: &mut Vec<u32>,
     ) -> (u64, u64, u64) {
         let n_sub = shard_hashes.len();
+        let now = self.now_secs();
         let g = slot.read();
 
         let tl0 = Instant::now();
@@ -1491,6 +1770,7 @@ impl KvStore {
         let tl1 = Instant::now();
 
         let mut shard_found = 0u64;
+        let mut shard_expired = 0u64;
         if depth > 0 {
             refs.clear();
             refs.resize(n_sub, None);
@@ -1540,6 +1820,13 @@ impl KvStore {
                     }
                 }
             }
+            // Lazy expiry: resolved-but-expired reads as a miss.
+            if let Some((item, _)) = resolved {
+                if is_expired(g.items.expires_at(item), now) {
+                    shard_expired += 1;
+                    resolved = None;
+                }
+            }
             if let Some((item, r)) = resolved {
                 resp.push_hit(i, item_value(g.slab.chunk(r)));
                 g.clock.touch(item);
@@ -1556,6 +1843,9 @@ impl KvStore {
         slot.counters
             .mget_hits
             .fetch_add(shard_found, Ordering::Relaxed);
+        slot.counters
+            .expired
+            .fetch_add(shard_expired, Ordering::Relaxed);
         (
             shard_found,
             (tl1 - tl0).as_nanos() as u64,
@@ -1597,6 +1887,7 @@ impl KvStore {
         fallback: &mut Vec<u32>,
     ) -> Option<(u64, u64, u64)> {
         let n_sub = shard_hashes.len();
+        let now = self.now_secs();
         // Same torn-tolerant access discipline as `get_optimistic`: every
         // racing byte goes through RacyShard's atomic/volatile accessors.
         let racy = slot.racy();
@@ -1623,6 +1914,7 @@ impl KvStore {
             let mut need_seq = false;
             let mut torn = false;
             let mut shard_found = 0u64;
+            let mut shard_expired = 0u64;
             let mut processed = 0usize;
             if depth > 0 {
                 for &cand in candidates.iter().take(2 * depth) {
@@ -1666,13 +1958,24 @@ impl KvStore {
                 };
                 match value {
                     Some(v) => {
-                        resp.push_hit(i, v);
+                        // Racy expiry load before the row recheck, so an
+                        // unchanged word vouches for it (DESIGN.md §13).
+                        let expires_at = racy.expires_at(cand);
                         if !racy.revalidate(cand, word) {
                             torn = true;
                             break;
                         }
-                        racy.touch(cand);
-                        shard_found += 1;
+                        if is_expired(expires_at, now) {
+                            // Validated-but-expired: a definitive lazy-
+                            // expiry miss — positive evidence, no seq
+                            // stability required.
+                            resp.push_miss();
+                            shard_expired += 1;
+                        } else {
+                            resp.push_hit(i, v);
+                            racy.touch(cand);
+                            shard_found += 1;
+                        }
                     }
                     None if row.is_none() => {
                         // Dying/dead row behind a live-looking candidate:
@@ -1698,6 +2001,14 @@ impl KvStore {
                                 }
                             }
                         }
+                        // The assist holds the shared lock, so the same
+                        // lazy-expiry rule as the locked path applies.
+                        if let Some((item, _)) = resolved {
+                            if is_expired(g.items.expires_at(item), now) {
+                                shard_expired += 1;
+                                resolved = None;
+                            }
+                        }
                         match resolved {
                             Some((item, r)) => {
                                 resp.push_hit(i, item_value(g.slab.chunk(r)));
@@ -1720,6 +2031,9 @@ impl KvStore {
                 slot.counters
                     .mget_hits
                     .fetch_add(shard_found, Ordering::Relaxed);
+                slot.counters
+                    .expired
+                    .fetch_add(shard_expired, Ordering::Relaxed);
                 return Some((
                     shard_found,
                     (tl1 - tl0).as_nanos() as u64,
@@ -1787,17 +2101,24 @@ impl Shard {
         }
     }
 
-    /// Evict one CLOCK victim; returns `false` if nothing can be evicted.
-    fn evict_one(&mut self) -> bool {
-        let Some(item) = self.clock.evict() else {
-            return false;
-        };
+    /// Evict one item under pressure via the TTL-integrated CLOCK sweep:
+    /// at each hand position an expired item is reclaimed (dead by TTL,
+    /// no information lost) before the reference bit can hand back a
+    /// live victim. Returns `Some(true)` when an expired item was
+    /// reclaimed, `Some(false)` for a live eviction, `None` when the
+    /// shard holds nothing evictable. With no TTLs in play the predicate
+    /// is constant-false and the sweep is bit-identical to classic CLOCK.
+    fn evict_one(&mut self, now: u64) -> Option<bool> {
+        let items = &self.items;
+        let (item, was_expired) = self
+            .clock
+            .evict_with(|id| is_expired(items.expires_at(id), now))?;
         if let Some(r) = self.items.unregister(item) {
             let hash = hash_key(item_key(self.slab.chunk(r)));
             self.index.remove(hash, item);
             self.slab.free(r);
         }
-        true
+        Some(was_expired)
     }
 }
 
@@ -2125,6 +2446,158 @@ mod tests {
             assert!(!store.delete(b"a"));
             assert_eq!(store.get(b"a"), None);
             assert!(store.is_empty());
+        }
+    }
+
+    #[test]
+    fn versions_advance_per_key_and_restart_after_delete() {
+        for store in stores(100) {
+            assert_eq!(store.set_v(b"k", b"v1", 0).unwrap(), 1);
+            assert_eq!(store.set_v(b"k", b"v2", 0).unwrap(), 2);
+            assert_eq!(store.set_v(b"k", b"wider-value-than-v2", 0).unwrap(), 3);
+            assert_eq!(
+                store.get_v(b"k"),
+                Some((b"wider-value-than-v2".to_vec(), 3)),
+                "{}",
+                store.index_name()
+            );
+            assert_eq!(store.get_v(b"absent"), None);
+            // Delete ends the chain; a re-set starts a new one at 1.
+            assert!(store.delete(b"k"));
+            assert_eq!(store.set_v(b"k", b"fresh", 0).unwrap(), 1);
+            // Other keys have independent chains.
+            assert_eq!(store.set_v(b"other", b"x", 0).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn cas_requires_matching_version() {
+        for store in stores(100) {
+            let name = store.index_name();
+            assert_eq!(
+                store.cas(b"k", 1, b"v", 0).unwrap(),
+                CasOutcome::NotFound,
+                "{name}"
+            );
+            let v = store.set_v(b"k", b"v1", 0).unwrap();
+            assert_eq!(
+                store.cas(b"k", v + 1, b"nope", 0).unwrap(),
+                CasOutcome::Conflict(v),
+                "{name}"
+            );
+            assert_eq!(store.get(b"k").as_deref(), Some(&b"v1"[..]), "{name}");
+            assert_eq!(
+                store.cas(b"k", v, b"v2", 0).unwrap(),
+                CasOutcome::Stored(v + 1),
+                "{name}"
+            );
+            assert_eq!(store.get_v(b"k"), Some((b"v2".to_vec(), v + 1)), "{name}");
+            // The consumed version can never win again.
+            assert_eq!(
+                store.cas(b"k", v, b"stale", 0).unwrap(),
+                CasOutcome::Conflict(v + 1),
+                "{name}"
+            );
+            let t = store.totals();
+            assert_eq!((t.cas_ok, t.cas_conflicts), (1, 2), "{name}");
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_is_lazy_and_mode_agnostic() {
+        for store in stores(2000).iter().chain(sharded_stores(2000, 4).iter()) {
+            let name = store.index_name();
+            store.set_v(b"mortal", b"doomed", 5).unwrap();
+            store.set_v(b"immortal", b"stays", 0).unwrap();
+            for mode in [ReadMode::Locked, ReadMode::Optimistic] {
+                store.set_read_mode(mode);
+                assert_eq!(store.get(b"mortal").as_deref(), Some(&b"doomed"[..]));
+            }
+            store.advance_time(5);
+            let mut resp = MGetResponse::new();
+            for mode in [ReadMode::Locked, ReadMode::Optimistic] {
+                store.set_read_mode(mode);
+                assert_eq!(store.get(b"mortal"), None, "{name}/{:?}", mode);
+                assert_eq!(store.get_v(b"mortal"), None, "{name}/{:?}", mode);
+                assert_eq!(store.get(b"immortal").as_deref(), Some(&b"stays"[..]));
+                let out = store.mget(&[b"mortal".as_ref(), b"immortal".as_ref()], &mut resp);
+                assert_eq!(out.found, 1, "{name}/{:?}", mode);
+                assert_eq!(resp.value(0), None, "{name}/{:?}", mode);
+                assert_eq!(resp.value(1), Some(&b"stays"[..]), "{name}/{:?}", mode);
+            }
+            store.set_read_mode(ReadMode::Locked);
+            assert!(store.totals().expired > 0, "{name}");
+            // Expired keys are absent to every verb.
+            assert!(!store.delete(b"mortal"), "{name}");
+            assert!(!store.touch(b"mortal", 10), "{name}");
+            assert_eq!(
+                store.cas(b"mortal", 1, b"x", 0).unwrap(),
+                CasOutcome::NotFound
+            );
+            // A re-set starts a fresh chain at version 1.
+            assert_eq!(store.set_v(b"mortal", b"reborn", 0).unwrap(), 1, "{name}");
+            assert_eq!(store.get(b"mortal").as_deref(), Some(&b"reborn"[..]));
+        }
+    }
+
+    #[test]
+    fn touch_extends_and_shortens_ttl() {
+        let store = &stores(100)[0];
+        store.set_v(b"k", b"v", 4).unwrap();
+        assert!(store.set_ttl(b"k", 100));
+        store.advance_time(50);
+        assert_eq!(store.get(b"k").as_deref(), Some(&b"v"[..]), "extended");
+        // Shorten back; also cover the clear-to-immortal path.
+        assert!(store.touch(b"k", 1));
+        store.advance_time(1);
+        assert_eq!(store.get(b"k"), None, "shortened ttl must expire");
+        store.set_v(b"k2", b"v", 3).unwrap();
+        assert!(store.set_ttl(b"k2", 0));
+        store.advance_time(1000);
+        assert_eq!(store.get(b"k2").as_deref(), Some(&b"v"[..]), "ttl cleared");
+        assert!(!store.set_ttl(b"missing", 5));
+        assert_eq!(store.totals().touches, 3);
+    }
+
+    #[test]
+    fn eviction_reclaims_expired_before_live_victims() {
+        let store = KvStore::new(
+            Box::new(Memc3Index::with_capacity(100_000)),
+            StoreConfig {
+                memory_budget: 2 << 20, // forces pressure
+                capacity_items: 100_000,
+                shards: 1,
+                prefetch_depth: None,
+                ..StoreConfig::default()
+            },
+        );
+        let value = vec![0xCDu8; 1024];
+        // Fill the arena with soon-to-expire items, let them die, then
+        // keep writing immortal items: the write pressure must be
+        // satisfied by reclaiming the corpses, not by evicting live keys.
+        for i in 0..1500u32 {
+            store
+                .set_v(format!("dead-{i:06}").as_bytes(), &value, 2)
+                .unwrap();
+        }
+        store.advance_time(2);
+        for i in 0..1000u32 {
+            store
+                .set_v(format!("live-{i:06}").as_bytes(), &value, 0)
+                .unwrap();
+        }
+        let t = store.totals();
+        assert!(
+            t.expired > 0,
+            "pressure never reclaimed an expired item (expired={})",
+            t.expired
+        );
+        // Every live key must have survived: the corpses were enough.
+        for i in 0..1000u32 {
+            assert!(
+                store.get(format!("live-{i:06}").as_bytes()).is_some(),
+                "live-{i:06} was evicted while expired items remained"
+            );
         }
     }
 

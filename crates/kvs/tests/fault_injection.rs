@@ -7,6 +7,10 @@
 //! * the client **never observes a wrong value** — every Multi-Get
 //!   either matches the oracle exactly or fails with a clean typed
 //!   error, and every Set lands in a state the oracle admits,
+//! * the versioned point verbs honor their idempotency classes: Delete
+//!   and Touch are retried (so any completed answer is a confirmation),
+//!   CAS is never resent (so its oracle is a possible-values set that an
+//!   uncertain swap joins permanently),
 //! * a no-fault `FaultSpec` is a byte-identical passthrough (checked
 //!   differentially against plain TCP on the same daemon),
 //! * killing the daemon mid-pipeline yields partial results from the
@@ -190,6 +194,17 @@ enum Scenario {
     /// Interleaved Sets and Multi-Gets with a possible-values oracle
     /// tracking each key through uncertain outcomes.
     Mixed,
+    /// The idempotent point verbs under faults: Deletes (retried, so any
+    /// `Ok` — `true` *or* `false` — proves the key is gone) on half the
+    /// keys and Touches on the other half, verified over a clean
+    /// connection afterwards.
+    PointVerbs,
+    /// Compare-and-swap under faults: never resent, so the oracle is a
+    /// possible-values set per key that grows on `Stored` *and* on
+    /// `Uncertain` (a delayed frame may still land after later reads) —
+    /// and the daemon must never answer `NotFound`/`Rejected`/`Shed` for
+    /// a live key on an unshedding server.
+    Cas,
 }
 
 const N_KEYS: usize = 12;
@@ -341,6 +356,112 @@ fn run_case(kind: FaultKind, scenario: Scenario, seed: u64) {
                 }
             }
         }
+        Scenario::PointVerbs => {
+            for i in 0..N_KEYS {
+                store.set(&key(i), &value(seed, i)).expect("direct preload");
+            }
+            // Deletes on even keys. The verb is idempotent and retried,
+            // which makes *both* Ok answers confirmations: `true` is the
+            // delete landing, and `false` (NotFound on a preloaded key
+            // nobody else touches) can only mean an earlier attempt's
+            // delete landed and its response was lost. Only a clean typed
+            // error after exhausted retries leaves the key uncertain.
+            let mut confirmed_gone = [false; N_KEYS];
+            for i in (0..N_KEYS).step_by(2) {
+                // A clean error leaves the key uncertain: absent or
+                // untouched, checked below.
+                if client.delete(key(i)).is_ok() {
+                    confirmed_gone[i] = true;
+                }
+            }
+            // Touches on odd keys: retried like deletes, and on a live
+            // key that nothing deletes or expires, a completed touch must
+            // find it — `Ok(false)` would be the daemon lying.
+            for i in (1..N_KEYS).step_by(2) {
+                match client.touch(key(i), 3600) {
+                    Ok(true) => {}
+                    Ok(false) => panic!("touch reported live key {i} as missing"),
+                    Err(_) => {} // clean failure after retries: fine
+                }
+            }
+            let mut verify = RetryClient::new(&tcp, RetryPolicy::default(), seed ^ 1);
+            let keys: Vec<Bytes> = (0..N_KEYS).map(key).collect();
+            let entries = verify.mget(&keys).expect("clean verify mget");
+            for (i, entry) in entries.iter().enumerate() {
+                if i % 2 == 0 {
+                    if confirmed_gone[i] {
+                        assert_eq!(entry, &None, "confirmed-deleted key {i} came back");
+                    } else if let Some(v) = entry {
+                        // Uncertain delete: the key is gone or untouched,
+                        // never a different value.
+                        assert_eq!(v, &value(seed, i), "uncertain-deleted key {i}");
+                    }
+                } else {
+                    // Touch must never change (or lose) the value.
+                    assert_eq!(
+                        entry.as_ref(),
+                        Some(&value(seed, i)),
+                        "touched key {i} lost or changed its value"
+                    );
+                }
+            }
+        }
+        Scenario::Cas => {
+            use simdht_kvs::client::CasNetOutcome;
+
+            // Possible-values oracle, as in Mixed, but CAS is never
+            // resent: an Uncertain swap stays in the set forever because
+            // a delayed request frame can still apply after later reads.
+            let mut oracle: Vec<HashSet<Bytes>> = Vec::new();
+            let mut expected: Vec<u64> = vec![1; N_KEYS];
+            for i in 0..N_KEYS {
+                store.set(&key(i), &value(seed, i)).expect("direct preload");
+                oracle.push(HashSet::from([value(seed, i)]));
+            }
+            for t in 0..24usize {
+                let i = t % N_KEYS;
+                let fresh = Bytes::from(format!("cas{t:02}-{seed:016x}").into_bytes());
+                match client.cas(key(i), expected[i], fresh.clone(), 0) {
+                    Ok(CasNetOutcome::Stored(v)) => {
+                        // A successful swap linearizes at the expected
+                        // version exactly; the store bumps by one.
+                        assert_eq!(v, expected[i] + 1, "key {i}: stored at the wrong version");
+                        oracle[i].insert(fresh);
+                        expected[i] = v;
+                    }
+                    Ok(CasNetOutcome::Conflict(v)) => {
+                        // The only other writer is our own uncertain past
+                        // self, so adopt the reported current version for
+                        // the next attempt; the value set is unchanged.
+                        assert!(v >= 1, "key {i}: conflict against version 0");
+                        expected[i] = v;
+                    }
+                    Ok(CasNetOutcome::NotFound) => {
+                        panic!("key {i}: cas reported a live key as missing")
+                    }
+                    Ok(CasNetOutcome::Rejected) => panic!("unfaulted daemon rejected a cas"),
+                    Ok(CasNetOutcome::Shed) => panic!("unshedding daemon shed a cas"),
+                    Ok(CasNetOutcome::Uncertain) => {
+                        oracle[i].insert(fresh);
+                    }
+                    Err(e) => panic!("cas returned a connect error: {e}"),
+                }
+            }
+            let mut verify = RetryClient::new(&tcp, RetryPolicy::default(), seed ^ 1);
+            let keys: Vec<Bytes> = (0..N_KEYS).map(key).collect();
+            let entries = verify.mget(&keys).expect("clean verify mget");
+            for (i, entry) in entries.iter().enumerate() {
+                let got = entry
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("preloaded key {i} read as absent"));
+                assert!(
+                    oracle[i].contains(got),
+                    "key {i} holds a value the oracle never admitted"
+                );
+                let (_, version) = store.get_v(&key(i)).expect("live key has a version");
+                assert!(version >= 1, "key {i}: versions start at 1");
+            }
+        }
     }
 
     drop(client);
@@ -362,6 +483,8 @@ fn fault_matrix_never_hangs_or_lies() {
             Scenario::BatchPreload,
             Scenario::Mget,
             Scenario::Mixed,
+            Scenario::PointVerbs,
+            Scenario::Cas,
         ] {
             for seed in 0..seeds {
                 let label = format!("{kind:?}/{scenario:?}/seed={seed}");
@@ -578,6 +701,9 @@ fn daemon_killed_mid_pipeline_yields_partial_results() {
             pipeline_depth: 8,
             set_fraction: 0.0,
             write_frac: 0.0,
+            delete_frac: 0.0,
+            cas_frac: 0.0,
+            ttl_secs: 0,
             preload: true,
             retry: RetryPolicy {
                 max_retries: 2,

@@ -14,7 +14,12 @@
 //! * it is at least as new as the last write completed before the read
 //!   began (replace deletes the older item under the shard write lock),
 //! * per reader, per key, sequences never go backwards,
-//! * a miss is only legal when nothing completed (or eviction is on).
+//! * a miss is only legal when nothing completed, a delete has started
+//!   on the key, or eviction is on.
+//!
+//! Delete-mixing rounds (`deletes_never_expose_recycled_bytes`) make the
+//! recycled-chunk race first-class: deletes consume log sequence numbers,
+//! so even an intact deleted value resurfacing fails the freshness bound.
 //!
 //! Every round runs in **both read modes**: `Locked` is the control,
 //! `Optimistic` is the subject under test — same oracle, no relaxation.
@@ -114,6 +119,8 @@ fn parse_value(key: &str, value: &[u8]) -> u64 {
 struct Logs {
     started: Vec<Vec<AtomicU64>>,
     completed: Vec<Vec<AtomicU64>>,
+    /// Deletes begun per key — a miss is legal once one has started.
+    del_started: Vec<Vec<AtomicU64>>,
 }
 
 /// One reader's view of a single key observation, checked against the
@@ -124,6 +131,7 @@ fn check_observation(
     value: Option<&[u8]>,
     floor: u64,
     after: u64,
+    deletes_started: u64,
     last_seen: &mut Option<u64>,
     eviction_possible: bool,
 ) {
@@ -136,7 +144,7 @@ fn check_observation(
             );
             assert!(
                 seq + 1 >= floor,
-                "{key}: read stale seq {seq}, {floor} writes had completed before the read"
+                "{key}: read stale seq {seq}, {floor} ops had completed before the read"
             );
             if let Some(prev) = *last_seen {
                 assert!(
@@ -147,7 +155,7 @@ fn check_observation(
             *last_seen = Some(seq);
         }
         None => {
-            if !eviction_possible {
+            if !eviction_possible && deletes_started == 0 {
                 assert_eq!(floor, 0, "{key}: completed write lost without eviction");
             }
         }
@@ -168,16 +176,30 @@ enum WriterStyle {
 /// with `BATCH`-wide `mget` (prefetch depth 8), all against the store's
 /// currently configured read mode. Returns harness-counted sets.
 fn stress_round(store: &Arc<KvStore>, seed: u64, eviction_possible: bool, pay_len: usize) -> u64 {
-    stress_round_with(store, seed, eviction_possible, pay_len, WriterStyle::Single)
+    stress_round_with(
+        store,
+        seed,
+        eviction_possible,
+        pay_len,
+        WriterStyle::Single,
+        0.0,
+    )
+    .0
 }
 
+/// As [`stress_round`], with a per-op probability that a Single-style
+/// writer deletes the picked key instead of setting it. Deletes consume
+/// sequence numbers in the log (so a deleted value resurfacing fails the
+/// freshness bound) and a miss becomes legal once a delete has started.
+/// Returns `(sets issued, deletes that removed a live item)`.
 fn stress_round_with(
     store: &Arc<KvStore>,
     seed: u64,
     eviction_possible: bool,
     pay_len: usize,
     style: WriterStyle,
-) -> u64 {
+    delete_prob: f64,
+) -> (u64, u64) {
     let logs = Logs {
         started: (0..WRITERS)
             .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
@@ -185,14 +207,19 @@ fn stress_round_with(
         completed: (0..WRITERS)
             .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
             .collect(),
+        del_started: (0..WRITERS)
+            .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
+            .collect(),
     };
     let sets_issued = AtomicU64::new(0);
+    let deletes_hit = AtomicU64::new(0);
 
     std::thread::scope(|s| {
         for w in 0..WRITERS {
             let store = Arc::clone(store);
             let logs = &logs;
             let sets_issued = &sets_issued;
+            let deletes_hit = &deletes_hit;
             s.spawn(move || {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64),
@@ -204,13 +231,22 @@ fn stress_round_with(
                             let i = rng.gen_range(0..KEYS_PER_WRITER);
                             let key = key_of(w, i);
                             let seq = next_seq[i];
-                            logs.started[w][i].store(seq + 1, Ordering::SeqCst);
-                            store
-                                .set(key.as_bytes(), &value_of(&key, seq, pay_len))
-                                .expect("stress writes fit the store");
-                            logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
+                            if delete_prob > 0.0 && rng.gen::<f64>() < delete_prob {
+                                logs.del_started[w][i].fetch_add(1, Ordering::SeqCst);
+                                logs.started[w][i].store(seq + 1, Ordering::SeqCst);
+                                if store.delete(key.as_bytes()) {
+                                    deletes_hit.fetch_add(1, Ordering::Relaxed);
+                                }
+                                logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
+                            } else {
+                                logs.started[w][i].store(seq + 1, Ordering::SeqCst);
+                                store
+                                    .set(key.as_bytes(), &value_of(&key, seq, pay_len))
+                                    .expect("stress writes fit the store");
+                                logs.completed[w][i].store(seq + 1, Ordering::SeqCst);
+                                sets_issued.fetch_add(1, Ordering::Relaxed);
+                            }
                             next_seq[i] = seq + 1;
-                            sets_issued.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     WriterStyle::Batched => {
@@ -276,11 +312,13 @@ fn stress_round_with(
                         let floor = logs.completed[w][i].load(Ordering::SeqCst);
                         let got = store.get(key.as_bytes());
                         let after = logs.started[w][i].load(Ordering::SeqCst);
+                        let dels = logs.del_started[w][i].load(Ordering::SeqCst);
                         check_observation(
                             &key,
                             got.as_deref(),
                             floor,
                             after,
+                            dels,
                             &mut last_seen[w][i],
                             eviction_possible,
                         );
@@ -299,11 +337,13 @@ fn stress_round_with(
                         store.mget(&refs, &mut resp);
                         for (j, &(w, i)) in picks.iter().enumerate() {
                             let after = logs.started[w][i].load(Ordering::SeqCst);
+                            let dels = logs.del_started[w][i].load(Ordering::SeqCst);
                             check_observation(
                                 &keys[j],
                                 resp.value(j),
                                 floors[j],
                                 after,
+                                dels,
                                 &mut last_seen[w][i],
                                 eviction_possible,
                             );
@@ -324,7 +364,10 @@ fn stress_round_with(
             );
         }
     }
-    sets_issued.load(Ordering::Relaxed)
+    (
+        sets_issued.load(Ordering::Relaxed),
+        deletes_hit.load(Ordering::Relaxed),
+    )
 }
 
 fn check_conservation(store: &KvStore, sets_issued: u64) {
@@ -389,7 +432,8 @@ fn stress_torn_read_oracle_batched_writers() {
         for index in ["memc3", "ver", "dpdk"] {
             for mode in modes() {
                 let store = roomy_store(index, mode);
-                let sets = stress_round_with(&store, seed, false, 40, WriterStyle::Batched);
+                let (sets, _) =
+                    stress_round_with(&store, seed, false, 40, WriterStyle::Batched, 0.0);
                 check_conservation(&store, sets);
                 assert_eq!(store.totals().evictions, 0, "budget was roomy");
                 if mode == ReadMode::Optimistic {
@@ -399,6 +443,41 @@ fn stress_torn_read_oracle_batched_writers() {
                         "{index}: optimistic path was never exercised"
                     );
                     assert!(stats.attempts >= stats.commits);
+                }
+            }
+        }
+    }
+}
+
+/// Deletes under optimistic readers: a deleted item's chunk goes back to
+/// the slab free list and is recycled by later writes — possibly under a
+/// different key, possibly while a lock-free reader still holds a pointer
+/// into it. The reader must never return the recycled bytes under the old
+/// key: the key tag + checksum oracle fires on spliced bytes, the
+/// row-generation ABA check forces a retry on recycled rows, and the
+/// seq-consuming delete log catches a deleted value resurfacing intact.
+#[test]
+fn deletes_never_expose_recycled_bytes() {
+    for seed in 0..n_seeds() {
+        for index in ["memc3", "ver", "dpdk"] {
+            for mode in modes() {
+                let store = roomy_store(index, mode);
+                let (sets, deletes) =
+                    stress_round_with(&store, seed, false, 40, WriterStyle::Single, 0.25);
+                assert!(deletes > 0, "{index}: deletes must actually land");
+                check_conservation(&store, sets);
+                assert_eq!(
+                    store.totals().deletes,
+                    deletes,
+                    "{index}: delete counter conservation"
+                );
+                assert_eq!(store.totals().evictions, 0, "budget was roomy");
+                if mode == ReadMode::Optimistic {
+                    let stats = store.optimistic_stats();
+                    assert!(
+                        stats.commits > 0,
+                        "{index}: optimistic path was never exercised"
+                    );
                 }
             }
         }

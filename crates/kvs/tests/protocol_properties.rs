@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use simdht_kvs::protocol::{ErrorCode, Request, Response};
+use simdht_kvs::protocol::{ErrorCode, OpStatus, Request, Response};
 
 fn arb_key() -> impl Strategy<Value = Bytes> {
     prop::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
@@ -37,8 +37,65 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     .map(|(k, v)| (k, Bytes::from(v)))
                     .collect(),
             }),
+        (any::<u64>(), arb_key()).prop_map(|(id, key)| Request::Delete { id, key }),
+        (
+            any::<u64>(),
+            arb_key(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..200),
+            any::<u32>(),
+        )
+            .prop_map(
+                |(id, key, expected_version, value, ttl_secs)| Request::Cas {
+                    id,
+                    key,
+                    expected_version,
+                    value: Bytes::from(value),
+                    ttl_secs,
+                }
+            ),
+        (any::<u64>(), arb_key(), any::<u32>()).prop_map(|(id, key, ttl_secs)| Request::Touch {
+            id,
+            key,
+            ttl_secs
+        }),
+        (
+            any::<u64>(),
+            arb_key(),
+            prop::collection::vec(any::<u8>(), 0..200),
+            any::<u32>(),
+        )
+            .prop_map(|(id, key, value, ttl_secs)| Request::SetEx {
+                id,
+                key,
+                value: Bytes::from(value),
+                ttl_secs,
+            }),
+        (
+            any::<u64>(),
+            prop::collection::vec(
+                (arb_key(), prop::collection::vec(any::<u8>(), 0..120)),
+                0..20
+            ),
+            any::<u32>(),
+        )
+            .prop_map(|(id, pairs, ttl_secs)| Request::SetMultiEx {
+                id,
+                pairs: pairs
+                    .into_iter()
+                    .map(|(k, v)| (k, Bytes::from(v)))
+                    .collect(),
+                ttl_secs,
+            }),
         Just(Request::Shutdown),
     ]
+}
+
+/// Canonicalize a raw status byte through `from_wire`, as `arb_response`
+/// does for error codes: known bytes map to their named statuses, so
+/// every generated status roundtrips exactly.
+fn arb_status() -> impl Strategy<Value = OpStatus> {
+    any::<u8>().prop_map(OpStatus::from_wire)
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -54,6 +111,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (any::<u64>(), any::<bool>()).prop_map(|(id, ok)| Response::Set { id, ok }),
         (any::<u64>(), prop::collection::vec(any::<bool>(), 0..40))
             .prop_map(|(id, ok)| Response::SetMulti { id, ok }),
+        (any::<u64>(), arb_status()).prop_map(|(id, status)| Response::Delete { id, status }),
+        (any::<u64>(), arb_status(), any::<u64>()).prop_map(|(id, status, version)| {
+            Response::Cas {
+                id,
+                status,
+                version,
+            }
+        }),
+        (any::<u64>(), arb_status()).prop_map(|(id, status)| Response::Touch { id, status }),
+        (any::<u64>(), arb_status(), any::<u64>()).prop_map(|(id, status, version)| {
+            Response::SetEx {
+                id,
+                status,
+                version,
+            }
+        }),
         // Canonicalize through `from_wire`: raw byte 1 means `ServerBusy`,
         // never `Unknown(1)`, so every generated code roundtrips exactly.
         (any::<u64>(), any::<u8>()).prop_map(|(id, code)| Response::Error {
@@ -255,7 +328,10 @@ fn kvsd_answers_duplicate_keys_per_slot() {
 /// Valid messages survive having garbage appended only if decoding is
 /// strict about opcodes — trailing bytes after a complete message are
 /// tolerated by design (the frame layer delimits messages), but a frame
-/// whose *first* byte is corrupted must always fail.
+/// whose *first* byte is corrupted must always fail. The list includes
+/// every *valid* opcode from both spaces (4–9, 130–135): the CRC seal
+/// covers the opcode byte, so rewriting an MGet into a structurally
+/// plausible Delete or Cas frame still dies at the checksum.
 #[test]
 fn corrupted_opcode_always_errors() {
     let req = Request::MGet {
@@ -263,7 +339,7 @@ fn corrupted_opcode_always_errors() {
         keys: vec![Bytes::from_static(b"some-key")],
     };
     let good = req.encode();
-    for bad_op in [0u8, 4, 5, 42, 127, 130, 255] {
+    for bad_op in [0u8, 4, 5, 6, 7, 8, 9, 10, 42, 127, 130, 133, 135, 255] {
         let mut bytes = good.to_vec();
         bytes[0] = bad_op;
         assert!(
@@ -271,6 +347,134 @@ fn corrupted_opcode_always_errors() {
             "opcode {bad_op}"
         );
     }
+}
+
+/// Append a valid CRC-32 trailer to a hand-written body, producing a
+/// frame that passes the checksum layer and reaches the structural
+/// decoder — exactly what a version-skewed (but non-corrupting) peer
+/// would send.
+fn sealed(body: &[u8]) -> Bytes {
+    let mut framed = body.to_vec();
+    framed.extend_from_slice(&simdht_kvs::protocol::crc32(body).to_le_bytes());
+    Bytes::from(framed)
+}
+
+/// Structural violations in the versioned verbs (Delete/Cas/Touch/SetEx/
+/// SetMultiEx and their responses), sealed with a *valid* checksum so the
+/// CRC layer cannot mask them: every entry must be rejected by both
+/// decoders on framing grounds alone.
+#[test]
+fn sealed_malformed_versioned_frames_are_rejected() {
+    let corpus: &[(&str, &[u8])] = &[
+        ("delete header cut inside the id", &[5, 1, 2, 3]),
+        (
+            "delete key length overruns the frame",
+            &[5, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, b'k'],
+        ),
+        (
+            "cas header cut inside expected_version",
+            &[6, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3],
+        ),
+        (
+            "cas key length overruns the frame",
+            &[
+                6, 0, 0, 0, 0, 0, 0, 0, 0, // id
+                1, 0, 0, 0, 0, 0, 0, 0, // expected_version
+                0, 0, 0, 0, // ttl_secs
+                9, 0, b'k', // klen 9, one byte of key
+            ],
+        ),
+        (
+            "cas value length u32::MAX with no value bytes",
+            &[
+                6, 0, 0, 0, 0, 0, 0, 0, 0, // id
+                1, 0, 0, 0, 0, 0, 0, 0, // expected_version
+                0, 0, 0, 0, // ttl_secs
+                1, 0, b'k', // key
+                255, 255, 255, 255, // vlen with nothing behind it
+            ],
+        ),
+        (
+            "touch header cut inside the ttl",
+            &[7, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2],
+        ),
+        (
+            "touch key length overruns the frame",
+            &[7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, b'k'],
+        ),
+        (
+            "set-ex value length overruns the frame",
+            &[
+                8, 0, 0, 0, 0, 0, 0, 0, 0, // id
+                0, 0, 0, 0, // ttl_secs
+                1, 0, b'k', // key
+                255, 255, 255, 255, // vlen with nothing behind it
+            ],
+        ),
+        (
+            "set-multi-ex declares 65535 pairs with no payload",
+            &[9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255],
+        ),
+        (
+            "delete response missing the status byte",
+            &[132, 0, 0, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "cas response cut inside the version",
+            &[133, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3],
+        ),
+        (
+            "touch response missing the status byte",
+            &[134, 0, 0, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            "set-ex response cut inside the version",
+            &[135, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3],
+        ),
+    ];
+    for (what, body) in corpus {
+        let b = sealed(body);
+        assert!(Request::decode(b.clone()).is_err(), "request: {what}");
+        assert!(Response::decode(b).is_err(), "response: {what}");
+    }
+}
+
+/// Version tolerance: a status byte this build has no name for decodes to
+/// `OpStatus::Unknown(b)` instead of being rejected, so a newer server
+/// can extend the status space without breaking older clients. The
+/// carrier frame itself is still CRC-sealed — tolerance applies to the
+/// *value*, never to damage.
+#[test]
+fn unknown_status_bytes_decode_as_unknown() {
+    // Delete response, id 7, status byte 250 (unassigned).
+    let mut delete_body = vec![132u8];
+    delete_body.extend_from_slice(&7u64.to_le_bytes());
+    delete_body.push(250);
+    match Response::decode(sealed(&delete_body)).expect("unknown status must decode") {
+        Response::Delete { id, status } => {
+            assert_eq!(id, 7);
+            assert_eq!(status, OpStatus::Unknown(250));
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Cas response, id 9, status byte 200 (unassigned), version 31.
+    let mut cas_body = vec![133u8];
+    cas_body.extend_from_slice(&9u64.to_le_bytes());
+    cas_body.push(200);
+    cas_body.extend_from_slice(&31u64.to_le_bytes());
+    let decoded = Response::decode(sealed(&cas_body)).expect("unknown status must decode");
+    assert_eq!(
+        decoded,
+        Response::Cas {
+            id: 9,
+            status: OpStatus::Unknown(200),
+            version: 31
+        }
+    );
+    // And the tolerated value re-encodes to the identical sealed frame:
+    // relaying an unknown status is lossless.
+    assert_eq!(decoded.encode(), sealed(&cas_body));
 }
 
 /// Exhaustive damage sweep over a realistic encoded MGet response: a cut
@@ -357,6 +561,73 @@ fn every_damaged_set_multi_response_is_rejected() {
     let resp = Response::SetMulti {
         id: 0xFACE_0008,
         ok: vec![true, false, true, true, false],
+    };
+    let full = resp.encode();
+    for cut in 0..full.len() {
+        assert!(
+            Response::decode(full.slice(..cut)).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            full.len()
+        );
+    }
+    for pos in 0..full.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bytes = full.to_vec();
+            bytes[pos] ^= mask;
+            assert!(
+                Response::decode(Bytes::from(bytes)).is_err(),
+                "flip {mask:#04x} at byte {pos} decoded"
+            );
+        }
+    }
+    assert_eq!(Response::decode(full).unwrap(), resp);
+}
+
+/// Exhaustive damage sweep over an encoded Cas *request*: CAS is the one
+/// verb the client never resends, so a damaged frame that decoded to a
+/// different-but-plausible compare-and-swap (wrong expected version,
+/// wrong key, wrong value) would silently linearize the wrong write.
+/// Every truncation and every bit-flip must yield `Err`.
+#[test]
+fn every_damaged_cas_request_is_rejected() {
+    let req = Request::Cas {
+        id: 0xCA5_0013,
+        key: Bytes::from_static(b"contended-key"),
+        expected_version: 41,
+        value: Bytes::from_static(b"the-replacement-value"),
+        ttl_secs: 300,
+    };
+    let full = req.encode();
+    for cut in 0..full.len() {
+        assert!(
+            Request::decode(full.slice(..cut)).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            full.len()
+        );
+    }
+    for pos in 0..full.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bytes = full.to_vec();
+            bytes[pos] ^= mask;
+            assert!(
+                Request::decode(Bytes::from(bytes)).is_err(),
+                "flip {mask:#04x} at byte {pos} decoded"
+            );
+        }
+    }
+    assert_eq!(Request::decode(full).unwrap(), req);
+}
+
+/// And over an encoded Cas *response*: the status byte decides whether
+/// the client records a win or a conflict, and the version field seeds
+/// its next attempt — a flipped bit in either must surface as a decode
+/// error, not a wrong verdict.
+#[test]
+fn every_damaged_cas_response_is_rejected() {
+    let resp = Response::Cas {
+        id: 0xCA5_0014,
+        status: OpStatus::ExistsConflict,
+        version: 42,
     };
     let full = resp.encode();
     for cut in 0..full.len() {

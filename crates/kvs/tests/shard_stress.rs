@@ -14,8 +14,13 @@
 //! * per reader, per key, observed sequence numbers never go backwards
 //!   (each key lives in exactly one shard, so per-key operations are
 //!   serialized through one `RwLock`),
-//! * a miss is only legal when the key was never completed or the store
-//!   is configured small enough that CLOCK eviction may have removed it.
+//! * a miss is only legal when the key was never completed, a delete has
+//!   started on it, or the store is configured small enough that CLOCK
+//!   eviction may have removed it.
+//!
+//! Rounds with `delete_prob > 0` mix `KvStore::delete` into the writer
+//! streams; deletes consume sequence numbers in the log, so a deleted
+//! value resurfacing fails the freshness bound.
 //!
 //! After the threads join (loss-free shutdown: `KvStore` spawns no
 //! threads, so joining the harness threads quiesces the store), the store
@@ -72,63 +77,114 @@ fn parse_value(key: &str, value: &[u8]) -> u64 {
 struct StressOutcome {
     /// Ground-truth successful set calls, counted by the harness.
     sets_issued: u64,
-    /// Final per-key write counts (the oracle model's backbone).
+    /// Ground-truth deletes that removed a live item (the store's
+    /// `deletes` counter only counts those).
+    deletes_hit: u64,
+    /// Final per-key *operation* counts — every set and delete consumes
+    /// one sequence number, so a live key's last value carries seq
+    /// `count - 1`.
     final_seq: Vec<Vec<u64>>,
+    /// Whether each key's final operation was a set (true) or a delete /
+    /// never-written (false).
+    final_live: Vec<Vec<bool>>,
     /// Zero-pad width the round encoded values with.
     pad: usize,
 }
 
 /// Run one seeded stress round against `store`. `eviction_possible`
 /// selects whether a miss on a completed key is legal; `pad` sets the
-/// zero-pad width of the sequence field (and thus the value size).
+/// zero-pad width of the sequence field (and thus the value size);
+/// `delete_prob` is the per-op probability that a writer deletes the
+/// picked key instead of setting it.
+///
+/// Deletes are first-class in the sequencing log: each one consumes a
+/// sequence number, so a reader that observes a value whose set completed
+/// *before* a completed delete fails the freshness bound — a deleted
+/// value resurfacing (e.g. via a recycled slab chunk) is caught, not just
+/// torn bytes. A miss is legal only when nothing ever completed for the
+/// key, a delete has started on it, or eviction is possible.
 fn stress_round(
     store: &Arc<KvStore>,
     seed: u64,
     eviction_possible: bool,
     pad: usize,
+    delete_prob: f64,
 ) -> StressOutcome {
-    // The sequencing log: started[w][i] = writes begun, completed[w][i] =
-    // writes finished, for writer w's key i.
+    // The sequencing log: started[w][i] = ops begun, completed[w][i] =
+    // ops finished, del_started[w][i] = deletes begun, for writer w's
+    // key i.
     let started: Vec<Vec<AtomicU64>> = (0..WRITERS)
         .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
         .collect();
     let completed: Vec<Vec<AtomicU64>> = (0..WRITERS)
         .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
         .collect();
+    let del_started: Vec<Vec<AtomicU64>> = (0..WRITERS)
+        .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
+        .collect();
+    let final_live: Vec<Vec<AtomicU64>> = (0..WRITERS)
+        .map(|_| (0..KEYS_PER_WRITER).map(|_| AtomicU64::new(0)).collect())
+        .collect();
     let sets_issued = AtomicU64::new(0);
+    let deletes_hit = AtomicU64::new(0);
 
     std::thread::scope(|s| {
         for w in 0..WRITERS {
             let store = Arc::clone(store);
             let started = &started;
             let completed = &completed;
+            let del_started = &del_started;
+            let final_live = &final_live;
             let sets_issued = &sets_issued;
+            let deletes_hit = &deletes_hit;
             s.spawn(move || {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64),
                 );
                 let mut next_seq = vec![0u64; KEYS_PER_WRITER];
+                let mut live = [false; KEYS_PER_WRITER];
                 for _ in 0..OPS_PER_WRITER {
                     let i = rng.gen_range(0..KEYS_PER_WRITER);
                     let key = key_of(w, i);
                     let seq = next_seq[i];
-                    // Publish intent before the write begins...
-                    started[w][i].store(seq + 1, Ordering::SeqCst);
-                    store
-                        .set(key.as_bytes(), &value_of(&key, seq, pad))
-                        .expect("stress writes fit the store");
-                    // ...and completion after it returns.
-                    completed[w][i].store(seq + 1, Ordering::SeqCst);
+                    if delete_prob > 0.0 && rng.gen::<f64>() < delete_prob {
+                        // Publish intent before the delete begins...
+                        del_started[w][i].fetch_add(1, Ordering::SeqCst);
+                        started[w][i].store(seq + 1, Ordering::SeqCst);
+                        let removed = store.delete(key.as_bytes());
+                        completed[w][i].store(seq + 1, Ordering::SeqCst);
+                        if !eviction_possible {
+                            // Each key has exactly one writer: with no
+                            // eviction, delete's answer is determined.
+                            assert_eq!(removed, live[i], "{key}: delete return disagrees");
+                        }
+                        if removed {
+                            deletes_hit.fetch_add(1, Ordering::Relaxed);
+                        }
+                        live[i] = false;
+                    } else {
+                        // Publish intent before the write begins...
+                        started[w][i].store(seq + 1, Ordering::SeqCst);
+                        store
+                            .set(key.as_bytes(), &value_of(&key, seq, pad))
+                            .expect("stress writes fit the store");
+                        // ...and completion after it returns.
+                        completed[w][i].store(seq + 1, Ordering::SeqCst);
+                        sets_issued.fetch_add(1, Ordering::Relaxed);
+                        live[i] = true;
+                    }
                     next_seq[i] = seq + 1;
-                    sets_issued.fetch_add(1, Ordering::Relaxed);
                 }
-                next_seq
+                for (i, &l) in live.iter().enumerate() {
+                    final_live[w][i].store(u64::from(l), Ordering::SeqCst);
+                }
             });
         }
         for r in 0..READERS {
             let store = Arc::clone(store);
             let started = &started;
             let completed = &completed;
+            let del_started = &del_started;
             s.spawn(move || {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     seed.wrapping_mul(0xD1B5_4A32_D192_ED03) ^ (0xBEEF + r as u64),
@@ -151,7 +207,7 @@ fn stress_round(
                             );
                             assert!(
                                 seq + 1 >= floor,
-                                "{key}: read stale seq {seq}, {floor} writes \
+                                "{key}: read stale seq {seq}, {floor} ops \
                                  had completed before the read"
                             );
                             if let Some(prev) = last_seen[w][i] {
@@ -164,7 +220,7 @@ fn stress_round(
                             last_seen[w][i] = Some(seq);
                         }
                         None => {
-                            if !eviction_possible {
+                            if !eviction_possible && del_started[w][i].load(Ordering::SeqCst) == 0 {
                                 assert_eq!(
                                     floor, 0,
                                     "{key}: completed write lost without eviction"
@@ -189,7 +245,12 @@ fn stress_round(
     }
     StressOutcome {
         sets_issued: sets_issued.load(Ordering::Relaxed),
+        deletes_hit: deletes_hit.load(Ordering::Relaxed),
         final_seq,
+        final_live: final_live
+            .iter()
+            .map(|row| row.iter().map(|a| a.load(Ordering::SeqCst) != 0).collect())
+            .collect(),
         pad,
     }
 }
@@ -204,6 +265,10 @@ fn check_conservation(store: &KvStore, outcome: &StressOutcome) {
     }
     assert_eq!(summed, totals, "sum over shards must equal global totals");
     assert_eq!(totals.sets, outcome.sets_issued, "set counter conservation");
+    assert_eq!(
+        totals.deletes, outcome.deletes_hit,
+        "delete counter conservation"
+    );
     assert_eq!(totals.items, store.len(), "item counter conservation");
     assert_eq!(
         store.shard_lens().iter().sum::<usize>(),
@@ -214,12 +279,12 @@ fn check_conservation(store: &KvStore, outcome: &StressOutcome) {
 
 /// Compare the quiesced store against the oracle `HashMap` model: with no
 /// eviction possible, the store holds exactly the last completed write of
-/// every written key and nothing else.
+/// every key whose final operation was a set, and nothing else.
 fn check_oracle(store: &KvStore, outcome: &StressOutcome) {
     let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
     for (w, row) in outcome.final_seq.iter().enumerate() {
         for (i, &count) in row.iter().enumerate() {
-            if count > 0 {
+            if count > 0 && outcome.final_live[w][i] {
                 let key = key_of(w, i);
                 let v = value_of(&key, count - 1, outcome.pad);
                 oracle.insert(key, v);
@@ -264,7 +329,7 @@ fn stress_oracle_sharded_no_eviction() {
     for seed in 0..n_seeds() {
         for index in ["memc3", "ver"] {
             let store = roomy_store(8, index);
-            let outcome = stress_round(&store, seed, false, 8);
+            let outcome = stress_round(&store, seed, false, 8, 0.0);
             check_conservation(&store, &outcome);
             check_oracle(&store, &outcome);
             assert_eq!(store.totals().evictions, 0, "budget was roomy");
@@ -276,11 +341,31 @@ fn stress_oracle_sharded_no_eviction() {
 }
 
 #[test]
+fn stress_oracle_with_deletes() {
+    // A quarter of every writer's ops delete the picked key. The oracle
+    // checks the full lifecycle: delete returns exactly whether the key
+    // was live (single writer per key, no eviction), readers never see a
+    // value older than a completed delete, the quiesced store holds
+    // exactly the finally-live keys, and the per-shard delete counters
+    // conserve against the harness ground truth.
+    for seed in 0..n_seeds() {
+        for index in ["memc3", "hor"] {
+            let store = roomy_store(8, index);
+            let outcome = stress_round(&store, seed, false, 8, 0.25);
+            assert!(outcome.deletes_hit > 0, "deletes must actually land");
+            check_conservation(&store, &outcome);
+            check_oracle(&store, &outcome);
+            assert_eq!(store.totals().evictions, 0, "budget was roomy");
+        }
+    }
+}
+
+#[test]
 fn stress_oracle_single_shard_degenerates() {
     // S=1 must satisfy the same oracle (the classic single-lock store).
     for seed in 0..n_seeds().min(3) {
         let store = roomy_store(1, "hor");
-        let outcome = stress_round(&store, seed, false, 8);
+        let outcome = stress_round(&store, seed, false, 8, 0.0);
         check_conservation(&store, &outcome);
         check_oracle(&store, &outcome);
     }
@@ -308,7 +393,7 @@ fn stress_oracle_under_eviction_pressure() {
             },
             |cap| by_short_name("hor", cap).expect("known index"),
         ));
-        let outcome = stress_round(&store, seed, true, 32_000);
+        let outcome = stress_round(&store, seed, true, 32_000, 0.0);
         // Presence is not guaranteed, but counters must still conserve.
         let totals = store.totals();
         assert!(totals.evictions > 0, "tight budget must force evictions");
