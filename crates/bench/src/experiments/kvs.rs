@@ -155,7 +155,7 @@ pub fn ext_mixed_kvs(scale: &RunScale) -> String {
         "set frac", "index", "MGet keys/s", "mean lat us", "sets"
     );
     for frac in [0.0, 0.05, 0.25] {
-        for which in ["memc3", "hor", "ver", "dpdk"] {
+        for which in ["memc3", "hor", "ver", "dpdk", "local"] {
             let r = run_one_mixed(which, 64, frac, scale);
             let _ = writeln!(
                 s,
@@ -443,7 +443,7 @@ fn prefetch_sweep_impl(scale: &RunScale) -> (String, String) {
     );
 
     let mut points: Vec<SweepPoint> = Vec::new();
-    for which in ["memc3", "hor", "ver", "dpdk"] {
+    for which in ["memc3", "hor", "ver", "dpdk", "local"] {
         let store = KvStore::new(
             build_index(which, n_items * 2),
             StoreConfig {
@@ -495,7 +495,7 @@ fn prefetch_sweep_impl(scale: &RunScale) -> (String, String) {
     // best G should beat G=0 by a clear margin once the table spills LLC).
     s.push('\n');
     let mut best_lines = String::new();
-    for which in ["memc3", "hor", "ver", "dpdk"] {
+    for which in ["memc3", "hor", "ver", "dpdk", "local"] {
         let base = points
             .iter()
             .find(|p| p.index == which && p.depth == 0)
@@ -612,7 +612,7 @@ fn setpath_sweep_impl(scale: &RunScale) -> (String, String) {
     );
 
     let mut points: Vec<SetPathPoint> = Vec::new();
-    for which in ["memc3", "hor", "ver", "dpdk"] {
+    for which in ["memc3", "hor", "ver", "dpdk", "local"] {
         for frac in SETPATH_FRACS {
             // Pre-generate the mixed stream: per batch, a coin decides
             // write (SWEEP_BATCH replacement pairs with fresh values) or
@@ -773,6 +773,250 @@ pub fn kvs_setpath_sweep(scale: &RunScale) -> String {
         Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_setpath.json)\n"),
         Err(e) => {
             let _ = writeln!(s, "\n(could not write BENCH_kvs_setpath.json: {e})");
+        }
+    }
+    s
+}
+
+/// Prefetch look-ahead depths probed per workload by `kvs-local-sweep`
+/// (0 = plain probe loop; 8 = the G-ahead AMAC pipeline each bucketized
+/// index shares).
+const LOCAL_DEPTHS: [usize; 2] = [0, 8];
+/// Index families compared by `kvs-local-sweep`: the indirect-SIMD
+/// references (`memc3` scalar-probe, `dpdk` SSE-probe — tags on a separate
+/// line from the entries), the direct-SIMD reference (`hor` — full keys in
+/// the table, 4 entries per line) and the localized-SIMD contender.
+const LOCAL_INDEXES: [&str; 4] = ["memc3", "dpdk", "hor", "local"];
+
+/// The i-th never-preloaded key for the find_miss workload (distinct
+/// prefix, same fixed width as [`sweep_key`]).
+fn absent_key(i: usize) -> Vec<u8> {
+    format!("abs-{i:012}").into_bytes()
+}
+
+/// One measured localized-SIMD sweep point.
+struct LocalSweepPoint {
+    index: &'static str,
+    workload: &'static str,
+    depth: usize,
+    mkeys_per_sec: f64,
+}
+
+/// Measure the localized-SIMD sweep and render (human table, JSON
+/// document). Split from [`kvs_local_sweep`] so tests can run it without
+/// touching the filesystem.
+fn local_sweep_impl(scale: &RunScale) -> (String, String) {
+    let llc = crate::machine::llc_bytes();
+    let line = crate::machine::coherency_line_size();
+    let full = scale.kvs_items >= RunScale::full().kvs_items;
+    // Same out-of-cache sizing as the prefetch sweep: the cache-line
+    // argument (one line per find_hit vs two) only shows once probes miss
+    // to DRAM.
+    let n_items = if full {
+        (4 * llc / 64).max(scale.kvs_items)
+    } else {
+        scale.kvs_items
+    };
+    let n_batches = scale.kvs_requests;
+    let reps = if full { 3 } else { 2 };
+    let total_keys = n_batches * SWEEP_BATCH;
+
+    // find_hit: every key preloaded (uniform — a skewed hot set would sit
+    // in cache and mask the line-count difference). find_miss: half the
+    // keys drawn from a never-preloaded namespace, the regime where probes
+    // scan every candidate slot before concluding absence.
+    let mut rng = 0x10CA_1005u64;
+    let hit_keys: Vec<Vec<Vec<u8>>> = (0..n_batches)
+        .map(|_| {
+            (0..SWEEP_BATCH)
+                .map(|_| sweep_key((splitmix64(&mut rng) % n_items as u64) as usize))
+                .collect()
+        })
+        .collect();
+    let mut present_in_miss = 0usize;
+    let miss_keys: Vec<Vec<Vec<u8>>> = (0..n_batches)
+        .map(|_| {
+            (0..SWEEP_BATCH)
+                .map(|_| {
+                    let r = splitmix64(&mut rng);
+                    let i = (r % n_items as u64) as usize;
+                    if r & (1 << 63) == 0 {
+                        present_in_miss += 1;
+                        sweep_key(i)
+                    } else {
+                        absent_key(i)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let hit_refs: Vec<Vec<&[u8]>> = hit_keys
+        .iter()
+        .map(|b| b.iter().map(|k| k.as_slice()).collect())
+        .collect();
+    let miss_refs: Vec<Vec<&[u8]>> = miss_keys
+        .iter()
+        .map(|b| b.iter().map(|k| k.as_slice()).collect())
+        .collect();
+
+    let mut s = format!(
+        "== kvs-local-sweep: localized-SIMD (F14-style) index vs indirect/direct SIMD ==\n\
+         (batch {SWEEP_BATCH}, uniform keys, {n_items} items x 64 B chunks = {} MiB slab,\n\
+          LLC {} MiB, line {line} B, bucket 64 B, {n_batches} requests/point, best of {reps};\n\
+          find_hit = 100% present, find_miss = ~50% absent keys)\n\n",
+        (n_items * 64) >> 20,
+        llc >> 20,
+    );
+    let _ = writeln!(
+        s,
+        "  {:<8} {:<10} {:>3} {:>14}",
+        "index", "workload", "G", "MGet Mkeys/s"
+    );
+
+    let mut points: Vec<LocalSweepPoint> = Vec::new();
+    for which in LOCAL_INDEXES {
+        let store = KvStore::new(
+            build_index(which, n_items * 2),
+            StoreConfig {
+                memory_budget: n_items * 64 + (256 << 20),
+                capacity_items: n_items * 2,
+                shards: 1,
+                prefetch_depth: Some(0),
+                ..StoreConfig::default()
+            },
+        );
+        for i in 0..n_items {
+            store
+                .set(&sweep_key(i), &sweep_value(i))
+                .expect("local-sweep preload");
+        }
+        let mut resp = MGetResponse::new();
+        for (workload, batches, expect_found) in [
+            ("find_hit", &hit_refs, total_keys),
+            ("find_miss", &miss_refs, present_in_miss),
+        ] {
+            for depth in LOCAL_DEPTHS {
+                store.set_prefetch_depth(depth);
+                let mut best = 0.0f64;
+                for _ in 0..reps {
+                    let mut found = 0usize;
+                    let t0 = std::time::Instant::now();
+                    for keys in batches {
+                        found += store.mget(keys, &mut resp).found;
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    assert_eq!(found, expect_found, "{which}/{workload} hit accounting");
+                    best = best.max(total_keys as f64 / secs);
+                }
+                let _ = writeln!(
+                    s,
+                    "  {:<8} {:<10} {:>3} {:>14.2}",
+                    which,
+                    workload,
+                    depth,
+                    best / 1e6,
+                );
+                points.push(LocalSweepPoint {
+                    index: which,
+                    workload,
+                    depth,
+                    mkeys_per_sec: best / 1e6,
+                });
+            }
+        }
+    }
+
+    let best_of = |index: &str, workload: &str| -> f64 {
+        points
+            .iter()
+            .filter(|p| p.index == index && p.workload == workload)
+            .map(|p| p.mkeys_per_sec)
+            .fold(0.0, f64::max)
+    };
+
+    // Acceptance gates (recorded, asserted only on committed full runs):
+    // localized SIMD beats the indirect reference where hits dominate (it
+    // touches one line per hit, memc3 two) and the direct reference where
+    // misses dominate (7 rejected candidates per line vs 4).
+    let hit_ratio = best_of("local", "find_hit") / best_of("memc3", "find_hit").max(1e-12);
+    let miss_ratio = best_of("local", "find_miss") / best_of("hor", "find_miss").max(1e-12);
+    let mut best_lines = String::new();
+    for which in LOCAL_INDEXES {
+        for workload in ["find_hit", "find_miss"] {
+            let best = points
+                .iter()
+                .filter(|p| p.index == which && p.workload == workload)
+                .max_by(|a, b| a.mkeys_per_sec.total_cmp(&b.mkeys_per_sec))
+                .expect("swept every index x workload");
+            let _ = writeln!(
+                s,
+                "  best for {:<8} {:<10} G={:<3} {:.2} Mkeys/s",
+                which, workload, best.depth, best.mkeys_per_sec,
+            );
+            if !best_lines.is_empty() {
+                best_lines.push_str(",\n");
+            }
+            let _ = write!(
+                best_lines,
+                "    {{\"index\": \"{}\", \"workload\": \"{}\", \"best_depth\": {}, \
+                 \"best_mkeys_per_sec\": {:.3}}}",
+                which, workload, best.depth, best.mkeys_per_sec,
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "\n  gates: find_hit local/memc3 = {:.3} [{}]   find_miss local/hor = {:.3} [{}]",
+        hit_ratio,
+        if hit_ratio >= 1.0 { "PASS" } else { "FAIL" },
+        miss_ratio,
+        if miss_ratio >= 1.0 { "PASS" } else { "FAIL" },
+    );
+
+    let mut result_lines = String::new();
+    for p in &points {
+        if !result_lines.is_empty() {
+            result_lines.push_str(",\n");
+        }
+        let _ = write!(
+            result_lines,
+            "    {{\"index\": \"{}\", \"workload\": \"{}\", \"depth\": {}, \
+             \"mkeys_per_sec\": {:.3}}}",
+            p.index, p.workload, p.depth, p.mkeys_per_sec,
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kvs-local-sweep\",\n  \"mode\": \"{}\",\n  \
+         \"llc_bytes\": {llc},\n  \"coherency_line_size\": {line},\n  \
+         \"bucket_bytes\": 64,\n  \"bucket_fits_line\": {},\n  \
+         \"table_bytes\": {},\n  \"n_items\": {n_items},\n  \"batch\": {SWEEP_BATCH},\n  \
+         \"requests_per_point\": {n_batches},\n  \"depths\": [0, 8],\n  \
+         \"results\": [\n{result_lines}\n  ],\n  \"best\": [\n{best_lines}\n  ],\n  \
+         \"gates\": [\n    \
+         {{\"name\": \"find_hit_local_vs_memc3\", \"ratio\": {hit_ratio:.4}, \"pass\": {}}},\n    \
+         {{\"name\": \"find_miss_local_vs_hor\", \"ratio\": {miss_ratio:.4}, \"pass\": {}}}\n  ]\n}}\n",
+        if full { "full" } else { "quick" },
+        64 <= line,
+        n_items * 64,
+        hit_ratio >= 1.0,
+        miss_ratio >= 1.0,
+    );
+    (s, json)
+}
+
+/// `kvs-local-sweep`: find_hit- vs find_miss-dominated Multi-Get
+/// throughput for the localized-SIMD `local` index against its indirect
+/// (`memc3`, `dpdk`) and direct (`hor`) SIMD references, on a table sized
+/// well past the LLC. Emits the machine's coherency line size next to the
+/// 64-byte bucket claim and records the two acceptance-gate ratios.
+/// Writes the measurements to `BENCH_kvs_local.json` in the working
+/// directory.
+pub fn kvs_local_sweep(scale: &RunScale) -> String {
+    let (mut s, json) = local_sweep_impl(scale);
+    match std::fs::write("BENCH_kvs_local.json", &json) {
+        Ok(()) => s.push_str("\n(measurements written to BENCH_kvs_local.json)\n"),
+        Err(e) => {
+            let _ = writeln!(s, "\n(could not write BENCH_kvs_local.json: {e})");
         }
     }
     s
@@ -1386,7 +1630,7 @@ fn ttl_churn_impl(scale: &RunScale) -> (String, String) {
     );
 
     let mut points: Vec<TtlChurnPoint> = Vec::new();
-    for which in ["memc3", "hor", "ver", "dpdk"] {
+    for which in ["memc3", "hor", "ver", "dpdk", "local"] {
         let mut best = [0.0f64; 3];
         let (mut expired, mut deletes, mut cas_ok) = (0u64, 0u64, 0u64);
         for (slot, mode) in [
@@ -1625,11 +1869,11 @@ mod tests {
         };
         let (rendered, json) = prefetch_sweep_impl(&tiny);
         assert!(rendered.contains("kvs-prefetch-sweep"));
-        // 4 index families x 5 depths, each with a speedup entry.
-        assert_eq!(json.matches("\"depth\":").count(), 20);
-        assert_eq!(json.matches("\"best_depth\":").count(), 4);
+        // 5 index families x 5 depths, each with a speedup entry.
+        assert_eq!(json.matches("\"depth\":").count(), 25);
+        assert_eq!(json.matches("\"best_depth\":").count(), 5);
         assert!(json.contains("\"mode\": \"quick\""));
-        for which in ["memc3", "hor", "ver", "dpdk"] {
+        for which in ["memc3", "hor", "ver", "dpdk", "local"] {
             assert!(json.contains(&format!("\"index\": \"{which}\"")));
         }
     }
@@ -1646,12 +1890,37 @@ mod tests {
         let (rendered, json) = setpath_sweep_impl(&tiny);
         assert!(rendered.contains("kvs-setpath-sweep"));
         assert!(rendered.contains("acceptance"));
-        // 4 index families x 3 write fractions.
-        assert_eq!(json.matches("\"write_frac\":").count(), 12);
-        assert_eq!(json.matches("\"speedup\":").count(), 12);
+        // 5 index families x 3 write fractions.
+        assert_eq!(json.matches("\"write_frac\":").count(), 15);
+        assert_eq!(json.matches("\"speedup\":").count(), 15);
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"batched_beats_sequential\":"));
-        for which in ["memc3", "hor", "ver", "dpdk"] {
+        for which in ["memc3", "hor", "ver", "dpdk", "local"] {
+            assert!(json.contains(&format!("\"index\": \"{which}\"")));
+        }
+    }
+
+    #[test]
+    fn kvs_local_sweep_tiny_run() {
+        let tiny = RunScale {
+            queries_per_thread: 1024,
+            repetitions: 1,
+            threads: 1,
+            kvs_requests: 16,
+            kvs_items: 500,
+        };
+        let (rendered, json) = local_sweep_impl(&tiny);
+        assert!(rendered.contains("kvs-local-sweep"));
+        assert!(rendered.contains("gates:"));
+        // 4 index families x 2 workloads x 2 depths.
+        assert_eq!(json.matches("\"depth\":").count(), 16);
+        assert_eq!(json.matches("\"best_depth\":").count(), 8);
+        assert_eq!(json.matches("\"pass\":").count(), 2);
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"coherency_line_size\":"));
+        assert!(json.contains("\"find_hit_local_vs_memc3\""));
+        assert!(json.contains("\"find_miss_local_vs_hor\""));
+        for which in LOCAL_INDEXES {
             assert!(json.contains(&format!("\"index\": \"{which}\"")));
         }
     }
@@ -1711,12 +1980,12 @@ mod tests {
         let (rendered, json) = ttl_churn_impl(&tiny);
         assert!(rendered.contains("kvs-ttl-churn"));
         assert!(rendered.contains("acceptance"));
-        // 4 index families, one point each, three throughput columns.
-        assert_eq!(json.matches("\"ttl0_overhead\":").count(), 4);
-        assert_eq!(json.matches("\"expired\":").count(), 4);
+        // 5 index families, one point each, three throughput columns.
+        assert_eq!(json.matches("\"ttl0_overhead\":").count(), 5);
+        assert_eq!(json.matches("\"expired\":").count(), 5);
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"churn_observed\": true"));
-        for which in ["memc3", "hor", "ver", "dpdk"] {
+        for which in ["memc3", "hor", "ver", "dpdk", "local"] {
             assert!(json.contains(&format!("\"index\": \"{which}\"")));
         }
     }

@@ -35,6 +35,7 @@ pub const ALL: &[&str] = &[
     "kvs-shard-sweep",
     "kvs-prefetch-sweep",
     "kvs-setpath-sweep",
+    "kvs-local-sweep",
     "kvs-reactor-sweep",
     "kvs-readscale-sweep",
     "kvs-ttl-churn",
@@ -67,6 +68,7 @@ pub fn run(id: &str, quick: bool) -> Option<String> {
         "kvs-shard-sweep" => kvs::kvs_shard_sweep(&scale),
         "kvs-prefetch-sweep" => kvs::kvs_prefetch_sweep(&scale),
         "kvs-setpath-sweep" => kvs::kvs_setpath_sweep(&scale),
+        "kvs-local-sweep" => kvs::kvs_local_sweep(&scale),
         "kvs-reactor-sweep" => kvs::kvs_reactor_sweep(&scale),
         "kvs-readscale-sweep" => kvs::kvs_readscale_sweep(&scale),
         "kvs-ttl-churn" => kvs::kvs_ttl_churn(&scale),

@@ -61,6 +61,27 @@ pub fn llc_bytes() -> usize {
     32 << 20
 }
 
+/// Cache-line (coherency granule) size in bytes, read from the sysfs cache
+/// hierarchy (`/sys/devices/system/cpu/cpu0/cache/indexN/coherency_line_size`,
+/// first level that exposes it — all levels agree on real hardware). Falls
+/// back to 64, the universal x86-64 granule. The localized-SIMD index
+/// (`F14LocalIndex`) claims one bucket per line; experiments emit this so
+/// that claim is checked against the machine the numbers came from, not
+/// assumed.
+pub fn coherency_line_size() -> usize {
+    for idx in 0..=4usize {
+        let path = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}/coherency_line_size");
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    64
+}
+
 /// Parse a sysfs cache-size string like `"260096K"`, `"32M"` or `"512"`.
 fn parse_cache_size(s: &str) -> Option<usize> {
     let (digits, mult) = match s.as_bytes().last()? {
@@ -90,6 +111,13 @@ mod tests {
     fn llc_bytes_is_plausible() {
         let b = llc_bytes();
         assert!(b >= 1 << 20, "LLC under 1 MiB is not plausible: {b}");
+    }
+
+    #[test]
+    fn coherency_line_size_is_plausible() {
+        let n = coherency_line_size();
+        assert!(n.is_power_of_two(), "line size {n} not a power of two");
+        assert!((32..=256).contains(&n), "line size {n} out of range");
     }
 
     #[test]

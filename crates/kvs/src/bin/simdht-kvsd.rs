@@ -24,7 +24,7 @@ USAGE:
 
 OPTIONS:
     --addr <ip:port>       Listen address (default 127.0.0.1:11411; port 0 = ephemeral)
-    --index <name>         Hash index: memc3 | hor | ver | dpdk (default memc3)
+    --index <name>         Hash index: memc3 | hor | ver | dpdk | local (default memc3)
     --capacity <n>         Expected max live items (default 100000)
     --memory-mb <n>        Slab memory budget in MiB (default 64)
     --shards <n>           Store shards, rounded up to a power of two
@@ -259,7 +259,7 @@ fn main() {
     };
     if index::by_short_name(&args.index, 8).is_none() {
         eprintln!(
-            "error: unknown index {:?} (expected memc3 | hor | ver | dpdk)",
+            "error: unknown index {:?} (expected memc3 | hor | ver | dpdk | local)",
             args.index
         );
         std::process::exit(2);

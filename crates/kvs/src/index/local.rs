@@ -1,0 +1,602 @@
+//! A Folly-F14-style **localized-SIMD** index: tags co-resident with the
+//! entries they guard on one 64-byte cache line.
+//!
+//! The four Table-I indexes split into *indirect SIMD* (tags packed in a
+//! separate array — [`super::Memc3Index`], [`super::TagSimdIndex`] — an
+//! extra cache line between tag hit and entry read) and *direct SIMD*
+//! (full keys probed in-register — [`super::SimdIndex`] — only 4 entries
+//! per line). The reinerp cuckoo-hashing-benchmark findings place a third
+//! point on that curve, *localized SIMD*, which this index reproduces:
+//!
+//! * layout: (2,7) bucketized cuckoo table. Each bucket is **exactly one
+//!   64-byte line**: a packed tag word (7 tag bytes + 1 control byte)
+//!   followed by seven `[hash:32 | item:32]` entry words;
+//! * probe: one SSE byte-compare over the tag word, then candidate entries
+//!   verified against the *full* 32-bit hash — all on the line the tag
+//!   match already pulled in. A find_hit touches one line (beats the
+//!   indirect designs' two); a find_miss rejects 7 candidates per line
+//!   (beats the direct designs' 4);
+//! * relocation: partial-key cuckoo — the alternate bucket is derived from
+//!   the tag by an XOR involution, so BFS relocation never re-reads keys;
+//! * concurrency: the tag word and every entry word are `AtomicU64`, sized
+//!   at construction, so the store's racy seqlock read path (DESIGN.md
+//!   §11) may probe while a writer relocates. Writers publish the entry
+//!   word *before* the tag byte that makes it visible (entry `Relaxed`,
+//!   tag word `Release`; readers load the tag word `Acquire`).
+//!
+//! Tags are `0x80 | (hash >> 25)`, always `0x80..=0xFF`, so the empty-slot
+//! sentinel (`0`) and the control byte (an occupancy count `<= 7`) can
+//! never produce a false tag match. See DESIGN.md §16 for the layout
+//! diagram and fence discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simdht_simd::scan;
+
+use super::{HashIndex, IndexError};
+use crate::item::NO_ITEM;
+
+const SLOTS: usize = 7;
+/// Match-mask bits covering the 7 tag bytes (excludes the control byte).
+const TAG_MASK: u32 = 0x7F;
+/// The control byte is little-endian byte 7 of the tag word.
+const CONTROL_SHIFT: u32 = 56;
+const MAX_BFS_NODES: usize = 2048;
+
+/// Pack one slot's entry word: full key hash in the high half, item id in
+/// the low half. A racy reader can never pair one slot's hash with
+/// another's item — the pair changes atomically.
+#[inline(always)]
+const fn pack(hash: u32, item: u32) -> u64 {
+    ((hash as u64) << 32) | item as u64
+}
+
+/// One (2,7) bucket — exactly one cache line.
+///
+/// ```text
+/// byte:    0    1    2    3    4    5    6    7     8..15  ...  56..63
+///        tag0 tag1 tag2 tag3 tag4 tag5 tag6 count  entry0  ...  entry6
+/// ```
+#[repr(C, align(64))]
+struct Bucket {
+    /// Packed tag row: little-endian byte `s` is slot `s`'s tag (`0` =
+    /// empty, else `0x80 | (hash >> 25)`); byte 7 is the control byte,
+    /// the bucket's occupancy count.
+    tags: AtomicU64,
+    /// `[hash:32 | item:32]` per slot; contents are dont-care (stale)
+    /// while the slot's tag byte is 0.
+    entries: [AtomicU64; SLOTS],
+}
+
+// The one-line claim is structural, not aspirational.
+const _: () = assert!(std::mem::size_of::<Bucket>() == 64);
+const _: () = assert!(std::mem::align_of::<Bucket>() == 64);
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            tags: AtomicU64::new(0),
+            entries: std::array::from_fn(|_| AtomicU64::new(pack(0, NO_ITEM))),
+        }
+    }
+}
+
+/// The F14-style (2,7) localized-SIMD cuckoo index (`"local"`).
+pub struct F14LocalIndex {
+    buckets: Vec<Bucket>,
+    mask: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for F14LocalIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("F14LocalIndex")
+            .field("buckets", &(self.mask + 1))
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl F14LocalIndex {
+    /// Create an index able to hold `capacity_items` at a ~92 % load factor
+    /// (a (2,7) BCHT with BFS relocation sustains well above that).
+    pub fn with_capacity(capacity_items: usize) -> Self {
+        let needed_slots = ((capacity_items as f64 / 0.92).ceil() as usize).max(SLOTS);
+        let buckets = (needed_slots / SLOTS + 1).next_power_of_two();
+        F14LocalIndex {
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            mask: buckets - 1,
+            len: 0,
+        }
+    }
+
+    /// The 7-bit tag with the occupied marker: always in `0x80..=0xFF`, so
+    /// it never collides with the empty sentinel (0) or the control byte
+    /// (`<= 7`).
+    #[inline(always)]
+    fn tag(hash: u32) -> u8 {
+        0x80 | (hash >> 25) as u8
+    }
+
+    #[inline(always)]
+    fn bucket1(&self, hash: u32) -> usize {
+        hash as usize & self.mask
+    }
+
+    /// Partial-key alternate bucket: an XOR involution of the tag, so
+    /// `alt_bucket(alt_bucket(b, t), t) == b` and relocation needs no key.
+    #[inline(always)]
+    fn alt_bucket(&self, bucket: usize, tag: u8) -> usize {
+        (bucket ^ ((tag as usize).wrapping_mul(0x5bd1_e995))) & self.mask
+    }
+
+    /// Tag byte of slot `idx` (global slot index, `bucket * SLOTS + s`).
+    #[inline(always)]
+    fn tag_of(&self, idx: usize) -> u8 {
+        let word = self.buckets[idx / SLOTS].tags.load(Ordering::Relaxed);
+        (word >> (8 * (idx % SLOTS))) as u8
+    }
+
+    /// Entry word of slot `idx`.
+    #[inline(always)]
+    fn entry_of(&self, idx: usize) -> u64 {
+        self.buckets[idx / SLOTS].entries[idx % SLOTS].load(Ordering::Relaxed)
+    }
+
+    /// Overwrite slot `idx` with `(tag, entry)` and publish it: the entry
+    /// word is stored first (`Relaxed`), then the tag word that makes it
+    /// visible (`Release`), so a reader whose `Acquire` tag load observes
+    /// the new tag also observes the new entry. Requires `&mut self`, so
+    /// the read-modify-write of the shared tag word never races another
+    /// writer. The control byte counts up when the slot was empty.
+    fn write_slot(&mut self, idx: usize, tag: u8, entry: u64) {
+        debug_assert!(tag >= 0x80, "occupied tags carry the marker bit");
+        let (b, s) = (idx / SLOTS, idx % SLOTS);
+        let bucket = &self.buckets[b];
+        bucket.entries[s].store(entry, Ordering::Relaxed);
+        let shift = 8 * s;
+        let word = bucket.tags.load(Ordering::Relaxed);
+        let mut new = (word & !(0xFFu64 << shift)) | (u64::from(tag) << shift);
+        if (word >> shift) as u8 == 0 {
+            new += 1 << CONTROL_SHIFT;
+        }
+        bucket.tags.store(new, Ordering::Release);
+    }
+
+    /// Clear slot `idx`: zero its tag byte and count the control byte
+    /// down. The entry word is left stale — `tag == 0` means its contents
+    /// are dont-care, and racy readers that saw the old tag word re-verify
+    /// the full hash (and the store re-validates the shard seqlock).
+    fn clear_slot(&mut self, idx: usize) {
+        let (b, s) = (idx / SLOTS, idx % SLOTS);
+        let shift = 8 * s;
+        let word = self.buckets[b].tags.load(Ordering::Relaxed);
+        debug_assert_ne!((word >> shift) as u8, 0, "clearing an empty slot");
+        self.buckets[b].tags.store(
+            (word & !(0xFFu64 << shift)) - (1 << CONTROL_SHIFT),
+            Ordering::Release,
+        );
+    }
+
+    /// First candidate for `hash`: SSE tag match over each bucket's packed
+    /// tag word, then full-hash verification against the entry words — all
+    /// on the one line the tag load pulled in.
+    #[inline(always)]
+    fn probe_one(&self, hash: u32) -> u32 {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        for b in [b1, b2] {
+            let bucket = &self.buckets[b];
+            let mut m = scan::eq_mask8(bucket.tags.load(Ordering::Acquire), tag) & TAG_MASK;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                let e = bucket.entries[s].load(Ordering::Relaxed);
+                if (e >> 32) as u32 == hash {
+                    return e as u32;
+                }
+                m &= m - 1;
+            }
+            if b1 == b2 {
+                break;
+            }
+        }
+        NO_ITEM
+    }
+
+    /// Request the single cache line each candidate bucket occupies.
+    #[inline(always)]
+    fn prefetch_buckets(&self, hash: u32) {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        simdht_simd::prefetch_read(&self.buckets[b1]);
+        simdht_simd::prefetch_read(&self.buckets[b2]);
+    }
+
+    /// Slot currently holding exactly `(hash, item)`, if any.
+    fn find_slot(&self, hash: u32, item: u32) -> Option<usize> {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        let want = pack(hash, item);
+        for b in [b1, b2] {
+            let mut m =
+                scan::eq_mask8(self.buckets[b].tags.load(Ordering::Relaxed), tag) & TAG_MASK;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                if self.buckets[b].entries[s].load(Ordering::Relaxed) == want {
+                    return Some(b * SLOTS + s);
+                }
+                m &= m - 1;
+            }
+            if b1 == b2 {
+                break;
+            }
+        }
+        None
+    }
+
+    /// First empty slot of `bucket` — the SIMD occupancy scan: one zero-
+    /// byte movemask over the tag row, `trailing_zeros` for the same
+    /// left-to-right order the scalar walk would use (ROADMAP item 3).
+    #[inline(always)]
+    fn find_empty_slot(&self, bucket: usize) -> Option<usize> {
+        let word = self.buckets[bucket].tags.load(Ordering::Relaxed);
+        let m = scan::zero_mask8(word) & TAG_MASK;
+        if m == 0 {
+            None
+        } else {
+            debug_assert_ne!((word >> CONTROL_SHIFT) as usize, SLOTS, "count says full");
+            Some(bucket * SLOTS + m.trailing_zeros() as usize)
+        }
+    }
+
+    /// BFS over cuckoo relocations from the two home buckets to the
+    /// nearest bucket with a free slot (PR 8 discipline: alternates are
+    /// tag-derived, so the search reads no keys). Returns the slot chain
+    /// `[home-slot, ..., free-slot]`.
+    fn find_path(&self, b1: usize, b2: usize) -> Option<Vec<usize>> {
+        struct Node {
+            idx: usize,
+            parent: usize,
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(128);
+        let mut seen = std::collections::HashSet::new();
+        for b in [b1, b2] {
+            if seen.insert(b) {
+                for s in 0..SLOTS {
+                    nodes.push(Node {
+                        idx: b * SLOTS + s,
+                        parent: usize::MAX,
+                    });
+                }
+            }
+        }
+        let mut head = 0;
+        while head < nodes.len() && nodes.len() < MAX_BFS_NODES {
+            let idx = nodes[head].idx;
+            debug_assert_ne!(self.tag_of(idx), 0);
+            let cur_bucket = idx / SLOTS;
+            let alt = self.alt_bucket(cur_bucket, self.tag_of(idx));
+            if seen.insert(alt) {
+                if let Some(free) = self.find_empty_slot(alt) {
+                    let mut path = vec![free];
+                    let mut at = head;
+                    loop {
+                        path.push(nodes[at].idx);
+                        if nodes[at].parent == usize::MAX {
+                            break;
+                        }
+                        at = nodes[at].parent;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                for s in 0..SLOTS {
+                    nodes.push(Node {
+                        idx: alt * SLOTS + s,
+                        parent: head,
+                    });
+                }
+            }
+            head += 1;
+        }
+        None
+    }
+}
+
+impl HashIndex for F14LocalIndex {
+    fn name(&self) -> &'static str {
+        "F14Local (2,7) line-BCHT [SSE, F14-style]"
+    }
+
+    fn insert(&mut self, hash: u32, item: u32) -> Result<(), IndexError> {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        if let Some(slot) = self.find_slot(hash, item) {
+            self.write_slot(slot, tag, pack(hash, item));
+            return Ok(());
+        }
+        for b in [b1, b2] {
+            if let Some(slot) = self.find_empty_slot(b) {
+                self.write_slot(slot, tag, pack(hash, item));
+                self.len += 1;
+                return Ok(());
+            }
+        }
+        let path = self.find_path(b1, b2).ok_or(IndexError::Full)?;
+        for w in (1..path.len()).rev() {
+            let from = path[w - 1];
+            let (t, e) = (self.tag_of(from), self.entry_of(from));
+            self.write_slot(path[w], t, e);
+        }
+        self.write_slot(path[0], tag, pack(hash, item));
+        self.len += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, hash: u32, item: u32) {
+        if let Some(slot) = self.find_slot(hash, item) {
+            self.clear_slot(slot);
+            self.len -= 1;
+        }
+    }
+
+    fn lookup_batch(&self, hashes: &[u32], out: &mut [u32]) {
+        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
+        for (h, o) in hashes.iter().zip(out.iter_mut()) {
+            *o = self.probe_one(*h);
+        }
+    }
+
+    fn probe_first(&self, hash: u32) -> u32 {
+        self.probe_one(hash)
+    }
+
+    fn prefetch_hash(&self, hash: u32) {
+        self.prefetch_buckets(hash);
+    }
+
+    fn lookup_all(&self, hash: u32, out: &mut Vec<u32>) {
+        let tag = Self::tag(hash);
+        let b1 = self.bucket1(hash);
+        let b2 = self.alt_bucket(b1, tag);
+        for b in [b1, b2] {
+            let bucket = &self.buckets[b];
+            let mut m = scan::eq_mask8(bucket.tags.load(Ordering::Acquire), tag) & TAG_MASK;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                let e = bucket.entries[s].load(Ordering::Relaxed);
+                if (e >> 32) as u32 == hash {
+                    out.push(e as u32);
+                }
+                m &= m - 1;
+            }
+            if b1 == b2 {
+                break;
+            }
+        }
+    }
+
+    // Probes touch only the bucket array — fixed-capacity since
+    // construction, every word (tag row and entries) an `AtomicU64` loaded
+    // individually — so racy seqlock probes dereference nothing non-atomic
+    // and nothing a writer could free. The entry-before-tag publication
+    // order (see `write_slot`) means a matching tag never exposes an
+    // unwritten entry; stale values are caught by the full-hash check or
+    // the store's seqlock validation.
+    fn optimistic_probe_safe(&self) -> bool {
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::hash_key;
+
+    #[test]
+    fn bucket_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<Bucket>(), 64);
+        assert_eq!(std::mem::align_of::<Bucket>(), 64);
+        // The bucket vector keeps every bucket line-aligned.
+        let idx = F14LocalIndex::with_capacity(1000);
+        for b in &idx.buckets {
+            assert_eq!(std::ptr::from_ref(b) as usize % 64, 0);
+        }
+    }
+
+    #[test]
+    fn tag_never_matches_sentinel_or_control() {
+        for hash in [0u32, 1, 0x0100_0000, 0x7FFF_FFFF, u32::MAX] {
+            let t = F14LocalIndex::tag(hash);
+            assert!(t >= 0x80, "tag {t:#x} lost the marker bit");
+        }
+        // The alternate-bucket map is an involution for every tag.
+        let idx = F14LocalIndex::with_capacity(10_000);
+        for t in 0x80..=0xFFu8 {
+            for b in [0usize, 1, idx.mask / 2, idx.mask] {
+                assert_eq!(idx.alt_bucket(idx.alt_bucket(b, t), t), b);
+            }
+        }
+    }
+
+    #[test]
+    fn control_byte_tracks_occupancy() {
+        let mut idx = F14LocalIndex::with_capacity(1000);
+        for i in 0..700u32 {
+            idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
+        }
+        let mut total = 0usize;
+        for b in &idx.buckets {
+            let word = b.tags.load(Ordering::Relaxed);
+            let count = (word >> CONTROL_SHIFT) as usize;
+            let occupied = SLOTS - (scan::zero_mask8(word) & TAG_MASK).count_ones() as usize;
+            assert_eq!(count, occupied, "control byte out of sync");
+            total += count;
+        }
+        assert_eq!(total, idx.len());
+    }
+
+    /// The acceptance-criteria pin: the SIMD occupancy scan places inserts
+    /// in exactly the slot the scalar left-to-right walk would pick.
+    #[test]
+    fn simd_empty_scan_matches_scalar_walk() {
+        let scalar_walk = |idx: &F14LocalIndex, bucket: usize| -> Option<usize> {
+            (0..SLOTS)
+                .map(|s| bucket * SLOTS + s)
+                .find(|&i| idx.tag_of(i) == 0)
+        };
+        let mut idx = F14LocalIndex::with_capacity(2000);
+        let mut state = 0xF14u64;
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..4000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !state.is_multiple_of(3) || live.is_empty() {
+                let h = hash_key(&step.to_le_bytes());
+                idx.insert(h, step).unwrap();
+                live.push((h, step));
+            } else {
+                let victim = live.swap_remove((state >> 32) as usize % live.len());
+                idx.remove(victim.0, victim.1);
+            }
+            // Every mutation leaves the SIMD scan agreeing with the walk
+            // on a sample of buckets (including the one just touched).
+            for probe in 0..4usize {
+                let b = ((state >> (8 * probe)) as usize + step as usize) & idx.mask;
+                assert_eq!(idx.find_empty_slot(b), scalar_walk(&idx, b));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut idx = F14LocalIndex::with_capacity(2000);
+        for i in 0..1500u32 {
+            idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
+        }
+        assert_eq!(idx.len(), 1500);
+        for i in 0..1500u32 {
+            let h = hash_key(&i.to_le_bytes());
+            let mut all = vec![];
+            idx.lookup_all(h, &mut all);
+            assert!(all.contains(&i), "item {i} unreachable");
+        }
+    }
+
+    #[test]
+    fn full_hash_check_rejects_tag_collisions() {
+        let mut idx = F14LocalIndex::with_capacity(100);
+        // Two hashes sharing bucket1 and tag but differing in full value.
+        let h1 = 0x8000_0001u32;
+        let h2 = 0x8001_0001u32;
+        assert_eq!(F14LocalIndex::tag(h1), F14LocalIndex::tag(h2));
+        assert_eq!(idx.bucket1(h1), idx.bucket1(h2));
+        idx.insert(h1, 11).unwrap();
+        assert_eq!(idx.probe_one(h2), NO_ITEM, "tag twin leaked through");
+        idx.insert(h2, 22).unwrap();
+        assert_eq!(idx.probe_one(h1), 11);
+        assert_eq!(idx.probe_one(h2), 22);
+        let mut all = vec![];
+        idx.lookup_all(h1, &mut all);
+        assert_eq!(all, [11], "lookup_all must filter on the full hash");
+    }
+
+    #[test]
+    fn misses_mostly_miss() {
+        let mut idx = F14LocalIndex::with_capacity(200);
+        for i in 0..100u32 {
+            idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
+        }
+        let hashes: Vec<u32> = (50_000..50_200u32)
+            .map(|i| hash_key(&i.to_le_bytes()))
+            .collect();
+        let mut out = vec![0u32; hashes.len()];
+        idx.lookup_batch(&hashes, &mut out);
+        // Full-hash verification on the probe path: absent hashes can only
+        // hit via a genuine 32-bit collision, which this range avoids.
+        assert!(out.iter().all(|&x| x == NO_ITEM));
+    }
+
+    #[test]
+    fn prefetched_and_optimistic_match_plain_batch() {
+        let mut idx = F14LocalIndex::with_capacity(3000);
+        for i in 0..2500u32 {
+            idx.insert(hash_key(&i.to_le_bytes()), i).unwrap();
+        }
+        let hashes: Vec<u32> = (0..4000u32).map(|i| hash_key(&i.to_le_bytes())).collect();
+        let mut plain = vec![0u32; hashes.len()];
+        idx.lookup_batch(&hashes, &mut plain);
+        for depth in [0usize, 1, 4, 16, 5000] {
+            let mut got = vec![0u32; hashes.len()];
+            idx.lookup_batch_prefetched(&hashes, &mut got, depth);
+            assert_eq!(got, plain, "prefetched depth {depth}");
+            let mut got = vec![0u32; hashes.len()];
+            idx.lookup_batch_optimistic(&hashes, &mut got, depth);
+            assert_eq!(got, plain, "optimistic depth {depth}");
+        }
+    }
+
+    #[test]
+    fn reaches_high_load_factor() {
+        let mut idx = F14LocalIndex::with_capacity(4000);
+        let capacity = (idx.mask + 1) * SLOTS;
+        let mut n = 0u32;
+        while (n as usize) < capacity && idx.insert(hash_key(&n.to_le_bytes()), n).is_ok() {
+            n += 1;
+        }
+        let lf = n as f64 / capacity as f64;
+        assert!(lf > 0.94, "(2,7) local index LF only {lf:.3}");
+    }
+
+    #[test]
+    fn remove_and_reuse() {
+        let mut idx = F14LocalIndex::with_capacity(100);
+        let h = hash_key(b"k");
+        idx.insert(h, 5).unwrap();
+        idx.remove(h, 6); // wrong item, no-op
+        assert_eq!(idx.len(), 1);
+        idx.remove(h, 5);
+        assert_eq!(idx.len(), 0);
+        idx.insert(h, 7).unwrap();
+        let mut all = vec![];
+        idx.lookup_all(h, &mut all);
+        assert_eq!(all, [7]);
+    }
+
+    #[test]
+    fn works_as_store_backend() {
+        use crate::store::{KvStore, StoreConfig};
+        let store = KvStore::new(
+            Box::new(F14LocalIndex::with_capacity(5000)),
+            StoreConfig {
+                memory_budget: 8 << 20,
+                capacity_items: 5000,
+                shards: 1,
+                prefetch_depth: None,
+                ..StoreConfig::default()
+            },
+        );
+        for i in 0..3000u32 {
+            store
+                .set(format!("loc-{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        for i in (0..3000u32).step_by(11) {
+            assert_eq!(
+                store.get(format!("loc-{i}").as_bytes()).as_deref(),
+                Some(&i.to_le_bytes()[..])
+            );
+        }
+        assert!(store.delete(b"loc-100"));
+        assert_eq!(store.get(b"loc-100"), None);
+    }
+}

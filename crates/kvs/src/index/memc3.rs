@@ -207,10 +207,24 @@ impl Memc3Index {
         None
     }
 
+    /// First empty slot of `bucket` — the SIMD occupancy scan: the item id
+    /// is the low half of each packed slot word, so one low-32 movemask
+    /// against [`NO_ITEM`] finds the empties, with `trailing_zeros` giving
+    /// the same left-to-right slot the scalar walk picked (ROADMAP item 3).
+    /// Writer-side only (called under `&mut self` up the stack), so the
+    /// relaxed snapshot races nothing.
     fn empty_in(&self, bucket: usize) -> Option<usize> {
-        (0..SLOTS)
-            .map(|s| bucket * SLOTS + s)
-            .find(|&i| self.slot(i).item == NO_ITEM)
+        let base = bucket * SLOTS;
+        let mut words = [0u64; SLOTS];
+        for (s, w) in words.iter_mut().enumerate() {
+            *w = self.slots[base + s].load(Ordering::Relaxed);
+        }
+        let m = simdht_simd::scan::eq_low32_mask(&words, NO_ITEM);
+        if m == 0 {
+            None
+        } else {
+            Some(base + m.trailing_zeros() as usize)
+        }
     }
 
     fn set_slot(&mut self, idx: usize, slot: Slot) {
@@ -317,21 +331,8 @@ impl HashIndex for Memc3Index {
         }
     }
 
-    fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
-        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
-        if depth == 0 {
-            self.lookup_batch(hashes, out);
-            return;
-        }
-        for &h in hashes.iter().take(depth) {
-            self.prefetch_buckets(h);
-        }
-        for i in 0..hashes.len() {
-            if let Some(&ahead) = hashes.get(i + depth) {
-                self.prefetch_buckets(ahead);
-            }
-            out[i] = self.probe_one(hashes[i]);
-        }
+    fn probe_first(&self, hash: u32) -> u32 {
+        self.probe_one(hash)
     }
 
     fn prefetch_hash(&self, hash: u32) {
@@ -421,6 +422,37 @@ mod tests {
         let mut out = [0u32; 1];
         idx.lookup_batch(&[h], &mut out);
         assert_eq!(out[0], NO_ITEM);
+    }
+
+    /// The SIMD low-32 occupancy scan picks exactly the slot the scalar
+    /// walk over unpacked items picked, across an insert/remove history.
+    #[test]
+    fn simd_empty_scan_matches_scalar_walk() {
+        let scalar_walk = |idx: &Memc3Index, bucket: usize| -> Option<usize> {
+            (0..SLOTS)
+                .map(|s| bucket * SLOTS + s)
+                .find(|&i| idx.slot(i).item == NO_ITEM)
+        };
+        let mut idx = Memc3Index::with_capacity(2000);
+        let mut state = 0x3EC3_0001u64;
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..4000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !state.is_multiple_of(3) || live.is_empty() {
+                let h = hash_key(&step.to_le_bytes());
+                idx.insert(h, step).unwrap();
+                live.push((h, step));
+            } else {
+                let victim = live.swap_remove((state >> 32) as usize % live.len());
+                idx.remove(victim.0, victim.1);
+            }
+            for probe in 0..4usize {
+                let b = ((state >> (8 * probe)) as usize + step as usize) & idx.mask;
+                assert_eq!(idx.empty_in(b), scalar_walk(&idx, b), "bucket {b}");
+            }
+        }
     }
 
     #[test]

@@ -16,16 +16,22 @@
 //! * [`TagSimdIndex`] — a DPDK/Cuckoo++-style (2,8) BCHT whose 8-bit
 //!   signatures are probed with one SSE byte compare per bucket (the
 //!   remaining SIMD rows of Table I, offered as an extension).
+//! * [`F14LocalIndex`] — a Folly-F14-style *localized-SIMD* (2,7) BCHT
+//!   whose tag row and entries share one 64-byte cache line, so a find_hit
+//!   touches a single line and a find_miss rejects 7 candidates per line
+//!   (the third point on the indirect/direct SIMD curve; ROADMAP item 2).
 //!
 //! Because the index keys are *hashes*, distinct application keys can
 //! collide; the store always verifies the full key against the slab after a
 //! hit and falls back to [`HashIndex::lookup_all`] for the rare multi-
 //! candidate case.
 
+mod local;
 mod memc3;
 mod simd;
 mod tagsimd;
 
+pub use local::F14LocalIndex;
 pub use memc3::Memc3Index;
 pub use simd::{SimdIndex, SimdIndexKind};
 pub use tagsimd::TagSimdIndex;
@@ -70,23 +76,49 @@ pub trait HashIndex: Send + Sync {
     /// Panics if `out.len() != hashes.len()`.
     fn lookup_batch(&self, hashes: &[u32], out: &mut [u32]);
 
+    /// First candidate item id for a single hash — the per-hash probe the
+    /// default AMAC pipeline ([`HashIndex::lookup_batch_prefetched`])
+    /// interleaves with its prefetches. The default routes through
+    /// [`HashIndex::lookup_batch`]; backends with a cheaper single-probe
+    /// entry point should override it.
+    fn probe_first(&self, hash: u32) -> u32 {
+        let mut out = [crate::item::NO_ITEM];
+        self.lookup_batch(std::slice::from_ref(&hash), &mut out);
+        out[0]
+    }
+
     /// [`HashIndex::lookup_batch`] with group software prefetching: before
     /// probing hash `i`, the bucket cache lines for hash `i + depth` are
     /// requested with [`simdht_simd::prefetch_read`], hiding the DRAM
     /// latency of an out-of-cache table behind the rest of the batch
     /// (the NUMA-scalable group-prefetch technique; see DESIGN.md §9).
     ///
-    /// `depth == 0` must behave exactly like `lookup_batch`. The default
-    /// implementation ignores `depth` — indexes whose probe loop is already
-    /// a single SIMD pass (or that have no per-hash pointer chase) need not
-    /// override it.
+    /// `depth == 0` must behave exactly like `lookup_batch`. The default is
+    /// the one G-ahead AMAC pipeline every bucketized index shares: stage
+    /// hash `i + depth`'s lines via [`HashIndex::prefetch_hash`], then
+    /// probe hash `i` with [`HashIndex::probe_first`]. Backends whose
+    /// `prefetch_hash` is the no-op default get plain-batch behavior (the
+    /// probe loop dominates); backends that restructure the whole batch
+    /// (e.g. one up-front prefetch sweep) override this instead.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != hashes.len()`.
     fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
-        let _ = depth;
-        self.lookup_batch(hashes, out);
+        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
+        if depth == 0 {
+            self.lookup_batch(hashes, out);
+            return;
+        }
+        for &h in hashes.iter().take(depth) {
+            self.prefetch_hash(h);
+        }
+        for i in 0..hashes.len() {
+            if let Some(&ahead) = hashes.get(i + depth) {
+                self.prefetch_hash(ahead);
+            }
+            out[i] = self.probe_first(hashes[i]);
+        }
     }
 
     /// The batched lookup the store's **racy** optimistic read path calls
@@ -159,9 +191,10 @@ pub trait HashIndex: Send + Sync {
 }
 
 /// Build an index by its experiment short name — `"memc3"`, `"hor"`
-/// (horizontal AVX2 BCHT), `"ver"` (vertical AVX-512 3-way), or `"dpdk"`
-/// (SSE tag index) — or `None` for an unknown name. Shared by the
-/// `simdht-kvsd` / `simdht-memslap` binaries and the bench experiments.
+/// (horizontal AVX2 BCHT), `"ver"` (vertical AVX-512 3-way), `"dpdk"`
+/// (SSE tag index), or `"local"` (F14-style cache-line-local tags) — or
+/// `None` for an unknown name. Shared by the `simdht-kvsd` /
+/// `simdht-memslap` binaries and the bench experiments.
 pub fn by_short_name(name: &str, capacity: usize) -> Option<Box<dyn HashIndex>> {
     Some(match name {
         "memc3" => Box::new(Memc3Index::with_capacity(capacity)),
@@ -174,6 +207,7 @@ pub fn by_short_name(name: &str, capacity: usize) -> Option<Box<dyn HashIndex>> 
             capacity,
         )),
         "dpdk" => Box::new(TagSimdIndex::with_capacity(capacity)),
+        "local" => Box::new(F14LocalIndex::with_capacity(capacity)),
         _ => return None,
     })
 }

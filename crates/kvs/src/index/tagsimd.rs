@@ -31,30 +31,11 @@ const SLOTS: usize = 8;
 const MAX_BFS_NODES: usize = 2048;
 
 /// Match mask over one bucket's packed signature word (slot `s` occupies
-/// bits `8·s`, the little-endian byte `s`).
-///
-/// SSE2 path: move the word into the low half of an XMM register,
-/// byte-compare against the splatted signature, movemask (register byte
-/// `i` is bits `8·i`, so mask bit `i` is slot `i`). Portable path: byte
-/// loop over the word.
+/// bits `8·s`, the little-endian byte `s`): one `pcmpeqb` + movemask via
+/// the shared [`simdht_simd::scan`] row scans.
 #[inline(always)]
 fn match_sigs8(word: u64, sig: u8) -> u32 {
-    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
-    // SAFETY: sse2 is guaranteed by the cfg gate; register-only ops.
-    unsafe {
-        use core::arch::x86_64::*;
-        let v = _mm_cvtsi64_si128(word as i64);
-        let eq = _mm_cmpeq_epi8(v, _mm_set1_epi8(sig as i8));
-        (_mm_movemask_epi8(eq) as u32) & 0xFF
-    }
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
-    {
-        let mut m = 0u32;
-        for (i, &b) in word.to_le_bytes().iter().enumerate() {
-            m |= u32::from(b == sig) << i;
-        }
-        m
-    }
+    simdht_simd::scan::eq_mask8(word, sig)
 }
 
 /// The (2,8) signature-SIMD cuckoo index (DPDK `rte_hash` / Cuckoo++ style).
@@ -138,19 +119,14 @@ impl TagSimdIndex {
         self.items[idx].store(item, Ordering::Relaxed);
     }
 
-    /// SIMD probe of one bucket; candidates are slots whose signature
-    /// matches *and* are occupied.
+    /// SIMD probe of one bucket. Empty slots hold signature 0
+    /// ([`TagSimdIndex::remove`] clears the byte, so `sig == 0 ⟺ empty`)
+    /// while live signatures are `>= 1`, so the match mask needs no
+    /// separate occupancy pass.
     #[inline(always)]
     fn probe_bucket(&self, bucket: usize, sig: u8) -> u32 {
-        let base = bucket * SLOTS;
-        let mut m = match_sigs8(self.sigs[bucket].load(Ordering::Relaxed), sig);
-        // Mask out empty slots (their stale signatures may match).
-        let mut occ = 0u32;
-        for s in 0..SLOTS {
-            occ |= u32::from(self.items[base + s].load(Ordering::Relaxed) != NO_ITEM) << s;
-        }
-        m &= occ;
-        m
+        debug_assert_ne!(sig, 0);
+        match_sigs8(self.sigs[bucket].load(Ordering::Relaxed), sig)
     }
 
     /// Probe both candidate buckets for `hash`, returning the first
@@ -206,10 +182,17 @@ impl TagSimdIndex {
         None
     }
 
+    /// First empty slot of `bucket` — the SIMD occupancy scan: one zero-
+    /// byte movemask over the signature word (`sig == 0 ⟺ empty`), with
+    /// `trailing_zeros` giving the same left-to-right slot the scalar walk
+    /// over the item array picked (ROADMAP item 3).
     fn empty_in(&self, bucket: usize) -> Option<usize> {
-        (0..SLOTS)
-            .map(|s| bucket * SLOTS + s)
-            .find(|&i| self.item_of(i) == NO_ITEM)
+        let m = simdht_simd::scan::zero_mask8(self.sigs[bucket].load(Ordering::Relaxed));
+        if m == 0 {
+            None
+        } else {
+            Some(bucket * SLOTS + m.trailing_zeros() as usize)
+        }
     }
 
     fn find_path(&self, b1: usize, b2: usize) -> Option<Vec<usize>> {
@@ -295,6 +278,12 @@ impl HashIndex for TagSimdIndex {
 
     fn remove(&mut self, hash: u32, item: u32) {
         if let Some(slot) = self.find_slot(hash, item) {
+            // Clear the signature byte too: `sig == 0 ⟺ empty` is what
+            // lets the probe and occupancy scans run off the packed word
+            // alone.
+            let shift = 8 * (slot % SLOTS);
+            let word = self.sigs[slot / SLOTS].load(Ordering::Relaxed);
+            self.sigs[slot / SLOTS].store(word & !(0xFFu64 << shift), Ordering::Relaxed);
             self.items[slot].store(NO_ITEM, Ordering::Relaxed);
             self.len -= 1;
         }
@@ -307,21 +296,8 @@ impl HashIndex for TagSimdIndex {
         }
     }
 
-    fn lookup_batch_prefetched(&self, hashes: &[u32], out: &mut [u32], depth: usize) {
-        assert_eq!(hashes.len(), out.len(), "output slice length mismatch");
-        if depth == 0 {
-            self.lookup_batch(hashes, out);
-            return;
-        }
-        for &h in hashes.iter().take(depth) {
-            self.prefetch_buckets(h);
-        }
-        for i in 0..hashes.len() {
-            if let Some(&ahead) = hashes.get(i + depth) {
-                self.prefetch_buckets(ahead);
-            }
-            out[i] = self.probe_one(hashes[i]);
-        }
+    fn probe_first(&self, hash: u32) -> u32 {
+        self.probe_one(hash)
     }
 
     fn prefetch_hash(&self, hash: u32) {
@@ -369,6 +345,38 @@ mod tests {
         assert_eq!(match_sigs8(word, 9), 0b0011_0101);
         assert_eq!(match_sigs8(word, 7), 0);
         assert_eq!(match_sigs8(word, 2), 0b1000_0000);
+    }
+
+    /// The SIMD occupancy scan over the signature word picks exactly the
+    /// slot the old scalar walk over the item array picked, across an
+    /// arbitrary insert/remove history (`sig == 0 ⟺ item == NO_ITEM`).
+    #[test]
+    fn simd_empty_scan_matches_scalar_walk() {
+        let scalar_walk = |idx: &TagSimdIndex, bucket: usize| -> Option<usize> {
+            (0..SLOTS)
+                .map(|s| bucket * SLOTS + s)
+                .find(|&i| idx.item_of(i) == NO_ITEM)
+        };
+        let mut idx = TagSimdIndex::with_capacity(2000);
+        let mut state = 0xD9D7_0001u64;
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..4000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !state.is_multiple_of(3) || live.is_empty() {
+                let h = hash_key(&step.to_le_bytes());
+                idx.insert(h, step).unwrap();
+                live.push((h, step));
+            } else {
+                let victim = live.swap_remove((state >> 32) as usize % live.len());
+                idx.remove(victim.0, victim.1);
+            }
+            for probe in 0..4usize {
+                let b = ((state >> (8 * probe)) as usize + step as usize) & idx.mask;
+                assert_eq!(idx.empty_in(b), scalar_walk(&idx, b), "bucket {b}");
+            }
+        }
     }
 
     #[test]

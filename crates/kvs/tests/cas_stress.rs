@@ -179,7 +179,7 @@ fn run_round(which: &str, mode: ReadMode, seed: u64) {
 #[test]
 fn cas_has_exactly_one_winner_per_version_and_no_lost_updates() {
     for seed in 0..seeds() {
-        for which in ["memc3", "hor", "ver", "dpdk"] {
+        for which in ["memc3", "hor", "ver", "dpdk", "local"] {
             for mode in modes() {
                 run_round(which, mode, seed);
             }

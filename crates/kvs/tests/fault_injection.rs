@@ -103,9 +103,21 @@ fn read_mode() -> ReadMode {
     }
 }
 
+/// `INDEX` selects the index family the whole fault matrix runs against
+/// (any `by_short_name` spelling; default `memc3`). Validated eagerly so
+/// a typo fails the suite instead of silently testing the default.
+fn index_name() -> String {
+    let name = std::env::var("INDEX").unwrap_or_else(|_| "memc3".to_string());
+    assert!(
+        by_short_name(&name, 64).is_some(),
+        "INDEX={name}: expected a short index name known to by_short_name",
+    );
+    name
+}
+
 fn spawn_daemon(capacity: usize) -> (Daemon, Arc<KvStore>) {
     let store = Arc::new(KvStore::new(
-        by_short_name("memc3", capacity).expect("known index"),
+        by_short_name(&index_name(), capacity).expect("known index"),
         StoreConfig {
             memory_budget: 4 << 20,
             capacity_items: capacity,

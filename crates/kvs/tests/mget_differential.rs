@@ -17,7 +17,7 @@ use simdht_kvs::protocol::{Request, Response};
 use simdht_kvs::store::{KvStore, MGetResponse, StoreConfig};
 use simdht_kvs::transport::ClientConn;
 
-const INDEXES: [&str; 4] = ["memc3", "hor", "ver", "dpdk"];
+const INDEXES: [&str; 5] = ["memc3", "hor", "ver", "dpdk", "local"];
 const DEPTHS: [usize; 4] = [0, 1, 8, 64];
 
 /// Find two distinct keys with the same 32-bit FNV hash (birthday search;
@@ -35,9 +35,35 @@ fn collision_pair() -> (Vec<u8>, Vec<u8>) {
     unreachable!("u32 hashes must collide")
 }
 
+/// Find two distinct keys that agree on the low 12 hash bits AND on
+/// `hash >> 25` but differ in the full 32-bit hash. For the localized
+/// (2,7) index these land in the same bucket with the same 7-bit tag, so
+/// the tag row reports a candidate and only the full-hash (and then full
+/// key) check can separate them. 19 constrained bits → birthday collision
+/// within ~1k keys.
+fn tag_pair(prefix: &str) -> (Vec<u8>, Vec<u8>) {
+    let mut seen: HashMap<u32, (usize, u32)> = HashMap::new();
+    for i in 0usize.. {
+        let key = format!("{prefix}-{i:08x}").into_bytes();
+        let h = hash_key(&key);
+        let class = (h & 0xFFF) | ((h >> 25) << 12);
+        match seen.get(&class) {
+            Some(&(j, hj)) if hj != h => {
+                return (format!("{prefix}-{j:08x}").into_bytes(), key);
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(class, (i, h));
+            }
+        }
+    }
+    unreachable!("19-bit tag classes must collide")
+}
+
 /// The corpus: varied key/value widths (mixed and uniform so Phase 1 hits
 /// both the SIMD fixed-width kernel and the interleaved mixed kernel),
-/// plus both keys of one hash-colliding pair and the first key of another.
+/// plus both keys of one hash-colliding pair and the first key of another,
+/// plus two 7-bit tag-colliding pairs engineered for the localized index.
 struct Corpus {
     items: Vec<(Vec<u8>, Vec<u8>)>,
     /// Inserted colliding pair: looking up either must hit via fallback.
@@ -45,6 +71,11 @@ struct Corpus {
     /// Only `.0` is inserted; probing `.1` finds a candidate whose full
     /// key differs — the fallback scan must still report a miss.
     pair_half: (Vec<u8>, Vec<u8>),
+    /// Same bucket + same 7-bit tag, different full hashes; both inserted.
+    tag_both: (Vec<u8>, Vec<u8>),
+    /// Same bucket + same 7-bit tag; only `.0` inserted — the tag row
+    /// flags a candidate but the full-hash check must reject it.
+    tag_half: (Vec<u8>, Vec<u8>),
 }
 
 fn build_corpus() -> Corpus {
@@ -73,10 +104,17 @@ fn build_corpus() -> Corpus {
     items.push((pair_both.0.clone(), b"first-of-colliding-pair".to_vec()));
     items.push((pair_both.1.clone(), b"second-of-colliding-pair".to_vec()));
     items.push((pair_half.0.clone(), b"only-inserted-collider".to_vec()));
+    let tag_both = tag_pair("tagb");
+    let tag_half = tag_pair("tagh");
+    items.push((tag_both.0.clone(), b"first-of-tag-pair".to_vec()));
+    items.push((tag_both.1.clone(), b"second-of-tag-pair".to_vec()));
+    items.push((tag_half.0.clone(), b"only-inserted-tag-collider".to_vec()));
     Corpus {
         items,
         pair_both,
         pair_half,
+        tag_both,
+        tag_half,
     }
 }
 
@@ -102,6 +140,12 @@ fn query_batches(c: &Corpus) -> Vec<Vec<Vec<u8>>> {
             c.pair_half.1.clone(), // collides with an inserted key: must miss
             key(5),
             miss(5),
+        ],
+        vec![
+            c.tag_both.0.clone(),
+            c.tag_both.1.clone(),
+            c.tag_half.0.clone(),
+            c.tag_half.1.clone(), // same bucket + 7-bit tag: must miss
         ],
     ];
     // 300 keys: several 8-lane hash groups plus a remainder, and longer
@@ -224,6 +268,11 @@ fn single_key_get_matches_mget_under_collisions() {
             store.get(&corpus.pair_half.1),
             None,
             "{which}: colliding absent key must miss through the fallback",
+        );
+        assert_eq!(
+            store.get(&corpus.tag_half.1),
+            None,
+            "{which}: tag-colliding absent key must miss via the full-hash check",
         );
         assert_eq!(store.get(b"absent-000000"), None, "{which}");
     }

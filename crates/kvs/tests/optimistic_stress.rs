@@ -402,7 +402,7 @@ fn roomy_store(index: &str, mode: ReadMode) -> Arc<KvStore> {
 #[test]
 fn stress_torn_read_oracle_hot_keys() {
     for seed in 0..n_seeds() {
-        for index in ["memc3", "ver", "dpdk"] {
+        for index in ["memc3", "ver", "dpdk", "local"] {
             for mode in modes() {
                 let store = roomy_store(index, mode);
                 let sets = stress_round(&store, seed, false, 40);
@@ -429,7 +429,7 @@ fn stress_torn_read_oracle_hot_keys() {
 #[test]
 fn stress_torn_read_oracle_batched_writers() {
     for seed in 0..n_seeds() {
-        for index in ["memc3", "ver", "dpdk"] {
+        for index in ["memc3", "ver", "dpdk", "local"] {
             for mode in modes() {
                 let store = roomy_store(index, mode);
                 let (sets, _) =
@@ -459,7 +459,7 @@ fn stress_torn_read_oracle_batched_writers() {
 #[test]
 fn deletes_never_expose_recycled_bytes() {
     for seed in 0..n_seeds() {
-        for index in ["memc3", "ver", "dpdk"] {
+        for index in ["memc3", "ver", "dpdk", "local"] {
             for mode in modes() {
                 let store = roomy_store(index, mode);
                 let (sets, deletes) =

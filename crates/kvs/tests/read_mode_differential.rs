@@ -19,7 +19,7 @@ use simdht_kvs::protocol::{Request, Response};
 use simdht_kvs::store::{KvStore, MGetResponse, ReadMode, StoreConfig};
 use simdht_kvs::transport::ClientConn;
 
-const INDEXES: [&str; 4] = ["memc3", "hor", "ver", "dpdk"];
+const INDEXES: [&str; 5] = ["memc3", "hor", "ver", "dpdk", "local"];
 const DEPTHS: [usize; 2] = [0, 8];
 
 /// Find two distinct keys with the same 32-bit FNV hash (birthday
@@ -37,6 +37,29 @@ fn collision_pair(prefix: &str) -> (Vec<u8>, Vec<u8>) {
     unreachable!("u32 hashes must collide")
 }
 
+/// Find two distinct keys that agree on the low 12 hash bits AND on
+/// `hash >> 25` but differ in the full hash: same bucket and same 7-bit
+/// tag in the localized (2,7) index, so its packed tag row reports a
+/// candidate that only the full-hash check can reject.
+fn tag_pair(prefix: &str) -> (Vec<u8>, Vec<u8>) {
+    let mut seen: HashMap<u32, (usize, u32)> = HashMap::new();
+    for i in 0usize.. {
+        let key = format!("{prefix}-{i:08x}").into_bytes();
+        let h = hash_key(&key);
+        let class = (h & 0xFFF) | ((h >> 25) << 12);
+        match seen.get(&class) {
+            Some(&(j, hj)) if hj != h => {
+                return (format!("{prefix}-{j:08x}").into_bytes(), key);
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(class, (i, h));
+            }
+        }
+    }
+    unreachable!("19-bit tag classes must collide")
+}
+
 struct Corpus {
     items: Vec<(Vec<u8>, Vec<u8>)>,
     /// Inserted colliding pair: either key hits via the fallback scan.
@@ -44,11 +67,16 @@ struct Corpus {
     /// Only `.0` inserted; probing `.1` surfaces a candidate whose full
     /// key differs — the optimistic path must assist, then report a miss.
     pair_half: (Vec<u8>, Vec<u8>),
+    /// Same bucket + same 7-bit tag, different full hashes; only `.0`
+    /// inserted — the localized tag row flags a candidate the full-hash
+    /// check must reject, in both read modes identically.
+    tag_half: (Vec<u8>, Vec<u8>),
 }
 
 fn build_corpus() -> Corpus {
     let pair_both = collision_pair("col");
     let pair_half = collision_pair("dup");
+    let tag_half = tag_pair("tagh");
     let mut items = Vec::new();
     for i in 0..600usize {
         let key = format!("k{i:0w$}", w = 5 + i % 20).into_bytes();
@@ -58,10 +86,12 @@ fn build_corpus() -> Corpus {
     items.push((pair_both.0.clone(), b"first-of-colliding-pair".to_vec()));
     items.push((pair_both.1.clone(), b"second-of-colliding-pair".to_vec()));
     items.push((pair_half.0.clone(), b"only-inserted-collider".to_vec()));
+    items.push((tag_half.0.clone(), b"only-inserted-tag-collider".to_vec()));
     Corpus {
         items,
         pair_both,
         pair_half,
+        tag_half,
     }
 }
 
@@ -86,6 +116,8 @@ fn query_batches(c: &Corpus) -> Vec<Vec<Vec<u8>>> {
             c.pair_both.1.clone(),
             c.pair_half.0.clone(),
             c.pair_half.1.clone(), // collides with an inserted key: must miss
+            c.tag_half.0.clone(),
+            c.tag_half.1.clone(), // same bucket + 7-bit tag: must miss
             key(5),
             miss(5),
         ],

@@ -10,7 +10,7 @@
 use simdht_kvs::index;
 use simdht_kvs::store::{KvStore, MGetResponse, SetMultiBatch, StoreConfig};
 
-const INDEXES: [&str; 4] = ["memc3", "hor", "ver", "dpdk"];
+const INDEXES: [&str; 5] = ["memc3", "hor", "ver", "dpdk", "local"];
 const SHARD_COUNTS: [usize; 2] = [1, 4];
 const BATCH_SIZES: [usize; 3] = [1, 8, 64];
 

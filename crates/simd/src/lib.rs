@@ -40,6 +40,7 @@
 
 pub mod emu;
 mod lane;
+pub mod scan;
 mod vector;
 pub mod x86;
 

@@ -578,7 +578,56 @@ impl<K: Lane, V: Lane> CuckooTable<K, V> {
         None
     }
 
+    /// First empty slot of `bucket` — the insert path's occupancy scan.
+    ///
+    /// For 32-bit key lanes (the width every KVS index instantiates) the
+    /// bucket's key lanes are viewed as raw `u32` words and scanned with
+    /// one SIMD movemask against the empty sentinel
+    /// ([`simdht_simd::scan::eq_lane_mask_u32`]); interleaved storage
+    /// scans all `2m` lanes and keeps the even (key) bits. Other widths
+    /// keep the scalar walk. Both orders are left-to-right, so placement
+    /// is bit-identical (pinned by `empty_slot_scan_matches_scalar`).
+    ///
+    /// Writer-side only (`&mut self` up the stack): the non-atomic loads
+    /// race nothing — concurrent racy readers only read.
     fn empty_slot_in(&self, bucket: usize) -> Option<usize> {
+        let m = self.slots_per_bucket();
+        if K::BITS == 32
+            && std::mem::size_of::<K>() == 4
+            && std::mem::align_of::<K>() == 4
+            && m <= 16
+        {
+            let empty = K::EMPTY.to_u64() as u32;
+            let range = self.bucket_slots(bucket);
+            return match &self.storage {
+                Storage::Interleaved(data) => {
+                    // SAFETY: `K` is a 4-byte/4-aligned plain integer lane
+                    // (checked above); the `2m` lanes starting at key lane
+                    // `2 * range.start` are in bounds, and `u32` accepts
+                    // any bit pattern.
+                    let lanes: &[u32] = unsafe {
+                        std::slice::from_raw_parts(data[2 * range.start..].as_ptr().cast(), 2 * m)
+                    };
+                    // Keys are the even lanes of the `[k v k v …]` row.
+                    let mask = simdht_simd::scan::eq_lane_mask_u32(lanes, empty) & 0x5555_5555;
+                    (mask != 0).then(|| range.start + (mask.trailing_zeros() / 2) as usize)
+                }
+                Storage::Split { keys, .. } => {
+                    // SAFETY: as above; the `m` key lanes of this bucket.
+                    let lanes: &[u32] = unsafe {
+                        std::slice::from_raw_parts(keys[range.start..].as_ptr().cast(), m)
+                    };
+                    let mask = simdht_simd::scan::eq_lane_mask_u32(lanes, empty);
+                    (mask != 0).then(|| range.start + mask.trailing_zeros() as usize)
+                }
+            };
+        }
+        self.empty_slot_in_scalar(bucket)
+    }
+
+    /// The scalar left-to-right walk [`CuckooTable::empty_slot_in`]
+    /// replaces; kept as the placement oracle for the differential pin.
+    fn empty_slot_in_scalar(&self, bucket: usize) -> Option<usize> {
         self.bucket_slots(bucket)
             .find(|&s| self.slot_key(s) == K::EMPTY)
     }
@@ -708,6 +757,48 @@ mod tests {
                 assert_eq!(t.get_racy(miss), t.get(miss), "layout {layout}");
             }
             assert_eq!(t.get_racy(0), None, "sentinel, layout {layout}");
+        }
+    }
+
+    /// The SIMD occupancy scan places inserts in exactly the slot the
+    /// scalar walk would pick, across every layout/arrangement and an
+    /// arbitrary insert/remove history — and across lane widths (u16/u64
+    /// take the scalar fallback, u32 the movemask path).
+    #[test]
+    fn empty_slot_scan_matches_scalar() {
+        fn drive<K: Lane, V: Lane>(layout: Layout, mk_key: impl Fn(u64) -> K) {
+            let Ok(mut t) = CuckooTable::<K, V>::new(layout, 6) else {
+                return; // mixed-width interleaved layouts are rejected
+            };
+            let buckets = t.capacity() / t.slots_per_bucket();
+            let mut live: Vec<K> = Vec::new();
+            let mut state = 0x7AB1_E000u64 ^ u64::from(layout.slots_per_bucket());
+            for _ in 0..600 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if !state.is_multiple_of(3) || live.is_empty() {
+                    let k = mk_key(state);
+                    if k != K::EMPTY && t.insert(k, V::from_u64(1)).is_ok() {
+                        live.push(k);
+                    }
+                } else {
+                    let k = live.swap_remove((state >> 33) as usize % live.len());
+                    t.remove(k);
+                }
+                for b in 0..buckets {
+                    assert_eq!(
+                        t.empty_slot_in(b),
+                        t.empty_slot_in_scalar(b),
+                        "layout {layout}, bucket {b}"
+                    );
+                }
+            }
+        }
+        for layout in layouts() {
+            drive::<u32, u32>(layout, |s| s as u32);
+            drive::<u16, u16>(layout, |s| s as u16);
+            drive::<u64, u64>(layout, |s| s);
         }
     }
 
